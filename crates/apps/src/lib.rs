@@ -1,0 +1,20 @@
+//! `cca-apps` — the three component assemblies of the paper, built from
+//! the `cca-components` palette through framework scripts:
+//!
+//! * [`ignition0d`] — §4.1, the 0D homogeneous-ignition code of Fig. 1 /
+//!   Table 1;
+//! * [`reaction_diffusion`] — §4.2, the 2D reaction–diffusion flame on
+//!   SAMR of Fig. 2 / Table 2 (operator-split RKC diffusion + implicit
+//!   point chemistry);
+//! * [`shock_interface`] — §4.3, the shock/density-interface interaction
+//!   of Fig. 5 / Table 3 (MUSCL-Godunov or EFM on a multilevel mesh);
+//! * [`palette`] — the component palette shared by all assemblies (the
+//!   analogue of CCAFFEINE's directory of `.so` components);
+//! * [`scaling`] — the distributed (SCMD) uniform-mesh configuration of
+//!   the §5.2 scaling studies, with the CPlant cluster performance model.
+
+pub mod ignition0d;
+pub mod palette;
+pub mod reaction_diffusion;
+pub mod scaling;
+pub mod shock_interface;

@@ -1,0 +1,117 @@
+//! The component palette: every class the assemblies can instantiate,
+//! registered under its paper name. In CCAFFEINE this is the directory of
+//! dynamically loadable component libraries; which classes an application
+//! actually uses is decided at run time by its script — that is what makes
+//! the Godunov→EFM swap of §4.3 a script-only change.
+
+use cca_components::adaptors::{DpdtComponent, ImplicitIntegrator, ProblemModeler};
+use cca_components::balancer_comp::{GreedyLoadBalancer, RoundRobinLoadBalancer, SpaceFillingLoadBalancer};
+use cca_components::bc_comp::{AdiabaticWallsBc, BoundaryConditions};
+use cca_components::cvode::CvodeComponent;
+use cca_components::diffusion::DiffusionPhysics;
+use cca_components::euler::{
+    CharacteristicQuantities, EfmFluxComponent, GasProperties, GodunovFluxComponent,
+    InviscidFluxComponent, StatesComponent,
+};
+use cca_components::grace::GraceComponent;
+use cca_components::ic::{ConicalInterfaceIC, HotSpotsIC, Initializer0D};
+use cca_components::interp_comp::ProlongRestrict;
+use cca_components::regrid_comp::ErrorEstAndRegrid;
+use cca_components::rk2_integrator::ExplicitIntegratorRk2;
+use cca_components::rkc_integrator::ExplicitIntegratorRkc;
+use cca_components::stats::StatisticsComponent;
+use cca_components::thermochem::ThermoChemistry;
+use cca_components::transport_comp::{DrfmComponent, MaxDiffCoeffEvaluator};
+use cca_core::Framework;
+
+/// A framework pre-loaded with the full component palette.
+pub fn standard_palette() -> Framework {
+    let mut fw = Framework::new();
+    fw.register_class("ThermoChemistry", || Box::new(ThermoChemistry::full()));
+    fw.register_class("ThermoChemistryReduced", || {
+        Box::new(ThermoChemistry::reduced())
+    });
+    fw.register_class("CvodeComponent", || Box::<CvodeComponent>::default());
+    fw.register_class("dPdt", || Box::<DpdtComponent>::default());
+    fw.register_class("problemModeler", || Box::<ProblemModeler>::default());
+    fw.register_class("Initializer", || Box::<Initializer0D>::default());
+    fw.register_class("GrACEComponent", || Box::<GraceComponent>::default());
+    fw.register_class("InitialCondition", || Box::<HotSpotsIC>::default());
+    fw.register_class("ConicalInterfaceIC", || Box::<ConicalInterfaceIC>::default());
+    fw.register_class("DRFMComponent", || Box::<DrfmComponent>::default());
+    fw.register_class("MaxDiffCoeffEvaluator", || {
+        Box::<MaxDiffCoeffEvaluator>::default()
+    });
+    fw.register_class("DiffusionPhysics", || Box::<DiffusionPhysics>::default());
+    fw.register_class("ExplicitIntegrator", || {
+        Box::<ExplicitIntegratorRkc>::default()
+    });
+    fw.register_class("ImplicitIntegrator", || Box::<ImplicitIntegrator>::default());
+    fw.register_class("ExplicitIntegratorRK2", || {
+        Box::<ExplicitIntegratorRk2>::default()
+    });
+    fw.register_class("States", || Box::<StatesComponent>::default());
+    fw.register_class("GodunovFlux", || Box::<GodunovFluxComponent>::default());
+    fw.register_class("EFMFlux", || Box::<EfmFluxComponent>::default());
+    fw.register_class("InviscidFlux", || Box::<InviscidFluxComponent>::default());
+    fw.register_class("CharacteristicQuantities", || {
+        Box::<CharacteristicQuantities>::default()
+    });
+    fw.register_class("GasProperties", || Box::<GasProperties>::default());
+    fw.register_class("BoundaryConditions", || Box::<BoundaryConditions>::default());
+    fw.register_class("AdiabaticWalls", || Box::<AdiabaticWallsBc>::default());
+    fw.register_class("ErrorEstAndRegrid", || Box::<ErrorEstAndRegrid>::default());
+    fw.register_class("ProlongRestrict", || Box::<ProlongRestrict>::default());
+    fw.register_class("StatisticsComponent", || {
+        Box::<StatisticsComponent>::default()
+    });
+    fw.register_class("GreedyLoadBalancer", || {
+        Box::<GreedyLoadBalancer>::default()
+    });
+    fw.register_class("RoundRobinLoadBalancer", || {
+        Box::<RoundRobinLoadBalancer>::default()
+    });
+    fw.register_class("SpaceFillingLoadBalancer", || {
+        Box::<SpaceFillingLoadBalancer>::default()
+    });
+    fw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_has_all_paper_classes() {
+        let fw = standard_palette();
+        let classes = fw.palette_classes();
+        for name in [
+            "ThermoChemistry",
+            "CvodeComponent",
+            "dPdt",
+            "problemModeler",
+            "Initializer",
+            "GrACEComponent",
+            "InitialCondition",
+            "ConicalInterfaceIC",
+            "DRFMComponent",
+            "MaxDiffCoeffEvaluator",
+            "DiffusionPhysics",
+            "ExplicitIntegrator",
+            "ImplicitIntegrator",
+            "ExplicitIntegratorRK2",
+            "States",
+            "GodunovFlux",
+            "EFMFlux",
+            "InviscidFlux",
+            "CharacteristicQuantities",
+            "GasProperties",
+            "BoundaryConditions",
+            "ErrorEstAndRegrid",
+            "ProlongRestrict",
+            "StatisticsComponent",
+        ] {
+            assert!(classes.contains(&name.to_string()), "missing {name}");
+        }
+    }
+}

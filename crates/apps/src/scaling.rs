@@ -1,0 +1,322 @@
+//! The §5.2 scaling configuration: the reaction–diffusion code with
+//! adaptivity off, SCMD-distributed over `P` ranks, measured under the
+//! CPlant cluster performance model.
+//!
+//! Each rank owns one tile of the global uniform mesh (9 variables per
+//! mesh point), runs the same per-step physics, exchanges ghost strips
+//! with its neighbours through real messages, and participates in the
+//! global spectral-radius reduction the `MaxDiffCoeffEvaluator` needs.
+//! Wall-clock parallelism cannot be observed on this build host (1 core),
+//! so runtimes are *modeled*: each rank's virtual clock advances by
+//! `work × seconds_per_work_unit` for compute and by the LogP message law
+//! for communication (see `cca-comm::model`). The calibration
+//! (`ClusterModel::cplant`, 1 work unit = 1 cell-variable update per step)
+//! reproduces the magnitude of Table 5: 5 steps on a 100×100 tile ≈ 162 s
+//! of 433 MHz-Alpha time.
+
+use cca_comm::{scmd, ClusterModel, Communicator};
+use cca_mesh::boxes::IntBox;
+use cca_mesh::data::PatchData;
+use cca_mesh::decomp::UniformDecomp;
+
+/// Variables per mesh point ("Each mesh point has 9 variables on it").
+pub const NVARS: usize = 9;
+
+/// One scaling experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingConfig {
+    /// Global mesh extent along each axis (constant-global-size mode) or
+    /// per-rank extent (constant-per-rank mode).
+    pub n: i64,
+    /// Is `n` the per-rank tile size (weak scaling, Fig. 8/Table 5) or
+    /// the global size (strong scaling, Fig. 9)?
+    pub per_rank: bool,
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Macro steps (paper: 5 steps of 1e-7 s).
+    pub steps: usize,
+    /// RKC stages per macro step (each stage = one ghost exchange + one
+    /// RHS sweep); the flame runs near s = 2–4.
+    pub stages_per_step: usize,
+    /// Modeled compute work (work units) per cell-variable per stage.
+    /// 1.0 reproduces Table 5's magnitudes with `ClusterModel::cplant()`.
+    pub work_per_cell_var: f64,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            n: 50,
+            per_rank: true,
+            ranks: 4,
+            steps: 5,
+            stages_per_step: 2,
+            work_per_cell_var: 0.5,
+        }
+    }
+}
+
+/// Per-experiment outcome.
+#[derive(Clone, Debug)]
+pub struct ScalingResult {
+    /// Modeled job runtime: the slowest rank's virtual clock, s.
+    pub modeled_time: f64,
+    /// Every rank's virtual clock, s.
+    pub per_rank_time: Vec<f64>,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Checksum of the final field (all ranks' interior sums), for
+    /// cross-`P` determinism checks.
+    pub checksum: f64,
+}
+
+/// Run the distributed diffusion workload and return modeled timings.
+pub fn run_scaling(cfg: &ScalingConfig, model: ClusterModel) -> ScalingResult {
+    let global = if cfg.per_rank {
+        // Build a global mesh whose tiles are exactly n × n per rank.
+        let d = UniformDecomp::new(IntBox::sized(cfg.n, cfg.n), cfg.ranks);
+        IntBox::sized(cfg.n * d.px as i64, cfg.n * d.py as i64)
+    } else {
+        IntBox::sized(cfg.n, cfg.n)
+    };
+    let decomp = UniformDecomp::new(global, cfg.ranks);
+    let cfg = *cfg;
+    let reports = scmd::run_reported(cfg.ranks, model, move |comm: &Communicator| {
+        rank_main(comm, &decomp, &cfg)
+    });
+    let per_rank_time: Vec<f64> = reports.iter().map(|r| r.vtime).collect();
+    ScalingResult {
+        modeled_time: scmd::modeled_runtime(&reports),
+        per_rank_time,
+        messages: reports.iter().map(|r| r.messages_sent).sum(),
+        bytes: reports.iter().map(|r| r.bytes_sent).sum(),
+        checksum: reports.iter().map(|r| r.result).sum(),
+    }
+}
+
+/// The per-rank program: the "single component" of SCMD.
+fn rank_main(comm: &Communicator, decomp: &UniformDecomp, cfg: &ScalingConfig) -> f64 {
+    let tile = decomp.tile(comm.rank());
+    let mut pd = PatchData::new(tile, NVARS, 1);
+    // Deterministic initial condition: a smooth bump in variable 0
+    // (temperature-like), uniform mixture elsewhere.
+    let global = decomp.global;
+    for (i, j) in tile.cells() {
+        let x = (i as f64 + 0.5) / global.nx() as f64;
+        let y = (j as f64 + 0.5) / global.ny() as f64;
+        let bump = (-((x - 0.5).powi(2) + (y - 0.5).powi(2)) / 0.02).exp();
+        pd.set(0, i, j, 300.0 + 1000.0 * bump);
+        for v in 1..NVARS {
+            pd.set(v, i, j, 0.1 * v as f64);
+        }
+    }
+    let mut rhs = PatchData::new(tile, NVARS, 0);
+    let alpha = 0.2; // diffusion number per stage (stability-safe)
+
+    for _step in 0..cfg.steps {
+        // Global spectral-radius reduction (the MaxDiffCoeffEvaluator's
+        // allreduce), once per macro step.
+        let local_max = pd.interior_max_abs(0);
+        let _rho = comm.allreduce_max(&[local_max]);
+        for _stage in 0..cfg.stages_per_step {
+            // Real ghost exchange with the 4 neighbours.
+            decomp.exchange_ghosts(comm, &mut pd, 10);
+            // Physical boundary: zero gradient at the global walls.
+            zero_gradient_walls(&mut pd, &global);
+            // One explicit diffusion stage on all 9 variables.
+            let interior = pd.interior;
+            for var in 0..NVARS {
+                for (i, j) in interior.cells() {
+                    let lap = pd.get(var, i + 1, j)
+                        + pd.get(var, i - 1, j)
+                        + pd.get(var, i, j + 1)
+                        + pd.get(var, i, j - 1)
+                        - 4.0 * pd.get(var, i, j);
+                    rhs.set(var, i, j, alpha * lap);
+                }
+            }
+            for var in 0..NVARS {
+                for (i, j) in interior.cells() {
+                    pd.add(var, i, j, rhs.get(var, i, j));
+                }
+            }
+            // Charge the modeled cost of the *real* physics (transport
+            // properties + RKC stage + the amortized point-chemistry BDF
+            // work) for this stage. Properties are evaluated on the
+            // ghost-inclusive box — exactly as DiffusionPhysics does — so
+            // small tiles pay a genuine surface-to-volume penalty.
+            let cells_with_ring = tile.grow(1).count() as f64;
+            comm.charge_compute(cells_with_ring * NVARS as f64 * cfg.work_per_cell_var);
+        }
+    }
+    // Final consistency barrier mirrors the per-step synchronization of
+    // the paper's runs.
+    comm.barrier();
+    pd.interior_sum(0)
+}
+
+fn zero_gradient_walls(pd: &mut PatchData, global: &IntBox) {
+    let interior = pd.interior;
+    let total = pd.total_box();
+    for var in 0..pd.nvars {
+        for (i, j) in total.cells() {
+            if interior.contains(i, j) || global.contains(i, j) {
+                continue;
+            }
+            let ii = i.clamp(interior.lo[0], interior.hi[0]);
+            let jj = j.clamp(interior.lo[1], interior.hi[1]);
+            let v = pd.get(var, ii, jj);
+            pd.set(var, i, j, v);
+        }
+    }
+}
+
+/// Mean, median, standard deviation of a sample — Table 5's columns.
+pub fn stats(samples: &[f64]) -> (f64, f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+    };
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (mean, median, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_runtime_is_flat() {
+        // Constant per-rank work: modeled runtime must grow only weakly
+        // with P (Fig. 8's flat lines).
+        let t1 = run_scaling(
+            &ScalingConfig {
+                n: 20,
+                per_rank: true,
+                ranks: 1,
+                ..ScalingConfig::default()
+            },
+            ClusterModel::cplant(),
+        );
+        let t8 = run_scaling(
+            &ScalingConfig {
+                n: 20,
+                per_rank: true,
+                ranks: 8,
+                ..ScalingConfig::default()
+            },
+            ClusterModel::cplant(),
+        );
+        let growth = t8.modeled_time / t1.modeled_time;
+        assert!(growth < 1.25, "weak scaling broke: {growth}");
+    }
+
+    #[test]
+    fn strong_scaling_speeds_up() {
+        let base = ScalingConfig {
+            n: 64,
+            per_rank: false,
+            ranks: 1,
+            ..ScalingConfig::default()
+        };
+        let t1 = run_scaling(&base, ClusterModel::cplant());
+        let t4 = run_scaling(
+            &ScalingConfig {
+                ranks: 4,
+                ..base
+            },
+            ClusterModel::cplant(),
+        );
+        let speedup = t1.modeled_time / t4.modeled_time;
+        assert!(speedup > 2.5, "speedup = {speedup}");
+        assert!(speedup <= 4.01);
+    }
+
+    #[test]
+    fn result_is_deterministic_across_rank_counts() {
+        // The distributed field must match the single-rank field: the
+        // checksum (sum of variable 0) is decomposition-invariant.
+        let base = ScalingConfig {
+            n: 32,
+            per_rank: false,
+            steps: 3,
+            ..ScalingConfig::default()
+        };
+        let sums: Vec<f64> = [1usize, 2, 4]
+            .iter()
+            .map(|&p| {
+                run_scaling(
+                    &ScalingConfig {
+                        ranks: p,
+                        ..base
+                    },
+                    ClusterModel::zero(),
+                )
+                .checksum
+            })
+            .collect();
+        assert!(
+            (sums[0] - sums[1]).abs() < 1e-6 * sums[0].abs(),
+            "{sums:?}"
+        );
+        assert!(
+            (sums[0] - sums[2]).abs() < 1e-6 * sums[0].abs(),
+            "{sums:?}"
+        );
+    }
+
+    #[test]
+    fn table5_magnitudes_with_cplant_calibration() {
+        // 100x100 per rank, 5 steps: the paper's Table 5 reports a mean
+        // of 161.7 s. The calibrated model must land in the same decade
+        // and preserve the ordering 50² < 100² < 175².
+        let model = ClusterModel::cplant();
+        let t50 = run_scaling(
+            &ScalingConfig {
+                n: 50,
+                per_rank: true,
+                ranks: 2,
+                stages_per_step: 2,
+                work_per_cell_var: 1.0,
+                ..ScalingConfig::default()
+            },
+            model,
+        );
+        let t100 = run_scaling(
+            &ScalingConfig {
+                n: 100,
+                per_rank: true,
+                ranks: 2,
+                stages_per_step: 2,
+                work_per_cell_var: 1.0,
+                ..ScalingConfig::default()
+            },
+            model,
+        );
+        assert!(t50.modeled_time < t100.modeled_time);
+        assert!(
+            t100.modeled_time > 80.0 && t100.modeled_time < 400.0,
+            "modeled 100² runtime = {}",
+            t100.modeled_time
+        );
+        // Roughly the tile-area ratio (the paper's "run times scale as
+        // the single-processor problem size").
+        let ratio = t100.modeled_time / t50.modeled_time;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn stats_helper() {
+        let (mean, median, sigma) = stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((mean - 2.5).abs() < 1e-12);
+        assert!((median - 2.5).abs() < 1e-12);
+        assert!((sigma - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+}

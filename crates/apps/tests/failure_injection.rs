@@ -1,0 +1,101 @@
+//! Failure injection across the component stack: errors must surface as
+//! `Err` values with informative messages, never as panics or silent
+//! corruption.
+
+use cca_apps::palette::standard_palette;
+use cca_apps::reaction_diffusion::{run_reaction_diffusion, RdConfig, RdDriver};
+use cca_components::ports::{ChemistryAdvancePort, DataPort, MeshPort};
+use cca_core::script::run_script;
+use cca_core::CcaError;
+use std::rc::Rc;
+
+#[test]
+fn nan_state_fails_chemistry_advance_gracefully() {
+    let mut fw = standard_palette();
+    run_script(
+        &mut fw,
+        "instantiate GrACEComponent grace\n\
+         instantiate ThermoChemistry chem\n\
+         instantiate CvodeComponent cvode\n\
+         instantiate ImplicitIntegrator implicit\n\
+         connect implicit chemistry chem chemistry\n\
+         connect implicit integrator cvode integrator\n\
+         connect implicit mesh grace mesh\n\
+         connect implicit data grace data\n",
+    )
+    .unwrap();
+    let mesh: Rc<dyn MeshPort> = fw.get_provides_port("grace", "mesh").unwrap();
+    let data: Rc<dyn DataPort> = fw.get_provides_port("grace", "data").unwrap();
+    let adv: Rc<dyn ChemistryAdvancePort> =
+        fw.get_provides_port("implicit", "chemistry-advance").unwrap();
+    mesh.create(4, 4, 0.01, 0.01, 2);
+    data.create_data_object("state", 9, 1);
+    let (id, _, _) = mesh.patches(0)[0];
+    data.with_patch_mut("state", 0, id, &mut |pd| {
+        pd.fill_var(0, 1000.0);
+        pd.set(0, 2, 2, f64::NAN); // poison one cell's temperature
+    });
+    let err = adv
+        .advance_chemistry("state", 1e-7, 101_325.0)
+        .err()
+        .expect("NaN cell must fail the advance");
+    assert!(err.contains("(2,2)"), "error should locate the cell: {err}");
+}
+
+#[test]
+fn missing_connection_fails_at_go_not_later() {
+    let mut fw = standard_palette();
+    fw.register_class("RDDriver", || Box::<RdDriver>::default());
+    // Deliberately omit the statistics connection.
+    let err = run_script(
+        &mut fw,
+        "instantiate GrACEComponent grace\n\
+         instantiate RDDriver driver\n\
+         connect driver mesh grace mesh\n\
+         connect driver data grace data\n\
+         go driver go\n",
+    )
+    .err()
+    .expect("dangling ports must be refused");
+    match err {
+        CcaError::Script { message, .. } => {
+            assert!(message.contains("dangling"), "{message}");
+            assert!(message.contains("statistics"), "{message}");
+        }
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn zero_steps_run_is_a_clean_noop() {
+    let cfg = RdConfig {
+        nx: 8,
+        n_steps: 0,
+        max_levels: 1,
+        with_chemistry: false,
+        ..RdConfig::default()
+    };
+    let (report, _) = run_reaction_diffusion(&cfg).unwrap();
+    assert!(report.t_max_series.is_empty());
+    assert_eq!(report.cells_per_level, vec![64]);
+    // The final field is still captured (the IC).
+    assert_eq!(report.final_t_field.len(), 64);
+}
+
+#[test]
+fn unknown_data_object_panics_with_its_name() {
+    let mut fw = standard_palette();
+    fw.instantiate("GrACEComponent", "grace").unwrap();
+    let mesh: Rc<dyn MeshPort> = fw.get_provides_port("grace", "mesh").unwrap();
+    let data: Rc<dyn DataPort> = fw.get_provides_port("grace", "data").unwrap();
+    mesh.create(4, 4, 1.0, 1.0, 2);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        data.nvars("never-created")
+    }));
+    let err = result.err().expect("must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("never-created"), "{msg}");
+}

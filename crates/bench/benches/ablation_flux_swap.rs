@@ -1,0 +1,65 @@
+//! **Ablation: Godunov vs EFM** — the §4.3 claim behind the component
+//! swap: "The Godunov method with RK2 becomes unstable for strong shocks.
+//! The flexibility of CCA allows one to successfully reuse the code
+//! assembly... by simply replacing the GodunovFlux component with
+//! EFMFlux." Sweeps Mach number with both fluxes and reports which
+//! combinations finish.
+
+use cca_apps::shock_interface::{run_shock_interface, FluxChoice, ShockConfig};
+use cca_bench::banner;
+
+fn main() {
+    banner(
+        "Ablation: flux swap",
+        "Godunov vs EFM across shock strengths, paper §4.3",
+    );
+    println!("Mach   flux      outcome                      knee Gamma   rho range");
+    for mach in [1.5f64, 2.5, 3.5] {
+        for flux in [FluxChoice::Godunov, FluxChoice::Efm] {
+            let cfg = ShockConfig {
+                nx: 40,
+                ny: 20,
+                max_levels: 1,
+                t_end_over_tau: 0.8,
+                mach,
+                flux,
+                // The stress configuration: a compressive limiter makes
+                // the Godunov/RK2 combination fragile at high Mach, as in
+                // the paper.
+                ..ShockConfig::default()
+            };
+            let label = match flux {
+                FluxChoice::Godunov => "godunov",
+                FluxChoice::Efm => "efm    ",
+            };
+            match run_shock_interface(&cfg) {
+                Ok((report, _)) => {
+                    let knee = report
+                        .circulation_series
+                        .iter()
+                        .map(|(_, g)| *g)
+                        .fold(0.0f64, f64::min);
+                    println!(
+                        "{mach:4.1}   {label}   completed ({:4} steps)      {knee:9.4}   [{:.2}, {:.2}]",
+                        report.steps, report.rho_min, report.rho_max
+                    );
+                }
+                Err(e) => {
+                    println!("{mach:4.1}   {label}   FAILED: {e}");
+                }
+            }
+        }
+    }
+    println!("\npaper: Godunov+RK2 unstable for strong shocks (Mach ≈ 3.5);");
+    println!("EFM (more diffusive, gas-kinetic) completes them. Both agree");
+    println!("at Mach 1.5. The swap is a one-line script change (see the");
+    println!("flux_swap_is_the_only_script_difference integration test).");
+    println!();
+    println!("note: this reproduction adds positivity floors to the state");
+    println!("reconstruction (see cca-hydro-solver::muscl), which keep the");
+    println!("Godunov path alive at high Mach too; the measured distinction");
+    println!("is EFM's extra dissipation — consistently lower peak");
+    println!("compression at every Mach above. Without the floors the");
+    println!("Godunov+RK2 combination loses positivity mid-interaction,");
+    println!("exactly the paper's failure mode.");
+}

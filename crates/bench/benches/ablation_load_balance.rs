@@ -1,0 +1,58 @@
+//! **Ablation: load balancing** — the paper: "Patches are collated and
+//! distributed among processors to maximize load-balance while keeping
+//! parents and children on the same processors", and chemistry
+//! "contributes tremendously to load-imbalance". Compares greedy
+//! (work-aware LPT) placement against naive round-robin on skewed,
+//! flame-like workloads.
+
+use cca_bench::banner;
+use cca_mesh::balance::{assign_greedy, imbalance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn loads_for(owners: &[usize], work: &[f64], nranks: usize) -> Vec<f64> {
+    let mut loads = vec![0.0; nranks];
+    for (o, w) in owners.iter().zip(work) {
+        loads[*o] += w;
+    }
+    loads
+}
+
+fn main() {
+    banner(
+        "Ablation: load balance",
+        "greedy LPT vs round-robin on chemistry-skewed patch work",
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    println!("patches  ranks  skew     greedy-imbalance  round-robin-imbalance");
+    for &npatch in &[16usize, 64, 256] {
+        for &nranks in &[4usize, 16] {
+            for &skew in &[1.0f64, 10.0, 100.0] {
+                // Work model: base diffusion cost + chemistry spike on a
+                // subset of "burning" patches (the paper's imbalance
+                // source).
+                let work: Vec<f64> = (0..npatch)
+                    .map(|_| {
+                        let burning = rng.gen_bool(0.25);
+                        let base = rng.gen_range(0.8..1.2);
+                        if burning {
+                            base * skew
+                        } else {
+                            base
+                        }
+                    })
+                    .collect();
+                let greedy = assign_greedy(&work, nranks);
+                let rr: Vec<usize> = (0..npatch).map(|i| i % nranks).collect();
+                let gi = imbalance(&loads_for(&greedy, &work, nranks));
+                let ri = imbalance(&loads_for(&rr, &work, nranks));
+                println!(
+                    "{npatch:7}  {nranks:5}  {skew:6.1}  {gi:16.3}  {ri:21.3}"
+                );
+            }
+        }
+    }
+    println!("\nexpected: greedy stays near 1.0 except when one patch");
+    println!("dominates; round-robin degrades sharply as chemistry skew");
+    println!("grows — the motivation for the work-aware balancer.");
+}

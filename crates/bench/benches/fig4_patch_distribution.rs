@@ -1,0 +1,54 @@
+//! **Fig. 4** — the AMR patch distribution over the flame, with the H₂O₂
+//! mass fraction (the ignition-front precursor) carried on the finest
+//! mesh. Prints the patch boxes per level and the per-level H₂O₂ maxima —
+//! the data the paper's figure renders.
+
+use cca_apps::reaction_diffusion::{run_reaction_diffusion, RdConfig};
+use cca_bench::banner;
+
+fn main() {
+    banner("Fig. 4", "AMR patch distribution + H2O2 field, paper §4.2");
+    let cfg = RdConfig {
+        nx: 24,
+        length: 0.01,
+        ratio: 2,
+        max_levels: 3,
+        dt: 5.0e-7,
+        n_steps: 3,
+        regrid_interval: 1,
+        threshold: 40.0,
+        with_chemistry: true,
+        t_hot: 1400.0,
+    };
+    let (report, _) = run_reaction_diffusion(&cfg).expect("flame run");
+    println!("levels in use: {}", report.cells_per_level.len());
+    println!("cells per level: {:?}", report.cells_per_level);
+    println!("\npatch map (level, lo, hi in level index space):");
+    for (level, lo, hi) in &report.final_patches {
+        println!(
+            "  level {level}: [{:4},{:4}] .. [{:4},{:4}]  ({} cells)",
+            lo[0],
+            lo[1],
+            hi[0],
+            hi[1],
+            (hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1)
+        );
+    }
+    let (_, h2o2_max) = report
+        .h2o2_max_series
+        .last()
+        .copied()
+        .unwrap_or((0.0, 0.0));
+    println!("\nmax Y_H2O2 at the end of the run: {h2o2_max:.3e}");
+    println!("(the precursor peaks on the flame fronts, which is where the");
+    println!("fine patches must sit — compare the patch map above)");
+    // Adaptivity pays: fine levels must cover a minority of the domain.
+    if report.cells_per_level.len() > 1 {
+        let coarse = report.cells_per_level[0] as f64;
+        let fine_equiv = report.cells_per_level[1] as f64 / 4.0;
+        println!(
+            "fine-level coverage: {:.1}% of the domain",
+            100.0 * fine_equiv / coarse
+        );
+    }
+}

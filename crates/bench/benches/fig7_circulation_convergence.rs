@@ -1,0 +1,58 @@
+//! **Fig. 7** — convergence of the interfacial circulation
+//! `Γ = ∫_{0.001≤ζ≤0.999} ω·dA` as the mesh hierarchy is allowed 1, 2 and
+//! 3 levels. The paper: "we achieve convergence of the interfacial
+//! circulation deposition since there is no appreciable difference
+//! between the 2-level and 3-level runs. Further, the maximum deposition,
+//! corresponding to the 'knee' in the plot, is closest to the analytical
+//! estimate of −0.592 for the 3-level run."
+//!
+//! Scale note: our shock tube is nondimensional and coarser than the
+//! paper's, so the converged Γ differs in magnitude from −0.592; the
+//! reproduced *shape* is (a) Γ < 0, (b) |Γ| grows with refinement toward
+//! a converged value, (c) 2-level ≈ 3-level.
+
+use cca_apps::shock_interface::{run_shock_interface, ShockConfig};
+use cca_bench::banner;
+
+fn main() {
+    banner("Fig. 7", "circulation convergence with refinement, paper §4.3");
+    let mut knees = Vec::new();
+    let mut all_series = Vec::new();
+    for levels in [1usize, 2, 3] {
+        let cfg = ShockConfig {
+            nx: 32,
+            ny: 16,
+            max_levels: levels,
+            t_end_over_tau: 1.0,
+            regrid_interval: 4,
+            ..ShockConfig::default()
+        };
+        let (report, _) = run_shock_interface(&cfg).expect("shock run");
+        // The "knee": the extreme (most negative) deposition over the run.
+        let knee = report
+            .circulation_series
+            .iter()
+            .map(|(_, g)| *g)
+            .fold(0.0f64, f64::min);
+        println!("\n{levels}-level run: {} steps, knee Gamma = {knee:.4}", report.steps);
+        knees.push(knee);
+        all_series.push(report.circulation_series.clone());
+    }
+    println!("\nknee (max |deposition|) per hierarchy depth:");
+    for (levels, knee) in [1usize, 2, 3].iter().zip(&knees) {
+        println!("  {levels} level(s): Gamma_knee = {knee:.4}");
+    }
+    let d12 = (knees[1] - knees[0]).abs();
+    let d23 = (knees[2] - knees[1]).abs();
+    println!("\n|knee(2) - knee(1)| = {d12:.4}   |knee(3) - knee(2)| = {d23:.4}");
+    println!("convergence: the 2->3 difference should be the smaller one");
+    println!("(paper: no appreciable difference between 2- and 3-level runs;");
+    println!(" analytic knee for the paper's dimensional setup: -0.592)");
+
+    println!("\n# Gamma(t/tau) series per depth (CSV: levels, t_over_tau, gamma):");
+    for (levels, series) in [1usize, 2, 3].iter().zip(&all_series) {
+        for (t, g) in series.iter().filter(|(t, _)| *t > -0.2) {
+            println!("{levels},{t:.4},{g:.5}");
+        }
+    }
+}

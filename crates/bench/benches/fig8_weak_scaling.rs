@@ -1,0 +1,46 @@
+//! **Fig. 8** — constant-processor-workload timings vs machine size for
+//! per-rank meshes 50², 100², 175²: the three flat lines showing that
+//! "increasing the number of processors (and the problem size) does not
+//! make an appreciable difference".
+
+use cca_apps::scaling::{run_scaling, ScalingConfig};
+use cca_bench::banner;
+use cca_comm::ClusterModel;
+
+fn main() {
+    banner("Fig. 8", "weak scaling of the reaction-diffusion code, paper §5.2");
+    let model = ClusterModel::cplant();
+    let rank_counts = [1usize, 2, 4, 8, 12, 16, 24, 32, 48];
+    println!("P      t(50x50)[s]  t(100x100)[s]  t(175x175)[s]   (modeled)");
+    let mut first: Vec<f64> = Vec::new();
+    let mut last: Vec<f64> = Vec::new();
+    for &p in &rank_counts {
+        let mut row = Vec::new();
+        for n in [50i64, 100, 175] {
+            let t = run_scaling(
+                &ScalingConfig {
+                    n,
+                    per_rank: true,
+                    ranks: p,
+                    steps: 5,
+                    stages_per_step: 2,
+                    work_per_cell_var: 0.5,
+                },
+                model,
+            )
+            .modeled_time;
+            row.push(t);
+        }
+        println!(
+            "{p:3}    {:11.2}  {:13.2}  {:13.2}",
+            row[0], row[1], row[2]
+        );
+        if p == rank_counts[0] {
+            first = row.clone();
+        }
+        last = row;
+    }
+    println!("\nflatness (t_48 / t_1): {:.3}, {:.3}, {:.3}",
+        last[0] / first[0], last[1] / first[1], last[2] / first[2]);
+    println!("paper: visually flat lines; run times ordered by per-rank size.");
+}

@@ -1,0 +1,44 @@
+//! **Fig. 9** — constant-global-problem scalability: measured runtime vs
+//! the ideal `t₁/P` line for global meshes 200×200 and 350×350, up to 48
+//! ranks. The paper's worst parallel efficiency is 73% (200² on 48
+//! processors, a 29×29 tile per processor).
+
+use cca_apps::scaling::{run_scaling, ScalingConfig};
+use cca_bench::banner;
+use cca_comm::ClusterModel;
+
+fn main() {
+    banner("Fig. 9", "strong scaling vs ideal, paper §5.2");
+    let model = ClusterModel::cplant();
+    let rank_counts = [1usize, 2, 4, 8, 12, 16, 24, 32, 48];
+    for n in [200i64, 350] {
+        println!("\nglobal mesh {n} x {n}:");
+        println!("P      t[s] (modeled)   ideal t1/P   efficiency");
+        let mut t1 = 0.0;
+        let mut worst = 1.0f64;
+        for &p in &rank_counts {
+            let t = run_scaling(
+                &ScalingConfig {
+                    n,
+                    per_rank: false,
+                    ranks: p,
+                    steps: 5,
+                    stages_per_step: 2,
+                    work_per_cell_var: 0.5,
+                },
+                model,
+            )
+            .modeled_time;
+            if p == 1 {
+                t1 = t;
+            }
+            let ideal = t1 / p as f64;
+            let eff = ideal / t;
+            worst = worst.min(eff);
+            println!("{p:3}    {t:14.2}   {ideal:10.2}   {:9.1}%", eff * 100.0);
+        }
+        println!("worst efficiency for {n}x{n}: {:.1}%", worst * 100.0);
+    }
+    println!("\npaper: 350x350 follows the ideal closely; 200x200 droops,");
+    println!("worst efficiency 73% at P = 48 (29x29 per-processor tile).");
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmark of the invocation mechanisms behind Table 4
+//! and the paper's reference [11] ("CCA method invocations are
+//! consistently ≈3 times more expensive than simple Fortran subroutine
+//! invocations; however since the invocation overhead itself is
+//! O(10-100 ns), [it] is still insignificant compared to the time spent
+//! in the method execution").
+
+use cca_chem::h2_air_reduced_5;
+use cca_chem::kinetics::Mechanism;
+use cca_components::ports::ChemistrySourcePort;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::cell::Cell;
+use std::rc::Rc;
+
+struct DirectWrap {
+    mech: Mechanism,
+    calls: Cell<usize>,
+}
+
+impl ChemistrySourcePort for DirectWrap {
+    fn n_species(&self) -> usize {
+        self.mech.n_species()
+    }
+    fn molar_mass(&self, i: usize) -> f64 {
+        self.mech.species[i].molar_mass
+    }
+    fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]) {
+        self.calls.set(self.calls.get() + 1);
+        self.mech.production_rates(t, c, wdot);
+    }
+    fn h_molar(&self, i: usize, t: f64) -> f64 {
+        self.mech.species[i].h_molar(t)
+    }
+    fn u_molar(&self, i: usize, t: f64) -> f64 {
+        self.mech.species[i].u_molar(t)
+    }
+    fn cp_mass(&self, t: f64, y: &[f64]) -> f64 {
+        cca_chem::thermo::Mixture::new(&self.mech.species).cp_mass(t, y)
+    }
+    fn cv_mass(&self, t: f64, y: &[f64]) -> f64 {
+        cca_chem::thermo::Mixture::new(&self.mech.species).cv_mass(t, y)
+    }
+    fn mean_molar_mass(&self, y: &[f64]) -> f64 {
+        cca_chem::thermo::Mixture::new(&self.mech.species).mean_molar_mass(y)
+    }
+    fn density(&self, t: f64, p: f64, y: &[f64]) -> f64 {
+        cca_chem::thermo::Mixture::new(&self.mech.species).density(t, p, y)
+    }
+    fn calls(&self) -> usize {
+        self.calls.get()
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mech = h2_air_reduced_5();
+    let n = mech.n_species();
+    let conc = vec![1.0e-3; n];
+    let mut wdot = vec![0.0; n];
+
+    let mut group = c.benchmark_group("production_rates_dispatch");
+
+    // 1. Direct static call into the library.
+    let direct = mech.clone();
+    group.bench_function("direct_call", |b| {
+        b.iter(|| direct.production_rates(black_box(1200.0), black_box(&conc), &mut wdot))
+    });
+
+    // 2. One virtual call through an Rc<dyn Port> — the CCA uses-port path.
+    let port: Rc<dyn ChemistrySourcePort> = Rc::new(DirectWrap {
+        mech: mech.clone(),
+        calls: Cell::new(0),
+    });
+    group.bench_function("cca_port_call", |b| {
+        b.iter(|| port.production_rates(black_box(1200.0), black_box(&conc), &mut wdot))
+    });
+
+    // 3. The same port fetched through a full framework assembly — proves
+    // framework plumbing adds nothing per call.
+    let mut fw = cca_apps::palette::standard_palette();
+    fw.instantiate("ThermoChemistryReduced", "chem").unwrap();
+    let fw_port: Rc<dyn ChemistrySourcePort> =
+        fw.get_provides_port("chem", "chemistry").unwrap();
+    group.bench_function("framework_port_call", |b| {
+        b.iter(|| fw_port.production_rates(black_box(1200.0), black_box(&conc), &mut wdot))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

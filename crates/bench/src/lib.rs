@@ -1,0 +1,53 @@
+//! `cca-bench` — shared helpers for the experiment regenerators. Each
+//! table and figure of the paper's evaluation has its own bench target
+//! (see this crate's `Cargo.toml` and `EXPERIMENTS.md` at the workspace
+//! root); `cargo bench` runs them all and prints the paper-shaped rows.
+
+use std::time::Instant;
+
+/// Wall-clock a closure, returning `(result, seconds)`.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Best-of-`n` wall-clock of a closure (reduces single-core scheduling
+/// noise the way the paper's `getrusage` measurements did).
+pub fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..n.max(1) {
+        let (r, t) = timed(&mut f);
+        if t < best {
+            best = t;
+        }
+        out = Some(r);
+    }
+    (out.expect("n >= 1"), best)
+}
+
+/// Print a markdown-style header for an experiment.
+pub fn banner(id: &str, paper_ref: &str) {
+    println!("\n================================================================");
+    println!("== {id}  ({paper_ref})");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, t) = timed(|| (0..10_000).map(|i| i as f64).sum::<f64>());
+        assert!(v > 0.0);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn best_of_returns_min() {
+        let (_, t) = best_of(3, || std::thread::sleep(std::time::Duration::from_millis(1)));
+        assert!(t >= 0.0005);
+    }
+}

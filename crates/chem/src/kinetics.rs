@@ -1,0 +1,309 @@
+//! Elementary-reaction kinetics: modified Arrhenius forward rates, reverse
+//! rates from detailed balance, optional third bodies, net production
+//! rates. The number-crunching core behind the `ThermoChemistry`
+//! component's *RHS Evaluator* port.
+
+use crate::thermo::{Species, P_ATM, RU};
+
+/// 1 cal/mol in J/kmol — CHEMKIN activation energies are cal/mol.
+const CAL_PER_MOL: f64 = 4.184e3;
+
+/// An elementary (possibly reversible) reaction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reaction {
+    /// Human-readable equation, e.g. `"H+O2=O+OH"`.
+    pub equation: &'static str,
+    /// `(species index, stoichiometric coefficient)` of reactants.
+    pub reactants: Vec<(usize, f64)>,
+    /// `(species index, stoichiometric coefficient)` of products.
+    pub products: Vec<(usize, f64)>,
+    /// Pre-exponential factor in SI-kmol units (converted on construction).
+    pub a: f64,
+    /// Temperature exponent.
+    pub n: f64,
+    /// Activation energy, J/kmol.
+    pub ea: f64,
+    /// Reversible (reverse rate from the equilibrium constant)?
+    pub reversible: bool,
+    /// Third-body collision partners: `Some((default efficiency,
+    /// overrides))`; `None` for a plain bimolecular reaction.
+    pub third_body: Option<(f64, Vec<(usize, f64)>)>,
+}
+
+impl Reaction {
+    /// Construct from CHEMKIN-style literature units: `a_cgs` in
+    /// (cm³/mol)^(order−1)/s, `ea_cal` in cal/mol. `order` is the molecular
+    /// order of the forward reaction *including* any third body.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_cgs(
+        equation: &'static str,
+        reactants: Vec<(usize, f64)>,
+        products: Vec<(usize, f64)>,
+        a_cgs: f64,
+        n: f64,
+        ea_cal: f64,
+        reversible: bool,
+        third_body: Option<(f64, Vec<(usize, f64)>)>,
+    ) -> Self {
+        let mut order: f64 = reactants.iter().map(|(_, nu)| nu).sum();
+        if third_body.is_some() {
+            order += 1.0;
+        }
+        // cm³/mol -> m³/kmol is a factor 1e-3 per reaction-order above 1.
+        let a = a_cgs * 1.0e-3f64.powf(order - 1.0);
+        Reaction {
+            equation,
+            reactants,
+            products,
+            a,
+            n,
+            ea: ea_cal * CAL_PER_MOL,
+            reversible,
+            third_body,
+        }
+    }
+
+    /// Forward rate constant at `t` (SI-kmol units).
+    pub fn kf(&self, t: f64) -> f64 {
+        self.a * t.powf(self.n) * (-self.ea / (RU * t)).exp()
+    }
+
+    /// Net stoichiometry change Δν (products − reactants), for the
+    /// pressure factor of the equilibrium constant.
+    pub fn delta_nu(&self) -> f64 {
+        let p: f64 = self.products.iter().map(|(_, nu)| nu).sum();
+        let r: f64 = self.reactants.iter().map(|(_, nu)| nu).sum();
+        p - r
+    }
+
+    /// Concentration-based equilibrium constant `Kc` at `t` from the
+    /// species thermodynamics (detailed balance).
+    pub fn kc(&self, t: f64, species: &[Species]) -> f64 {
+        let mut ds_over_r = 0.0;
+        let mut dh_over_rt = 0.0;
+        for &(i, nu) in &self.products {
+            ds_over_r += nu * species[i].s_over_r(t);
+            dh_over_rt += nu * species[i].h_over_rt(t);
+        }
+        for &(i, nu) in &self.reactants {
+            ds_over_r -= nu * species[i].s_over_r(t);
+            dh_over_rt -= nu * species[i].h_over_rt(t);
+        }
+        let kp = (ds_over_r - dh_over_rt).exp();
+        kp * (P_ATM / (RU * t)).powf(self.delta_nu())
+    }
+}
+
+/// A reaction mechanism: species table + reaction list.
+#[derive(Clone, Debug)]
+pub struct Mechanism {
+    /// The species, in index order.
+    pub species: Vec<Species>,
+    /// The elementary reactions.
+    pub reactions: Vec<Reaction>,
+}
+
+impl Mechanism {
+    /// Number of species.
+    pub fn n_species(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Index of a species by name.
+    pub fn species_index(&self, name: &str) -> Option<usize> {
+        self.species.iter().position(|s| s.name == name)
+    }
+
+    /// Net molar production rates `ω̇` (kmol/m³/s) from temperature and
+    /// concentrations `c` (kmol/m³). `wdot` is fully overwritten.
+    pub fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]) {
+        debug_assert_eq!(c.len(), self.n_species());
+        debug_assert_eq!(wdot.len(), self.n_species());
+        wdot.fill(0.0);
+        for r in &self.reactions {
+            let kf = r.kf(t);
+            // Forward progress.
+            let mut qf = kf;
+            for &(i, nu) in &r.reactants {
+                qf *= pow_nu(c[i], nu);
+            }
+            // Reverse progress via detailed balance.
+            let mut qr = 0.0;
+            if r.reversible {
+                let kc = r.kc(t, &self.species);
+                if kc > 0.0 && kc.is_finite() {
+                    let kr = kf / kc;
+                    qr = kr;
+                    for &(i, nu) in &r.products {
+                        qr *= pow_nu(c[i], nu);
+                    }
+                }
+            }
+            let mut q = qf - qr;
+            // Third-body enhancement.
+            if let Some((default_eff, overrides)) = &r.third_body {
+                let mut m = 0.0;
+                'species: for (i, ci) in c.iter().enumerate() {
+                    for &(j, eff) in overrides {
+                        if j == i {
+                            m += eff * ci;
+                            continue 'species;
+                        }
+                    }
+                    m += default_eff * ci;
+                }
+                q *= m;
+            }
+            for &(i, nu) in &r.reactants {
+                wdot[i] -= nu * q;
+            }
+            for &(i, nu) in &r.products {
+                wdot[i] += nu * q;
+            }
+        }
+    }
+
+    /// Verify element balance of every reaction against an element
+    /// composition table `composition[species][element]`. Returns the
+    /// offending equation on failure — used by tests and by mechanism
+    /// constructors in debug builds.
+    pub fn check_element_balance(&self, composition: &[Vec<f64>]) -> Result<(), String> {
+        let n_elem = composition.first().map(|c| c.len()).unwrap_or(0);
+        for r in &self.reactions {
+            for e in 0..n_elem {
+                let mut net = 0.0;
+                for &(i, nu) in &r.products {
+                    net += nu * composition[i][e];
+                }
+                for &(i, nu) in &r.reactants {
+                    net -= nu * composition[i][e];
+                }
+                if net.abs() > 1e-10 {
+                    return Err(format!(
+                        "reaction '{}' unbalanced in element {e}: net {net}",
+                        r.equation
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `c^nu` specialised for the overwhelmingly common integer exponents.
+#[inline]
+fn pow_nu(c: f64, nu: f64) -> f64 {
+    if nu == 1.0 {
+        c
+    } else if nu == 2.0 {
+        c * c
+    } else {
+        c.max(0.0).powf(nu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::{h2_air_19, h2_composition};
+
+    #[test]
+    fn arrhenius_increases_with_temperature_for_positive_ea() {
+        let mech = h2_air_19();
+        let r = &mech.reactions[0]; // H+O2=O+OH, Ea ~ 16.44 kcal
+        assert!(r.kf(1500.0) > r.kf(1000.0));
+        assert!(r.kf(1000.0) > 0.0);
+    }
+
+    #[test]
+    fn all_19_reactions_balance_elements() {
+        let mech = h2_air_19();
+        mech.check_element_balance(&h2_composition(&mech)).unwrap();
+    }
+
+    #[test]
+    fn chain_branching_equilibrium_shifts_with_temperature() {
+        // H+O2=O+OH is endothermic (~16-17 kcal/mol): Kc grows with T.
+        let mech = h2_air_19();
+        let r = &mech.reactions[0];
+        let kc_low = r.kc(1000.0, &mech.species);
+        let kc_high = r.kc(2500.0, &mech.species);
+        assert!(kc_high > kc_low, "Kc: {kc_low} -> {kc_high}");
+    }
+
+    #[test]
+    fn recombination_kc_has_pressure_dimension() {
+        // H2+M=2H+M has delta_nu = +1 (excluding M).
+        let mech = h2_air_19();
+        let r = mech
+            .reactions
+            .iter()
+            .find(|r| r.equation.contains("H2+M"))
+            .unwrap();
+        assert_eq!(r.delta_nu(), 1.0);
+        // Dissociation at 1000 K is vanishingly small.
+        assert!(r.kc(1000.0, &mech.species) < 1e-10);
+    }
+
+    #[test]
+    fn production_rates_conserve_mass() {
+        // Σ ω̇_i W_i = 0 for any state (element conservation implies mass).
+        let mech = h2_air_19();
+        let n = mech.n_species();
+        let mut c = vec![1e-3; n];
+        c[0] = 5e-3;
+        c[3] = 2e-4;
+        let mut wdot = vec![0.0; n];
+        for t in [800.0, 1200.0, 2000.0, 3000.0] {
+            mech.production_rates(t, &c, &mut wdot);
+            let mass_rate: f64 = wdot
+                .iter()
+                .zip(&mech.species)
+                .map(|(w, s)| w * s.molar_mass)
+                .sum();
+            let scale: f64 = wdot
+                .iter()
+                .zip(&mech.species)
+                .map(|(w, s)| (w * s.molar_mass).abs())
+                .sum::<f64>()
+                .max(1e-300);
+            assert!(
+                (mass_rate / scale).abs() < 1e-10,
+                "T={t}: mass rate {mass_rate:e} vs scale {scale:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn inert_n2_never_produced() {
+        let mech = h2_air_19();
+        let i_n2 = mech.species_index("N2").unwrap();
+        let n = mech.n_species();
+        let c = vec![2e-3; n];
+        let mut wdot = vec![0.0; n];
+        mech.production_rates(1500.0, &c, &mut wdot);
+        assert_eq!(wdot[i_n2], 0.0);
+    }
+
+    #[test]
+    fn zero_concentrations_give_zero_rates() {
+        let mech = h2_air_19();
+        let n = mech.n_species();
+        let c = vec![0.0; n];
+        let mut wdot = vec![1.0; n];
+        mech.production_rates(1500.0, &c, &mut wdot);
+        assert!(wdot.iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn unit_conversion_bimolecular() {
+        // A bimolecular A of 1e14 cm³/mol/s must become 1e11 m³/kmol/s.
+        let r = Reaction::from_cgs("X+Y=Z+W", vec![(0, 1.0), (1, 1.0)],
+            vec![(2, 1.0), (3, 1.0)], 1.0e14, 0.0, 0.0, false, None);
+        assert!((r.a - 1.0e11).abs() < 1e-3 * 1.0e11);
+        // Termolecular (2 reactants + M): 1e16 cm⁶/mol²/s -> 1e10 m⁶/kmol²/s.
+        let r3 = Reaction::from_cgs("X+Y+M=Z+M", vec![(0, 1.0), (1, 1.0)],
+            vec![(2, 1.0)], 1.0e16, 0.0, 0.0, false, Some((1.0, vec![])));
+        assert!((r3.a - 1.0e10).abs() < 1e-3 * 1.0e10);
+    }
+}

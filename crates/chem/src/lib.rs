@@ -1,0 +1,33 @@
+//! `cca-chem` — the thermochemistry substrate: the reproduction of the
+//! CHEMKIN-style Fortran 77 libraries the paper wraps into its
+//! `ThermoChemistry` component.
+//!
+//! Contents:
+//!
+//! * [`thermo`] — NASA-7 polynomial thermodynamics (cp, h, s per species,
+//!   mixture properties, ideal-gas relations);
+//! * [`kinetics`] — elementary-reaction kinetics: modified Arrhenius
+//!   forward rates, reverse rates from equilibrium constants (detailed
+//!   balance), third-body enhancements, and net molar production rates;
+//! * [`mechanisms`] — the H₂–air mechanism with **9 species and 19
+//!   reversible reactions** (Yetter/Mueller lineage, paper §4.1) and the
+//!   reduced **8-species / 5-reaction** variant used for the Table 4
+//!   serial-overhead study;
+//! * [`systems`] — ready-made ODE systems: constant-volume ignition (the
+//!   0D problem, rigid walls, with the pressure evolution the paper's
+//!   `dPdt` component computes) and constant-pressure reaction (the point
+//!   chemistry of the 2D reaction–diffusion flame).
+//!
+//! Units are SI-kmol throughout: kg, m, s, K, kmol; the universal gas
+//! constant is `R = 8314.46 J/(kmol·K)`. Literature Arrhenius constants in
+//! cm³-mol units are converted at mechanism-construction time.
+
+pub mod kinetics;
+pub mod mechanisms;
+pub mod systems;
+pub mod thermo;
+
+pub use kinetics::{Mechanism, Reaction};
+pub use mechanisms::{h2_air_19, h2_air_reduced_5};
+pub use systems::{ConstantPressureKinetics, ConstantVolumeIgnition};
+pub use thermo::{Species, RU};

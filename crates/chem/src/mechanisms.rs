@@ -1,0 +1,423 @@
+//! Concrete mechanisms.
+//!
+//! * [`h2_air_19`] — hydrogen–air with 9 species and 19 reversible
+//!   reactions, the mechanism of the paper's 0D ignition and 2D
+//!   reaction–diffusion studies (§4.1–4.2; Yetter/Mueller lineage rate
+//!   constants, GRI-3.0 NASA-7 thermodynamic fits).
+//! * [`h2_air_reduced_5`] — the deliberately light 8-species, 5-reaction
+//!   variant the paper built for the Table 4 serial-overhead experiment
+//!   ("we deliberately used a light-weight RHS, so that the virtual
+//!   function call would be a larger fraction of the computational time").
+
+use crate::kinetics::{Mechanism, Reaction};
+use crate::thermo::Species;
+
+/// Species indices of [`h2_air_19`], in order.
+pub mod idx {
+    /// H₂ molecular hydrogen.
+    pub const H2: usize = 0;
+    /// O₂ molecular oxygen.
+    pub const O2: usize = 1;
+    /// O atomic oxygen.
+    pub const O: usize = 2;
+    /// OH hydroxyl radical.
+    pub const OH: usize = 3;
+    /// H atomic hydrogen.
+    pub const H: usize = 4;
+    /// H₂O water.
+    pub const H2O: usize = 5;
+    /// HO₂ hydroperoxyl radical.
+    pub const HO2: usize = 6;
+    /// H₂O₂ hydrogen peroxide.
+    pub const H2O2: usize = 7;
+    /// N₂ nitrogen (inert bath gas).
+    pub const N2: usize = 8;
+}
+
+fn species_table() -> Vec<Species> {
+    // NASA-7 fits from the GRI-Mech 3.0 thermodynamic database
+    // (300-1000 K low range, 1000-3500/5000 K high range).
+    vec![
+        Species {
+            name: "H2",
+            molar_mass: 2.016,
+            nasa_low: [
+                2.34433112e+00, 7.98052075e-03, -1.94781510e-05, 2.01572094e-08,
+                -7.37611761e-12, -9.17935173e+02, 6.83010238e-01,
+            ],
+            nasa_high: [
+                3.33727920e+00, -4.94024731e-05, 4.99456778e-07, -1.79566394e-10,
+                2.00255376e-14, -9.50158922e+02, -3.20502331e+00,
+            ],
+            t_mid: 1000.0,
+        },
+        Species {
+            name: "O2",
+            molar_mass: 31.998,
+            nasa_low: [
+                3.78245636e+00, -2.99673416e-03, 9.84730201e-06, -9.68129509e-09,
+                3.24372837e-12, -1.06394356e+03, 3.65767573e+00,
+            ],
+            nasa_high: [
+                3.28253784e+00, 1.48308754e-03, -7.57966669e-07, 2.09470555e-10,
+                -2.16717794e-14, -1.08845772e+03, 5.45323129e+00,
+            ],
+            t_mid: 1000.0,
+        },
+        Species {
+            name: "O",
+            molar_mass: 15.999,
+            nasa_low: [
+                3.16826710e+00, -3.27931884e-03, 6.64306396e-06, -6.12806624e-09,
+                2.11265971e-12, 2.91222592e+04, 2.05193346e+00,
+            ],
+            nasa_high: [
+                2.56942078e+00, -8.59741137e-05, 4.19484589e-08, -1.00177799e-11,
+                1.22833691e-15, 2.92175791e+04, 4.78433864e+00,
+            ],
+            t_mid: 1000.0,
+        },
+        Species {
+            name: "OH",
+            molar_mass: 17.007,
+            nasa_low: [
+                3.99201543e+00, -2.40131752e-03, 4.61793841e-06, -3.88113333e-09,
+                1.36411470e-12, 3.61508056e+03, -1.03925458e-01,
+            ],
+            nasa_high: [
+                3.09288767e+00, 5.48429716e-04, 1.26505228e-07, -8.79461556e-11,
+                1.17412376e-14, 3.85865700e+03, 4.47669610e+00,
+            ],
+            t_mid: 1000.0,
+        },
+        Species {
+            name: "H",
+            molar_mass: 1.008,
+            nasa_low: [
+                2.50000000e+00, 7.05332819e-13, -1.99591964e-15, 2.30081632e-18,
+                -9.27732332e-22, 2.54736599e+04, -4.46682853e-01,
+            ],
+            nasa_high: [
+                2.50000001e+00, -2.30842973e-11, 1.61561948e-14, -4.73515235e-18,
+                4.98197357e-22, 2.54736599e+04, -4.46682914e-01,
+            ],
+            t_mid: 1000.0,
+        },
+        Species {
+            name: "H2O",
+            molar_mass: 18.015,
+            nasa_low: [
+                4.19864056e+00, -2.03643410e-03, 6.52040211e-06, -5.48797062e-09,
+                1.77197817e-12, -3.02937267e+04, -8.49032208e-01,
+            ],
+            nasa_high: [
+                3.03399249e+00, 2.17691804e-03, -1.64072518e-07, -9.70419870e-11,
+                1.68200992e-14, -3.00042971e+04, 4.96677010e+00,
+            ],
+            t_mid: 1000.0,
+        },
+        Species {
+            name: "HO2",
+            molar_mass: 33.006,
+            nasa_low: [
+                4.30179801e+00, -4.74912051e-03, 2.11582891e-05, -2.42763894e-08,
+                9.29225124e-12, 2.94808040e+02, 3.71666245e+00,
+            ],
+            nasa_high: [
+                4.01721090e+00, 2.23982013e-03, -6.33658150e-07, 1.14246370e-10,
+                -1.07908535e-14, 1.11856713e+02, 3.78510215e+00,
+            ],
+            t_mid: 1000.0,
+        },
+        Species {
+            name: "H2O2",
+            molar_mass: 34.014,
+            nasa_low: [
+                4.27611269e+00, -5.42822417e-04, 1.67335701e-05, -2.15770813e-08,
+                8.62454363e-12, -1.77025821e+04, 3.43505074e+00,
+            ],
+            nasa_high: [
+                4.16500285e+00, 4.90831694e-03, -1.90139225e-06, 3.71185986e-10,
+                -2.87908305e-14, -1.78617877e+04, 2.91615662e+00,
+            ],
+            t_mid: 1000.0,
+        },
+        Species {
+            name: "N2",
+            molar_mass: 28.014,
+            nasa_low: [
+                3.29867700e+00, 1.40824040e-03, -3.96322200e-06, 5.64151500e-09,
+                -2.44485400e-12, -1.02089990e+03, 3.95037200e+00,
+            ],
+            nasa_high: [
+                2.92664000e+00, 1.48797680e-03, -5.68476000e-07, 1.00970380e-10,
+                -6.75335100e-15, -9.22797700e+02, 5.98052800e+00,
+            ],
+            t_mid: 1000.0,
+        },
+    ]
+}
+
+/// The 9-species, 19-reversible-reaction H₂–air mechanism (paper §4.1:
+/// "We use a H₂–Air mechanism with 9 species and 19 reversible reactions").
+/// Rate constants follow the Yetter/Mueller H₂/O₂ mechanism as tabulated in
+/// the combustion literature (A in cm³-mol units, Ea in cal/mol, converted
+/// internally to SI-kmol).
+pub fn h2_air_19() -> Mechanism {
+    use idx::*;
+    let s = species_table();
+    // Enhanced third-body efficiencies shared by the recombination steps.
+    let tb = |over: Vec<(usize, f64)>| Some((1.0, over));
+    let reactions = vec![
+        // --- H2/O2 chain reactions ---
+        Reaction::from_cgs(
+            "H+O2=O+OH",
+            vec![(H, 1.0), (O2, 1.0)],
+            vec![(O, 1.0), (OH, 1.0)],
+            1.915e14, 0.0, 16_440.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "O+H2=H+OH",
+            vec![(O, 1.0), (H2, 1.0)],
+            vec![(H, 1.0), (OH, 1.0)],
+            5.080e04, 2.67, 6_290.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "OH+H2=H+H2O",
+            vec![(OH, 1.0), (H2, 1.0)],
+            vec![(H, 1.0), (H2O, 1.0)],
+            2.160e08, 1.51, 3_430.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "O+H2O=OH+OH",
+            vec![(O, 1.0), (H2O, 1.0)],
+            vec![(OH, 2.0)],
+            2.970e06, 2.02, 13_400.0, true, None,
+        ),
+        // --- dissociation / recombination ---
+        Reaction::from_cgs(
+            "H2+M=H+H+M",
+            vec![(H2, 1.0)],
+            vec![(H, 2.0)],
+            4.577e19, -1.40, 104_380.0, true,
+            tb(vec![(H2, 2.5), (H2O, 12.0)]),
+        ),
+        Reaction::from_cgs(
+            "O+O+M=O2+M",
+            vec![(O, 2.0)],
+            vec![(O2, 1.0)],
+            6.165e15, -0.50, 0.0, true,
+            tb(vec![(H2, 2.5), (H2O, 12.0)]),
+        ),
+        Reaction::from_cgs(
+            "O+H+M=OH+M",
+            vec![(O, 1.0), (H, 1.0)],
+            vec![(OH, 1.0)],
+            4.714e18, -1.00, 0.0, true,
+            tb(vec![(H2, 2.5), (H2O, 12.0)]),
+        ),
+        Reaction::from_cgs(
+            "H+OH+M=H2O+M",
+            vec![(H, 1.0), (OH, 1.0)],
+            vec![(H2O, 1.0)],
+            3.800e22, -2.00, 0.0, true,
+            tb(vec![(H2, 2.5), (H2O, 12.0)]),
+        ),
+        // --- HO2 formation and consumption ---
+        Reaction::from_cgs(
+            "H+O2+M=HO2+M",
+            vec![(H, 1.0), (O2, 1.0)],
+            vec![(HO2, 1.0)],
+            6.170e19, -1.42, 0.0, true,
+            tb(vec![(H2, 2.5), (H2O, 12.0)]),
+        ),
+        Reaction::from_cgs(
+            "HO2+H=H2+O2",
+            vec![(HO2, 1.0), (H, 1.0)],
+            vec![(H2, 1.0), (O2, 1.0)],
+            1.660e13, 0.0, 823.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "HO2+H=OH+OH",
+            vec![(HO2, 1.0), (H, 1.0)],
+            vec![(OH, 2.0)],
+            7.079e13, 0.0, 295.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "HO2+O=OH+O2",
+            vec![(HO2, 1.0), (O, 1.0)],
+            vec![(OH, 1.0), (O2, 1.0)],
+            3.250e13, 0.0, 0.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "HO2+OH=H2O+O2",
+            vec![(HO2, 1.0), (OH, 1.0)],
+            vec![(H2O, 1.0), (O2, 1.0)],
+            2.890e13, 0.0, -497.0, true, None,
+        ),
+        // --- H2O2 chemistry ---
+        Reaction::from_cgs(
+            "HO2+HO2=H2O2+O2",
+            vec![(HO2, 2.0)],
+            vec![(H2O2, 1.0), (O2, 1.0)],
+            4.200e14, 0.0, 11_980.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "H2O2+M=OH+OH+M",
+            vec![(H2O2, 1.0)],
+            vec![(OH, 2.0)],
+            1.202e17, 0.0, 45_500.0, true,
+            tb(vec![(H2, 2.5), (H2O, 12.0)]),
+        ),
+        Reaction::from_cgs(
+            "H2O2+H=H2O+OH",
+            vec![(H2O2, 1.0), (H, 1.0)],
+            vec![(H2O, 1.0), (OH, 1.0)],
+            2.410e13, 0.0, 3_970.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "H2O2+H=H2+HO2",
+            vec![(H2O2, 1.0), (H, 1.0)],
+            vec![(H2, 1.0), (HO2, 1.0)],
+            4.820e13, 0.0, 7_950.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "H2O2+O=OH+HO2",
+            vec![(H2O2, 1.0), (O, 1.0)],
+            vec![(OH, 1.0), (HO2, 1.0)],
+            9.550e06, 2.0, 3_970.0, true, None,
+        ),
+        Reaction::from_cgs(
+            "H2O2+OH=H2O+HO2",
+            vec![(H2O2, 1.0), (OH, 1.0)],
+            vec![(H2O, 1.0), (HO2, 1.0)],
+            1.000e12, 0.0, 0.0, true, None,
+        ),
+    ];
+    let mech = Mechanism {
+        species: s,
+        reactions,
+    };
+    debug_assert!(mech.check_element_balance(&h2_composition(&mech)).is_ok());
+    mech
+}
+
+/// The reduced 8-species / 5-reaction mechanism of the Table 4 overhead
+/// study ("the utilized mechanism had 8 species and 5 reactions"): H₂O₂ is
+/// dropped and only the shuffle/chain + HO₂ steps are kept.
+pub fn h2_air_reduced_5() -> Mechanism {
+    let full = h2_air_19();
+    let keep = [
+        "H+O2=O+OH",
+        "O+H2=H+OH",
+        "OH+H2=H+H2O",
+        "HO2+H=OH+OH",
+        "HO2+OH=H2O+O2",
+    ];
+    // Drop H2O2 (index 7): species become H2,O2,O,OH,H,H2O,HO2,N2.
+    let mut species = full.species.clone();
+    species.remove(idx::H2O2);
+    let remap = |i: usize| -> usize {
+        assert_ne!(i, idx::H2O2, "reduced mechanism must not use H2O2");
+        if i > idx::H2O2 {
+            i - 1
+        } else {
+            i
+        }
+    };
+    let reactions = full
+        .reactions
+        .iter()
+        .filter(|r| keep.contains(&r.equation))
+        .map(|r| {
+            let mut r = r.clone();
+            r.reactants = r.reactants.iter().map(|&(i, nu)| (remap(i), nu)).collect();
+            r.products = r.products.iter().map(|&(i, nu)| (remap(i), nu)).collect();
+            r.third_body = r.third_body.as_ref().map(|(d, over)| {
+                (*d, over.iter().map(|&(i, e)| (remap(i), e)).collect())
+            });
+            r
+        })
+        .collect::<Vec<_>>();
+    assert_eq!(reactions.len(), 5, "expected exactly 5 kept reactions");
+    Mechanism { species, reactions }
+}
+
+/// Element composition table `[species][H, O, N]` for a mechanism whose
+/// species are drawn from the H/O/N system (both mechanisms here).
+pub fn h2_composition(mech: &Mechanism) -> Vec<Vec<f64>> {
+    mech.species
+        .iter()
+        .map(|s| match s.name {
+            "H2" => vec![2.0, 0.0, 0.0],
+            "O2" => vec![0.0, 2.0, 0.0],
+            "O" => vec![0.0, 1.0, 0.0],
+            "OH" => vec![1.0, 1.0, 0.0],
+            "H" => vec![1.0, 0.0, 0.0],
+            "H2O" => vec![2.0, 1.0, 0.0],
+            "HO2" => vec![1.0, 2.0, 0.0],
+            "H2O2" => vec![2.0, 2.0, 0.0],
+            "N2" => vec![0.0, 0.0, 2.0],
+            other => panic!("unknown species {other}"),
+        })
+        .collect()
+}
+
+/// Stoichiometric H₂–air mass fractions (φ = 1): 2 H₂ + O₂ + 3.76 N₂.
+/// Returns a vector indexed like [`h2_air_19`]'s species table.
+pub fn stoichiometric_h2_air() -> Vec<f64> {
+    let w_h2 = 2.0 * 2.016;
+    let w_o2 = 31.998;
+    let w_n2 = 3.76 * 28.014;
+    let total = w_h2 + w_o2 + w_n2;
+    let mut y = vec![0.0; 9];
+    y[idx::H2] = w_h2 / total;
+    y[idx::O2] = w_o2 / total;
+    y[idx::N2] = w_n2 / total;
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mechanism_has_paper_dimensions() {
+        let m = h2_air_19();
+        assert_eq!(m.n_species(), 9);
+        assert_eq!(m.reactions.len(), 19);
+        assert!(m.reactions.iter().all(|r| r.reversible));
+    }
+
+    #[test]
+    fn reduced_mechanism_has_paper_dimensions() {
+        let m = h2_air_reduced_5();
+        assert_eq!(m.n_species(), 8);
+        assert_eq!(m.reactions.len(), 5);
+        assert!(m.species_index("H2O2").is_none());
+        m.check_element_balance(&h2_composition(&m)).unwrap();
+    }
+
+    #[test]
+    fn stoichiometric_mixture_sums_to_one() {
+        let y = stoichiometric_h2_air();
+        let s: f64 = y.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        // H2 mass fraction of a phi=1 H2-air mixture is ~2.85%.
+        assert!((y[idx::H2] - 0.0285).abs() < 0.001, "Y_H2 = {}", y[idx::H2]);
+    }
+
+    #[test]
+    fn reduced_species_indices_remap_correctly() {
+        let m = h2_air_reduced_5();
+        // N2 shifted from 8 to 7.
+        assert_eq!(m.species_index("N2"), Some(7));
+        assert_eq!(m.species_index("HO2"), Some(6));
+        // All reaction indices in range.
+        for r in &m.reactions {
+            for &(i, _) in r.reactants.iter().chain(&r.products) {
+                assert!(i < m.n_species());
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! NASA-7 polynomial thermodynamics.
+//!
+//! Each species carries two 7-coefficient fits (low/high temperature,
+//! joined at `t_mid`):
+//!
+//! ```text
+//! cp/R   = a1 + a2 T + a3 T² + a4 T³ + a5 T⁴
+//! h/(RT) = a1 + a2/2 T + a3/3 T² + a4/4 T³ + a5/5 T⁴ + a6/T
+//! s/R    = a1 ln T + a2 T + a3/2 T² + a4/3 T³ + a5/4 T⁴ + a7
+//! ```
+
+/// Universal gas constant, J/(kmol·K).
+pub const RU: f64 = 8314.462618;
+
+/// Standard-state pressure for equilibrium constants, Pa.
+pub const P_ATM: f64 = 101_325.0;
+
+/// One chemical species with NASA-7 thermodynamic data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Species {
+    /// CHEMKIN-style name, e.g. `"H2O"`.
+    pub name: &'static str,
+    /// Molar mass, kg/kmol.
+    pub molar_mass: f64,
+    /// Coefficients valid below [`Species::t_mid`].
+    pub nasa_low: [f64; 7],
+    /// Coefficients valid above [`Species::t_mid`].
+    pub nasa_high: [f64; 7],
+    /// Junction temperature of the two fits, K.
+    pub t_mid: f64,
+}
+
+impl Species {
+    fn coeffs(&self, t: f64) -> &[f64; 7] {
+        if t < self.t_mid {
+            &self.nasa_low
+        } else {
+            &self.nasa_high
+        }
+    }
+
+    /// Dimensionless heat capacity `cp/R` at `t` (K).
+    pub fn cp_over_r(&self, t: f64) -> f64 {
+        let a = self.coeffs(t);
+        a[0] + t * (a[1] + t * (a[2] + t * (a[3] + t * a[4])))
+    }
+
+    /// Dimensionless enthalpy `h/(R T)` at `t` (K), including the heat of
+    /// formation.
+    pub fn h_over_rt(&self, t: f64) -> f64 {
+        let a = self.coeffs(t);
+        a[0] + t * (a[1] / 2.0 + t * (a[2] / 3.0 + t * (a[3] / 4.0 + t * a[4] / 5.0))) + a[5] / t
+    }
+
+    /// Dimensionless standard-state entropy `s°/R` at `t` (K).
+    pub fn s_over_r(&self, t: f64) -> f64 {
+        let a = self.coeffs(t);
+        a[0] * t.ln() + t * (a[1] + t * (a[2] / 2.0 + t * (a[3] / 3.0 + t * a[4] / 4.0))) + a[6]
+    }
+
+    /// Molar heat capacity, J/(kmol·K).
+    pub fn cp_molar(&self, t: f64) -> f64 {
+        self.cp_over_r(t) * RU
+    }
+
+    /// Molar enthalpy, J/kmol.
+    pub fn h_molar(&self, t: f64) -> f64 {
+        self.h_over_rt(t) * RU * t
+    }
+
+    /// Molar internal energy `u = h − R T`, J/kmol.
+    pub fn u_molar(&self, t: f64) -> f64 {
+        self.h_molar(t) - RU * t
+    }
+
+    /// Mass-specific heat capacity, J/(kg·K).
+    pub fn cp_mass(&self, t: f64) -> f64 {
+        self.cp_molar(t) / self.molar_mass
+    }
+
+    /// Mass-specific enthalpy, J/kg.
+    pub fn h_mass(&self, t: f64) -> f64 {
+        self.h_molar(t) / self.molar_mass
+    }
+}
+
+/// Mixture-level helpers over a species table and a mass-fraction vector.
+pub struct Mixture<'a> {
+    /// The species table.
+    pub species: &'a [Species],
+}
+
+impl<'a> Mixture<'a> {
+    /// New mixture over the given species table.
+    pub fn new(species: &'a [Species]) -> Self {
+        Mixture { species }
+    }
+
+    /// Mean molar mass from mass fractions, kg/kmol.
+    pub fn mean_molar_mass(&self, y: &[f64]) -> f64 {
+        let inv: f64 = y
+            .iter()
+            .zip(self.species)
+            .map(|(yi, s)| yi / s.molar_mass)
+            .sum();
+        1.0 / inv
+    }
+
+    /// Mixture mass-specific heat capacity at constant pressure, J/(kg·K).
+    pub fn cp_mass(&self, t: f64, y: &[f64]) -> f64 {
+        y.iter()
+            .zip(self.species)
+            .map(|(yi, s)| yi * s.cp_mass(t))
+            .sum()
+    }
+
+    /// Mixture mass-specific heat capacity at constant volume, J/(kg·K):
+    /// `cv = cp − R/W̄`.
+    pub fn cv_mass(&self, t: f64, y: &[f64]) -> f64 {
+        self.cp_mass(t, y) - RU / self.mean_molar_mass(y)
+    }
+
+    /// Ideal-gas density, kg/m³.
+    pub fn density(&self, t: f64, p: f64, y: &[f64]) -> f64 {
+        p * self.mean_molar_mass(y) / (RU * t)
+    }
+
+    /// Ideal-gas pressure, Pa.
+    pub fn pressure(&self, t: f64, rho: f64, y: &[f64]) -> f64 {
+        rho * RU * t / self.mean_molar_mass(y)
+    }
+
+    /// Molar concentrations (kmol/m³) from density and mass fractions.
+    pub fn concentrations(&self, rho: f64, y: &[f64], c: &mut [f64]) {
+        for ((ci, yi), s) in c.iter_mut().zip(y).zip(self.species) {
+            *ci = rho * yi / s.molar_mass;
+        }
+    }
+
+    /// Mole fractions from mass fractions.
+    pub fn mole_fractions(&self, y: &[f64], x: &mut [f64]) {
+        let w = self.mean_molar_mass(y);
+        for ((xi, yi), s) in x.iter_mut().zip(y).zip(self.species) {
+            *xi = yi * w / s.molar_mass;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::h2_air_19;
+
+    fn find(name: &str) -> Species {
+        h2_air_19()
+            .species
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn n2_cp_room_temperature() {
+        // N2 cp(300 K) ≈ 29.1 kJ/(kmol·K) -> cp/R ≈ 3.50.
+        let n2 = find("N2");
+        let cp = n2.cp_over_r(300.0);
+        assert!((cp - 3.50).abs() < 0.03, "cp/R = {cp}");
+    }
+
+    #[test]
+    fn water_heat_of_formation() {
+        // h(298.15 K) of H2O = -241.83 MJ/kmol... (kJ/mol) within 1%.
+        let h2o = find("H2O");
+        let h = h2o.h_molar(298.15);
+        assert!(
+            (h - (-241.83e6)).abs() < 0.01 * 241.83e6,
+            "h = {h:e} J/kmol"
+        );
+    }
+
+    #[test]
+    fn radical_heats_of_formation() {
+        // OH: +37.3 kJ/mol (GRI-3.0 value ~ 37.0-39.0); H: +218.0 kJ/mol;
+        // O: +249.2 kJ/mol.
+        for (name, expect_mj) in [("H", 217.99e6), ("O", 249.17e6)] {
+            let s = find(name);
+            let h = s.h_molar(298.15);
+            assert!(
+                (h - expect_mj).abs() < 0.02 * expect_mj,
+                "{name}: h = {h:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_high_fits_are_continuous() {
+        for s in h2_air_19().species {
+            let t = s.t_mid;
+            let below = s.nasa_low;
+            let above = s.nasa_high;
+            let cp_lo = below[0] + t * (below[1] + t * (below[2] + t * (below[3] + t * below[4])));
+            let cp_hi = above[0] + t * (above[1] + t * (above[2] + t * (above[3] + t * above[4])));
+            assert!(
+                (cp_lo - cp_hi).abs() < 2e-3 * cp_lo.abs(),
+                "{}: cp jump {cp_lo} vs {cp_hi}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn mixture_molar_mass_of_air() {
+        let mech = h2_air_19();
+        let mix = Mixture::new(&mech.species);
+        let mut y = vec![0.0; mech.species.len()];
+        let i_o2 = mech.species_index("O2").unwrap();
+        let i_n2 = mech.species_index("N2").unwrap();
+        y[i_o2] = 0.233;
+        y[i_n2] = 0.767;
+        let w = mix.mean_molar_mass(&y);
+        assert!((w - 28.85).abs() < 0.1, "W_air = {w}");
+        // Density of air at 300 K, 1 atm ≈ 1.177 kg/m³.
+        let rho = mix.density(300.0, P_ATM, &y);
+        assert!((rho - 1.177).abs() < 0.01, "rho = {rho}");
+    }
+
+    #[test]
+    fn cp_cv_gamma_of_air() {
+        let mech = h2_air_19();
+        let mix = Mixture::new(&mech.species);
+        let mut y = vec![0.0; mech.species.len()];
+        y[mech.species_index("O2").unwrap()] = 0.233;
+        y[mech.species_index("N2").unwrap()] = 0.767;
+        let gamma = mix.cp_mass(300.0, &y) / mix.cv_mass(300.0, &y);
+        assert!((gamma - 1.40).abs() < 0.01, "gamma = {gamma}");
+    }
+
+    #[test]
+    fn mole_fractions_sum_to_one() {
+        let mech = h2_air_19();
+        let mix = Mixture::new(&mech.species);
+        let n = mech.species.len();
+        let y: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let total: f64 = y.iter().sum();
+        let y: Vec<f64> = y.iter().map(|v| v / total).collect();
+        let mut x = vec![0.0; n];
+        mix.mole_fractions(&y, &mut x);
+        let s: f64 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_increases_with_temperature() {
+        let h2 = find("H2");
+        assert!(h2.s_over_r(1500.0) > h2.s_over_r(300.0));
+    }
+}

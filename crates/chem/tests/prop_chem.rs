@@ -1,0 +1,133 @@
+//! Property-based tests of the thermochemistry substrate.
+
+use cca_chem::mechanisms::{h2_air_19, h2_air_reduced_5, h2_composition};
+use cca_chem::thermo::Mixture;
+use proptest::prelude::*;
+
+/// Random physical concentration vectors (kmol/m³).
+fn arb_conc(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..5e-2, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Element conservation: Σ_i ω̇_i × (atoms of e in i) = 0 for every
+    /// element, any temperature, any composition — for both mechanisms.
+    #[test]
+    fn production_rates_conserve_elements(
+        c in arb_conc(9),
+        t in 500.0f64..3200.0,
+    ) {
+        for mech in [h2_air_19(), h2_air_reduced_5()] {
+            let n = mech.n_species();
+            let comp = h2_composition(&mech);
+            let mut wdot = vec![0.0; n];
+            mech.production_rates(t, &c[..n], &mut wdot);
+            for e in 0..3 {
+                let net: f64 = (0..n).map(|i| wdot[i] * comp[i][e]).sum();
+                let scale: f64 = (0..n)
+                    .map(|i| (wdot[i] * comp[i][e]).abs())
+                    .sum::<f64>()
+                    .max(1e-300);
+                prop_assert!((net / scale).abs() < 1e-9,
+                    "element {} violated at T={}: {}", e, t, net);
+            }
+        }
+    }
+
+    /// Mass conservation: Σ ω̇_i W_i = 0 (follows from elements, but
+    /// tested directly as the quantity the energy equation relies on).
+    #[test]
+    fn production_rates_conserve_mass(c in arb_conc(9), t in 500.0f64..3200.0) {
+        let mech = h2_air_19();
+        let mut wdot = vec![0.0; 9];
+        mech.production_rates(t, &c, &mut wdot);
+        let rate: f64 = wdot.iter().zip(&mech.species).map(|(w, s)| w * s.molar_mass).sum();
+        let scale: f64 = wdot
+            .iter()
+            .zip(&mech.species)
+            .map(|(w, s)| (w * s.molar_mass).abs())
+            .sum::<f64>()
+            .max(1e-300);
+        prop_assert!((rate / scale).abs() < 1e-9, "mass rate {}", rate);
+    }
+
+    /// Thermodynamic identities: h(T) is differentiable with dh/dT = cp
+    /// (checked by finite differences), for every species over the fit
+    /// range.
+    #[test]
+    fn enthalpy_derivative_is_cp(t in 350.0f64..2900.0, idx in 0usize..9) {
+        let mech = h2_air_19();
+        let s = &mech.species[idx];
+        let dt = 0.01;
+        // Keep the stencil on one side of the low/high junction.
+        prop_assume!((t - s.t_mid).abs() > 2.0 * dt);
+        let dh = (s.h_molar(t + dt) - s.h_molar(t - dt)) / (2.0 * dt);
+        let cp = s.cp_molar(t);
+        prop_assert!((dh - cp).abs() < 1e-4 * cp.abs(),
+            "{}: dh/dT = {} vs cp = {}", s.name, dh, cp);
+    }
+
+    /// Mixture identities: W̄ is bounded by the lightest/heaviest species;
+    /// cp > cv > 0; density scales linearly with pressure.
+    #[test]
+    fn mixture_identities(
+        raw in proptest::collection::vec(1e-6f64..1.0, 9),
+        t in 300.0f64..3000.0,
+    ) {
+        let mech = h2_air_19();
+        let total: f64 = raw.iter().sum();
+        let y: Vec<f64> = raw.iter().map(|v| v / total).collect();
+        let mix = Mixture::new(&mech.species);
+        let w = mix.mean_molar_mass(&y);
+        prop_assert!(w > 2.015 && w < 34.02, "W = {}", w);
+        let cp = mix.cp_mass(t, &y);
+        let cv = mix.cv_mass(t, &y);
+        prop_assert!(cp > cv && cv > 0.0, "cp {} cv {}", cp, cv);
+        let rho1 = mix.density(t, 101_325.0, &y);
+        let rho2 = mix.density(t, 202_650.0, &y);
+        prop_assert!((rho2 / rho1 - 2.0).abs() < 1e-12);
+    }
+
+    /// Detailed balance: at any temperature, Kc(T) of a reaction equals
+    /// the ratio of equilibrium concentration products — verified through
+    /// the identity Kc = kf/kr and the sign structure: perturbing a state
+    /// toward products makes the net rate negative (restoring).
+    #[test]
+    fn reverse_rates_restore_equilibrium_direction(t in 1500.0f64..3000.0) {
+        let mech = h2_air_19();
+        // Reaction 0: H + O2 = O + OH. Build a state exactly at its
+        // equilibrium (c_O * c_OH / (c_H * c_O2) = Kc), then push the
+        // products up 10%: the net progress must turn negative.
+        let r = &mech.reactions[0];
+        let kc = r.kc(t, &mech.species);
+        prop_assume!(kc.is_finite() && kc > 1e-30);
+        let c_h = 1e-4;
+        let c_o2 = 1e-3;
+        let c_o = (kc * c_h * c_o2).sqrt();
+        let c_oh = c_o;
+        let mut c = vec![1e-9; 9];
+        c[cca_chem::mechanisms::idx::H] = c_h;
+        c[cca_chem::mechanisms::idx::O2] = c_o2;
+        c[cca_chem::mechanisms::idx::O] = c_o;
+        c[cca_chem::mechanisms::idx::OH] = c_oh;
+        // Isolate reaction 0: build a one-reaction mechanism.
+        let mini = cca_chem::kinetics::Mechanism {
+            species: mech.species.clone(),
+            reactions: vec![r.clone()],
+        };
+        let mut wdot = vec![0.0; 9];
+        mini.production_rates(t, &c, &mut wdot);
+        // At equilibrium: net rate ~ 0 relative to the gross rate.
+        let gross = r.kf(t) * c_h * c_o2;
+        prop_assert!(wdot[cca_chem::mechanisms::idx::O].abs() < 1e-6 * gross,
+            "not at equilibrium: {}", wdot[cca_chem::mechanisms::idx::O]);
+        // Push products up: reverse must dominate.
+        c[cca_chem::mechanisms::idx::O] *= 1.1;
+        c[cca_chem::mechanisms::idx::OH] *= 1.1;
+        mini.production_rates(t, &c, &mut wdot);
+        prop_assert!(wdot[cca_chem::mechanisms::idx::O] < 0.0,
+            "products should be consumed: {}", wdot[cca_chem::mechanisms::idx::O]);
+    }
+}

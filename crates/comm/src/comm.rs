@@ -1,0 +1,351 @@
+//! Rank-local communicator: MPI-1-shaped point-to-point and collective
+//! operations plus the virtual clock used by the cluster performance model.
+
+use crate::model::ClusterModel;
+use crate::reduce::ReduceOp;
+use crate::router::{Message, Router, Tag};
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Bit marking framework-internal (collective) tags; user tags must keep it
+/// clear. Mirrors MPI's reserved-tag convention.
+const COLLECTIVE_BIT: Tag = 1 << 63;
+
+/// Counters accumulated by a rank across all its communicators.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of point-to-point messages sent (collectives included).
+    pub messages_sent: u64,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+    /// Number of point-to-point receives completed.
+    pub messages_received: u64,
+}
+
+#[derive(Default)]
+struct StatsCell {
+    messages_sent: Cell<u64>,
+    bytes_sent: Cell<u64>,
+    messages_received: Cell<u64>,
+}
+
+/// A rank's handle onto one communication context.
+///
+/// Each SCMD rank (thread) owns a root `Communicator`; [`Communicator::dup`]
+/// creates additional contexts whose messages never match the parent's, the
+/// way the CCAFFEINE framework "lends out a properly scoped MPI communicator"
+/// to components. Duplicates share the rank's virtual clock and statistics.
+///
+/// The type is deliberately `!Send`/`!Sync` (it holds `Rc`/`Cell`): a
+/// communicator belongs to exactly one rank thread, as in MPI.
+pub struct Communicator {
+    router: Arc<Router>,
+    rank: usize,
+    size: usize,
+    comm_id: u64,
+    model: ClusterModel,
+    clock: Rc<Cell<f64>>,
+    stats: Rc<StatsCell>,
+    next_comm_id: Rc<Cell<u64>>,
+    collective_seq: Cell<u64>,
+}
+
+impl Communicator {
+    /// Construct the root communicator for `rank` of an SCMD job. Called by
+    /// [`crate::scmd::run`]; test code may call it directly with a shared
+    /// [`Router`].
+    pub fn root(router: Arc<Router>, rank: usize, model: ClusterModel) -> Self {
+        let size = router.size();
+        Communicator {
+            router,
+            rank,
+            size,
+            comm_id: 0,
+            model,
+            clock: Rc::new(Cell::new(0.0)),
+            stats: Rc::new(StatsCell::default()),
+            next_comm_id: Rc::new(Cell::new(1)),
+            collective_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine model this communicator charges time against.
+    pub fn model(&self) -> ClusterModel {
+        self.model
+    }
+
+    /// Duplicate into a fresh context (disjoint message matching).
+    ///
+    /// All ranks must perform the same sequence of `dup` calls so that the
+    /// derived context ids agree — the usual MPI collective-order contract.
+    pub fn dup(&self) -> Communicator {
+        let id = self.next_comm_id.get();
+        self.next_comm_id.set(id + 1);
+        Communicator {
+            router: Arc::clone(&self.router),
+            rank: self.rank,
+            size: self.size,
+            comm_id: id,
+            model: self.model,
+            clock: Rc::clone(&self.clock),
+            stats: Rc::clone(&self.stats),
+            next_comm_id: Rc::clone(&self.next_comm_id),
+            collective_seq: Cell::new(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual clock
+    // ------------------------------------------------------------------
+
+    /// Current virtual time of this rank (seconds).
+    pub fn vtime(&self) -> f64 {
+        self.clock.get()
+    }
+
+    /// Charge `work` abstract work units of computation to the clock.
+    pub fn charge_compute(&self, work: f64) {
+        self.advance_seconds(self.model.compute_cost(work));
+    }
+
+    /// Advance the clock by a raw number of seconds.
+    pub fn advance_seconds(&self, dt: f64) {
+        debug_assert!(dt >= 0.0, "time cannot run backwards");
+        self.clock.set(self.clock.get() + dt);
+    }
+
+    /// Snapshot of this rank's traffic counters.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            messages_sent: self.stats.messages_sent.get(),
+            bytes_sent: self.stats.bytes_sent.get(),
+            messages_received: self.stats.messages_received.get(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point to point
+    // ------------------------------------------------------------------
+
+    fn send_tagged<T: Clone + Send + 'static>(&self, dst: usize, tag: Tag, data: &[T]) {
+        assert!(dst < self.size, "destination rank {dst} out of range");
+        let nbytes = std::mem::size_of::<T>() * data.len();
+        self.advance_seconds(self.model.call_overhead);
+        self.stats
+            .messages_sent
+            .set(self.stats.messages_sent.get() + 1);
+        self.stats
+            .bytes_sent
+            .set(self.stats.bytes_sent.get() + nbytes as u64);
+        self.router.post(
+            dst,
+            Message {
+                comm_id: self.comm_id,
+                src: self.rank,
+                tag,
+                payload: Box::new(data.to_vec()),
+                nbytes,
+                send_vtime: self.clock.get(),
+            },
+        );
+    }
+
+    fn recv_tagged<T: Clone + Send + 'static>(&self, src: usize, tag: Tag) -> Vec<T> {
+        assert!(src < self.size, "source rank {src} out of range");
+        let msg = self.router.take(self.rank, self.comm_id, src, tag);
+        let arrival = msg.send_vtime + self.model.message_cost(msg.nbytes);
+        self.clock
+            .set(self.clock.get().max(arrival) + self.model.call_overhead);
+        self.stats
+            .messages_received
+            .set(self.stats.messages_received.get() + 1);
+        *msg.payload
+            .downcast::<Vec<T>>()
+            .expect("receive type does not match the sent payload type")
+    }
+
+    /// Send `data` to rank `dst` with `tag`. Buffered (never blocks).
+    pub fn send<T: Clone + Send + 'static>(&self, dst: usize, tag: Tag, data: &[T]) {
+        assert!(tag & COLLECTIVE_BIT == 0, "user tags must be < 2^63");
+        self.send_tagged(dst, tag, data);
+    }
+
+    /// Blocking receive of a message from `src` with `tag`.
+    pub fn recv<T: Clone + Send + 'static>(&self, src: usize, tag: Tag) -> Vec<T> {
+        assert!(tag & COLLECTIVE_BIT == 0, "user tags must be < 2^63");
+        self.recv_tagged(src, tag)
+    }
+
+    /// Is a message from `src` with `tag` already waiting?
+    pub fn probe(&self, src: usize, tag: Tag) -> bool {
+        self.router.probe(self.rank, self.comm_id, src, tag)
+    }
+
+    /// Combined send-then-receive with a partner rank; safe against deadlock
+    /// because sends are buffered.
+    pub fn sendrecv<T: Clone + Send + 'static>(
+        &self,
+        partner: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Vec<T> {
+        self.send(partner, tag, data);
+        self.recv(partner, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (binomial / dissemination algorithms over p2p, so the
+    // performance model charges them realistically)
+    // ------------------------------------------------------------------
+
+    fn next_collective_tag(&self, op_code: u64) -> Tag {
+        let seq = self.collective_seq.get();
+        self.collective_seq.set(seq + 1);
+        COLLECTIVE_BIT | (seq << 4) | op_code
+    }
+
+    /// Dissemination barrier.
+    pub fn barrier(&self) {
+        let tag = self.next_collective_tag(0);
+        let mut k = 1usize;
+        while k < self.size {
+            let dst = (self.rank + k) % self.size;
+            let src = (self.rank + self.size - k) % self.size;
+            self.send_tagged::<u8>(dst, tag, &[]);
+            let _ = self.recv_tagged::<u8>(src, tag);
+            k <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast from `root`; every rank returns the data.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
+        let tag = self.next_collective_tag(1);
+        let vr = (self.rank + self.size - root) % self.size;
+        let mut buf: Vec<T> = if vr == 0 { data.to_vec() } else { Vec::new() };
+        let mut mask = 1usize;
+        while mask < self.size {
+            if vr & mask != 0 {
+                let src = (vr - mask + root) % self.size;
+                buf = self.recv_tagged(src, tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vr & mask == 0 && vr + mask < self.size {
+                let dst = (vr + mask + root) % self.size;
+                self.send_tagged(dst, tag, &buf);
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    /// Binomial-tree reduction to `root`. Returns `Some(result)` on the
+    /// root, `None` elsewhere.
+    pub fn reduce(&self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        let tag = self.next_collective_tag(2);
+        let vr = (self.rank + self.size - root) % self.size;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < self.size {
+            if vr & mask == 0 {
+                let child = vr | mask;
+                if child < self.size {
+                    let src = (child + root) % self.size;
+                    let part: Vec<f64> = self.recv_tagged(src, tag);
+                    op.fold_into(&mut acc, &part);
+                }
+            } else {
+                let parent = vr & !mask;
+                let dst = (parent + root) % self.size;
+                self.send_tagged(dst, tag, &acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Reduce to rank 0 then broadcast: every rank gets the reduction.
+    pub fn allreduce(&self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        match self.reduce(0, data, op) {
+            Some(result) => self.bcast(0, &result),
+            None => self.bcast::<f64>(0, &[]),
+        }
+    }
+
+    /// Element-wise sum across ranks.
+    pub fn allreduce_sum(&self, data: &[f64]) -> Vec<f64> {
+        self.allreduce(data, ReduceOp::Sum)
+    }
+
+    /// Element-wise max across ranks.
+    pub fn allreduce_max(&self, data: &[f64]) -> Vec<f64> {
+        self.allreduce(data, ReduceOp::Max)
+    }
+
+    /// Element-wise min across ranks.
+    pub fn allreduce_min(&self, data: &[f64]) -> Vec<f64> {
+        self.allreduce(data, ReduceOp::Min)
+    }
+
+    /// Gather each rank's buffer to `root` (rank-ordered). `Some` on root.
+    pub fn gather<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        data: &[T],
+    ) -> Option<Vec<Vec<T>>> {
+        let tag = self.next_collective_tag(3);
+        if self.rank == root {
+            let mut out = Vec::with_capacity(self.size);
+            for src in 0..self.size {
+                if src == root {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(self.recv_tagged(src, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send_tagged(root, tag, data);
+            None
+        }
+    }
+
+    /// Gather to rank 0 then broadcast the concatenation boundaries: every
+    /// rank receives all buffers, rank-ordered.
+    pub fn allgather<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<Vec<T>> {
+        let gathered = self.gather(0, data);
+        let lens: Vec<f64> = match &gathered {
+            Some(parts) => parts.iter().map(|p| p.len() as f64).collect(),
+            None => Vec::new(),
+        };
+        let lens = self.bcast(0, &lens);
+        let flat: Vec<T> = match gathered {
+            Some(parts) => parts.into_iter().flatten().collect(),
+            None => Vec::new(),
+        };
+        let flat = self.bcast(0, &flat);
+        let mut out = Vec::with_capacity(self.size);
+        let mut off = 0usize;
+        for l in lens {
+            let l = l as usize;
+            out.push(flat[off..off + l].to_vec());
+            off += l;
+        }
+        out
+    }
+}

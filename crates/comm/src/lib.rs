@@ -1,0 +1,45 @@
+//! `cca-comm` — the message-passing substrate of the CCA-hydro workspace.
+//!
+//! The IPPS'03 paper runs CCAFFEINE in SCMD (Single Component Multiple Data)
+//! mode: `P` identical framework instances, one per MPI process, and all
+//! message passing happens *inside* components, between the `P` instances of
+//! the same component (a *cohort*). The framework itself provides no
+//! messaging beyond lending out a properly scoped communicator.
+//!
+//! We reproduce that structure without an MPI installation:
+//!
+//! * [`scmd::run`] launches `P` *ranks as OS threads*, each executing the
+//!   same closure (the "single component" program) with its own
+//!   [`Communicator`]. No state is shared between ranks except the mailbox
+//!   router, so the message-passing-only discipline of MPI is preserved.
+//! * [`Communicator`] offers MPI-1-shaped point-to-point operations
+//!   (`send`/`recv` with source and tag matching) and collectives
+//!   (barrier, broadcast, reduce, allreduce, gather, allgather) built from
+//!   binomial-tree / dissemination point-to-point algorithms.
+//! * Every rank carries a **virtual clock** advanced by a configurable
+//!   [`model::ClusterModel`] (LogP-style `α + β·bytes` per message plus a
+//!   compute rate). Because the clock is driven by the *actual* messages and
+//!   workloads of a real run, the weak/strong-scaling experiments of the
+//!   paper (Figs 8-9, Table 5) can be regenerated on a single-core host:
+//!   wall-clock parallelism is simulated, message causality is real.
+//!
+//! ```
+//! use cca_comm::{scmd, ClusterModel};
+//!
+//! let sums = scmd::run(4, ClusterModel::cplant(), |comm| {
+//!     let me = comm.rank() as f64;
+//!     comm.allreduce_sum(&[me])[0]
+//! });
+//! assert!(sums.iter().all(|&s| s == 0.0 + 1.0 + 2.0 + 3.0));
+//! ```
+
+pub mod comm;
+pub mod model;
+pub mod reduce;
+pub mod router;
+pub mod scmd;
+
+pub use comm::Communicator;
+pub use model::ClusterModel;
+pub use reduce::ReduceOp;
+pub use router::Tag;

@@ -1,0 +1,118 @@
+//! Cluster performance model driving each rank's virtual clock.
+//!
+//! The paper's scaling studies ran on Sandia's CPlant (433 MHz Alpha EV56,
+//! Myrinet with 32-bit PCI NICs) and a Beowulf cluster (1 GHz Pentium III,
+//! 100 bT fast Ethernet). This reproduction runs ranks as threads on one
+//! host, so wall-clock cannot exhibit 48-way parallelism; instead every
+//! rank advances a virtual clock using a LogP-flavoured cost model:
+//!
+//! * compute work `w` (user units, e.g. cell-updates) costs
+//!   `w * seconds_per_work_unit`,
+//! * a message of `n` bytes costs `alpha + beta * n` end-to-end,
+//! * a receive completes at `max(receiver clock, sender clock at send + message cost)`,
+//!
+//! which preserves causality: the modeled time of a run is the modeled time
+//! of its critical path through real messages.
+
+/// LogP-style machine parameters. All times in seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterModel {
+    /// Per-message latency (s), the `alpha` term.
+    pub alpha: f64,
+    /// Per-byte transfer time (s/byte), the `beta` term (1 / bandwidth).
+    pub beta: f64,
+    /// Seconds per unit of compute work charged via
+    /// [`crate::Communicator::charge_compute`]. A "work unit" in the
+    /// reproduction is one cell-variable update of the reaction-diffusion
+    /// kernel unless a benchmark states otherwise.
+    pub seconds_per_work_unit: f64,
+    /// Fixed CPU-side overhead per point-to-point call (send or receive),
+    /// charged to the calling rank even for self-sends.
+    pub call_overhead: f64,
+}
+
+impl ClusterModel {
+    /// Sandia CPlant-era parameters: Myrinet through 32-bit PCI
+    /// (~132 MB/s PCI ceiling, ~20 us one-way latency), 433 MHz Alpha.
+    ///
+    /// `seconds_per_work_unit` is calibrated so that a 100x100 single-rank
+    /// reaction-diffusion step costs O(10) s for 5 steps, matching the
+    /// magnitude of Table 5's 161.7 s mean for the 100x100 case.
+    pub fn cplant() -> Self {
+        ClusterModel {
+            alpha: 20e-6,
+            beta: 1.0 / 132.0e6,
+            seconds_per_work_unit: 3.6e-4,
+            call_overhead: 1e-6,
+        }
+    }
+
+    /// 100 bT switched fast Ethernet Beowulf (the paper's production
+    /// platform for the flame run): ~70 us latency, ~11 MB/s effective.
+    pub fn beowulf_ethernet() -> Self {
+        ClusterModel {
+            alpha: 70e-6,
+            beta: 1.0 / 11.0e6,
+            seconds_per_work_unit: 1.5e-4,
+            call_overhead: 1e-6,
+        }
+    }
+
+    /// Zero-cost model: virtual clocks never advance. Useful in unit tests
+    /// that only care about data movement.
+    pub fn zero() -> Self {
+        ClusterModel {
+            alpha: 0.0,
+            beta: 0.0,
+            seconds_per_work_unit: 0.0,
+            call_overhead: 0.0,
+        }
+    }
+
+    /// End-to-end modeled cost of one `nbytes` message.
+    pub fn message_cost(&self, nbytes: usize) -> f64 {
+        self.alpha + self.beta * nbytes as f64
+    }
+
+    /// Modeled cost of `work` units of computation.
+    pub fn compute_cost(&self, work: f64) -> f64 {
+        work * self.seconds_per_work_unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_is_affine_in_bytes() {
+        let m = ClusterModel {
+            alpha: 1e-5,
+            beta: 1e-8,
+            seconds_per_work_unit: 0.0,
+            call_overhead: 0.0,
+        };
+        let c0 = m.message_cost(0);
+        let c1 = m.message_cost(1000);
+        let c2 = m.message_cost(2000);
+        assert!((c0 - 1e-5).abs() < 1e-15);
+        assert!(((c2 - c1) - (c1 - c0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let cp = ClusterModel::cplant();
+        let bw = ClusterModel::beowulf_ethernet();
+        // Myrinet has lower latency and higher bandwidth than fast Ethernet.
+        assert!(cp.alpha < bw.alpha);
+        assert!(cp.beta < bw.beta);
+        assert!(cp.message_cost(1 << 20) < bw.message_cost(1 << 20));
+    }
+
+    #[test]
+    fn zero_model_costs_nothing() {
+        let z = ClusterModel::zero();
+        assert_eq!(z.message_cost(12345), 0.0);
+        assert_eq!(z.compute_cost(9.9), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Reduction operators for collectives.
+
+/// Element-wise reduction operator, MPI-op style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Apply the operator to two scalars.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Fold `b` into `a` element-wise. Panics if lengths differ, mirroring
+    /// MPI's requirement that reduction buffers agree in count.
+    pub fn fold_into(self, a: &mut [f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len(), "reduction buffer length mismatch");
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.apply(*x, y);
+        }
+    }
+
+    /// Identity element of the operator.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            for v in [-3.5, 0.0, 7.25] {
+                assert_eq!(op.apply(op.identity(), v), v);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_into_elementwise() {
+        let mut a = vec![1.0, 5.0, -2.0];
+        ReduceOp::Max.fold_into(&mut a, &[0.0, 9.0, -3.0]);
+        assert_eq!(a, vec![1.0, 9.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fold_into_length_mismatch_panics() {
+        let mut a = vec![1.0];
+        ReduceOp::Sum.fold_into(&mut a, &[1.0, 2.0]);
+    }
+}

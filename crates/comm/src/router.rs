@@ -1,0 +1,166 @@
+//! In-process message router: one mailbox per rank, selective receive on
+//! `(communicator id, source, tag)` exactly like MPI's envelope matching.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// MPI-style message tag.
+pub type Tag = u64;
+
+/// Envelope + payload for one in-flight message.
+pub struct Message {
+    /// Communicator the message was sent on (distinct communicators never match).
+    pub comm_id: u64,
+    /// Sending rank.
+    pub src: usize,
+    /// User tag.
+    pub tag: Tag,
+    /// Type-erased payload (a `Vec<T>` boxed as `Any`).
+    pub payload: Box<dyn Any + Send>,
+    /// Payload size in bytes, used by the cluster performance model.
+    pub nbytes: usize,
+    /// Sender's virtual clock at the moment of the send.
+    pub send_vtime: f64,
+}
+
+/// One rank's mailbox: a queue protected by a mutex + condvar so that a
+/// blocking selective receive can wait for a matching envelope.
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    signal: Condvar,
+}
+
+/// Shared router connecting the `P` ranks of one SCMD job.
+pub struct Router {
+    boxes: Vec<Mailbox>,
+}
+
+impl Router {
+    /// Create a router for `size` ranks.
+    pub fn new(size: usize) -> Arc<Self> {
+        Arc::new(Router {
+            boxes: (0..size).map(|_| Mailbox::default()).collect(),
+        })
+    }
+
+    /// Number of ranks this router serves.
+    pub fn size(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Deposit a message into `dst`'s mailbox and wake any waiting receiver.
+    pub fn post(&self, dst: usize, msg: Message) {
+        let mb = &self.boxes[dst];
+        mb.queue.lock().push_back(msg);
+        mb.signal.notify_all();
+    }
+
+    /// Blocking selective receive: the oldest message matching
+    /// `(comm_id, src, tag)` addressed to `me`.
+    pub fn take(&self, me: usize, comm_id: u64, src: usize, tag: Tag) -> Message {
+        let mb = &self.boxes[me];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(pos) = q
+                .iter()
+                .position(|m| m.comm_id == comm_id && m.src == src && m.tag == tag)
+            {
+                return q.remove(pos).expect("position was just found");
+            }
+            mb.signal.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: is a matching message waiting?
+    pub fn probe(&self, me: usize, comm_id: u64, src: usize, tag: Tag) -> bool {
+        self.boxes[me]
+            .queue
+            .lock()
+            .iter()
+            .any(|m| m.comm_id == comm_id && m.src == src && m.tag == tag)
+    }
+
+    /// Number of queued (undelivered) messages for `me`, across all
+    /// communicators. Useful for leak checks in tests.
+    pub fn pending(&self, me: usize) -> usize {
+        self.boxes[me].queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(comm_id: u64, src: usize, tag: Tag, val: i32) -> Message {
+        Message {
+            comm_id,
+            src,
+            tag,
+            payload: Box::new(vec![val]),
+            nbytes: 4,
+            send_vtime: 0.0,
+        }
+    }
+
+    #[test]
+    fn post_take_roundtrip() {
+        let r = Router::new(2);
+        r.post(1, msg(0, 0, 7, 42));
+        let m = r.take(1, 0, 0, 7);
+        assert_eq!(m.src, 0);
+        assert_eq!(m.tag, 7);
+        let v = m.payload.downcast::<Vec<i32>>().unwrap();
+        assert_eq!(*v, vec![42]);
+    }
+
+    #[test]
+    fn selective_receive_skips_nonmatching() {
+        let r = Router::new(1);
+        r.post(0, msg(0, 0, 1, 1));
+        r.post(0, msg(0, 0, 2, 2));
+        // Take tag 2 first even though tag 1 arrived earlier.
+        let m = r.take(0, 0, 0, 2);
+        assert_eq!(*m.payload.downcast::<Vec<i32>>().unwrap(), vec![2]);
+        assert!(r.probe(0, 0, 0, 1));
+        assert_eq!(r.pending(0), 1);
+    }
+
+    #[test]
+    fn fifo_within_matching_envelope() {
+        let r = Router::new(1);
+        r.post(0, msg(0, 0, 5, 10));
+        r.post(0, msg(0, 0, 5, 20));
+        assert_eq!(
+            *r.take(0, 0, 0, 5).payload.downcast::<Vec<i32>>().unwrap(),
+            vec![10]
+        );
+        assert_eq!(
+            *r.take(0, 0, 0, 5).payload.downcast::<Vec<i32>>().unwrap(),
+            vec![20]
+        );
+    }
+
+    #[test]
+    fn communicators_do_not_cross_match() {
+        let r = Router::new(1);
+        r.post(0, msg(1, 0, 5, 10));
+        assert!(!r.probe(0, 0, 0, 5));
+        assert!(r.probe(0, 1, 0, 5));
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_post() {
+        let r = Router::new(2);
+        let r2 = Arc::clone(&r);
+        let h = std::thread::spawn(move || {
+            let m = r2.take(1, 0, 0, 9);
+            *m.payload.downcast::<Vec<i32>>().unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        r.post(1, msg(0, 0, 9, 77));
+        assert_eq!(h.join().unwrap(), vec![77]);
+    }
+}

@@ -1,0 +1,77 @@
+//! SCMD launcher: the reproduction's `mpirun`.
+//!
+//! `P` identically-programmed ranks are spawned as OS threads; each receives
+//! its own [`Communicator`] (constructed inside the thread, so it may hold
+//! rank-local `Rc` state). The closure plays the role of "one framework
+//! instance + its components" in the paper's Single Component Multiple Data
+//! model.
+
+use crate::comm::Communicator;
+use crate::model::ClusterModel;
+use crate::router::Router;
+
+/// Per-rank outcome of an SCMD job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankReport<R> {
+    /// The rank's return value.
+    pub result: R,
+    /// The rank's final virtual clock (modeled seconds).
+    pub vtime: f64,
+    /// Messages the rank sent.
+    pub messages_sent: u64,
+    /// Payload bytes the rank sent.
+    pub bytes_sent: u64,
+}
+
+/// Run `f` on `size` ranks and return each rank's result, rank-ordered.
+///
+/// Panics in any rank propagate (the join unwraps), so a failing assertion
+/// inside a rank fails the caller's test — no silent hangs.
+pub fn run<R, F>(size: usize, model: ClusterModel, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Communicator) -> R + Send + Sync,
+{
+    run_reported(size, model, f)
+        .into_iter()
+        .map(|r| r.result)
+        .collect()
+}
+
+/// Like [`run`] but also returns each rank's virtual clock and traffic
+/// counters — the raw material of the scaling experiments.
+pub fn run_reported<R, F>(size: usize, model: ClusterModel, f: F) -> Vec<RankReport<R>>
+where
+    R: Send,
+    F: Fn(&Communicator) -> R + Send + Sync,
+{
+    assert!(size > 0, "an SCMD job needs at least one rank");
+    let router = Router::new(size);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for rank in 0..size {
+            let router = router.clone();
+            handles.push(scope.spawn(move || {
+                let comm = Communicator::root(router, rank, model);
+                let result = f(&comm);
+                let stats = comm.stats();
+                RankReport {
+                    result,
+                    vtime: comm.vtime(),
+                    messages_sent: stats.messages_sent,
+                    bytes_sent: stats.bytes_sent,
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+/// Modeled wall-clock of a job: the slowest rank's virtual time.
+pub fn modeled_runtime<R>(reports: &[RankReport<R>]) -> f64 {
+    reports.iter().map(|r| r.vtime).fold(0.0, f64::max)
+}

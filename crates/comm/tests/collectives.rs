@@ -1,0 +1,231 @@
+//! Cross-rank behaviour of the SCMD layer: collectives, point-to-point
+//! patterns, virtual-clock causality.
+
+use cca_comm::{scmd, ClusterModel, Communicator, ReduceOp};
+
+fn sizes() -> Vec<usize> {
+    vec![1, 2, 3, 4, 5, 7, 8, 16]
+}
+
+#[test]
+fn ring_pass_delivers_in_order() {
+    for p in sizes() {
+        let out = scmd::run(p, ClusterModel::zero(), |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 1, &[c.rank() as u64]);
+            c.recv::<u64>(prev, 1)[0]
+        });
+        for (rank, got) in out.iter().enumerate() {
+            let prev = (rank + p - 1) % p;
+            assert_eq!(*got, prev as u64, "p={p} rank={rank}");
+        }
+    }
+}
+
+#[test]
+fn allreduce_matches_sequential_fold() {
+    for p in sizes() {
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            let out = scmd::run(p, ClusterModel::zero(), move |c| {
+                let mine = [c.rank() as f64 + 0.5, -(c.rank() as f64)];
+                c.allreduce(&mine, op)
+            });
+            let mut expect = vec![op.identity(); 2];
+            for r in 0..p {
+                op.fold_into(&mut expect, &[r as f64 + 0.5, -(r as f64)]);
+            }
+            for o in &out {
+                assert_eq!(o, &expect, "p={p} op={op:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bcast_from_every_root() {
+    for p in sizes() {
+        for root in 0..p {
+            let out = scmd::run(p, ClusterModel::zero(), move |c| {
+                let data: Vec<u32> = if c.rank() == root {
+                    vec![42, root as u32]
+                } else {
+                    vec![]
+                };
+                c.bcast(root, &data)
+            });
+            for o in out {
+                assert_eq!(o, vec![42, root as u32]);
+            }
+        }
+    }
+}
+
+#[test]
+fn gather_is_rank_ordered() {
+    for p in sizes() {
+        let out = scmd::run(p, ClusterModel::zero(), |c| {
+            c.gather(0, &[c.rank() as u64, 100 + c.rank() as u64])
+        });
+        let root = out[0].as_ref().expect("root gets the gather");
+        for (r, part) in root.iter().enumerate() {
+            assert_eq!(part, &vec![r as u64, 100 + r as u64]);
+        }
+        for o in &out[1..] {
+            assert!(o.is_none());
+        }
+    }
+}
+
+#[test]
+fn allgather_everyone_sees_everything() {
+    for p in sizes() {
+        let out = scmd::run(p, ClusterModel::zero(), |c| {
+            // Variable-length contributions exercise the length exchange.
+            let mine: Vec<f64> = (0..=c.rank()).map(|i| i as f64).collect();
+            c.allgather(&mine)
+        });
+        for o in &out {
+            assert_eq!(o.len(), p);
+            for (r, part) in o.iter().enumerate() {
+                let expect: Vec<f64> = (0..=r).map(|i| i as f64).collect();
+                assert_eq!(part, &expect);
+            }
+        }
+    }
+}
+
+#[test]
+fn barrier_orders_before_and_after() {
+    // After a barrier, every rank must observe every pre-barrier send.
+    for p in sizes() {
+        scmd::run(p, ClusterModel::zero(), |c| {
+            // Everyone tells everyone "I reached phase 1".
+            for dst in 0..c.size() {
+                c.send(dst, 9, &[c.rank() as u64]);
+            }
+            c.barrier();
+            for src in 0..c.size() {
+                assert!(
+                    c.probe(src, 9),
+                    "rank {} missing phase-1 message from {src}",
+                    c.rank()
+                );
+                let _ = c.recv::<u64>(src, 9);
+            }
+        });
+    }
+}
+
+#[test]
+fn dup_separates_contexts() {
+    scmd::run(2, ClusterModel::zero(), |c| {
+        let sub = c.dup();
+        // Same (src, tag) on both contexts with different payloads.
+        let partner = 1 - c.rank();
+        c.send(partner, 5, &[1.0f64]);
+        sub.send(partner, 5, &[2.0f64]);
+        // Receive from the sub-context first: must see 2.0, not 1.0.
+        assert_eq!(sub.recv::<f64>(partner, 5), vec![2.0]);
+        assert_eq!(c.recv::<f64>(partner, 5), vec![1.0]);
+    });
+}
+
+#[test]
+fn sendrecv_exchanges_with_partner() {
+    let out = scmd::run(6, ClusterModel::zero(), |c| {
+        let partner = c.rank() ^ 1; // pairs (0,1) (2,3) (4,5)
+        c.sendrecv(partner, 3, &[c.rank() as u64])[0]
+    });
+    for (r, got) in out.iter().enumerate() {
+        assert_eq!(*got, (r ^ 1) as u64);
+    }
+}
+
+#[test]
+fn virtual_clock_respects_message_causality() {
+    // Rank 0 computes for 1.0 modeled second then sends; rank 1's clock
+    // after the receive must exceed 1.0 s + message cost.
+    let model = ClusterModel {
+        alpha: 0.25,
+        beta: 1e-6,
+        seconds_per_work_unit: 1.0,
+        call_overhead: 0.0,
+    };
+    let reports = scmd::run_reported(2, model, |c: &Communicator| {
+        if c.rank() == 0 {
+            c.charge_compute(1.0);
+            c.send(1, 1, &[0u8; 1000]);
+        } else {
+            let _ = c.recv::<u8>(0, 1);
+        }
+        c.vtime()
+    });
+    let t1 = reports[1].result;
+    assert!(
+        (t1 - (1.0 + 0.25 + 1000.0 * 1e-6)).abs() < 1e-12,
+        "t1 = {t1}"
+    );
+    assert!(scmd::modeled_runtime(&reports) >= t1);
+}
+
+#[test]
+fn modeled_runtime_scales_with_imbalance() {
+    let model = ClusterModel {
+        alpha: 0.0,
+        beta: 0.0,
+        seconds_per_work_unit: 1.0,
+        call_overhead: 0.0,
+    };
+    let reports = scmd::run_reported(4, model, |c: &Communicator| {
+        c.charge_compute(c.rank() as f64);
+        c.barrier();
+        c.vtime()
+    });
+    // The barrier drags everyone up to (at least) the slowest rank.
+    let runtime = scmd::modeled_runtime(&reports);
+    assert!(runtime >= 3.0);
+    for r in &reports {
+        assert!(r.result >= 3.0, "barrier must not release early: {}", r.result);
+    }
+}
+
+#[test]
+fn traffic_counters_count() {
+    let reports = scmd::run_reported(2, ClusterModel::zero(), |c: &Communicator| {
+        if c.rank() == 0 {
+            c.send(1, 1, &[0f64; 10]); // 80 bytes
+        } else {
+            let _ = c.recv::<f64>(0, 1);
+        }
+    });
+    assert_eq!(reports[0].messages_sent, 1);
+    assert_eq!(reports[0].bytes_sent, 80);
+    assert_eq!(reports[1].messages_sent, 0);
+}
+
+#[test]
+#[should_panic(expected = "rank thread panicked")]
+fn rank_panic_propagates() {
+    scmd::run(2, ClusterModel::zero(), |c| {
+        if c.rank() == 1 {
+            panic!("deliberate failure injection");
+        } else {
+            // Rank 0 does nothing and exits cleanly.
+        }
+    });
+}
+
+#[test]
+fn single_rank_collectives_are_identity() {
+    let out = scmd::run(1, ClusterModel::zero(), |c| {
+        c.barrier();
+        let b = c.bcast(0, &[7u8]);
+        let r = c.allreduce_sum(&[3.0]);
+        let g = c.allgather(&[1u16]);
+        (b, r, g)
+    });
+    assert_eq!(out[0].0, vec![7]);
+    assert_eq!(out[0].1, vec![3.0]);
+    assert_eq!(out[0].2, vec![vec![1u16]]);
+}

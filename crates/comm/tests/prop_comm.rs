@@ -1,0 +1,94 @@
+//! Property-based tests of the SCMD layer.
+
+use cca_comm::{scmd, ClusterModel, ReduceOp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// allreduce(sum) equals the sequential fold for arbitrary data and
+    /// rank counts (up to FP reassociation, which our fixed binomial tree
+    /// makes deterministic; compare against a tolerance).
+    #[test]
+    fn allreduce_sum_matches_fold(
+        p in 1usize..7,
+        data in proptest::collection::vec(-1e6f64..1e6, 1..8),
+    ) {
+        let len = data.len();
+        let d = data.clone();
+        let out = scmd::run(p, ClusterModel::zero(), move |c| {
+            // Rank r contributes data rotated by r so ranks differ.
+            let mine: Vec<f64> =
+                (0..len).map(|i| d[(i + c.rank()) % len]).collect();
+            c.allreduce_sum(&mine)
+        });
+        for i in 0..len {
+            let expect: f64 =
+                (0..p).map(|r| data[(i + r) % len]).sum();
+            for o in &out {
+                prop_assert!((o[i] - expect).abs() <= 1e-9 * (1.0 + expect.abs()),
+                    "i={i} got={} want={}", o[i], expect);
+            }
+        }
+    }
+
+    /// Min/max allreduce are exact (no rounding concerns).
+    #[test]
+    fn allreduce_minmax_exact(
+        p in 1usize..7,
+        vals in proptest::collection::vec(-1e9f64..1e9, 1..7),
+    ) {
+        let nv = vals.len();
+        let v = vals.clone();
+        let out = scmd::run(p, ClusterModel::zero(), move |c| {
+            let mine = [v[c.rank() % nv]];
+            (c.allreduce(&mine, ReduceOp::Min)[0],
+             c.allreduce(&mine, ReduceOp::Max)[0])
+        });
+        let contributed: Vec<f64> = (0..p).map(|r| vals[r % nv]).collect();
+        let lo = contributed.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = contributed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for (mn, mx) in out {
+            prop_assert_eq!(mn, lo);
+            prop_assert_eq!(mx, hi);
+        }
+    }
+
+    /// Every message sent is received exactly once: total sent == total
+    /// received across ranks in an all-to-all exchange.
+    #[test]
+    fn conservation_of_messages(p in 1usize..6, reps in 1usize..4) {
+        let reports = scmd::run_reported(p, ClusterModel::zero(), move |c| {
+            for _ in 0..reps {
+                for dst in 0..c.size() {
+                    c.send(dst, 2, &[c.rank() as u32]);
+                }
+                for src in 0..c.size() {
+                    let got = c.recv::<u32>(src, 2);
+                    assert_eq!(got, vec![src as u32]);
+                }
+            }
+        });
+        let sent: u64 = reports.iter().map(|r| r.messages_sent).sum();
+        prop_assert_eq!(sent as usize, p * p * reps);
+    }
+
+    /// Virtual clocks never decrease and the modeled runtime dominates
+    /// every rank's clock.
+    #[test]
+    fn vtime_monotone(p in 1usize..6, work in 0.0f64..10.0) {
+        let reports = scmd::run_reported(p, ClusterModel::cplant(), move |c| {
+            let t0 = c.vtime();
+            c.charge_compute(work * (c.rank() + 1) as f64);
+            let t1 = c.vtime();
+            c.barrier();
+            let t2 = c.vtime();
+            assert!(t0 <= t1 && t1 <= t2);
+            t2
+        });
+        let rt = scmd::modeled_runtime(&reports);
+        for r in &reports {
+            prop_assert!(rt >= r.result);
+        }
+    }
+}

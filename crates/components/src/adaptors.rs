@@ -1,0 +1,399 @@
+//! The paper's *Adaptors*: "case-specific adaptors are often used to
+//! consolidate and filter outputs from various physics components."
+//!
+//! * [`DpdtComponent`] — the rigid-vessel pressure closure of the 0D
+//!   ignition code ("the pressure term depends on the boundary conditions
+//!   of the problem (rigid walls, i.e. constant mass and volume) and is
+//!   computed by the dPdt component");
+//! * [`ProblemModeler`] — sits "between CvodeComponent and
+//!   ThermoChemistry... for this closed system it adds the pressure term
+//!   to the heat equation": assembles the full `Φ = {T, Y₁..Y_{N−1}, P}`
+//!   right-hand side from the chemistry and dPdt ports;
+//! * [`ImplicitIntegrator`] — the 2D adaptor "that calls on the Implicit
+//!   Integration subsystem for all cells and all patches".
+
+use crate::ports::{
+    ChemistryAdvancePort, ChemistrySourcePort, DataPort, DpdtPort, MeshPort, OdeIntegratorPort,
+    OdeRhsPort,
+};
+use cca_core::{Component, ParameterPort, Services};
+use cca_mesh::data::PatchData;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Universal gas constant, J/(kmol·K) — duplicated here so adaptors do not
+/// reach into substrate crates for a constant.
+const RU: f64 = 8314.462618;
+
+// ---------------------------------------------------------------------
+// dPdt
+// ---------------------------------------------------------------------
+
+struct DpdtInner {
+    chem: RefCell<Option<Rc<dyn ChemistrySourcePort>>>,
+    services: Services,
+    /// Cached molar masses (constants), filled on first use.
+    w: RefCell<Vec<f64>>,
+}
+
+impl DpdtInner {
+    fn chem(&self) -> Rc<dyn ChemistrySourcePort> {
+        if self.chem.borrow().is_none() {
+            let port = self
+                .services
+                .get_port::<Rc<dyn ChemistrySourcePort>>("chemistry")
+                .expect("dPdt requires a connected chemistry port");
+            *self.chem.borrow_mut() = Some(port);
+        }
+        self.chem.borrow().as_ref().expect("just filled").clone()
+    }
+}
+
+impl DpdtPort for DpdtInner {
+    fn dpdt(&self, t_gas: f64, dtdt: f64, y: &[f64], dydt: &[f64], rho: f64) -> f64 {
+        let chem = self.chem();
+        {
+            let mut w = self.w.borrow_mut();
+            if w.len() != y.len() {
+                w.resize(y.len(), 0.0);
+                chem.molar_masses(&mut w);
+            }
+        }
+        let w = self.w.borrow();
+        // P = ρ R T / W̄, ρ const: dP/dt = ρR( dT/dt / W̄ + T Σ (dY_i/dt)/W_i ).
+        let inv_w_mean: f64 = y.iter().zip(w.iter()).map(|(yi, wi)| yi / wi).sum();
+        let sum_dyw: f64 = dydt.iter().zip(w.iter()).map(|(dy, wi)| dy / wi).sum();
+        rho * RU * (dtdt * inv_w_mean + t_gas * sum_dyw)
+    }
+}
+
+/// The `dPdt` component: provides `dpdt`, uses `chemistry`.
+#[derive(Default)]
+pub struct DpdtComponent;
+
+impl Component for DpdtComponent {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn ChemistrySourcePort>>("chemistry");
+        s.add_provides_port::<Rc<dyn DpdtPort>>(
+            "dpdt",
+            Rc::new(DpdtInner {
+                chem: RefCell::new(None),
+                services: s.clone(),
+                w: RefCell::new(Vec::new()),
+            }),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// problemModeler
+// ---------------------------------------------------------------------
+
+struct ModelerInner {
+    services: Services,
+    rho: Cell<f64>,
+    nfe: Cell<usize>,
+    scratch: RefCell<ModelerScratch>,
+    /// Ports are fetched once and kept, as CCA components do after their
+    /// first `getPort` — re-fetching per call would turn the O(10 ns)
+    /// virtual-dispatch overhead of Table 4 into a registry lookup.
+    cached: RefCell<Option<(Rc<dyn ChemistrySourcePort>, Rc<dyn DpdtPort>)>>,
+}
+
+#[derive(Default)]
+struct ModelerScratch {
+    y_full: Vec<f64>,
+    c: Vec<f64>,
+    wdot: Vec<f64>,
+    dydt: Vec<f64>,
+    /// Species molar masses, fetched once (they are constants).
+    w: Vec<f64>,
+    /// Molar internal energies at the current T.
+    u: Vec<f64>,
+}
+
+impl ModelerInner {
+    fn ports(&self) -> (Rc<dyn ChemistrySourcePort>, Rc<dyn DpdtPort>) {
+        if let Some((chem, dpdt)) = self.cached.borrow().as_ref() {
+            return (chem.clone(), dpdt.clone());
+        }
+        let chem = self
+            .services
+            .get_port::<Rc<dyn ChemistrySourcePort>>("chemistry")
+            .expect("problemModeler requires a connected chemistry port");
+        let dpdt = self
+            .services
+            .get_port::<Rc<dyn DpdtPort>>("dpdt")
+            .expect("problemModeler requires a connected dPdt port");
+        *self.cached.borrow_mut() = Some((chem.clone(), dpdt.clone()));
+        (chem, dpdt)
+    }
+}
+
+impl OdeRhsPort for ModelerInner {
+    fn dim(&self) -> usize {
+        let (chem, _) = self.ports();
+        chem.n_species() + 1 // T, Y1..Y_{N-1}, P
+    }
+
+    fn eval(&self, _t: f64, state: &[f64], dstate: &mut [f64]) {
+        self.nfe.set(self.nfe.get() + 1);
+        // Prime the port cache once, then borrow without cloning: the per
+        // evaluation cost of the uses-port is the virtual call alone.
+        if self.cached.borrow().is_none() {
+            let _ = self.ports();
+        }
+        let cached = self.cached.borrow();
+        let (chem, dpdt) = cached.as_ref().expect("primed above");
+        let n = chem.n_species();
+        let rho = self.rho.get();
+        assert!(rho > 0.0, "problemModeler density not set");
+        let mut s = self.scratch.borrow_mut();
+        s.y_full.resize(n, 0.0);
+        s.c.resize(n, 0.0);
+        s.wdot.resize(n, 0.0);
+        s.dydt.resize(n, 0.0);
+        s.u.resize(n, 0.0);
+        if s.w.len() != n {
+            s.w.resize(n, 0.0);
+            chem.molar_masses(&mut s.w);
+        }
+        let ModelerScratch {
+            y_full,
+            c,
+            wdot,
+            dydt,
+            w,
+            u,
+        } = &mut *s;
+
+        let temp = state[0].max(200.0);
+        let mut bulk = 1.0;
+        for i in 0..n - 1 {
+            y_full[i] = state[1 + i];
+            bulk -= state[1 + i];
+        }
+        y_full[n - 1] = bulk;
+        for i in 0..n {
+            c[i] = rho * y_full[i] / w[i];
+        }
+        chem.production_rates(temp, c, wdot);
+        chem.internal_energies_molar(temp, u);
+
+        // Species and energy (constant volume).
+        let mut sum_u_wdot = 0.0;
+        for i in 0..n {
+            dydt[i] = wdot[i] * w[i] / rho;
+            sum_u_wdot += u[i] * wdot[i];
+        }
+        let cv = chem.cv_mass(temp, y_full);
+        let dtdt = -sum_u_wdot / (rho * cv);
+        dstate[0] = dtdt;
+        dstate[1..n].copy_from_slice(&dydt[..n - 1]);
+        // The pressure term comes from the dPdt component.
+        dstate[n] = dpdt.dpdt(temp, dtdt, y_full, dydt, rho);
+    }
+
+    fn nfe(&self) -> usize {
+        self.nfe.get()
+    }
+}
+
+impl ParameterPort for ModelerInner {
+    fn set_parameter(&self, key: &str, value: f64) {
+        if key == "density" {
+            self.rho.set(value);
+        }
+    }
+
+    fn get_parameter(&self, key: &str) -> Option<f64> {
+        (key == "density").then(|| self.rho.get())
+    }
+}
+
+/// The `problemModeler` component: provides `rhs` (OdeRhsPort) and
+/// `config` (ParameterPort carrying the frozen density); uses `chemistry`
+/// and `dpdt`.
+#[derive(Default)]
+pub struct ProblemModeler;
+
+impl Component for ProblemModeler {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn ChemistrySourcePort>>("chemistry");
+        s.register_uses_port::<Rc<dyn DpdtPort>>("dpdt");
+        let inner = Rc::new(ModelerInner {
+            services: s.clone(),
+            rho: Cell::new(0.0),
+            nfe: Cell::new(0),
+            scratch: RefCell::new(ModelerScratch::default()),
+            cached: RefCell::new(None),
+        });
+        s.add_provides_port::<Rc<dyn OdeRhsPort>>("rhs", inner.clone());
+        s.add_provides_port::<Rc<dyn ParameterPort>>("config", inner);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ImplicitIntegrator (2D adaptor)
+// ---------------------------------------------------------------------
+
+struct CellChemistryRhs {
+    chem: Rc<dyn ChemistrySourcePort>,
+    pressure: f64,
+    nfe: Cell<usize>,
+    scratch: RefCell<CellScratch>,
+}
+
+#[derive(Default)]
+struct CellScratch {
+    y: Vec<f64>,
+    c: Vec<f64>,
+    wdot: Vec<f64>,
+    w: Vec<f64>,
+    h: Vec<f64>,
+}
+
+impl CellChemistryRhs {
+    fn new(chem: Rc<dyn ChemistrySourcePort>, pressure: f64) -> Self {
+        CellChemistryRhs {
+            chem,
+            pressure,
+            nfe: Cell::new(0),
+            scratch: RefCell::new(CellScratch::default()),
+        }
+    }
+}
+
+impl OdeRhsPort for CellChemistryRhs {
+    fn dim(&self) -> usize {
+        self.chem.n_species() // {T, Y1..Y_{N-1}} at constant pressure
+    }
+
+    fn eval(&self, _t: f64, state: &[f64], dstate: &mut [f64]) {
+        self.nfe.set(self.nfe.get() + 1);
+        let chem = &self.chem;
+        let n = chem.n_species();
+        let temp = state[0].max(200.0);
+        let mut s = self.scratch.borrow_mut();
+        s.y.resize(n, 0.0);
+        s.c.resize(n, 0.0);
+        s.wdot.resize(n, 0.0);
+        s.h.resize(n, 0.0);
+        if s.w.len() != n {
+            s.w.resize(n, 0.0);
+            chem.molar_masses(&mut s.w);
+        }
+        let CellScratch { y, c, wdot, w, h } = &mut *s;
+        let mut bulk = 1.0;
+        for i in 0..n - 1 {
+            y[i] = state[1 + i];
+            bulk -= state[1 + i];
+        }
+        y[n - 1] = bulk;
+        let rho = chem.density(temp, self.pressure, y);
+        for i in 0..n {
+            c[i] = rho * y[i] / w[i];
+        }
+        chem.production_rates(temp, c, wdot);
+        chem.enthalpies_molar(temp, h);
+        let mut sum_h_wdot = 0.0;
+        for i in 0..n {
+            if i < n - 1 {
+                dstate[1 + i] = wdot[i] * w[i] / rho;
+            }
+            sum_h_wdot += h[i] * wdot[i];
+        }
+        dstate[0] = -sum_h_wdot / (rho * chem.cp_mass(temp, y));
+    }
+
+    fn nfe(&self) -> usize {
+        self.nfe.get()
+    }
+}
+
+struct ImplicitInner {
+    services: Services,
+}
+
+impl ChemistryAdvancePort for ImplicitInner {
+    fn advance_chemistry(&self, state: &str, dt: f64, p: f64) -> Result<usize, String> {
+        let _scope = self.services.profiler().scope("ImplicitIntegrator.chemistry-advance");
+        let chem = self
+            .services
+            .get_port::<Rc<dyn ChemistrySourcePort>>("chemistry")
+            .map_err(|e| e.to_string())?;
+        let integ = self
+            .services
+            .get_port::<Rc<dyn OdeIntegratorPort>>("integrator")
+            .map_err(|e| e.to_string())?;
+        let mesh = self
+            .services
+            .get_port::<Rc<dyn MeshPort>>("mesh")
+            .map_err(|e| e.to_string())?;
+        let data = self
+            .services
+            .get_port::<Rc<dyn DataPort>>("data")
+            .map_err(|e| e.to_string())?;
+        let nvars = data.nvars(state);
+        let mut total_steps = 0usize;
+        let mut failure: Option<String> = None;
+        // "for all cells and all patches", finest-first so coarse covered
+        // regions could be skipped by restriction afterwards; order does
+        // not matter physically (point operation).
+        for level in 0..mesh.n_levels() {
+            for (id, _interior, _) in mesh.patches(level) {
+                let mut step_patch = |pd: &mut PatchData| {
+                    let mut cell_state = vec![0.0; nvars];
+                    let interior = pd.interior;
+                    for (i, j) in interior.cells() {
+                        if mesh.covered_by_finer(level, i, j) {
+                            continue; // the finer level integrates this region
+                        }
+                        for (v, cs) in cell_state.iter_mut().enumerate() {
+                            *cs = pd.get(v, i, j);
+                        }
+                        let rhs = Rc::new(CellChemistryRhs::new(chem.clone(), p));
+                        match integ.integrate(rhs, 0.0, dt, &mut cell_state) {
+                            Ok(st) => total_steps += st.steps,
+                            Err(e) => {
+                                failure.get_or_insert(format!(
+                                    "cell ({i},{j}) level {level}: {e}"
+                                ));
+                                return;
+                            }
+                        }
+                        for (v, cs) in cell_state.iter().enumerate() {
+                            pd.set(v, i, j, *cs);
+                        }
+                    }
+                };
+                data.with_patch_mut(state, level, id, &mut step_patch);
+                if let Some(e) = failure {
+                    return Err(e);
+                }
+                failure = None;
+            }
+        }
+        Ok(total_steps)
+    }
+}
+
+/// The `ImplicitIntegrator` adaptor: provides `chemistry-advance`; uses
+/// `chemistry`, `integrator`, `mesh`, `data`.
+#[derive(Default)]
+pub struct ImplicitIntegrator;
+
+impl Component for ImplicitIntegrator {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn ChemistrySourcePort>>("chemistry");
+        s.register_uses_port::<Rc<dyn OdeIntegratorPort>>("integrator");
+        s.register_uses_port::<Rc<dyn MeshPort>>("mesh");
+        s.register_uses_port::<Rc<dyn DataPort>>("data");
+        s.add_provides_port::<Rc<dyn ChemistryAdvancePort>>(
+            "chemistry-advance",
+            Rc::new(ImplicitInner {
+                services: s.clone(),
+            }),
+        );
+    }
+}

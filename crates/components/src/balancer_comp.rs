@@ -1,0 +1,158 @@
+//! Load-balancer components — the paper's future-work item (1): a defined
+//! interface to load balancers so "a number of them" can be tested by
+//! assembly-time substitution, exactly like the Godunov→EFM flux swap.
+
+use crate::ports::LoadBalancerPort;
+use cca_core::{Component, Services};
+use cca_mesh::balance::assign_greedy;
+use std::rc::Rc;
+
+struct Greedy;
+
+impl LoadBalancerPort for Greedy {
+    fn assign(&self, work: &[f64], nranks: usize) -> Vec<usize> {
+        assign_greedy(work, nranks)
+    }
+
+    fn balancer_name(&self) -> &'static str {
+        "greedy-lpt"
+    }
+}
+
+/// Work-aware greedy LPT balancer (the production choice). Provides
+/// `load-balancer`.
+#[derive(Default)]
+pub struct GreedyLoadBalancer;
+
+impl Component for GreedyLoadBalancer {
+    fn set_services(&mut self, s: Services) {
+        s.add_provides_port::<Rc<dyn LoadBalancerPort>>("load-balancer", Rc::new(Greedy));
+    }
+}
+
+struct RoundRobin;
+
+impl LoadBalancerPort for RoundRobin {
+    fn assign(&self, work: &[f64], nranks: usize) -> Vec<usize> {
+        (0..work.len()).map(|i| i % nranks.max(1)).collect()
+    }
+
+    fn balancer_name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Work-blind round-robin balancer (the naive baseline the ablation bench
+/// measures against). Provides `load-balancer`.
+#[derive(Default)]
+pub struct RoundRobinLoadBalancer;
+
+impl Component for RoundRobinLoadBalancer {
+    fn set_services(&mut self, s: Services) {
+        s.add_provides_port::<Rc<dyn LoadBalancerPort>>("load-balancer", Rc::new(RoundRobin));
+    }
+}
+
+struct SpaceFilling;
+
+impl LoadBalancerPort for SpaceFilling {
+    /// Contiguous block partition in input (space-filling-curve) order:
+    /// splits the prefix-sum of work into `nranks` near-equal segments.
+    /// Preserves locality (neighbouring patches stay together) at some
+    /// balance cost — the HDDA/DAGH (GrACE-lineage) strategy.
+    fn assign(&self, work: &[f64], nranks: usize) -> Vec<usize> {
+        let total: f64 = work.iter().sum();
+        let per_rank = total / nranks.max(1) as f64;
+        let mut owner = Vec::with_capacity(work.len());
+        let mut acc = 0.0;
+        for w in work {
+            let r = if per_rank > 0.0 {
+                ((acc / per_rank) as usize).min(nranks - 1)
+            } else {
+                0
+            };
+            owner.push(r);
+            acc += w;
+        }
+        owner
+    }
+
+    fn balancer_name(&self) -> &'static str {
+        "space-filling-blocks"
+    }
+}
+
+/// Locality-preserving block balancer in curve order (GrACE's composite
+/// approach). Provides `load-balancer`.
+#[derive(Default)]
+pub struct SpaceFillingLoadBalancer;
+
+impl Component for SpaceFillingLoadBalancer {
+    fn set_services(&mut self, s: Services) {
+        s.add_provides_port::<Rc<dyn LoadBalancerPort>>("load-balancer", Rc::new(SpaceFilling));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_mesh::balance::imbalance;
+
+    fn loads(owners: &[usize], work: &[f64], nranks: usize) -> Vec<f64> {
+        let mut l = vec![0.0; nranks];
+        for (o, w) in owners.iter().zip(work) {
+            l[*o] += w;
+        }
+        l
+    }
+
+    #[test]
+    fn all_balancers_produce_valid_assignments() {
+        let work = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for (port, name) in [
+            (&Greedy as &dyn LoadBalancerPort, "greedy-lpt"),
+            (&RoundRobin, "round-robin"),
+            (&SpaceFilling, "space-filling-blocks"),
+        ] {
+            let owners = port.assign(&work, 3);
+            assert_eq!(owners.len(), work.len(), "{name}");
+            assert!(owners.iter().all(|&o| o < 3), "{name}");
+            assert_eq!(port.balancer_name(), name);
+        }
+    }
+
+    #[test]
+    fn greedy_beats_round_robin_on_skewed_work() {
+        let mut work = vec![1.0; 15];
+        work.push(15.0); // one burning patch
+        let gi = imbalance(&loads(&Greedy.assign(&work, 4), &work, 4));
+        let ri = imbalance(&loads(&RoundRobin.assign(&work, 4), &work, 4));
+        assert!(gi < ri, "greedy {gi} vs rr {ri}");
+    }
+
+    #[test]
+    fn space_filling_blocks_are_contiguous() {
+        let work = vec![1.0; 12];
+        let owners = SpaceFilling.assign(&work, 4);
+        // Owners are non-decreasing (contiguous blocks in curve order).
+        for pair in owners.windows(2) {
+            assert!(pair[0] <= pair[1], "{owners:?}");
+        }
+        // And roughly balanced for uniform work.
+        let l = loads(&owners, &work, 4);
+        assert!(imbalance(&l) < 1.5, "{l:?}");
+    }
+
+    #[test]
+    fn components_register_through_framework() {
+        let mut fw = cca_core::Framework::new();
+        fw.register_class("Greedy", || Box::<GreedyLoadBalancer>::default());
+        fw.register_class("RR", || Box::<RoundRobinLoadBalancer>::default());
+        fw.instantiate("Greedy", "g").unwrap();
+        fw.instantiate("RR", "r").unwrap();
+        let g: Rc<dyn LoadBalancerPort> = fw.get_provides_port("g", "load-balancer").unwrap();
+        let r: Rc<dyn LoadBalancerPort> = fw.get_provides_port("r", "load-balancer").unwrap();
+        assert_eq!(g.balancer_name(), "greedy-lpt");
+        assert_eq!(r.balancer_name(), "round-robin");
+    }
+}

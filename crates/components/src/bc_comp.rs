@@ -1,0 +1,75 @@
+//! `BoundaryConditions` components. The shock tube of §4.3 "has
+//! reflecting boundary conditions above and below and outflow on the
+//! right"; the reaction–diffusion flame burns in an open domain modeled
+//! with zero-gradient (adiabatic, no-flux) walls.
+
+use crate::ports::BoundaryConditionPort;
+use cca_core::{Component, Services};
+use cca_mesh::bc::{BcKind, Side};
+use std::rc::Rc;
+
+struct ShockTube;
+
+impl BoundaryConditionPort for ShockTube {
+    fn rule(&self, side: Side, var: usize) -> BcKind {
+        match side {
+            // Reflecting walls above and below: mirror everything, negate
+            // the normal momentum (variable 2 = ρv).
+            Side::YLo | Side::YHi => BcKind::Reflect { odd: var == 2 },
+            // Outflow (zero gradient) right; the left state is the
+            // uniform post-shock inflow, which zero-gradient preserves.
+            Side::XLo | Side::XHi => BcKind::ZeroGradient,
+        }
+    }
+}
+
+/// Shock-tube boundary conditions: provides `bc`.
+#[derive(Default)]
+pub struct BoundaryConditions;
+
+impl Component for BoundaryConditions {
+    fn set_services(&mut self, s: Services) {
+        s.add_provides_port::<Rc<dyn BoundaryConditionPort>>("bc", Rc::new(ShockTube));
+    }
+}
+
+struct Adiabatic;
+
+impl BoundaryConditionPort for Adiabatic {
+    fn rule(&self, _side: Side, _var: usize) -> BcKind {
+        BcKind::ZeroGradient
+    }
+}
+
+/// Adiabatic no-flux walls for the reaction–diffusion box: provides `bc`.
+#[derive(Default)]
+pub struct AdiabaticWallsBc;
+
+impl Component for AdiabaticWallsBc {
+    fn set_services(&mut self, s: Services) {
+        s.add_provides_port::<Rc<dyn BoundaryConditionPort>>("bc", Rc::new(Adiabatic));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shock_tube_rules() {
+        let bc = ShockTube;
+        assert_eq!(bc.rule(Side::YLo, 2), BcKind::Reflect { odd: true });
+        assert_eq!(bc.rule(Side::YHi, 1), BcKind::Reflect { odd: false });
+        assert_eq!(bc.rule(Side::XHi, 0), BcKind::ZeroGradient);
+    }
+
+    #[test]
+    fn adiabatic_is_zero_gradient_everywhere() {
+        let bc = Adiabatic;
+        for side in [Side::XLo, Side::XHi, Side::YLo, Side::YHi] {
+            for var in 0..9 {
+                assert_eq!(bc.rule(side, var), BcKind::ZeroGradient);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! `DiffusionPhysics` — the patch-at-a-time evaluator of the diffusive
+//! transport source term `K ∇·(B ∇Φ)` of paper Eq. 3, with
+//! `Φ = {T, Y₁…Y_{N−1}}`, `K = (1/ρ){1/cp, 1, …}`, `B = {λ, ρD₁, …}`.
+
+use crate::ports::{ChemistrySourcePort, PatchRhsPort, TransportPort};
+use cca_core::{Component, Services};
+use cca_mesh::data::PatchData;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Fixed ambient pressure of the open-domain flame (Pa): "pressure is
+/// assumed to be constant in time and space (i.e. burning in an open
+/// domain)".
+const P0: f64 = 101_325.0;
+
+struct Inner {
+    services: Services,
+    evals: Cell<usize>,
+}
+
+struct CellProps {
+    /// λ at the cell.
+    lambda: f64,
+    /// ρ·D_i per species.
+    rho_d: Vec<f64>,
+    /// 1/(ρ cp).
+    inv_rho_cp: f64,
+    /// 1/ρ.
+    inv_rho: f64,
+}
+
+impl Inner {
+    fn props(
+        &self,
+        chem: &Rc<dyn ChemistrySourcePort>,
+        transport: &Rc<dyn TransportPort>,
+        pd: &PatchData,
+        i: i64,
+        j: i64,
+    ) -> CellProps {
+        let n = chem.n_species();
+        let t = pd.get(0, i, j).max(200.0);
+        let mut y = vec![0.0; n];
+        let mut bulk = 1.0;
+        for v in 0..n - 1 {
+            y[v] = pd.get(1 + v, i, j);
+            bulk -= y[v];
+        }
+        y[n - 1] = bulk;
+        let w_mean = chem.mean_molar_mass(&y);
+        let rho = chem.density(t, P0, &y);
+        let mut x = vec![0.0; n];
+        for v in 0..n {
+            x[v] = y[v] * w_mean / chem.molar_mass(v);
+        }
+        let mut d = vec![0.0; n];
+        transport.mix_diffusivities(t, P0, &x, &mut d);
+        let lambda = transport.mix_conductivity(t, &x);
+        let cp = chem.cp_mass(t, &y);
+        CellProps {
+            lambda,
+            rho_d: d.iter().map(|di| rho * di).collect(),
+            inv_rho_cp: 1.0 / (rho * cp),
+            inv_rho: 1.0 / rho,
+        }
+    }
+}
+
+impl PatchRhsPort for Inner {
+    fn eval_patch(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, _t: f64) {
+        self.evals.set(self.evals.get() + 1);
+        let _scope = self.services.profiler().scope("DiffusionPhysics.patch-rhs");
+        let chem = self
+            .services
+            .get_port::<Rc<dyn ChemistrySourcePort>>("chemistry")
+            .expect("DiffusionPhysics needs the chemistry port");
+        let transport = self
+            .services
+            .get_port::<Rc<dyn TransportPort>>("transport")
+            .expect("DiffusionPhysics needs the transport port");
+        let n = chem.n_species();
+        assert_eq!(state.nvars, n, "state layout is {{T, Y1..Y_{{N-1}}}}");
+        assert!(state.nghost >= 1);
+
+        // Pre-compute properties on interior+1 ring, row-major cache.
+        let ring = state.interior.grow(1);
+        let nx = ring.nx();
+        let props: Vec<CellProps> = ring
+            .cells()
+            .map(|(i, j)| self.props(&chem, &transport, state, i, j))
+            .collect();
+        let at = |i: i64, j: i64| -> &CellProps {
+            let ii = (i - ring.lo[0]) as usize;
+            let jj = (j - ring.lo[1]) as usize;
+            &props[jj * nx as usize + ii]
+        };
+
+        let interior = state.interior;
+        for (i, j) in interior.cells() {
+            let pc = at(i, j);
+            // Temperature: (1/ρcp) ∇·(λ∇T), 5-point form with
+            // face-averaged coefficients.
+            let lam_c = pc.lambda;
+            let lam_e = 0.5 * (lam_c + at(i + 1, j).lambda);
+            let lam_w = 0.5 * (lam_c + at(i - 1, j).lambda);
+            let lam_n = 0.5 * (lam_c + at(i, j + 1).lambda);
+            let lam_s = 0.5 * (lam_c + at(i, j - 1).lambda);
+            let t_c = state.get(0, i, j);
+            let div_t = (lam_e * (state.get(0, i + 1, j) - t_c)
+                - lam_w * (t_c - state.get(0, i - 1, j)))
+                / (dx * dx)
+                + (lam_n * (state.get(0, i, j + 1) - t_c)
+                    - lam_s * (t_c - state.get(0, i, j - 1)))
+                    / (dy * dy);
+            rhs.set(0, i, j, pc.inv_rho_cp * div_t);
+            // Species: (1/ρ) ∇·(ρD_i ∇Y_i) for the N-1 stored species.
+            for v in 0..n - 1 {
+                let b_c = pc.rho_d[v];
+                let b_e = 0.5 * (b_c + at(i + 1, j).rho_d[v]);
+                let b_w = 0.5 * (b_c + at(i - 1, j).rho_d[v]);
+                let b_n = 0.5 * (b_c + at(i, j + 1).rho_d[v]);
+                let b_s = 0.5 * (b_c + at(i, j - 1).rho_d[v]);
+                let y_c = state.get(1 + v, i, j);
+                let div = (b_e * (state.get(1 + v, i + 1, j) - y_c)
+                    - b_w * (y_c - state.get(1 + v, i - 1, j)))
+                    / (dx * dx)
+                    + (b_n * (state.get(1 + v, i, j + 1) - y_c)
+                        - b_s * (y_c - state.get(1 + v, i, j - 1)))
+                        / (dy * dy);
+                rhs.set(1 + v, i, j, pc.inv_rho * div);
+            }
+        }
+    }
+
+    fn evals(&self) -> usize {
+        self.evals.get()
+    }
+}
+
+/// The component: provides `patch-rhs` (PatchRhsPort); uses `chemistry`
+/// and `transport`.
+#[derive(Default)]
+pub struct DiffusionPhysics;
+
+impl Component for DiffusionPhysics {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn ChemistrySourcePort>>("chemistry");
+        s.register_uses_port::<Rc<dyn TransportPort>>("transport");
+        s.add_provides_port::<Rc<dyn PatchRhsPort>>(
+            "patch-rhs",
+            Rc::new(Inner {
+                services: s.clone(),
+                evals: Cell::new(0),
+            }),
+        );
+    }
+}

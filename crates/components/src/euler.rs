@@ -1,0 +1,318 @@
+//! The Euler-solver component family of the shock assembly (Table 3):
+//! `States`, `GodunovFlux`, `EFMFlux`, `InviscidFlux` (the adaptor that
+//! "supplies the right-hand-side of the equation, patch-by-patch"),
+//! `CharacteristicQuantities`, and the `GasProperties` database.
+
+use crate::ports::{
+    DataPort, EigenEstimatePort, FluxPort, MeshPort, PatchRhsPort, StatesPort,
+};
+use cca_core::{Component, ParameterPort, ParameterStore, Services};
+use cca_hydro_solver::efm::EfmFlux;
+use cca_hydro_solver::muscl::{interface_states, max_wave_speed};
+use cca_hydro_solver::riemann::GodunovFlux;
+use cca_hydro_solver::{FluxScheme, Limiter, Prim, NVARS};
+use cca_mesh::data::PatchData;
+use std::cell::Cell;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// GasProperties (Database)
+// ---------------------------------------------------------------------
+
+/// The `GasProperties` database: γ and friends, retrieved "using a
+/// key-value pair mechanism".
+#[derive(Default)]
+pub struct GasProperties;
+
+impl Component for GasProperties {
+    fn set_services(&mut self, s: Services) {
+        let store = Rc::new(ParameterStore::new());
+        store.set_parameter("gamma", 1.4);
+        store.set_parameter("density_ratio", 3.0);
+        s.add_provides_port::<Rc<dyn ParameterPort>>("gas", store);
+    }
+}
+
+// ---------------------------------------------------------------------
+// States
+// ---------------------------------------------------------------------
+
+struct StatesInner {
+    limiter: Cell<Limiter>,
+}
+
+impl StatesPort for StatesInner {
+    fn reconstruct(
+        &self,
+        b: &[f64; 5],
+        c: &[f64; 5],
+        d: &[f64; 5],
+        e: &[f64; 5],
+        gamma: f64,
+    ) -> (Prim, Prim) {
+        interface_states(b, c, d, e, gamma, self.limiter.get())
+    }
+}
+
+impl ParameterPort for StatesInner {
+    fn set_parameter(&self, key: &str, value: f64) {
+        if key == "limiter" {
+            self.limiter.set(match value as i64 {
+                0 => Limiter::FirstOrder,
+                1 => Limiter::MinMod,
+                2 => Limiter::VanLeer,
+                3 => Limiter::MonotonizedCentral,
+                4 => Limiter::Superbee,
+                _ => Limiter::None,
+            });
+        }
+    }
+
+    fn get_parameter(&self, key: &str) -> Option<f64> {
+        (key == "limiter").then(|| match self.limiter.get() {
+            Limiter::FirstOrder => 0.0,
+            Limiter::MinMod => 1.0,
+            Limiter::VanLeer => 2.0,
+            Limiter::MonotonizedCentral => 3.0,
+            Limiter::Superbee => 4.0,
+            Limiter::None => 5.0,
+        })
+    }
+}
+
+/// The `States` component: slope-limited interface reconstruction.
+/// Provides `states` (StatesPort) and `config` (ParameterPort `limiter`:
+/// 0 = first-order, 1 = minmod, 2 = van Leer, 3 = MC, 4 = superbee).
+#[derive(Default)]
+pub struct StatesComponent;
+
+impl Component for StatesComponent {
+    fn set_services(&mut self, s: Services) {
+        let inner = Rc::new(StatesInner {
+            limiter: Cell::new(Limiter::VanLeer),
+        });
+        s.add_provides_port::<Rc<dyn StatesPort>>("states", inner.clone());
+        s.add_provides_port::<Rc<dyn ParameterPort>>("config", inner);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flux components
+// ---------------------------------------------------------------------
+
+struct FluxWrap<S: FluxScheme>(S);
+
+impl<S: FluxScheme> FluxPort for FluxWrap<S> {
+    fn flux_x(&self, left: &Prim, right: &Prim, gamma: f64) -> [f64; 5] {
+        self.0.flux_x(left, right, gamma)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// The `GodunovFlux` component (exact Riemann solution at the interface).
+#[derive(Default)]
+pub struct GodunovFluxComponent;
+
+impl Component for GodunovFluxComponent {
+    fn set_services(&mut self, s: Services) {
+        s.add_provides_port::<Rc<dyn FluxPort>>("flux", Rc::new(FluxWrap(GodunovFlux)));
+    }
+}
+
+/// The `EFMFlux` component (Pullin's gas-kinetic flux; "a more diffusive
+/// gas-kinetic scheme" that stays stable for strong shocks).
+#[derive(Default)]
+pub struct EfmFluxComponent;
+
+impl Component for EfmFluxComponent {
+    fn set_services(&mut self, s: Services) {
+        s.add_provides_port::<Rc<dyn FluxPort>>("flux", Rc::new(FluxWrap(EfmFlux)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// InviscidFlux (adaptor; PatchRhsPort)
+// ---------------------------------------------------------------------
+
+struct InviscidInner {
+    services: Services,
+    evals: Cell<usize>,
+}
+
+impl InviscidInner {
+    fn gamma(&self) -> f64 {
+        self.services
+            .get_port::<Rc<dyn ParameterPort>>("gas")
+            .expect("InviscidFlux needs the GasProperties port")
+            .get_parameter("gamma")
+            .unwrap_or(1.4)
+    }
+}
+
+fn load(pd: &PatchData, i: i64, j: i64) -> [f64; NVARS] {
+    let mut u = [0.0; NVARS];
+    for (var, uk) in u.iter_mut().enumerate() {
+        *uk = pd.get(var, i, j);
+    }
+    u
+}
+
+fn swap_uv(w: &Prim) -> Prim {
+    Prim {
+        rho: w.rho,
+        u: w.v,
+        v: w.u,
+        p: w.p,
+        zeta: w.zeta,
+    }
+}
+
+impl PatchRhsPort for InviscidInner {
+    fn eval_patch(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, _t: f64) {
+        self.evals.set(self.evals.get() + 1);
+        let _scope = self.services.profiler().scope("InviscidFlux.patch-rhs");
+        let states = self
+            .services
+            .get_port::<Rc<dyn StatesPort>>("states")
+            .expect("InviscidFlux needs the States port");
+        let flux = self
+            .services
+            .get_port::<Rc<dyn FluxPort>>("flux")
+            .expect("InviscidFlux needs a flux port");
+        let gamma = self.gamma();
+        assert!(state.nghost >= 2, "MUSCL needs two ghost layers");
+        let interior = state.interior;
+        for var in 0..NVARS {
+            rhs.fill_var(var, 0.0);
+        }
+        // x sweep — every interface through the CCA States/Flux ports.
+        for j in interior.lo[1]..=interior.hi[1] {
+            for i in interior.lo[0]..=interior.hi[0] + 1 {
+                let (wl, wr) = states.reconstruct(
+                    &load(state, i - 2, j),
+                    &load(state, i - 1, j),
+                    &load(state, i, j),
+                    &load(state, i + 1, j),
+                    gamma,
+                );
+                let f = flux.flux_x(&wl, &wr, gamma);
+                for var in 0..NVARS {
+                    if interior.contains(i - 1, j) {
+                        rhs.add(var, i - 1, j, -f[var] / dx);
+                    }
+                    if interior.contains(i, j) {
+                        rhs.add(var, i, j, f[var] / dx);
+                    }
+                }
+            }
+        }
+        // y sweep with rotated states.
+        for j in interior.lo[1]..=interior.hi[1] + 1 {
+            for i in interior.lo[0]..=interior.hi[0] {
+                let (wl, wr) = states.reconstruct(
+                    &load(state, i, j - 2),
+                    &load(state, i, j - 1),
+                    &load(state, i, j),
+                    &load(state, i, j + 1),
+                    gamma,
+                );
+                let fr = flux.flux_x(&swap_uv(&wl), &swap_uv(&wr), gamma);
+                let f = [fr[0], fr[2], fr[1], fr[3], fr[4]];
+                for var in 0..NVARS {
+                    if interior.contains(i, j - 1) {
+                        rhs.add(var, i, j - 1, -f[var] / dy);
+                    }
+                    if interior.contains(i, j) {
+                        rhs.add(var, i, j, f[var] / dy);
+                    }
+                }
+            }
+        }
+    }
+
+    fn evals(&self) -> usize {
+        self.evals.get()
+    }
+}
+
+/// The `InviscidFlux` adaptor: provides `patch-rhs`; uses `states`,
+/// `flux`, `gas`.
+#[derive(Default)]
+pub struct InviscidFluxComponent;
+
+impl Component for InviscidFluxComponent {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn StatesPort>>("states");
+        s.register_uses_port::<Rc<dyn FluxPort>>("flux");
+        s.register_uses_port::<Rc<dyn ParameterPort>>("gas");
+        s.add_provides_port::<Rc<dyn PatchRhsPort>>(
+            "patch-rhs",
+            Rc::new(InviscidInner {
+                services: s.clone(),
+                evals: Cell::new(0),
+            }),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// CharacteristicQuantities
+// ---------------------------------------------------------------------
+
+struct CharInner {
+    services: Services,
+}
+
+impl EigenEstimatePort for CharInner {
+    /// Largest `(|u|+c)/dx + (|v|+c)/dy` over the hierarchy — the inverse
+    /// of the stable time step up to the CFL number.
+    fn estimate(&self, name: &str) -> f64 {
+        let mesh = self
+            .services
+            .get_port::<Rc<dyn MeshPort>>("mesh")
+            .expect("CharacteristicQuantities needs the mesh port");
+        let data = self
+            .services
+            .get_port::<Rc<dyn DataPort>>("data")
+            .expect("CharacteristicQuantities needs the data port");
+        let gamma = self
+            .services
+            .get_port::<Rc<dyn ParameterPort>>("gas")
+            .expect("CharacteristicQuantities needs the GasProperties port")
+            .get_parameter("gamma")
+            .unwrap_or(1.4);
+        let mut m: f64 = 0.0;
+        for level in 0..mesh.n_levels() {
+            let dx = mesh.dx(level);
+            for (id, _, _) in mesh.patches(level) {
+                data.with_patch(name, level, id, &mut |pd| {
+                    m = m.max(max_wave_speed(pd, gamma, dx[0], dx[1]));
+                });
+            }
+        }
+        m
+    }
+}
+
+/// The `CharacteristicQuantities` component: provides `eigen-estimate`;
+/// uses `mesh`, `data`, `gas`.
+#[derive(Default)]
+pub struct CharacteristicQuantities;
+
+impl Component for CharacteristicQuantities {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn MeshPort>>("mesh");
+        s.register_uses_port::<Rc<dyn DataPort>>("data");
+        s.register_uses_port::<Rc<dyn ParameterPort>>("gas");
+        s.add_provides_port::<Rc<dyn EigenEstimatePort>>(
+            "eigen-estimate",
+            Rc::new(CharInner {
+                services: s.clone(),
+            }),
+        );
+    }
+}
+

@@ -1,0 +1,353 @@
+//! Initial Condition components: the 0D `Initializer`, the hot-spot IC of
+//! the reaction–diffusion flame (§4.2: "initializes a configuration with
+//! three hot-spots"), and the `ConicalInterfaceIC` of the shock problem
+//! (§4.3: "a shock tube with Air and Freon (density ratio 3) separated by
+//! an oblique (30° from the vertical) interface which is ruptured by a
+//! Mach 1.5 shock").
+
+use crate::ports::{
+    ChemistrySourcePort, DataPort, InitialConditionPort, MeshPort, OdeIntegratorPort, OdeRhsPort,
+    SolutionPort,
+};
+use cca_core::{Component, GoPort, ParameterPort, ParameterStore, Services};
+use cca_hydro_solver::{prim_to_cons, Prim, NVARS};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Standard atmosphere, Pa.
+const P_ATM: f64 = 101_325.0;
+
+// ---------------------------------------------------------------------
+// 0D Initializer (doubles as the driver of the Fig. 1 assembly)
+// ---------------------------------------------------------------------
+
+struct Init0dInner {
+    services: Services,
+    params: Rc<ParameterStore>,
+    result: RefCell<Vec<f64>>,
+    t_reached: Cell<f64>,
+}
+
+impl Init0dInner {
+    /// Stoichiometric H₂–air mass fractions for an `n`-species table laid
+    /// out like the `cca-chem` mechanisms (H2 first, O2 second, N2 last).
+    fn stoichiometric(n: usize) -> Vec<f64> {
+        let w_h2 = 2.0 * 2.016;
+        let w_o2 = 31.998;
+        let w_n2 = 3.76 * 28.014;
+        let total = w_h2 + w_o2 + w_n2;
+        let mut y = vec![0.0; n];
+        y[0] = w_h2 / total;
+        y[1] = w_o2 / total;
+        y[n - 1] = w_n2 / total;
+        y
+    }
+}
+
+impl GoPort for Init0dInner {
+    fn go(&self) -> Result<(), String> {
+        let chem = self
+            .services
+            .get_port::<Rc<dyn ChemistrySourcePort>>("chemistry")
+            .map_err(|e| e.to_string())?;
+        let rhs = self
+            .services
+            .get_port::<Rc<dyn OdeRhsPort>>("rhs")
+            .map_err(|e| e.to_string())?;
+        let integ = self
+            .services
+            .get_port::<Rc<dyn OdeIntegratorPort>>("integrator")
+            .map_err(|e| e.to_string())?;
+        let modeler_cfg = self
+            .services
+            .get_port::<Rc<dyn ParameterPort>>("modeler-config")
+            .map_err(|e| e.to_string())?;
+
+        let t0 = self.params.get_parameter("T0").unwrap_or(1000.0);
+        let p0 = self.params.get_parameter("P0").unwrap_or(P_ATM);
+        let t_end = self.params.get_parameter("t_end").unwrap_or(1.0e-3);
+        let n = chem.n_species();
+        let y = Self::stoichiometric(n);
+        // Rigid vessel: freeze the density at its initial value and tell
+        // the problemModeler.
+        let rho = chem.density(t0, p0, &y);
+        modeler_cfg.set_parameter("density", rho);
+
+        // Paper state layout: Φ = {T, Y1..Y_{N-1}, P0}.
+        let mut state = Vec::with_capacity(n + 1);
+        state.push(t0);
+        state.extend_from_slice(&y[..n - 1]);
+        state.push(p0);
+        integ
+            .integrate(rhs, 0.0, t_end, &mut state)
+            .map_err(|e| format!("0D ignition failed: {e}"))?;
+        *self.result.borrow_mut() = state;
+        self.t_reached.set(t_end);
+        Ok(())
+    }
+}
+
+impl SolutionPort for Init0dInner {
+    fn solution(&self) -> Vec<f64> {
+        self.result.borrow().clone()
+    }
+
+    fn time(&self) -> f64 {
+        self.t_reached.get()
+    }
+}
+
+/// The 0D `Initializer`: provides `go` (GoPort), `solution`
+/// (SolutionPort), `setup` (ParameterPort: `T0`, `P0`, `t_end`); uses
+/// `chemistry`, `rhs`, `integrator`, `modeler-config`.
+#[derive(Default)]
+pub struct Initializer0D;
+
+impl Component for Initializer0D {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn ChemistrySourcePort>>("chemistry");
+        s.register_uses_port::<Rc<dyn OdeRhsPort>>("rhs");
+        s.register_uses_port::<Rc<dyn OdeIntegratorPort>>("integrator");
+        s.register_uses_port::<Rc<dyn ParameterPort>>("modeler-config");
+        let params = Rc::new(ParameterStore::new());
+        let inner = Rc::new(Init0dInner {
+            services: s.clone(),
+            params: params.clone(),
+            result: RefCell::new(Vec::new()),
+            t_reached: Cell::new(0.0),
+        });
+        s.add_provides_port::<Rc<dyn GoPort>>("go", inner.clone());
+        s.add_provides_port::<Rc<dyn SolutionPort>>("solution", inner);
+        s.add_provides_port::<Rc<dyn ParameterPort>>("setup", params);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hot-spot IC for the 2D reaction-diffusion flame
+// ---------------------------------------------------------------------
+
+struct HotSpotsInner {
+    services: Services,
+    params: Rc<ParameterStore>,
+}
+
+impl InitialConditionPort for HotSpotsInner {
+    fn apply(&self, state: &str) {
+        let _scope = self.services.profiler().scope("InitialCondition.ic");
+        let mesh = self
+            .services
+            .get_port::<Rc<dyn MeshPort>>("mesh")
+            .expect("HotSpotsIC needs the mesh port");
+        let data = self
+            .services
+            .get_port::<Rc<dyn DataPort>>("data")
+            .expect("HotSpotsIC needs the data port");
+        let chem = self
+            .services
+            .get_port::<Rc<dyn ChemistrySourcePort>>("chemistry")
+            .expect("HotSpotsIC needs the chemistry port");
+        let n = chem.n_species();
+        let y = Init0dInner::stoichiometric(n);
+        let t_ambient = self.params.get_parameter("T_ambient").unwrap_or(300.0);
+        let t_hot = self.params.get_parameter("T_hot").unwrap_or(1400.0);
+        let radius = self.params.get_parameter("radius").unwrap_or(0.8e-3);
+        // Three hot spots placed asymmetrically in the square domain (in
+        // fractions of the domain side).
+        let spots = [(0.35, 0.35), (0.65, 0.45), (0.45, 0.70)];
+        let dom = mesh.level_domain(0);
+        let dx0 = mesh.dx(0);
+        let lx = dom.nx() as f64 * dx0[0];
+        let ly = dom.ny() as f64 * dx0[1];
+        for level in 0..mesh.n_levels() {
+            for (id, _box_, _) in mesh.patches(level) {
+                data.with_patch_mut(state, level, id, &mut |pd| {
+                    let total = pd.total_box();
+                    for (i, j) in total.cells() {
+                        let [x, yy] = mesh.cell_center(level, i, j);
+                        let mut t = t_ambient;
+                        for (fx, fy) in spots {
+                            let dx = x - fx * lx;
+                            let dy = yy - fy * ly;
+                            let r2 = (dx * dx + dy * dy) / (radius * radius);
+                            t += (t_hot - t_ambient) * (-r2).exp();
+                        }
+                        pd.set(0, i, j, t);
+                        for v in 1..n {
+                            pd.set(v, i, j, y[v - 1]);
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Hot-spot initial condition: provides `ic` (InitialConditionPort) and
+/// `setup` (ParameterPort: `T_ambient`, `T_hot`, `radius`); uses `mesh`,
+/// `data`, `chemistry`.
+#[derive(Default)]
+pub struct HotSpotsIC;
+
+impl Component for HotSpotsIC {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn MeshPort>>("mesh");
+        s.register_uses_port::<Rc<dyn DataPort>>("data");
+        s.register_uses_port::<Rc<dyn ChemistrySourcePort>>("chemistry");
+        let params = Rc::new(ParameterStore::new());
+        let inner = Rc::new(HotSpotsInner {
+            services: s.clone(),
+            params: params.clone(),
+        });
+        s.add_provides_port::<Rc<dyn InitialConditionPort>>("ic", inner);
+        s.add_provides_port::<Rc<dyn ParameterPort>>("setup", params);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conical (oblique) interface + shock IC
+// ---------------------------------------------------------------------
+
+struct ConicalInner {
+    services: Services,
+    params: Rc<ParameterStore>,
+}
+
+impl ConicalInner {
+    /// Pre-shock, post-shock and heavy-gas primitive states from the
+    /// normal-shock relations at Mach `ms`.
+    fn states(&self, gamma: f64, ms: f64, density_ratio: f64) -> (Prim, Prim, Prim) {
+        // Nondimensional pre-shock air: rho = gamma (so c = 1), p = 1.
+        let pre = Prim {
+            rho: gamma,
+            u: 0.0,
+            v: 0.0,
+            p: 1.0,
+            zeta: 0.0,
+        };
+        let p2 = 1.0 + 2.0 * gamma / (gamma + 1.0) * (ms * ms - 1.0);
+        let r2 = (gamma + 1.0) * ms * ms / ((gamma - 1.0) * ms * ms + 2.0);
+        let u2 = ms * (1.0 - 1.0 / r2); // c1 = 1
+        let post = Prim {
+            rho: pre.rho * r2,
+            u: u2,
+            v: 0.0,
+            p: p2,
+            zeta: 0.0,
+        };
+        let heavy = Prim {
+            rho: pre.rho * density_ratio,
+            u: 0.0,
+            v: 0.0,
+            p: 1.0,
+            zeta: 1.0,
+        };
+        (pre, post, heavy)
+    }
+}
+
+impl InitialConditionPort for ConicalInner {
+    fn apply(&self, state: &str) {
+        let _scope = self.services.profiler().scope("ConicalInterfaceIC.ic");
+        let mesh = self
+            .services
+            .get_port::<Rc<dyn MeshPort>>("mesh")
+            .expect("ConicalInterfaceIC needs the mesh port");
+        let data = self
+            .services
+            .get_port::<Rc<dyn DataPort>>("data")
+            .expect("ConicalInterfaceIC needs the data port");
+        let gas = self
+            .services
+            .get_port::<Rc<dyn ParameterPort>>("gas")
+            .expect("ConicalInterfaceIC needs the GasProperties port");
+        let gamma = gas.get_parameter("gamma").unwrap_or(1.4);
+        let ms = self.params.get_parameter("mach").unwrap_or(1.5);
+        let ratio = self.params.get_parameter("density_ratio").unwrap_or(3.0);
+        let angle = self
+            .params
+            .get_parameter("angle_deg")
+            .unwrap_or(30.0)
+            .to_radians();
+        let dom = mesh.level_domain(0);
+        let dx0 = mesh.dx(0);
+        let lx = dom.nx() as f64 * dx0[0];
+        let x_shock = self.params.get_parameter("x_shock").unwrap_or(0.15 * lx);
+        let x_interface = self
+            .params
+            .get_parameter("x_interface")
+            .unwrap_or(0.35 * lx);
+        let (pre, post, heavy) = self.states(gamma, ms, ratio);
+        for level in 0..mesh.n_levels() {
+            for (id, _box_, _) in mesh.patches(level) {
+                data.with_patch_mut(state, level, id, &mut |pd| {
+                    let total = pd.total_box();
+                    for (i, j) in total.cells() {
+                        let [x, y] = mesh.cell_center(level, i, j);
+                        // Interface tilted `angle` from the vertical.
+                        let w = if x < x_shock {
+                            post
+                        } else if x < x_interface + y * angle.tan() {
+                            pre
+                        } else {
+                            heavy
+                        };
+                        let u = prim_to_cons(&w, gamma);
+                        for v in 0..NVARS {
+                            pd.set(v, i, j, u[v]);
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// The `ConicalInterfaceIC`: provides `ic` and `setup` (`mach`,
+/// `density_ratio`, `angle_deg`, `x_shock`, `x_interface`); uses `mesh`,
+/// `data`, `gas` (GasProperties database).
+#[derive(Default)]
+pub struct ConicalInterfaceIC;
+
+impl Component for ConicalInterfaceIC {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn MeshPort>>("mesh");
+        s.register_uses_port::<Rc<dyn DataPort>>("data");
+        s.register_uses_port::<Rc<dyn ParameterPort>>("gas");
+        let params = Rc::new(ParameterStore::new());
+        let inner = Rc::new(ConicalInner {
+            services: s.clone(),
+            params: params.clone(),
+        });
+        s.add_provides_port::<Rc<dyn InitialConditionPort>>("ic", inner);
+        s.add_provides_port::<Rc<dyn ParameterPort>>("setup", params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_shock_relations_mach_1_5() {
+        let inner = ConicalInner {
+            services: Services::new("x"),
+            params: Rc::new(ParameterStore::new()),
+        };
+        let (pre, post, heavy) = inner.states(1.4, 1.5, 3.0);
+        // Textbook Mach-1.5 normal shock: p2/p1 = 2.4583, rho2/rho1 = 1.8621.
+        assert!((post.p / pre.p - 2.4583).abs() < 1e-3);
+        assert!((post.rho / pre.rho - 1.8621).abs() < 1e-3);
+        assert!(post.u > 0.0);
+        assert_eq!(heavy.rho, 3.0 * pre.rho);
+        assert_eq!(heavy.zeta, 1.0);
+        // Pressure equilibrium across the material interface.
+        assert_eq!(heavy.p, pre.p);
+    }
+
+    #[test]
+    fn stoichiometric_helper_sums_to_one() {
+        let y = Init0dInner::stoichiometric(9);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(y[0] > 0.02 && y[0] < 0.03);
+    }
+}

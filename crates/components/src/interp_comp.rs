@@ -1,0 +1,94 @@
+//! `ProlongRestrict` — "performs the cell-centered interpolations" of the
+//! shock assembly: explicit prolongation/restriction between specific
+//! levels through the Data Object port.
+
+use crate::ports::{DataPort, InterpolationPort, MeshPort};
+use cca_core::{Component, Services};
+use cca_mesh::interp::{prolong_limited, restrict_average};
+use std::rc::Rc;
+
+struct Inner {
+    services: Services,
+}
+
+impl Inner {
+    fn ports(&self) -> (Rc<dyn MeshPort>, Rc<dyn DataPort>) {
+        (
+            self.services
+                .get_port::<Rc<dyn MeshPort>>("mesh")
+                .expect("ProlongRestrict needs the mesh port"),
+            self.services
+                .get_port::<Rc<dyn DataPort>>("data")
+                .expect("ProlongRestrict needs the data port"),
+        )
+    }
+}
+
+impl InterpolationPort for Inner {
+    fn prolong_level(&self, name: &str, level: usize) {
+        assert!(level >= 1, "prolongation targets level >= 1");
+        let (mesh, data) = self.ports();
+        let ratio = {
+            let d0 = mesh.dx(level - 1);
+            let d1 = mesh.dx(level);
+            (d0[0] / d1[0]).round() as i64
+        };
+        for (fid, fine_box, _) in mesh.patches(level) {
+            for (cid, coarse_box, _) in mesh.patches(level - 1) {
+                let Some(overlap) = fine_box.coarsen(ratio).intersect(&coarse_box) else {
+                    continue;
+                };
+                let mut donor = None;
+                data.with_patch(name, level - 1, cid, &mut |pd| donor = Some(pd.clone()));
+                let donor = donor.expect("coarse patch exists");
+                let fine_region = overlap
+                    .refine(ratio)
+                    .intersect(&fine_box)
+                    .expect("refined overlap intersects the fine box");
+                data.with_patch_mut(name, level, fid, &mut |fine_pd| {
+                    prolong_limited(fine_pd, &donor, &fine_region, ratio);
+                });
+            }
+        }
+    }
+
+    fn restrict_level(&self, name: &str, level: usize) {
+        assert!(level >= 1, "restriction sources level >= 1");
+        let (mesh, data) = self.ports();
+        let ratio = {
+            let d0 = mesh.dx(level - 1);
+            let d1 = mesh.dx(level);
+            (d0[0] / d1[0]).round() as i64
+        };
+        for (fid, fine_box, _) in mesh.patches(level) {
+            let mut fine_copy = None;
+            data.with_patch(name, level, fid, &mut |pd| fine_copy = Some(pd.clone()));
+            let fine_copy = fine_copy.expect("fine patch exists");
+            for (cid, coarse_box, _) in mesh.patches(level - 1) {
+                let Some(region) = fine_box.coarsen(ratio).intersect(&coarse_box) else {
+                    continue;
+                };
+                data.with_patch_mut(name, level - 1, cid, &mut |coarse_pd| {
+                    restrict_average(coarse_pd, &fine_copy, &region, ratio);
+                });
+            }
+        }
+    }
+}
+
+/// The component: provides `interpolation`; uses `mesh`, `data`.
+#[derive(Default)]
+pub struct ProlongRestrict;
+
+impl Component for ProlongRestrict {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn MeshPort>>("mesh");
+        s.register_uses_port::<Rc<dyn DataPort>>("data");
+        s.add_provides_port::<Rc<dyn InterpolationPort>>(
+            "interpolation",
+            Rc::new(Inner {
+                services: s.clone(),
+            }),
+        );
+    }
+}

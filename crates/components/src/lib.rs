@@ -1,0 +1,47 @@
+//! `cca-components` — the paper's scientific component library (§4,
+//! Tables 1–3): every substrate of this workspace wrapped as a CCA
+//! component with provides/uses ports, ready to be instantiated and wired
+//! by a framework script.
+//!
+//! | paper component | here | provides |
+//! |---|---|---|
+//! | `ThermoChemistry` | [`thermochem::ThermoChemistry`] | `ChemistrySourcePort`, `ParameterPort` (Database) |
+//! | `CvodeComponent` | [`cvode::CvodeComponent`] | `OdeIntegratorPort` (BDF) |
+//! | `dPdt` | [`adaptors::DpdtComponent`] | `DpdtPort` |
+//! | `problemModeler` | [`adaptors::ProblemModeler`] | `OdeRhsPort` (adds the pressure term) |
+//! | `Initializer` (0D) | [`ic::Initializer0D`] | `GoPort`, initial/final state |
+//! | `GrACEComponent` | [`grace::GraceComponent`] | `MeshPort`, `DataPort` |
+//! | `InitialCondition` (hot spots) | [`ic::HotSpotsIC`] | `InitialConditionPort` |
+//! | `ConicalInterfaceIC` | [`ic::ConicalInterfaceIC`] | `InitialConditionPort` |
+//! | `DRFMComponent` | [`transport_comp::DrfmComponent`] | `TransportPort` |
+//! | `MaxDiffCoeffEvaluator` | [`transport_comp::MaxDiffCoeffEvaluator`] | `EigenEstimatePort` |
+//! | `DiffusionPhysics` | [`diffusion::DiffusionPhysics`] | `PatchRhsPort` |
+//! | `ExplicitIntegrator` (RKC) | [`rkc_integrator::ExplicitIntegratorRkc`] | `TimeIntegratorPort` |
+//! | `ImplicitIntegrator` | [`adaptors::ImplicitIntegrator`] | `ChemistryAdvancePort` |
+//! | `ExplicitIntegratorRK2` | [`rk2_integrator::ExplicitIntegratorRk2`] | `TimeIntegratorPort` |
+//! | `States` | [`euler::StatesComponent`] | `StatesPort` |
+//! | `GodunovFlux` / `EFMFlux` | [`euler::GodunovFluxComponent`] / [`euler::EfmFluxComponent`] | `FluxPort` |
+//! | `InviscidFlux` | [`euler::InviscidFluxComponent`] | `PatchRhsPort` |
+//! | `CharacteristicQuantities` | [`euler::CharacteristicQuantities`] | `EigenEstimatePort` |
+//! | `GasProperties` | [`euler::GasProperties`] | `ParameterPort` (Database) |
+//! | `BoundaryConditions` | [`bc_comp::BoundaryConditions`] | `BoundaryConditionPort` |
+//! | `ErrorEstAndRegrid` | [`regrid_comp::ErrorEstAndRegrid`] | `RegridPort` |
+//! | `ProlongRestrict` | [`interp_comp::ProlongRestrict`] | `InterpolationPort` |
+//! | `StatisticsComponent` | [`stats::StatisticsComponent`] | `StatisticsPort` |
+
+pub mod adaptors;
+pub mod balancer_comp;
+pub mod bc_comp;
+pub mod cvode;
+pub mod diffusion;
+pub mod euler;
+pub mod grace;
+pub mod ic;
+pub mod interp_comp;
+pub mod ports;
+pub mod regrid_comp;
+pub mod rk2_integrator;
+pub mod rkc_integrator;
+pub mod stats;
+pub mod thermochem;
+pub mod transport_comp;

@@ -1,0 +1,68 @@
+//! `ErrorEstAndRegrid` — "estimates the gradients at a cell and flags
+//! regions for refinement/coarsening", then drives the Mesh subsystem's
+//! regrid. Reused verbatim by the reaction–diffusion and shock assemblies
+//! (one of the paper's three headline reuse demonstrations).
+
+use crate::ports::{BoundaryConditionPort, DataPort, MeshPort, RegridPort};
+use cca_core::{Component, Services};
+use std::rc::Rc;
+
+struct Inner {
+    services: Services,
+}
+
+impl RegridPort for Inner {
+    fn estimate_and_regrid(&self, state: &str, level: usize, var: usize, threshold: f64) -> usize {
+        let mesh = self
+            .services
+            .get_port::<Rc<dyn MeshPort>>("mesh")
+            .expect("ErrorEstAndRegrid needs the mesh port");
+        let data = self
+            .services
+            .get_port::<Rc<dyn DataPort>>("data")
+            .expect("ErrorEstAndRegrid needs the data port");
+        let bc = self
+            .services
+            .get_port::<Rc<dyn BoundaryConditionPort>>("bc")
+            .expect("ErrorEstAndRegrid needs the bc port");
+        // Gradients need ghost values.
+        data.fill_ghosts(state, level, &|side, v| bc.rule(side, v));
+        let mut flags: Vec<(i64, i64)> = Vec::new();
+        for (id, _, _) in mesh.patches(level) {
+            data.with_patch(state, level, id, &mut |pd| {
+                let interior = pd.interior;
+                for (i, j) in interior.cells() {
+                    // Undivided central differences: resolution-blind, so
+                    // a fixed threshold refines exactly the steep features.
+                    let gx = 0.5 * (pd.get(var, i + 1, j) - pd.get(var, i - 1, j)).abs();
+                    let gy = 0.5 * (pd.get(var, i, j + 1) - pd.get(var, i, j - 1)).abs();
+                    if gx.max(gy) > threshold {
+                        flags.push((i, j));
+                    }
+                }
+            });
+        }
+        let n = flags.len();
+        mesh.regrid(level, &flags);
+        n
+    }
+}
+
+/// The component: provides `regrid` (RegridPort); uses `mesh`, `data`,
+/// `bc`.
+#[derive(Default)]
+pub struct ErrorEstAndRegrid;
+
+impl Component for ErrorEstAndRegrid {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn MeshPort>>("mesh");
+        s.register_uses_port::<Rc<dyn DataPort>>("data");
+        s.register_uses_port::<Rc<dyn BoundaryConditionPort>>("bc");
+        s.add_provides_port::<Rc<dyn RegridPort>>(
+            "regrid",
+            Rc::new(Inner {
+                services: s.clone(),
+            }),
+        );
+    }
+}

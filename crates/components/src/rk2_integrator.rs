@@ -1,0 +1,128 @@
+//! `ExplicitIntegratorRK2` — the two-stage Runge-Kutta time integrator of
+//! the shock assembly, acting on Data Objects. Between the two stages the
+//! ghost regions are refilled and the boundary conditions re-applied "at
+//! each of the stages of a multi-stage integration scheme" (paper §4,
+//! Boundary Condition subsystem).
+
+use crate::ports::{
+    BoundaryConditionPort, DataPort, MeshPort, PatchRhsPort, TimeIntegratorPort,
+};
+use crate::rkc_integrator::FlatView;
+use cca_core::{Component, Services};
+use std::cell::Cell;
+use std::rc::Rc;
+
+struct Inner {
+    services: Services,
+    steps: Cell<usize>,
+}
+
+impl Inner {
+    /// One global RHS evaluation: scatter, ghost-fill each level, eval
+    /// patch by patch, gather.
+    fn eval(
+        &self,
+        view: &FlatView,
+        rhs_port: &Rc<dyn PatchRhsPort>,
+        bc: &Rc<dyn BoundaryConditionPort>,
+        rhs_name: &str,
+        t: f64,
+        y: &[f64],
+        dydt: &mut Vec<f64>,
+    ) {
+        view.scatter(y);
+        for level in 0..view.mesh.n_levels() {
+            view.data
+                .fill_ghosts(&view.name, level, &|side, var| bc.rule(side, var));
+        }
+        for level in 0..view.mesh.n_levels() {
+            let dx = view.mesh.dx(level);
+            for (id, _, _) in view.mesh.patches(level) {
+                let mut state_copy = None;
+                view.data
+                    .with_patch(&view.name, level, id, &mut |pd| state_copy = Some(pd.clone()));
+                let state = state_copy.expect("patch exists");
+                view.data.with_patch_mut(rhs_name, level, id, &mut |rhs_pd| {
+                    rhs_port.eval_patch(&state, rhs_pd, dx[0], dx[1], t);
+                });
+            }
+        }
+        let rhs_view = FlatView {
+            mesh: view.mesh.clone(),
+            data: view.data.clone(),
+            name: rhs_name.to_string(),
+            nvars: view.nvars,
+        };
+        rhs_view.gather(dydt);
+    }
+}
+
+impl TimeIntegratorPort for Inner {
+    fn advance(&self, state: &str, t: f64, dt_max: f64) -> Result<f64, String> {
+        let _scope = self.services.profiler().scope("ExplicitIntegratorRK2.advance");
+        let mesh = self
+            .services
+            .get_port::<Rc<dyn MeshPort>>("mesh")
+            .map_err(|e| e.to_string())?;
+        let data = self
+            .services
+            .get_port::<Rc<dyn DataPort>>("data")
+            .map_err(|e| e.to_string())?;
+        let rhs_port = self
+            .services
+            .get_port::<Rc<dyn PatchRhsPort>>("patch-rhs")
+            .map_err(|e| e.to_string())?;
+        let bc = self
+            .services
+            .get_port::<Rc<dyn BoundaryConditionPort>>("bc")
+            .map_err(|e| e.to_string())?;
+        let nvars = data.nvars(state);
+        let rhs_name = format!("__rk2_rhs_{state}");
+        data.create_data_object(&rhs_name, nvars, 0);
+        let view = FlatView {
+            mesh,
+            data,
+            name: state.to_string(),
+            nvars,
+        };
+        let mut y = Vec::new();
+        view.gather(&mut y);
+        let h = dt_max;
+
+        let mut k1 = Vec::new();
+        self.eval(&view, &rhs_port, &bc, &rhs_name, t, &y, &mut k1);
+        let ystar: Vec<f64> = y.iter().zip(&k1).map(|(yi, k)| yi + h * k).collect();
+        let mut k2 = Vec::new();
+        self.eval(&view, &rhs_port, &bc, &rhs_name, t + h, &ystar, &mut k2);
+        for ((yi, k1i), k2i) in y.iter_mut().zip(&k1).zip(&k2) {
+            *yi += 0.5 * h * (k1i + k2i);
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(format!("RK2 produced a non-finite state at t = {t:e}"));
+        }
+        view.scatter(&y);
+        self.steps.set(self.steps.get() + 1);
+        Ok(h)
+    }
+}
+
+/// The component: provides `time-integrator`; uses `mesh`, `data`,
+/// `patch-rhs`, `bc`.
+#[derive(Default)]
+pub struct ExplicitIntegratorRk2;
+
+impl Component for ExplicitIntegratorRk2 {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn MeshPort>>("mesh");
+        s.register_uses_port::<Rc<dyn DataPort>>("data");
+        s.register_uses_port::<Rc<dyn PatchRhsPort>>("patch-rhs");
+        s.register_uses_port::<Rc<dyn BoundaryConditionPort>>("bc");
+        s.add_provides_port::<Rc<dyn TimeIntegratorPort>>(
+            "time-integrator",
+            Rc::new(Inner {
+                services: s.clone(),
+                steps: Cell::new(0),
+            }),
+        );
+    }
+}

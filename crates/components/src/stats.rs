@@ -1,0 +1,116 @@
+//! `StatisticsComponent` — field reductions and the interfacial
+//! circulation diagnostic of Fig. 7, counting every physical region at its
+//! finest covering only.
+
+use crate::ports::{DataPort, MeshPort, StatisticsPort};
+use cca_core::{Component, Services};
+use std::rc::Rc;
+
+struct Inner {
+    services: Services,
+}
+
+impl Inner {
+    fn ports(&self) -> (Rc<dyn MeshPort>, Rc<dyn DataPort>) {
+        (
+            self.services
+                .get_port::<Rc<dyn MeshPort>>("mesh")
+                .expect("StatisticsComponent needs the mesh port"),
+            self.services
+                .get_port::<Rc<dyn DataPort>>("data")
+                .expect("StatisticsComponent needs the data port"),
+        )
+    }
+}
+
+impl StatisticsPort for Inner {
+    fn max_var(&self, name: &str, var: usize) -> f64 {
+        let (mesh, data) = self.ports();
+        let mut m = f64::NEG_INFINITY;
+        for level in 0..mesh.n_levels() {
+            for (id, _, _) in mesh.patches(level) {
+                data.with_patch(name, level, id, &mut |pd| {
+                    let interior = pd.interior;
+                    for (i, j) in interior.cells() {
+                        m = m.max(pd.get(var, i, j));
+                    }
+                });
+            }
+        }
+        m
+    }
+
+    fn min_var(&self, name: &str, var: usize) -> f64 {
+        let (mesh, data) = self.ports();
+        let mut m = f64::INFINITY;
+        for level in 0..mesh.n_levels() {
+            for (id, _, _) in mesh.patches(level) {
+                data.with_patch(name, level, id, &mut |pd| {
+                    let interior = pd.interior;
+                    for (i, j) in interior.cells() {
+                        m = m.min(pd.get(var, i, j));
+                    }
+                });
+            }
+        }
+        m
+    }
+
+    fn circulation(&self, name: &str, zeta_lo: f64, zeta_hi: f64) -> f64 {
+        let (mesh, data) = self.ports();
+        let mut gamma = 0.0;
+        for level in 0..mesh.n_levels() {
+            let dx = mesh.dx(level);
+            for (id, _, _) in mesh.patches(level) {
+                data.with_patch(name, level, id, &mut |pd| {
+                    gamma += cca_hydro_solver::diag::interfacial_circulation(
+                        pd,
+                        dx[0],
+                        dx[1],
+                        zeta_lo,
+                        zeta_hi,
+                        &|i, j| !mesh.covered_by_finer(level, i, j),
+                    );
+                });
+            }
+        }
+        gamma
+    }
+
+    fn integral(&self, name: &str, var: usize) -> f64 {
+        let (mesh, data) = self.ports();
+        let mut total = 0.0;
+        for level in 0..mesh.n_levels() {
+            let dx = mesh.dx(level);
+            let da = dx[0] * dx[1];
+            for (id, _, _) in mesh.patches(level) {
+                data.with_patch(name, level, id, &mut |pd| {
+                    let interior = pd.interior;
+                    for (i, j) in interior.cells() {
+                        if !mesh.covered_by_finer(level, i, j) {
+                            total += pd.get(var, i, j) * da;
+                        }
+                    }
+                });
+            }
+        }
+        total
+    }
+}
+
+/// The component: provides `statistics`; uses `mesh`, `data`.
+#[derive(Default)]
+pub struct StatisticsComponent;
+
+impl Component for StatisticsComponent {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn MeshPort>>("mesh");
+        s.register_uses_port::<Rc<dyn DataPort>>("data");
+        s.add_provides_port::<Rc<dyn StatisticsPort>>(
+            "statistics",
+            Rc::new(Inner {
+                services: s.clone(),
+            }),
+        );
+    }
+}

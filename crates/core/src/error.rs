@@ -1,0 +1,86 @@
+//! Framework error type.
+
+use std::fmt;
+
+/// Errors raised by the framework, the services registry, or the script
+/// interpreter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CcaError {
+    /// `instantiate` named a class absent from the palette.
+    UnknownClass(String),
+    /// An operation named an instance that was never instantiated.
+    UnknownInstance(String),
+    /// An instance name was reused.
+    DuplicateInstance(String),
+    /// A port name was looked up on a component that never declared it.
+    UnknownPort {
+        /// Instance searched.
+        instance: String,
+        /// Port name requested.
+        port: String,
+    },
+    /// A port name was registered twice on the same component.
+    DuplicatePort {
+        /// Offending instance.
+        instance: String,
+        /// Offending port name.
+        port: String,
+    },
+    /// `connect` tried to join ports of different interface types.
+    TypeMismatch {
+        /// Uses-side declared type.
+        expected: String,
+        /// Provides-side actual type.
+        found: String,
+    },
+    /// A component invoked a uses-port that was never connected.
+    NotConnected {
+        /// Instance whose port is dangling.
+        instance: String,
+        /// Dangling uses-port.
+        port: String,
+    },
+    /// A `go` was issued on a port that is not a `GoPort`.
+    NotAGoPort(String),
+    /// A component's `go` body reported a failure.
+    GoFailed(String),
+    /// The script interpreter hit a malformed line.
+    Script {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// `parameter` was issued to a component without a `ParameterPort`.
+    NoParameterPort(String),
+}
+
+impl fmt::Display for CcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcaError::UnknownClass(c) => write!(f, "unknown component class '{c}'"),
+            CcaError::UnknownInstance(i) => write!(f, "unknown component instance '{i}'"),
+            CcaError::DuplicateInstance(i) => write!(f, "instance name '{i}' already in use"),
+            CcaError::UnknownPort { instance, port } => {
+                write!(f, "component '{instance}' has no port '{port}'")
+            }
+            CcaError::DuplicatePort { instance, port } => {
+                write!(f, "component '{instance}' registered port '{port}' twice")
+            }
+            CcaError::TypeMismatch { expected, found } => {
+                write!(f, "port type mismatch: uses side wants {expected}, provider offers {found}")
+            }
+            CcaError::NotConnected { instance, port } => {
+                write!(f, "uses port '{port}' of '{instance}' is not connected")
+            }
+            CcaError::NotAGoPort(p) => write!(f, "port '{p}' is not a GoPort"),
+            CcaError::GoFailed(m) => write!(f, "go() failed: {m}"),
+            CcaError::Script { line, message } => write!(f, "script line {line}: {message}"),
+            CcaError::NoParameterPort(i) => {
+                write!(f, "component '{i}' exposes no ParameterPort")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CcaError {}

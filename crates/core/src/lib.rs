@@ -1,0 +1,77 @@
+//! `cca-core` — a Rust rendition of the Common Component Architecture (CCA)
+//! component model as implemented by the CCAFFEINE framework.
+//!
+//! The model (paper §2) in one paragraph: *components* are peer objects that
+//! **provide** functionality through exported interfaces and **use** other
+//! components' functionality through imported interfaces; both kinds of
+//! interface are called *ports*. Components are created inside a
+//! *framework*, where they register themselves and their ports via a single
+//! deferred method `set_services`. Connecting a uses-port to a
+//! provides-port is just the movement of (a pointer to) an interface from
+//! the providing component to the using one; a method invocation on a
+//! uses-port therefore costs one virtual-function call.
+//!
+//! Mapping to Rust:
+//!
+//! | CCAFFEINE                         | here                                   |
+//! |-----------------------------------|----------------------------------------|
+//! | abstract class `Component`        | [`Component`] trait                    |
+//! | `setServices(Services*)`          | [`Component::set_services`]            |
+//! | port = abstract class             | port = object-safe trait, passed as `Rc<dyn Trait>` |
+//! | `.so` palette + `instantiate`     | [`Framework`] factory palette + [`Framework::instantiate`] |
+//! | `connect u uPort p pPort` script  | [`Framework::connect`] / [`script`]    |
+//! | GUI arena (Figs 1, 2, 5)          | [`Framework::render_arena`]            |
+//!
+//! The "negligible overhead" claim of the paper's Table 4 is about exactly
+//! the dispatch this crate produces: a call through `Rc<dyn Port>` is one
+//! indirect call, the same machine-level operation as a C++ virtual call
+//! through the CCA port.
+//!
+//! ```
+//! use cca_core::{Component, Framework, Services};
+//! use std::rc::Rc;
+//!
+//! // A domain port, designed by the user community:
+//! trait Doubler { fn double(&self, x: f64) -> f64; }
+//!
+//! struct DoublerImpl;
+//! impl Doubler for DoublerImpl { fn double(&self, x: f64) -> f64 { 2.0 * x } }
+//!
+//! struct Provider;
+//! impl Component for Provider {
+//!     fn set_services(&mut self, s: Services) {
+//!         s.add_provides_port::<Rc<dyn Doubler>>("dbl", Rc::new(DoublerImpl));
+//!     }
+//! }
+//!
+//! struct User { services: Option<Services> }
+//! impl Component for User {
+//!     fn set_services(&mut self, s: Services) {
+//!         s.register_uses_port::<Rc<dyn Doubler>>("dbl-in");
+//!         self.services = Some(s);
+//!     }
+//! }
+//!
+//! let mut fw = Framework::new();
+//! fw.register_class("Provider", || Box::new(Provider));
+//! fw.register_class("User", || Box::new(User { services: None }));
+//! fw.instantiate("Provider", "p").unwrap();
+//! fw.instantiate("User", "u").unwrap();
+//! fw.connect("u", "dbl-in", "p", "dbl").unwrap();
+//!
+//! let port: Rc<dyn Doubler> = fw.services("u").unwrap().get_port("dbl-in").unwrap();
+//! assert_eq!(port.double(21.0), 42.0);
+//! ```
+
+pub mod error;
+pub mod framework;
+pub mod ports;
+pub mod profile;
+pub mod script;
+pub mod services;
+
+pub use error::CcaError;
+pub use framework::Framework;
+pub use ports::{GoPort, ParameterPort, ParameterStore};
+pub use profile::{Profiler, TimerStat};
+pub use services::{Component, Services};

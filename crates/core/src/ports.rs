@@ -1,0 +1,68 @@
+//! Framework-standard port traits. Most ports are domain-specific and live
+//! with the components that define them (paper §2: "Most Ports are
+//! domain-specific and their design is left to the user community"); only
+//! two are known to the framework itself.
+
+/// The driver entry point. The script command `go <instance> <port>`
+/// invokes this on a provides-port, exactly like CCAFFEINE's `GoPort`.
+pub trait GoPort {
+    /// Run the application (or the component's unit of work).
+    fn go(&self) -> Result<(), String>;
+}
+
+/// Key-value configuration, the framework-visible face of the paper's
+/// *Database components*: "maps between the (character string) property
+/// name and a number". The script command `parameter <instance> <key>
+/// <value>` feeds this port.
+pub trait ParameterPort {
+    /// Set a named numeric parameter.
+    fn set_parameter(&self, key: &str, value: f64);
+    /// Get a named numeric parameter, if present.
+    fn get_parameter(&self, key: &str) -> Option<f64>;
+}
+
+/// A ready-made `ParameterPort` backed by a map; components that only need
+/// plain key-value storage can provide one of these directly.
+#[derive(Default)]
+pub struct ParameterStore {
+    map: std::cell::RefCell<std::collections::BTreeMap<String, f64>>,
+}
+
+impl ParameterStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All keys currently set (sorted).
+    pub fn keys(&self) -> Vec<String> {
+        self.map.borrow().keys().cloned().collect()
+    }
+}
+
+impl ParameterPort for ParameterStore {
+    fn set_parameter(&self, key: &str, value: f64) {
+        self.map.borrow_mut().insert(key.to_string(), value);
+    }
+
+    fn get_parameter(&self, key: &str) -> Option<f64> {
+        self.map.borrow().get(key).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_store_roundtrip() {
+        let p = ParameterStore::new();
+        assert_eq!(p.get_parameter("gamma"), None);
+        p.set_parameter("gamma", 1.4);
+        p.set_parameter("alpha", 2.0);
+        assert_eq!(p.get_parameter("gamma"), Some(1.4));
+        assert_eq!(p.keys(), vec!["alpha".to_string(), "gamma".to_string()]);
+        p.set_parameter("gamma", 1.67); // overwrite
+        assert_eq!(p.get_parameter("gamma"), Some(1.67));
+    }
+}

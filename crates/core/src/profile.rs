@@ -1,0 +1,200 @@
+//! Per-component performance instrumentation — the reproduction of the
+//! paper's future-work item (4): "By using TAU, we intend to characterize
+//! the performance characteristics of individual components and their
+//! assemblies."
+//!
+//! A [`Profiler`] is a cheap shared registry of named timers. The
+//! framework owns one and hands it to every component through its
+//! [`crate::Services`]; components bracket their port bodies with
+//! [`Profiler::scope`] guards. [`Profiler::report`] renders the
+//! per-component table (calls, total time, mean time), the assembly-level
+//! view TAU would give.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Accumulated statistics of one named timer.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimerStat {
+    /// Number of completed scopes.
+    pub calls: u64,
+    /// Total seconds inside the scope.
+    pub total_secs: f64,
+}
+
+#[derive(Default)]
+struct ProfilerState {
+    timers: BTreeMap<String, TimerStat>,
+    enabled: bool,
+}
+
+/// Shared timing registry. Cloning shares the underlying state.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    state: Rc<RefCell<ProfilerState>>,
+}
+
+impl Profiler {
+    /// New, disabled profiler (scopes cost one branch while disabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turn timing on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.state.borrow_mut().enabled = enabled;
+    }
+
+    /// Is timing on?
+    pub fn is_enabled(&self) -> bool {
+        self.state.borrow().enabled
+    }
+
+    /// Start a scope named `component.port`; the returned guard records
+    /// elapsed time when dropped. Returns `None` (no overhead) while
+    /// disabled.
+    pub fn scope(&self, name: &str) -> Option<ProfileScope> {
+        if !self.is_enabled() {
+            return None;
+        }
+        Some(ProfileScope {
+            profiler: self.clone(),
+            name: name.to_string(),
+            start: Instant::now(),
+        })
+    }
+
+    /// Directly record an externally measured duration.
+    pub fn record(&self, name: &str, secs: f64) {
+        let mut st = self.state.borrow_mut();
+        let t = st.timers.entry(name.to_string()).or_default();
+        t.calls += 1;
+        t.total_secs += secs;
+    }
+
+    /// Snapshot of one timer.
+    pub fn stat(&self, name: &str) -> Option<TimerStat> {
+        self.state.borrow().timers.get(name).copied()
+    }
+
+    /// Snapshot of everything, name-sorted.
+    pub fn stats(&self) -> Vec<(String, TimerStat)> {
+        self.state
+            .borrow()
+            .timers
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Forget all recorded data (keeps the enabled flag).
+    pub fn reset(&self) {
+        self.state.borrow_mut().timers.clear();
+    }
+
+    /// The TAU-style report: one row per timer, sorted by total time
+    /// descending.
+    pub fn report(&self) -> String {
+        let mut rows = self.stats();
+        rows.sort_by(|a, b| {
+            b.1.total_secs
+                .partial_cmp(&a.1.total_secs)
+                .expect("finite times")
+        });
+        let mut out = String::from(
+            "=== component profile ===\n\
+             timer                                    calls      total[s]    mean[us]\n",
+        );
+        for (name, t) in rows {
+            let mean_us = if t.calls > 0 {
+                1e6 * t.total_secs / t.calls as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{name:<40} {calls:>7}  {total:>12.6}  {mean_us:>10.2}\n",
+                calls = t.calls,
+                total = t.total_secs,
+            ));
+        }
+        out
+    }
+}
+
+/// RAII guard created by [`Profiler::scope`].
+pub struct ProfileScope {
+    profiler: Profiler,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for ProfileScope {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        self.profiler.record(&self.name, secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::new();
+        {
+            let _g = p.scope("x");
+        }
+        assert!(p.stat("x").is_none());
+    }
+
+    #[test]
+    fn scopes_accumulate() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        for _ in 0..3 {
+            let _g = p.scope("comp.port");
+        }
+        let s = p.stat("comp.port").unwrap();
+        assert_eq!(s.calls, 3);
+        assert!(s.total_secs >= 0.0);
+    }
+
+    #[test]
+    fn record_and_report() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        p.record("a.go", 0.25);
+        p.record("a.go", 0.75);
+        p.record("b.rhs", 0.1);
+        let s = p.stat("a.go").unwrap();
+        assert_eq!(s.calls, 2);
+        assert!((s.total_secs - 1.0).abs() < 1e-12);
+        let report = p.report();
+        // Sorted by total time: a.go first.
+        let a_pos = report.find("a.go").unwrap();
+        let b_pos = report.find("b.rhs").unwrap();
+        assert!(a_pos < b_pos, "{report}");
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enabled() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        p.record("x", 1.0);
+        p.reset();
+        assert!(p.stat("x").is_none());
+        assert!(p.is_enabled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        let q = p.clone();
+        q.record("shared", 0.5);
+        assert_eq!(p.stat("shared").unwrap().calls, 1);
+    }
+}

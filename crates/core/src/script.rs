@@ -1,0 +1,265 @@
+//! The rc-script interpreter: assemble and run an application from text,
+//! the way a CCAFFEINE job is driven by a script fed to every framework
+//! instance (paper §2: "A CCAFFEINE code can be assembled and run through a
+//! script or a GUI... Any action performed in the GUI is converted to the
+//! corresponding script command").
+//!
+//! Grammar (one command per line, `#` comments):
+//!
+//! ```text
+//! instantiate <Class> <instance>
+//! connect <user> <usesPort> <provider> <providesPort>
+//! parameter <instance> <key> <number>
+//! disconnect <user> <usesPort>
+//! arena                     # print the wiring (returned in the transcript)
+//! go <instance> <goPort>    # refuses to run while uses-ports dangle
+//! ```
+
+use crate::error::CcaError;
+use crate::framework::Framework;
+
+/// Output of a script run: anything the script asked to display.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transcript {
+    /// Arena renderings, in order of `arena` commands.
+    pub arenas: Vec<String>,
+    /// Number of `go` commands executed.
+    pub go_count: usize,
+}
+
+/// Execute `script` against `fw`.
+///
+/// `go` first verifies that no uses-port in the whole assembly is dangling,
+/// catching wiring mistakes at launch rather than as mid-run panics.
+pub fn run_script(fw: &mut Framework, script: &str) -> Result<Transcript, CcaError> {
+    let mut transcript = Transcript::default();
+    for (idx, raw) in script.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        let err = |message: &str| CcaError::Script {
+            line: line_no,
+            message: message.to_string(),
+        };
+        match tok[0] {
+            "instantiate" => {
+                if tok.len() != 3 {
+                    return Err(err("usage: instantiate <Class> <instance>"));
+                }
+                fw.instantiate(tok[1], tok[2])?;
+            }
+            "connect" => {
+                if tok.len() != 5 {
+                    return Err(err("usage: connect <user> <usesPort> <provider> <providesPort>"));
+                }
+                fw.connect(tok[1], tok[2], tok[3], tok[4])?;
+            }
+            "disconnect" => {
+                if tok.len() != 3 {
+                    return Err(err("usage: disconnect <user> <usesPort>"));
+                }
+                fw.disconnect(tok[1], tok[2])?;
+            }
+            "parameter" => {
+                if tok.len() != 4 {
+                    return Err(err("usage: parameter <instance> <key> <number>"));
+                }
+                let value: f64 = tok[3]
+                    .parse()
+                    .map_err(|_| err(&format!("'{}' is not a number", tok[3])))?;
+                fw.set_parameter(tok[1], tok[2], value)?;
+            }
+            "arena" => {
+                if tok.len() != 1 {
+                    return Err(err("usage: arena"));
+                }
+                transcript.arenas.push(fw.render_arena());
+            }
+            "go" => {
+                if tok.len() != 3 {
+                    return Err(err("usage: go <instance> <goPort>"));
+                }
+                let dangling = fw.dangling_uses_ports();
+                if !dangling.is_empty() {
+                    return Err(err(&format!(
+                        "cannot go: dangling uses ports {:?}",
+                        dangling
+                    )));
+                }
+                fw.go(tok[1], tok[2])?;
+                transcript.go_count += 1;
+            }
+            other => return Err(err(&format!("unknown command '{other}'"))),
+        }
+    }
+    Ok(transcript)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::{GoPort, ParameterPort, ParameterStore};
+    use crate::services::{Component, Services};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    trait Rhs {
+        fn eval(&self) -> f64;
+    }
+    struct RhsImpl {
+        k: Rc<ParameterStore>,
+    }
+    impl Rhs for RhsImpl {
+        fn eval(&self) -> f64 {
+            self.k.get_parameter("k").unwrap_or(1.0)
+        }
+    }
+
+    struct Physics;
+    impl Component for Physics {
+        fn set_services(&mut self, s: Services) {
+            let store = Rc::new(ParameterStore::new());
+            s.add_provides_port::<Rc<dyn ParameterPort>>("params", store.clone());
+            s.add_provides_port::<Rc<dyn Rhs>>("rhs", Rc::new(RhsImpl { k: store }));
+        }
+    }
+
+    struct DriverPort {
+        services: Services,
+        ran: Rc<Cell<Option<f64>>>,
+    }
+    impl GoPort for DriverPort {
+        fn go(&self) -> Result<(), String> {
+            let rhs: Rc<dyn Rhs> = self.services.get_port("rhs").map_err(|e| e.to_string())?;
+            self.ran.set(Some(rhs.eval()));
+            Ok(())
+        }
+    }
+    struct Driver {
+        ran: Rc<Cell<Option<f64>>>,
+    }
+    impl Component for Driver {
+        fn set_services(&mut self, s: Services) {
+            s.register_uses_port::<Rc<dyn Rhs>>("rhs");
+            s.add_provides_port::<Rc<dyn GoPort>>(
+                "go",
+                Rc::new(DriverPort {
+                    services: s.clone(),
+                    ran: self.ran.clone(),
+                }),
+            );
+        }
+    }
+
+    fn fw(ran: Rc<Cell<Option<f64>>>) -> Framework {
+        let mut fw = Framework::new();
+        fw.register_class("Physics", || Box::new(Physics));
+        fw.register_class("Driver", move || Box::new(Driver { ran: ran.clone() }));
+        fw
+    }
+
+    #[test]
+    fn full_assembly_script_runs() {
+        let ran = Rc::new(Cell::new(None));
+        let mut fw = fw(ran.clone());
+        let t = run_script(
+            &mut fw,
+            "# assemble the toy code\n\
+             instantiate Physics phys\n\
+             instantiate Driver drv\n\
+             connect drv rhs phys rhs\n\
+             parameter phys k 3.5\n\
+             arena\n\
+             go drv go\n",
+        )
+        .unwrap();
+        assert_eq!(t.go_count, 1);
+        assert_eq!(ran.get(), Some(3.5));
+        assert!(t.arenas[0].contains("uses>     rhs -> phys.rhs"));
+    }
+
+    #[test]
+    fn go_refuses_dangling_ports() {
+        let ran = Rc::new(Cell::new(None));
+        let mut fw = fw(ran);
+        let err = run_script(
+            &mut fw,
+            "instantiate Physics phys\n\
+             instantiate Driver drv\n\
+             go drv go\n",
+        )
+        .unwrap_err();
+        match err {
+            CcaError::Script { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("dangling"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let ran = Rc::new(Cell::new(None));
+        let mut fw = fw(ran);
+        let err = run_script(&mut fw, "\n\nfrobnicate x\n").unwrap_err();
+        assert!(matches!(err, CcaError::Script { line: 3, .. }), "{err}");
+        let mut fw2 = Framework::new();
+        let err = run_script(&mut fw2, "instantiate OnlyOneArg\n").unwrap_err();
+        assert!(matches!(err, CcaError::Script { line: 1, .. }));
+    }
+
+    #[test]
+    fn component_swap_without_recompilation() {
+        // The paper's §4.3 claim: replace GodunovFlux with EFMFlux purely at
+        // assembly time. Model it with two Physics classes in the palette
+        // and two scripts differing only in the instantiate line.
+        trait Flux {
+            fn name(&self) -> &'static str;
+        }
+        struct F1;
+        impl Flux for F1 {
+            fn name(&self) -> &'static str {
+                "godunov"
+            }
+        }
+        struct F2;
+        impl Flux for F2 {
+            fn name(&self) -> &'static str {
+                "efm"
+            }
+        }
+        struct C1;
+        impl Component for C1 {
+            fn set_services(&mut self, s: Services) {
+                s.add_provides_port::<Rc<dyn Flux>>("flux", Rc::new(F1));
+            }
+        }
+        struct C2;
+        impl Component for C2 {
+            fn set_services(&mut self, s: Services) {
+                s.add_provides_port::<Rc<dyn Flux>>("flux", Rc::new(F2));
+            }
+        }
+        for (class, expect) in [("GodunovFlux", "godunov"), ("EFMFlux", "efm")] {
+            let mut fw = Framework::new();
+            fw.register_class("GodunovFlux", || Box::new(C1));
+            fw.register_class("EFMFlux", || Box::new(C2));
+            run_script(&mut fw, &format!("instantiate {class} flux\n")).unwrap();
+            let port: Rc<dyn Flux> = {
+                let s = fw.services("flux").unwrap();
+                let st = s.state.borrow();
+                st.provides
+                    .get("flux")
+                    .unwrap()
+                    .downcast_ref::<Rc<dyn Flux>>()
+                    .unwrap()
+                    .clone()
+            };
+            assert_eq!(port.name(), expect);
+        }
+    }
+}

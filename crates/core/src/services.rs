@@ -1,0 +1,265 @@
+//! Per-component `Services` object: the component's window onto the
+//! framework, handed to it once through [`Component::set_services`].
+
+use crate::error::CcaError;
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The CCA component abstraction: a data-less object with one deferred
+/// method, invoked by the framework at creation time. The component uses it
+/// to register itself, its provides-ports and its uses-ports; components
+/// that need the registry later (to fetch connected ports) keep a clone of
+/// the [`Services`] handle.
+pub trait Component {
+    /// Called exactly once, immediately after instantiation.
+    fn set_services(&mut self, services: Services);
+}
+
+/// A registered provides-port: the port object (an `Rc<dyn Trait>` boxed as
+/// `Any`) plus enough metadata to type-check connections and to duplicate
+/// the `Rc` when the framework moves it to a user.
+pub(crate) struct PortObject {
+    pub(crate) type_id: TypeId,
+    pub(crate) type_name: &'static str,
+    value: Box<dyn Any>,
+    cloner: Rc<dyn Fn(&dyn Any) -> Box<dyn Any>>,
+}
+
+impl PortObject {
+    fn new<P: Clone + 'static>(port: P) -> Self {
+        PortObject {
+            type_id: TypeId::of::<P>(),
+            type_name: std::any::type_name::<P>(),
+            value: Box::new(port),
+            cloner: Rc::new(|a: &dyn Any| {
+                Box::new(
+                    a.downcast_ref::<P>()
+                        .expect("cloner is only invoked on its own P")
+                        .clone(),
+                ) as Box<dyn Any>
+            }),
+        }
+    }
+
+    /// Clone the inner `Rc<dyn Trait>` (pointer copy, no deep clone).
+    pub(crate) fn duplicate(&self) -> Box<dyn Any> {
+        (self.cloner)(self.value.as_ref())
+    }
+
+    pub(crate) fn downcast_ref<P: 'static>(&self) -> Option<&P> {
+        self.value.downcast_ref::<P>()
+    }
+}
+
+/// A declared uses-port: expected type and, once `connect` has run, the
+/// provider's port object.
+pub(crate) struct UsesSlot {
+    pub(crate) type_id: TypeId,
+    pub(crate) type_name: &'static str,
+    pub(crate) connected: Option<Box<dyn Any>>,
+    /// `instance.port` of the provider, for arena rendering.
+    pub(crate) connected_to: Option<(String, String)>,
+    /// Optional ports may stay dangling at `go` (CCA's minOccurs = 0).
+    pub(crate) optional: bool,
+}
+
+pub(crate) struct ServicesState {
+    pub(crate) instance: String,
+    pub(crate) provides: BTreeMap<String, PortObject>,
+    pub(crate) uses: BTreeMap<String, UsesSlot>,
+    pub(crate) profiler: crate::profile::Profiler,
+}
+
+/// Cheap-to-clone handle onto one component's port registry.
+///
+/// The framework creates one per instance; the component receives it in
+/// [`Component::set_services`] and typically stores it to call
+/// [`Services::get_port`] during execution — mirroring
+/// `gov.cca.Services::getPort`.
+#[derive(Clone)]
+pub struct Services {
+    pub(crate) state: Rc<RefCell<ServicesState>>,
+}
+
+impl Services {
+    /// Create a registry for instance `name`. Public so substrates can unit
+    /// test components without a full framework.
+    pub fn new(name: &str) -> Self {
+        Self::with_profiler(name, crate::profile::Profiler::new())
+    }
+
+    /// Create a registry sharing the framework's [`crate::profile::Profiler`].
+    pub fn with_profiler(name: &str, profiler: crate::profile::Profiler) -> Self {
+        Services {
+            state: Rc::new(RefCell::new(ServicesState {
+                instance: name.to_string(),
+                provides: BTreeMap::new(),
+                uses: BTreeMap::new(),
+                profiler,
+            })),
+        }
+    }
+
+    /// The shared performance registry (paper future-work (4): per-
+    /// component timing à la TAU). Components bracket expensive port
+    /// bodies with `services.profiler().scope("Instance.port")`.
+    pub fn profiler(&self) -> crate::profile::Profiler {
+        self.state.borrow().profiler.clone()
+    }
+
+    /// The instance name this registry belongs to.
+    pub fn instance_name(&self) -> String {
+        self.state.borrow().instance.clone()
+    }
+
+    /// Export a provides-port. By convention `P` is `Rc<dyn SomePort>`; the
+    /// framework moves clones of the `Rc` to connected users.
+    ///
+    /// # Panics
+    /// Panics if `name` was already registered on this component — port
+    /// names are a component's public API and a collision is a programming
+    /// error, matching CCAFFEINE's behaviour of refusing the registration.
+    pub fn add_provides_port<P: Clone + 'static>(&self, name: &str, port: P) {
+        let mut st = self.state.borrow_mut();
+        assert!(
+            !st.provides.contains_key(name),
+            "component '{}' registered provides port '{}' twice",
+            st.instance,
+            name
+        );
+        st.provides.insert(name.to_string(), PortObject::new(port));
+    }
+
+    /// Declare a uses-port of type `P` (again `Rc<dyn SomePort>`).
+    ///
+    /// # Panics
+    /// Panics on duplicate registration, as for provides-ports.
+    pub fn register_uses_port<P: Clone + 'static>(&self, name: &str) {
+        self.register_uses_port_impl::<P>(name, false);
+    }
+
+    /// Declare a uses-port that may legitimately stay unconnected (the
+    /// component has a built-in default behaviour). The script
+    /// interpreter's dangling-port check at `go` skips these.
+    pub fn register_optional_uses_port<P: Clone + 'static>(&self, name: &str) {
+        self.register_uses_port_impl::<P>(name, true);
+    }
+
+    fn register_uses_port_impl<P: Clone + 'static>(&self, name: &str, optional: bool) {
+        let mut st = self.state.borrow_mut();
+        assert!(
+            !st.uses.contains_key(name),
+            "component '{}' registered uses port '{}' twice",
+            st.instance,
+            name
+        );
+        st.uses.insert(
+            name.to_string(),
+            UsesSlot {
+                type_id: TypeId::of::<P>(),
+                type_name: std::any::type_name::<P>(),
+                connected: None,
+                connected_to: None,
+                optional,
+            },
+        );
+    }
+
+    /// Fetch the port connected to uses-port `name`.
+    ///
+    /// Errors with [`CcaError::NotConnected`] before wiring, and
+    /// [`CcaError::UnknownPort`] if the name was never declared.
+    pub fn get_port<P: Clone + 'static>(&self, name: &str) -> Result<P, CcaError> {
+        let st = self.state.borrow();
+        let slot = st.uses.get(name).ok_or_else(|| CcaError::UnknownPort {
+            instance: st.instance.clone(),
+            port: name.to_string(),
+        })?;
+        let boxed = slot.connected.as_ref().ok_or_else(|| CcaError::NotConnected {
+            instance: st.instance.clone(),
+            port: name.to_string(),
+        })?;
+        Ok(boxed
+            .downcast_ref::<P>()
+            .expect("connect() type-checked this slot")
+            .clone())
+    }
+
+    /// CCA's `releasePort`: drop the borrowed reference. A later
+    /// [`Services::get_port`] re-fetches it; the connection itself persists
+    /// until the framework disconnects it.
+    pub fn release_port(&self, _name: &str) {
+        // References handed out are Rc clones owned by the caller; nothing
+        // to do here. Present for API fidelity.
+    }
+
+    /// Names of all provides-ports (sorted).
+    pub fn provides_names(&self) -> Vec<String> {
+        self.state.borrow().provides.keys().cloned().collect()
+    }
+
+    /// Names of all uses-ports (sorted).
+    pub fn uses_names(&self) -> Vec<String> {
+        self.state.borrow().uses.keys().cloned().collect()
+    }
+
+    /// Is the given uses-port currently connected?
+    pub fn is_connected(&self, name: &str) -> bool {
+        self.state
+            .borrow()
+            .uses
+            .get(name)
+            .map(|s| s.connected.is_some())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait Echo {
+        fn echo(&self) -> i32;
+    }
+    struct E(i32);
+    impl Echo for E {
+        fn echo(&self) -> i32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn provides_then_downcast() {
+        let s = Services::new("x");
+        s.add_provides_port::<Rc<dyn Echo>>("e", Rc::new(E(7)));
+        let st = s.state.borrow();
+        let po = st.provides.get("e").unwrap();
+        let rc = po.downcast_ref::<Rc<dyn Echo>>().unwrap();
+        assert_eq!(rc.echo(), 7);
+        // duplicate() yields an independent box holding a cloned Rc.
+        let dup = po.duplicate();
+        let rc2 = dup.downcast_ref::<Rc<dyn Echo>>().unwrap();
+        assert_eq!(rc2.echo(), 7);
+        assert!(Rc::ptr_eq(rc, rc2));
+    }
+
+    #[test]
+    fn get_port_before_connect_errors() {
+        let s = Services::new("u");
+        s.register_uses_port::<Rc<dyn Echo>>("in");
+        let err = s.get_port::<Rc<dyn Echo>>("in").err().unwrap();
+        assert!(matches!(err, CcaError::NotConnected { .. }));
+        let err = s.get_port::<Rc<dyn Echo>>("nope").err().unwrap();
+        assert!(matches!(err, CcaError::UnknownPort { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_provides_panics() {
+        let s = Services::new("x");
+        s.add_provides_port::<Rc<dyn Echo>>("e", Rc::new(E(1)));
+        s.add_provides_port::<Rc<dyn Echo>>("e", Rc::new(E(2)));
+    }
+}

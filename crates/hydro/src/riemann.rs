@@ -1,0 +1,289 @@
+//! Exact Riemann solver for the ideal-gas Euler equations (Toro, ch. 4)
+//! and the Godunov flux built on it — the `GodunovFlux` component of paper
+//! §4.3 ("solving a Riemann problem").
+
+use crate::muscl::FluxScheme;
+use crate::state::{physical_flux_x, Prim, NVARS};
+
+/// Exact-Riemann Godunov flux.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GodunovFlux;
+
+/// Star-region pressure and velocity for left/right primitive states.
+///
+/// Newton–Raphson on the pressure function `f(p) = fL(p) + fR(p) + Δu`,
+/// started from the PVRS guess, with a two-rarefaction fallback.
+pub fn star_state(left: &Prim, right: &Prim, gamma: f64) -> (f64, f64) {
+    let g = gamma;
+    let (rl, ul, pl) = (left.rho, left.u, left.p);
+    let (rr, ur, pr) = (right.rho, right.u, right.p);
+    let cl = left.sound_speed(g);
+    let cr = right.sound_speed(g);
+
+    // f_K and its derivative for one side.
+    let side = |p: f64, rk: f64, pk: f64, ck: f64| -> (f64, f64) {
+        if p > pk {
+            // Shock.
+            let ak = 2.0 / ((g + 1.0) * rk);
+            let bk = (g - 1.0) / (g + 1.0) * pk;
+            let sq = (ak / (p + bk)).sqrt();
+            let f = (p - pk) * sq;
+            let df = sq * (1.0 - 0.5 * (p - pk) / (p + bk));
+            (f, df)
+        } else {
+            // Rarefaction.
+            let pr_ratio = (p / pk).powf((g - 1.0) / (2.0 * g));
+            let f = 2.0 * ck / (g - 1.0) * (pr_ratio - 1.0);
+            let df = 1.0 / (rk * ck) * (p / pk).powf(-(g + 1.0) / (2.0 * g));
+            (f, df)
+        }
+    };
+
+    // Initial guess: primitive-variable Riemann solver, clipped positive.
+    let p_pv = 0.5 * (pl + pr) - 0.125 * (ur - ul) * (rl + rr) * (cl + cr);
+    let mut p = p_pv.max(1e-10 * (pl + pr));
+    for _ in 0..40 {
+        let (fl, dfl) = side(p, rl, pl, cl);
+        let (fr, dfr) = side(p, rr, pr, cr);
+        let f = fl + fr + (ur - ul);
+        let df = dfl + dfr;
+        let dp = f / df;
+        let p_new = (p - dp).max(1e-12 * p);
+        if (p_new - p).abs() < 1e-12 * (p_new + p) {
+            p = p_new;
+            break;
+        }
+        p = p_new;
+    }
+    let (fl, _) = side(p, rl, pl, cl);
+    let (fr, _) = side(p, rr, pr, cr);
+    let u = 0.5 * (ul + ur) + 0.5 * (fr - fl);
+    (p, u)
+}
+
+/// Sample the exact solution of the Riemann problem at `ξ = x/t`.
+/// Transverse velocity and ζ ride passively on the contact.
+pub fn sample(left: &Prim, right: &Prim, gamma: f64, xi: f64) -> Prim {
+    let g = gamma;
+    let (p_star, u_star) = star_state(left, right, g);
+
+    if xi <= u_star {
+        // Left of contact.
+        let w = left;
+        let c = w.sound_speed(g);
+        if p_star > w.p {
+            // Left shock.
+            let ratio = p_star / w.p;
+            let s = w.u - c * ((g + 1.0) / (2.0 * g) * ratio + (g - 1.0) / (2.0 * g)).sqrt();
+            if xi <= s {
+                *w
+            } else {
+                let rho = w.rho * ((ratio + (g - 1.0) / (g + 1.0))
+                    / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                Prim {
+                    rho,
+                    u: u_star,
+                    v: w.v,
+                    p: p_star,
+                    zeta: w.zeta,
+                }
+            }
+        } else {
+            // Left rarefaction.
+            let head = w.u - c;
+            let c_star = c * (p_star / w.p).powf((g - 1.0) / (2.0 * g));
+            let tail = u_star - c_star;
+            if xi <= head {
+                *w
+            } else if xi >= tail {
+                let rho = w.rho * (p_star / w.p).powf(1.0 / g);
+                Prim {
+                    rho,
+                    u: u_star,
+                    v: w.v,
+                    p: p_star,
+                    zeta: w.zeta,
+                }
+            } else {
+                // Inside the fan.
+                let u = (2.0 / (g + 1.0)) * (c + (g - 1.0) / 2.0 * w.u + xi);
+                let cf = (2.0 / (g + 1.0)) * (c + (g - 1.0) / 2.0 * (w.u - xi));
+                let rho = w.rho * (cf / c).powf(2.0 / (g - 1.0));
+                let p = w.p * (cf / c).powf(2.0 * g / (g - 1.0));
+                Prim {
+                    rho,
+                    u,
+                    v: w.v,
+                    p,
+                    zeta: w.zeta,
+                }
+            }
+        }
+    } else {
+        // Right of contact (mirror).
+        let w = right;
+        let c = w.sound_speed(g);
+        if p_star > w.p {
+            let ratio = p_star / w.p;
+            let s = w.u + c * ((g + 1.0) / (2.0 * g) * ratio + (g - 1.0) / (2.0 * g)).sqrt();
+            if xi >= s {
+                *w
+            } else {
+                let rho = w.rho * ((ratio + (g - 1.0) / (g + 1.0))
+                    / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                Prim {
+                    rho,
+                    u: u_star,
+                    v: w.v,
+                    p: p_star,
+                    zeta: w.zeta,
+                }
+            }
+        } else {
+            let head = w.u + c;
+            let c_star = c * (p_star / w.p).powf((g - 1.0) / (2.0 * g));
+            let tail = u_star + c_star;
+            if xi >= head {
+                *w
+            } else if xi <= tail {
+                let rho = w.rho * (p_star / w.p).powf(1.0 / g);
+                Prim {
+                    rho,
+                    u: u_star,
+                    v: w.v,
+                    p: p_star,
+                    zeta: w.zeta,
+                }
+            } else {
+                let u = (2.0 / (g + 1.0)) * (-c + (g - 1.0) / 2.0 * w.u + xi);
+                let cf = (2.0 / (g + 1.0)) * (c - (g - 1.0) / 2.0 * (w.u - xi));
+                let rho = w.rho * (cf / c).powf(2.0 / (g - 1.0));
+                let p = w.p * (cf / c).powf(2.0 * g / (g - 1.0));
+                Prim {
+                    rho,
+                    u,
+                    v: w.v,
+                    p,
+                    zeta: w.zeta,
+                }
+            }
+        }
+    }
+}
+
+impl FluxScheme for GodunovFlux {
+    fn flux_x(&self, left: &Prim, right: &Prim, gamma: f64) -> [f64; NVARS] {
+        let w = sample(left, right, gamma, 0.0);
+        physical_flux_x(&w, gamma)
+    }
+
+    fn name(&self) -> &'static str {
+        "godunov-exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prim(rho: f64, u: f64, p: f64) -> Prim {
+        Prim {
+            rho,
+            u,
+            v: 0.0,
+            p,
+            zeta: 0.0,
+        }
+    }
+
+    /// Toro's test 1 (the Sod problem): reference star values
+    /// p* = 0.30313, u* = 0.92745.
+    #[test]
+    fn sod_star_state() {
+        let l = prim(1.0, 0.0, 1.0);
+        let r = prim(0.125, 0.0, 0.1);
+        let (p, u) = star_state(&l, &r, 1.4);
+        assert!((p - 0.30313).abs() < 1e-4, "p* = {p}");
+        assert!((u - 0.92745).abs() < 1e-4, "u* = {u}");
+    }
+
+    /// Toro test 2 (123 problem, double rarefaction): p* = 0.00189,
+    /// u* = 0 by symmetry.
+    #[test]
+    fn double_rarefaction_star_state() {
+        let l = prim(1.0, -2.0, 0.4);
+        let r = prim(1.0, 2.0, 0.4);
+        let (p, u) = star_state(&l, &r, 1.4);
+        assert!(u.abs() < 1e-8, "u* = {u}");
+        assert!((p - 0.00189).abs() < 2e-4, "p* = {p}");
+    }
+
+    /// Toro test 3 (strong shock): p* = 460.894, u* = 19.5975.
+    #[test]
+    fn strong_shock_star_state() {
+        let l = prim(1.0, 0.0, 1000.0);
+        let r = prim(1.0, 0.0, 0.01);
+        let (p, u) = star_state(&l, &r, 1.4);
+        assert!((p - 460.894).abs() / 460.894 < 1e-3, "p* = {p}");
+        assert!((u - 19.5975).abs() / 19.5975 < 1e-3, "u* = {u}");
+    }
+
+    #[test]
+    fn uniform_state_is_a_fixed_point() {
+        let w = prim(1.3, 0.7, 2.2);
+        let s = sample(&w, &w, 1.4, 0.0);
+        assert!((s.rho - 1.3).abs() < 1e-10);
+        assert!((s.u - 0.7).abs() < 1e-10);
+        assert!((s.p - 2.2).abs() < 1e-10);
+        // Godunov flux equals the physical flux on uniform data.
+        let f = GodunovFlux.flux_x(&w, &w, 1.4);
+        let exact = physical_flux_x(&w, 1.4);
+        for k in 0..NVARS {
+            assert!((f[k] - exact[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sod_sampled_profile_is_monotone_density() {
+        let l = prim(1.0, 0.0, 1.0);
+        let r = prim(0.125, 0.0, 0.1);
+        let mut prev = f64::INFINITY;
+        let mut xi = -2.0;
+        while xi <= 2.0 {
+            let w = sample(&l, &r, 1.4, xi);
+            assert!(w.rho > 0.0 && w.p > 0.0, "positivity at xi = {xi}");
+            assert!(w.rho <= prev + 1e-12, "density rises at xi = {xi}");
+            prev = w.rho;
+            xi += 0.01;
+        }
+    }
+
+    #[test]
+    fn zeta_follows_the_contact() {
+        let mut l = prim(1.0, 0.0, 1.0);
+        l.zeta = 1.0;
+        let r = prim(0.125, 0.0, 0.1);
+        // u* > 0: at xi = 0 we are on the left side of the contact.
+        let w = sample(&l, &r, 1.4, 0.0);
+        assert_eq!(w.zeta, 1.0);
+        // Far right keeps the right value.
+        let w = sample(&l, &r, 1.4, 2.0);
+        assert_eq!(w.zeta, 0.0);
+    }
+
+    #[test]
+    fn supersonic_right_running_flow_upwinds_left() {
+        // Both states moving right at Mach > 1: flux = physical flux of
+        // the left state.
+        let l = prim(1.0, 5.0, 1.0);
+        let r = prim(0.5, 5.0, 0.5);
+        let f = GodunovFlux.flux_x(&l, &r, 1.4);
+        let exact = physical_flux_x(&l, 1.4);
+        for k in 0..NVARS {
+            assert!(
+                (f[k] - exact[k]).abs() < 1e-8 * (1.0 + exact[k].abs()),
+                "k = {k}"
+            );
+        }
+    }
+}

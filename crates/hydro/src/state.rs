@@ -1,0 +1,136 @@
+//! Conserved/primitive state conversions and characteristic quantities.
+
+/// Number of conserved variables: ρ, ρu, ρv, ρE, ρζ.
+pub const NVARS: usize = 5;
+
+/// Primitive state at a point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prim {
+    /// Density.
+    pub rho: f64,
+    /// x velocity.
+    pub u: f64,
+    /// y velocity.
+    pub v: f64,
+    /// Pressure.
+    pub p: f64,
+    /// Interface tracking function (0..1).
+    pub zeta: f64,
+}
+
+impl Prim {
+    /// Sound speed `√(γ p / ρ)`.
+    pub fn sound_speed(&self, gamma: f64) -> f64 {
+        (gamma * self.p / self.rho).sqrt()
+    }
+}
+
+/// Conserved → primitive. Total energy `ρE = p/(γ−1) + ½ρ(u²+v²)`.
+pub fn cons_to_prim(u: &[f64; NVARS], gamma: f64) -> Prim {
+    let rho = u[0];
+    let vx = u[1] / rho;
+    let vy = u[2] / rho;
+    let kinetic = 0.5 * rho * (vx * vx + vy * vy);
+    let p = (gamma - 1.0) * (u[3] - kinetic);
+    Prim {
+        rho,
+        u: vx,
+        v: vy,
+        p,
+        zeta: u[4] / rho,
+    }
+}
+
+/// Primitive → conserved.
+pub fn prim_to_cons(w: &Prim, gamma: f64) -> [f64; NVARS] {
+    let e = w.p / (gamma - 1.0) + 0.5 * w.rho * (w.u * w.u + w.v * w.v);
+    [w.rho, w.rho * w.u, w.rho * w.v, e, w.rho * w.zeta]
+}
+
+/// Physical flux along x of a primitive state (used by consistency checks
+/// and as the building block both flux schemes must agree with on smooth
+/// data): `F = {ρu, ρu²+p, ρuv, (ρE+p)u, ρζu}`.
+pub fn physical_flux_x(w: &Prim, gamma: f64) -> [f64; NVARS] {
+    let e = w.p / (gamma - 1.0) + 0.5 * w.rho * (w.u * w.u + w.v * w.v);
+    [
+        w.rho * w.u,
+        w.rho * w.u * w.u + w.p,
+        w.rho * w.u * w.v,
+        (e + w.p) * w.u,
+        w.rho * w.zeta * w.u,
+    ]
+}
+
+/// Largest signal speed |u| + c of a conserved state along an axis
+/// (0 = x, 1 = y) — the `CharacteristicQuantities` component's output,
+/// feeding the CFL time-step choice.
+pub fn max_signal_speed(u: &[f64; NVARS], gamma: f64, axis: usize) -> f64 {
+    let w = cons_to_prim(u, gamma);
+    let vel = if axis == 0 { w.u } else { w.v };
+    vel.abs() + w.sound_speed(gamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let w = Prim {
+            rho: 1.3,
+            u: -0.4,
+            v: 2.1,
+            p: 0.9,
+            zeta: 0.25,
+        };
+        let u = prim_to_cons(&w, 1.4);
+        let w2 = cons_to_prim(&u, 1.4);
+        assert!((w.rho - w2.rho).abs() < 1e-14);
+        assert!((w.u - w2.u).abs() < 1e-14);
+        assert!((w.v - w2.v).abs() < 1e-14);
+        assert!((w.p - w2.p).abs() < 1e-13);
+        assert!((w.zeta - w2.zeta).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sound_speed_of_standard_air() {
+        // rho = 1.225 kg/m3, p = 101325 Pa, gamma = 1.4 -> c ~ 340 m/s.
+        let w = Prim {
+            rho: 1.225,
+            u: 0.0,
+            v: 0.0,
+            p: 101_325.0,
+            zeta: 0.0,
+        };
+        let c = w.sound_speed(1.4);
+        assert!((c - 340.3).abs() < 1.0, "c = {c}");
+    }
+
+    #[test]
+    fn signal_speed_includes_advection() {
+        let w = Prim {
+            rho: 1.0,
+            u: 3.0,
+            v: -4.0,
+            p: 1.0,
+            zeta: 0.0,
+        };
+        let u = prim_to_cons(&w, 1.4);
+        let c = w.sound_speed(1.4);
+        assert!((max_signal_speed(&u, 1.4, 0) - (3.0 + c)).abs() < 1e-12);
+        assert!((max_signal_speed(&u, 1.4, 1) - (4.0 + c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flux_of_static_state_is_pressure_only() {
+        let w = Prim {
+            rho: 2.0,
+            u: 0.0,
+            v: 0.0,
+            p: 5.0,
+            zeta: 1.0,
+        };
+        let f = physical_flux_x(&w, 1.4);
+        assert_eq!(f, [0.0, 5.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the Euler solver's invariants.
+
+use cca_hydro_solver::efm::EfmFlux;
+use cca_hydro_solver::muscl::FluxScheme;
+use cca_hydro_solver::riemann::{sample, star_state, GodunovFlux};
+use cca_hydro_solver::state::{cons_to_prim, physical_flux_x, prim_to_cons, Prim, NVARS};
+use proptest::prelude::*;
+
+fn arb_prim() -> impl Strategy<Value = Prim> {
+    (
+        0.05f64..10.0,  // rho
+        -3.0f64..3.0,   // u
+        -3.0f64..3.0,   // v
+        0.05f64..10.0,  // p
+        0.0f64..1.0,    // zeta
+    )
+        .prop_map(|(rho, u, v, p, zeta)| Prim { rho, u, v, p, zeta })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conserved/primitive roundtrip for arbitrary physical states.
+    #[test]
+    fn cons_prim_roundtrip(w in arb_prim()) {
+        let u = prim_to_cons(&w, 1.4);
+        let w2 = cons_to_prim(&u, 1.4);
+        prop_assert!((w.rho - w2.rho).abs() < 1e-12 * w.rho);
+        prop_assert!((w.p - w2.p).abs() < 1e-10 * (1.0 + w.p));
+        prop_assert!((w.u - w2.u).abs() < 1e-10);
+        prop_assert!((w.v - w2.v).abs() < 1e-10);
+    }
+
+    /// Both flux schemes are *consistent*: F(w, w) = F_exact(w).
+    #[test]
+    fn flux_consistency(w in arb_prim()) {
+        let exact = physical_flux_x(&w, 1.4);
+        for scheme in [&GodunovFlux as &dyn FluxScheme, &EfmFlux] {
+            let f = scheme.flux_x(&w, &w, 1.4);
+            for k in 0..NVARS {
+                prop_assert!(
+                    (f[k] - exact[k]).abs() < 1e-5 * (1.0 + exact[k].abs()),
+                    "{} k={}: {} vs {}", scheme.name(), k, f[k], exact[k]
+                );
+            }
+        }
+    }
+
+    /// The exact Riemann solution is positivity-preserving wherever the
+    /// vacuum condition holds, and the star state is unique: sampling at
+    /// xi far left/right returns the inputs.
+    #[test]
+    fn riemann_positivity_and_limits(l in arb_prim(), r in arb_prim()) {
+        let g = 1.4;
+        // Vacuum condition: 2cL/(γ-1) + 2cR/(γ-1) > uR - uL.
+        let cl = l.sound_speed(g);
+        let cr = r.sound_speed(g);
+        prop_assume!(2.0 * cl / (g - 1.0) + 2.0 * cr / (g - 1.0) > r.u - l.u + 0.1);
+        let (p_star, _u_star) = star_state(&l, &r, g);
+        prop_assert!(p_star > 0.0, "p* = {}", p_star);
+        for xi in [-100.0, -10.0, 0.0, 10.0, 100.0] {
+            let w = sample(&l, &r, g, xi);
+            prop_assert!(w.rho > 0.0 && w.p > 0.0, "xi={}: rho={} p={}", xi, w.rho, w.p);
+        }
+        let far_l = sample(&l, &r, g, -1e6);
+        prop_assert!((far_l.rho - l.rho).abs() < 1e-9);
+        let far_r = sample(&l, &r, g, 1e6);
+        prop_assert!((far_r.rho - r.rho).abs() < 1e-9);
+    }
+
+    /// Galilean-mirrored Riemann problems give mirrored solutions:
+    /// swap(L, R) with negated velocities flips the sign of the mass flux.
+    #[test]
+    fn riemann_mirror_symmetry(l in arb_prim(), r in arb_prim()) {
+        let g = 1.4;
+        let cl = l.sound_speed(g);
+        let cr = r.sound_speed(g);
+        prop_assume!(2.0 * cl / (g - 1.0) + 2.0 * cr / (g - 1.0) > r.u - l.u + 0.1);
+        let f = GodunovFlux.flux_x(&l, &r, g);
+        let ml = Prim { u: -r.u, ..r };
+        let mr = Prim { u: -l.u, ..l };
+        let fm = GodunovFlux.flux_x(&ml, &mr, g);
+        // Mass flux flips sign; x-momentum flux is even.
+        prop_assert!((f[0] + fm[0]).abs() < 1e-6 * (1.0 + f[0].abs()),
+            "mass flux: {} vs {}", f[0], fm[0]);
+        prop_assert!((f[1] - fm[1]).abs() < 1e-6 * (1.0 + f[1].abs()),
+            "momentum flux: {} vs {}", f[1], fm[1]);
+    }
+
+    /// EFM shares the mirror symmetry (its half fluxes are moment
+    /// integrals, symmetric under velocity reflection).
+    #[test]
+    fn efm_mirror_symmetry(l in arb_prim(), r in arb_prim()) {
+        let g = 1.4;
+        let f = EfmFlux.flux_x(&l, &r, g);
+        let ml = Prim { u: -r.u, ..r };
+        let mr = Prim { u: -l.u, ..l };
+        let fm = EfmFlux.flux_x(&ml, &mr, g);
+        prop_assert!((f[0] + fm[0]).abs() < 1e-7 * (1.0 + f[0].abs()));
+        prop_assert!((f[1] - fm[1]).abs() < 1e-7 * (1.0 + f[1].abs()));
+    }
+}

@@ -1,0 +1,173 @@
+//! Integer index-space rectangles ("boxes"), the coordinate vocabulary of
+//! every SAMR operation. Bounds are **inclusive** on both ends, the
+//! Berger–Colella convention.
+
+/// A 2D rectangle of cells in a level's index space, `lo..=hi` per axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IntBox {
+    /// Lower corner (inclusive).
+    pub lo: [i64; 2],
+    /// Upper corner (inclusive).
+    pub hi: [i64; 2],
+}
+
+impl IntBox {
+    /// Box from corners. `lo` must be ≤ `hi` component-wise.
+    pub fn new(lo: [i64; 2], hi: [i64; 2]) -> Self {
+        debug_assert!(lo[0] <= hi[0] && lo[1] <= hi[1], "inverted box {lo:?}..{hi:?}");
+        IntBox { lo, hi }
+    }
+
+    /// The `nx × ny` box with lower corner at the origin.
+    pub fn sized(nx: i64, ny: i64) -> Self {
+        IntBox::new([0, 0], [nx - 1, ny - 1])
+    }
+
+    /// Cells along x.
+    pub fn nx(&self) -> i64 {
+        self.hi[0] - self.lo[0] + 1
+    }
+
+    /// Cells along y.
+    pub fn ny(&self) -> i64 {
+        self.hi[1] - self.lo[1] + 1
+    }
+
+    /// Total cell count.
+    pub fn count(&self) -> i64 {
+        self.nx() * self.ny()
+    }
+
+    /// Does the box contain cell `(i, j)`?
+    pub fn contains(&self, i: i64, j: i64) -> bool {
+        i >= self.lo[0] && i <= self.hi[0] && j >= self.lo[1] && j <= self.hi[1]
+    }
+
+    /// Does `other` lie entirely inside `self`?
+    pub fn contains_box(&self, other: &IntBox) -> bool {
+        self.lo[0] <= other.lo[0]
+            && self.lo[1] <= other.lo[1]
+            && self.hi[0] >= other.hi[0]
+            && self.hi[1] >= other.hi[1]
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: &IntBox) -> Option<IntBox> {
+        let lo = [self.lo[0].max(other.lo[0]), self.lo[1].max(other.lo[1])];
+        let hi = [self.hi[0].min(other.hi[0]), self.hi[1].min(other.hi[1])];
+        if lo[0] <= hi[0] && lo[1] <= hi[1] {
+            Some(IntBox { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Grow by `g` cells on every side.
+    pub fn grow(&self, g: i64) -> IntBox {
+        IntBox {
+            lo: [self.lo[0] - g, self.lo[1] - g],
+            hi: [self.hi[0] + g, self.hi[1] + g],
+        }
+    }
+
+    /// Map to the index space `ratio` times finer (cell `(i,j)` becomes the
+    /// block `[ri, ri+r-1] × [rj, rj+r-1]`).
+    pub fn refine(&self, ratio: i64) -> IntBox {
+        IntBox {
+            lo: [self.lo[0] * ratio, self.lo[1] * ratio],
+            hi: [(self.hi[0] + 1) * ratio - 1, (self.hi[1] + 1) * ratio - 1],
+        }
+    }
+
+    /// Map to the index space `ratio` times coarser (floor division, so the
+    /// result covers every fine cell).
+    pub fn coarsen(&self, ratio: i64) -> IntBox {
+        IntBox {
+            lo: [self.lo[0].div_euclid(ratio), self.lo[1].div_euclid(ratio)],
+            hi: [self.hi[0].div_euclid(ratio), self.hi[1].div_euclid(ratio)],
+        }
+    }
+
+    /// Iterate all `(i, j)` cells, row-major.
+    pub fn cells(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        let b = *self;
+        (b.lo[1]..=b.hi[1]).flat_map(move |j| (b.lo[0]..=b.hi[0]).map(move |i| (i, j)))
+    }
+
+    /// Split along `axis` (0 = x, 1 = y) so the lower part ends at `at`
+    /// (inclusive). Returns `None` if `at` is outside the strict interior.
+    pub fn split_at(&self, axis: usize, at: i64) -> Option<(IntBox, IntBox)> {
+        if at < self.lo[axis] || at >= self.hi[axis] {
+            return None;
+        }
+        let mut lo_box = *self;
+        let mut hi_box = *self;
+        lo_box.hi[axis] = at;
+        hi_box.lo[axis] = at + 1;
+        Some((lo_box, hi_box))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refine_coarsen_roundtrip() {
+        let b = IntBox::new([2, 3], [5, 9]);
+        assert_eq!(b.refine(2).coarsen(2), b);
+        assert_eq!(b.refine(4).coarsen(4), b);
+        // Refinement multiplies the cell count by ratio².
+        assert_eq!(b.refine(2).count(), 4 * b.count());
+    }
+
+    #[test]
+    fn coarsen_covers_all_fine_cells_with_negative_indices() {
+        let b = IntBox::new([-3, -1], [2, 2]);
+        let c = b.coarsen(2);
+        for (i, j) in b.cells() {
+            assert!(c.contains(i.div_euclid(2), j.div_euclid(2)));
+        }
+        assert_eq!(c.lo, [-2, -1]);
+    }
+
+    #[test]
+    fn intersect_empty_and_nonempty() {
+        let a = IntBox::sized(4, 4);
+        let b = IntBox::new([2, 2], [6, 6]);
+        assert_eq!(a.intersect(&b), Some(IntBox::new([2, 2], [3, 3])));
+        let c = IntBox::new([10, 10], [12, 12]);
+        assert_eq!(a.intersect(&c), None);
+        // Touching at a corner still yields a 1-cell overlap (inclusive).
+        let d = IntBox::new([3, 3], [5, 5]);
+        assert_eq!(a.intersect(&d), Some(IntBox::new([3, 3], [3, 3])));
+    }
+
+    #[test]
+    fn grow_and_contains() {
+        let b = IntBox::sized(2, 2).grow(1);
+        assert_eq!(b, IntBox::new([-1, -1], [2, 2]));
+        assert!(b.contains(-1, 2));
+        assert!(!b.contains(-2, 0));
+        assert!(b.contains_box(&IntBox::sized(2, 2)));
+        assert!(!IntBox::sized(2, 2).contains_box(&b));
+    }
+
+    #[test]
+    fn split_at_partitions_cells() {
+        let b = IntBox::sized(6, 3);
+        let (lo, hi) = b.split_at(0, 2).unwrap();
+        assert_eq!(lo, IntBox::new([0, 0], [2, 2]));
+        assert_eq!(hi, IntBox::new([3, 0], [5, 2]));
+        assert_eq!(lo.count() + hi.count(), b.count());
+        assert!(b.split_at(0, 5).is_none()); // would leave empty upper part
+        assert!(b.split_at(1, -1).is_none());
+    }
+
+    #[test]
+    fn cells_iterates_row_major_exactly_once() {
+        let b = IntBox::new([1, 1], [2, 3]);
+        let v: Vec<_> = b.cells().collect();
+        assert_eq!(v, vec![(1, 1), (2, 1), (1, 2), (2, 2), (1, 3), (2, 3)]);
+    }
+}

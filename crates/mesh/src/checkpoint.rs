@@ -1,0 +1,344 @@
+//! Checkpoint/restart of the SAMR state: hierarchy geometry plus any
+//! number of named Data Objects, in a self-describing little-endian
+//! binary format. Long SAMR campaigns (the paper's production flame run
+//! took 58 hours on 28 CPUs) are not survivable without restart files;
+//! GrACE/DAGH shipped the equivalent facility.
+//!
+//! Format: magic `CCAH`, version u32, hierarchy block, object count, then
+//! per object: name, nvars, nghost, and per (level, patch) the interior
+//! box plus the raw interior+ghost field data.
+
+use crate::boxes::IntBox;
+use crate::data::{DataObject, PatchData};
+use crate::hierarchy::{Hierarchy, Patch};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"CCAH";
+const VERSION: u32 = 1;
+
+/// Checkpoint errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a checkpoint, or a different format version.
+    BadHeader(String),
+    /// Structurally invalid payload.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadHeader(m) => write!(f, "bad checkpoint header: {m}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    put_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn get_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64(r: &mut impl Read) -> Result<u64, CheckpointError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_i64(r: &mut impl Read) -> Result<i64, CheckpointError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+
+fn get_f64(r: &mut impl Read) -> Result<f64, CheckpointError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn get_str(r: &mut impl Read) -> Result<String, CheckpointError> {
+    let len = get_u64(r)? as usize;
+    if len > 1 << 20 {
+        return Err(CheckpointError::Corrupt(format!("string length {len}")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| CheckpointError::Corrupt(e.to_string()))
+}
+
+fn put_box(w: &mut impl Write, b: &IntBox) -> io::Result<()> {
+    put_i64(w, b.lo[0])?;
+    put_i64(w, b.lo[1])?;
+    put_i64(w, b.hi[0])?;
+    put_i64(w, b.hi[1])
+}
+
+fn get_box(r: &mut impl Read) -> Result<IntBox, CheckpointError> {
+    let lo = [get_i64(r)?, get_i64(r)?];
+    let hi = [get_i64(r)?, get_i64(r)?];
+    if lo[0] > hi[0] || lo[1] > hi[1] {
+        return Err(CheckpointError::Corrupt(format!("inverted box {lo:?}..{hi:?}")));
+    }
+    Ok(IntBox::new(lo, hi))
+}
+
+/// Write a checkpoint of `hier` and the given Data Objects.
+pub fn write_checkpoint(
+    hier: &Hierarchy,
+    objects: &BTreeMap<String, DataObject>,
+    w: &mut impl Write,
+) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    put_u32(w, VERSION)?;
+    // Hierarchy geometry.
+    put_box(w, &hier.domain0)?;
+    put_f64(w, hier.origin[0])?;
+    put_f64(w, hier.origin[1])?;
+    put_f64(w, hier.dx0[0])?;
+    put_f64(w, hier.dx0[1])?;
+    put_i64(w, hier.ratio)?;
+    put_u64(w, hier.n_levels() as u64)?;
+    for level in &hier.levels {
+        put_u64(w, level.patches.len() as u64)?;
+        for p in &level.patches {
+            put_u64(w, p.id as u64)?;
+            put_box(w, &p.interior)?;
+            put_u64(w, p.owner as u64)?;
+        }
+    }
+    // Data objects.
+    put_u64(w, objects.len() as u64)?;
+    for (name, dobj) in objects {
+        put_str(w, name)?;
+        put_u64(w, dobj.nvars as u64)?;
+        put_i64(w, dobj.nghost)?;
+        put_u64(w, dobj.n_levels() as u64)?;
+        for level in 0..dobj.n_levels() {
+            let ids = dobj.patch_ids(level);
+            put_u64(w, ids.len() as u64)?;
+            for id in ids {
+                let pd = dobj.patch(level, id).expect("listed id");
+                put_u64(w, id as u64)?;
+                put_box(w, &pd.interior)?;
+                for var in 0..pd.nvars {
+                    for v in pd.var_slice(var) {
+                        put_f64(w, *v)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read a checkpoint back.
+pub fn read_checkpoint(
+    r: &mut impl Read,
+) -> Result<(Hierarchy, BTreeMap<String, DataObject>), CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader(format!("magic {magic:?}")));
+    }
+    let version = get_u32(r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadHeader(format!("version {version}")));
+    }
+    let domain0 = get_box(r)?;
+    let origin = [get_f64(r)?, get_f64(r)?];
+    let dx0 = [get_f64(r)?, get_f64(r)?];
+    let ratio = get_i64(r)?;
+    if !(2..=16).contains(&ratio) {
+        return Err(CheckpointError::Corrupt(format!("ratio {ratio}")));
+    }
+    let mut hier = Hierarchy::new(domain0, origin, dx0, ratio);
+    let n_levels = get_u64(r)? as usize;
+    if n_levels == 0 || n_levels > 64 {
+        return Err(CheckpointError::Corrupt(format!("{n_levels} levels")));
+    }
+    hier.levels.clear();
+    let mut max_id = 0usize;
+    for _ in 0..n_levels {
+        let n_patches = get_u64(r)? as usize;
+        if n_patches > 1 << 24 {
+            return Err(CheckpointError::Corrupt(format!("{n_patches} patches")));
+        }
+        let mut level = crate::hierarchy::Level::default();
+        for _ in 0..n_patches {
+            let id = get_u64(r)? as usize;
+            let interior = get_box(r)?;
+            let owner = get_u64(r)? as usize;
+            max_id = max_id.max(id + 1);
+            level.patches.push(Patch {
+                id,
+                interior,
+                owner,
+            });
+        }
+        hier.levels.push(level);
+    }
+    hier.reserve_ids(max_id);
+
+    let n_objects = get_u64(r)? as usize;
+    if n_objects > 1 << 16 {
+        return Err(CheckpointError::Corrupt(format!("{n_objects} objects")));
+    }
+    let mut objects = BTreeMap::new();
+    for _ in 0..n_objects {
+        let name = get_str(r)?;
+        let nvars = get_u64(r)? as usize;
+        let nghost = get_i64(r)?;
+        if nvars == 0 || nvars > 1 << 12 || !(0..=16).contains(&nghost) {
+            return Err(CheckpointError::Corrupt(format!(
+                "object '{name}': nvars {nvars}, nghost {nghost}"
+            )));
+        }
+        let mut dobj = DataObject::new(nvars, nghost);
+        let n_levels = get_u64(r)? as usize;
+        for level in 0..n_levels {
+            let n_patches = get_u64(r)? as usize;
+            for _ in 0..n_patches {
+                let id = get_u64(r)? as usize;
+                let interior = get_box(r)?;
+                let mut pd = PatchData::new(interior, nvars, nghost);
+                for var in 0..nvars {
+                    let slice = pd.var_slice_mut(var);
+                    for v in slice.iter_mut() {
+                        *v = get_f64(r)?;
+                    }
+                }
+                dobj.insert(level, id, pd);
+            }
+        }
+        objects.insert(name, dobj);
+    }
+    Ok((hier, objects))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Hierarchy, BTreeMap<String, DataObject>) {
+        let mut hier = Hierarchy::new(IntBox::sized(16, 16), [0.0, 0.0], [1.0 / 16.0; 2], 2);
+        hier.set_level_boxes(1, &[IntBox::new([4, 4], [11, 11]).refine(2)]);
+        hier.levels[1].patches[0].owner = 3;
+        let mut dobj = DataObject::new(2, 1);
+        for (level, l) in hier.levels.iter().enumerate() {
+            for p in &l.patches {
+                dobj.allocate(level, p.id, p.interior);
+            }
+        }
+        let id0 = hier.levels[0].patches[0].id;
+        let pd = dobj.patch_mut(0, id0).unwrap();
+        let interior = pd.interior;
+        for (k, (i, j)) in interior.cells().enumerate() {
+            pd.set(0, i, j, k as f64);
+            pd.set(1, i, j, -(k as f64) * 0.5);
+        }
+        let mut objects = BTreeMap::new();
+        objects.insert("state".to_string(), dobj);
+        (hier, objects)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (hier, objects) = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&hier, &objects, &mut buf).unwrap();
+        let (h2, o2) = read_checkpoint(&mut buf.as_slice()).unwrap();
+        assert_eq!(h2.domain0, hier.domain0);
+        assert_eq!(h2.ratio, hier.ratio);
+        assert_eq!(h2.n_levels(), hier.n_levels());
+        assert_eq!(h2.levels[1].patches[0].owner, 3);
+        assert_eq!(
+            h2.levels[1].patches[0].interior,
+            hier.levels[1].patches[0].interior
+        );
+        let src = objects.get("state").unwrap();
+        let dst = o2.get("state").unwrap();
+        let id0 = hier.levels[0].patches[0].id;
+        assert_eq!(
+            src.patch(0, id0).unwrap(),
+            dst.patch(0, id0).unwrap()
+        );
+    }
+
+    #[test]
+    fn fresh_ids_do_not_collide_after_restart() {
+        let (hier, objects) = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&hier, &objects, &mut buf).unwrap();
+        let (mut h2, _) = read_checkpoint(&mut buf.as_slice()).unwrap();
+        let existing: Vec<usize> = h2
+            .levels
+            .iter()
+            .flat_map(|l| l.patches.iter().map(|p| p.id))
+            .collect();
+        let fresh = h2.fresh_id();
+        assert!(!existing.contains(&fresh), "id {fresh} collides");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_checkpoint(&mut &b"NOPE\x01\x00\x00\x00"[..]).err().unwrap();
+        assert!(matches!(err, CheckpointError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let (hier, objects) = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&hier, &objects, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = read_checkpoint(&mut buf.as_slice()).err().unwrap();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupted_ratio_rejected() {
+        let (hier, objects) = sample();
+        let mut buf = Vec::new();
+        write_checkpoint(&hier, &objects, &mut buf).unwrap();
+        // ratio sits after magic(4) + version(4) + box(32) + origin/dx(32).
+        let off = 4 + 4 + 32 + 32;
+        buf[off..off + 8].copy_from_slice(&999i64.to_le_bytes());
+        let err = read_checkpoint(&mut buf.as_slice()).err().unwrap();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+    }
+}

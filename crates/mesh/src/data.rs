@@ -1,0 +1,350 @@
+//! Patch-resident field storage: the paper's **Data Object** subsystem
+//! ("it maintains the collection of arrays which contain data declared on
+//! patches, 1 array per patch. Typically a number of related variables are
+//! stored together in a Data Object").
+
+use crate::boxes::IntBox;
+use std::collections::BTreeMap;
+
+/// The field data of one patch: `nvars` variables over the patch interior
+/// plus `nghost` ghost cells on every side. Layout is variable-major,
+/// row-major within a variable (cache-friendly for sweeps over one field).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatchData {
+    /// Interior cell box, in the patch's level index space.
+    pub interior: IntBox,
+    /// Number of variables stored together.
+    pub nvars: usize,
+    /// Ghost width on each side.
+    pub nghost: i64,
+    data: Vec<f64>,
+}
+
+impl PatchData {
+    /// Allocate zero-initialized storage.
+    pub fn new(interior: IntBox, nvars: usize, nghost: i64) -> Self {
+        let total = interior.grow(nghost);
+        let len = nvars * (total.count() as usize);
+        PatchData {
+            interior,
+            nvars,
+            nghost,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Interior-plus-ghost box.
+    pub fn total_box(&self) -> IntBox {
+        self.interior.grow(self.nghost)
+    }
+
+    /// Flat index of `(var, i, j)`; `(i, j)` are level coordinates and may
+    /// lie in the ghost region.
+    #[inline]
+    pub fn idx(&self, var: usize, i: i64, j: i64) -> usize {
+        let t = self.total_box();
+        debug_assert!(t.contains(i, j), "({i},{j}) outside {t:?}");
+        debug_assert!(var < self.nvars);
+        let nx = t.nx() as usize;
+        let ny = t.ny() as usize;
+        let ii = (i - t.lo[0]) as usize;
+        let jj = (j - t.lo[1]) as usize;
+        var * nx * ny + jj * nx + ii
+    }
+
+    /// Read one value.
+    #[inline]
+    pub fn get(&self, var: usize, i: i64, j: i64) -> f64 {
+        self.data[self.idx(var, i, j)]
+    }
+
+    /// Write one value.
+    #[inline]
+    pub fn set(&mut self, var: usize, i: i64, j: i64, v: f64) {
+        let k = self.idx(var, i, j);
+        self.data[k] = v;
+    }
+
+    /// Add to one value.
+    #[inline]
+    pub fn add(&mut self, var: usize, i: i64, j: i64, v: f64) {
+        let k = self.idx(var, i, j);
+        self.data[k] += v;
+    }
+
+    /// Fill a whole variable (interior and ghosts) with a constant.
+    pub fn fill_var(&mut self, var: usize, v: f64) {
+        let t = self.total_box();
+        let per = (t.count()) as usize;
+        self.data[var * per..(var + 1) * per].fill(v);
+    }
+
+    /// Raw slice of one variable (interior and ghosts, row-major over the
+    /// total box).
+    pub fn var_slice(&self, var: usize) -> &[f64] {
+        let per = self.total_box().count() as usize;
+        &self.data[var * per..(var + 1) * per]
+    }
+
+    /// Mutable raw slice of one variable.
+    pub fn var_slice_mut(&mut self, var: usize) -> &mut [f64] {
+        let per = self.total_box().count() as usize;
+        &mut self.data[var * per..(var + 1) * per]
+    }
+
+    /// Copy variable values over `region` (level coordinates) from
+    /// another patch's data. The region must be valid in both.
+    pub fn copy_from(&mut self, other: &PatchData, region: &IntBox) {
+        debug_assert_eq!(self.nvars, other.nvars);
+        for var in 0..self.nvars {
+            for (i, j) in region.cells() {
+                let v = other.get(var, i, j);
+                self.set(var, i, j, v);
+            }
+        }
+    }
+
+    /// Pack `region` of all variables into a flat buffer (for message
+    /// passing), row-major per variable — the Data Object's
+    /// "packing/unpacking of data before/after message passing".
+    pub fn pack(&self, region: &IntBox) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.nvars * region.count() as usize);
+        for var in 0..self.nvars {
+            for (i, j) in region.cells() {
+                out.push(self.get(var, i, j));
+            }
+        }
+        out
+    }
+
+    /// Unpack a buffer produced by [`PatchData::pack`] over the same
+    /// (translated) region shape.
+    pub fn unpack(&mut self, region: &IntBox, buf: &[f64]) {
+        debug_assert_eq!(buf.len(), self.nvars * region.count() as usize);
+        let mut k = 0;
+        for var in 0..self.nvars {
+            for (i, j) in region.cells() {
+                self.set(var, i, j, buf[k]);
+                k += 1;
+            }
+        }
+    }
+
+    /// Sum of one variable over the interior (diagnostics, conservation
+    /// tests).
+    pub fn interior_sum(&self, var: usize) -> f64 {
+        self.interior.cells().map(|(i, j)| self.get(var, i, j)).sum()
+    }
+
+    /// Max-norm of one variable over the interior.
+    pub fn interior_max_abs(&self, var: usize) -> f64 {
+        self.interior
+            .cells()
+            .map(|(i, j)| self.get(var, i, j).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A named set of per-patch arrays across a whole hierarchy: one
+/// [`PatchData`] per patch id per level. "Typically... a simulation would
+/// contain 2–3 Data Objects" (e.g. conserved variables, transport
+/// coefficients, RHS accumulators).
+#[derive(Clone, Debug, Default)]
+pub struct DataObject {
+    /// `levels[l][patch_id] -> PatchData`.
+    levels: Vec<BTreeMap<usize, PatchData>>,
+    /// Variables per patch.
+    pub nvars: usize,
+    /// Ghost width.
+    pub nghost: i64,
+}
+
+impl DataObject {
+    /// Empty data object with the given shape parameters.
+    pub fn new(nvars: usize, nghost: i64) -> Self {
+        DataObject {
+            levels: Vec::new(),
+            nvars,
+            nghost,
+        }
+    }
+
+    /// Ensure storage exists for `nlevels` levels.
+    pub fn ensure_levels(&mut self, nlevels: usize) {
+        while self.levels.len() < nlevels {
+            self.levels.push(BTreeMap::new());
+        }
+    }
+
+    /// Number of levels currently held.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Allocate (zeroed) data for a patch.
+    pub fn allocate(&mut self, level: usize, patch_id: usize, interior: IntBox) {
+        self.ensure_levels(level + 1);
+        self.levels[level]
+            .insert(patch_id, PatchData::new(interior, self.nvars, self.nghost));
+    }
+
+    /// Drop a patch's data (patch destroyed in regridding).
+    pub fn deallocate(&mut self, level: usize, patch_id: usize) {
+        if let Some(l) = self.levels.get_mut(level) {
+            l.remove(&patch_id);
+        }
+    }
+
+    /// Remove an entire level (and any finer bookkeeping the caller does).
+    pub fn clear_level(&mut self, level: usize) {
+        if let Some(l) = self.levels.get_mut(level) {
+            l.clear();
+        }
+    }
+
+    /// Shared access to a patch's data.
+    pub fn patch(&self, level: usize, patch_id: usize) -> Option<&PatchData> {
+        self.levels.get(level).and_then(|l| l.get(&patch_id))
+    }
+
+    /// Mutable access to a patch's data.
+    pub fn patch_mut(&mut self, level: usize, patch_id: usize) -> Option<&mut PatchData> {
+        self.levels.get_mut(level).and_then(|l| l.get_mut(&patch_id))
+    }
+
+    /// Take a patch's data out (used when rebuilding a level keeps old
+    /// data around for copy-initialization).
+    pub fn take_level(&mut self, level: usize) -> BTreeMap<usize, PatchData> {
+        if let Some(l) = self.levels.get_mut(level) {
+            std::mem::take(l)
+        } else {
+            BTreeMap::new()
+        }
+    }
+
+    /// Insert pre-built patch data.
+    pub fn insert(&mut self, level: usize, patch_id: usize, data: PatchData) {
+        self.ensure_levels(level + 1);
+        self.levels[level].insert(patch_id, data);
+    }
+
+    /// Ids of patches with data on `level`.
+    pub fn patch_ids(&self, level: usize) -> Vec<usize> {
+        self.levels
+            .get(level)
+            .map(|l| l.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Two disjoint mutable borrows: a level-`lf` patch and a level-`lc`
+    /// patch (`lf != lc`), for coarse-fine transfer without cloning.
+    pub fn patch_pair_mut(
+        &mut self,
+        level_a: usize,
+        id_a: usize,
+        level_b: usize,
+        id_b: usize,
+    ) -> Option<(&mut PatchData, &PatchData)> {
+        assert_ne!(level_a, level_b, "use same-level copy for {level_a}");
+        let (la, lb) = if level_a < level_b {
+            let (lo, hi) = self.levels.split_at_mut(level_b);
+            (&mut lo[level_a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.levels.split_at_mut(level_a);
+            (&mut hi[0], &mut lo[level_b])
+        };
+        let a = la.get_mut(&id_a)?;
+        let b = lb.get(&id_b)?;
+        Some((a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_with_ghosts() {
+        let mut pd = PatchData::new(IntBox::sized(4, 3), 2, 2);
+        pd.set(1, -2, -2, 7.0); // far ghost corner
+        pd.set(0, 3, 2, 1.5); // interior far corner
+        assert_eq!(pd.get(1, -2, -2), 7.0);
+        assert_eq!(pd.get(0, 3, 2), 1.5);
+        assert_eq!(pd.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_debug_panics() {
+        let pd = PatchData::new(IntBox::sized(2, 2), 1, 1);
+        let _ = pd.get(0, 4, 0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut a = PatchData::new(IntBox::sized(5, 5), 3, 1);
+        for (k, (i, j)) in IntBox::sized(5, 5).cells().enumerate() {
+            for v in 0..3 {
+                a.set(v, i, j, (k * 3 + v) as f64);
+            }
+        }
+        let region = IntBox::new([1, 1], [3, 2]);
+        let buf = a.pack(&region);
+        assert_eq!(buf.len(), 3 * 6);
+        let mut b = PatchData::new(IntBox::sized(5, 5), 3, 1);
+        b.unpack(&region, &buf);
+        for (i, j) in region.cells() {
+            for v in 0..3 {
+                assert_eq!(b.get(v, i, j), a.get(v, i, j));
+            }
+        }
+        // Outside the region b is untouched.
+        assert_eq!(b.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn copy_from_region() {
+        let mut src = PatchData::new(IntBox::sized(3, 3), 1, 0);
+        src.fill_var(0, 4.0);
+        let mut dst = PatchData::new(IntBox::new([2, 0], [5, 2]), 1, 0);
+        let overlap = src.interior.intersect(&dst.interior).unwrap();
+        dst.copy_from(&src, &overlap);
+        assert_eq!(dst.get(0, 2, 1), 4.0);
+        assert_eq!(dst.get(0, 3, 1), 0.0);
+    }
+
+    #[test]
+    fn data_object_lifecycle() {
+        let mut dobj = DataObject::new(2, 1);
+        dobj.allocate(0, 0, IntBox::sized(4, 4));
+        dobj.allocate(1, 10, IntBox::sized(8, 8));
+        assert_eq!(dobj.patch_ids(0), vec![0]);
+        assert_eq!(dobj.patch_ids(1), vec![10]);
+        dobj.patch_mut(1, 10).unwrap().fill_var(0, 2.0);
+        assert_eq!(dobj.patch(1, 10).unwrap().get(0, 3, 3), 2.0);
+        dobj.deallocate(1, 10);
+        assert!(dobj.patch(1, 10).is_none());
+    }
+
+    #[test]
+    fn patch_pair_mut_cross_level() {
+        let mut dobj = DataObject::new(1, 0);
+        dobj.allocate(0, 0, IntBox::sized(2, 2));
+        dobj.allocate(1, 1, IntBox::sized(4, 4));
+        {
+            let (fine, coarse) = dobj.patch_pair_mut(1, 1, 0, 0).unwrap();
+            fine.set(0, 0, 0, coarse.get(0, 0, 0) + 5.0);
+        }
+        assert_eq!(dobj.patch(1, 1).unwrap().get(0, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn interior_reductions_ignore_ghosts() {
+        let mut pd = PatchData::new(IntBox::sized(2, 2), 1, 1);
+        pd.fill_var(0, 1.0); // fills ghosts too
+        assert_eq!(pd.interior_sum(0), 4.0);
+        pd.set(0, -1, -1, -100.0);
+        assert_eq!(pd.interior_max_abs(0), 1.0);
+    }
+}

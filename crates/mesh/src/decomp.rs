@@ -1,0 +1,273 @@
+//! Uniform (single-level) domain decomposition and distributed ghost
+//! exchange over `cca-comm` — the configuration of the paper's scaling
+//! studies (§5.2: "Adaptivity was turned off since it renders scalability
+//! extremely sensitive to the performance of the load-balancer").
+
+use crate::boxes::IntBox;
+use crate::data::PatchData;
+use cca_comm::Communicator;
+
+/// A `px × py` process grid tiling a global index box.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniformDecomp {
+    /// Global cell box.
+    pub global: IntBox,
+    /// Ranks along x.
+    pub px: usize,
+    /// Ranks along y.
+    pub py: usize,
+}
+
+impl UniformDecomp {
+    /// Choose a near-square process grid for `nranks` (minimizes the
+    /// surface-to-volume communication the paper's Fig. 9 knee comes
+    /// from).
+    pub fn new(global: IntBox, nranks: usize) -> Self {
+        assert!(nranks > 0);
+        let mut best = (1usize, nranks);
+        let mut best_cost = f64::INFINITY;
+        for px in 1..=nranks {
+            if nranks % px != 0 {
+                continue;
+            }
+            let py = nranks / px;
+            // Perimeter-to-area proxy for communication cost.
+            let tile_nx = global.nx() as f64 / px as f64;
+            let tile_ny = global.ny() as f64 / py as f64;
+            let cost = tile_nx + tile_ny;
+            if cost < best_cost {
+                best_cost = cost;
+                best = (px, py);
+            }
+        }
+        UniformDecomp {
+            global,
+            px: best.0,
+            py: best.1,
+        }
+    }
+
+    /// Total ranks.
+    pub fn nranks(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Grid coordinates of `rank` (row-major: `rank = gy * px + gx`).
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank % self.px, rank / self.px)
+    }
+
+    /// The cell tile owned by `rank`. Remainders are spread one cell at a
+    /// time over the first tiles, so sizes differ by at most one.
+    pub fn tile(&self, rank: usize) -> IntBox {
+        let (gx, gy) = self.coords(rank);
+        let (lo_x, hi_x) = split_1d(self.global.lo[0], self.global.nx(), self.px, gx);
+        let (lo_y, hi_y) = split_1d(self.global.lo[1], self.global.ny(), self.py, gy);
+        IntBox::new([lo_x, lo_y], [hi_x, hi_y])
+    }
+
+    /// Neighbouring rank on each side (`[x-lo, x-hi, y-lo, y-hi]`),
+    /// `None` at the physical boundary.
+    pub fn neighbors(&self, rank: usize) -> [Option<usize>; 4] {
+        let (gx, gy) = self.coords(rank);
+        let at = |x: isize, y: isize| -> Option<usize> {
+            if x < 0 || y < 0 || x >= self.px as isize || y >= self.py as isize {
+                None
+            } else {
+                Some(y as usize * self.px + x as usize)
+            }
+        };
+        [
+            at(gx as isize - 1, gy as isize),
+            at(gx as isize + 1, gy as isize),
+            at(gx as isize, gy as isize - 1),
+            at(gx as isize, gy as isize + 1),
+        ]
+    }
+
+    /// Exchange ghost strips of `pd` (whose interior must be this rank's
+    /// tile) with the four neighbours. Two passes — x strips first, then y
+    /// strips including the x-ghost columns — so corner ghosts arrive
+    /// without diagonal messages. `tag_base` separates concurrent
+    /// exchanges (one per Data Object).
+    pub fn exchange_ghosts(
+        &self,
+        comm: &Communicator,
+        pd: &mut PatchData,
+        tag_base: u64,
+    ) {
+        let g = pd.nghost;
+        debug_assert_eq!(pd.interior, self.tile(comm.rank()));
+        let me = pd.interior;
+        let [xlo, xhi, ylo, yhi] = self.neighbors(comm.rank());
+
+        // --- x pass: interior-height strips of width g.
+        let send_to = |pd: &PatchData, region: IntBox| pd.pack(&region);
+        // Send my low-x interior strip to the low neighbour, receive my
+        // low-x ghost strip from it (and symmetrically for high-x).
+        // One tag per pass: partners are distinguished by source rank, and
+        // a symmetric tag keeps the sendrecv pairs matched (an asymmetric
+        // per-side tag would deadlock the mutual exchange).
+        let x_pairs = [
+            (
+                xlo,
+                IntBox::new([me.lo[0], me.lo[1]], [me.lo[0] + g - 1, me.hi[1]]),
+                IntBox::new([me.lo[0] - g, me.lo[1]], [me.lo[0] - 1, me.hi[1]]),
+                tag_base,
+            ),
+            (
+                xhi,
+                IntBox::new([me.hi[0] - g + 1, me.lo[1]], [me.hi[0], me.hi[1]]),
+                IntBox::new([me.hi[0] + 1, me.lo[1]], [me.hi[0] + g, me.hi[1]]),
+                tag_base,
+            ),
+        ];
+        for (nbr, send_region, recv_region, tag) in x_pairs {
+            if let Some(nbr) = nbr {
+                let buf = send_to(pd, send_region);
+                let got: Vec<f64> = comm.sendrecv(nbr, tag, &buf);
+                pd.unpack(&recv_region, &got);
+            }
+        }
+
+        // --- y pass: full-width strips including x ghosts (corners!).
+        let y_pairs = [
+            (
+                ylo,
+                IntBox::new([me.lo[0] - g, me.lo[1]], [me.hi[0] + g, me.lo[1] + g - 1]),
+                IntBox::new([me.lo[0] - g, me.lo[1] - g], [me.hi[0] + g, me.lo[1] - 1]),
+                tag_base + 1,
+            ),
+            (
+                yhi,
+                IntBox::new([me.lo[0] - g, me.hi[1] - g + 1], [me.hi[0] + g, me.hi[1]]),
+                IntBox::new([me.lo[0] - g, me.hi[1] + 1], [me.hi[0] + g, me.hi[1] + g]),
+                tag_base + 1,
+            ),
+        ];
+        for (nbr, send_region, recv_region, tag) in y_pairs {
+            if let Some(nbr) = nbr {
+                let buf = send_to(pd, send_region);
+                let got: Vec<f64> = comm.sendrecv(nbr, tag, &buf);
+                pd.unpack(&recv_region, &got);
+            }
+        }
+    }
+}
+
+fn split_1d(lo: i64, n: i64, parts: usize, which: usize) -> (i64, i64) {
+    let parts = parts as i64;
+    let which = which as i64;
+    let base = n / parts;
+    let rem = n % parts;
+    let start = lo + which * base + which.min(rem);
+    let len = base + if which < rem { 1 } else { 0 };
+    (start, start + len - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_comm::{scmd, ClusterModel};
+
+    #[test]
+    fn tiles_partition_the_domain() {
+        for nranks in [1usize, 2, 3, 4, 6, 8, 12] {
+            let d = UniformDecomp::new(IntBox::sized(50, 37), nranks);
+            assert_eq!(d.nranks(), nranks);
+            let mut total = 0;
+            for r in 0..nranks {
+                total += d.tile(r).count();
+                // Tiles are disjoint.
+                for r2 in 0..r {
+                    assert!(d.tile(r).intersect(&d.tile(r2)).is_none());
+                }
+            }
+            assert_eq!(total, 50 * 37, "nranks = {nranks}");
+        }
+    }
+
+    #[test]
+    fn near_square_grids_preferred() {
+        let d = UniformDecomp::new(IntBox::sized(100, 100), 16);
+        assert_eq!((d.px, d.py), (4, 4));
+        let d = UniformDecomp::new(IntBox::sized(100, 100), 6);
+        assert!(d.px * d.py == 6 && d.px >= 2 && d.py >= 2);
+    }
+
+    #[test]
+    fn neighbors_are_mutual() {
+        let d = UniformDecomp::new(IntBox::sized(64, 64), 6);
+        for r in 0..6 {
+            let [xlo, xhi, ylo, yhi] = d.neighbors(r);
+            if let Some(n) = xlo {
+                assert_eq!(d.neighbors(n)[1], Some(r));
+            }
+            if let Some(n) = xhi {
+                assert_eq!(d.neighbors(n)[0], Some(r));
+            }
+            if let Some(n) = ylo {
+                assert_eq!(d.neighbors(n)[3], Some(r));
+            }
+            if let Some(n) = yhi {
+                assert_eq!(d.neighbors(n)[2], Some(r));
+            }
+        }
+    }
+
+    /// The distributed exchange reproduces a globally smooth field's ghost
+    /// values exactly, corners included.
+    #[test]
+    fn distributed_ghost_exchange_matches_global_field() {
+        for nranks in [2usize, 4, 6] {
+            let global = IntBox::sized(24, 18);
+            let d = UniformDecomp::new(global, nranks);
+            let field = |i: i64, j: i64| (i * 100 + j) as f64;
+            scmd::run(nranks, ClusterModel::zero(), move |comm| {
+                let tile = d.tile(comm.rank());
+                let mut pd = PatchData::new(tile, 2, 2);
+                for (i, j) in tile.cells() {
+                    pd.set(0, i, j, field(i, j));
+                    pd.set(1, i, j, -field(i, j));
+                }
+                d.exchange_ghosts(comm, &mut pd, 100);
+                // Every ghost cell inside the global domain now matches.
+                for (i, j) in pd.total_box().cells() {
+                    if tile.contains(i, j) || !global.contains(i, j) {
+                        continue;
+                    }
+                    assert_eq!(
+                        pd.get(0, i, j),
+                        field(i, j),
+                        "rank {} ghost ({i},{j})",
+                        comm.rank()
+                    );
+                    assert_eq!(pd.get(1, i, j), -field(i, j));
+                }
+            });
+        }
+    }
+
+    /// Message volume per rank scales with the tile perimeter — the
+    /// surface-to-volume law behind the paper's Fig. 9 efficiency knee.
+    #[test]
+    fn message_bytes_scale_with_perimeter() {
+        let run = |n: i64| -> u64 {
+            let global = IntBox::sized(n, n);
+            let d = UniformDecomp::new(global, 4);
+            let reports = scmd::run_reported(4, ClusterModel::zero(), move |comm| {
+                let tile = d.tile(comm.rank());
+                let mut pd = PatchData::new(tile, 1, 1);
+                d.exchange_ghosts(comm, &mut pd, 0);
+            });
+            reports.iter().map(|r| r.bytes_sent).sum()
+        };
+        let small = run(32);
+        let large = run(64);
+        let ratio = large as f64 / small as f64;
+        assert!(
+            ratio > 1.8 && ratio < 2.3,
+            "doubling the edge should double perimeter traffic, got {ratio}"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Regridding: flag → buffer → cluster → rebuild a finer level → move
+//! data. The paper (§3): "The solution is passed through a filter to
+//! determine regions needing finer meshes, whereby new patches are created
+//! and initialized with data from the coarse meshes (provided there does
+//! not exist a patch of the same resolution over that subdomain, wholly or
+//! partly)... Regions which are deemed over-refined have fine patches
+//! destroyed."
+
+use crate::boxes::IntBox;
+use crate::cluster::berger_rigoutsos;
+use crate::data::DataObject;
+use crate::hierarchy::Hierarchy;
+use crate::interp::prolong_limited;
+use std::collections::HashSet;
+
+/// Regridding knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RegridParams {
+    /// Berger–Rigoutsos fill-efficiency threshold.
+    pub efficiency: f64,
+    /// Buffer cells added around every flag before clustering.
+    pub buffer: i64,
+    /// Minimum patch width (coarse cells).
+    pub min_width: i64,
+}
+
+impl Default for RegridParams {
+    fn default() -> Self {
+        RegridParams {
+            efficiency: 0.7,
+            buffer: 1,
+            min_width: 4,
+        }
+    }
+}
+
+/// Rebuild level `level + 1` from cells flagged on `level`.
+///
+/// * `flags` are level-`level` cell indices tripping the error estimator
+///   (the paper's `ErrorEstAndRegrid` component produces them);
+/// * flags are buffered, clipped to the union of level-`level` patches
+///   (guaranteeing proper nesting of the new fine patches), clustered, and
+///   refined by the hierarchy ratio;
+/// * if a [`DataObject`] is supplied, new fine patches are initialized by
+///   bilinear prolongation from `level`, then overwritten with copies from
+///   any old fine patches they overlap (the paper's rule: keep existing
+///   same-resolution data);
+/// * an empty flag set destroys the finer level (over-refined region).
+///
+/// Returns the new patch ids of level `level + 1`.
+pub fn regrid_level(
+    hier: &mut Hierarchy,
+    level: usize,
+    flags: &[(i64, i64)],
+    params: &RegridParams,
+    data: &mut [&mut DataObject],
+) -> Vec<usize> {
+    // 1. Buffer and clip the flags.
+    let patch_union: Vec<IntBox> = hier.levels[level].patches.iter().map(|p| p.interior).collect();
+    let mut buffered: HashSet<(i64, i64)> = HashSet::new();
+    for &(i, j) in flags {
+        for dj in -params.buffer..=params.buffer {
+            for di in -params.buffer..=params.buffer {
+                let (bi, bj) = (i + di, j + dj);
+                if patch_union.iter().any(|b| b.contains(bi, bj)) {
+                    buffered.insert((bi, bj));
+                }
+            }
+        }
+    }
+    // 1b. Proper-nesting enforcement (Berger–Colella): if a level
+    // `level + 2` exists, the rebuilt `level + 1` must still contain it.
+    // Project every level-(l+2) patch footprint down to this level (plus
+    // a safety buffer) and add it to the flag set, so the clustering
+    // cannot orphan existing finer patches.
+    if hier.n_levels() > level + 2 {
+        let margin = params.buffer.max(1);
+        for p in hier.levels[level + 2].patches.clone() {
+            let foot = p
+                .interior
+                .coarsen(hier.ratio)
+                .coarsen(hier.ratio)
+                .grow(margin);
+            for (bi, bj) in foot.cells() {
+                if patch_union.iter().any(|b| b.contains(bi, bj)) {
+                    buffered.insert((bi, bj));
+                }
+            }
+        }
+    }
+    let buffered: Vec<(i64, i64)> = buffered.into_iter().collect();
+
+    // 2. Cluster on the coarse level and refine the boxes.
+    let coarse_boxes = berger_rigoutsos(&buffered, params.efficiency, params.min_width);
+    let fine_boxes: Vec<IntBox> = coarse_boxes.iter().map(|b| b.refine(hier.ratio)).collect();
+
+    // 3. Preserve old fine data, rebuild the level.
+    let old_patches = if hier.n_levels() > level + 1 {
+        hier.levels[level + 1].patches.clone()
+    } else {
+        Vec::new()
+    };
+    let old_data: Vec<std::collections::BTreeMap<usize, crate::data::PatchData>> = data
+        .iter_mut()
+        .map(|d| d.take_level(level + 1))
+        .collect();
+
+    if fine_boxes.is_empty() {
+        hier.truncate_levels(level + 1);
+        return Vec::new();
+    }
+    let new_ids = hier.set_level_boxes(level + 1, &fine_boxes);
+    debug_assert!(hier.properly_nested(level + 1));
+    debug_assert!(hier.level_disjoint(level + 1));
+
+    // 4. Initialize data: prolong from coarse, then copy old overlaps.
+    for (dobj, old_level_data) in data.iter_mut().zip(old_data) {
+        for (new_id, fine_box) in new_ids.iter().zip(&fine_boxes) {
+            dobj.allocate(level + 1, *new_id, *fine_box);
+            // Prolongation from every overlapping coarse donor.
+            let donors: Vec<_> = hier.levels[level]
+                .patches
+                .iter()
+                .filter_map(|q| {
+                    fine_box
+                        .coarsen(hier.ratio)
+                        .intersect(&q.interior)
+                        .map(|ov| (q.id, ov))
+                })
+                .collect();
+            for (donor_id, coarse_overlap) in donors {
+                let fine_region = coarse_overlap
+                    .refine(hier.ratio)
+                    .intersect(fine_box)
+                    .expect("refined overlap intersects the fine box");
+                let (fine_pd, coarse_pd) = dobj
+                    .patch_pair_mut(level + 1, *new_id, level, donor_id)
+                    .expect("allocated above / donor exists");
+                prolong_limited(fine_pd, coarse_pd, &fine_region, hier.ratio);
+            }
+            // Copy from old same-resolution patches where they overlap.
+            for old in &old_patches {
+                if let Some(old_pd) = old_level_data.get(&old.id) {
+                    if let Some(region) = fine_box.intersect(&old.interior) {
+                        dobj.patch_mut(level + 1, *new_id)
+                            .expect("allocated above")
+                            .copy_from(old_pd, &region);
+                    }
+                }
+            }
+        }
+    }
+    new_ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Hierarchy {
+        Hierarchy::new(IntBox::sized(32, 32), [0.0, 0.0], [1.0 / 32.0; 2], 2)
+    }
+
+    #[test]
+    fn flags_create_a_nested_fine_level() {
+        let mut h = base();
+        let flags: Vec<_> = IntBox::new([10, 10], [15, 14]).cells().collect();
+        let ids = regrid_level(&mut h, 0, &flags, &RegridParams::default(), &mut []);
+        assert!(!ids.is_empty());
+        assert!(h.properly_nested(1));
+        // All flags covered by the fine level (coarsened).
+        for &(i, j) in &flags {
+            let covered = h.levels[1]
+                .patches
+                .iter()
+                .any(|p| p.interior.coarsen(2).contains(i, j));
+            assert!(covered, "({i},{j}) not refined");
+        }
+    }
+
+    #[test]
+    fn empty_flags_destroy_fine_level() {
+        let mut h = base();
+        let flags: Vec<_> = IntBox::new([4, 4], [9, 9]).cells().collect();
+        regrid_level(&mut h, 0, &flags, &RegridParams::default(), &mut []);
+        assert_eq!(h.n_levels(), 2);
+        let ids = regrid_level(&mut h, 0, &[], &RegridParams::default(), &mut []);
+        assert!(ids.is_empty());
+        assert_eq!(h.n_levels(), 1);
+    }
+
+    #[test]
+    fn buffer_extends_refined_region() {
+        let mut h = base();
+        let flags = vec![(16, 16)];
+        let params = RegridParams {
+            buffer: 2,
+            min_width: 2,
+            ..RegridParams::default()
+        };
+        regrid_level(&mut h, 0, &flags, &params, &mut []);
+        let p = h.levels[1].patches[0].interior.coarsen(2);
+        // The buffered region [14..18]^2 must be inside the fine patch.
+        assert!(p.contains_box(&IntBox::new([14, 14], [18, 18])));
+    }
+
+    #[test]
+    fn data_initialized_by_prolongation_then_old_copy() {
+        let mut h = base();
+        let mut dobj = DataObject::new(1, 1);
+        let coarse_id = h.levels[0].patches[0].id;
+        dobj.allocate(0, coarse_id, h.levels[0].patches[0].interior);
+        dobj.patch_mut(0, coarse_id).unwrap().fill_var(0, 5.0);
+
+        // First regrid: fine data comes from prolongation (constant 5).
+        let flags: Vec<_> = IntBox::new([8, 8], [15, 15]).cells().collect();
+        let ids = {
+            let mut refs: Vec<&mut DataObject> = vec![&mut dobj];
+            regrid_level(&mut h, 0, &flags, &RegridParams::default(), &mut refs)
+        };
+        let fine = dobj.patch(1, ids[0]).unwrap();
+        for (i, j) in fine.interior.cells() {
+            assert_eq!(fine.get(0, i, j), 5.0);
+        }
+
+        // Mutate the fine data, regrid to a shifted region overlapping the
+        // old one: overlap keeps the mutated values, fresh cells get 5.0.
+        dobj.patch_mut(1, ids[0]).unwrap().fill_var(0, 9.0);
+        let flags2: Vec<_> = IntBox::new([10, 10], [17, 17]).cells().collect();
+        let ids2 = {
+            let mut refs: Vec<&mut DataObject> = vec![&mut dobj];
+            regrid_level(&mut h, 0, &flags2, &RegridParams::default(), &mut refs)
+        };
+        // The first regrid buffered [8..15]^2 by one cell -> coarse box
+        // [7..16]^2 -> fine box [14..33]^2.
+        let old_fine_box = IntBox::new([7, 7], [16, 16]).refine(2);
+        for id in &ids2 {
+            let pd = dobj.patch(1, *id).unwrap();
+            for (i, j) in pd.interior.cells() {
+                let v = pd.get(0, i, j);
+                if old_fine_box.contains(i, j) {
+                    assert_eq!(v, 9.0, "({i},{j}) lost old data");
+                } else {
+                    assert_eq!(v, 5.0, "({i},{j}) not prolonged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flags_outside_patches_are_ignored() {
+        let mut h = base();
+        let flags = vec![(100, 100), (-5, 0), (16, 16)];
+        let ids = regrid_level(&mut h, 0, &flags, &RegridParams::default(), &mut []);
+        assert_eq!(ids.len(), 1);
+        assert!(h.properly_nested(1));
+    }
+}

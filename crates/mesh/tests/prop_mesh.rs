@@ -1,0 +1,129 @@
+//! Property-based tests of the SAMR substrate's invariants.
+
+use cca_mesh::berger_rigoutsos;
+use cca_mesh::boxes::IntBox;
+use cca_mesh::data::PatchData;
+use cca_mesh::hierarchy::Hierarchy;
+use cca_mesh::interp::{prolong_bilinear, restrict_average};
+use cca_mesh::regrid::{regrid_level, RegridParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clustering covers every flag exactly once with pairwise-disjoint,
+    /// non-empty boxes — for arbitrary flag clouds and thresholds.
+    #[test]
+    fn clustering_invariants(
+        flags in proptest::collection::hash_set((0i64..40, 0i64..40), 1..120),
+        eff in 0.3f64..1.0,
+        min_width in 1i64..5,
+    ) {
+        let flags: Vec<(i64, i64)> = flags.into_iter().collect();
+        let boxes = berger_rigoutsos(&flags, eff, min_width);
+        for &(i, j) in &flags {
+            let n = boxes.iter().filter(|b| b.contains(i, j)).count();
+            prop_assert_eq!(n, 1, "flag ({}, {}) in {} boxes", i, j, n);
+        }
+        for (a, ba) in boxes.iter().enumerate() {
+            for bb in &boxes[a + 1..] {
+                prop_assert!(ba.intersect(bb).is_none());
+            }
+            prop_assert!(flags.iter().any(|&(i, j)| ba.contains(i, j)));
+        }
+    }
+
+    /// Box refine/coarsen roundtrip and area law for arbitrary boxes.
+    #[test]
+    fn box_refine_laws(
+        lo_x in -50i64..50, lo_y in -50i64..50,
+        nx in 1i64..30, ny in 1i64..30,
+        ratio in 2i64..5,
+    ) {
+        let b = IntBox::new([lo_x, lo_y], [lo_x + nx - 1, lo_y + ny - 1]);
+        prop_assert_eq!(b.refine(ratio).coarsen(ratio), b);
+        prop_assert_eq!(b.refine(ratio).count(), b.count() * ratio * ratio);
+        // Coarsening covers all cells.
+        let c = b.coarsen(ratio);
+        for (i, j) in b.cells() {
+            prop_assert!(c.contains(i.div_euclid(ratio), j.div_euclid(ratio)));
+        }
+    }
+
+    /// Regridding from arbitrary flags always yields a properly nested,
+    /// disjoint fine level that covers every in-domain flag.
+    #[test]
+    fn regrid_always_properly_nested(
+        flags in proptest::collection::hash_set((0i64..32, 0i64..32), 0..60),
+        buffer in 0i64..3,
+        eff in 0.5f64..0.95,
+    ) {
+        let mut h = Hierarchy::new(IntBox::sized(32, 32), [0.0, 0.0], [1.0; 2], 2);
+        let flags: Vec<(i64, i64)> = flags.into_iter().collect();
+        let params = RegridParams { efficiency: eff, buffer, min_width: 2 };
+        regrid_level(&mut h, 0, &flags, &params, &mut []);
+        if h.n_levels() > 1 {
+            prop_assert!(h.properly_nested(1));
+            prop_assert!(h.level_disjoint(1));
+            for &(i, j) in &flags {
+                let covered = h.levels[1]
+                    .patches
+                    .iter()
+                    .any(|p| p.interior.coarsen(2).contains(i, j));
+                prop_assert!(covered, "flag ({}, {}) not refined", i, j);
+            }
+        } else {
+            prop_assert!(flags.is_empty());
+        }
+    }
+
+    /// Conservative restriction preserves the integral for arbitrary fine
+    /// fields: coarse_sum * ratio² == fine_sum.
+    #[test]
+    fn restriction_conserves(
+        vals in proptest::collection::vec(-100.0f64..100.0, 64),
+        ratio in prop::sample::select(vec![2i64, 4]),
+    ) {
+        let fine_n = 8i64;
+        prop_assume!(fine_n % ratio == 0);
+        let mut fine = PatchData::new(IntBox::sized(fine_n, fine_n), 1, 0);
+        for (k, (i, j)) in IntBox::sized(fine_n, fine_n).cells().enumerate() {
+            fine.set(0, i, j, vals[k % vals.len()]);
+        }
+        let coarse_n = fine_n / ratio;
+        let mut coarse = PatchData::new(IntBox::sized(coarse_n, coarse_n), 1, 0);
+        restrict_average(&mut coarse, &fine, &IntBox::sized(coarse_n, coarse_n), ratio);
+        let fine_sum = fine.interior_sum(0);
+        let coarse_sum = coarse.interior_sum(0);
+        prop_assert!(
+            (coarse_sum * (ratio * ratio) as f64 - fine_sum).abs()
+                < 1e-9 * (1.0 + fine_sum.abs()),
+            "coarse {} vs fine {}", coarse_sum, fine_sum
+        );
+    }
+
+    /// Bilinear prolongation then conservative restriction is the
+    /// identity on the coarse field for linear data (exactness of both
+    /// operators to second order).
+    #[test]
+    fn prolong_restrict_identity_on_linears(
+        a in -5.0f64..5.0, b in -5.0f64..5.0, c in -5.0f64..5.0,
+    ) {
+        let mut coarse = PatchData::new(IntBox::sized(8, 8), 1, 2);
+        let t = coarse.total_box();
+        for (i, j) in t.cells() {
+            coarse.set(0, i, j, a + b * (i as f64 + 0.5) + c * (j as f64 + 0.5));
+        }
+        let fine_box = IntBox::sized(16, 16);
+        let mut fine = PatchData::new(fine_box, 1, 0);
+        prolong_bilinear(&mut fine, &coarse, &fine_box, 2);
+        let mut back = PatchData::new(IntBox::sized(8, 8), 1, 0);
+        restrict_average(&mut back, &fine, &IntBox::sized(8, 8), 2);
+        for (i, j) in IntBox::sized(8, 8).cells() {
+            let expect = coarse.get(0, i, j);
+            let got = back.get(0, i, j);
+            prop_assert!((got - expect).abs() < 1e-10 * (1.0 + expect.abs()),
+                "({}, {}): {} vs {}", i, j, got, expect);
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! Variable-step, variable-order (1–5) BDF integrator with modified Newton
+//! iteration — the reproduction of CVODE's stiff (BDF) mode, which the
+//! paper wraps as `CvodeComponent` to integrate chemical source terms.
+//!
+//! Algorithm outline (uniform-history formulation):
+//!
+//! * the last `q` solutions at uniform spacing `h` are kept; the BDF-q
+//!   formula `y_{n+1} = Σ α_j y_{n-j} + h β f(t_{n+1}, y_{n+1})` is solved
+//!   by a modified Newton iteration with a finite-difference Jacobian that
+//!   is reused across steps until convergence degrades;
+//! * the local error is estimated from the corrector–predictor difference
+//!   (the predictor extrapolates the history polynomial), controlled in the
+//!   CVODE weighted-RMS norm;
+//! * on a step-size change the history is rebuilt by evaluating the
+//!   interpolating polynomial at the new uniform spacing;
+//! * the order ramps 1 → `max_order` as history accumulates and drops back
+//!   on repeated failures.
+
+use crate::linalg::{LuFactors, Matrix};
+use crate::ode::{wrms_norm, OdeSystem};
+
+/// Uniform-grid BDF coefficients: `y_{n+1} = Σ_j ALPHA[q][j] y_{n-j} +
+/// BETA[q] h f_{n+1}` for order `q` (index 0 unused).
+const ALPHA: [&[f64]; 6] = [
+    &[],
+    &[1.0],
+    &[4.0 / 3.0, -1.0 / 3.0],
+    &[18.0 / 11.0, -9.0 / 11.0, 2.0 / 11.0],
+    &[48.0 / 25.0, -36.0 / 25.0, 16.0 / 25.0, -3.0 / 25.0],
+    &[
+        300.0 / 137.0,
+        -300.0 / 137.0,
+        200.0 / 137.0,
+        -75.0 / 137.0,
+        12.0 / 137.0,
+    ],
+];
+const BETA: [f64; 6] = [
+    0.0,
+    1.0,
+    2.0 / 3.0,
+    6.0 / 11.0,
+    12.0 / 25.0,
+    60.0 / 137.0,
+];
+
+/// Tuning knobs for [`Bdf`]. `Default` gives CVODE-like settings suitable
+/// for combustion kinetics.
+#[derive(Clone, Copy, Debug)]
+pub struct BdfConfig {
+    /// Relative tolerance for the weighted-RMS error test.
+    pub rtol: f64,
+    /// Absolute tolerance.
+    pub atol: f64,
+    /// Initial step; `None` picks `1e-4 * (t1 - t0)`.
+    pub h_init: Option<f64>,
+    /// Smallest step before giving up.
+    pub h_min: f64,
+    /// Largest step allowed.
+    pub h_max: f64,
+    /// Maximum BDF order, clamped to `1..=5`.
+    pub max_order: usize,
+    /// Step budget before [`BdfError::TooMuchWork`].
+    pub max_steps: usize,
+    /// Newton iterations per attempt.
+    pub max_newton_iters: usize,
+}
+
+impl Default for BdfConfig {
+    fn default() -> Self {
+        BdfConfig {
+            rtol: 1e-8,
+            atol: 1e-12,
+            h_init: None,
+            h_min: 1e-16,
+            h_max: f64::INFINITY,
+            max_order: 5,
+            max_steps: 500_000,
+            max_newton_iters: 4,
+        }
+    }
+}
+
+/// Work counters, reported after every integration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BdfStats {
+    /// Accepted steps.
+    pub steps: usize,
+    /// Right-hand-side evaluations (the paper's *NFE*, Table 4).
+    pub rhs_evals: usize,
+    /// Jacobian (finite-difference) evaluations.
+    pub jac_evals: usize,
+    /// Newton iterations across all attempts.
+    pub newton_iters: usize,
+    /// Error-test failures.
+    pub error_failures: usize,
+    /// Newton-convergence failures.
+    pub newton_failures: usize,
+}
+
+/// Integration failure modes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BdfError {
+    /// Step size underflowed `h_min` while the error test kept failing.
+    StepSizeUnderflow {
+        /// Time at which the integrator stalled.
+        t: f64,
+    },
+    /// `max_steps` exceeded.
+    TooMuchWork {
+        /// Time reached when the budget ran out.
+        t: f64,
+    },
+    /// The Newton matrix was singular and step reduction did not cure it.
+    SingularMatrix {
+        /// Time of the failing attempt.
+        t: f64,
+    },
+    /// Invalid user input (non-finite state, reversed interval, ...).
+    BadInput(String),
+}
+
+impl std::fmt::Display for BdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BdfError::StepSizeUnderflow { t } => write!(f, "step size underflow at t = {t:e}"),
+            BdfError::TooMuchWork { t } => write!(f, "max_steps exhausted at t = {t:e}"),
+            BdfError::SingularMatrix { t } => write!(f, "singular Newton matrix at t = {t:e}"),
+            BdfError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BdfError {}
+
+/// The integrator object. Stateless between calls; all per-run state lives
+/// on the stack of [`Bdf::integrate`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bdf {
+    /// Configuration used by [`Bdf::integrate`].
+    pub config: BdfConfig,
+}
+
+impl Bdf {
+    /// New integrator with the given configuration.
+    pub fn new(config: BdfConfig) -> Self {
+        Bdf { config }
+    }
+
+    /// Advance `y` from `t0` to `t1`. On success `y` holds `y(t1)` and the
+    /// work counters are returned.
+    pub fn integrate(
+        &self,
+        sys: &dyn OdeSystem,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+    ) -> Result<BdfStats, BdfError> {
+        let n = sys.dim();
+        if y.len() != n {
+            return Err(BdfError::BadInput(format!(
+                "state length {} != system dim {}",
+                y.len(),
+                n
+            )));
+        }
+        if !(t1 > t0) {
+            return Err(BdfError::BadInput(format!("need t1 > t0, got [{t0}, {t1}]")));
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(BdfError::BadInput("non-finite initial state".into()));
+        }
+        let cfg = self.config;
+        let max_order = cfg.max_order.clamp(1, 5);
+        let mut stats = BdfStats::default();
+
+        let mut t = t0;
+        let mut h = cfg
+            .h_init
+            .unwrap_or(1e-4 * (t1 - t0))
+            .min(cfg.h_max)
+            .min(t1 - t0);
+        let mut q = 1usize;
+        // history[0] = y_n, history[1] = y_{n-1}, ... at uniform spacing h.
+        let mut history: Vec<Vec<f64>> = vec![y.to_vec()];
+
+        // Modified-Newton bookkeeping.
+        let mut jac: Option<LuFactors> = None;
+        let mut jac_h = h;
+        let mut jac_age = usize::MAX; // force a build on first use
+
+        let mut f_buf = vec![0.0; n];
+        let mut scratch: Vec<f64> = Vec::new();
+        let mut consecutive_failures = 0usize;
+
+        while t < t1 {
+            if stats.steps >= cfg.max_steps {
+                return Err(BdfError::TooMuchWork { t });
+            }
+            // Clamp the final step and rescale history to the clamped h.
+            let h_target = h.min(t1 - t).max(cfg.h_min);
+            if (h_target - h).abs() > 1e-15 * h {
+                rescale_history(&mut history, h, h_target);
+                h = h_target;
+            }
+            let q_eff = q.min(history.len()).min(max_order);
+
+            // rhs_const = Σ α_j y_{n-j}
+            let alpha = ALPHA[q_eff];
+            let beta = BETA[q_eff];
+            let mut rhs_const = vec![0.0; n];
+            for (j, a) in alpha.iter().enumerate() {
+                for (r, hj) in rhs_const.iter_mut().zip(&history[j]) {
+                    *r += a * hj;
+                }
+            }
+
+            // Predictor: extrapolate the history polynomial to t+h.
+            let y_pred = extrapolate(&history, 1.0);
+
+            // Refresh the Newton matrix if it is stale.
+            let need_jac = jac.is_none()
+                || jac_age > 25
+                || !(0.7..=1.43).contains(&(h / jac_h))
+                || consecutive_failures > 0;
+            if need_jac {
+                jac = Some(self.build_newton_matrix(
+                    sys, t + h, h, beta, &y_pred, &mut f_buf, &mut stats,
+                )?);
+                jac_h = h;
+                jac_age = 0;
+            }
+
+            // Newton iteration on G(y) = y - hβ f(t+h, y) - rhs_const = 0.
+            let mut y_new = y_pred.clone();
+            let mut converged = false;
+            let lu = jac.as_ref().expect("just ensured");
+            for _ in 0..cfg.max_newton_iters {
+                sys.rhs(t + h, &y_new, &mut f_buf);
+                stats.rhs_evals += 1;
+                stats.newton_iters += 1;
+                let mut g: Vec<f64> = (0..n)
+                    .map(|i| y_new[i] - h * beta * f_buf[i] - rhs_const[i])
+                    .collect();
+                if lu.solve_in_place(&mut g, &mut scratch).is_err() {
+                    break;
+                }
+                for (yi, gi) in y_new.iter_mut().zip(&g) {
+                    *yi -= gi;
+                }
+                let delta_norm = wrms_norm(&g, &y_new, cfg.rtol, cfg.atol);
+                if !delta_norm.is_finite() {
+                    break;
+                }
+                if delta_norm < 0.33 {
+                    converged = true;
+                    break;
+                }
+            }
+
+            if !converged || y_new.iter().any(|v| !v.is_finite()) {
+                stats.newton_failures += 1;
+                consecutive_failures += 1;
+                // Force a Jacobian rebuild and shrink the step.
+                jac = None;
+                let h_new = (h * 0.25).max(cfg.h_min);
+                if h_new == h && h <= cfg.h_min {
+                    return Err(BdfError::StepSizeUnderflow { t });
+                }
+                rescale_history(&mut history, h, h_new);
+                h = h_new;
+                q = 1;
+                continue;
+            }
+
+            // Error test: corrector minus predictor, scaled.
+            let diff: Vec<f64> = y_new.iter().zip(&y_pred).map(|(a, b)| a - b).collect();
+            let err = wrms_norm(&diff, &y_new, cfg.rtol, cfg.atol) / (q_eff + 1) as f64;
+
+            if err > 1.0 {
+                stats.error_failures += 1;
+                consecutive_failures += 1;
+                let factor = (0.9 * err.powf(-1.0 / (q_eff + 1) as f64)).clamp(0.1, 0.9);
+                let h_new = (h * factor).max(cfg.h_min);
+                if h_new >= h && h <= cfg.h_min {
+                    return Err(BdfError::StepSizeUnderflow { t });
+                }
+                rescale_history(&mut history, h, h_new);
+                h = h_new;
+                if consecutive_failures > 3 {
+                    q = 1; // repeated trouble: drop to BDF1 and rebuild
+                }
+                continue;
+            }
+
+            // Accept.
+            consecutive_failures = 0;
+            jac_age += 1;
+            t += h;
+            history.insert(0, y_new.clone());
+            history.truncate(max_order + 1);
+            stats.steps += 1;
+
+            // Order ramp-up: raise while history supports it and the error
+            // is comfortably inside the tolerance.
+            if q < max_order && history.len() > q && err < 0.5 {
+                q += 1;
+            }
+
+            // Step growth for the next attempt.
+            let factor = if err > 0.0 {
+                (0.9 * err.powf(-1.0 / (q_eff + 1) as f64)).clamp(0.2, 4.0)
+            } else {
+                4.0
+            };
+            let h_new = (h * factor).min(cfg.h_max);
+            if (h_new / h - 1.0).abs() > 1e-12 {
+                rescale_history(&mut history, h, h_new);
+                h = h_new;
+            }
+        }
+
+        y.copy_from_slice(&history[0]);
+        Ok(stats)
+    }
+
+    /// Finite-difference Jacobian of `G(y) = y - hβ f - rhs_const`,
+    /// factorized. On singularity the step is not salvageable here; the
+    /// caller reduces `h` (which moves the matrix toward the identity).
+    #[allow(clippy::too_many_arguments)]
+    fn build_newton_matrix(
+        &self,
+        sys: &dyn OdeSystem,
+        t: f64,
+        h: f64,
+        beta: f64,
+        y: &[f64],
+        f_buf: &mut [f64],
+        stats: &mut BdfStats,
+    ) -> Result<LuFactors, BdfError> {
+        let n = y.len();
+        sys.rhs(t, y, f_buf);
+        stats.rhs_evals += 1;
+        stats.jac_evals += 1;
+        let f0 = f_buf.to_vec();
+        let mut m = Matrix::identity(n);
+        let mut y_pert = y.to_vec();
+        let sqrt_eps = f64::EPSILON.sqrt();
+        for j in 0..n {
+            let dy = sqrt_eps * y[j].abs().max(self.config.atol.max(1e-30) / self.config.rtol.max(1e-16));
+            let dy = if dy == 0.0 { sqrt_eps } else { dy };
+            y_pert[j] = y[j] + dy;
+            sys.rhs(t, &y_pert, f_buf);
+            stats.rhs_evals += 1;
+            y_pert[j] = y[j];
+            for i in 0..n {
+                let dfij = (f_buf[i] - f0[i]) / dy;
+                m[(i, j)] -= h * beta * dfij;
+            }
+        }
+        m.lu().map_err(|_| BdfError::SingularMatrix { t })
+    }
+}
+
+/// Evaluate the interpolating polynomial through `history` (nodes at
+/// `x = 0, -1, -2, ...` in units of the current spacing) at `x`.
+fn extrapolate(history: &[Vec<f64>], x: f64) -> Vec<f64> {
+    let k = history.len();
+    let n = history[0].len();
+    let mut out = vec![0.0; n];
+    for j in 0..k {
+        let xj = -(j as f64);
+        let mut w = 1.0;
+        for (m, _) in history.iter().enumerate() {
+            if m != j {
+                let xm = -(m as f64);
+                w *= (x - xm) / (xj - xm);
+            }
+        }
+        for (o, hj) in out.iter_mut().zip(&history[j]) {
+            *o += w * hj;
+        }
+    }
+    out
+}
+
+/// Rebuild `history` for a new uniform spacing `h_new` by interpolating the
+/// polynomial through the old nodes.
+fn rescale_history(history: &mut Vec<Vec<f64>>, h_old: f64, h_new: f64) {
+    if history.len() <= 1 || h_old == h_new {
+        return;
+    }
+    let ratio = h_new / h_old;
+    let rebuilt: Vec<Vec<f64>> = (0..history.len())
+        .map(|j| extrapolate(history, -(j as f64) * ratio))
+        .collect();
+    *history = rebuilt;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decay() -> (usize, impl Fn(f64, &[f64], &mut [f64])) {
+        (1usize, |_t: f64, y: &[f64], d: &mut [f64]| d[0] = -y[0])
+    }
+
+    #[test]
+    fn exponential_decay_accuracy() {
+        let bdf = Bdf::new(BdfConfig {
+            rtol: 1e-10,
+            atol: 1e-14,
+            ..BdfConfig::default()
+        });
+        let mut y = [1.0];
+        let stats = bdf.integrate(&decay(), 0.0, 5.0, &mut y).unwrap();
+        assert!((y[0] - (-5.0f64).exp()).abs() < 1e-8, "y = {}", y[0]);
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn harmonic_oscillator_two_components() {
+        let sys = (2usize, |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        });
+        let bdf = Bdf::new(BdfConfig {
+            rtol: 1e-9,
+            atol: 1e-12,
+            ..BdfConfig::default()
+        });
+        let mut y = [1.0, 0.0];
+        bdf.integrate(&sys, 0.0, std::f64::consts::PI, &mut y).unwrap();
+        assert!((y[0] + 1.0).abs() < 1e-5, "cos(pi) = {}", y[0]);
+        assert!(y[1].abs() < 1e-5, "-sin(pi) = {}", y[1]);
+    }
+
+    #[test]
+    fn stiff_linear_system_large_lambda() {
+        // y' = -1e6 (y - cos t) - sin t, exact solution decays onto cos t.
+        let sys = (1usize, |t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = -1e6 * (y[0] - t.cos()) - t.sin();
+        });
+        let bdf = Bdf::new(BdfConfig {
+            rtol: 1e-8,
+            atol: 1e-10,
+            ..BdfConfig::default()
+        });
+        let mut y = [2.0]; // off the slow manifold
+        let stats = bdf.integrate(&sys, 0.0, 1.0, &mut y).unwrap();
+        assert!((y[0] - 1.0f64.cos()).abs() < 1e-5, "y = {}", y[0]);
+        // Stiff efficiency: a non-stiff explicit method would need ~1e6
+        // steps; BDF should take a few hundred at most.
+        assert!(stats.steps < 5_000, "steps = {}", stats.steps);
+    }
+
+    #[test]
+    fn robertson_problem_conserves_mass() {
+        // The classic stiff benchmark.
+        let sys = (3usize, |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = -0.04 * y[0] + 1.0e4 * y[1] * y[2];
+            d[1] = 0.04 * y[0] - 1.0e4 * y[1] * y[2] - 3.0e7 * y[1] * y[1];
+            d[2] = 3.0e7 * y[1] * y[1];
+        });
+        let bdf = Bdf::new(BdfConfig {
+            rtol: 1e-8,
+            atol: 1e-12,
+            ..BdfConfig::default()
+        });
+        let mut y = [1.0, 0.0, 0.0];
+        bdf.integrate(&sys, 0.0, 4.0e3, &mut y).unwrap();
+        let total = y[0] + y[1] + y[2];
+        assert!((total - 1.0).abs() < 1e-6, "mass drifted: {total}");
+        // SUNDIALS cvRoberts_dns reference at t = 4e3: y = (0.18320, 8.94e-7, 0.81680).
+        assert!((y[0] - 0.18320).abs() < 2e-4, "y0 = {}", y[0]);
+        assert!((y[1] - 8.94e-7).abs() < 1e-8, "y1 = {}", y[1]);
+        assert!((y[2] - 0.81680).abs() < 2e-4, "y2 = {}", y[2]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let bdf = Bdf::default();
+        let mut y = [1.0];
+        assert!(matches!(
+            bdf.integrate(&decay(), 1.0, 0.0, &mut y),
+            Err(BdfError::BadInput(_))
+        ));
+        let mut y2 = [f64::NAN];
+        assert!(matches!(
+            bdf.integrate(&decay(), 0.0, 1.0, &mut y2),
+            Err(BdfError::BadInput(_))
+        ));
+        let mut y3 = [1.0, 2.0];
+        assert!(matches!(
+            bdf.integrate(&decay(), 0.0, 1.0, &mut y3),
+            Err(BdfError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn max_steps_is_enforced() {
+        let bdf = Bdf::new(BdfConfig {
+            max_steps: 3,
+            h_init: Some(1e-9),
+            h_max: 1e-9,
+            ..BdfConfig::default()
+        });
+        let mut y = [1.0];
+        assert!(matches!(
+            bdf.integrate(&decay(), 0.0, 1.0, &mut y),
+            Err(BdfError::TooMuchWork { .. })
+        ));
+    }
+
+    #[test]
+    fn extrapolate_reproduces_polynomials() {
+        // History of a quadratic sampled at x = 0, -1, -2 extrapolates
+        // exactly to x = 1.
+        let f = |x: f64| 3.0 + 2.0 * x + 0.5 * x * x;
+        let history = vec![vec![f(0.0)], vec![f(-1.0)], vec![f(-2.0)]];
+        let v = extrapolate(&history, 1.0);
+        assert!((v[0] - f(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescale_history_keeps_polynomials_exact() {
+        let f = |x: f64| 1.0 - x + 0.25 * x * x;
+        // Old spacing h = 0.2 around t_n = 0.
+        let mut history = vec![
+            vec![f(0.0)],
+            vec![f(-0.2)],
+            vec![f(-0.4)],
+        ];
+        rescale_history(&mut history, 0.2, 0.1);
+        assert!((history[1][0] - f(-0.1)).abs() < 1e-12);
+        assert!((history[2][0] - f(-0.2)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! `cca-solvers` — the numerical-integration substrate.
+//!
+//! The paper builds its Implicit and Explicit Integration subsystems on
+//! three external solvers, all reimplemented here from their published
+//! algorithms:
+//!
+//! * [`bdf`] — a stiff/non-stiff variable-step, variable-order (1–5) BDF
+//!   integrator with modified Newton iteration: the stand-in for **CVODE**
+//!   (Cohen & Hindmarsh 1996), wrapped by the paper's `CvodeComponent`.
+//! * [`rkc`] — the **Runge-Kutta-Chebyshev** scheme of Sommeijer, Shampine
+//!   & Verwer (1998): an explicit method with an extended real stability
+//!   interval growing like `0.65·s²`, used for the diffusion operator.
+//! * [`rk2`] — the two-stage second-order explicit Runge-Kutta (Heun)
+//!   scheme driving the shock-hydrodynamics time integration.
+//!
+//! [`linalg`] supplies the dense LU factorization the BDF Newton solves
+//! need (the paper's systems are small: ~10 species per cell).
+
+pub mod bdf;
+pub mod linalg;
+pub mod ode;
+pub mod rk2;
+pub mod rkc;
+
+pub use bdf::{Bdf, BdfConfig, BdfError, BdfStats};
+pub use linalg::{LinalgError, LuFactors, Matrix};
+pub use ode::OdeSystem;
+pub use rk2::rk2_step;
+pub use rkc::{Rkc, RkcConfig, RkcStats};

@@ -1,0 +1,295 @@
+//! Small dense linear algebra: row-major matrices and LU with partial
+//! pivoting. Systems here are chemistry-sized (N ≈ 10), so a
+//! cache-friendly, allocation-conscious direct solver is the right tool —
+//! no external BLAS needed.
+
+use std::fmt;
+
+/// Errors from the direct solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Factorization found no usable pivot: the matrix is singular to
+    /// working precision.
+    Singular {
+        /// Column at which elimination broke down.
+        column: usize,
+    },
+    /// Operand shapes do not match.
+    DimensionMismatch,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { column } => {
+                write!(f, "matrix singular at column {column}")
+            }
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Dense row-major square-or-rectangular matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(rows * cols, data.len(), "shape does not match data length");
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// In-place scaled add: `self += s * other`.
+    pub fn axpy(&mut self, s: f64, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// LU factorization with partial pivoting. Consumes a copy of the
+    /// matrix; the original is untouched.
+    pub fn lu(&self) -> Result<LuFactors, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search in column k.
+            let mut p = k;
+            let mut maxval = a[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = a[i * n + k].abs();
+                if v > maxval {
+                    maxval = v;
+                    p = i;
+                }
+            }
+            if maxval == 0.0 || !maxval.is_finite() {
+                return Err(LinalgError::Singular { column: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = a[k * n + k];
+            for i in (k + 1)..n {
+                let l = a[i * n + k] / pivot;
+                a[i * n + k] = l;
+                for j in (k + 1)..n {
+                    a[i * n + j] -= l * a[k * n + j];
+                }
+            }
+        }
+        Ok(LuFactors { n, lu: a, piv })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// The result of [`Matrix::lu`]: packed L\U factors and the row permutation.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Solve `A x = b` given the factorization of `A`. `b` is unchanged.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.n;
+        // Apply permutation.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward substitution (unit lower triangle).
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Solve in place, reusing the caller's buffer (hot path of the BDF
+    /// Newton iteration — avoids an allocation per iteration).
+    pub fn solve_in_place(&self, b: &mut [f64], scratch: &mut Vec<f64>) -> Result<(), LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        scratch.clear();
+        scratch.extend(self.piv.iter().map(|&p| b[p]));
+        let n = self.n;
+        for i in 1..n {
+            let mut acc = scratch[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * scratch[j];
+            }
+            scratch[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = scratch[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * scratch[j];
+            }
+            scratch[i] = acc / self.lu[i * n + i];
+        }
+        b.copy_from_slice(scratch);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = Matrix::identity(4);
+        let lu = a.lu().unwrap();
+        let b = [1.0, -2.0, 3.5, 0.0];
+        assert_eq!(lu.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn known_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = a.lu().unwrap().solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-14);
+        assert!((x[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = a.lu().unwrap().solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(a.lu().err(), Some(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = Matrix::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 5.0, 2.0, 0.0, 2.0, 6.0]);
+        let lu = a.lu().unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let expect = lu.solve(&b).unwrap();
+        let mut buf = b;
+        let mut scratch = Vec::new();
+        lu.solve_in_place(&mut buf, &mut scratch).unwrap();
+        assert_eq!(buf.to_vec(), expect);
+    }
+
+    #[test]
+    fn matvec_and_norm() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 0.0, -1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![0.0, 9.0]);
+        assert_eq!(a.norm_inf(), 9.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The ODE right-hand-side abstraction shared by all integrators.
+
+/// A system `dy/dt = f(t, y)` of dimension [`OdeSystem::dim`].
+///
+/// This is the crate-level analogue of the paper's *RHS Evaluator* port:
+/// the `CvodeComponent` invokes its connected `ThermoChemistry` component
+/// through exactly this shape of interface (there via a CCA port, here via
+/// a trait — the component layer in `cca-components` adapts one to the
+/// other).
+pub trait OdeSystem {
+    /// Number of state variables.
+    fn dim(&self) -> usize;
+
+    /// Evaluate `dydt = f(t, y)`. `dydt` has length [`OdeSystem::dim`].
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+/// Blanket impl so closures can be used directly in tests and examples.
+impl<F> OdeSystem for (usize, F)
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+{
+    fn dim(&self) -> usize {
+        self.0
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (self.1)(t, y, dydt)
+    }
+}
+
+/// Weighted RMS norm used for error control by both BDF and RKC:
+/// `sqrt(mean((v_i / (atol + rtol*|ref_i|))^2))`, CVODE's `N_VWrmsNorm`.
+pub fn wrms_norm(v: &[f64], reference: &[f64], rtol: f64, atol: f64) -> f64 {
+    debug_assert_eq!(v.len(), reference.len());
+    let n = v.len().max(1);
+    let sum: f64 = v
+        .iter()
+        .zip(reference)
+        .map(|(x, r)| {
+            let w = atol + rtol * r.abs();
+            let e = x / w;
+            e * e
+        })
+        .sum();
+    (sum / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_systems_work() {
+        let sys = (2usize, |_t: f64, y: &[f64], dydt: &mut [f64]| {
+            dydt[0] = y[1];
+            dydt[1] = -y[0];
+        });
+        assert_eq!(sys.dim(), 2);
+        let mut d = [0.0; 2];
+        sys.rhs(0.0, &[3.0, 4.0], &mut d);
+        assert_eq!(d, [4.0, -3.0]);
+    }
+
+    #[test]
+    fn wrms_norm_basics() {
+        // All errors exactly at tolerance -> norm 1.
+        let v = [0.1, 0.1];
+        let r = [0.0, 0.0];
+        assert!((wrms_norm(&v, &r, 0.0, 0.1) - 1.0).abs() < 1e-15);
+        // Scales with rtol*|y|.
+        let v = [1.0];
+        let r = [100.0];
+        assert!((wrms_norm(&v, &r, 0.01, 0.0) - 1.0).abs() < 1e-15);
+    }
+}

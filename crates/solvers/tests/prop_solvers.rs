@@ -1,0 +1,75 @@
+//! Property-based tests for the solver substrate.
+
+use cca_solvers::{Bdf, BdfConfig, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LU solve of a diagonally-dominant random matrix reproduces the
+    /// right-hand side under multiplication.
+    #[test]
+    fn lu_solve_roundtrip(
+        n in 1usize..8,
+        seed in proptest::collection::vec(-1.0f64..1.0, 64 + 8),
+    ) {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = seed[i * 8 + j];
+            }
+            // Diagonal dominance guarantees nonsingularity.
+            a[(i, i)] += (n as f64) + 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| seed[64 + i]).collect();
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let bx = a.matvec(&x);
+        for i in 0..n {
+            prop_assert!((bx[i] - b[i]).abs() < 1e-9,
+                "residual {} at row {i}", bx[i] - b[i]);
+        }
+    }
+
+    /// Permuted identity (any permutation matrix) solves exactly.
+    #[test]
+    fn lu_handles_permutations(perm in proptest::sample::subsequence(vec![0usize,1,2,3,4], 5)) {
+        // Build a permutation from the shuffled complement trick: use the
+        // subsequence plus remaining indices to form a permutation vector.
+        let mut p: Vec<usize> = perm.clone();
+        for i in 0..5 {
+            if !p.contains(&i) {
+                p.push(i);
+            }
+        }
+        let n = 5;
+        let mut a = Matrix::zeros(n, n);
+        for (i, &pi) in p.iter().enumerate() {
+            a[(i, pi)] = 1.0;
+        }
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        for (i, &pi) in p.iter().enumerate() {
+            prop_assert!((x[pi] - b[i]).abs() < 1e-14);
+        }
+    }
+
+    /// BDF solves scalar linear ODEs y' = a y + b to tolerance for a range
+    /// of decay rates and forcings.
+    #[test]
+    fn bdf_linear_scalar_matches_closed_form(
+        a in -50.0f64..-0.1,
+        b in -5.0f64..5.0,
+        y0 in -2.0f64..2.0,
+    ) {
+        let sys = (1usize, move |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = a * y[0] + b;
+        });
+        let bdf = Bdf::new(BdfConfig { rtol: 1e-9, atol: 1e-12, ..BdfConfig::default() });
+        let mut y = [y0];
+        bdf.integrate(&sys, 0.0, 1.0, &mut y).unwrap();
+        let yinf = -b / a;
+        let exact = yinf + (y0 - yinf) * (a * 1.0f64).exp();
+        prop_assert!((y[0] - exact).abs() < 1e-6 * (1.0 + exact.abs()),
+            "got {} want {exact}", y[0]);
+    }
+}

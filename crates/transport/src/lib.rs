@@ -1,0 +1,238 @@
+//! `cca-transport` — mixture-averaged gas-phase transport properties: the
+//! substitute for the DRFM Fortran 77 package (Paul, SAND98-8203) that the
+//! paper wraps as `DRFMComponent`.
+//!
+//! What the reaction–diffusion assembly needs from DRFM is the pair
+//! `(λ, ρD_i)` entering `K ∇·(B ∇Φ)` (paper Eq. 3): the mixture thermal
+//! conductivity and the mixture-averaged diffusion coefficient of each
+//! species, both functions of temperature, pressure and composition.
+//!
+//! We model each species with a kinetic-theory-shaped correlation anchored
+//! at 300 K / 1 atm reference values from standard tables:
+//!
+//! * binary diffusivity into the bath: `D_i = D_i^ref (T/300)^1.7 (P_atm/P)`
+//!   (Chapman–Enskog temperature exponent for moderate temperatures);
+//! * species conductivity: `λ_i = λ_i^ref (T/300)^0.8`;
+//! * mixture rules: Blanc's law for diffusion
+//!   (`D_i,mix = (1−X_i)/Σ_{j≠i} X_j/D_ij`, with the symmetric pair
+//!   combination `D_ij = D_i D_j / D_bath`, which reduces exactly to the
+//!   tabulated binary coefficient when the partner is the N₂ bath), and
+//!   the Mathur/Wassiljewa-style average for conductivity
+//!   (`λ = ½(Σ X_j λ_j + 1/Σ(X_j/λ_j))`).
+//!
+//! Absolute agreement with DRFM is not required for the reproduction (the
+//! paper's performance results do not depend on the third decimal of a
+//! diffusivity); realistic magnitudes, orderings (H > H₂ ≫ heavy species)
+//! and temperature scaling are, and those hold here.
+
+/// Reference transport data for one species at 300 K and 1 atm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeciesTransport {
+    /// Species name (matches the chemistry species table).
+    pub name: &'static str,
+    /// Binary diffusivity into N₂ at 300 K, 1 atm (m²/s).
+    pub d_ref: f64,
+    /// Thermal conductivity at 300 K (W/(m·K)).
+    pub lambda_ref: f64,
+}
+
+/// Standard-pressure reference, Pa.
+pub const P_ATM: f64 = 101_325.0;
+
+/// Table for the H/O/N system used by both mechanisms in `cca-chem`.
+pub fn h2_air_transport_table() -> Vec<SpeciesTransport> {
+    vec![
+        SpeciesTransport { name: "H2", d_ref: 7.8e-5, lambda_ref: 0.182 },
+        SpeciesTransport { name: "O2", d_ref: 2.0e-5, lambda_ref: 0.026 },
+        SpeciesTransport { name: "O", d_ref: 4.0e-5, lambda_ref: 0.042 },
+        SpeciesTransport { name: "OH", d_ref: 4.0e-5, lambda_ref: 0.047 },
+        SpeciesTransport { name: "H", d_ref: 1.5e-4, lambda_ref: 0.300 },
+        SpeciesTransport { name: "H2O", d_ref: 2.4e-5, lambda_ref: 0.019 },
+        SpeciesTransport { name: "HO2", d_ref: 2.0e-5, lambda_ref: 0.026 },
+        SpeciesTransport { name: "H2O2", d_ref: 1.9e-5, lambda_ref: 0.025 },
+        SpeciesTransport { name: "N2", d_ref: 2.0e-5, lambda_ref: 0.026 },
+    ]
+}
+
+/// Mixture-averaged transport evaluator over a fixed species set.
+#[derive(Clone, Debug)]
+pub struct TransportModel {
+    table: Vec<SpeciesTransport>,
+    /// Reference diffusivity of the bath gas (N₂ self-diffusion), the
+    /// normalizer of the pair-combination rule.
+    d_bath: f64,
+}
+
+impl TransportModel {
+    /// Build for an ordered list of species names; every name must exist in
+    /// the reference table.
+    ///
+    /// # Panics
+    /// Panics on an unknown species name — transport data is part of the
+    /// problem specification, so a gap is a setup error.
+    pub fn for_species(names: &[&str]) -> Self {
+        let all = h2_air_transport_table();
+        let table = names
+            .iter()
+            .map(|n| {
+                *all.iter()
+                    .find(|s| s.name == *n)
+                    .unwrap_or_else(|| panic!("no transport data for species '{n}'"))
+            })
+            .collect();
+        let d_bath = all
+            .iter()
+            .find(|s| s.name == "N2")
+            .map(|s| s.d_ref)
+            .expect("reference table always carries the N2 bath");
+        TransportModel { table, d_bath }
+    }
+
+    /// Number of species.
+    pub fn n_species(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Pure-species diffusivity into the bath at `(t, p)`, m²/s.
+    pub fn species_diffusivity(&self, i: usize, t: f64, p: f64) -> f64 {
+        self.table[i].d_ref * (t / 300.0).powf(1.7) * (P_ATM / p)
+    }
+
+    /// Pure-species thermal conductivity at `t`, W/(m·K).
+    pub fn species_conductivity(&self, i: usize, t: f64) -> f64 {
+        self.table[i].lambda_ref * (t / 300.0).powf(0.8)
+    }
+
+    /// Mixture-averaged diffusion coefficients (m²/s) from mole fractions
+    /// `x`; writes one value per species into `out`.
+    pub fn mix_diffusivities(&self, t: f64, p: f64, x: &[f64], out: &mut [f64]) {
+        let n = self.table.len();
+        debug_assert_eq!(x.len(), n);
+        debug_assert_eq!(out.len(), n);
+        for i in 0..n {
+            let di = self.species_diffusivity(i, t, p);
+            let mut denom = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let dj = self.species_diffusivity(j, t, p);
+                let d_bath_tp = self.d_bath * (t / 300.0).powf(1.7) * (P_ATM / p);
+                let dij = di * dj / d_bath_tp;
+                denom += x[j] / dij;
+            }
+            out[i] = if denom > 0.0 {
+                (1.0 - x[i]).max(1e-12) / denom
+            } else {
+                // Pure species: Blanc's law degenerates; self-diffusion.
+                di
+            };
+        }
+    }
+
+    /// Mixture thermal conductivity (W/(m·K)) from mole fractions.
+    pub fn mix_conductivity(&self, t: f64, x: &[f64]) -> f64 {
+        let mut direct = 0.0;
+        let mut recip = 0.0;
+        for (xi, s) in x.iter().zip(&self.table) {
+            let li = s.lambda_ref * (t / 300.0).powf(0.8);
+            direct += xi * li;
+            recip += xi / li;
+        }
+        0.5 * (direct + 1.0 / recip.max(1e-300))
+    }
+
+    /// Upper bound on any mixture diffusivity at `(t, p)` — the quantity
+    /// the paper's `MaxDiffCoeffEvaluator` feeds to the RKC integrator for
+    /// its stable-time-step (spectral radius) estimate.
+    pub fn max_diffusivity(&self, t: f64, p: f64) -> f64 {
+        (0..self.table.len())
+            .map(|i| self.species_diffusivity(i, t, p))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TransportModel {
+        TransportModel::for_species(&["H2", "O2", "O", "OH", "H", "H2O", "HO2", "H2O2", "N2"])
+    }
+
+    fn air_x(n: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        x[1] = 0.21; // O2
+        x[n - 1] = 0.79; // N2
+        x
+    }
+
+    #[test]
+    fn hydrogen_outdiffuses_oxygen() {
+        let m = model();
+        let x = air_x(m.n_species());
+        let mut d = vec![0.0; m.n_species()];
+        m.mix_diffusivities(300.0, P_ATM, &x, &mut d);
+        assert!(d[0] > 3.0 * d[1], "D_H2 = {}, D_O2 = {}", d[0], d[1]);
+        // H atoms are the fastest diffusers of all.
+        assert!(d[4] > d[0]);
+    }
+
+    #[test]
+    fn diffusivity_scales_with_t_and_p() {
+        let m = model();
+        let d300 = m.species_diffusivity(0, 300.0, P_ATM);
+        let d600 = m.species_diffusivity(0, 600.0, P_ATM);
+        assert!(((d600 / d300) - 2.0f64.powf(1.7)).abs() < 1e-12);
+        let d_2atm = m.species_diffusivity(0, 300.0, 2.0 * P_ATM);
+        assert!(((d_2atm / d300) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_conductivity_bounded_by_components() {
+        let m = model();
+        let x = air_x(m.n_species());
+        let lam = m.mix_conductivity(300.0, &x);
+        // Air conductivity at 300 K is ~0.026 W/m/K.
+        assert!((lam - 0.026).abs() < 0.003, "lambda = {lam}");
+        // Adding H2 raises it.
+        let mut x2 = x.clone();
+        x2[0] = 0.3;
+        x2[8] = 0.49;
+        assert!(m.mix_conductivity(300.0, &x2) > lam);
+    }
+
+    #[test]
+    fn max_diffusivity_dominates_all_mixture_values() {
+        let m = model();
+        let x = air_x(m.n_species());
+        let mut d = vec![0.0; m.n_species()];
+        for t in [300.0, 1000.0, 2500.0] {
+            m.mix_diffusivities(t, P_ATM, &x, &mut d);
+            let dmax = m.max_diffusivity(t, P_ATM);
+            for (i, di) in d.iter().enumerate() {
+                assert!(dmax >= *di * 0.99, "i={i}: {di} > {dmax}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no transport data")]
+    fn unknown_species_panics() {
+        TransportModel::for_species(&["XENON"]);
+    }
+
+    #[test]
+    fn realistic_magnitudes_at_flame_temperature() {
+        // At 1500 K the mixture diffusivities should be O(1e-4..1e-3) m²/s
+        // and conductivity O(0.1) W/m/K — the regime that makes the
+        // paper's finest-grid timestep O(1e-7) s.
+        let m = model();
+        let x = air_x(m.n_species());
+        let mut d = vec![0.0; m.n_species()];
+        m.mix_diffusivities(1500.0, P_ATM, &x, &mut d);
+        assert!(d[1] > 1e-5 && d[1] < 1e-3, "D_O2(1500K) = {}", d[1]);
+        let lam = m.mix_conductivity(1500.0, &x);
+        assert!(lam > 0.05 && lam < 0.3, "lambda(1500K) = {lam}");
+    }
+}

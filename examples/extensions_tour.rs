@@ -1,0 +1,77 @@
+//! Tour of the implemented future-work items from the paper's §6:
+//! (1) pluggable load balancers behind a CCA port, (4) per-component
+//! performance characterization, plus checkpoint/restart of the SAMR
+//! state. Everything is driven through the same script-assembled
+//! component machinery as the physics runs.
+//!
+//! ```text
+//! cargo run --release --example extensions_tour
+//! ```
+
+use cca_hydro::components::ports::{
+    CheckpointPort, DataPort, InitialConditionPort, MeshPort, StatisticsPort,
+};
+use cca_hydro::core::script::run_script;
+use std::rc::Rc;
+
+fn main() {
+    let mut fw = cca_hydro::apps::palette::standard_palette();
+    fw.profiler().set_enabled(true);
+
+    // Assembly: GrACE + shock IC + statistics, with the ROUND-ROBIN load
+    // balancer wired into GrACE's optional balancer port — future-work
+    // item (1): testing a different balancer is one `connect` line.
+    run_script(
+        &mut fw,
+        "instantiate GrACEComponent grace\n\
+         instantiate GasProperties gas\n\
+         instantiate ConicalInterfaceIC ic\n\
+         instantiate StatisticsComponent statistics\n\
+         instantiate RoundRobinLoadBalancer balancer\n\
+         connect grace load-balancer balancer load-balancer\n\
+         connect ic mesh grace mesh\n\
+         connect ic data grace data\n\
+         connect ic gas gas gas\n\
+         connect statistics mesh grace mesh\n\
+         connect statistics data grace data\n\
+         arena\n",
+    )
+    .expect("assembly");
+    println!("{}", fw.render_arena());
+
+    let mesh: Rc<dyn MeshPort> = fw.get_provides_port("grace", "mesh").unwrap();
+    let data: Rc<dyn DataPort> = fw.get_provides_port("grace", "data").unwrap();
+    let ic: Rc<dyn InitialConditionPort> = fw.get_provides_port("ic", "ic").unwrap();
+    let stats: Rc<dyn StatisticsPort> =
+        fw.get_provides_port("statistics", "statistics").unwrap();
+    let ckpt: Rc<dyn CheckpointPort> = fw.get_provides_port("grace", "checkpoint").unwrap();
+
+    // Build a shocked state on an AMR hierarchy.
+    mesh.create(32, 16, 2.0, 1.0, 2);
+    data.create_data_object("U", 5, 2);
+    ic.apply("U");
+
+    // (1) Load balance through the swapped-in component.
+    let loads = mesh.load_balance(4);
+    println!("round-robin level-0 loads over 4 ranks: {:?}", loads[0]);
+
+    // Checkpoint, damage, restore.
+    let rho_max = stats.max_var("U", 0);
+    let path = std::env::temp_dir().join("cca_tour.ckpt");
+    let path = path.to_str().unwrap().to_string();
+    ckpt.save(&path).expect("save");
+    let (id, _, _) = mesh.patches(0)[0];
+    data.with_patch_mut("U", 0, id, &mut |pd| pd.fill_var(0, 0.0));
+    println!(
+        "damaged:  max rho = {:.4} (was {:.4})",
+        stats.max_var("U", 0),
+        rho_max
+    );
+    ckpt.restore(&path).expect("restore");
+    let _ = std::fs::remove_file(&path);
+    println!("restored: max rho = {:.4}", stats.max_var("U", 0));
+    assert_eq!(stats.max_var("U", 0), rho_max);
+
+    // (4) The TAU-style per-component report of everything we just did.
+    println!("\n{}", fw.profiler().report());
+}

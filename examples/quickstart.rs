@@ -1,0 +1,79 @@
+//! Quickstart: build a tiny CCA assembly from scratch — two components,
+//! one port, one wire — then run the paper's real 0D ignition code from
+//! its script. Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cca_hydro::core::{Component, Framework, GoPort, Services};
+use std::rc::Rc;
+
+/// A domain port: something that can produce a greeting.
+trait GreeterPort {
+    fn greet(&self) -> String;
+}
+
+/// A provider component.
+struct Greeter;
+struct GreeterImpl;
+impl GreeterPort for GreeterImpl {
+    fn greet(&self) -> String {
+        "hello from a CCA port".to_string()
+    }
+}
+impl Component for Greeter {
+    fn set_services(&mut self, s: Services) {
+        s.add_provides_port::<Rc<dyn GreeterPort>>("greeting", Rc::new(GreeterImpl));
+    }
+}
+
+/// A consumer component with a GoPort driver.
+struct Caller;
+struct CallerGo {
+    services: Services,
+}
+impl GoPort for CallerGo {
+    fn go(&self) -> Result<(), String> {
+        let port: Rc<dyn GreeterPort> =
+            self.services.get_port("greeting-in").map_err(|e| e.to_string())?;
+        println!("caller received: {}", port.greet());
+        Ok(())
+    }
+}
+impl Component for Caller {
+    fn set_services(&mut self, s: Services) {
+        s.register_uses_port::<Rc<dyn GreeterPort>>("greeting-in");
+        s.add_provides_port::<Rc<dyn GoPort>>(
+            "go",
+            Rc::new(CallerGo {
+                services: s.clone(),
+            }),
+        );
+    }
+}
+
+fn main() {
+    // --- part 1: the component model in five lines ---
+    let mut fw = Framework::new();
+    fw.register_class("Greeter", || Box::new(Greeter));
+    fw.register_class("Caller", || Box::new(Caller));
+    fw.instantiate("Greeter", "g").unwrap();
+    fw.instantiate("Caller", "c").unwrap();
+    fw.connect("c", "greeting-in", "g", "greeting").unwrap();
+    println!("{}", fw.render_arena());
+    fw.go("c", "go").unwrap();
+
+    // --- part 2: the real thing — the paper's 0D ignition assembly ---
+    println!("\nrunning the 0D H2-air ignition code (paper fig. 1)...");
+    let result = cca_hydro::apps::ignition0d::run_ignition_0d(false, 1000.0, 101_325.0, 1.0e-3)
+        .expect("assembly runs");
+    println!("{}", result.arena);
+    println!(
+        "after {:.1} ms:  T = {:.0} K,  P = {:.2} atm  (ignited: {})",
+        result.time * 1e3,
+        result.temperature(),
+        result.pressure() / 101_325.0,
+        result.temperature() > 2000.0
+    );
+}

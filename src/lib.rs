@@ -1,0 +1,18 @@
+//! Umbrella crate re-exporting the whole `cca-hydro` workspace.
+//!
+//! Downstream users can depend on this single crate and reach every
+//! subsystem: the CCA component framework ([`core`]), the SCMD
+//! message-passing layer ([`comm`]), the SAMR mesh substrate ([`mesh`]),
+//! numerical solvers ([`solvers`]), chemistry and transport physics
+//! ([`chem`], [`transport`]), the Euler solver ([`hydro`]), the paper's
+//! component set ([`components`]) and the three assembled applications
+//! ([`apps`]).
+pub use cca_apps as apps;
+pub use cca_chem as chem;
+pub use cca_comm as comm;
+pub use cca_components as components;
+pub use cca_core as core;
+pub use cca_hydro_solver as hydro;
+pub use cca_mesh as mesh;
+pub use cca_solvers as solvers;
+pub use cca_transport as transport;

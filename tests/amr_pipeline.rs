@@ -1,0 +1,113 @@
+//! End-to-end SAMR pipeline checks spanning mesh, components, and apps:
+//! adaptivity must refine the right places and must not change the
+//! physics it resolves.
+
+use cca_hydro::apps::reaction_diffusion::{run_reaction_diffusion, RdConfig};
+use cca_hydro::apps::shock_interface::{run_shock_interface, ShockConfig};
+
+/// Diffusion-only flame proxy: a 2-level AMR run tracks the uniform-grid
+/// answer for the coarse-grid peak temperature.
+#[test]
+fn amr_agrees_with_uniform_for_smooth_diffusion() {
+    let base = RdConfig {
+        nx: 16,
+        dt: 1.0e-6,
+        n_steps: 3,
+        with_chemistry: false,
+        regrid_interval: 100, // no mid-run regrids
+        threshold: 30.0,
+        ..RdConfig::default()
+    };
+    let uniform = RdConfig {
+        max_levels: 1,
+        ..base
+    };
+    let amr = RdConfig {
+        max_levels: 2,
+        ..base
+    };
+    let (ru, _) = run_reaction_diffusion(&uniform).unwrap();
+    let (ra, _) = run_reaction_diffusion(&amr).unwrap();
+    let tu = ru.t_max_series.last().unwrap().1;
+    let ta = ra.t_max_series.last().unwrap().1;
+    // The AMR run resolves the peak better, so exact equality is not
+    // expected; but they must agree to a few percent.
+    assert!(
+        (tu - ta).abs() < 0.05 * tu,
+        "uniform Tmax {tu} vs AMR Tmax {ta}"
+    );
+    // And the fine level actually covers the hot spots.
+    assert!(ra.cells_per_level.len() == 2 && ra.cells_per_level[1] > 0);
+}
+
+/// The refined region follows the shock: after the run the fine patches
+/// must cover the cells with the steepest density gradients.
+#[test]
+fn fine_patches_cover_steep_gradients() {
+    let cfg = ShockConfig {
+        nx: 32,
+        ny: 16,
+        max_levels: 2,
+        t_end_over_tau: 0.4,
+        regrid_interval: 2,
+        ..ShockConfig::default()
+    };
+    let (report, _) = run_shock_interface(&cfg).unwrap();
+    // From the final field, find the steepest-density location among
+    // coarse-level samples; it must not be the global steepest — the
+    // steep stuff must live on level >= 1.
+    let mut steepest_level0 = 0.0f64;
+    let mut steepest_any = 0.0f64;
+    // Crude proxy: density spread within each level's samples.
+    let mut level0 = Vec::new();
+    let mut level1 = Vec::new();
+    for &(_, _, rho, _, level) in &report.final_density {
+        if level == 0 {
+            level0.push(rho);
+        } else {
+            level1.push(rho);
+        }
+    }
+    if !level0.is_empty() {
+        steepest_level0 = level0.iter().cloned().fold(0.0, f64::max)
+            - level0.iter().cloned().fold(f64::INFINITY, f64::min);
+    }
+    if !level1.is_empty() {
+        steepest_any = level1.iter().cloned().fold(0.0, f64::max)
+            - level1.iter().cloned().fold(f64::INFINITY, f64::min);
+    }
+    assert!(
+        steepest_any > 0.8 * steepest_level0,
+        "fine level ({steepest_any}) does not hold the steep features ({steepest_level0})"
+    );
+}
+
+/// Conservation across restriction: on a closed (zero-flux) box the
+/// integral of a diffused variable is invariant, AMR or not.
+#[test]
+fn closed_box_conserves_integral_under_amr() {
+    let cfg = RdConfig {
+        nx: 16,
+        dt: 1.0e-6,
+        n_steps: 2,
+        with_chemistry: false,
+        max_levels: 2,
+        regrid_interval: 100,
+        threshold: 30.0,
+        ..RdConfig::default()
+    };
+    let (report, _) = run_reaction_diffusion(&cfg).unwrap();
+    // The T field integral on the coarse grid after restriction: compare
+    // first and last step's max as a proxy plus explicit field integral.
+    let sum_final: f64 = report.final_t_field.iter().map(|(_, _, t)| t).sum();
+    let n = report.final_t_field.len() as f64;
+    let mean_final = sum_final / n;
+    // The initial mean of the IC: ambient 300 K plus three Gaussian spots
+    // of amplitude 1100 K and radius 0.8 mm in a 10 mm box:
+    // 300 + 3 * (1100 * pi * r^2) / L^2 = 300 + 66.3 ≈ 366.3 K.
+    // Diffusion on a closed box preserves it.
+    assert!(
+        (mean_final - 366.3).abs() < 8.0,
+        "mean T drifted: {mean_final}"
+    );
+}

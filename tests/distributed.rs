@@ -1,0 +1,107 @@
+//! Integration tests of the SCMD scaling configuration: physics
+//! invariance under decomposition and the qualitative shapes of the
+//! paper's §5.2 results.
+
+use cca_hydro::apps::scaling::{run_scaling, ScalingConfig};
+use cca_hydro::comm::ClusterModel;
+
+#[test]
+fn decomposition_invariance_many_rank_counts() {
+    let base = ScalingConfig {
+        n: 30,
+        per_rank: false,
+        steps: 2,
+        ..ScalingConfig::default()
+    };
+    let reference = run_scaling(
+        &ScalingConfig { ranks: 1, ..base },
+        ClusterModel::zero(),
+    )
+    .checksum;
+    for p in [2usize, 3, 5, 6] {
+        let s = run_scaling(&ScalingConfig { ranks: p, ..base }, ClusterModel::zero()).checksum;
+        assert!(
+            (s - reference).abs() < 1e-6 * reference.abs(),
+            "P={p}: {s} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn efficiency_declines_as_tiles_shrink() {
+    // Fig. 9's knee: fixed global problem, growing P -> efficiency falls.
+    let model = ClusterModel::cplant();
+    let base = ScalingConfig {
+        n: 64,
+        per_rank: false,
+        ..ScalingConfig::default()
+    };
+    let t1 = run_scaling(&ScalingConfig { ranks: 1, ..base }, model).modeled_time;
+    let mut last_eff = f64::INFINITY;
+    for p in [4usize, 16] {
+        let tp = run_scaling(&ScalingConfig { ranks: p, ..base }, model).modeled_time;
+        let eff = t1 / (p as f64 * tp);
+        assert!(eff <= 1.02, "P={p}: superlinear? eff={eff}");
+        assert!(eff < last_eff + 0.02, "efficiency must decline: {eff} after {last_eff}");
+        last_eff = eff;
+    }
+    assert!(last_eff > 0.3, "model collapsed: eff={last_eff}");
+}
+
+#[test]
+fn larger_problems_scale_better() {
+    // Fig. 9: the 350^2 curve tracks the ideal line closer than 200^2.
+    let model = ClusterModel::cplant();
+    let eff_for = |n: i64| -> f64 {
+        let t1 = run_scaling(
+            &ScalingConfig {
+                n,
+                per_rank: false,
+                ranks: 1,
+                steps: 2,
+                ..ScalingConfig::default()
+            },
+            model,
+        )
+        .modeled_time;
+        let t16 = run_scaling(
+            &ScalingConfig {
+                n,
+                per_rank: false,
+                ranks: 16,
+                steps: 2,
+                ..ScalingConfig::default()
+            },
+            model,
+        )
+        .modeled_time;
+        t1 / (16.0 * t16)
+    };
+    let small = eff_for(48);
+    let large = eff_for(96);
+    assert!(
+        large >= small - 1e-9,
+        "large problem scaled worse: {large} < {small}"
+    );
+}
+
+#[test]
+fn weak_scaling_message_volume_grows_linearly() {
+    // Each added rank adds a bounded number of neighbour exchanges: total
+    // traffic grows ~linearly with P, per-rank traffic stays bounded.
+    let model = ClusterModel::zero();
+    let base = ScalingConfig {
+        n: 16,
+        per_rank: true,
+        steps: 2,
+        ..ScalingConfig::default()
+    };
+    let m2 = run_scaling(&ScalingConfig { ranks: 2, ..base }, model);
+    let m8 = run_scaling(&ScalingConfig { ranks: 8, ..base }, model);
+    let per_rank_2 = m2.bytes as f64 / 2.0;
+    let per_rank_8 = m8.bytes as f64 / 8.0;
+    assert!(
+        per_rank_8 < 3.0 * per_rank_2,
+        "per-rank traffic exploded: {per_rank_2} -> {per_rank_8}"
+    );
+}

@@ -1,0 +1,63 @@
+//! Integration test of the per-component performance instrumentation —
+//! the paper's future-work item (4) ("characterize the performance
+//! characteristics of individual components and their assemblies",
+//! there via TAU).
+
+use cca_hydro::apps::shock_interface::{run_shock_interface_profiled, ShockConfig};
+
+#[test]
+fn profiled_assembly_reports_component_times() {
+    let cfg = ShockConfig {
+        nx: 24,
+        ny: 12,
+        max_levels: 1,
+        t_end_over_tau: 0.2,
+        ..ShockConfig::default()
+    };
+    let (report, _, profile) = run_shock_interface_profiled(&cfg).unwrap();
+    assert!(report.steps > 0);
+    // The driver go and both hot components appear in the profile.
+    assert!(profile.contains("driver.go"), "{profile}");
+    assert!(profile.contains("ExplicitIntegratorRK2.advance"), "{profile}");
+    assert!(profile.contains("InviscidFlux.patch-rhs"), "{profile}");
+    // The RHS evaluator is called twice per RK2 step (two stages), once
+    // per patch; with a single patch that is exactly 2 * steps calls.
+    let rhs_line = profile
+        .lines()
+        .find(|l| l.starts_with("InviscidFlux.patch-rhs"))
+        .expect("rhs row");
+    let calls: u64 = rhs_line
+        .split_whitespace()
+        .nth(1)
+        .expect("calls column")
+        .parse()
+        .expect("numeric calls");
+    assert_eq!(calls, 2 * report.steps as u64, "{rhs_line}");
+    // The driver's total time dominates the integrator's, which dominates
+    // nothing smaller than itself (sanity of the accounting).
+    let total = |needle: &str| -> f64 {
+        profile
+            .lines()
+            .find(|l| l.starts_with(needle))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0)
+    };
+    assert!(total("driver.go") >= total("ExplicitIntegratorRK2.advance"));
+    assert!(total("ExplicitIntegratorRK2.advance") >= total("InviscidFlux.patch-rhs"));
+}
+
+#[test]
+fn unprofiled_run_collects_nothing_extra() {
+    use cca_hydro::apps::shock_interface::run_shock_interface;
+    let cfg = ShockConfig {
+        nx: 16,
+        ny: 8,
+        max_levels: 1,
+        t_end_over_tau: 0.1,
+        ..ShockConfig::default()
+    };
+    // Just verifies the default path still works with profiling off.
+    let (report, _) = run_shock_interface(&cfg).unwrap();
+    assert!(report.steps > 0);
+}
