@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo lint + test gate. Run before every push; CI runs the same three
+# steps. Formatting style lives in rustfmt.toml; lint levels live in the
+# [workspace.lints] table of the root Cargo.toml.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test -q
+
+echo "ci: all gates passed"

@@ -1,0 +1,788 @@
+//! The multi-pass static checker: walk the IR against the palette's
+//! [`ClassSignature`] manifest, simulating the wiring state the interpreter
+//! *would* build, and report everything wrong without executing anything.
+
+use crate::diag::{Diagnostic, Report};
+use crate::ir::{parse_script, Command};
+use crate::suggest;
+use cca_core::signature::ClassSignature;
+use cca_core::Framework;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Static analyzer for one palette.
+///
+/// Construction harvests the [`ClassSignature`] manifest from the
+/// framework (each class is instantiated once into a scratch registry);
+/// [`Analyzer::analyze`] is then pure — it can vet any number of scripts
+/// in microseconds, which is the point: a bad assembly is rejected before
+/// a 48-rank job ever launches.
+pub struct Analyzer {
+    signatures: BTreeMap<String, ClassSignature>,
+}
+
+/// Per-instance state tracked during the simulated walk.
+struct InstInfo {
+    /// `None` when the instantiate named an unknown class (already
+    /// reported as E002) — port-level checks are then skipped for it.
+    class: Option<String>,
+    /// Line of the `instantiate`.
+    line: usize,
+}
+
+impl Analyzer {
+    /// Harvest signatures from `fw`'s palette and build an analyzer.
+    pub fn new(fw: &Framework) -> Self {
+        Self::from_signatures(fw.class_signatures())
+    }
+
+    /// Build from a pre-harvested manifest.
+    pub fn from_signatures(signatures: BTreeMap<String, ClassSignature>) -> Self {
+        Analyzer { signatures }
+    }
+
+    /// Run every pass over `script` and return all findings.
+    pub fn analyze(&self, script: &str) -> Report {
+        let parsed = parse_script(script);
+        let mut diags = parsed.syntax_errors;
+
+        let mut instances: BTreeMap<String, InstInfo> = BTreeMap::new();
+        // Currently-connected uses slots: (user, uses_port) -> (provider, provides_port).
+        let mut connections: BTreeMap<(String, String), (String, String)> = BTreeMap::new();
+        // Instances that ever appeared in a connect (either side) or a go.
+        let mut wired: BTreeSet<String> = BTreeSet::new();
+        let mut driven: BTreeSet<String> = BTreeSet::new();
+        let mut first_go: Option<usize> = None;
+
+        for stmt in &parsed.stmts {
+            let line = stmt.line;
+            match &stmt.cmd {
+                Command::Instantiate { class, instance } => {
+                    if let Some(prev) = instances.get(instance) {
+                        diags.push(
+                            Diagnostic::error(
+                                "E003",
+                                line,
+                                format!("instance name '{instance}' already in use"),
+                            )
+                            .with_note(format!("first instantiated at line {}", prev.line)),
+                        );
+                        continue;
+                    }
+                    let known = self.signatures.contains_key(class);
+                    if !known {
+                        let mut d = Diagnostic::error(
+                            "E002",
+                            line,
+                            format!("unknown component class '{class}'"),
+                        );
+                        d.note = match suggest(class, self.signatures.keys().map(|s| s.as_str())) {
+                            Some(s) => Some(format!("did you mean '{s}'?")),
+                            None => Some(
+                                "the class is not in the palette; see `palette_classes()`".into(),
+                            ),
+                        };
+                        diags.push(d);
+                    }
+                    instances.insert(
+                        instance.clone(),
+                        InstInfo {
+                            class: known.then(|| class.clone()),
+                            line,
+                        },
+                    );
+                }
+                Command::Connect {
+                    user,
+                    uses_port,
+                    provider,
+                    provides_port,
+                } => {
+                    let user_ok = self.check_instance(&instances, user, line, &mut diags);
+                    let prov_ok = self.check_instance(&instances, provider, line, &mut diags);
+                    if !user_ok || !prov_ok {
+                        continue;
+                    }
+                    wired.insert(user.clone());
+                    wired.insert(provider.clone());
+                    if let Some(go_line) = first_go {
+                        diags.push(
+                            Diagnostic::warning(
+                                "W002",
+                                line,
+                                format!(
+                                    "connect of '{user}.{uses_port}' after the assembly was already driven"
+                                ),
+                            )
+                            .with_note(format!(
+                                "first `go` at line {go_line}; rewiring a running assembly is \
+                                 rarely intended"
+                            )),
+                        );
+                    }
+                    // Port-level checks need both signatures.
+                    let u_sig = instances[user].class.as_ref().map(|c| &self.signatures[c]);
+                    let p_sig = instances[provider]
+                        .class
+                        .as_ref()
+                        .map(|c| &self.signatures[c]);
+                    let u_slot = match u_sig {
+                        None => None,
+                        Some(sig) => match sig.uses.get(uses_port) {
+                            Some(slot) => Some(slot),
+                            None => {
+                                diags.push(self.unknown_port(
+                                    line,
+                                    user,
+                                    &sig.class,
+                                    uses_port,
+                                    "uses",
+                                    sig.uses.keys(),
+                                ));
+                                None
+                            }
+                        },
+                    };
+                    let p_port = match p_sig {
+                        None => None,
+                        Some(sig) => match sig.provides.get(provides_port) {
+                            Some(port) => Some(port),
+                            None => {
+                                diags.push(self.unknown_port(
+                                    line,
+                                    provider,
+                                    &sig.class,
+                                    provides_port,
+                                    "provides",
+                                    sig.provides.keys(),
+                                ));
+                                None
+                            }
+                        },
+                    };
+                    if let (Some(slot), Some(port)) = (u_slot, p_port) {
+                        if slot.type_id != port.type_id {
+                            diags.push(
+                                Diagnostic::error(
+                                    "E006",
+                                    line,
+                                    format!(
+                                        "mismatched port types: '{user}.{uses_port}' cannot \
+                                         accept '{provider}.{provides_port}'"
+                                    ),
+                                )
+                                .with_note(format!(
+                                    "uses side expects {}, provides side offers {}",
+                                    slot.type_name, port.type_name
+                                )),
+                            );
+                            continue;
+                        }
+                    }
+                    let key = (user.clone(), uses_port.clone());
+                    if let Some((p0, pp0)) = connections.get(&key) {
+                        diags.push(
+                            Diagnostic::warning(
+                                "W004",
+                                line,
+                                format!(
+                                    "uses-port '{user}.{uses_port}' reconnected while still \
+                                     connected to '{p0}.{pp0}'"
+                                ),
+                            )
+                            .with_note(format!("insert `disconnect {user} {uses_port}` first")),
+                        );
+                    }
+                    connections.insert(key, (provider.clone(), provides_port.clone()));
+                    if let Some(cycle) = find_cycle(&connections, user, provider) {
+                        diags.push(
+                            Diagnostic::error(
+                                "E008",
+                                line,
+                                format!("this connect closes a wiring cycle through '{user}'"),
+                            )
+                            .with_note(format!("cycle: {}", cycle.join(" -> "))),
+                        );
+                    }
+                }
+                Command::Disconnect { user, uses_port } => {
+                    if !self.check_instance(&instances, user, line, &mut diags) {
+                        continue;
+                    }
+                    if let Some(class) = instances[user].class.as_ref() {
+                        let sig = &self.signatures[class];
+                        if !sig.uses.contains_key(uses_port) {
+                            diags.push(self.unknown_port(
+                                line,
+                                user,
+                                class,
+                                uses_port,
+                                "uses",
+                                sig.uses.keys(),
+                            ));
+                            continue;
+                        }
+                    }
+                    let key = (user.clone(), uses_port.clone());
+                    if connections.remove(&key).is_none() {
+                        diags.push(
+                            Diagnostic::warning(
+                                "W003",
+                                line,
+                                format!("uses-port '{user}.{uses_port}' is not connected here"),
+                            )
+                            .with_note(
+                                "the disconnect is a no-op: the port was never connected or was \
+                                 already disconnected",
+                            ),
+                        );
+                    }
+                }
+                Command::Parameter { instance, .. } => {
+                    if !self.check_instance(&instances, instance, line, &mut diags) {
+                        continue;
+                    }
+                    if let Some(class) = instances[instance].class.as_ref() {
+                        let sig = &self.signatures[class];
+                        if !sig.has_parameter_port() {
+                            diags.push(
+                                Diagnostic::error(
+                                    "E009",
+                                    line,
+                                    format!(
+                                        "component '{instance}' (class '{class}') exposes no \
+                                         ParameterPort"
+                                    ),
+                                )
+                                .with_note(
+                                    "`parameter` needs a provides-port of type \
+                                     Rc<dyn ParameterPort> on the target",
+                                ),
+                            );
+                        }
+                    }
+                }
+                Command::Arena => {}
+                Command::Go { instance, port } => {
+                    if self.check_instance(&instances, instance, line, &mut diags) {
+                        driven.insert(instance.clone());
+                        if let Some(class) = instances[instance].class.as_ref() {
+                            let sig = &self.signatures[class];
+                            match sig.provides.get(port) {
+                                None => diags.push(self.unknown_port(
+                                    line,
+                                    instance,
+                                    class,
+                                    port,
+                                    "provides",
+                                    sig.provides.keys(),
+                                )),
+                                Some(p) if !p.is_go_port => diags.push(
+                                    Diagnostic::error(
+                                        "E010",
+                                        line,
+                                        format!("'{instance}.{port}' is not a GoPort"),
+                                    )
+                                    .with_note(format!("the port's type is {}", p.type_name)),
+                                ),
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                    // Dangling required uses-ports anywhere in the assembly
+                    // refuse the go — one diagnostic per dangling slot, in
+                    // sorted order.
+                    for (name, info) in &instances {
+                        let Some(class) = info.class.as_ref() else {
+                            continue;
+                        };
+                        for (uport, usig) in self.signatures[class].required_uses() {
+                            if !connections.contains_key(&(name.clone(), uport.clone())) {
+                                diags.push(
+                                    Diagnostic::error(
+                                        "E007",
+                                        line,
+                                        format!(
+                                            "cannot go: required uses-port '{name}.{uport}' is \
+                                             dangling"
+                                        ),
+                                    )
+                                    .with_note(format!("the slot expects {}", usig.type_name)),
+                                );
+                            }
+                        }
+                    }
+                    first_go = first_go.or(Some(line));
+                }
+            }
+        }
+
+        // Dead components: instantiated but never wired into the assembly
+        // and never driven.
+        for (name, info) in &instances {
+            if !wired.contains(name) && !driven.contains(name) {
+                diags.push(
+                    Diagnostic::warning("W001", info.line, format!("component '{name}' is dead"))
+                        .with_note(
+                            "instantiated here but never connected to anything and never the \
+                         target of a go",
+                        ),
+                );
+            }
+        }
+
+        Report::new(diags)
+    }
+
+    /// Gate form of [`Analyzer::analyze`]: `Ok` (possibly with warnings)
+    /// when nothing blocks execution, `Err` with the full report otherwise.
+    pub fn check(&self, script: &str) -> Result<Report, Report> {
+        let report = self.analyze(script);
+        if report.has_errors() {
+            Err(report)
+        } else {
+            Ok(report)
+        }
+    }
+
+    fn check_instance(
+        &self,
+        instances: &BTreeMap<String, InstInfo>,
+        name: &str,
+        line: usize,
+        diags: &mut Vec<Diagnostic>,
+    ) -> bool {
+        if instances.contains_key(name) {
+            return true;
+        }
+        let mut d = Diagnostic::error("E004", line, format!("unknown component instance '{name}'"));
+        d.note = suggest(name, instances.keys().map(|s| s.as_str()))
+            .map(|s| format!("did you mean '{s}'?"));
+        diags.push(d);
+        false
+    }
+
+    fn unknown_port<'a>(
+        &self,
+        line: usize,
+        instance: &str,
+        class: &str,
+        port: &str,
+        kind: &str,
+        declared: impl Iterator<Item = &'a String>,
+    ) -> Diagnostic {
+        let declared: Vec<&str> = declared.map(|s| s.as_str()).collect();
+        let mut d = Diagnostic::error(
+            "E005",
+            line,
+            format!("component '{instance}' (class '{class}') has no {kind}-port '{port}'"),
+        );
+        d.note = match suggest(port, declared.iter().copied()) {
+            Some(s) => Some(format!("did you mean '{s}'?")),
+            None if declared.is_empty() => Some(format!("the class declares no {kind}-ports")),
+            None => Some(format!("declared {kind}-ports: {}", declared.join(", "))),
+        };
+        d
+    }
+}
+
+/// If adding edge `user -> provider` (already inserted into `connections`)
+/// closed a dependency cycle, return the cycle as an instance path starting
+/// and ending at `user`.
+fn find_cycle(
+    connections: &BTreeMap<(String, String), (String, String)>,
+    user: &str,
+    provider: &str,
+) -> Option<Vec<String>> {
+    // Adjacency: instance -> set of providers it uses.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for ((u, _), (p, _)) in connections {
+        adj.entry(u.as_str()).or_default().insert(p.as_str());
+    }
+    // DFS from `provider` looking for `user`.
+    let mut stack = vec![vec![provider]];
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    while let Some(path) = stack.pop() {
+        let here = *path.last().expect("paths are non-empty");
+        if here == user {
+            let mut cycle: Vec<String> = vec![user.to_string()];
+            cycle.extend(path.iter().map(|s| s.to_string()));
+            return Some(cycle);
+        }
+        if !seen.insert(here) {
+            continue;
+        }
+        if let Some(nexts) = adj.get(here) {
+            for next in nexts {
+                let mut p = path.clone();
+                p.push(next);
+                stack.push(p);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_core::ports::{GoPort, ParameterPort, ParameterStore};
+    use cca_core::services::{Component, Services};
+    use std::rc::Rc;
+
+    // A tiny palette with two distinct port traits so type mismatches are
+    // expressible: `Num` and `Txt`.
+    trait Num {
+        #[allow(dead_code)]
+        fn num(&self) -> f64;
+    }
+    trait Txt {
+        #[allow(dead_code)]
+        fn txt(&self) -> String;
+    }
+    struct NumImpl;
+    impl Num for NumImpl {
+        fn num(&self) -> f64 {
+            1.0
+        }
+    }
+    struct TxtImpl;
+    impl Txt for TxtImpl {
+        fn txt(&self) -> String {
+            "t".into()
+        }
+    }
+    struct Run;
+    impl GoPort for Run {
+        fn go(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    /// Provides `num` (a Num) and `text` (a Txt); uses optional `aux`.
+    struct Source;
+    impl Component for Source {
+        fn set_services(&mut self, s: Services) {
+            s.add_provides_port::<Rc<dyn Num>>("num", Rc::new(NumImpl));
+            s.add_provides_port::<Rc<dyn Txt>>("text", Rc::new(TxtImpl));
+            s.register_optional_uses_port::<Rc<dyn Num>>("aux");
+        }
+    }
+    /// Uses a required `num` (a Num); provides `go` and `params` and `out` (a Num).
+    struct Sink;
+    impl Component for Sink {
+        fn set_services(&mut self, s: Services) {
+            s.register_uses_port::<Rc<dyn Num>>("num");
+            s.add_provides_port::<Rc<dyn GoPort>>("go", Rc::new(Run));
+            s.add_provides_port::<Rc<dyn ParameterPort>>("params", Rc::new(ParameterStore::new()));
+            s.add_provides_port::<Rc<dyn Num>>("out", Rc::new(NumImpl));
+        }
+    }
+    /// No parameter port, uses nothing, provides nothing but a Num.
+    struct Plain;
+    impl Component for Plain {
+        fn set_services(&mut self, s: Services) {
+            s.add_provides_port::<Rc<dyn Num>>("num", Rc::new(NumImpl));
+        }
+    }
+
+    fn analyzer() -> Analyzer {
+        let mut fw = Framework::new();
+        fw.register_class("Source", || Box::new(Source));
+        fw.register_class("Sink", || Box::new(Sink));
+        fw.register_class("Plain", || Box::new(Plain));
+        Analyzer::new(&fw)
+    }
+
+    fn codes_at(report: &Report) -> Vec<(&'static str, usize)> {
+        report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn clean_script_is_clean() {
+        let report = analyzer().analyze(
+            "# a good assembly\n\
+             instantiate Source src\n\
+             instantiate Sink snk\n\
+             connect snk num src num\n\
+             parameter snk k 2.0\n\
+             arena\n\
+             go snk go\n",
+        );
+        assert!(report.is_clean(), "{}", report.render("t.rc"));
+    }
+
+    #[test]
+    fn unknown_class_is_e002_with_suggestion() {
+        let report = analyzer().analyze("instantiate Sourze src\n");
+        assert_eq!(codes_at(&report), vec![("E002", 1), ("W001", 1)]);
+        let note = report.diagnostics[0].note.as_deref().unwrap();
+        assert!(note.contains("Source"), "{note}");
+    }
+
+    #[test]
+    fn duplicate_instance_is_e003_with_original_line() {
+        let report = analyzer().analyze(
+            "instantiate Source a\n\
+             instantiate Sink a\n\
+             connect a aux a num\n",
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "E003")
+            .expect("E003 reported");
+        assert_eq!(d.line, 2);
+        assert!(d.note.as_deref().unwrap().contains("line 1"));
+        // The first definition wins: `a` is a Source, so `aux` resolves.
+        assert!(!report.diagnostics.iter().any(|d| d.code == "E005"));
+    }
+
+    #[test]
+    fn unknown_instance_in_connect_is_e004_on_both_sides() {
+        let report = analyzer().analyze(
+            "instantiate Source src\n\
+             connect ghost num src num\n\
+             connect srk num phantom num\n",
+        );
+        let e004: Vec<usize> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "E004")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(e004, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn unknown_ports_are_e005_with_declared_list() {
+        let report = analyzer().analyze(
+            "instantiate Source src\n\
+             instantiate Sink snk\n\
+             connect snk nun src num\n\
+             connect snk num src nums\n",
+        );
+        let e005: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "E005")
+            .collect();
+        assert_eq!(e005.len(), 2);
+        assert_eq!(e005[0].line, 3);
+        assert!(
+            e005[0].message.contains("no uses-port 'nun'"),
+            "{}",
+            e005[0].message
+        );
+        assert!(e005[0].note.as_deref().unwrap().contains("num"));
+        assert_eq!(e005[1].line, 4);
+        assert!(e005[1].message.contains("no provides-port 'nums'"));
+    }
+
+    #[test]
+    fn type_mismatch_is_e006_with_both_type_names() {
+        let report = analyzer().analyze(
+            "instantiate Source src\n\
+             instantiate Sink snk\n\
+             connect snk num src text\n",
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "E006")
+            .expect("E006 reported");
+        assert_eq!(d.line, 3);
+        let note = d.note.as_deref().unwrap();
+        assert!(note.contains("Num") && note.contains("Txt"), "{note}");
+    }
+
+    #[test]
+    fn dangling_required_port_at_go_is_e007_with_type() {
+        let report = analyzer().analyze(
+            "instantiate Source src\n\
+             instantiate Sink snk\n\
+             go snk go\n",
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "E007")
+            .expect("E007 reported");
+        assert_eq!(d.line, 3);
+        assert!(d.message.contains("'snk.num'"), "{}", d.message);
+        assert!(d.note.as_deref().unwrap().contains("Num"));
+        // The optional `src.aux` slot must NOT be flagged.
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == "E007")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn wiring_cycle_is_e008_with_path() {
+        // snk uses src.num; src.aux (optional, but still an edge) uses
+        // snk.out — a 2-cycle.
+        let report = analyzer().analyze(
+            "instantiate Source src\n\
+             instantiate Sink snk\n\
+             connect snk num src num\n\
+             connect src aux snk out\n",
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "E008")
+            .expect("E008 reported");
+        assert_eq!(d.line, 4);
+        let note = d.note.as_deref().unwrap();
+        assert!(
+            note.contains("src") && note.contains("snk") && note.contains("->"),
+            "{note}"
+        );
+    }
+
+    #[test]
+    fn parameter_without_parameter_port_is_e009() {
+        let report = analyzer().analyze(
+            "instantiate Plain p\n\
+             parameter p k 1.0\n",
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "E009" && d.line == 2));
+    }
+
+    #[test]
+    fn go_on_non_go_port_is_e010() {
+        let report = analyzer().analyze(
+            "instantiate Source src\n\
+             instantiate Sink snk\n\
+             connect snk num src num\n\
+             go snk out\n",
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "E010")
+            .expect("E010 reported");
+        assert_eq!(d.line, 4);
+    }
+
+    #[test]
+    fn dead_component_is_w001_at_its_instantiate() {
+        let report = analyzer().analyze(
+            "instantiate Source src\n\
+             instantiate Sink snk\n\
+             instantiate Plain lonely\n\
+             connect snk num src num\n\
+             go snk go\n",
+        );
+        assert_eq!(codes_at(&report), vec![("W001", 3)]);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn connect_after_go_is_w002() {
+        let report = analyzer().analyze(
+            "instantiate Source src\n\
+             instantiate Source late\n\
+             instantiate Sink snk\n\
+             connect snk num src num\n\
+             go snk go\n\
+             connect late aux snk out\n",
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "W002" && d.line == 6));
+        assert!(!report.has_errors(), "{}", report.render("t.rc"));
+    }
+
+    #[test]
+    fn disconnect_of_unconnected_port_is_w003() {
+        let report = analyzer().analyze(
+            "instantiate Sink snk\n\
+             disconnect snk num\n",
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "W003" && d.line == 2));
+    }
+
+    #[test]
+    fn reconnect_without_disconnect_is_w004_and_proper_rewire_is_not() {
+        let a = analyzer();
+        let report = a.analyze(
+            "instantiate Source s1\n\
+             instantiate Source s2\n\
+             instantiate Sink snk\n\
+             connect snk num s1 num\n\
+             connect snk num s2 num\n",
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "W004" && d.line == 5));
+        let report = a.analyze(
+            "instantiate Source s1\n\
+             instantiate Source s2\n\
+             instantiate Sink snk\n\
+             connect snk num s1 num\n\
+             disconnect snk num\n\
+             connect snk num s2 num\n\
+             go snk go\n",
+        );
+        assert!(report.is_clean(), "{}", report.render("t.rc"));
+    }
+
+    #[test]
+    fn disconnect_reopens_the_dangling_check() {
+        let report = analyzer().analyze(
+            "instantiate Source src\n\
+             instantiate Sink snk\n\
+             connect snk num src num\n\
+             disconnect snk num\n\
+             go snk go\n",
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "E007" && d.line == 5));
+    }
+
+    #[test]
+    fn check_gates_on_errors_only() {
+        let a = analyzer();
+        assert!(
+            a.check("instantiate Plain lonely\n").is_ok(),
+            "warnings pass"
+        );
+        assert!(a.check("instantiate Nope x\n").is_err(), "errors gate");
+    }
+
+    #[test]
+    fn all_findings_reported_in_one_shot() {
+        // One script, many problems: the analyzer must not stop early.
+        let report = analyzer().analyze(
+            "instantiate Nope x\n\
+             instantiate Source src\n\
+             instantiate Source src\n\
+             connect ghost num src num\n\
+             frobnicate\n\
+             parameter src k oops\n",
+        );
+        let codes: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        for expect in ["E001", "E002", "E003", "E004"] {
+            assert!(codes.contains(expect), "missing {expect} in {codes:?}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Structured diagnostics and their rustc-style rendering.
+
+use std::fmt;
+
+/// How bad a finding is: errors gate execution, warnings do not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but runnable (dead component, redundant disconnect, ...).
+    Warning,
+    /// The assembly is wrong and `go` would fail or misbehave.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding from the static checker.
+///
+/// `code` is stable and machine-matchable (`E001`–`E011`, `W001`–`W004`;
+/// see the crate docs for the full table); `line` is 1-based into the
+/// script being analyzed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable error code, e.g. `"E005"`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// 1-based script line the finding is attributed to.
+    pub line: usize,
+    /// One-line description of what is wrong.
+    pub message: String,
+    /// Optional secondary text: expected types, the cycle path, a
+    /// did-you-mean suggestion.
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, line: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            line,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: &'static str, line: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            line,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    /// Attach a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// Render rustc-style against a display name for the script source:
+    ///
+    /// ```text
+    /// error[E005]: component 'drv' has no uses-port 'rsh'
+    ///   --> app.rc:3
+    ///   = note: declared uses-ports: rhs
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n  --> {}:{}\n",
+            self.severity, self.code, self.message, source, self.line
+        );
+        if let Some(note) = &self.note {
+            out.push_str(&format!("  = note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// The full outcome of analyzing one script.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by line then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Build a report, sorting findings by `(line, code)` so output is
+    /// deterministic regardless of pass order.
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+        Report { diagnostics }
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Does any finding gate execution?
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// No findings at all — the assembly is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render every diagnostic plus a closing summary line, rustc-style.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(source));
+        }
+        let (e, w) = (self.error_count(), self.warning_count());
+        if e > 0 {
+            out.push_str(&format!(
+                "error: assembly rejected: {e} error{} ({w} warning{})\n",
+                plural(e),
+                plural(w)
+            ));
+        } else if w > 0 {
+            out.push_str(&format!(
+                "warning: assembly accepted with {w} warning{}\n",
+                plural(w)
+            ));
+        }
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_matches_rustc_shape() {
+        let d = Diagnostic::error("E002", 4, "unknown component class 'GodunovFlx'")
+            .with_note("did you mean 'GodunovFlux'?");
+        let r = d.render("shock.rc");
+        assert!(r.contains("error[E002]: unknown component class 'GodunovFlx'"));
+        assert!(r.contains("--> shock.rc:4"));
+        assert!(r.contains("= note: did you mean 'GodunovFlux'?"));
+    }
+
+    #[test]
+    fn report_sorts_and_counts() {
+        let report = Report::new(vec![
+            Diagnostic::warning("W001", 9, "dead"),
+            Diagnostic::error("E006", 2, "mismatch"),
+            Diagnostic::error("E002", 2, "unknown"),
+        ]);
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["E002", "E006", "W001"]);
+        assert_eq!(report.error_count(), 2);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.has_errors());
+        assert!(!report.is_clean());
+        assert!(report
+            .render("s.rc")
+            .contains("error: assembly rejected: 2 errors (1 warning)"));
+    }
+}

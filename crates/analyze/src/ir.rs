@@ -1,0 +1,254 @@
+//! Parse rc-scripts into a checkable IR without touching a framework.
+//!
+//! The grammar is the interpreter's (`cca_core::script`): one command per
+//! line, `#` starts a comment anywhere, blank lines ignored. The parser is
+//! total — malformed lines become `E001` diagnostics and the well-formed
+//! remainder still parses, so the semantic passes can report everything
+//! wrong with a script in one shot instead of stopping at the first typo.
+
+use crate::diag::Diagnostic;
+
+/// One parsed script command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `instantiate <Class> <instance>`
+    Instantiate {
+        /// Palette class name.
+        class: String,
+        /// New instance name.
+        instance: String,
+    },
+    /// `connect <user> <usesPort> <provider> <providesPort>`
+    Connect {
+        /// Using instance.
+        user: String,
+        /// Uses-port on the user.
+        uses_port: String,
+        /// Providing instance.
+        provider: String,
+        /// Provides-port on the provider.
+        provides_port: String,
+    },
+    /// `disconnect <user> <usesPort>`
+    Disconnect {
+        /// Using instance.
+        user: String,
+        /// Uses-port to unwire.
+        uses_port: String,
+    },
+    /// `parameter <instance> <key> <number>`
+    Parameter {
+        /// Target instance.
+        instance: String,
+        /// Parameter key.
+        key: String,
+        /// Numeric value.
+        value: f64,
+    },
+    /// `arena`
+    Arena,
+    /// `go <instance> <goPort>`
+    Go {
+        /// Driven instance.
+        instance: String,
+        /// The `GoPort`-typed provides-port to invoke.
+        port: String,
+    },
+}
+
+/// A command plus the 1-based line it came from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: usize,
+    /// The parsed command.
+    pub cmd: Command,
+}
+
+/// Result of parsing a whole script: the well-formed statements and an
+/// `E001` diagnostic per malformed line.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedScript {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+    /// Syntax errors (code `E001`).
+    pub syntax_errors: Vec<Diagnostic>,
+}
+
+const COMMANDS: &[&str] = &[
+    "instantiate", "connect", "disconnect", "parameter", "arena", "go",
+];
+
+/// Parse `script` into the IR.
+pub fn parse_script(script: &str) -> ParsedScript {
+    let mut out = ParsedScript::default();
+    for (idx, raw) in script.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let tok: Vec<&str> = text.split_whitespace().collect();
+        let mut syntax = |message: String, note: Option<String>| {
+            let mut d = Diagnostic::error("E001", line, message);
+            d.note = note;
+            out.syntax_errors.push(d);
+        };
+        let cmd = match tok[0] {
+            "instantiate" => {
+                if tok.len() != 3 {
+                    syntax(
+                        format!("'instantiate' takes 2 arguments, found {}", tok.len() - 1),
+                        Some("usage: instantiate <Class> <instance>".into()),
+                    );
+                    continue;
+                }
+                Command::Instantiate {
+                    class: tok[1].to_string(),
+                    instance: tok[2].to_string(),
+                }
+            }
+            "connect" => {
+                if tok.len() != 5 {
+                    syntax(
+                        format!("'connect' takes 4 arguments, found {}", tok.len() - 1),
+                        Some("usage: connect <user> <usesPort> <provider> <providesPort>".into()),
+                    );
+                    continue;
+                }
+                Command::Connect {
+                    user: tok[1].to_string(),
+                    uses_port: tok[2].to_string(),
+                    provider: tok[3].to_string(),
+                    provides_port: tok[4].to_string(),
+                }
+            }
+            "disconnect" => {
+                if tok.len() != 3 {
+                    syntax(
+                        format!("'disconnect' takes 2 arguments, found {}", tok.len() - 1),
+                        Some("usage: disconnect <user> <usesPort>".into()),
+                    );
+                    continue;
+                }
+                Command::Disconnect {
+                    user: tok[1].to_string(),
+                    uses_port: tok[2].to_string(),
+                }
+            }
+            "parameter" => {
+                if tok.len() != 4 {
+                    syntax(
+                        format!("'parameter' takes 3 arguments, found {}", tok.len() - 1),
+                        Some("usage: parameter <instance> <key> <number>".into()),
+                    );
+                    continue;
+                }
+                match tok[3].parse::<f64>() {
+                    Ok(value) => Command::Parameter {
+                        instance: tok[1].to_string(),
+                        key: tok[2].to_string(),
+                        value,
+                    },
+                    Err(_) => {
+                        syntax(
+                            format!("'{}' is not a number", tok[3]),
+                            Some("usage: parameter <instance> <key> <number>".into()),
+                        );
+                        continue;
+                    }
+                }
+            }
+            "arena" => {
+                if tok.len() != 1 {
+                    syntax(
+                        "'arena' takes no arguments".into(),
+                        Some("usage: arena".into()),
+                    );
+                    continue;
+                }
+                Command::Arena
+            }
+            "go" => {
+                if tok.len() != 3 {
+                    syntax(
+                        format!("'go' takes 2 arguments, found {}", tok.len() - 1),
+                        Some("usage: go <instance> <goPort>".into()),
+                    );
+                    continue;
+                }
+                Command::Go {
+                    instance: tok[1].to_string(),
+                    port: tok[2].to_string(),
+                }
+            }
+            other => {
+                let note = crate::suggest(other, COMMANDS.iter().copied())
+                    .map(|s| format!("did you mean '{s}'?"))
+                    .unwrap_or_else(|| format!("commands: {}", COMMANDS.join(", ")));
+                syntax(format!("unknown command '{other}'"), Some(note));
+                continue;
+            }
+        };
+        out.stmts.push(Stmt { line, cmd });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_commands_with_lines_and_comments() {
+        let p = parse_script(
+            "# header comment\n\
+             instantiate Physics phys # inline\n\
+             \n\
+             connect drv rhs phys rhs\n\
+             parameter phys k 3.5\n\
+             disconnect drv rhs\n\
+             arena\n\
+             go drv go\n",
+        );
+        assert!(p.syntax_errors.is_empty());
+        assert_eq!(p.stmts.len(), 6);
+        assert_eq!(p.stmts[0].line, 2);
+        assert_eq!(
+            p.stmts[0].cmd,
+            Command::Instantiate {
+                class: "Physics".into(),
+                instance: "phys".into()
+            }
+        );
+        assert_eq!(p.stmts[2].line, 5);
+        assert!(matches!(p.stmts[2].cmd, Command::Parameter { value, .. } if value == 3.5));
+        assert_eq!(p.stmts[5].line, 8);
+    }
+
+    #[test]
+    fn malformed_lines_become_e001_and_do_not_stop_parsing() {
+        let p = parse_script(
+            "instantiate OnlyOneArg\n\
+             frobnicate x\n\
+             parameter phys k notanumber\n\
+             go drv go\n",
+        );
+        assert_eq!(p.syntax_errors.len(), 3);
+        assert!(p.syntax_errors.iter().all(|d| d.code == "E001"));
+        assert_eq!(
+            p.syntax_errors.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // The valid trailing command still parsed.
+        assert_eq!(p.stmts.len(), 1);
+        assert!(matches!(p.stmts[0].cmd, Command::Go { .. }));
+    }
+
+    #[test]
+    fn unknown_command_suggests_a_close_name() {
+        let p = parse_script("conect a b c d\n");
+        let note = p.syntax_errors[0].note.as_deref().unwrap();
+        assert!(note.contains("connect"), "{note}");
+    }
+}

@@ -1,0 +1,178 @@
+//! `cca-analyze` — static assembly verification for rc-scripts.
+//!
+//! The paper's framework catches a dangling uses-port only when `go` runs
+//! (§2); everything else — a typo in a class name, a connect between
+//! incompatible port types, a driver wired to nothing — surfaces one line
+//! at a time, mid-execution. This crate moves all of that to *composition
+//! time*: it parses a script into an IR ([`ir`]), harvests a machine-
+//! checkable port-signature manifest from the palette
+//! ([`cca_core::signature`]), and runs a multi-pass checker ([`check`])
+//! that rejects a bad assembly in microseconds without executing anything.
+//!
+//! # Error codes
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | E001 | error    | syntax: unknown command, wrong arity, malformed number |
+//! | E002 | error    | `instantiate` names a class absent from the palette |
+//! | E003 | error    | instance name reused |
+//! | E004 | error    | command names an instance that was never instantiated |
+//! | E005 | error    | command names a port the class never declared |
+//! | E006 | error    | `connect` joins ports of different interface types |
+//! | E007 | error    | required uses-port still dangling at `go` |
+//! | E008 | error    | `connect` closes a wiring cycle |
+//! | E009 | error    | `parameter` targets a component without a ParameterPort |
+//! | E010 | error    | `go` targets a provides-port that is not a GoPort |
+//! | W001 | warning  | dead component: instantiated, never connected, never driven |
+//! | W002 | warning  | `connect` after the assembly was already driven by `go` |
+//! | W003 | warning  | `disconnect` of a port that is not connected |
+//! | W004 | warning  | uses-port reconnected without an intervening `disconnect` |
+//!
+//! # Usage
+//!
+//! ```
+//! use cca_analyze::{Analyzer, run_script_checked};
+//! use cca_core::{Component, Framework, Services};
+//! use cca_core::ports::GoPort;
+//! use std::rc::Rc;
+//!
+//! struct Run;
+//! impl GoPort for Run { fn go(&self) -> Result<(), String> { Ok(()) } }
+//! struct Driver;
+//! impl Component for Driver {
+//!     fn set_services(&mut self, s: Services) {
+//!         s.add_provides_port::<Rc<dyn GoPort>>("go", Rc::new(Run));
+//!     }
+//! }
+//!
+//! let mut fw = Framework::new();
+//! fw.register_class("Driver", || Box::new(Driver));
+//!
+//! // Static check only (`--check` mode): nothing executes.
+//! let analyzer = Analyzer::new(&fw);
+//! let report = analyzer.analyze("instantiate Driver drv\ngo drv og\n");
+//! assert!(report.has_errors()); // E005: no provides-port 'og'
+//!
+//! // Lint-then-run: a clean script executes, a bad one is rejected whole.
+//! let t = run_script_checked(&mut fw, "instantiate Driver drv\ngo drv go\n").unwrap();
+//! assert_eq!(t.go_count, 1);
+//! ```
+
+pub mod check;
+pub mod diag;
+pub mod ir;
+
+pub use check::Analyzer;
+pub use diag::{Diagnostic, Report, Severity};
+pub use ir::{parse_script, Command, ParsedScript, Stmt};
+
+use cca_core::script::{run_script, Transcript};
+use cca_core::{CcaError, Framework};
+
+/// Why a checked run did not produce a transcript.
+#[derive(Clone, Debug)]
+pub enum CheckedRunError {
+    /// The static checker found errors; nothing was executed.
+    Rejected(Report),
+    /// The script passed the static checks but failed while running.
+    Runtime(CcaError),
+}
+
+impl std::fmt::Display for CheckedRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckedRunError::Rejected(report) => write!(f, "{}", report.render("script")),
+            CheckedRunError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckedRunError {}
+
+/// Lint `script` against `fw`'s palette and execute it only if no
+/// error-severity diagnostic was found (warnings do not gate).
+///
+/// This is the analyzer plugged into the
+/// [`cca_core::script::run_script_checked`] seam, with the full structured
+/// [`Report`] preserved on rejection.
+pub fn run_script_checked(fw: &mut Framework, script: &str) -> Result<Transcript, CheckedRunError> {
+    let report = Analyzer::new(fw).analyze(script);
+    if report.has_errors() {
+        return Err(CheckedRunError::Rejected(report));
+    }
+    run_script(fw, script).map_err(CheckedRunError::Runtime)
+}
+
+/// Adapter for the [`cca_core::script::run_script_checked`] hook: run the
+/// analyzer and fold any rejection into a [`CcaError::Script`] carrying the
+/// first error's line and rendered message.
+pub fn lint(fw: &Framework, script: &str) -> Result<(), CcaError> {
+    match Analyzer::new(fw).check(script) {
+        Ok(_) => Ok(()),
+        Err(report) => {
+            let first = report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .expect("check() errs only when an error exists");
+            Err(CcaError::Script {
+                line: first.line,
+                message: format!("[{}] {}", first.code, first.message),
+            })
+        }
+    }
+}
+
+/// Closest candidate to `name` within a small edit distance, for
+/// did-you-mean notes. `None` when nothing is close enough to be helpful.
+pub(crate) fn suggest<'a>(
+    name: &str,
+    candidates: impl Iterator<Item = &'a str>,
+) -> Option<&'a str> {
+    let max = (name.len() / 3).clamp(1, 3);
+    candidates
+        .filter_map(|c| {
+            let d = edit_distance(name, c);
+            (d <= max).then_some((d, c))
+        })
+        .min()
+        .map(|(_, c)| c)
+}
+
+/// Plain Levenshtein distance, case-sensitive, O(len(a) * len(b)).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("connect", "connect"), 0);
+        assert_eq!(edit_distance("conect", "connect"), 1);
+        assert_eq!(edit_distance("go", "arena"), 5);
+    }
+
+    #[test]
+    fn suggest_picks_closest_within_threshold() {
+        let cands = ["GodunovFlux", "EFMFlux", "States"];
+        assert_eq!(
+            suggest("GodunovFlx", cands.iter().copied()),
+            Some("GodunovFlux")
+        );
+        assert_eq!(suggest("Zebra", cands.iter().copied()), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! The analyzer against the three real application assemblies of the
+//! paper: all of them must come out clean — no errors, no warnings — and
+//! deliberate corruptions of the same scripts must be rejected with the
+//! right codes and line numbers.
+
+use cca_analyze::{run_script_checked, Analyzer, CheckedRunError};
+use cca_apps::ignition0d::{ignition_framework, ignition_script};
+use cca_apps::reaction_diffusion::{rd_framework, rd_script, RdConfig};
+use cca_apps::shock_interface::{shock_framework, shock_script, FluxChoice, ShockConfig};
+
+#[test]
+fn ignition0d_assembly_is_clean() {
+    let analyzer = Analyzer::new(&ignition_framework());
+    for reduced in [false, true] {
+        let script = ignition_script(reduced, 1000.0, 101_325.0, 1e-3);
+        let report = analyzer.analyze(&script);
+        assert!(
+            report.is_clean(),
+            "ignition0d (reduced={reduced}):\n{}",
+            report.render("ignition0d.rc")
+        );
+    }
+}
+
+#[test]
+fn reaction_diffusion_assembly_is_clean() {
+    let analyzer = Analyzer::new(&rd_framework());
+    let script = rd_script(&RdConfig::default());
+    let report = analyzer.analyze(&script);
+    assert!(
+        report.is_clean(),
+        "reaction_diffusion:\n{}",
+        report.render("reaction_diffusion.rc")
+    );
+}
+
+#[test]
+fn shock_interface_assemblies_are_clean_for_both_fluxes() {
+    let analyzer = Analyzer::new(&shock_framework());
+    for flux in [FluxChoice::Godunov, FluxChoice::Efm] {
+        let script = shock_script(&ShockConfig {
+            flux,
+            ..ShockConfig::default()
+        });
+        let report = analyzer.analyze(&script);
+        assert!(
+            report.is_clean(),
+            "shock_interface ({flux:?}):\n{}",
+            report.render("shock_interface.rc")
+        );
+    }
+}
+
+/// A one-character typo in the flux class name — the paper's marquee
+/// script-level swap gone wrong — is caught before anything runs, with a
+/// did-you-mean pointing at the real class.
+#[test]
+fn corrupted_shock_assembly_is_rejected_with_codes_and_lines() {
+    let analyzer = Analyzer::new(&shock_framework());
+    let script = shock_script(&ShockConfig::default());
+    let bad = script.replace(
+        "instantiate GodunovFlux flux",
+        "instantiate GodunovFlx flux",
+    );
+    let report = analyzer.analyze(&bad);
+    assert!(report.has_errors());
+    let e002 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "E002")
+        .expect("typo'd class must be E002");
+    // `instantiate GodunovFlx flux` is line 4 of the script (after the
+    // header comment, grace, gas, states).
+    assert_eq!(e002.line, 5);
+    assert!(
+        e002.note.as_deref().unwrap_or("").contains("GodunovFlux"),
+        "{:?}",
+        e002.note
+    );
+}
+
+#[test]
+fn dropped_connect_is_rejected_as_dangling_at_go() {
+    let analyzer = Analyzer::new(&rd_framework());
+    let script = rd_script(&RdConfig::default());
+    let bad = script.replace("connect driver statistics statistics statistics\n", "");
+    let report = analyzer.analyze(&bad);
+    let e007: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "E007")
+        .collect();
+    assert_eq!(e007.len(), 1, "{}", report.render("rd.rc"));
+    assert!(
+        e007[0].message.contains("driver.statistics"),
+        "{}",
+        e007[0].message
+    );
+    // The go is the last non-empty line; the diagnostic must sit on it.
+    assert_eq!(e007[0].line, bad.trim_end().lines().count());
+    // `statistics` itself stays live (it still uses grace.mesh/data), so
+    // the only finding beyond the dangling slot is nothing at all.
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.render("rd.rc"));
+}
+
+/// The checked runner refuses a bad assembly outright (nothing executes)
+/// and runs a good small one to completion.
+#[test]
+fn run_script_checked_gates_real_assemblies() {
+    let mut fw = ignition_framework();
+    let script = ignition_script(true, 1000.0, 101_325.0, 1e-6);
+    let bad = script.replace(
+        "connect init rhs modeler rhs",
+        "connect init rhs modeler rsh",
+    );
+    match run_script_checked(&mut fw, &bad) {
+        Err(CheckedRunError::Rejected(report)) => {
+            assert!(report.diagnostics.iter().any(|d| d.code == "E005"));
+        }
+        other => panic!("expected static rejection, got {other:?}"),
+    }
+    assert!(
+        fw.instance_names().is_empty(),
+        "rejection must happen before any command executes"
+    );
+    let t = run_script_checked(&mut fw, &script).expect("clean script runs");
+    assert_eq!(t.go_count, 1);
+}

@@ -1,6 +1,6 @@
 //! The 0D homogeneous ignition assembly (paper §4.1, Fig. 1, Table 1):
 //! `Initializer` → `CvodeComponent` → `problemModeler` → `ThermoChemistry`
-//! + `dPdt`, integrating `Φ = {T, Y₁..Y_{N−1}, P}` in a rigid adiabatic
+//! plus `dPdt`, integrating `Φ = {T, Y₁..Y_{N−1}, P}` in a rigid adiabatic
 //! vessel.
 
 use cca_components::ports::SolutionPort;
@@ -70,6 +70,13 @@ pub fn ignition_script(reduced: bool, t0: f64, p0: f64, t_end: f64) -> String {
     )
 }
 
+/// The framework `ignition_script` assumes — the standard palette, which
+/// already contains every class the 0D assembly names. Exposed for
+/// symmetry with the other assemblies so static tools can vet the script.
+pub fn ignition_framework() -> cca_core::Framework {
+    crate::palette::standard_palette()
+}
+
 /// Assemble and run the 0D ignition code.
 ///
 /// Defaults reproduce the paper: stoichiometric H₂–air, `T0 = 1000 K`,
@@ -81,7 +88,7 @@ pub fn run_ignition_0d(
     p0: f64,
     t_end: f64,
 ) -> Result<IgnitionResult, CcaError> {
-    let mut fw = crate::palette::standard_palette();
+    let mut fw = ignition_framework();
     let transcript = run_script(&mut fw, &ignition_script(reduced, t0, p0, t_end))?;
     let solution: Rc<dyn SolutionPort> = fw.get_provides_port("init", "solution")?;
     let state = solution.solution();
@@ -135,7 +142,11 @@ mod tests {
     #[test]
     fn cold_mixture_stays_cold() {
         let r = run_ignition_0d(false, 300.0, 101_325.0, 1.0e-4).unwrap();
-        assert!((r.temperature() - 300.0).abs() < 1.0, "T = {}", r.temperature());
+        assert!(
+            (r.temperature() - 300.0).abs() < 1.0,
+            "T = {}",
+            r.temperature()
+        );
         assert!((r.pressure() - 101_325.0).abs() < 500.0);
     }
 }

@@ -5,7 +5,9 @@
 //! the Godunov→EFM swap of §4.3 a script-only change.
 
 use cca_components::adaptors::{DpdtComponent, ImplicitIntegrator, ProblemModeler};
-use cca_components::balancer_comp::{GreedyLoadBalancer, RoundRobinLoadBalancer, SpaceFillingLoadBalancer};
+use cca_components::balancer_comp::{
+    GreedyLoadBalancer, RoundRobinLoadBalancer, SpaceFillingLoadBalancer,
+};
 use cca_components::bc_comp::{AdiabaticWallsBc, BoundaryConditions};
 use cca_components::cvode::CvodeComponent;
 use cca_components::diffusion::DiffusionPhysics;
@@ -37,7 +39,9 @@ pub fn standard_palette() -> Framework {
     fw.register_class("Initializer", || Box::<Initializer0D>::default());
     fw.register_class("GrACEComponent", || Box::<GraceComponent>::default());
     fw.register_class("InitialCondition", || Box::<HotSpotsIC>::default());
-    fw.register_class("ConicalInterfaceIC", || Box::<ConicalInterfaceIC>::default());
+    fw.register_class("ConicalInterfaceIC", || {
+        Box::<ConicalInterfaceIC>::default()
+    });
     fw.register_class("DRFMComponent", || Box::<DrfmComponent>::default());
     fw.register_class("MaxDiffCoeffEvaluator", || {
         Box::<MaxDiffCoeffEvaluator>::default()
@@ -46,7 +50,9 @@ pub fn standard_palette() -> Framework {
     fw.register_class("ExplicitIntegrator", || {
         Box::<ExplicitIntegratorRkc>::default()
     });
-    fw.register_class("ImplicitIntegrator", || Box::<ImplicitIntegrator>::default());
+    fw.register_class("ImplicitIntegrator", || {
+        Box::<ImplicitIntegrator>::default()
+    });
     fw.register_class("ExplicitIntegratorRK2", || {
         Box::<ExplicitIntegratorRk2>::default()
     });
@@ -58,7 +64,9 @@ pub fn standard_palette() -> Framework {
         Box::<CharacteristicQuantities>::default()
     });
     fw.register_class("GasProperties", || Box::<GasProperties>::default());
-    fw.register_class("BoundaryConditions", || Box::<BoundaryConditions>::default());
+    fw.register_class("BoundaryConditions", || {
+        Box::<BoundaryConditions>::default()
+    });
     fw.register_class("AdiabaticWalls", || Box::<AdiabaticWallsBc>::default());
     fw.register_class("ErrorEstAndRegrid", || Box::<ErrorEstAndRegrid>::default());
     fw.register_class("ProlongRestrict", || Box::<ProlongRestrict>::default());

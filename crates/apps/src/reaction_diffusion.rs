@@ -11,8 +11,8 @@ use cca_components::ports::{
     ChemistryAdvancePort, DataPort, InitialConditionPort, MeshPort, RegridPort, StatisticsPort,
     TimeIntegratorPort,
 };
-use cca_core::{Component, GoPort, ParameterPort, ParameterStore, Services};
 use cca_core::{script::run_script, CcaError};
+use cca_core::{Component, GoPort, ParameterPort, ParameterStore, Services};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -295,14 +295,25 @@ pub fn rd_script(cfg: &RdConfig) -> String {
     )
 }
 
-/// Assemble and run; returns the report and the arena rendering.
-pub fn run_reaction_diffusion(cfg: &RdConfig) -> Result<(RdReport, String), CcaError> {
+/// The framework `rd_script` assumes: the standard palette plus this
+/// assembly's `RDDriver`. Exposed so static tools (the `cca-analyze`
+/// linter) can vet the script against the exact palette it runs in.
+pub fn rd_framework() -> cca_core::Framework {
     let mut fw = crate::palette::standard_palette();
     fw.register_class("RDDriver", || Box::<RdDriver>::default());
+    fw
+}
+
+/// Assemble and run; returns the report and the arena rendering.
+pub fn run_reaction_diffusion(cfg: &RdConfig) -> Result<(RdReport, String), CcaError> {
+    let mut fw = rd_framework();
     let transcript = run_script(&mut fw, &rd_script(cfg))?;
     let report: Rc<RefCell<RdReport>> = fw.get_provides_port("driver", "report")?;
     let report = report.borrow().clone();
-    Ok((report, transcript.arenas.first().cloned().unwrap_or_default()))
+    Ok((
+        report,
+        transcript.arenas.first().cloned().unwrap_or_default(),
+    ))
 }
 
 #[cfg(test)]
@@ -327,7 +338,11 @@ mod tests {
         let (_, t_max) = report.t_max_series[1];
         assert!(t_max > 1000.0 && t_max < 4000.0, "Tmax = {t_max}");
         // AMR created a fine level over the hot spots.
-        assert!(report.cells_per_level.len() >= 2, "{:?}", report.cells_per_level);
+        assert!(
+            report.cells_per_level.len() >= 2,
+            "{:?}",
+            report.cells_per_level
+        );
         assert!(report.cells_per_level[1] > 0);
         // Arena wiring matches Fig. 2's reuse claims: same CvodeComponent
         // and ThermoChemistry classes as the 0D code.
@@ -352,7 +367,10 @@ mod tests {
         let (report, _) = run_reaction_diffusion(&cfg).unwrap();
         let first = report.t_max_series.first().unwrap().1;
         let last = report.t_max_series.last().unwrap().1;
-        assert!(last < first, "diffusion must smear the peak: {first} -> {last}");
+        assert!(
+            last < first,
+            "diffusion must smear the peak: {first} -> {last}"
+        );
         assert!(last > 300.0);
     }
 }

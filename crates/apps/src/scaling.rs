@@ -227,13 +227,7 @@ mod tests {
             ..ScalingConfig::default()
         };
         let t1 = run_scaling(&base, ClusterModel::cplant());
-        let t4 = run_scaling(
-            &ScalingConfig {
-                ranks: 4,
-                ..base
-            },
-            ClusterModel::cplant(),
-        );
+        let t4 = run_scaling(&ScalingConfig { ranks: 4, ..base }, ClusterModel::cplant());
         let speedup = t1.modeled_time / t4.modeled_time;
         assert!(speedup > 2.5, "speedup = {speedup}");
         assert!(speedup <= 4.01);
@@ -252,24 +246,11 @@ mod tests {
         let sums: Vec<f64> = [1usize, 2, 4]
             .iter()
             .map(|&p| {
-                run_scaling(
-                    &ScalingConfig {
-                        ranks: p,
-                        ..base
-                    },
-                    ClusterModel::zero(),
-                )
-                .checksum
+                run_scaling(&ScalingConfig { ranks: p, ..base }, ClusterModel::zero()).checksum
             })
             .collect();
-        assert!(
-            (sums[0] - sums[1]).abs() < 1e-6 * sums[0].abs(),
-            "{sums:?}"
-        );
-        assert!(
-            (sums[0] - sums[2]).abs() < 1e-6 * sums[0].abs(),
-            "{sums:?}"
-        );
+        assert!((sums[0] - sums[1]).abs() < 1e-6 * sums[0].abs(), "{sums:?}");
+        assert!((sums[0] - sums[2]).abs() < 1e-6 * sums[0].abs(), "{sums:?}");
     }
 
     #[test]

@@ -182,14 +182,14 @@ impl GoPort for DriverInner {
             .circulation_series
             .push(((t - t_contact) / tau, stats.circulation("U", 0.001, 0.999)));
         while t < t_end && step < max_steps {
-            if max_levels > 1 && step > 0 && step % regrid_interval == 0 {
+            if max_levels > 1 && step > 0 && step.is_multiple_of(regrid_interval) {
                 let top = mesh.n_levels().min(max_levels - 1);
                 for level in 0..top {
                     regrid.estimate_and_regrid("U", level, 0, threshold);
                 }
             }
             let smax = eigen.estimate("U");
-            if !(smax > 0.0) {
+            if smax.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(format!("non-positive wave speed at t = {t:e}"));
             }
             let dt = (cfl / smax).min(t_end - t);
@@ -366,12 +366,20 @@ pub fn run_shock_interface_profiled(
     run_shock_interface_impl(cfg, true)
 }
 
+/// The framework `shock_script` assumes: the standard palette plus this
+/// assembly's `ShockDriver`. Exposed so static tools (the `cca-analyze`
+/// linter) can vet the script against the exact palette it runs in.
+pub fn shock_framework() -> cca_core::Framework {
+    let mut fw = crate::palette::standard_palette();
+    fw.register_class("ShockDriver", || Box::<ShockDriver>::default());
+    fw
+}
+
 fn run_shock_interface_impl(
     cfg: &ShockConfig,
     profile: bool,
 ) -> Result<(ShockReport, String, String), CcaError> {
-    let mut fw = crate::palette::standard_palette();
-    fw.register_class("ShockDriver", || Box::<ShockDriver>::default());
+    let mut fw = shock_framework();
     fw.profiler().set_enabled(profile);
     let transcript = run_script(&mut fw, &shock_script(cfg))?;
     let report: Rc<RefCell<ShockReport>> = fw.get_provides_port("driver", "report")?;
@@ -406,7 +414,11 @@ mod tests {
         assert!(last < -1e-4, "Γ = {last} should be negative");
         assert!(report.rho_min > 0.0);
         // gamma = 1.4: max compression across any single shock is 6x.
-        assert!(report.rho_max < 6.0 * 4.2 * 1.4, "rho_max = {}", report.rho_max);
+        assert!(
+            report.rho_max < 6.0 * 4.2 * 1.4,
+            "rho_max = {}",
+            report.rho_max
+        );
         assert!(arena.contains("[flux : GodunovFlux]"));
     }
 
@@ -449,7 +461,11 @@ mod tests {
             ..ShockConfig::default()
         };
         let (report, _) = run_shock_interface(&cfg).unwrap();
-        assert!(report.cells_per_level.len() == 2, "{:?}", report.cells_per_level);
+        assert!(
+            report.cells_per_level.len() == 2,
+            "{:?}",
+            report.cells_per_level
+        );
         assert!(report.cells_per_level[1] > 0);
         // Fine cells cover a minority of the domain (adaptivity pays).
         let coarse_equiv = report.cells_per_level[1] / 4;

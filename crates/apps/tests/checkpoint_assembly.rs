@@ -33,9 +33,7 @@ fn checkpoint_restore_roundtrips_a_live_assembly() {
     let mesh: Rc<dyn MeshPort> = fw.get_provides_port("grace", "mesh").unwrap();
     let data: Rc<dyn DataPort> = fw.get_provides_port("grace", "data").unwrap();
     let ic: Rc<dyn InitialConditionPort> = fw.get_provides_port("ic", "ic").unwrap();
-    let stats: Rc<dyn StatisticsPort> = fw
-        .get_provides_port("statistics", "statistics")
-        .unwrap();
+    let stats: Rc<dyn StatisticsPort> = fw.get_provides_port("statistics", "statistics").unwrap();
     let ckpt: Rc<dyn CheckpointPort> = fw.get_provides_port("grace", "checkpoint").unwrap();
 
     mesh.create(32, 16, 2.0, 1.0, 2);

@@ -26,8 +26,9 @@ fn nan_state_fails_chemistry_advance_gracefully() {
     .unwrap();
     let mesh: Rc<dyn MeshPort> = fw.get_provides_port("grace", "mesh").unwrap();
     let data: Rc<dyn DataPort> = fw.get_provides_port("grace", "data").unwrap();
-    let adv: Rc<dyn ChemistryAdvancePort> =
-        fw.get_provides_port("implicit", "chemistry-advance").unwrap();
+    let adv: Rc<dyn ChemistryAdvancePort> = fw
+        .get_provides_port("implicit", "chemistry-advance")
+        .unwrap();
     mesh.create(4, 4, 0.01, 0.01, 2);
     data.create_data_object("state", 9, 1);
     let (id, _, _) = mesh.patches(0)[0];
@@ -37,8 +38,7 @@ fn nan_state_fails_chemistry_advance_gracefully() {
     });
     let err = adv
         .advance_chemistry("state", 1e-7, 101_325.0)
-        .err()
-        .expect("NaN cell must fail the advance");
+        .expect_err("NaN cell must fail the advance");
     assert!(err.contains("(2,2)"), "error should locate the cell: {err}");
 }
 
@@ -55,8 +55,7 @@ fn missing_connection_fails_at_go_not_later() {
          connect driver data grace data\n\
          go driver go\n",
     )
-    .err()
-    .expect("dangling ports must be refused");
+    .expect_err("dangling ports must be refused");
     match err {
         CcaError::Script { message, .. } => {
             assert!(message.contains("dangling"), "{message}");
@@ -89,13 +88,9 @@ fn unknown_data_object_panics_with_its_name() {
     let mesh: Rc<dyn MeshPort> = fw.get_provides_port("grace", "mesh").unwrap();
     let data: Rc<dyn DataPort> = fw.get_provides_port("grace", "data").unwrap();
     mesh.create(4, 4, 1.0, 1.0, 2);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        data.nvars("never-created")
-    }));
-    let err = result.err().expect("must panic");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| data.nvars("never-created")));
+    let err = result.expect_err("must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("never-created"), "{msg}");
 }

@@ -12,12 +12,28 @@ use cca_mesh::data::PatchData;
 fn sod_run(limiter: Limiter, n: i64) -> (f64, f64) {
     let gamma = 1.4;
     let dx = 1.0 / n as f64;
-    let left = Prim { rho: 1.0, u: 0.0, v: 0.0, p: 1.0, zeta: 1.0 };
-    let right = Prim { rho: 0.125, u: 0.0, v: 0.0, p: 0.1, zeta: 0.0 };
+    let left = Prim {
+        rho: 1.0,
+        u: 0.0,
+        v: 0.0,
+        p: 1.0,
+        zeta: 1.0,
+    };
+    let right = Prim {
+        rho: 0.125,
+        u: 0.0,
+        v: 0.0,
+        p: 0.1,
+        zeta: 0.0,
+    };
     let mut pd = PatchData::new(IntBox::sized(n, 1), NVARS, 2);
     fill_uniform(&mut pd, &left, gamma);
     for (i, j) in IntBox::sized(n, 1).cells() {
-        let w = if (i as f64 + 0.5) * dx < 0.5 { left } else { right };
+        let w = if (i as f64 + 0.5) * dx < 0.5 {
+            left
+        } else {
+            right
+        };
         let u = prim_to_cons(&w, gamma);
         for var in 0..NVARS {
             pd.set(var, i, j, u[var]);
@@ -85,7 +101,10 @@ fn sod_run(limiter: Limiter, n: i64) -> (f64, f64) {
 }
 
 fn main() {
-    banner("Ablation: limiters", "States-component reconstruction choice");
+    banner(
+        "Ablation: limiters",
+        "States-component reconstruction choice",
+    );
     println!("limiter        L1(rho) @200   overshoot @200   L1(rho) @400");
     for (name, lim) in [
         ("first-order", Limiter::FirstOrder),

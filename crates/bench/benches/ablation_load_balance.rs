@@ -46,9 +46,7 @@ fn main() {
                 let rr: Vec<usize> = (0..npatch).map(|i| i % nranks).collect();
                 let gi = imbalance(&loads_for(&greedy, &work, nranks));
                 let ri = imbalance(&loads_for(&rr, &work, nranks));
-                println!(
-                    "{npatch:7}  {nranks:5}  {skew:6.1}  {gi:16.3}  {ri:21.3}"
-                );
+                println!("{npatch:7}  {nranks:5}  {skew:6.1}  {gi:16.3}  {ri:21.3}");
             }
         }
     }

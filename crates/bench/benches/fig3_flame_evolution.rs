@@ -13,7 +13,10 @@ use cca_apps::reaction_diffusion::{run_reaction_diffusion, RdConfig};
 use cca_bench::banner;
 
 fn main() {
-    banner("Fig. 3", "temperature-field evolution of the flame, paper §4.2");
+    banner(
+        "Fig. 3",
+        "temperature-field evolution of the flame, paper §4.2",
+    );
     let base = RdConfig {
         nx: 20,
         length: 0.01,
@@ -52,7 +55,11 @@ fn main() {
         let tmin = ts.iter().cloned().fold(f64::INFINITY, f64::min);
         let tmax = ts.iter().cloned().fold(0.0, f64::max);
         let hot = ts.iter().filter(|t| **t > 800.0).count() as f64 / ts.len() as f64;
-        let t_phys = if steps == 0 { 0.0 } else { steps as f64 * base.dt * 1e6 };
+        let t_phys = if steps == 0 {
+            0.0
+        } else {
+            steps as f64 * base.dt * 1e6
+        };
         println!("{snap:8}  {t_phys:7.2}  {tmin:7.1}  {tmax:7.1}  {hot:10.4}");
         if snap == 2 {
             println!("\n# final T field (x[mm], y[mm], T[K]) — plotdata for fig. 3's last frame:");

@@ -34,11 +34,7 @@ fn main() {
             (hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1)
         );
     }
-    let (_, h2o2_max) = report
-        .h2o2_max_series
-        .last()
-        .copied()
-        .unwrap_or((0.0, 0.0));
+    let (_, h2o2_max) = report.h2o2_max_series.last().copied().unwrap_or((0.0, 0.0));
     println!("\nmax Y_H2O2 at the end of the run: {h2o2_max:.3e}");
     println!("(the precursor peaks on the flame fronts, which is where the");
     println!("fine patches must sit — compare the patch map above)");

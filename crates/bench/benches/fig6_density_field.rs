@@ -17,7 +17,10 @@ fn main() {
         ..ShockConfig::default()
     };
     let (report, _) = run_shock_interface(&cfg).expect("shock run");
-    println!("steps: {}   density range: [{:.3}, {:.3}]", report.steps, report.rho_min, report.rho_max);
+    println!(
+        "steps: {}   density range: [{:.3}, {:.3}]",
+        report.steps, report.rho_min, report.rho_max
+    );
     println!("cells per level: {:?}", report.cells_per_level);
 
     // Interface line: finest-covering cells with zeta in [0.4, 0.6].

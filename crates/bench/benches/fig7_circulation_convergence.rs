@@ -15,7 +15,10 @@ use cca_apps::shock_interface::{run_shock_interface, ShockConfig};
 use cca_bench::banner;
 
 fn main() {
-    banner("Fig. 7", "circulation convergence with refinement, paper §4.3");
+    banner(
+        "Fig. 7",
+        "circulation convergence with refinement, paper §4.3",
+    );
     let mut knees = Vec::new();
     let mut all_series = Vec::new();
     for levels in [1usize, 2, 3] {
@@ -34,7 +37,10 @@ fn main() {
             .iter()
             .map(|(_, g)| *g)
             .fold(0.0f64, f64::min);
-        println!("\n{levels}-level run: {} steps, knee Gamma = {knee:.4}", report.steps);
+        println!(
+            "\n{levels}-level run: {} steps, knee Gamma = {knee:.4}",
+            report.steps
+        );
         knees.push(knee);
         all_series.push(report.circulation_series.clone());
     }

@@ -8,7 +8,10 @@ use cca_bench::banner;
 use cca_comm::ClusterModel;
 
 fn main() {
-    banner("Fig. 8", "weak scaling of the reaction-diffusion code, paper §5.2");
+    banner(
+        "Fig. 8",
+        "weak scaling of the reaction-diffusion code, paper §5.2",
+    );
     let model = ClusterModel::cplant();
     let rank_counts = [1usize, 2, 4, 8, 12, 16, 24, 32, 48];
     println!("P      t(50x50)[s]  t(100x100)[s]  t(175x175)[s]   (modeled)");
@@ -31,16 +34,17 @@ fn main() {
             .modeled_time;
             row.push(t);
         }
-        println!(
-            "{p:3}    {:11.2}  {:13.2}  {:13.2}",
-            row[0], row[1], row[2]
-        );
+        println!("{p:3}    {:11.2}  {:13.2}  {:13.2}", row[0], row[1], row[2]);
         if p == rank_counts[0] {
             first = row.clone();
         }
         last = row;
     }
-    println!("\nflatness (t_48 / t_1): {:.3}, {:.3}, {:.3}",
-        last[0] / first[0], last[1] / first[1], last[2] / first[2]);
+    println!(
+        "\nflatness (t_48 / t_1): {:.3}, {:.3}, {:.3}",
+        last[0] / first[0],
+        last[1] / first[1],
+        last[2] / first[2]
+    );
     println!("paper: visually flat lines; run times ordered by per-rank size.");
 }

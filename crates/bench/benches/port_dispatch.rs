@@ -78,8 +78,7 @@ fn bench_dispatch(c: &mut Criterion) {
     // framework plumbing adds nothing per call.
     let mut fw = cca_apps::palette::standard_palette();
     fw.instantiate("ThermoChemistryReduced", "chem").unwrap();
-    let fw_port: Rc<dyn ChemistrySourcePort> =
-        fw.get_provides_port("chem", "chemistry").unwrap();
+    let fw_port: Rc<dyn ChemistrySourcePort> = fw.get_provides_port("chem", "chemistry").unwrap();
     group.bench_function("framework_port_call", |b| {
         b.iter(|| fw_port.production_rates(black_box(1200.0), black_box(&conc), &mut wdot))
     });

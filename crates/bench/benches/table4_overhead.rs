@@ -12,8 +12,8 @@
 //! same physics through `Rc<dyn Port>` — is identical in kind.
 
 use cca_bench::{banner, best_of};
-use cca_chem::systems::ConstantVolumeIgnition;
 use cca_chem::h2_air_reduced_5;
+use cca_chem::systems::ConstantVolumeIgnition;
 use cca_components::ports::{OdeIntegratorPort, OdeRhsPort};
 use cca_core::ParameterPort;
 use cca_solvers::{Bdf, BdfConfig};
@@ -75,8 +75,9 @@ fn run_component(ncells: usize, t_end: f64) -> (f64, usize) {
     )
     .expect("assembly");
     let rhs: Rc<dyn OdeRhsPort> = fw.get_provides_port("modeler", "rhs").expect("rhs port");
-    let integ: Rc<dyn OdeIntegratorPort> =
-        fw.get_provides_port("cvode", "integrator").expect("integ port");
+    let integ: Rc<dyn OdeIntegratorPort> = fw
+        .get_provides_port("cvode", "integrator")
+        .expect("integ port");
     let cfg: Rc<dyn ParameterPort> = fw.get_provides_port("modeler", "config").expect("config");
     // Freeze the rigid-vessel density exactly as the Initializer does.
     let mech = h2_air_reduced_5();
@@ -128,9 +129,7 @@ fn main() {
             }
             assert_eq!(nfe_d, nfe_c, "paths must do identical work");
             let pct = 100.0 * (t_comp - t_direct) / t_direct;
-            println!(
-                "{tag:>6}  {ncells:6}  {nfe_d:4}  {t_comp:8.3}  {t_direct:9.3}  {pct:7.2}"
-            );
+            println!("{tag:>6}  {ncells:6}  {nfe_d:4}  {t_comp:8.3}  {t_direct:9.3}  {pct:7.2}");
         }
     }
     println!("\npaper: % diff in [-1.54, +0.89] with no clear trend;");

@@ -1,5 +1,5 @@
-use cca_chem::systems::ConstantVolumeIgnition;
 use cca_chem::h2_air_reduced_5;
+use cca_chem::systems::ConstantVolumeIgnition;
 use cca_components::ports::OdeRhsPort;
 use cca_core::ParameterPort;
 use cca_solvers::ode::OdeSystem;
@@ -7,20 +7,29 @@ use std::rc::Rc;
 use std::time::Instant;
 
 fn main() {
-    let t0 = 1500.0; let p0 = 101325.0;
+    let t0 = 1500.0;
+    let p0 = 101325.0;
     let mech = h2_air_reduced_5();
     let n = mech.n_species();
-    let (wh, wo, wn) = (2.0*2.016, 31.998, 3.76*28.014);
-    let tot = wh+wo+wn;
-    let mut y0 = vec![0.0; n]; y0[0]=wh/tot; y0[1]=wo/tot; y0[n-1]=wn/tot;
+    let (wh, wo, wn) = (2.0 * 2.016, 31.998, 3.76 * 28.014);
+    let tot = wh + wo + wn;
+    let mut y0 = vec![0.0; n];
+    y0[0] = wh / tot;
+    y0[1] = wo / tot;
+    y0[n - 1] = wn / tot;
     let sys = ConstantVolumeIgnition::new(mech.clone(), t0, p0, &y0);
     let state = sys.pack_state(t0, &y0, p0);
-    let mut d = vec![0.0; n+1];
+    let mut d = vec![0.0; n + 1];
     const N: usize = 300_000;
     for _ in 0..2 {
         let t = Instant::now();
-        for _ in 0..N { sys.rhs(0.0, &state, &mut d); }
-        println!("direct:    {:.1} ns/eval", t.elapsed().as_nanos() as f64 / N as f64);
+        for _ in 0..N {
+            sys.rhs(0.0, &state, &mut d);
+        }
+        println!(
+            "direct:    {:.1} ns/eval",
+            t.elapsed().as_nanos() as f64 / N as f64
+        );
     }
     let mut fw = cca_apps::palette::standard_palette();
     cca_core::script::run_script(&mut fw,
@@ -31,7 +40,12 @@ fn main() {
     cfg.set_parameter("density", mix.density(t0, p0, &y0));
     for _ in 0..2 {
         let t = Instant::now();
-        for _ in 0..N { rhs.eval(0.0, &state, &mut d); }
-        println!("component: {:.1} ns/eval", t.elapsed().as_nanos() as f64 / N as f64);
+        for _ in 0..N {
+            rhs.eval(0.0, &state, &mut d);
+        }
+        println!(
+            "component: {:.1} ns/eval",
+            t.elapsed().as_nanos() as f64 / N as f64
+        );
     }
 }

@@ -47,7 +47,9 @@ mod tests {
 
     #[test]
     fn best_of_returns_min() {
-        let (_, t) = best_of(3, || std::thread::sleep(std::time::Duration::from_millis(1)));
+        let (_, t) = best_of(3, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
         assert!(t >= 0.0005);
     }
 }

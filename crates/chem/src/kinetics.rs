@@ -170,20 +170,22 @@ impl Mechanism {
     pub fn check_element_balance(&self, composition: &[Vec<f64>]) -> Result<(), String> {
         let n_elem = composition.first().map(|c| c.len()).unwrap_or(0);
         for r in &self.reactions {
-            for e in 0..n_elem {
-                let mut net = 0.0;
-                for &(i, nu) in &r.products {
-                    net += nu * composition[i][e];
+            let mut net = vec![0.0; n_elem];
+            for &(i, nu) in &r.products {
+                for (ne, ci) in net.iter_mut().zip(&composition[i]) {
+                    *ne += nu * ci;
                 }
-                for &(i, nu) in &r.reactants {
-                    net -= nu * composition[i][e];
+            }
+            for &(i, nu) in &r.reactants {
+                for (ne, ci) in net.iter_mut().zip(&composition[i]) {
+                    *ne -= nu * ci;
                 }
-                if net.abs() > 1e-10 {
-                    return Err(format!(
-                        "reaction '{}' unbalanced in element {e}: net {net}",
-                        r.equation
-                    ));
-                }
+            }
+            if let Some((e, bad)) = net.iter().enumerate().find(|(_, v)| v.abs() > 1e-10) {
+                return Err(format!(
+                    "reaction '{}' unbalanced in element {e}: net {bad}",
+                    r.equation
+                ));
             }
         }
         Ok(())
@@ -298,12 +300,28 @@ mod tests {
     #[test]
     fn unit_conversion_bimolecular() {
         // A bimolecular A of 1e14 cm³/mol/s must become 1e11 m³/kmol/s.
-        let r = Reaction::from_cgs("X+Y=Z+W", vec![(0, 1.0), (1, 1.0)],
-            vec![(2, 1.0), (3, 1.0)], 1.0e14, 0.0, 0.0, false, None);
+        let r = Reaction::from_cgs(
+            "X+Y=Z+W",
+            vec![(0, 1.0), (1, 1.0)],
+            vec![(2, 1.0), (3, 1.0)],
+            1.0e14,
+            0.0,
+            0.0,
+            false,
+            None,
+        );
         assert!((r.a - 1.0e11).abs() < 1e-3 * 1.0e11);
         // Termolecular (2 reactants + M): 1e16 cm⁶/mol²/s -> 1e10 m⁶/kmol²/s.
-        let r3 = Reaction::from_cgs("X+Y+M=Z+M", vec![(0, 1.0), (1, 1.0)],
-            vec![(2, 1.0)], 1.0e16, 0.0, 0.0, false, Some((1.0, vec![])));
+        let r3 = Reaction::from_cgs(
+            "X+Y+M=Z+M",
+            vec![(0, 1.0), (1, 1.0)],
+            vec![(2, 1.0)],
+            1.0e16,
+            0.0,
+            0.0,
+            false,
+            Some((1.0, vec![])),
+        );
         assert!((r3.a - 1.0e10).abs() < 1e-3 * 1.0e10);
     }
 }

@@ -42,12 +42,12 @@ fn species_table() -> Vec<Species> {
             name: "H2",
             molar_mass: 2.016,
             nasa_low: [
-                2.34433112e+00, 7.98052075e-03, -1.94781510e-05, 2.01572094e-08,
-                -7.37611761e-12, -9.17935173e+02, 6.83010238e-01,
+                2.34433112e+00, 7.98052075e-03, -1.94781510e-05, 2.01572094e-08, -7.37611761e-12,
+                -9.17935173e+02, 6.83010238e-01,
             ],
             nasa_high: [
-                3.33727920e+00, -4.94024731e-05, 4.99456778e-07, -1.79566394e-10,
-                2.00255376e-14, -9.50158922e+02, -3.20502331e+00,
+                3.33727920e+00, -4.94024731e-05, 4.99456778e-07, -1.79566394e-10, 2.00255376e-14,
+                -9.50158922e+02, -3.20502331e+00,
             ],
             t_mid: 1000.0,
         },
@@ -55,12 +55,12 @@ fn species_table() -> Vec<Species> {
             name: "O2",
             molar_mass: 31.998,
             nasa_low: [
-                3.78245636e+00, -2.99673416e-03, 9.84730201e-06, -9.68129509e-09,
-                3.24372837e-12, -1.06394356e+03, 3.65767573e+00,
+                3.78245636e+00, -2.99673416e-03, 9.84730201e-06, -9.68129509e-09, 3.24372837e-12,
+                -1.06394356e+03, 3.65767573e+00,
             ],
             nasa_high: [
-                3.28253784e+00, 1.48308754e-03, -7.57966669e-07, 2.09470555e-10,
-                -2.16717794e-14, -1.08845772e+03, 5.45323129e+00,
+                3.28253784e+00, 1.48308754e-03, -7.57966669e-07, 2.09470555e-10, -2.16717794e-14,
+                -1.08845772e+03, 5.45323129e+00,
             ],
             t_mid: 1000.0,
         },
@@ -68,12 +68,12 @@ fn species_table() -> Vec<Species> {
             name: "O",
             molar_mass: 15.999,
             nasa_low: [
-                3.16826710e+00, -3.27931884e-03, 6.64306396e-06, -6.12806624e-09,
-                2.11265971e-12, 2.91222592e+04, 2.05193346e+00,
+                3.16826710e+00, -3.27931884e-03, 6.64306396e-06, -6.12806624e-09, 2.11265971e-12,
+                2.91222592e+04, 2.05193346e+00,
             ],
             nasa_high: [
-                2.56942078e+00, -8.59741137e-05, 4.19484589e-08, -1.00177799e-11,
-                1.22833691e-15, 2.92175791e+04, 4.78433864e+00,
+                2.56942078e+00, -8.59741137e-05, 4.19484589e-08, -1.00177799e-11, 1.22833691e-15,
+                2.92175791e+04, 4.78433864e+00,
             ],
             t_mid: 1000.0,
         },
@@ -81,12 +81,12 @@ fn species_table() -> Vec<Species> {
             name: "OH",
             molar_mass: 17.007,
             nasa_low: [
-                3.99201543e+00, -2.40131752e-03, 4.61793841e-06, -3.88113333e-09,
-                1.36411470e-12, 3.61508056e+03, -1.03925458e-01,
+                3.99201543e+00, -2.40131752e-03, 4.61793841e-06, -3.88113333e-09, 1.36411470e-12,
+                3.61508056e+03, -1.03925458e-01,
             ],
             nasa_high: [
-                3.09288767e+00, 5.48429716e-04, 1.26505228e-07, -8.79461556e-11,
-                1.17412376e-14, 3.85865700e+03, 4.47669610e+00,
+                3.09288767e+00, 5.48429716e-04, 1.26505228e-07, -8.79461556e-11, 1.17412376e-14,
+                3.85865700e+03, 4.47669610e+00,
             ],
             t_mid: 1000.0,
         },
@@ -94,12 +94,12 @@ fn species_table() -> Vec<Species> {
             name: "H",
             molar_mass: 1.008,
             nasa_low: [
-                2.50000000e+00, 7.05332819e-13, -1.99591964e-15, 2.30081632e-18,
-                -9.27732332e-22, 2.54736599e+04, -4.46682853e-01,
+                2.50000000e+00, 7.05332819e-13, -1.99591964e-15, 2.30081632e-18, -9.27732332e-22,
+                2.54736599e+04, -4.46682853e-01,
             ],
             nasa_high: [
-                2.50000001e+00, -2.30842973e-11, 1.61561948e-14, -4.73515235e-18,
-                4.98197357e-22, 2.54736599e+04, -4.46682914e-01,
+                2.50000001e+00, -2.30842973e-11, 1.61561948e-14, -4.73515235e-18, 4.98197357e-22,
+                2.54736599e+04, -4.46682914e-01,
             ],
             t_mid: 1000.0,
         },
@@ -107,12 +107,12 @@ fn species_table() -> Vec<Species> {
             name: "H2O",
             molar_mass: 18.015,
             nasa_low: [
-                4.19864056e+00, -2.03643410e-03, 6.52040211e-06, -5.48797062e-09,
-                1.77197817e-12, -3.02937267e+04, -8.49032208e-01,
+                4.19864056e+00, -2.03643410e-03, 6.52040211e-06, -5.48797062e-09, 1.77197817e-12,
+                -3.02937267e+04, -8.49032208e-01,
             ],
             nasa_high: [
-                3.03399249e+00, 2.17691804e-03, -1.64072518e-07, -9.70419870e-11,
-                1.68200992e-14, -3.00042971e+04, 4.96677010e+00,
+                3.03399249e+00, 2.17691804e-03, -1.64072518e-07, -9.70419870e-11, 1.68200992e-14,
+                -3.00042971e+04, 4.96677010e+00,
             ],
             t_mid: 1000.0,
         },
@@ -120,12 +120,12 @@ fn species_table() -> Vec<Species> {
             name: "HO2",
             molar_mass: 33.006,
             nasa_low: [
-                4.30179801e+00, -4.74912051e-03, 2.11582891e-05, -2.42763894e-08,
-                9.29225124e-12, 2.94808040e+02, 3.71666245e+00,
+                4.30179801e+00, -4.74912051e-03, 2.11582891e-05, -2.42763894e-08, 9.29225124e-12,
+                2.94808040e+02, 3.71666245e+00,
             ],
             nasa_high: [
-                4.01721090e+00, 2.23982013e-03, -6.33658150e-07, 1.14246370e-10,
-                -1.07908535e-14, 1.11856713e+02, 3.78510215e+00,
+                4.01721090e+00, 2.23982013e-03, -6.33658150e-07, 1.14246370e-10, -1.07908535e-14,
+                1.11856713e+02, 3.78510215e+00,
             ],
             t_mid: 1000.0,
         },
@@ -133,12 +133,12 @@ fn species_table() -> Vec<Species> {
             name: "H2O2",
             molar_mass: 34.014,
             nasa_low: [
-                4.27611269e+00, -5.42822417e-04, 1.67335701e-05, -2.15770813e-08,
-                8.62454363e-12, -1.77025821e+04, 3.43505074e+00,
+                4.27611269e+00, -5.42822417e-04, 1.67335701e-05, -2.15770813e-08, 8.62454363e-12,
+                -1.77025821e+04, 3.43505074e+00,
             ],
             nasa_high: [
-                4.16500285e+00, 4.90831694e-03, -1.90139225e-06, 3.71185986e-10,
-                -2.87908305e-14, -1.78617877e+04, 2.91615662e+00,
+                4.16500285e+00, 4.90831694e-03, -1.90139225e-06, 3.71185986e-10, -2.87908305e-14,
+                -1.78617877e+04, 2.91615662e+00,
             ],
             t_mid: 1000.0,
         },
@@ -146,12 +146,12 @@ fn species_table() -> Vec<Species> {
             name: "N2",
             molar_mass: 28.014,
             nasa_low: [
-                3.29867700e+00, 1.40824040e-03, -3.96322200e-06, 5.64151500e-09,
-                -2.44485400e-12, -1.02089990e+03, 3.95037200e+00,
+                3.29867700e+00, 1.40824040e-03, -3.96322200e-06, 5.64151500e-09, -2.44485400e-12,
+                -1.02089990e+03, 3.95037200e+00,
             ],
             nasa_high: [
-                2.92664000e+00, 1.48797680e-03, -5.68476000e-07, 1.00970380e-10,
-                -6.75335100e-15, -9.22797700e+02, 5.98052800e+00,
+                2.92664000e+00, 1.48797680e-03, -5.68476000e-07, 1.00970380e-10, -6.75335100e-15,
+                -9.22797700e+02, 5.98052800e+00,
             ],
             t_mid: 1000.0,
         },
@@ -174,53 +174,81 @@ pub fn h2_air_19() -> Mechanism {
             "H+O2=O+OH",
             vec![(H, 1.0), (O2, 1.0)],
             vec![(O, 1.0), (OH, 1.0)],
-            1.915e14, 0.0, 16_440.0, true, None,
+            1.915e14,
+            0.0,
+            16_440.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "O+H2=H+OH",
             vec![(O, 1.0), (H2, 1.0)],
             vec![(H, 1.0), (OH, 1.0)],
-            5.080e04, 2.67, 6_290.0, true, None,
+            5.080e04,
+            2.67,
+            6_290.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "OH+H2=H+H2O",
             vec![(OH, 1.0), (H2, 1.0)],
             vec![(H, 1.0), (H2O, 1.0)],
-            2.160e08, 1.51, 3_430.0, true, None,
+            2.160e08,
+            1.51,
+            3_430.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "O+H2O=OH+OH",
             vec![(O, 1.0), (H2O, 1.0)],
             vec![(OH, 2.0)],
-            2.970e06, 2.02, 13_400.0, true, None,
+            2.970e06,
+            2.02,
+            13_400.0,
+            true,
+            None,
         ),
         // --- dissociation / recombination ---
         Reaction::from_cgs(
             "H2+M=H+H+M",
             vec![(H2, 1.0)],
             vec![(H, 2.0)],
-            4.577e19, -1.40, 104_380.0, true,
+            4.577e19,
+            -1.40,
+            104_380.0,
+            true,
             tb(vec![(H2, 2.5), (H2O, 12.0)]),
         ),
         Reaction::from_cgs(
             "O+O+M=O2+M",
             vec![(O, 2.0)],
             vec![(O2, 1.0)],
-            6.165e15, -0.50, 0.0, true,
+            6.165e15,
+            -0.50,
+            0.0,
+            true,
             tb(vec![(H2, 2.5), (H2O, 12.0)]),
         ),
         Reaction::from_cgs(
             "O+H+M=OH+M",
             vec![(O, 1.0), (H, 1.0)],
             vec![(OH, 1.0)],
-            4.714e18, -1.00, 0.0, true,
+            4.714e18,
+            -1.00,
+            0.0,
+            true,
             tb(vec![(H2, 2.5), (H2O, 12.0)]),
         ),
         Reaction::from_cgs(
             "H+OH+M=H2O+M",
             vec![(H, 1.0), (OH, 1.0)],
             vec![(H2O, 1.0)],
-            3.800e22, -2.00, 0.0, true,
+            3.800e22,
+            -2.00,
+            0.0,
+            true,
             tb(vec![(H2, 2.5), (H2O, 12.0)]),
         ),
         // --- HO2 formation and consumption ---
@@ -228,70 +256,112 @@ pub fn h2_air_19() -> Mechanism {
             "H+O2+M=HO2+M",
             vec![(H, 1.0), (O2, 1.0)],
             vec![(HO2, 1.0)],
-            6.170e19, -1.42, 0.0, true,
+            6.170e19,
+            -1.42,
+            0.0,
+            true,
             tb(vec![(H2, 2.5), (H2O, 12.0)]),
         ),
         Reaction::from_cgs(
             "HO2+H=H2+O2",
             vec![(HO2, 1.0), (H, 1.0)],
             vec![(H2, 1.0), (O2, 1.0)],
-            1.660e13, 0.0, 823.0, true, None,
+            1.660e13,
+            0.0,
+            823.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "HO2+H=OH+OH",
             vec![(HO2, 1.0), (H, 1.0)],
             vec![(OH, 2.0)],
-            7.079e13, 0.0, 295.0, true, None,
+            7.079e13,
+            0.0,
+            295.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "HO2+O=OH+O2",
             vec![(HO2, 1.0), (O, 1.0)],
             vec![(OH, 1.0), (O2, 1.0)],
-            3.250e13, 0.0, 0.0, true, None,
+            3.250e13,
+            0.0,
+            0.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "HO2+OH=H2O+O2",
             vec![(HO2, 1.0), (OH, 1.0)],
             vec![(H2O, 1.0), (O2, 1.0)],
-            2.890e13, 0.0, -497.0, true, None,
+            2.890e13,
+            0.0,
+            -497.0,
+            true,
+            None,
         ),
         // --- H2O2 chemistry ---
         Reaction::from_cgs(
             "HO2+HO2=H2O2+O2",
             vec![(HO2, 2.0)],
             vec![(H2O2, 1.0), (O2, 1.0)],
-            4.200e14, 0.0, 11_980.0, true, None,
+            4.200e14,
+            0.0,
+            11_980.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "H2O2+M=OH+OH+M",
             vec![(H2O2, 1.0)],
             vec![(OH, 2.0)],
-            1.202e17, 0.0, 45_500.0, true,
+            1.202e17,
+            0.0,
+            45_500.0,
+            true,
             tb(vec![(H2, 2.5), (H2O, 12.0)]),
         ),
         Reaction::from_cgs(
             "H2O2+H=H2O+OH",
             vec![(H2O2, 1.0), (H, 1.0)],
             vec![(H2O, 1.0), (OH, 1.0)],
-            2.410e13, 0.0, 3_970.0, true, None,
+            2.410e13,
+            0.0,
+            3_970.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "H2O2+H=H2+HO2",
             vec![(H2O2, 1.0), (H, 1.0)],
             vec![(H2, 1.0), (HO2, 1.0)],
-            4.820e13, 0.0, 7_950.0, true, None,
+            4.820e13,
+            0.0,
+            7_950.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "H2O2+O=OH+HO2",
             vec![(H2O2, 1.0), (O, 1.0)],
             vec![(OH, 1.0), (HO2, 1.0)],
-            9.550e06, 2.0, 3_970.0, true, None,
+            9.550e06,
+            2.0,
+            3_970.0,
+            true,
+            None,
         ),
         Reaction::from_cgs(
             "H2O2+OH=H2O+HO2",
             vec![(H2O2, 1.0), (OH, 1.0)],
             vec![(H2O, 1.0), (HO2, 1.0)],
-            1.000e12, 0.0, 0.0, true, None,
+            1.000e12,
+            0.0,
+            0.0,
+            true,
+            None,
         ),
     ];
     let mech = Mechanism {
@@ -308,11 +378,7 @@ pub fn h2_air_19() -> Mechanism {
 pub fn h2_air_reduced_5() -> Mechanism {
     let full = h2_air_19();
     let keep = [
-        "H+O2=O+OH",
-        "O+H2=H+OH",
-        "OH+H2=H+H2O",
-        "HO2+H=OH+OH",
-        "HO2+OH=H2O+O2",
+        "H+O2=O+OH", "O+H2=H+OH", "OH+H2=H+H2O", "HO2+H=OH+OH", "HO2+OH=H2O+O2",
     ];
     // Drop H2O2 (index 7): species become H2,O2,O,OH,H,H2O,HO2,N2.
     let mut species = full.species.clone();
@@ -333,9 +399,10 @@ pub fn h2_air_reduced_5() -> Mechanism {
             let mut r = r.clone();
             r.reactants = r.reactants.iter().map(|&(i, nu)| (remap(i), nu)).collect();
             r.products = r.products.iter().map(|&(i, nu)| (remap(i), nu)).collect();
-            r.third_body = r.third_body.as_ref().map(|(d, over)| {
-                (*d, over.iter().map(|&(i, e)| (remap(i), e)).collect())
-            });
+            r.third_body = r
+                .third_body
+                .as_ref()
+                .map(|(d, over)| (*d, over.iter().map(|&(i, e)| (remap(i), e)).collect()));
             r
         })
         .collect::<Vec<_>>();

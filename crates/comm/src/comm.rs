@@ -140,7 +140,7 @@ impl Communicator {
 
     fn send_tagged<T: Clone + Send + 'static>(&self, dst: usize, tag: Tag, data: &[T]) {
         assert!(dst < self.size, "destination rank {dst} out of range");
-        let nbytes = std::mem::size_of::<T>() * data.len();
+        let nbytes = std::mem::size_of_val(data);
         self.advance_seconds(self.model.call_overhead);
         self.stats
             .messages_sent

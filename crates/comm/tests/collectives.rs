@@ -186,7 +186,11 @@ fn modeled_runtime_scales_with_imbalance() {
     let runtime = scmd::modeled_runtime(&reports);
     assert!(runtime >= 3.0);
     for r in &reports {
-        assert!(r.result >= 3.0, "barrier must not release early: {}", r.result);
+        assert!(
+            r.result >= 3.0,
+            "barrier must not release early: {}",
+            r.result
+        );
     }
 }
 

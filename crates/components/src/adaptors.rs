@@ -89,6 +89,9 @@ impl Component for DpdtComponent {
 // problemModeler
 // ---------------------------------------------------------------------
 
+/// The pair of ports `problemModeler` fetches once and keeps.
+type CachedPorts = RefCell<Option<(Rc<dyn ChemistrySourcePort>, Rc<dyn DpdtPort>)>>;
+
 struct ModelerInner {
     services: Services,
     rho: Cell<f64>,
@@ -97,7 +100,7 @@ struct ModelerInner {
     /// Ports are fetched once and kept, as CCA components do after their
     /// first `getPort` — re-fetching per call would turn the O(10 ns)
     /// virtual-dispatch overhead of Table 4 into a registry lookup.
-    cached: RefCell<Option<(Rc<dyn ChemistrySourcePort>, Rc<dyn DpdtPort>)>>,
+    cached: CachedPorts,
 }
 
 #[derive(Default)]
@@ -317,7 +320,10 @@ struct ImplicitInner {
 
 impl ChemistryAdvancePort for ImplicitInner {
     fn advance_chemistry(&self, state: &str, dt: f64, p: f64) -> Result<usize, String> {
-        let _scope = self.services.profiler().scope("ImplicitIntegrator.chemistry-advance");
+        let _scope = self
+            .services
+            .profiler()
+            .scope("ImplicitIntegrator.chemistry-advance");
         let chem = self
             .services
             .get_port::<Rc<dyn ChemistrySourcePort>>("chemistry")
@@ -356,9 +362,7 @@ impl ChemistryAdvancePort for ImplicitInner {
                         match integ.integrate(rhs, 0.0, dt, &mut cell_state) {
                             Ok(st) => total_steps += st.steps,
                             Err(e) => {
-                                failure.get_or_insert(format!(
-                                    "cell ({i},{j}) level {level}: {e}"
-                                ));
+                                failure.get_or_insert(format!("cell ({i},{j}) level {level}: {e}"));
                                 return;
                             }
                         }

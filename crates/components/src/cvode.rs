@@ -125,12 +125,16 @@ mod tests {
         let rhs = Rc::new(Decay(Cell::new(0)));
         integ.set_tolerances(1e-4, 1e-8);
         let mut y_loose = [1.0];
-        let loose = integ.integrate(rhs.clone(), 0.0, 1.0, &mut y_loose).unwrap();
+        let loose = integ
+            .integrate(rhs.clone(), 0.0, 1.0, &mut y_loose)
+            .unwrap();
         integ.set_tolerances(1e-11, 1e-14);
         let mut y_tight = [1.0];
         let tight = integ.integrate(rhs, 0.0, 1.0, &mut y_tight).unwrap();
         assert!(tight.rhs_evals > loose.rhs_evals);
-        assert!((y_tight[0] - (-1.0f64).exp()).abs() <= (y_loose[0] - (-1.0f64).exp()).abs() + 1e-12);
+        assert!(
+            (y_tight[0] - (-1.0f64).exp()).abs() <= (y_loose[0] - (-1.0f64).exp()).abs() + 1e-12
+        );
     }
 
     #[test]

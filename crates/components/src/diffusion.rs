@@ -42,16 +42,16 @@ impl Inner {
         let t = pd.get(0, i, j).max(200.0);
         let mut y = vec![0.0; n];
         let mut bulk = 1.0;
-        for v in 0..n - 1 {
-            y[v] = pd.get(1 + v, i, j);
-            bulk -= y[v];
+        for (v, yv) in y.iter_mut().take(n - 1).enumerate() {
+            *yv = pd.get(1 + v, i, j);
+            bulk -= *yv;
         }
         y[n - 1] = bulk;
         let w_mean = chem.mean_molar_mass(&y);
         let rho = chem.density(t, P0, &y);
         let mut x = vec![0.0; n];
-        for v in 0..n {
-            x[v] = y[v] * w_mean / chem.molar_mass(v);
+        for (v, xv) in x.iter_mut().enumerate() {
+            *xv = y[v] * w_mean / chem.molar_mass(v);
         }
         let mut d = vec![0.0; n];
         transport.mix_diffusivities(t, P0, &x, &mut d);
@@ -109,8 +109,7 @@ impl PatchRhsPort for Inner {
             let div_t = (lam_e * (state.get(0, i + 1, j) - t_c)
                 - lam_w * (t_c - state.get(0, i - 1, j)))
                 / (dx * dx)
-                + (lam_n * (state.get(0, i, j + 1) - t_c)
-                    - lam_s * (t_c - state.get(0, i, j - 1)))
+                + (lam_n * (state.get(0, i, j + 1) - t_c) - lam_s * (t_c - state.get(0, i, j - 1)))
                     / (dy * dy);
             rhs.set(0, i, j, pc.inv_rho_cp * div_t);
             // Species: (1/ρ) ∇·(ρD_i ∇Y_i) for the N-1 stored species.

@@ -3,9 +3,7 @@
 //! "supplies the right-hand-side of the equation, patch-by-patch"),
 //! `CharacteristicQuantities`, and the `GasProperties` database.
 
-use crate::ports::{
-    DataPort, EigenEstimatePort, FluxPort, MeshPort, PatchRhsPort, StatesPort,
-};
+use crate::ports::{DataPort, EigenEstimatePort, FluxPort, MeshPort, PatchRhsPort, StatesPort};
 use cca_core::{Component, ParameterPort, ParameterStore, Services};
 use cca_hydro_solver::efm::EfmFlux;
 use cca_hydro_solver::muscl::{interface_states, max_wave_speed};
@@ -199,12 +197,12 @@ impl PatchRhsPort for InviscidInner {
                     gamma,
                 );
                 let f = flux.flux_x(&wl, &wr, gamma);
-                for var in 0..NVARS {
+                for (var, &fv) in f.iter().enumerate() {
                     if interior.contains(i - 1, j) {
-                        rhs.add(var, i - 1, j, -f[var] / dx);
+                        rhs.add(var, i - 1, j, -fv / dx);
                     }
                     if interior.contains(i, j) {
-                        rhs.add(var, i, j, f[var] / dx);
+                        rhs.add(var, i, j, fv / dx);
                     }
                 }
             }
@@ -221,12 +219,12 @@ impl PatchRhsPort for InviscidInner {
                 );
                 let fr = flux.flux_x(&swap_uv(&wl), &swap_uv(&wr), gamma);
                 let f = [fr[0], fr[2], fr[1], fr[3], fr[4]];
-                for var in 0..NVARS {
+                for (var, &fv) in f.iter().enumerate() {
                     if interior.contains(i, j - 1) {
-                        rhs.add(var, i, j - 1, -f[var] / dy);
+                        rhs.add(var, i, j - 1, -fv / dy);
                     }
                     if interior.contains(i, j) {
-                        rhs.add(var, i, j, f[var] / dy);
+                        rhs.add(var, i, j, fv / dy);
                     }
                 }
             }
@@ -315,4 +313,3 @@ impl Component for CharacteristicQuantities {
         );
     }
 }
-

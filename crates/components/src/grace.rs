@@ -64,7 +64,12 @@ impl MeshPort for GraceInner {
         self.with_hier(|h| {
             h.levels
                 .get(level)
-                .map(|l| l.patches.iter().map(|p| (p.id, p.interior, p.owner)).collect())
+                .map(|l| {
+                    l.patches
+                        .iter()
+                        .map(|p| (p.id, p.interior, p.owner))
+                        .collect()
+                })
                 .unwrap_or_default()
         })
     }
@@ -158,7 +163,13 @@ impl DataPort for GraceInner {
             .nvars
     }
 
-    fn with_patch_mut(&self, name: &str, level: usize, id: usize, f: &mut dyn FnMut(&mut PatchData)) {
+    fn with_patch_mut(
+        &self,
+        name: &str,
+        level: usize,
+        id: usize,
+        f: &mut dyn FnMut(&mut PatchData),
+    ) {
         let mut objects = self.objects.borrow_mut();
         let pd = objects
             .get_mut(name)
@@ -265,17 +276,14 @@ impl crate::ports::CheckpointPort for GraceInner {
         let hier = self.hier.borrow();
         let hier = hier.as_ref().ok_or("no hierarchy to checkpoint")?;
         let objects = self.objects.borrow();
-        let mut file = std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| e.to_string())?,
-        );
-        cca_mesh::checkpoint::write_checkpoint(hier, &objects, &mut file)
-            .map_err(|e| e.to_string())
+        let mut file =
+            std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| e.to_string())?);
+        cca_mesh::checkpoint::write_checkpoint(hier, &objects, &mut file).map_err(|e| e.to_string())
     }
 
     fn restore(&self, path: &str) -> Result<(), String> {
-        let mut file = std::io::BufReader::new(
-            std::fs::File::open(path).map_err(|e| e.to_string())?,
-        );
+        let mut file =
+            std::io::BufReader::new(std::fs::File::open(path).map_err(|e| e.to_string())?);
         let (hier, objects) =
             cca_mesh::checkpoint::read_checkpoint(&mut file).map_err(|e| e.to_string())?;
         *self.hier.borrow_mut() = Some(hier);
@@ -285,17 +293,10 @@ impl crate::ports::CheckpointPort for GraceInner {
 }
 
 /// The component. Provides `mesh` (MeshPort) and `data` (DataPort).
+#[derive(Default)]
 pub struct GraceComponent {
     /// Regrid tuning (exposed for ablation studies).
     pub regrid_params: RegridParams,
-}
-
-impl Default for GraceComponent {
-    fn default() -> Self {
-        GraceComponent {
-            regrid_params: RegridParams::default(),
-        }
-    }
 }
 
 impl Component for GraceComponent {
@@ -351,7 +352,9 @@ mod tests {
         let (id0, _, _) = mesh.patches(0)[0];
         data.with_patch_mut("phi", 0, id0, &mut |pd| pd.fill_var(0, 3.0));
         // Flag the center; the new fine level must hold prolonged data.
-        let flags: Vec<(i64, i64)> = (12..20).flat_map(|i| (12..20).map(move |j| (i, j))).collect();
+        let flags: Vec<(i64, i64)> = (12..20)
+            .flat_map(|i| (12..20).map(move |j| (i, j)))
+            .collect();
         let new_ids = mesh.regrid(0, &flags);
         assert!(!new_ids.is_empty());
         assert_eq!(mesh.n_levels(), 2);
@@ -460,7 +463,8 @@ mod tests {
         fw.register_class("RR", || Box::<RoundRobinLoadBalancer>::default());
         fw.instantiate("Grace", "g").unwrap();
         fw.instantiate("RR", "rr").unwrap();
-        fw.connect("g", "load-balancer", "rr", "load-balancer").unwrap();
+        fw.connect("g", "load-balancer", "rr", "load-balancer")
+            .unwrap();
         let mesh: Rc<dyn MeshPort> = fw.get_provides_port("g", "mesh").unwrap();
         mesh.create(16, 16, 1.0, 1.0, 2);
         // Regrid into several fine patches, then balance round-robin.

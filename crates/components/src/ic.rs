@@ -10,7 +10,7 @@ use crate::ports::{
     SolutionPort,
 };
 use cca_core::{Component, GoPort, ParameterPort, ParameterStore, Services};
-use cca_hydro_solver::{prim_to_cons, Prim, NVARS};
+use cca_hydro_solver::{prim_to_cons, Prim};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -292,8 +292,8 @@ impl InitialConditionPort for ConicalInner {
                             heavy
                         };
                         let u = prim_to_cons(&w, gamma);
-                        for v in 0..NVARS {
-                            pd.set(v, i, j, u[v]);
+                        for (v, &uv) in u.iter().enumerate() {
+                            pd.set(v, i, j, uv);
                         }
                     }
                 });

@@ -152,12 +152,23 @@ pub trait DataPort {
     /// Number of variables of a Data Object.
     fn nvars(&self, name: &str) -> usize;
     /// Run `f` with mutable access to one patch's data.
-    fn with_patch_mut(&self, name: &str, level: usize, id: usize, f: &mut dyn FnMut(&mut PatchData));
+    fn with_patch_mut(
+        &self,
+        name: &str,
+        level: usize,
+        id: usize,
+        f: &mut dyn FnMut(&mut PatchData),
+    );
     /// Run `f` with shared access to one patch's data.
     fn with_patch(&self, name: &str, level: usize, id: usize, f: &mut dyn FnMut(&PatchData));
     /// Fill ghosts of every patch of `level`: sibling copies, coarse-fine
     /// interpolation, then the physical boundary rule.
-    fn fill_ghosts(&self, name: &str, level: usize, bc: &dyn Fn(cca_mesh::bc::Side, usize) -> BcKind);
+    fn fill_ghosts(
+        &self,
+        name: &str,
+        level: usize,
+        bc: &dyn Fn(cca_mesh::bc::Side, usize) -> BcKind,
+    );
     /// Conservatively restrict fine data onto coarse parents, finest
     /// level downward.
     fn restrict_down(&self, name: &str);

@@ -4,9 +4,7 @@
 //! each of the stages of a multi-stage integration scheme" (paper §4,
 //! Boundary Condition subsystem).
 
-use crate::ports::{
-    BoundaryConditionPort, DataPort, MeshPort, PatchRhsPort, TimeIntegratorPort,
-};
+use crate::ports::{BoundaryConditionPort, DataPort, MeshPort, PatchRhsPort, TimeIntegratorPort};
 use crate::rkc_integrator::FlatView;
 use cca_core::{Component, Services};
 use std::cell::Cell;
@@ -20,6 +18,7 @@ struct Inner {
 impl Inner {
     /// One global RHS evaluation: scatter, ghost-fill each level, eval
     /// patch by patch, gather.
+    #[allow(clippy::too_many_arguments)]
     fn eval(
         &self,
         view: &FlatView,
@@ -39,12 +38,14 @@ impl Inner {
             let dx = view.mesh.dx(level);
             for (id, _, _) in view.mesh.patches(level) {
                 let mut state_copy = None;
-                view.data
-                    .with_patch(&view.name, level, id, &mut |pd| state_copy = Some(pd.clone()));
-                let state = state_copy.expect("patch exists");
-                view.data.with_patch_mut(rhs_name, level, id, &mut |rhs_pd| {
-                    rhs_port.eval_patch(&state, rhs_pd, dx[0], dx[1], t);
+                view.data.with_patch(&view.name, level, id, &mut |pd| {
+                    state_copy = Some(pd.clone())
                 });
+                let state = state_copy.expect("patch exists");
+                view.data
+                    .with_patch_mut(rhs_name, level, id, &mut |rhs_pd| {
+                        rhs_port.eval_patch(&state, rhs_pd, dx[0], dx[1], t);
+                    });
             }
         }
         let rhs_view = FlatView {
@@ -59,7 +60,10 @@ impl Inner {
 
 impl TimeIntegratorPort for Inner {
     fn advance(&self, state: &str, t: f64, dt_max: f64) -> Result<f64, String> {
-        let _scope = self.services.profiler().scope("ExplicitIntegratorRK2.advance");
+        let _scope = self
+            .services
+            .profiler()
+            .scope("ExplicitIntegratorRK2.advance");
         let mesh = self
             .services
             .get_port::<Rc<dyn MeshPort>>("mesh")

@@ -153,9 +153,7 @@ mod tests {
         c.set_services(s.clone());
         // Fetch the provides port directly for unit testing.
         let mut fw = cca_core::Framework::new();
-        fw.register_class("T", move || {
-            Box::new(ThermoChemistry { choice })
-        });
+        fw.register_class("T", move || Box::new(ThermoChemistry { choice }));
         fw.instantiate("T", "t").unwrap();
         fw.get_provides_port::<Rc<dyn ChemistrySourcePort>>("t", "chemistry")
             .unwrap()

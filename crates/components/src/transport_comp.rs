@@ -34,9 +34,8 @@ pub struct DrfmComponent;
 
 impl Component for DrfmComponent {
     fn set_services(&mut self, s: Services) {
-        let model = TransportModel::for_species(&[
-            "H2", "O2", "O", "OH", "H", "H2O", "HO2", "H2O2", "N2",
-        ]);
+        let model =
+            TransportModel::for_species(&["H2", "O2", "O", "OH", "H", "H2O", "HO2", "H2O2", "N2"]);
         s.add_provides_port::<Rc<dyn TransportPort>>("transport", Rc::new(DrfmInner { model }));
     }
 }

@@ -68,7 +68,10 @@ impl fmt::Display for CcaError {
                 write!(f, "component '{instance}' registered port '{port}' twice")
             }
             CcaError::TypeMismatch { expected, found } => {
-                write!(f, "port type mismatch: uses side wants {expected}, provider offers {found}")
+                write!(
+                    f,
+                    "port type mismatch: uses side wants {expected}, provider offers {found}"
+                )
             }
             CcaError::NotConnected { instance, port } => {
                 write!(f, "uses port '{port}' of '{instance}' is not connected")

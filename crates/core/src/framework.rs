@@ -4,8 +4,30 @@
 use crate::error::CcaError;
 use crate::ports::{GoPort, ParameterPort};
 use crate::services::{Component, Services};
+use crate::signature::ClassSignature;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// One unwired, non-optional uses-port: the reason a `go` would be refused.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DanglingPort {
+    /// Instance whose slot is unwired.
+    pub instance: String,
+    /// The dangling uses-port name.
+    pub port: String,
+    /// The port type the slot expects, for actionable diagnostics.
+    pub type_name: &'static str,
+}
+
+impl std::fmt::Display for DanglingPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}.{} (expects {})",
+            self.instance, self.port, self.type_name
+        )
+    }
+}
 
 /// Factory producing a fresh component instance — the reproduction's
 /// equivalent of a dynamically loadable `.so` in the palette.
@@ -53,6 +75,34 @@ impl Framework {
     /// Classes available for instantiation (sorted).
     pub fn palette_classes(&self) -> Vec<String> {
         self.palette.keys().cloned().collect()
+    }
+
+    /// Harvest the declared port signature of one palette class by
+    /// instantiating it into a scratch [`Services`] registry (the instance
+    /// is dropped immediately; the framework is not modified). This is the
+    /// manifest static analysis tools type-check scripts against.
+    pub fn class_signature(&self, class: &str) -> Result<ClassSignature, CcaError> {
+        let factory = self
+            .palette
+            .get(class)
+            .ok_or_else(|| CcaError::UnknownClass(class.to_string()))?;
+        let mut component = factory();
+        let services = Services::new(&format!("<signature-probe:{class}>"));
+        component.set_services(services.clone());
+        Ok(ClassSignature::harvest(class, &services))
+    }
+
+    /// Signatures for every class in the palette (sorted by class name).
+    pub fn class_signatures(&self) -> BTreeMap<String, ClassSignature> {
+        self.palette
+            .keys()
+            .map(|class| {
+                let sig = self
+                    .class_signature(class)
+                    .expect("palette key is a known class");
+                (class.clone(), sig)
+            })
+            .collect()
     }
 
     /// Create an instance of `class` named `name` and run its
@@ -138,10 +188,13 @@ impl Framework {
             .get(user)
             .ok_or_else(|| CcaError::UnknownInstance(user.to_string()))?;
         let mut st = user_inst.services.state.borrow_mut();
-        let slot = st.uses.get_mut(uses_port).ok_or_else(|| CcaError::UnknownPort {
-            instance: user.to_string(),
-            port: uses_port.to_string(),
-        })?;
+        let slot = st
+            .uses
+            .get_mut(uses_port)
+            .ok_or_else(|| CcaError::UnknownPort {
+                instance: user.to_string(),
+                port: uses_port.to_string(),
+            })?;
         if slot.type_id != p_type_id {
             return Err(CcaError::TypeMismatch {
                 expected: slot.type_name.to_string(),
@@ -161,28 +214,46 @@ impl Framework {
             .get(user)
             .ok_or_else(|| CcaError::UnknownInstance(user.to_string()))?;
         let mut st = user_inst.services.state.borrow_mut();
-        let slot = st.uses.get_mut(uses_port).ok_or_else(|| CcaError::UnknownPort {
-            instance: user.to_string(),
-            port: uses_port.to_string(),
-        })?;
+        let slot = st
+            .uses
+            .get_mut(uses_port)
+            .ok_or_else(|| CcaError::UnknownPort {
+                instance: user.to_string(),
+                port: uses_port.to_string(),
+            })?;
         slot.connected = None;
         slot.connected_to = None;
         Ok(())
     }
 
-    /// Uses-ports that are still dangling, as `(instance, port)` pairs.
-    /// The script interpreter refuses `go` while any exist.
+    /// Uses-ports that are still dangling, as `(instance, port)` pairs,
+    /// sorted by instance then port for deterministic diagnostics. The
+    /// script interpreter refuses `go` while any exist.
     pub fn dangling_uses_ports(&self) -> Vec<(String, String)> {
+        self.dangling_uses_ports_detailed()
+            .into_iter()
+            .map(|d| (d.instance, d.port))
+            .collect()
+    }
+
+    /// Like [`Framework::dangling_uses_ports`] but carrying each slot's
+    /// expected port type, sorted by `(instance, port)`.
+    pub fn dangling_uses_ports_detailed(&self) -> Vec<DanglingPort> {
         let mut out = Vec::new();
         for name in &self.order {
             let inst = &self.instances[name];
             let st = inst.services.state.borrow();
             for (pname, slot) in &st.uses {
                 if slot.connected.is_none() && !slot.optional {
-                    out.push((name.clone(), pname.clone()));
+                    out.push(DanglingPort {
+                        instance: name.clone(),
+                        port: pname.clone(),
+                        type_name: slot.type_name,
+                    });
                 }
             }
         }
+        out.sort();
         out
     }
 

@@ -69,9 +69,11 @@ pub mod ports;
 pub mod profile;
 pub mod script;
 pub mod services;
+pub mod signature;
 
 pub use error::CcaError;
-pub use framework::Framework;
+pub use framework::{DanglingPort, Framework};
 pub use ports::{GoPort, ParameterPort, ParameterStore};
 pub use profile::{Profiler, TimerStat};
 pub use services::{Component, Services};
+pub use signature::{ClassSignature, ProvidesSignature, UsesSignature};

@@ -30,7 +30,9 @@ pub struct Transcript {
 /// Execute `script` against `fw`.
 ///
 /// `go` first verifies that no uses-port in the whole assembly is dangling,
-/// catching wiring mistakes at launch rather than as mid-run panics.
+/// catching wiring mistakes at launch rather than as mid-run panics. Every
+/// error — syntactic or semantic — is reported as [`CcaError::Script`] with
+/// the 1-based line it was triggered by.
 pub fn run_script(fw: &mut Framework, script: &str) -> Result<Transcript, CcaError> {
     let mut transcript = Transcript::default();
     for (idx, raw) in script.lines().enumerate() {
@@ -44,24 +46,35 @@ pub fn run_script(fw: &mut Framework, script: &str) -> Result<Transcript, CcaErr
             line: line_no,
             message: message.to_string(),
         };
+        // Attribute framework-level failures (unknown class, duplicate
+        // instance, type mismatch, ...) to the script line that caused them.
+        let wrap = |e: CcaError| match e {
+            CcaError::Script { .. } => e,
+            other => CcaError::Script {
+                line: line_no,
+                message: other.to_string(),
+            },
+        };
         match tok[0] {
             "instantiate" => {
                 if tok.len() != 3 {
                     return Err(err("usage: instantiate <Class> <instance>"));
                 }
-                fw.instantiate(tok[1], tok[2])?;
+                fw.instantiate(tok[1], tok[2]).map_err(wrap)?;
             }
             "connect" => {
                 if tok.len() != 5 {
-                    return Err(err("usage: connect <user> <usesPort> <provider> <providesPort>"));
+                    return Err(err(
+                        "usage: connect <user> <usesPort> <provider> <providesPort>",
+                    ));
                 }
-                fw.connect(tok[1], tok[2], tok[3], tok[4])?;
+                fw.connect(tok[1], tok[2], tok[3], tok[4]).map_err(wrap)?;
             }
             "disconnect" => {
                 if tok.len() != 3 {
                     return Err(err("usage: disconnect <user> <usesPort>"));
                 }
-                fw.disconnect(tok[1], tok[2])?;
+                fw.disconnect(tok[1], tok[2]).map_err(wrap)?;
             }
             "parameter" => {
                 if tok.len() != 4 {
@@ -70,7 +83,7 @@ pub fn run_script(fw: &mut Framework, script: &str) -> Result<Transcript, CcaErr
                 let value: f64 = tok[3]
                     .parse()
                     .map_err(|_| err(&format!("'{}' is not a number", tok[3])))?;
-                fw.set_parameter(tok[1], tok[2], value)?;
+                fw.set_parameter(tok[1], tok[2], value).map_err(wrap)?;
             }
             "arena" => {
                 if tok.len() != 1 {
@@ -82,20 +95,40 @@ pub fn run_script(fw: &mut Framework, script: &str) -> Result<Transcript, CcaErr
                 if tok.len() != 3 {
                     return Err(err("usage: go <instance> <goPort>"));
                 }
-                let dangling = fw.dangling_uses_ports();
+                let dangling = fw.dangling_uses_ports_detailed();
                 if !dangling.is_empty() {
+                    let list: Vec<String> = dangling.iter().map(|d| d.to_string()).collect();
                     return Err(err(&format!(
-                        "cannot go: dangling uses ports {:?}",
-                        dangling
+                        "cannot go: dangling uses ports: {}",
+                        list.join(", ")
                     )));
                 }
-                fw.go(tok[1], tok[2])?;
+                fw.go(tok[1], tok[2]).map_err(wrap)?;
                 transcript.go_count += 1;
             }
             other => return Err(err(&format!("unknown command '{other}'"))),
         }
     }
     Ok(transcript)
+}
+
+/// Like [`run_script`], but a caller-supplied static lint pass must accept
+/// the whole script before a single command executes.
+///
+/// `cca-core` defines the seam; the `cca-analyze` crate supplies the
+/// analyzer that plugs into it (its `run_script_checked` wraps this with
+/// the full multi-pass checker). Keeping the hook here lets any embedder
+/// enforce reject-before-run semantics without depending on the analyzer.
+pub fn run_script_checked<L>(
+    fw: &mut Framework,
+    script: &str,
+    lint: L,
+) -> Result<Transcript, CcaError>
+where
+    L: FnOnce(&Framework, &str) -> Result<(), CcaError>,
+{
+    lint(fw, script)?;
+    run_script(fw, script)
 }
 
 #[cfg(test)]
@@ -210,6 +243,128 @@ mod tests {
         let mut fw2 = Framework::new();
         let err = run_script(&mut fw2, "instantiate OnlyOneArg\n").unwrap_err();
         assert!(matches!(err, CcaError::Script { line: 1, .. }));
+    }
+
+    #[test]
+    fn inline_comments_after_commands_are_ignored() {
+        let ran = Rc::new(Cell::new(None));
+        let mut fw = fw(ran.clone());
+        let t = run_script(
+            &mut fw,
+            "instantiate Physics phys   # the physics half\n\
+             instantiate Driver drv # and its driver\n\
+             connect drv rhs phys rhs# no space before the comment\n\
+             go drv go  # launch\n",
+        )
+        .unwrap();
+        assert_eq!(t.go_count, 1);
+        assert!(ran.get().is_some());
+    }
+
+    #[test]
+    fn duplicate_instance_reports_the_offending_line() {
+        let ran = Rc::new(Cell::new(None));
+        let mut fw = fw(ran);
+        let err = run_script(
+            &mut fw,
+            "instantiate Physics phys\n\
+             # a comment line\n\
+             instantiate Driver phys\n",
+        )
+        .unwrap_err();
+        match err {
+            CcaError::Script { line, message } => {
+                assert_eq!(line, 3, "duplicate must be blamed on its own line");
+                assert!(message.contains("'phys'"), "{message}");
+                assert!(message.contains("already in use"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn parameter_on_unknown_instance_carries_line_and_name() {
+        let ran = Rc::new(Cell::new(None));
+        let mut fw = fw(ran);
+        let err = run_script(
+            &mut fw,
+            "instantiate Physics phys\n\
+             parameter ghost k 1.0\n",
+        )
+        .unwrap_err();
+        match err {
+            CcaError::Script { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("'ghost'"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_of_never_connected_port_is_a_noop() {
+        let ran = Rc::new(Cell::new(None));
+        let mut fw = fw(ran);
+        // The interpreter accepts it (the slot just stays empty); the static
+        // analyzer is the layer that flags it as suspicious.
+        run_script(
+            &mut fw,
+            "instantiate Driver drv\n\
+             disconnect drv rhs\n",
+        )
+        .unwrap();
+        assert_eq!(fw.dangling_uses_ports().len(), 1);
+    }
+
+    #[test]
+    fn dangling_diagnostic_is_sorted_and_typed() {
+        let ran = Rc::new(Cell::new(None));
+        let mut fw = fw(ran);
+        let err = run_script(
+            &mut fw,
+            "instantiate Driver z\n\
+             instantiate Driver a\n\
+             go a go\n",
+        )
+        .unwrap_err();
+        match err {
+            CcaError::Script { line, message } => {
+                assert_eq!(line, 3);
+                // Sorted by instance regardless of instantiation order, and
+                // each entry names the expected port type.
+                let a = message.find("a.rhs").expect("a.rhs listed");
+                let z = message.find("z.rhs").expect("z.rhs listed");
+                assert!(a < z, "expected sorted order in: {message}");
+                assert!(message.contains("expects"), "{message}");
+                assert!(message.contains("Rhs"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn run_script_checked_lints_before_running() {
+        let ran = Rc::new(Cell::new(None));
+        let mut fw = fw(ran.clone());
+        let script = "instantiate Physics phys\n\
+                      instantiate Driver drv\n\
+                      connect drv rhs phys rhs\n\
+                      go drv go\n";
+        // A rejecting linter stops the run before any command executes.
+        let err = run_script_checked(&mut fw, script, |_, _| {
+            Err(CcaError::Script {
+                line: 1,
+                message: "rejected by lint".into(),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, CcaError::Script { line: 1, .. }), "{err}");
+        assert!(fw.instance_names().is_empty(), "nothing may have executed");
+        assert_eq!(ran.get(), None);
+        // An accepting linter lets the script run normally.
+        let t = run_script_checked(&mut fw, script, |_, _| Ok(())).unwrap();
+        assert_eq!(t.go_count, 1);
+        assert!(ran.get().is_some());
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub trait Component {
     fn set_services(&mut self, services: Services);
 }
 
+/// Type-erased `Rc` duplicator stored alongside each provides-port.
+type Cloner = Rc<dyn Fn(&dyn Any) -> Box<dyn Any>>;
+
 /// A registered provides-port: the port object (an `Rc<dyn Trait>` boxed as
 /// `Any`) plus enough metadata to type-check connections and to duplicate
 /// the `Rc` when the framework moves it to a user.
@@ -24,7 +27,7 @@ pub(crate) struct PortObject {
     pub(crate) type_id: TypeId,
     pub(crate) type_name: &'static str,
     value: Box<dyn Any>,
-    cloner: Rc<dyn Fn(&dyn Any) -> Box<dyn Any>>,
+    cloner: Cloner,
 }
 
 impl PortObject {
@@ -177,10 +180,13 @@ impl Services {
             instance: st.instance.clone(),
             port: name.to_string(),
         })?;
-        let boxed = slot.connected.as_ref().ok_or_else(|| CcaError::NotConnected {
-            instance: st.instance.clone(),
-            port: name.to_string(),
-        })?;
+        let boxed = slot
+            .connected
+            .as_ref()
+            .ok_or_else(|| CcaError::NotConnected {
+                instance: st.instance.clone(),
+                port: name.to_string(),
+            })?;
         Ok(boxed
             .downcast_ref::<P>()
             .expect("connect() type-checked this slot")
@@ -190,9 +196,21 @@ impl Services {
     /// CCA's `releasePort`: drop the borrowed reference. A later
     /// [`Services::get_port`] re-fetches it; the connection itself persists
     /// until the framework disconnects it.
-    pub fn release_port(&self, _name: &str) {
-        // References handed out are Rc clones owned by the caller; nothing
-        // to do here. Present for API fidelity.
+    ///
+    /// References handed out are `Rc` clones owned by the caller, so there
+    /// is no bookkeeping to undo — but a release of a port this component
+    /// never declared is a wiring bug and errors with
+    /// [`CcaError::UnknownPort`] instead of silently succeeding.
+    pub fn release_port(&self, name: &str) -> Result<(), CcaError> {
+        let st = self.state.borrow();
+        if st.uses.contains_key(name) {
+            Ok(())
+        } else {
+            Err(CcaError::UnknownPort {
+                instance: st.instance.clone(),
+                port: name.to_string(),
+            })
+        }
     }
 
     /// Names of all provides-ports (sorted).
@@ -253,6 +271,17 @@ mod tests {
         assert!(matches!(err, CcaError::NotConnected { .. }));
         let err = s.get_port::<Rc<dyn Echo>>("nope").err().unwrap();
         assert!(matches!(err, CcaError::UnknownPort { .. }));
+    }
+
+    #[test]
+    fn release_port_rejects_unknown_names() {
+        let s = Services::new("u");
+        s.register_uses_port::<Rc<dyn Echo>>("in");
+        // Releasing a declared port is fine even while unconnected...
+        s.release_port("in").unwrap();
+        // ...but releasing a name that was never declared is a wiring bug.
+        let err = s.release_port("ghost").err().unwrap();
+        assert!(matches!(err, CcaError::UnknownPort { .. }), "{err}");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Machine-checkable port signatures: what a component class *declares*,
+//! harvested without wiring anything.
+//!
+//! CCAFFEINE learns a component's ports only by instantiating it and letting
+//! `setServices` run; there is no separate interface manifest. The same is
+//! true here — but because `set_services` is cheap and side-effect-free by
+//! convention (components only register ports in it), the framework can
+//! instantiate each palette class once into a *scratch* [`crate::Services`]
+//! and record what it declared. The result is a [`ClassSignature`] manifest
+//! that static tools (notably the `cca-analyze` crate) use to type-check an
+//! assembly script without executing it.
+
+use crate::ports::{GoPort, ParameterPort};
+use crate::services::Services;
+use std::any::TypeId;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Declared shape of one provides-port.
+#[derive(Clone, Debug)]
+pub struct ProvidesSignature {
+    /// `TypeId` of the registered port value (conventionally `Rc<dyn Trait>`).
+    pub type_id: TypeId,
+    /// Human-readable form of the same type, for diagnostics.
+    pub type_name: &'static str,
+    /// Whether the port downcasts to [`GoPort`] — i.e. `go` may target it.
+    pub is_go_port: bool,
+    /// Whether the port downcasts to [`ParameterPort`] — i.e. `parameter`
+    /// commands can reach the component through it.
+    pub is_parameter_port: bool,
+}
+
+/// Declared shape of one uses-port.
+#[derive(Clone, Debug)]
+pub struct UsesSignature {
+    /// `TypeId` the slot will accept on `connect`.
+    pub type_id: TypeId,
+    /// Human-readable form of the same type, for diagnostics.
+    pub type_name: &'static str,
+    /// Optional slots (CCA `minOccurs = 0`) may stay dangling at `go`.
+    pub optional: bool,
+}
+
+/// Everything one palette class declares through `set_services`.
+#[derive(Clone, Debug)]
+pub struct ClassSignature {
+    /// Palette class name the signature was harvested from.
+    pub class: String,
+    /// Provides-ports by port name (sorted).
+    pub provides: BTreeMap<String, ProvidesSignature>,
+    /// Uses-ports by port name (sorted).
+    pub uses: BTreeMap<String, UsesSignature>,
+}
+
+impl ClassSignature {
+    /// Harvest the signature from a scratch services registry that a fresh
+    /// component instance has just populated.
+    pub(crate) fn harvest(class: &str, services: &Services) -> Self {
+        let st = services.state.borrow();
+        let provides = st
+            .provides
+            .iter()
+            .map(|(name, po)| {
+                (
+                    name.clone(),
+                    ProvidesSignature {
+                        type_id: po.type_id,
+                        type_name: po.type_name,
+                        is_go_port: po.downcast_ref::<Rc<dyn GoPort>>().is_some(),
+                        is_parameter_port: po.downcast_ref::<Rc<dyn ParameterPort>>().is_some(),
+                    },
+                )
+            })
+            .collect();
+        let uses = st
+            .uses
+            .iter()
+            .map(|(name, slot)| {
+                (
+                    name.clone(),
+                    UsesSignature {
+                        type_id: slot.type_id,
+                        type_name: slot.type_name,
+                        optional: slot.optional,
+                    },
+                )
+            })
+            .collect();
+        ClassSignature {
+            class: class.to_string(),
+            provides,
+            uses,
+        }
+    }
+
+    /// Does the class expose any [`ParameterPort`] (so `parameter` commands
+    /// can reach it)?
+    pub fn has_parameter_port(&self) -> bool {
+        self.provides.values().any(|p| p.is_parameter_port)
+    }
+
+    /// Names of the non-optional uses-ports — the slots that must be wired
+    /// before a `go` may run.
+    pub fn required_uses(&self) -> impl Iterator<Item = (&String, &UsesSignature)> {
+        self.uses.iter().filter(|(_, u)| !u.optional)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::ParameterStore;
+    use crate::services::Component;
+    use crate::Framework;
+
+    trait Dummy {}
+
+    struct Driver;
+    impl GoPort for Driver {
+        fn go(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    struct Probe;
+    impl Component for Probe {
+        fn set_services(&mut self, s: Services) {
+            s.add_provides_port::<Rc<dyn GoPort>>("go", Rc::new(Driver));
+            s.add_provides_port::<Rc<dyn ParameterPort>>("params", Rc::new(ParameterStore::new()));
+            s.register_uses_port::<Rc<dyn Dummy>>("input");
+            s.register_optional_uses_port::<Rc<dyn Dummy>>("extra");
+        }
+    }
+
+    #[test]
+    fn harvest_records_ports_and_capabilities() {
+        let mut fw = Framework::new();
+        fw.register_class("Probe", || Box::new(Probe));
+        let sig = fw.class_signature("Probe").unwrap();
+        assert_eq!(sig.class, "Probe");
+        assert!(sig.provides["go"].is_go_port);
+        assert!(!sig.provides["go"].is_parameter_port);
+        assert!(sig.provides["params"].is_parameter_port);
+        assert!(sig.has_parameter_port());
+        assert!(!sig.uses["input"].optional);
+        assert!(sig.uses["extra"].optional);
+        assert_eq!(
+            sig.required_uses()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["input"]
+        );
+        assert_eq!(sig.uses["input"].type_id, TypeId::of::<Rc<dyn Dummy>>());
+    }
+
+    #[test]
+    fn signatures_cover_whole_palette() {
+        let mut fw = Framework::new();
+        fw.register_class("Probe", || Box::new(Probe));
+        let all = fw.class_signatures();
+        assert_eq!(all.len(), 1);
+        assert!(all.contains_key("Probe"));
+        assert!(fw.class_signature("Nope").is_err());
+        // Harvesting leaves the framework untouched.
+        assert!(fw.instance_names().is_empty());
+    }
+}

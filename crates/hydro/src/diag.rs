@@ -71,8 +71,8 @@ mod tests {
                 zeta: zeta(x, y),
             };
             let c = prim_to_cons(&w, 1.4);
-            for var in 0..NVARS {
-                pd.set(var, i, j, c[var]);
+            for (var, &cv) in c.iter().enumerate() {
+                pd.set(var, i, j, cv);
             }
         }
         pd
@@ -89,12 +89,7 @@ mod tests {
     fn solid_body_rotation_vorticity() {
         // u = -omega*y, v = omega*x -> vorticity = 2*omega everywhere.
         let omega = 3.0;
-        let pd = patch_with_velocity(
-            16,
-            0.1,
-            |x, y| (-omega * y, omega * x),
-            |_, _| 0.5,
-        );
+        let pd = patch_with_velocity(16, 0.1, |x, y| (-omega * y, omega * x), |_, _| 0.5);
         let w = vorticity(&pd, 8, 8, 0.1, 0.1);
         assert!((w - 2.0 * omega).abs() < 1e-9, "omega = {w}");
         // Circulation over the whole 16x16 interior = 2*omega*Area.

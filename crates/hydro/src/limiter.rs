@@ -35,9 +35,7 @@ impl Limiter {
                     2.0 * a * b / (a + b)
                 }
             }
-            Limiter::MonotonizedCentral => {
-                minmod3(0.5 * (a + b), 2.0 * a, 2.0 * b)
-            }
+            Limiter::MonotonizedCentral => minmod3(0.5 * (a + b), 2.0 * a, 2.0 * b),
             Limiter::Superbee => {
                 let s1 = minmod(b, 2.0 * a);
                 let s2 = minmod(a, 2.0 * b);

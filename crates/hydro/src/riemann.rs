@@ -78,8 +78,8 @@ pub fn sample(left: &Prim, right: &Prim, gamma: f64, xi: f64) -> Prim {
             if xi <= s {
                 *w
             } else {
-                let rho = w.rho * ((ratio + (g - 1.0) / (g + 1.0))
-                    / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                let rho = w.rho
+                    * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
                 Prim {
                     rho,
                     u: u_star,
@@ -129,8 +129,8 @@ pub fn sample(left: &Prim, right: &Prim, gamma: f64, xi: f64) -> Prim {
             if xi >= s {
                 *w
             } else {
-                let rho = w.rho * ((ratio + (g - 1.0) / (g + 1.0))
-                    / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                let rho = w.rho
+                    * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
                 Prim {
                     rho,
                     u: u_star,

@@ -8,11 +8,11 @@ use proptest::prelude::*;
 
 fn arb_prim() -> impl Strategy<Value = Prim> {
     (
-        0.05f64..10.0,  // rho
-        -3.0f64..3.0,   // u
-        -3.0f64..3.0,   // v
-        0.05f64..10.0,  // p
-        0.0f64..1.0,    // zeta
+        0.05f64..10.0, // rho
+        -3.0f64..3.0,  // u
+        -3.0f64..3.0,  // v
+        0.05f64..10.0, // p
+        0.0f64..1.0,   // zeta
     )
         .prop_map(|(rho, u, v, p, zeta)| Prim { rho, u, v, p, zeta })
 }

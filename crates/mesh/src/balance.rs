@@ -147,7 +147,10 @@ mod tests {
         let mut h = Hierarchy::new(IntBox::sized(16, 16), [0.0, 0.0], [1.0; 2], 2);
         // Two coarse patches side by side, two fine patches each nested in
         // one parent.
-        h.set_level_boxes(0, &[IntBox::new([0, 0], [7, 15]), IntBox::new([8, 0], [15, 15])]);
+        h.set_level_boxes(
+            0,
+            &[IntBox::new([0, 0], [7, 15]), IntBox::new([8, 0], [15, 15])],
+        );
         h.set_level_boxes(
             1,
             &[
@@ -173,7 +176,10 @@ mod tests {
     #[test]
     fn affinity_falls_back_when_badly_imbalanced() {
         let mut h = Hierarchy::new(IntBox::sized(16, 16), [0.0, 0.0], [1.0; 2], 2);
-        h.set_level_boxes(0, &[IntBox::new([0, 0], [7, 15]), IntBox::new([8, 0], [15, 15])]);
+        h.set_level_boxes(
+            0,
+            &[IntBox::new([0, 0], [7, 15]), IntBox::new([8, 0], [15, 15])],
+        );
         // All fine patches under parent 0: affinity would pile everything
         // on one rank.
         h.set_level_boxes(

@@ -14,7 +14,10 @@ pub struct IntBox {
 impl IntBox {
     /// Box from corners. `lo` must be ≤ `hi` component-wise.
     pub fn new(lo: [i64; 2], hi: [i64; 2]) -> Self {
-        debug_assert!(lo[0] <= hi[0] && lo[1] <= hi[1], "inverted box {lo:?}..{hi:?}");
+        debug_assert!(
+            lo[0] <= hi[0] && lo[1] <= hi[1],
+            "inverted box {lo:?}..{hi:?}"
+        );
         IntBox { lo, hi }
     }
 

@@ -112,7 +112,9 @@ fn get_box(r: &mut impl Read) -> Result<IntBox, CheckpointError> {
     let lo = [get_i64(r)?, get_i64(r)?];
     let hi = [get_i64(r)?, get_i64(r)?];
     if lo[0] > hi[0] || lo[1] > hi[1] {
-        return Err(CheckpointError::Corrupt(format!("inverted box {lo:?}..{hi:?}")));
+        return Err(CheckpointError::Corrupt(format!(
+            "inverted box {lo:?}..{hi:?}"
+        )));
     }
     Ok(IntBox::new(lo, hi))
 }
@@ -293,10 +295,7 @@ mod tests {
         let src = objects.get("state").unwrap();
         let dst = o2.get("state").unwrap();
         let id0 = hier.levels[0].patches[0].id;
-        assert_eq!(
-            src.patch(0, id0).unwrap(),
-            dst.patch(0, id0).unwrap()
-        );
+        assert_eq!(src.patch(0, id0).unwrap(), dst.patch(0, id0).unwrap());
     }
 
     #[test]
@@ -316,7 +315,9 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let err = read_checkpoint(&mut &b"NOPE\x01\x00\x00\x00"[..]).err().unwrap();
+        let err = read_checkpoint(&mut &b"NOPE\x01\x00\x00\x00"[..])
+            .err()
+            .unwrap();
         assert!(matches!(err, CheckpointError::BadHeader(_)), "{err}");
     }
 

@@ -133,7 +133,10 @@ impl PatchData {
     /// Sum of one variable over the interior (diagnostics, conservation
     /// tests).
     pub fn interior_sum(&self, var: usize) -> f64 {
-        self.interior.cells().map(|(i, j)| self.get(var, i, j)).sum()
+        self.interior
+            .cells()
+            .map(|(i, j)| self.get(var, i, j))
+            .sum()
     }
 
     /// Max-norm of one variable over the interior.
@@ -184,8 +187,7 @@ impl DataObject {
     /// Allocate (zeroed) data for a patch.
     pub fn allocate(&mut self, level: usize, patch_id: usize, interior: IntBox) {
         self.ensure_levels(level + 1);
-        self.levels[level]
-            .insert(patch_id, PatchData::new(interior, self.nvars, self.nghost));
+        self.levels[level].insert(patch_id, PatchData::new(interior, self.nvars, self.nghost));
     }
 
     /// Drop a patch's data (patch destroyed in regridding).
@@ -209,7 +211,9 @@ impl DataObject {
 
     /// Mutable access to a patch's data.
     pub fn patch_mut(&mut self, level: usize, patch_id: usize) -> Option<&mut PatchData> {
-        self.levels.get_mut(level).and_then(|l| l.get_mut(&patch_id))
+        self.levels
+            .get_mut(level)
+            .and_then(|l| l.get_mut(&patch_id))
     }
 
     /// Take a patch's data out (used when rebuilding a level keeps old

@@ -27,7 +27,7 @@ impl UniformDecomp {
         let mut best = (1usize, nranks);
         let mut best_cost = f64::INFINITY;
         for px in 1..=nranks {
-            if nranks % px != 0 {
+            if !nranks.is_multiple_of(px) {
                 continue;
             }
             let py = nranks / px;
@@ -90,12 +90,7 @@ impl UniformDecomp {
     /// strips including the x-ghost columns — so corner ghosts arrive
     /// without diagonal messages. `tag_base` separates concurrent
     /// exchanges (one per Data Object).
-    pub fn exchange_ghosts(
-        &self,
-        comm: &Communicator,
-        pd: &mut PatchData,
-        tag_base: u64,
-    ) {
+    pub fn exchange_ghosts(&self, comm: &Communicator, pd: &mut PatchData, tag_base: u64) {
         let g = pd.nghost;
         debug_assert_eq!(pd.interior, self.tile(comm.rank()));
         let me = pd.interior;

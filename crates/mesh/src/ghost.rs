@@ -105,9 +105,7 @@ pub fn fill_coarse_fine_ghosts(dobj: &mut DataObject, hier: &Hierarchy, level: u
             }
         }
         if !orphans.is_empty() {
-            let pd = dobj
-                .patch_mut(level, p.id)
-                .expect("patch data allocated");
+            let pd = dobj.patch_mut(level, p.id).expect("patch data allocated");
             let interior = pd.interior;
             for (i, j) in orphans {
                 let ii = i.clamp(interior.lo[0], interior.hi[0]);
@@ -131,7 +129,10 @@ mod tests {
     #[test]
     fn same_level_exchange_between_abutting_patches() {
         let mut h = Hierarchy::new(IntBox::sized(8, 4), [0.0, 0.0], [1.0; 2], 2);
-        h.set_level_boxes(0, &[IntBox::new([0, 0], [3, 3]), IntBox::new([4, 0], [7, 3])]);
+        h.set_level_boxes(
+            0,
+            &[IntBox::new([0, 0], [3, 3]), IntBox::new([4, 0], [7, 3])],
+        );
         let ids: Vec<usize> = h.levels[0].patches.iter().map(|p| p.id).collect();
         let mut dobj = DataObject::new(1, 2);
         for p in &h.levels[0].patches {

@@ -69,12 +69,7 @@ pub fn prolong_bilinear(
 /// The coarse patch must cover a one-cell halo of
 /// `fine_region.coarsen(ratio)` (ghosts count); stencil indices are
 /// clamped to the coarse total box.
-pub fn prolong_limited(
-    fine: &mut PatchData,
-    coarse: &PatchData,
-    fine_region: &IntBox,
-    ratio: i64,
-) {
+pub fn prolong_limited(fine: &mut PatchData, coarse: &PatchData, fine_region: &IntBox, ratio: i64) {
     let r = ratio as f64;
     let cbox = coarse.total_box();
     let clamp = |v: i64, lo: i64, hi: i64| v.max(lo).min(hi);
@@ -243,10 +238,7 @@ mod tests {
         prolong_limited(&mut fine, &coarse, &fine_region, 2);
         for (i, j) in fine_region.cells() {
             let v = fine.get(0, i, j);
-            assert!(
-                (0.0..=10.0).contains(&v),
-                "overshoot at ({i},{j}): {v}"
-            );
+            assert!((0.0..=10.0).contains(&v), "overshoot at ({i},{j}): {v}");
         }
     }
 

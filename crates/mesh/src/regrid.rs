@@ -56,7 +56,11 @@ pub fn regrid_level(
     data: &mut [&mut DataObject],
 ) -> Vec<usize> {
     // 1. Buffer and clip the flags.
-    let patch_union: Vec<IntBox> = hier.levels[level].patches.iter().map(|p| p.interior).collect();
+    let patch_union: Vec<IntBox> = hier.levels[level]
+        .patches
+        .iter()
+        .map(|p| p.interior)
+        .collect();
     let mut buffered: HashSet<(i64, i64)> = HashSet::new();
     for &(i, j) in flags {
         for dj in -params.buffer..=params.buffer {
@@ -100,10 +104,8 @@ pub fn regrid_level(
     } else {
         Vec::new()
     };
-    let old_data: Vec<std::collections::BTreeMap<usize, crate::data::PatchData>> = data
-        .iter_mut()
-        .map(|d| d.take_level(level + 1))
-        .collect();
+    let old_data: Vec<std::collections::BTreeMap<usize, crate::data::PatchData>> =
+        data.iter_mut().map(|d| d.take_level(level + 1)).collect();
 
     if fine_boxes.is_empty() {
         hier.truncate_levels(level + 1);

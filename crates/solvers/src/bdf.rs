@@ -35,14 +35,7 @@ const ALPHA: [&[f64]; 6] = [
         12.0 / 137.0,
     ],
 ];
-const BETA: [f64; 6] = [
-    0.0,
-    1.0,
-    2.0 / 3.0,
-    6.0 / 11.0,
-    12.0 / 25.0,
-    60.0 / 137.0,
-];
+const BETA: [f64; 6] = [0.0, 1.0, 2.0 / 3.0, 6.0 / 11.0, 12.0 / 25.0, 60.0 / 137.0];
 
 /// Tuning knobs for [`Bdf`]. `Default` gives CVODE-like settings suitable
 /// for combustion kinetics.
@@ -164,8 +157,10 @@ impl Bdf {
                 n
             )));
         }
-        if !(t1 > t0) {
-            return Err(BdfError::BadInput(format!("need t1 > t0, got [{t0}, {t1}]")));
+        if t1.partial_cmp(&t0) != Some(std::cmp::Ordering::Greater) {
+            return Err(BdfError::BadInput(format!(
+                "need t1 > t0, got [{t0}, {t1}]"
+            )));
         }
         if y.iter().any(|v| !v.is_finite()) {
             return Err(BdfError::BadInput("non-finite initial state".into()));
@@ -225,7 +220,13 @@ impl Bdf {
                 || consecutive_failures > 0;
             if need_jac {
                 jac = Some(self.build_newton_matrix(
-                    sys, t + h, h, beta, &y_pred, &mut f_buf, &mut stats,
+                    sys,
+                    t + h,
+                    h,
+                    beta,
+                    &y_pred,
+                    &mut f_buf,
+                    &mut stats,
                 )?);
                 jac_h = h;
                 jac_age = 0;
@@ -347,7 +348,10 @@ impl Bdf {
         let mut y_pert = y.to_vec();
         let sqrt_eps = f64::EPSILON.sqrt();
         for j in 0..n {
-            let dy = sqrt_eps * y[j].abs().max(self.config.atol.max(1e-30) / self.config.rtol.max(1e-16));
+            let dy = sqrt_eps
+                * y[j]
+                    .abs()
+                    .max(self.config.atol.max(1e-30) / self.config.rtol.max(1e-16));
             let dy = if dy == 0.0 { sqrt_eps } else { dy };
             y_pert[j] = y[j] + dy;
             sys.rhs(t, &y_pert, f_buf);
@@ -430,7 +434,8 @@ mod tests {
             ..BdfConfig::default()
         });
         let mut y = [1.0, 0.0];
-        bdf.integrate(&sys, 0.0, std::f64::consts::PI, &mut y).unwrap();
+        bdf.integrate(&sys, 0.0, std::f64::consts::PI, &mut y)
+            .unwrap();
         assert!((y[0] + 1.0).abs() < 1e-5, "cos(pi) = {}", y[0]);
         assert!(y[1].abs() < 1e-5, "-sin(pi) = {}", y[1]);
     }
@@ -526,11 +531,7 @@ mod tests {
     fn rescale_history_keeps_polynomials_exact() {
         let f = |x: f64| 1.0 - x + 0.25 * x * x;
         // Old spacing h = 0.2 around t_n = 0.
-        let mut history = vec![
-            vec![f(0.0)],
-            vec![f(-0.2)],
-            vec![f(-0.4)],
-        ];
+        let mut history = vec![vec![f(0.0)], vec![f(-0.2)], vec![f(-0.4)]];
         rescale_history(&mut history, 0.2, 0.1);
         assert!((history[1][0] - f(-0.1)).abs() < 1e-12);
         assert!((history[2][0] - f(-0.2)).abs() < 1e-12);

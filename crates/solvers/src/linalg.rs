@@ -82,13 +82,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -189,16 +189,19 @@ impl LuFactors {
         // Forward substitution (unit lower triangle).
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[i * n + j] * x[j];
+            for (l, xj) in self.lu[i * n..i * n + i].iter().zip(&x[..i]) {
+                acc -= l * xj;
             }
             x[i] = acc;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * x[j];
+            for (l, xj) in self.lu[(i * n + i + 1)..(i * n + n)]
+                .iter()
+                .zip(&x[i + 1..])
+            {
+                acc -= l * xj;
             }
             x[i] = acc / self.lu[i * n + i];
         }
@@ -216,15 +219,18 @@ impl LuFactors {
         let n = self.n;
         for i in 1..n {
             let mut acc = scratch[i];
-            for j in 0..i {
-                acc -= self.lu[i * n + j] * scratch[j];
+            for (l, xj) in self.lu[i * n..i * n + i].iter().zip(&scratch[..i]) {
+                acc -= l * xj;
             }
             scratch[i] = acc;
         }
         for i in (0..n).rev() {
             let mut acc = scratch[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * scratch[j];
+            for (l, xj) in self.lu[(i * n + i + 1)..(i * n + n)]
+                .iter()
+                .zip(&scratch[i + 1..])
+            {
+                acc -= l * xj;
             }
             scratch[i] = acc / self.lu[i * n + i];
         }

@@ -9,8 +9,15 @@
 ///
 /// `f` writes the RHS into its output slice. Scratch buffers are the
 /// caller's so hot loops allocate nothing.
-pub fn rk2_step<F>(t: f64, h: f64, y: &mut [f64], f: F, k1: &mut [f64], k2: &mut [f64], ystar: &mut [f64])
-where
+pub fn rk2_step<F>(
+    t: f64,
+    h: f64,
+    y: &mut [f64],
+    f: F,
+    k1: &mut [f64],
+    k2: &mut [f64],
+    ystar: &mut [f64],
+) where
     F: Fn(f64, &[f64], &mut [f64]),
 {
     let n = y.len();

@@ -101,9 +101,9 @@ impl Rkc {
 
         // b_j for j = 0..s with b0 = b1 = b2.
         let mut b = vec![0.0; s + 1];
-        for j in 2..=s {
+        for (j, bj) in b.iter_mut().enumerate().skip(2) {
             let (_tj, dtj, d2tj) = chebyshev(j, w0);
-            b[j] = d2tj / (dtj * dtj);
+            *bj = d2tj / (dtj * dtj);
         }
         b[0] = b[2];
         b[1] = b[2];
@@ -116,7 +116,11 @@ impl Rkc {
         // Stage 1.
         let mu1_tilde = b[1] * w1;
         let mut yjm2 = y.to_vec();
-        let mut yjm1: Vec<f64> = y.iter().zip(&f0).map(|(yi, fi)| yi + mu1_tilde * h * fi).collect();
+        let mut yjm1: Vec<f64> = y
+            .iter()
+            .zip(&f0)
+            .map(|(yi, fi)| yi + mu1_tilde * h * fi)
+            .collect();
         let mut c_jm2 = 0.0;
         let mut c_jm1 = mu1_tilde; // c_1 = μ̃1 (≈ w1/w0)
 
@@ -135,7 +139,9 @@ impl Rkc {
             stats.rhs_evals += 1;
 
             for i in 0..n {
-                y_j[i] = (1.0 - mu - nu) * y[i] + mu * yjm1[i] + nu * yjm2[i]
+                y_j[i] = (1.0 - mu - nu) * y[i]
+                    + mu * yjm1[i]
+                    + nu * yjm2[i]
                     + mu_tilde * h * f_buf[i]
                     + gamma_tilde * h * f0[i];
             }
@@ -172,7 +178,7 @@ impl Rkc {
         mut rho: impl FnMut(f64, &[f64]) -> f64,
         h_init: f64,
     ) -> Result<RkcStats, String> {
-        if !(t1 > t0) {
+        if t1.partial_cmp(&t0) != Some(std::cmp::Ordering::Greater) {
             return Err(format!("need t1 > t0, got [{t0}, {t1}]"));
         }
         let mut stats = RkcStats::default();
@@ -307,7 +313,10 @@ mod tests {
         }
         let rate1 = (errs[0] / errs[1]).log2();
         let rate2 = (errs[1] / errs[2]).log2();
-        assert!(rate1 > 1.6 && rate2 > 1.6, "rates {rate1}, {rate2}: {errs:?}");
+        assert!(
+            rate1 > 1.6 && rate2 > 1.6,
+            "rates {rate1}, {rate2}: {errs:?}"
+        );
     }
 
     #[test]

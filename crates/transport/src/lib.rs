@@ -42,15 +42,51 @@ pub const P_ATM: f64 = 101_325.0;
 /// Table for the H/O/N system used by both mechanisms in `cca-chem`.
 pub fn h2_air_transport_table() -> Vec<SpeciesTransport> {
     vec![
-        SpeciesTransport { name: "H2", d_ref: 7.8e-5, lambda_ref: 0.182 },
-        SpeciesTransport { name: "O2", d_ref: 2.0e-5, lambda_ref: 0.026 },
-        SpeciesTransport { name: "O", d_ref: 4.0e-5, lambda_ref: 0.042 },
-        SpeciesTransport { name: "OH", d_ref: 4.0e-5, lambda_ref: 0.047 },
-        SpeciesTransport { name: "H", d_ref: 1.5e-4, lambda_ref: 0.300 },
-        SpeciesTransport { name: "H2O", d_ref: 2.4e-5, lambda_ref: 0.019 },
-        SpeciesTransport { name: "HO2", d_ref: 2.0e-5, lambda_ref: 0.026 },
-        SpeciesTransport { name: "H2O2", d_ref: 1.9e-5, lambda_ref: 0.025 },
-        SpeciesTransport { name: "N2", d_ref: 2.0e-5, lambda_ref: 0.026 },
+        SpeciesTransport {
+            name: "H2",
+            d_ref: 7.8e-5,
+            lambda_ref: 0.182,
+        },
+        SpeciesTransport {
+            name: "O2",
+            d_ref: 2.0e-5,
+            lambda_ref: 0.026,
+        },
+        SpeciesTransport {
+            name: "O",
+            d_ref: 4.0e-5,
+            lambda_ref: 0.042,
+        },
+        SpeciesTransport {
+            name: "OH",
+            d_ref: 4.0e-5,
+            lambda_ref: 0.047,
+        },
+        SpeciesTransport {
+            name: "H",
+            d_ref: 1.5e-4,
+            lambda_ref: 0.300,
+        },
+        SpeciesTransport {
+            name: "H2O",
+            d_ref: 2.4e-5,
+            lambda_ref: 0.019,
+        },
+        SpeciesTransport {
+            name: "HO2",
+            d_ref: 2.0e-5,
+            lambda_ref: 0.026,
+        },
+        SpeciesTransport {
+            name: "H2O2",
+            d_ref: 1.9e-5,
+            lambda_ref: 0.025,
+        },
+        SpeciesTransport {
+            name: "N2",
+            d_ref: 2.0e-5,
+            lambda_ref: 0.026,
+        },
     ]
 }
 
@@ -109,19 +145,19 @@ impl TransportModel {
         let n = self.table.len();
         debug_assert_eq!(x.len(), n);
         debug_assert_eq!(out.len(), n);
-        for i in 0..n {
+        for (i, oi) in out.iter_mut().enumerate() {
             let di = self.species_diffusivity(i, t, p);
             let mut denom = 0.0;
-            for j in 0..n {
+            for (j, &xj) in x.iter().enumerate() {
                 if j == i {
                     continue;
                 }
                 let dj = self.species_diffusivity(j, t, p);
                 let d_bath_tp = self.d_bath * (t / 300.0).powf(1.7) * (P_ATM / p);
                 let dij = di * dj / d_bath_tp;
-                denom += x[j] / dij;
+                denom += xj / dij;
             }
-            out[i] = if denom > 0.0 {
+            *oi = if denom > 0.0 {
                 (1.0 - x[i]).max(1e-12) / denom
             } else {
                 // Pure species: Blanc's law degenerates; self-diffusion.

@@ -42,8 +42,7 @@ fn main() {
     let mesh: Rc<dyn MeshPort> = fw.get_provides_port("grace", "mesh").unwrap();
     let data: Rc<dyn DataPort> = fw.get_provides_port("grace", "data").unwrap();
     let ic: Rc<dyn InitialConditionPort> = fw.get_provides_port("ic", "ic").unwrap();
-    let stats: Rc<dyn StatisticsPort> =
-        fw.get_provides_port("statistics", "statistics").unwrap();
+    let stats: Rc<dyn StatisticsPort> = fw.get_provides_port("statistics", "statistics").unwrap();
     let ckpt: Rc<dyn CheckpointPort> = fw.get_provides_port("grace", "checkpoint").unwrap();
 
     // Build a shocked state on an AMR hierarchy.

@@ -19,7 +19,10 @@ fn main() {
     for k in 0..=10 {
         let t_end = 1.0e-4 * k as f64;
         if k == 0 {
-            println!("{:8.3}  {:8.1}  {:8.3}  {:9.6}  {:9.6}", 0.0, 1000.0, 1.0, 0.0285, 0.0);
+            println!(
+                "{:8.3}  {:8.1}  {:8.3}  {:9.6}  {:9.6}",
+                0.0, 1000.0, 1.0, 0.0285, 0.0
+            );
             continue;
         }
         let r = run_ignition_0d(false, 1000.0, 101_325.0, t_end).expect("run");

@@ -35,8 +35,10 @@ struct CallerGo {
 }
 impl GoPort for CallerGo {
     fn go(&self) -> Result<(), String> {
-        let port: Rc<dyn GreeterPort> =
-            self.services.get_port("greeting-in").map_err(|e| e.to_string())?;
+        let port: Rc<dyn GreeterPort> = self
+            .services
+            .get_port("greeting-in")
+            .map_err(|e| e.to_string())?;
         println!("caller received: {}", port.greet());
         Ok(())
     }

@@ -39,9 +39,15 @@ fn main() {
         println!("{:8.2}  {:9.1}  {:11.3e}", t * 1e6, tmax, h2o2);
     }
 
-    println!("\n# final AMR structure (cells per level): {:?}", report.cells_per_level);
+    println!(
+        "\n# final AMR structure (cells per level): {:?}",
+        report.cells_per_level
+    );
     for (level, lo, hi) in &report.final_patches {
-        println!("#   level {level}: patch [{},{}] .. [{},{}]", lo[0], lo[1], hi[0], hi[1]);
+        println!(
+            "#   level {level}: patch [{},{}] .. [{},{}]",
+            lo[0], lo[1], hi[0], hi[1]
+        );
     }
 
     println!("\n# assembly (fig. 2 stand-in):\n{arena}");

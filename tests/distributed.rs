@@ -13,11 +13,7 @@ fn decomposition_invariance_many_rank_counts() {
         steps: 2,
         ..ScalingConfig::default()
     };
-    let reference = run_scaling(
-        &ScalingConfig { ranks: 1, ..base },
-        ClusterModel::zero(),
-    )
-    .checksum;
+    let reference = run_scaling(&ScalingConfig { ranks: 1, ..base }, ClusterModel::zero()).checksum;
     for p in [2usize, 3, 5, 6] {
         let s = run_scaling(&ScalingConfig { ranks: p, ..base }, ClusterModel::zero()).checksum;
         assert!(
@@ -42,7 +38,10 @@ fn efficiency_declines_as_tiles_shrink() {
         let tp = run_scaling(&ScalingConfig { ranks: p, ..base }, model).modeled_time;
         let eff = t1 / (p as f64 * tp);
         assert!(eff <= 1.02, "P={p}: superlinear? eff={eff}");
-        assert!(eff < last_eff + 0.02, "efficiency must decline: {eff} after {last_eff}");
+        assert!(
+            eff < last_eff + 0.02,
+            "efficiency must decline: {eff} after {last_eff}"
+        );
         last_eff = eff;
     }
     assert!(last_eff > 0.3, "model collapsed: eff={last_eff}");

@@ -21,7 +21,11 @@ fn stoich(n: usize) -> Vec<f64> {
 
 /// Direct "C-code" path: library calls, no ports.
 fn direct_library_run(reduced: bool, t0: f64, p0: f64, t_end: f64) -> Vec<f64> {
-    let mech = if reduced { h2_air_reduced_5() } else { h2_air_19() };
+    let mech = if reduced {
+        h2_air_reduced_5()
+    } else {
+        h2_air_19()
+    };
     let y0 = stoich(mech.n_species());
     let sys = ConstantVolumeIgnition::new(mech, t0, p0, &y0);
     let mut state = sys.pack_state(t0, &y0, p0);
@@ -30,16 +34,16 @@ fn direct_library_run(reduced: bool, t0: f64, p0: f64, t_end: f64) -> Vec<f64> {
         atol: 1e-14,
         ..BdfConfig::default()
     });
-    bdf.integrate(&sys, 0.0, t_end, &mut state).expect("direct run");
+    bdf.integrate(&sys, 0.0, t_end, &mut state)
+        .expect("direct run");
     state
 }
 
 #[test]
 fn component_code_matches_direct_library_full_mechanism() {
     let direct = direct_library_run(false, 1000.0, 101_325.0, 5.0e-4);
-    let component =
-        cca_hydro::apps::ignition0d::run_ignition_0d(false, 1000.0, 101_325.0, 5.0e-4)
-            .expect("component run");
+    let component = cca_hydro::apps::ignition0d::run_ignition_0d(false, 1000.0, 101_325.0, 5.0e-4)
+        .expect("component run");
     assert_eq!(direct.len(), component.state.len());
     // Same trajectory to solver tolerance (both are adaptive BDF; allow
     // the controller a little slack near ignition).
@@ -58,9 +62,8 @@ fn component_code_matches_direct_library_full_mechanism() {
 fn component_code_matches_direct_library_reduced_mechanism() {
     // The Table 4 configuration: light 8-species/5-reaction mechanism.
     let direct = direct_library_run(true, 1100.0, 101_325.0, 1.0e-4);
-    let component =
-        cca_hydro::apps::ignition0d::run_ignition_0d(true, 1100.0, 101_325.0, 1.0e-4)
-            .expect("component run");
+    let component = cca_hydro::apps::ignition0d::run_ignition_0d(true, 1100.0, 101_325.0, 1.0e-4)
+        .expect("component run");
     for (k, (d, c)) in direct.iter().zip(&component.state).enumerate() {
         assert!(
             (d - c).abs() <= 1e-6 * (1.0 + d.abs()),

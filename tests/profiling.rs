@@ -18,7 +18,10 @@ fn profiled_assembly_reports_component_times() {
     assert!(report.steps > 0);
     // The driver go and both hot components appear in the profile.
     assert!(profile.contains("driver.go"), "{profile}");
-    assert!(profile.contains("ExplicitIntegratorRK2.advance"), "{profile}");
+    assert!(
+        profile.contains("ExplicitIntegratorRK2.advance"),
+        "{profile}"
+    );
     assert!(profile.contains("InviscidFlux.patch-rhs"), "{profile}");
     // The RHS evaluator is called twice per RK2 step (two stages), once
     // per patch; with a single patch that is exactly 2 * steps calls.

@@ -53,11 +53,7 @@ fn flux_swap_is_the_only_script_difference() {
         flux: FluxChoice::Efm,
         ..ShockConfig::default()
     });
-    let diff: Vec<(&str, &str)> = g
-        .lines()
-        .zip(e.lines())
-        .filter(|(a, b)| a != b)
-        .collect();
+    let diff: Vec<(&str, &str)> = g.lines().zip(e.lines()).filter(|(a, b)| a != b).collect();
     assert_eq!(diff.len(), 1, "more than the flux line changed: {diff:?}");
     assert_eq!(diff[0].0.trim(), "instantiate GodunovFlux flux");
     assert_eq!(diff[0].1.trim(), "instantiate EFMFlux flux");
