@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Repo lint + test gate. Run before every push; CI runs the same three
-# steps. Formatting style lives in rustfmt.toml; lint levels live in the
+# Repo lint + test gate. Run before every push; the GitHub Actions
+# workflow (.github/workflows/ci.yml) runs this same script verbatim.
+# Formatting style lives in rustfmt.toml; lint levels live in the
 # [workspace.lints] table of the root Cargo.toml.
+#
+# Opt-in extras:
+#   CI_BENCH=1  also run the deterministic bench smoke (cca-bench) and
+#               fail on malformed output or drift from the committed
+#               BENCH_PR2.json baseline.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,7 +17,25 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo build --examples"
+cargo build --examples
+
 echo "== cargo test"
 cargo test -q
+
+echo "== assembly lint (cca-analyze over the three app scripts)"
+cargo run -q --example cca_lint -- --apps
+
+echo "== cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+if [[ "${CI_BENCH:-0}" == "1" ]]; then
+  echo "== bench smoke (CI_BENCH=1)"
+  cargo run -q -p cca-bench --bin cca-bench -- smoke target/BENCH_PR2.json
+  cargo run -q -p cca-bench --bin cca-bench -- check target/BENCH_PR2.json
+  echo "== bench smoke: compare against committed baseline"
+  diff -u BENCH_PR2.json target/BENCH_PR2.json \
+    || { echo "BENCH_PR2.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- smoke"; exit 1; }
+fi
 
 echo "ci: all gates passed"

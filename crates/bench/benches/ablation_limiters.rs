@@ -35,8 +35,8 @@ fn sod_run(limiter: Limiter, n: i64) -> (f64, f64) {
             right
         };
         let u = prim_to_cons(&w, gamma);
-        for var in 0..NVARS {
-            pd.set(var, i, j, u[var]);
+        for (var, uv) in u.iter().enumerate().take(NVARS) {
+            pd.set(var, i, j, *uv);
         }
     }
     let fill_ghosts = |pd: &mut PatchData| {

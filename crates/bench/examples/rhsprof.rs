@@ -1,3 +1,6 @@
+//! Quick RHS-cost profile: times direct vs port-routed chemistry RHS
+//! evaluations for the reduced H2-air mechanism.
+
 use cca_chem::h2_air_reduced_5;
 use cca_chem::systems::ConstantVolumeIgnition;
 use cca_components::ports::OdeRhsPort;

@@ -1,0 +1,260 @@
+//! `cca-bench` — the CI bench-smoke binary.
+//!
+//! Runs a deterministic, *counter-based* slice of the paper experiments
+//! (no wall-clock anywhere, so the output is byte-stable across hosts
+//! and runs) and writes it as `BENCH_PR2.json`:
+//!
+//! - **Table 4 slice** — NFE (right-hand-side evaluation) counters of the
+//!   0D ignition problem through the component assembly vs the direct
+//!   library path. Equal counters are the paper's "componentization adds
+//!   no work" claim reduced to an integer.
+//! - **Table 5 / Fig. 8 slice** — modeled weak-scaling runtimes of the
+//!   reaction–diffusion workload on the calibrated CPlant cluster model
+//!   (virtual clocks driven by the real SCMD messages).
+//!
+//! Usage:
+//!
+//! ```text
+//! cca-bench smoke [PATH]   # run the slice, write JSON (default BENCH_PR2.json)
+//! cca-bench check [PATH]   # validate an existing file, exit non-zero if malformed
+//! ```
+//!
+//! `./ci.sh` runs both when `CI_BENCH=1` and compares the fresh output
+//! against the committed baseline.
+
+use cca_apps::scaling::{run_scaling, ScalingConfig};
+use cca_chem::h2_air_reduced_5;
+use cca_chem::systems::ConstantVolumeIgnition;
+use cca_comm::ClusterModel;
+use cca_components::ports::{OdeIntegratorPort, OdeRhsPort};
+use cca_core::ParameterPort;
+use cca_solvers::{Bdf, BdfConfig};
+use std::process::ExitCode;
+use std::rc::Rc;
+
+const DEFAULT_PATH: &str = "BENCH_PR2.json";
+const SCHEMA: &str = "cca-bench-smoke-v2";
+
+/// Stoichiometric H2-air for an n-species table (H2, O2 first; N2 last).
+fn stoich(n: usize) -> Vec<f64> {
+    let (w_h2, w_o2, w_n2) = (2.0 * 2.016, 31.998, 3.76 * 28.014);
+    let total = w_h2 + w_o2 + w_n2;
+    let mut y = vec![0.0; n];
+    y[0] = w_h2 / total;
+    y[1] = w_o2 / total;
+    y[n - 1] = w_n2 / total;
+    y
+}
+
+/// NFE of the direct library path (Table 4's "C-code" column).
+fn nfe_direct(t_end: f64) -> usize {
+    let mech = h2_air_reduced_5();
+    let y0 = stoich(mech.n_species());
+    let sys = ConstantVolumeIgnition::new(mech, 1500.0, 101_325.0, &y0);
+    let mut state = sys.pack_state(1500.0, &y0, 101_325.0);
+    let bdf = Bdf::new(BdfConfig {
+        rtol: 1e-8,
+        atol: 1e-14,
+        h_init: Some(1e-8),
+        ..BdfConfig::default()
+    });
+    bdf.integrate(&sys, 0.0, t_end, &mut state)
+        .expect("direct path")
+        .rhs_evals
+}
+
+/// NFE of the same physics behind CCA ports (Table 4's component column).
+fn nfe_component(t_end: f64) -> usize {
+    let mut fw = cca_apps::palette::standard_palette();
+    cca_core::script::run_script(
+        &mut fw,
+        "instantiate ThermoChemistryReduced chem\n\
+         instantiate CvodeComponent cvode\n\
+         instantiate dPdt dpdt\n\
+         instantiate problemModeler modeler\n\
+         connect dpdt chemistry chem chemistry\n\
+         connect modeler chemistry chem chemistry\n\
+         connect modeler dpdt dpdt dpdt\n",
+    )
+    .expect("assembly");
+    let rhs: Rc<dyn OdeRhsPort> = fw.get_provides_port("modeler", "rhs").expect("rhs port");
+    let integ: Rc<dyn OdeIntegratorPort> = fw
+        .get_provides_port("cvode", "integrator")
+        .expect("integrator port");
+    let cfg: Rc<dyn ParameterPort> = fw.get_provides_port("modeler", "config").expect("config");
+    let mech = h2_air_reduced_5();
+    let y0 = stoich(mech.n_species());
+    let mix = cca_chem::thermo::Mixture::new(&mech.species);
+    cfg.set_parameter("density", mix.density(1500.0, 101_325.0, &y0));
+    let mut state = vec![1500.0];
+    state.extend_from_slice(&y0[..y0.len() - 1]);
+    state.push(101_325.0);
+    integ.set_tolerances(1e-8, 1e-14);
+    integ.set_initial_step(Some(1e-8));
+    integ
+        .integrate(rhs, 0.0, t_end, &mut state)
+        .expect("component path")
+        .rhs_evals
+}
+
+fn smoke_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"deterministic\": true,\n");
+
+    // Table 4 slice: two integration lengths = the paper's two NFE levels.
+    out.push_str("  \"table4_overhead\": [\n");
+    let cases = [("dt1", 1.0e-6), ("dt10", 1.0e-5)];
+    for (i, (tag, t_end)) in cases.iter().enumerate() {
+        let nd = nfe_direct(*t_end);
+        let nc = nfe_component(*t_end);
+        let delta = nc as i64 - nd as i64;
+        out.push_str(&format!(
+            "    {{\"case\": \"{tag}\", \"nfe_direct\": {nd}, \
+             \"nfe_component\": {nc}, \"nfe_delta\": {delta}}}{}\n",
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // Weak-scaling slice: Table 5 problem sizes on a CPlant-like model.
+    out.push_str("  \"weak_scaling_model\": [\n");
+    let model = ClusterModel::cplant();
+    let sizes = [50i64, 100, 175];
+    let ranks = [1usize, 4, 16];
+    for (si, &n) in sizes.iter().enumerate() {
+        for (ri, &p) in ranks.iter().enumerate() {
+            let r = run_scaling(
+                &ScalingConfig {
+                    n,
+                    per_rank: true,
+                    ranks: p,
+                    steps: 5,
+                    stages_per_step: 2,
+                    work_per_cell_var: 0.5,
+                },
+                model,
+            );
+            let last = si + 1 == sizes.len() && ri + 1 == ranks.len();
+            out.push_str(&format!(
+                "    {{\"n\": {n}, \"ranks\": {p}, \"modeled_time_s\": {:e}, \
+                 \"messages\": {}, \"bytes\": {}, \"checksum\": {:e}}}{}\n",
+                r.modeled_time,
+                r.messages,
+                r.bytes,
+                r.checksum,
+                if last { "" } else { "," }
+            ));
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Every number following a `"key":` in (our own, known-shape) JSON.
+fn numbers_after(text: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest.find([',', '}', ']', '\n']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Structural validation of a smoke file. Returns every problem found.
+fn validate(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        errs.push(format!("missing or wrong schema tag (want {SCHEMA})"));
+    }
+    for (open, close, what) in [('{', '}', "braces"), ('[', ']', "brackets")] {
+        let a = text.matches(open).count();
+        let b = text.matches(close).count();
+        if a != b || a == 0 {
+            errs.push(format!("unbalanced {what}: {a} '{open}' vs {b} '{close}'"));
+        }
+    }
+    let nd = numbers_after(text, "nfe_direct");
+    let nc = numbers_after(text, "nfe_component");
+    if nd.len() != 2 || nc.len() != 2 {
+        errs.push(format!(
+            "want 2 table4 cases, found {} direct / {} component",
+            nd.len(),
+            nc.len()
+        ));
+    }
+    for (d, c) in nd.iter().zip(&nc) {
+        if d != c || *d <= 0.0 {
+            errs.push(format!(
+                "component path must do identical work: NFE {c} vs {d}"
+            ));
+        }
+    }
+    let times = numbers_after(text, "modeled_time_s");
+    if times.len() != 9 {
+        errs.push(format!("want 9 weak-scaling points, found {}", times.len()));
+    }
+    for t in &times {
+        if !t.is_finite() || *t <= 0.0 {
+            errs.push(format!("non-physical modeled time {t}"));
+        }
+    }
+    errs
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args.get(1).map(String::as_str);
+    let path = args.get(2).map(String::as_str).unwrap_or(DEFAULT_PATH);
+    match mode {
+        Some("smoke") => {
+            let json = smoke_json();
+            let errs = validate(&json);
+            if !errs.is_empty() {
+                eprintln!("cca-bench: generated output failed self-check:");
+                for e in &errs {
+                    eprintln!("  - {e}");
+                }
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cca-bench: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "cca-bench: wrote {path} ({} bytes, deterministic)",
+                json.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("check") => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let errs = validate(&text);
+                if errs.is_empty() {
+                    println!("cca-bench: {path} is well-formed");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("cca-bench: {path} is malformed:");
+                    for e in &errs {
+                        eprintln!("  - {e}");
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("cca-bench: cannot read {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: cca-bench smoke [PATH] | cca-bench check [PATH]");
+            ExitCode::FAILURE
+        }
+    }
+}

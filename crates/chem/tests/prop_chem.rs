@@ -24,6 +24,9 @@ proptest! {
             let comp = h2_composition(&mech);
             let mut wdot = vec![0.0; n];
             mech.production_rates(t, &c[..n], &mut wdot);
+            // `e` indexes the inner per-species element-count arrays, so
+            // enumerate() over `comp` does not apply here.
+            #[allow(clippy::needless_range_loop)]
             for e in 0..3 {
                 let net: f64 = (0..n).map(|i| wdot[i] * comp[i][e]).sum();
                 let scale: f64 = (0..n)

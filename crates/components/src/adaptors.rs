@@ -13,13 +13,14 @@
 //!   Integration subsystem for all cells and all patches".
 
 use crate::ports::{
-    ChemistryAdvancePort, ChemistrySourcePort, DataPort, DpdtPort, MeshPort, OdeIntegratorPort,
-    OdeRhsPort,
+    ChemistryAdvancePort, ChemistryKernel, ChemistrySourcePort, DataPort, DpdtPort, MeshPort,
+    OdeCellKernel, OdeIntegratorPort, OdeRhsPort, OdeSystemKernel,
 };
 use cca_core::{Component, ParameterPort, Services};
 use cca_mesh::data::PatchData;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Universal gas constant, J/(kmol·K) — duplicated here so adaptors do not
 /// reach into substrate crates for a constant.
@@ -240,11 +241,59 @@ impl Component for ProblemModeler {
 // ImplicitIntegrator (2D adaptor)
 // ---------------------------------------------------------------------
 
-struct CellChemistryRhs {
-    chem: Rc<dyn ChemistrySourcePort>,
-    pressure: f64,
-    nfe: Cell<usize>,
-    scratch: RefCell<CellScratch>,
+/// The gas-phase surface the constant-pressure cell RHS needs,
+/// abstracted over port dispatch (serial path) vs kernel dispatch
+/// (worker path). One implementation of the arithmetic serves both, so
+/// serial and parallel sweeps are bit-identical.
+trait CellChem {
+    fn n_species(&self) -> usize;
+    fn molar_masses(&self, out: &mut [f64]);
+    fn density(&self, t: f64, p: f64, y: &[f64]) -> f64;
+    fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]);
+    fn enthalpies_molar(&self, t: f64, out: &mut [f64]);
+    fn cp_mass(&self, t: f64, y: &[f64]) -> f64;
+}
+
+impl CellChem for dyn ChemistrySourcePort {
+    fn n_species(&self) -> usize {
+        ChemistrySourcePort::n_species(self)
+    }
+    fn molar_masses(&self, out: &mut [f64]) {
+        ChemistrySourcePort::molar_masses(self, out);
+    }
+    fn density(&self, t: f64, p: f64, y: &[f64]) -> f64 {
+        ChemistrySourcePort::density(self, t, p, y)
+    }
+    fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]) {
+        ChemistrySourcePort::production_rates(self, t, c, wdot);
+    }
+    fn enthalpies_molar(&self, t: f64, out: &mut [f64]) {
+        ChemistrySourcePort::enthalpies_molar(self, t, out);
+    }
+    fn cp_mass(&self, t: f64, y: &[f64]) -> f64 {
+        ChemistrySourcePort::cp_mass(self, t, y)
+    }
+}
+
+impl CellChem for dyn ChemistryKernel {
+    fn n_species(&self) -> usize {
+        ChemistryKernel::n_species(self)
+    }
+    fn molar_masses(&self, out: &mut [f64]) {
+        ChemistryKernel::molar_masses(self, out);
+    }
+    fn density(&self, t: f64, p: f64, y: &[f64]) -> f64 {
+        ChemistryKernel::density(self, t, p, y)
+    }
+    fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]) {
+        ChemistryKernel::production_rates(self, t, c, wdot);
+    }
+    fn enthalpies_molar(&self, t: f64, out: &mut [f64]) {
+        ChemistryKernel::enthalpies_molar(self, t, out);
+    }
+    fn cp_mass(&self, t: f64, y: &[f64]) -> f64 {
+        ChemistryKernel::cp_mass(self, t, y)
+    }
 }
 
 #[derive(Default)]
@@ -254,6 +303,56 @@ struct CellScratch {
     wdot: Vec<f64>,
     w: Vec<f64>,
     h: Vec<f64>,
+}
+
+/// Constant-pressure single-cell chemistry RHS `d{T, Y}/dt` — the single
+/// copy of the math behind [`CellChemistryRhs`] (port face) and
+/// [`CellKernelSys`] (worker face).
+fn cell_chem_rhs<C: CellChem + ?Sized>(
+    chem: &C,
+    pressure: f64,
+    state: &[f64],
+    dstate: &mut [f64],
+    s: &mut CellScratch,
+) {
+    let n = chem.n_species();
+    let temp = state[0].max(200.0);
+    s.y.resize(n, 0.0);
+    s.c.resize(n, 0.0);
+    s.wdot.resize(n, 0.0);
+    s.h.resize(n, 0.0);
+    if s.w.len() != n {
+        s.w.resize(n, 0.0);
+        chem.molar_masses(&mut s.w);
+    }
+    let CellScratch { y, c, wdot, w, h } = &mut *s;
+    let mut bulk = 1.0;
+    for i in 0..n - 1 {
+        y[i] = state[1 + i];
+        bulk -= state[1 + i];
+    }
+    y[n - 1] = bulk;
+    let rho = chem.density(temp, pressure, y);
+    for i in 0..n {
+        c[i] = rho * y[i] / w[i];
+    }
+    chem.production_rates(temp, c, wdot);
+    chem.enthalpies_molar(temp, h);
+    let mut sum_h_wdot = 0.0;
+    for i in 0..n {
+        if i < n - 1 {
+            dstate[1 + i] = wdot[i] * w[i] / rho;
+        }
+        sum_h_wdot += h[i] * wdot[i];
+    }
+    dstate[0] = -sum_h_wdot / (rho * chem.cp_mass(temp, y));
+}
+
+struct CellChemistryRhs {
+    chem: Rc<dyn ChemistrySourcePort>,
+    pressure: f64,
+    nfe: Cell<usize>,
+    scratch: RefCell<CellScratch>,
 }
 
 impl CellChemistryRhs {
@@ -274,39 +373,8 @@ impl OdeRhsPort for CellChemistryRhs {
 
     fn eval(&self, _t: f64, state: &[f64], dstate: &mut [f64]) {
         self.nfe.set(self.nfe.get() + 1);
-        let chem = &self.chem;
-        let n = chem.n_species();
-        let temp = state[0].max(200.0);
         let mut s = self.scratch.borrow_mut();
-        s.y.resize(n, 0.0);
-        s.c.resize(n, 0.0);
-        s.wdot.resize(n, 0.0);
-        s.h.resize(n, 0.0);
-        if s.w.len() != n {
-            s.w.resize(n, 0.0);
-            chem.molar_masses(&mut s.w);
-        }
-        let CellScratch { y, c, wdot, w, h } = &mut *s;
-        let mut bulk = 1.0;
-        for i in 0..n - 1 {
-            y[i] = state[1 + i];
-            bulk -= state[1 + i];
-        }
-        y[n - 1] = bulk;
-        let rho = chem.density(temp, self.pressure, y);
-        for i in 0..n {
-            c[i] = rho * y[i] / w[i];
-        }
-        chem.production_rates(temp, c, wdot);
-        chem.enthalpies_molar(temp, h);
-        let mut sum_h_wdot = 0.0;
-        for i in 0..n {
-            if i < n - 1 {
-                dstate[1 + i] = wdot[i] * w[i] / rho;
-            }
-            sum_h_wdot += h[i] * wdot[i];
-        }
-        dstate[0] = -sum_h_wdot / (rho * chem.cp_mass(temp, y));
+        cell_chem_rhs(&*self.chem, self.pressure, state, dstate, &mut s);
     }
 
     fn nfe(&self) -> usize {
@@ -314,8 +382,74 @@ impl OdeRhsPort for CellChemistryRhs {
     }
 }
 
+/// Worker-thread face of the cell RHS: the same math over the chemistry
+/// kernel snapshot. One instance per patch job; the scratch mutex is
+/// uncontended (a job runs on exactly one worker).
+struct CellKernelSys {
+    chem: Arc<dyn ChemistryKernel>,
+    pressure: f64,
+    scratch: Mutex<CellScratch>,
+}
+
+impl OdeSystemKernel for CellKernelSys {
+    fn dim(&self) -> usize {
+        self.chem.n_species()
+    }
+
+    fn eval(&self, _t: f64, state: &[f64], dstate: &mut [f64]) {
+        let mut s = self.scratch.lock().expect("cell scratch is uncontended");
+        cell_chem_rhs(&*self.chem, self.pressure, state, dstate, &mut s);
+    }
+}
+
+/// One patch's share of the chemistry sweep: the detached patch data,
+/// the cells to integrate (coarse cells covered by a finer level are
+/// excluded up front, on the framework thread), and the outcome.
+struct PatchSweep {
+    pd: PatchData,
+    cells: Vec<(i64, i64)>,
+    steps: usize,
+    error: Option<String>,
+}
+
 struct ImplicitInner {
     services: Services,
+}
+
+impl ImplicitInner {
+    /// Integrate every listed cell of one detached patch — the kernel the
+    /// executor schedules. Runs identically at 1 or N workers.
+    fn sweep_patch(
+        job: &mut PatchSweep,
+        chem: &Arc<dyn ChemistryKernel>,
+        cell_kernel: &Arc<dyn OdeCellKernel>,
+        level: usize,
+        dt: f64,
+        p: f64,
+        nvars: usize,
+    ) {
+        let sys = CellKernelSys {
+            chem: chem.clone(),
+            pressure: p,
+            scratch: Mutex::new(CellScratch::default()),
+        };
+        let mut cell_state = vec![0.0; nvars];
+        for &(i, j) in &job.cells {
+            for (v, cs) in cell_state.iter_mut().enumerate() {
+                *cs = job.pd.get(v, i, j);
+            }
+            match cell_kernel.integrate(&sys, 0.0, dt, &mut cell_state) {
+                Ok(st) => job.steps += st.steps,
+                Err(e) => {
+                    job.error = Some(format!("cell ({i},{j}) level {level}: {e}"));
+                    return;
+                }
+            }
+            for (v, cs) in cell_state.iter().enumerate() {
+                job.pd.set(v, i, j, *cs);
+            }
+        }
+    }
 }
 
 impl ChemistryAdvancePort for ImplicitInner {
@@ -341,41 +475,103 @@ impl ChemistryAdvancePort for ImplicitInner {
             .get_port::<Rc<dyn DataPort>>("data")
             .map_err(|e| e.to_string())?;
         let nvars = data.nvars(state);
+        // The parallel route needs both upstream components to offer
+        // kernel snapshots; otherwise the sweep stays on this thread.
+        let kernels = chem.kernel().zip(integ.cell_kernel());
+        let executor = self.services.executor();
         let mut total_steps = 0usize;
         let mut failure: Option<String> = None;
         // "for all cells and all patches", finest-first so coarse covered
         // regions could be skipped by restriction afterwards; order does
         // not matter physically (point operation).
         for level in 0..mesh.n_levels() {
-            for (id, _interior, _) in mesh.patches(level) {
-                let mut step_patch = |pd: &mut PatchData| {
-                    let mut cell_state = vec![0.0; nvars];
-                    let interior = pd.interior;
-                    for (i, j) in interior.cells() {
-                        if mesh.covered_by_finer(level, i, j) {
-                            continue; // the finer level integrates this region
+            if let Some((chem_k, cell_k)) = &kernels {
+                // Patch-parallel sweep: detach the level's patches as
+                // disjoint owned views, integrate them on the worker
+                // pool, re-attach. The kernel path is taken at *any*
+                // worker count (the executor runs inline at 1), so the
+                // numerics never depend on the worker knob.
+                let ids: Vec<usize> = mesh.patches(level).iter().map(|(id, _, _)| *id).collect();
+                let jobs: Vec<PatchSweep> = data
+                    .take_level_patches(state, level, &ids)
+                    .into_iter()
+                    .map(|pd| {
+                        let cells = pd
+                            .interior
+                            .cells()
+                            .filter(|&(i, j)| !mesh.covered_by_finer(level, i, j))
+                            .collect();
+                        PatchSweep {
+                            pd,
+                            cells,
+                            steps: 0,
+                            error: None,
                         }
-                        for (v, cs) in cell_state.iter_mut().enumerate() {
-                            *cs = pd.get(v, i, j);
-                        }
-                        let rhs = Rc::new(CellChemistryRhs::new(chem.clone(), p));
-                        match integ.integrate(rhs, 0.0, dt, &mut cell_state) {
-                            Ok(st) => total_steps += st.steps,
-                            Err(e) => {
-                                failure.get_or_insert(format!("cell ({i},{j}) level {level}: {e}"));
-                                return;
-                            }
-                        }
-                        for (v, cs) in cell_state.iter().enumerate() {
-                            pd.set(v, i, j, *cs);
-                        }
+                    })
+                    .collect();
+                let (chem_k, cell_k) = (chem_k.clone(), cell_k.clone());
+                let report = executor.run(
+                    "ImplicitIntegrator.cell-sweep",
+                    jobs,
+                    move |_worker, job| {
+                        Self::sweep_patch(job, &chem_k, &cell_k, level, dt, p, nvars);
+                    },
+                );
+                if report.poisoned() {
+                    // A kernel panicked: the run is poisoned and the
+                    // detached patches are forfeit (documented contract
+                    // of take_level_patches).
+                    return Err(report
+                        .into_result()
+                        .err()
+                        .expect("poisoned runs carry failures"));
+                }
+                let jobs = report.into_result().expect("not poisoned");
+                let mut put_back = Vec::with_capacity(jobs.len());
+                for job in jobs {
+                    total_steps += job.steps;
+                    if let Some(e) = job.error {
+                        failure.get_or_insert(e);
                     }
-                };
-                data.with_patch_mut(state, level, id, &mut step_patch);
+                    put_back.push(job.pd);
+                }
+                data.put_level_patches(state, level, &ids, put_back);
                 if let Some(e) = failure {
                     return Err(e);
                 }
-                failure = None;
+            } else {
+                for (id, _interior, _) in mesh.patches(level) {
+                    let mut step_patch = |pd: &mut PatchData| {
+                        let mut cell_state = vec![0.0; nvars];
+                        let interior = pd.interior;
+                        for (i, j) in interior.cells() {
+                            if mesh.covered_by_finer(level, i, j) {
+                                continue; // the finer level integrates this region
+                            }
+                            for (v, cs) in cell_state.iter_mut().enumerate() {
+                                *cs = pd.get(v, i, j);
+                            }
+                            let rhs = Rc::new(CellChemistryRhs::new(chem.clone(), p));
+                            match integ.integrate(rhs, 0.0, dt, &mut cell_state) {
+                                Ok(st) => total_steps += st.steps,
+                                Err(e) => {
+                                    failure.get_or_insert(format!(
+                                        "cell ({i},{j}) level {level}: {e}"
+                                    ));
+                                    return;
+                                }
+                            }
+                            for (v, cs) in cell_state.iter().enumerate() {
+                                pd.set(v, i, j, *cs);
+                            }
+                        }
+                    };
+                    data.with_patch_mut(state, level, id, &mut step_patch);
+                    if let Some(e) = failure {
+                        return Err(e);
+                    }
+                    failure = None;
+                }
             }
         }
         Ok(total_steps)

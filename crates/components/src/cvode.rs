@@ -3,12 +3,13 @@
 //! the Cvode integrator library." The wrapped library here is the BDF
 //! integrator of `cca-solvers`.
 
-use crate::ports::{IntegrateStats, OdeIntegratorPort, OdeRhsPort};
+use crate::ports::{IntegrateStats, OdeCellKernel, OdeIntegratorPort, OdeRhsPort, OdeSystemKernel};
 use cca_core::{Component, Services};
-use cca_solvers::bdf::{Bdf, BdfConfig};
+use cca_solvers::bdf::{Bdf, BdfConfig, BdfStats};
 use cca_solvers::ode::OdeSystem;
 use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 struct RhsAdapter {
     port: Rc<dyn OdeRhsPort>,
@@ -23,6 +24,62 @@ impl OdeSystem for RhsAdapter {
         // One virtual call through the CCA port per RHS evaluation — the
         // dispatch whose cost Table 4 bounds.
         self.port.eval(t, y, dydt);
+    }
+}
+
+/// Kernel-side adapter: same one-virtual-call-per-RHS shape as
+/// [`RhsAdapter`], but over the `Sync` kernel system.
+struct KernelSysAdapter<'a> {
+    sys: &'a dyn OdeSystemKernel,
+}
+
+impl OdeSystem for KernelSysAdapter<'_> {
+    fn dim(&self) -> usize {
+        self.sys.dim()
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        self.sys.eval(t, y, dydt);
+    }
+}
+
+fn to_port_stats(stats: BdfStats) -> IntegrateStats {
+    IntegrateStats {
+        steps: stats.steps,
+        rhs_evals: stats.rhs_evals,
+        jacobians: stats.jac_evals,
+    }
+}
+
+/// A configuration snapshot of the component: tolerances and initial
+/// step captured at [`OdeIntegratorPort::cell_kernel`] time. Runs the
+/// exact `Bdf` code the port path runs, so a cell integrated on a worker
+/// thread is bit-identical to one integrated through the port.
+struct BdfCellKernel {
+    rtol: f64,
+    atol: f64,
+    h_init: Option<f64>,
+}
+
+impl OdeCellKernel for BdfCellKernel {
+    fn integrate(
+        &self,
+        sys: &dyn OdeSystemKernel,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+    ) -> Result<IntegrateStats, String> {
+        let bdf = Bdf::new(BdfConfig {
+            rtol: self.rtol,
+            atol: self.atol,
+            h_init: self.h_init,
+            ..BdfConfig::default()
+        });
+        let adapter = KernelSysAdapter { sys };
+        let stats = bdf
+            .integrate(&adapter, t0, t1, y)
+            .map_err(|e| e.to_string())?;
+        Ok(to_port_stats(stats))
     }
 }
 
@@ -48,11 +105,7 @@ impl OdeIntegratorPort for Inner {
         });
         let sys = RhsAdapter { port: rhs };
         let stats = bdf.integrate(&sys, t0, t1, y).map_err(|e| e.to_string())?;
-        Ok(IntegrateStats {
-            steps: stats.steps,
-            rhs_evals: stats.rhs_evals,
-            jacobians: stats.jac_evals,
-        })
+        Ok(to_port_stats(stats))
     }
 
     fn set_tolerances(&self, rtol: f64, atol: f64) {
@@ -62,6 +115,14 @@ impl OdeIntegratorPort for Inner {
 
     fn set_initial_step(&self, h: Option<f64>) {
         self.h_init.set(h);
+    }
+
+    fn cell_kernel(&self) -> Option<Arc<dyn OdeCellKernel>> {
+        Some(Arc::new(BdfCellKernel {
+            rtol: self.rtol.get(),
+            atol: self.atol.get(),
+            h_init: self.h_init.get(),
+        }))
     }
 }
 
@@ -135,6 +196,33 @@ mod tests {
         assert!(
             (y_tight[0] - (-1.0f64).exp()).abs() <= (y_loose[0] - (-1.0f64).exp()).abs() + 1e-12
         );
+    }
+
+    #[test]
+    fn cell_kernel_is_bit_identical_to_the_port_path() {
+        struct DecaySys;
+        impl crate::ports::OdeSystemKernel for DecaySys {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn eval(&self, _t: f64, y: &[f64], d: &mut [f64]) {
+                d[0] = -y[0];
+            }
+        }
+        let integ = integrator();
+        integ.set_tolerances(1e-9, 1e-13);
+        let mut y_port = [1.0];
+        let port_stats = integ
+            .integrate(Rc::new(Decay(Cell::new(0))), 0.0, 1.5, &mut y_port)
+            .unwrap();
+        // Snapshot taken after set_tolerances: same configuration.
+        let kernel = integ.cell_kernel().expect("Cvode offers a cell kernel");
+        let mut y_kernel = [1.0];
+        let kernel_stats = kernel
+            .integrate(&DecaySys, 0.0, 1.5, &mut y_kernel)
+            .unwrap();
+        assert_eq!(y_port[0].to_bits(), y_kernel[0].to_bits());
+        assert_eq!(port_stats, kernel_stats);
     }
 
     #[test]

@@ -1,21 +1,97 @@
 //! `DiffusionPhysics` — the patch-at-a-time evaluator of the diffusive
 //! transport source term `K ∇·(B ∇Φ)` of paper Eq. 3, with
 //! `Φ = {T, Y₁…Y_{N−1}}`, `K = (1/ρ){1/cp, 1, …}`, `B = {λ, ρD₁, …}`.
+//!
+//! The stencil lives in `diffusion_rhs`, written once and instantiated
+//! twice: over the CCA ports (serial framework-thread path) and over the
+//! `Send + Sync` kernels (worker-thread path). When the connected
+//! chemistry and transport components offer kernels, the port path
+//! itself routes through the kernel, so both paths are one code path.
 
-use crate::ports::{ChemistrySourcePort, PatchRhsPort, TransportPort};
+use crate::ports::{
+    ChemistryKernel, ChemistrySourcePort, PatchKernel, PatchRhsPort, TransportKernel, TransportPort,
+};
 use cca_core::{Component, Services};
 use cca_mesh::data::PatchData;
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Fixed ambient pressure of the open-domain flame (Pa): "pressure is
 /// assumed to be constant in time and space (i.e. burning in an open
 /// domain)".
 const P0: f64 = 101_325.0;
 
-struct Inner {
-    services: Services,
-    evals: Cell<usize>,
+/// The gas-property surface the stencil needs, abstracted over port
+/// dispatch vs kernel dispatch so the arithmetic is written exactly once
+/// (the determinism guarantee of the parallel executor relies on this).
+trait DiffProps {
+    fn n_species(&self) -> usize;
+    fn molar_masses(&self, out: &mut [f64]);
+    fn mean_molar_mass(&self, y: &[f64]) -> f64;
+    fn density(&self, t: f64, p: f64, y: &[f64]) -> f64;
+    fn cp_mass(&self, t: f64, y: &[f64]) -> f64;
+    fn mix_diffusivities(&self, t: f64, p: f64, x: &[f64], out: &mut [f64]);
+    fn mix_conductivity(&self, t: f64, x: &[f64]) -> f64;
+}
+
+struct PortProps<'a> {
+    chem: &'a Rc<dyn ChemistrySourcePort>,
+    transport: &'a Rc<dyn TransportPort>,
+}
+
+impl DiffProps for PortProps<'_> {
+    fn n_species(&self) -> usize {
+        self.chem.n_species()
+    }
+    fn molar_masses(&self, out: &mut [f64]) {
+        self.chem.molar_masses(out);
+    }
+    fn mean_molar_mass(&self, y: &[f64]) -> f64 {
+        self.chem.mean_molar_mass(y)
+    }
+    fn density(&self, t: f64, p: f64, y: &[f64]) -> f64 {
+        self.chem.density(t, p, y)
+    }
+    fn cp_mass(&self, t: f64, y: &[f64]) -> f64 {
+        self.chem.cp_mass(t, y)
+    }
+    fn mix_diffusivities(&self, t: f64, p: f64, x: &[f64], out: &mut [f64]) {
+        self.transport.mix_diffusivities(t, p, x, out);
+    }
+    fn mix_conductivity(&self, t: f64, x: &[f64]) -> f64 {
+        self.transport.mix_conductivity(t, x)
+    }
+}
+
+struct KernelProps {
+    chem: Arc<dyn ChemistryKernel>,
+    transport: Arc<dyn TransportKernel>,
+}
+
+impl DiffProps for KernelProps {
+    fn n_species(&self) -> usize {
+        self.chem.n_species()
+    }
+    fn molar_masses(&self, out: &mut [f64]) {
+        self.chem.molar_masses(out);
+    }
+    fn mean_molar_mass(&self, y: &[f64]) -> f64 {
+        self.chem.mean_molar_mass(y)
+    }
+    fn density(&self, t: f64, p: f64, y: &[f64]) -> f64 {
+        self.chem.density(t, p, y)
+    }
+    fn cp_mass(&self, t: f64, y: &[f64]) -> f64 {
+        self.chem.cp_mass(t, y)
+    }
+    fn mix_diffusivities(&self, t: f64, p: f64, x: &[f64], out: &mut [f64]) {
+        self.transport.mix_diffusivities(t, p, x, out);
+    }
+    fn mix_conductivity(&self, t: f64, x: &[f64]) -> f64 {
+        self.transport.mix_conductivity(t, x)
+    }
 }
 
 struct CellProps {
@@ -29,47 +105,134 @@ struct CellProps {
     inv_rho: f64,
 }
 
-impl Inner {
-    fn props(
-        &self,
-        chem: &Rc<dyn ChemistrySourcePort>,
-        transport: &Rc<dyn TransportPort>,
-        pd: &PatchData,
-        i: i64,
-        j: i64,
-    ) -> CellProps {
-        let n = chem.n_species();
-        let t = pd.get(0, i, j).max(200.0);
-        let mut y = vec![0.0; n];
-        let mut bulk = 1.0;
-        for (v, yv) in y.iter_mut().take(n - 1).enumerate() {
-            *yv = pd.get(1 + v, i, j);
-            bulk -= *yv;
-        }
-        y[n - 1] = bulk;
-        let w_mean = chem.mean_molar_mass(&y);
-        let rho = chem.density(t, P0, &y);
-        let mut x = vec![0.0; n];
-        for (v, xv) in x.iter_mut().enumerate() {
-            *xv = y[v] * w_mean / chem.molar_mass(v);
-        }
-        let mut d = vec![0.0; n];
-        transport.mix_diffusivities(t, P0, &x, &mut d);
-        let lambda = transport.mix_conductivity(t, &x);
-        let cp = chem.cp_mass(t, &y);
-        CellProps {
-            lambda,
-            rho_d: d.iter().map(|di| rho * di).collect(),
-            inv_rho_cp: 1.0 / (rho * cp),
-            inv_rho: 1.0 / rho,
+fn cell_props<P: DiffProps>(props: &P, w: &[f64], pd: &PatchData, i: i64, j: i64) -> CellProps {
+    let n = props.n_species();
+    let t = pd.get(0, i, j).max(200.0);
+    let mut y = vec![0.0; n];
+    let mut bulk = 1.0;
+    for (v, yv) in y.iter_mut().take(n - 1).enumerate() {
+        *yv = pd.get(1 + v, i, j);
+        bulk -= *yv;
+    }
+    y[n - 1] = bulk;
+    let w_mean = props.mean_molar_mass(&y);
+    let rho = props.density(t, P0, &y);
+    let mut x = vec![0.0; n];
+    for (v, xv) in x.iter_mut().enumerate() {
+        *xv = y[v] * w_mean / w[v];
+    }
+    let mut d = vec![0.0; n];
+    props.mix_diffusivities(t, P0, &x, &mut d);
+    let lambda = props.mix_conductivity(t, &x);
+    let cp = props.cp_mass(t, &y);
+    CellProps {
+        lambda,
+        rho_d: d.iter().map(|di| rho * di).collect(),
+        inv_rho_cp: 1.0 / (rho * cp),
+        inv_rho: 1.0 / rho,
+    }
+}
+
+/// The 5-point diffusive RHS of one patch — the single copy of the
+/// stencil arithmetic behind both the port and the kernel face.
+fn diffusion_rhs<P: DiffProps>(
+    props: &P,
+    state: &PatchData,
+    rhs: &mut PatchData,
+    dx: f64,
+    dy: f64,
+) {
+    let n = props.n_species();
+    assert_eq!(state.nvars, n, "state layout is {{T, Y1..Y_{{N-1}}}}");
+    assert!(state.nghost >= 1);
+    let mut w = vec![0.0; n];
+    props.molar_masses(&mut w);
+
+    // Pre-compute properties on interior+1 ring, row-major cache.
+    let ring = state.interior.grow(1);
+    let nx = ring.nx();
+    let cells: Vec<CellProps> = ring
+        .cells()
+        .map(|(i, j)| cell_props(props, &w, state, i, j))
+        .collect();
+    let at = |i: i64, j: i64| -> &CellProps {
+        let ii = (i - ring.lo[0]) as usize;
+        let jj = (j - ring.lo[1]) as usize;
+        &cells[jj * nx as usize + ii]
+    };
+
+    let interior = state.interior;
+    for (i, j) in interior.cells() {
+        let pc = at(i, j);
+        // Temperature: (1/ρcp) ∇·(λ∇T), 5-point form with
+        // face-averaged coefficients.
+        let lam_c = pc.lambda;
+        let lam_e = 0.5 * (lam_c + at(i + 1, j).lambda);
+        let lam_w = 0.5 * (lam_c + at(i - 1, j).lambda);
+        let lam_n = 0.5 * (lam_c + at(i, j + 1).lambda);
+        let lam_s = 0.5 * (lam_c + at(i, j - 1).lambda);
+        let t_c = state.get(0, i, j);
+        let div_t = (lam_e * (state.get(0, i + 1, j) - t_c)
+            - lam_w * (t_c - state.get(0, i - 1, j)))
+            / (dx * dx)
+            + (lam_n * (state.get(0, i, j + 1) - t_c) - lam_s * (t_c - state.get(0, i, j - 1)))
+                / (dy * dy);
+        rhs.set(0, i, j, pc.inv_rho_cp * div_t);
+        // Species: (1/ρ) ∇·(ρD_i ∇Y_i) for the N-1 stored species.
+        for v in 0..n - 1 {
+            let b_c = pc.rho_d[v];
+            let b_e = 0.5 * (b_c + at(i + 1, j).rho_d[v]);
+            let b_w = 0.5 * (b_c + at(i - 1, j).rho_d[v]);
+            let b_n = 0.5 * (b_c + at(i, j + 1).rho_d[v]);
+            let b_s = 0.5 * (b_c + at(i, j - 1).rho_d[v]);
+            let y_c = state.get(1 + v, i, j);
+            let div = (b_e * (state.get(1 + v, i + 1, j) - y_c)
+                - b_w * (y_c - state.get(1 + v, i - 1, j)))
+                / (dx * dx)
+                + (b_n * (state.get(1 + v, i, j + 1) - y_c)
+                    - b_s * (y_c - state.get(1 + v, i, j - 1)))
+                    / (dy * dy);
+            rhs.set(1 + v, i, j, pc.inv_rho * div);
         }
     }
 }
 
+/// Worker-thread face: chemistry + transport kernel snapshots and the
+/// shared evaluation counter.
+struct DiffusionKernel {
+    props: KernelProps,
+    evals: Arc<AtomicUsize>,
+}
+
+impl PatchKernel for DiffusionKernel {
+    fn eval(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, _t: f64) {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        diffusion_rhs(&self.props, state, rhs, dx, dy);
+    }
+
+    fn label(&self) -> &'static str {
+        "DiffusionPhysics.patch-rhs"
+    }
+}
+
+struct Inner {
+    services: Services,
+    evals: Arc<AtomicUsize>,
+    /// Built on first use (needs both upstream kernels); never rebuilt —
+    /// the component has no mutable configuration to re-snapshot.
+    kernel: RefCell<Option<Arc<dyn PatchKernel>>>,
+}
+
 impl PatchRhsPort for Inner {
-    fn eval_patch(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, _t: f64) {
-        self.evals.set(self.evals.get() + 1);
+    fn eval_patch(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, t: f64) {
         let _scope = self.services.profiler().scope("DiffusionPhysics.patch-rhs");
+        // One code path: if the upstream components can snapshot, the
+        // serial call runs the very kernel the executor runs.
+        if let Some(k) = self.patch_kernel() {
+            k.eval(state, rhs, dx, dy, t);
+            return;
+        }
+        self.evals.fetch_add(1, Ordering::Relaxed);
         let chem = self
             .services
             .get_port::<Rc<dyn ChemistrySourcePort>>("chemistry")
@@ -78,61 +241,43 @@ impl PatchRhsPort for Inner {
             .services
             .get_port::<Rc<dyn TransportPort>>("transport")
             .expect("DiffusionPhysics needs the transport port");
-        let n = chem.n_species();
-        assert_eq!(state.nvars, n, "state layout is {{T, Y1..Y_{{N-1}}}}");
-        assert!(state.nghost >= 1);
-
-        // Pre-compute properties on interior+1 ring, row-major cache.
-        let ring = state.interior.grow(1);
-        let nx = ring.nx();
-        let props: Vec<CellProps> = ring
-            .cells()
-            .map(|(i, j)| self.props(&chem, &transport, state, i, j))
-            .collect();
-        let at = |i: i64, j: i64| -> &CellProps {
-            let ii = (i - ring.lo[0]) as usize;
-            let jj = (j - ring.lo[1]) as usize;
-            &props[jj * nx as usize + ii]
-        };
-
-        let interior = state.interior;
-        for (i, j) in interior.cells() {
-            let pc = at(i, j);
-            // Temperature: (1/ρcp) ∇·(λ∇T), 5-point form with
-            // face-averaged coefficients.
-            let lam_c = pc.lambda;
-            let lam_e = 0.5 * (lam_c + at(i + 1, j).lambda);
-            let lam_w = 0.5 * (lam_c + at(i - 1, j).lambda);
-            let lam_n = 0.5 * (lam_c + at(i, j + 1).lambda);
-            let lam_s = 0.5 * (lam_c + at(i, j - 1).lambda);
-            let t_c = state.get(0, i, j);
-            let div_t = (lam_e * (state.get(0, i + 1, j) - t_c)
-                - lam_w * (t_c - state.get(0, i - 1, j)))
-                / (dx * dx)
-                + (lam_n * (state.get(0, i, j + 1) - t_c) - lam_s * (t_c - state.get(0, i, j - 1)))
-                    / (dy * dy);
-            rhs.set(0, i, j, pc.inv_rho_cp * div_t);
-            // Species: (1/ρ) ∇·(ρD_i ∇Y_i) for the N-1 stored species.
-            for v in 0..n - 1 {
-                let b_c = pc.rho_d[v];
-                let b_e = 0.5 * (b_c + at(i + 1, j).rho_d[v]);
-                let b_w = 0.5 * (b_c + at(i - 1, j).rho_d[v]);
-                let b_n = 0.5 * (b_c + at(i, j + 1).rho_d[v]);
-                let b_s = 0.5 * (b_c + at(i, j - 1).rho_d[v]);
-                let y_c = state.get(1 + v, i, j);
-                let div = (b_e * (state.get(1 + v, i + 1, j) - y_c)
-                    - b_w * (y_c - state.get(1 + v, i - 1, j)))
-                    / (dx * dx)
-                    + (b_n * (state.get(1 + v, i, j + 1) - y_c)
-                        - b_s * (y_c - state.get(1 + v, i, j - 1)))
-                        / (dy * dy);
-                rhs.set(1 + v, i, j, pc.inv_rho * div);
-            }
-        }
+        diffusion_rhs(
+            &PortProps {
+                chem: &chem,
+                transport: &transport,
+            },
+            state,
+            rhs,
+            dx,
+            dy,
+        );
     }
 
     fn evals(&self) -> usize {
-        self.evals.get()
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    fn patch_kernel(&self) -> Option<Arc<dyn PatchKernel>> {
+        if let Some(k) = self.kernel.borrow().as_ref() {
+            return Some(k.clone());
+        }
+        let chem = self
+            .services
+            .get_port::<Rc<dyn ChemistrySourcePort>>("chemistry")
+            .ok()?;
+        let transport = self
+            .services
+            .get_port::<Rc<dyn TransportPort>>("transport")
+            .ok()?;
+        let k: Arc<dyn PatchKernel> = Arc::new(DiffusionKernel {
+            props: KernelProps {
+                chem: chem.kernel()?,
+                transport: transport.kernel()?,
+            },
+            evals: self.evals.clone(),
+        });
+        *self.kernel.borrow_mut() = Some(k.clone());
+        Some(k)
     }
 }
 
@@ -149,7 +294,8 @@ impl Component for DiffusionPhysics {
             "patch-rhs",
             Rc::new(Inner {
                 services: s.clone(),
-                evals: Cell::new(0),
+                evals: Arc::new(AtomicUsize::new(0)),
+                kernel: RefCell::new(None),
             }),
         );
     }

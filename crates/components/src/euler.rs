@@ -3,7 +3,10 @@
 //! "supplies the right-hand-side of the equation, patch-by-patch"),
 //! `CharacteristicQuantities`, and the `GasProperties` database.
 
-use crate::ports::{DataPort, EigenEstimatePort, FluxPort, MeshPort, PatchRhsPort, StatesPort};
+use crate::ports::{
+    DataPort, EigenEstimatePort, FluxKernel, FluxPort, MeshPort, PatchKernel, PatchRhsPort,
+    StatesKernel, StatesPort,
+};
 use cca_core::{Component, ParameterPort, ParameterStore, Services};
 use cca_hydro_solver::efm::EfmFlux;
 use cca_hydro_solver::muscl::{interface_states, max_wave_speed};
@@ -12,6 +15,8 @@ use cca_hydro_solver::{FluxScheme, Limiter, Prim, NVARS};
 use cca_mesh::data::PatchData;
 use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // GasProperties (Database)
@@ -39,6 +44,24 @@ struct StatesInner {
     limiter: Cell<Limiter>,
 }
 
+/// Limiter snapshot — the `Send + Sync` face of `States`.
+struct StatesSnapshot {
+    limiter: Limiter,
+}
+
+impl StatesKernel for StatesSnapshot {
+    fn reconstruct(
+        &self,
+        b: &[f64; 5],
+        c: &[f64; 5],
+        d: &[f64; 5],
+        e: &[f64; 5],
+        gamma: f64,
+    ) -> (Prim, Prim) {
+        interface_states(b, c, d, e, gamma, self.limiter)
+    }
+}
+
 impl StatesPort for StatesInner {
     fn reconstruct(
         &self,
@@ -49,6 +72,12 @@ impl StatesPort for StatesInner {
         gamma: f64,
     ) -> (Prim, Prim) {
         interface_states(b, c, d, e, gamma, self.limiter.get())
+    }
+
+    fn kernel(&self) -> Option<Arc<dyn StatesKernel>> {
+        Some(Arc::new(StatesSnapshot {
+            limiter: self.limiter.get(),
+        }))
     }
 }
 
@@ -100,13 +129,25 @@ impl Component for StatesComponent {
 
 struct FluxWrap<S: FluxScheme>(S);
 
-impl<S: FluxScheme> FluxPort for FluxWrap<S> {
+impl<S: FluxScheme + Send + Sync> FluxKernel for FluxWrap<S> {
+    fn flux_x(&self, left: &Prim, right: &Prim, gamma: f64) -> [f64; 5] {
+        self.0.flux_x(left, right, gamma)
+    }
+}
+
+impl<S: FluxScheme + Clone + Send + Sync + 'static> FluxPort for FluxWrap<S> {
     fn flux_x(&self, left: &Prim, right: &Prim, gamma: f64) -> [f64; 5] {
         self.0.flux_x(left, right, gamma)
     }
 
     fn scheme_name(&self) -> &'static str {
         self.0.name()
+    }
+
+    fn kernel(&self) -> Option<Arc<dyn FluxKernel>> {
+        // The flux schemes are stateless value types; the kernel is a
+        // clone of the same wrapper.
+        Some(Arc::new(FluxWrap(self.0.clone())))
     }
 }
 
@@ -137,7 +178,7 @@ impl Component for EfmFluxComponent {
 
 struct InviscidInner {
     services: Services,
-    evals: Cell<usize>,
+    evals: Arc<AtomicUsize>,
 }
 
 impl InviscidInner {
@@ -168,10 +209,151 @@ fn swap_uv(w: &Prim) -> Prim {
     }
 }
 
+/// The reconstruction/flux surface of the sweep, abstracted over port
+/// dispatch vs kernel dispatch — one copy of the arithmetic.
+trait EulerOps {
+    fn reconstruct(
+        &self,
+        b: &[f64; 5],
+        c: &[f64; 5],
+        d: &[f64; 5],
+        e: &[f64; 5],
+        gamma: f64,
+    ) -> (Prim, Prim);
+    fn flux_x(&self, left: &Prim, right: &Prim, gamma: f64) -> [f64; 5];
+}
+
+struct PortOps<'a> {
+    states: &'a Rc<dyn StatesPort>,
+    flux: &'a Rc<dyn FluxPort>,
+}
+
+impl EulerOps for PortOps<'_> {
+    fn reconstruct(
+        &self,
+        b: &[f64; 5],
+        c: &[f64; 5],
+        d: &[f64; 5],
+        e: &[f64; 5],
+        gamma: f64,
+    ) -> (Prim, Prim) {
+        self.states.reconstruct(b, c, d, e, gamma)
+    }
+    fn flux_x(&self, left: &Prim, right: &Prim, gamma: f64) -> [f64; 5] {
+        self.flux.flux_x(left, right, gamma)
+    }
+}
+
+struct KernelOps {
+    states: Arc<dyn StatesKernel>,
+    flux: Arc<dyn FluxKernel>,
+}
+
+impl EulerOps for KernelOps {
+    fn reconstruct(
+        &self,
+        b: &[f64; 5],
+        c: &[f64; 5],
+        d: &[f64; 5],
+        e: &[f64; 5],
+        gamma: f64,
+    ) -> (Prim, Prim) {
+        self.states.reconstruct(b, c, d, e, gamma)
+    }
+    fn flux_x(&self, left: &Prim, right: &Prim, gamma: f64) -> [f64; 5] {
+        self.flux.flux_x(left, right, gamma)
+    }
+}
+
+/// MUSCL x/y sweeps over one patch — the single copy of the sweep behind
+/// both the port and the kernel face.
+fn inviscid_rhs<O: EulerOps>(
+    ops: &O,
+    gamma: f64,
+    state: &PatchData,
+    rhs: &mut PatchData,
+    dx: f64,
+    dy: f64,
+) {
+    assert!(state.nghost >= 2, "MUSCL needs two ghost layers");
+    let interior = state.interior;
+    for var in 0..NVARS {
+        rhs.fill_var(var, 0.0);
+    }
+    // x sweep — every interface through the States/Flux pair.
+    for j in interior.lo[1]..=interior.hi[1] {
+        for i in interior.lo[0]..=interior.hi[0] + 1 {
+            let (wl, wr) = ops.reconstruct(
+                &load(state, i - 2, j),
+                &load(state, i - 1, j),
+                &load(state, i, j),
+                &load(state, i + 1, j),
+                gamma,
+            );
+            let f = ops.flux_x(&wl, &wr, gamma);
+            for (var, &fv) in f.iter().enumerate() {
+                if interior.contains(i - 1, j) {
+                    rhs.add(var, i - 1, j, -fv / dx);
+                }
+                if interior.contains(i, j) {
+                    rhs.add(var, i, j, fv / dx);
+                }
+            }
+        }
+    }
+    // y sweep with rotated states.
+    for j in interior.lo[1]..=interior.hi[1] + 1 {
+        for i in interior.lo[0]..=interior.hi[0] {
+            let (wl, wr) = ops.reconstruct(
+                &load(state, i, j - 2),
+                &load(state, i, j - 1),
+                &load(state, i, j),
+                &load(state, i, j + 1),
+                gamma,
+            );
+            let fr = ops.flux_x(&swap_uv(&wl), &swap_uv(&wr), gamma);
+            let f = [fr[0], fr[2], fr[1], fr[3], fr[4]];
+            for (var, &fv) in f.iter().enumerate() {
+                if interior.contains(i, j - 1) {
+                    rhs.add(var, i, j - 1, -fv / dy);
+                }
+                if interior.contains(i, j) {
+                    rhs.add(var, i, j, fv / dy);
+                }
+            }
+        }
+    }
+}
+
+/// Worker-thread face of `InviscidFlux`: reconstruction + flux snapshots
+/// and γ captured when the kernel is handed out.
+struct EulerPatchKernel {
+    ops: KernelOps,
+    gamma: f64,
+    evals: Arc<AtomicUsize>,
+}
+
+impl PatchKernel for EulerPatchKernel {
+    fn eval(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, _t: f64) {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        inviscid_rhs(&self.ops, self.gamma, state, rhs, dx, dy);
+    }
+
+    fn label(&self) -> &'static str {
+        "InviscidFlux.patch-rhs"
+    }
+}
+
 impl PatchRhsPort for InviscidInner {
-    fn eval_patch(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, _t: f64) {
-        self.evals.set(self.evals.get() + 1);
+    fn eval_patch(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, t: f64) {
         let _scope = self.services.profiler().scope("InviscidFlux.patch-rhs");
+        // One code path: if States and the flux component can snapshot,
+        // the serial call runs the very kernel the executor runs.
+        if let Some(k) = self.patch_kernel() {
+            k.eval(state, rhs, dx, dy, t);
+            return;
+        }
+        self.evals.fetch_add(1, Ordering::Relaxed);
         let states = self
             .services
             .get_port::<Rc<dyn StatesPort>>("states")
@@ -181,58 +363,39 @@ impl PatchRhsPort for InviscidInner {
             .get_port::<Rc<dyn FluxPort>>("flux")
             .expect("InviscidFlux needs a flux port");
         let gamma = self.gamma();
-        assert!(state.nghost >= 2, "MUSCL needs two ghost layers");
-        let interior = state.interior;
-        for var in 0..NVARS {
-            rhs.fill_var(var, 0.0);
-        }
-        // x sweep — every interface through the CCA States/Flux ports.
-        for j in interior.lo[1]..=interior.hi[1] {
-            for i in interior.lo[0]..=interior.hi[0] + 1 {
-                let (wl, wr) = states.reconstruct(
-                    &load(state, i - 2, j),
-                    &load(state, i - 1, j),
-                    &load(state, i, j),
-                    &load(state, i + 1, j),
-                    gamma,
-                );
-                let f = flux.flux_x(&wl, &wr, gamma);
-                for (var, &fv) in f.iter().enumerate() {
-                    if interior.contains(i - 1, j) {
-                        rhs.add(var, i - 1, j, -fv / dx);
-                    }
-                    if interior.contains(i, j) {
-                        rhs.add(var, i, j, fv / dx);
-                    }
-                }
-            }
-        }
-        // y sweep with rotated states.
-        for j in interior.lo[1]..=interior.hi[1] + 1 {
-            for i in interior.lo[0]..=interior.hi[0] {
-                let (wl, wr) = states.reconstruct(
-                    &load(state, i, j - 2),
-                    &load(state, i, j - 1),
-                    &load(state, i, j),
-                    &load(state, i, j + 1),
-                    gamma,
-                );
-                let fr = flux.flux_x(&swap_uv(&wl), &swap_uv(&wr), gamma);
-                let f = [fr[0], fr[2], fr[1], fr[3], fr[4]];
-                for (var, &fv) in f.iter().enumerate() {
-                    if interior.contains(i, j - 1) {
-                        rhs.add(var, i, j - 1, -fv / dy);
-                    }
-                    if interior.contains(i, j) {
-                        rhs.add(var, i, j, fv / dy);
-                    }
-                }
-            }
-        }
+        inviscid_rhs(
+            &PortOps {
+                states: &states,
+                flux: &flux,
+            },
+            gamma,
+            state,
+            rhs,
+            dx,
+            dy,
+        );
     }
 
     fn evals(&self) -> usize {
-        self.evals.get()
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    fn patch_kernel(&self) -> Option<Arc<dyn PatchKernel>> {
+        // Snapshot afresh on every request: the limiter and γ are live
+        // parameters, and a kernel must capture their current values.
+        let states = self
+            .services
+            .get_port::<Rc<dyn StatesPort>>("states")
+            .ok()?;
+        let flux = self.services.get_port::<Rc<dyn FluxPort>>("flux").ok()?;
+        Some(Arc::new(EulerPatchKernel {
+            ops: KernelOps {
+                states: states.kernel()?,
+                flux: flux.kernel()?,
+            },
+            gamma: self.gamma(),
+            evals: self.evals.clone(),
+        }))
     }
 }
 
@@ -250,7 +413,7 @@ impl Component for InviscidFluxComponent {
             "patch-rhs",
             Rc::new(InviscidInner {
                 services: s.clone(),
-                evals: Cell::new(0),
+                evals: Arc::new(AtomicUsize::new(0)),
             }),
         );
     }

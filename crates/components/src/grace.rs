@@ -242,6 +242,36 @@ impl DataPort for GraceInner {
         *dst_obj = src_obj;
     }
 
+    fn take_level_patches(&self, name: &str, level: usize, ids: &[usize]) -> Vec<PatchData> {
+        // True move (no copy): the patches leave the Data Object and the
+        // executor's workers own them exclusively until put back.
+        let mut objects = self.objects.borrow_mut();
+        let dobj = objects
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown Data Object '{name}'"));
+        ids.iter()
+            .map(|&id| {
+                dobj.take_patch(level, id)
+                    .unwrap_or_else(|| panic!("no patch {id} on level {level} of '{name}'"))
+            })
+            .collect()
+    }
+
+    fn put_level_patches(&self, name: &str, level: usize, ids: &[usize], patches: Vec<PatchData>) {
+        assert_eq!(
+            ids.len(),
+            patches.len(),
+            "put_level_patches id/patch mismatch"
+        );
+        let mut objects = self.objects.borrow_mut();
+        let dobj = objects
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown Data Object '{name}'"));
+        for (&id, pd) in ids.iter().zip(patches) {
+            dobj.insert(level, id, pd);
+        }
+    }
+
     fn axpy(&self, dst: &str, s: f64, src: &str) {
         let hier = self.hier.borrow();
         let hier = hier.as_ref().expect("create first");

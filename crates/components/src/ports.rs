@@ -19,6 +19,128 @@ use cca_mesh::bc::BcKind;
 use cca_mesh::boxes::IntBox;
 use cca_mesh::data::PatchData;
 use std::rc::Rc;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Patch-kernel snapshots — the parallel-executor seam
+// ---------------------------------------------------------------------
+//
+// Ports are single-threaded (`Rc<dyn Trait>`): cheap to call, but pinned
+// to the framework thread. The hot loops of the paper's codes, however,
+// are *patch* loops whose iterations are independent — exactly the
+// "computation of the RHS values... performed patch-by-patch" structure
+// the paper exploits for parallelism. To run those loops on the
+// framework's worker pool without breaking the component model, a port
+// may hand out a **kernel**: an immutable `Send + Sync` snapshot of the
+// computation behind the port, safe to invoke from worker threads.
+//
+// Two invariants keep the port and kernel faces interchangeable:
+//
+// 1. *Same math*: a component that offers a kernel routes its own port
+//    body through the very same code, so serial (port) and parallel
+//    (kernel) execution are bit-identical.
+// 2. *Snapshot semantics*: a kernel captures the component's
+//    configuration (tolerances, limiter, γ) at the moment it is handed
+//    out; parameter changes require re-fetching the kernel.
+//
+// Every hook defaults to `None`, so third-party port implementations
+// remain valid and simply run serially.
+
+/// `Send + Sync` face of [`ChemistrySourcePort`]: the thermochemistry
+/// evaluations worker threads need. Call counters behind the snapshot
+/// are shared atomics, so the port's NFE accounting stays exact.
+pub trait ChemistryKernel: Send + Sync {
+    /// Number of species.
+    fn n_species(&self) -> usize;
+    /// All species molar masses, kg/kmol.
+    fn molar_masses(&self, out: &mut [f64]);
+    /// Net molar production rates from `T` and concentrations.
+    fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]);
+    /// All molar enthalpies at `T`, J/kmol.
+    fn enthalpies_molar(&self, t: f64, out: &mut [f64]);
+    /// All molar internal energies at `T`, J/kmol.
+    fn internal_energies_molar(&self, t: f64, out: &mut [f64]);
+    /// Mixture mass heat capacity cp, J/(kg·K).
+    fn cp_mass(&self, t: f64, y: &[f64]) -> f64;
+    /// Mixture mass heat capacity cv, J/(kg·K).
+    fn cv_mass(&self, t: f64, y: &[f64]) -> f64;
+    /// Mean molar mass, kg/kmol.
+    fn mean_molar_mass(&self, y: &[f64]) -> f64;
+    /// Ideal-gas density at `(T, P, Y)`.
+    fn density(&self, t: f64, p: f64, y: &[f64]) -> f64;
+}
+
+/// `Send + Sync` face of [`TransportPort`].
+pub trait TransportKernel: Send + Sync {
+    /// Mixture-averaged diffusivities from `T`, `P`, mole fractions.
+    fn mix_diffusivities(&self, t: f64, p: f64, x: &[f64], out: &mut [f64]);
+    /// Mixture thermal conductivity.
+    fn mix_conductivity(&self, t: f64, x: &[f64]) -> f64;
+}
+
+/// `Send + Sync` face of [`PatchRhsPort`]: one patch RHS evaluation,
+/// invocable from any worker thread on disjoint patch views.
+pub trait PatchKernel: Send + Sync {
+    /// Write the RHS of `state` into `rhs` (interiors only); same
+    /// contract as [`PatchRhsPort::eval_patch`].
+    fn eval(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, t: f64);
+
+    /// Profiler timer name for one `eval` — the same `component.port`
+    /// name the providing component's serial path records, so profiles
+    /// stay comparable whichever route a patch took.
+    fn label(&self) -> &'static str {
+        "patch-kernel.eval"
+    }
+}
+
+/// A `Sync` ODE right-hand side evaluated inside worker threads (the
+/// kernel counterpart of [`OdeRhsPort`], minus the single-threaded NFE
+/// cell — kernels count via shared atomics).
+pub trait OdeSystemKernel: Sync {
+    /// State dimension.
+    fn dim(&self) -> usize;
+    /// Evaluate the RHS.
+    fn eval(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+/// `Send + Sync` face of [`OdeIntegratorPort`]: a configuration snapshot
+/// (tolerances, initial step) that integrates one cell's ODE system on
+/// whatever thread the executor chose.
+pub trait OdeCellKernel: Send + Sync {
+    /// Advance `y` from `t0` to `t1` using `sys`.
+    fn integrate(
+        &self,
+        sys: &dyn OdeSystemKernel,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+    ) -> Result<IntegrateStats, String>;
+}
+
+/// `Send + Sync` face of [`StatesPort`] (limiter captured at snapshot).
+pub trait StatesKernel: Send + Sync {
+    /// Left/right primitive interface states; same contract as
+    /// [`StatesPort::reconstruct`].
+    fn reconstruct(
+        &self,
+        b: &[f64; 5],
+        c: &[f64; 5],
+        d: &[f64; 5],
+        e: &[f64; 5],
+        gamma: f64,
+    ) -> (cca_hydro_solver::Prim, cca_hydro_solver::Prim);
+}
+
+/// `Send + Sync` face of [`FluxPort`].
+pub trait FluxKernel: Send + Sync {
+    /// Numerical flux across an x-normal interface.
+    fn flux_x(
+        &self,
+        left: &cca_hydro_solver::Prim,
+        right: &cca_hydro_solver::Prim,
+        gamma: f64,
+    ) -> [f64; 5];
+}
 
 // ---------------------------------------------------------------------
 // Vector (ODE) ports — the Implicit Integration subsystem
@@ -62,6 +184,13 @@ pub trait OdeIntegratorPort {
     /// Force the initial step size (CVODE's `CVodeSetInitStep`); `None`
     /// restores the heuristic default.
     fn set_initial_step(&self, h: Option<f64>);
+
+    /// A `Send + Sync` snapshot of this integrator's current
+    /// configuration, for worker-thread cell sweeps. `None` (the
+    /// default) keeps the integration on the framework thread.
+    fn cell_kernel(&self) -> Option<Arc<dyn OdeCellKernel>> {
+        None
+    }
 }
 
 /// Chemical source terms and thermodynamic queries — the face of
@@ -107,6 +236,12 @@ pub trait ChemistrySourcePort {
     fn density(&self, t: f64, p: f64, y: &[f64]) -> f64;
     /// Number of production-rate calls so far (Table 4's NFE per cell).
     fn calls(&self) -> usize;
+    /// A `Send + Sync` snapshot of the gas-phase evaluations behind this
+    /// port, sharing its call counter. `None` (the default) disables
+    /// worker-thread chemistry for assemblies using this port.
+    fn kernel(&self) -> Option<Arc<dyn ChemistryKernel>> {
+        None
+    }
 }
 
 /// The 0D rigid-vessel pressure closure (the `dPdt` component).
@@ -176,6 +311,39 @@ pub trait DataPort {
     fn copy_object(&self, src: &str, dst: &str);
     /// `dst += s * src` over all interiors (integrator axpy).
     fn axpy(&self, dst: &str, s: f64, src: &str);
+    /// Detach the listed patches of `level` as owned [`PatchData`]
+    /// values, in `ids` order — the disjoint patch views the parallel
+    /// executor hands to worker threads. Until the matching
+    /// [`DataPort::put_level_patches`], reads of those patches through
+    /// this port see unspecified (implementation-defined) contents.
+    ///
+    /// The default clones patch by patch, correct for any
+    /// implementation; `GrACEComponent` overrides it with a true move
+    /// out of the Data Object (no copy).
+    fn take_level_patches(&self, name: &str, level: usize, ids: &[usize]) -> Vec<PatchData> {
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let mut taken = None;
+            self.with_patch(name, level, id, &mut |pd| taken = Some(pd.clone()));
+            out.push(taken.expect("with_patch always invokes the closure"));
+        }
+        out
+    }
+    /// Re-attach patches detached by [`DataPort::take_level_patches`]
+    /// (same `ids`, same order).
+    fn put_level_patches(&self, name: &str, level: usize, ids: &[usize], patches: Vec<PatchData>) {
+        assert_eq!(
+            ids.len(),
+            patches.len(),
+            "put_level_patches id/patch mismatch"
+        );
+        for (&id, pd) in ids.iter().zip(patches) {
+            let mut slot = Some(pd);
+            self.with_patch_mut(name, level, id, &mut |dst| {
+                *dst = slot.take().expect("closure runs once per patch");
+            });
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -190,6 +358,12 @@ pub trait PatchRhsPort {
     fn eval_patch(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, t: f64);
     /// Number of patch evaluations performed.
     fn evals(&self) -> usize;
+    /// A `Send + Sync` snapshot of the evaluation behind this port,
+    /// runnable concurrently on disjoint patches. Shares the `evals`
+    /// counter. `None` (the default) keeps RHS loops serial.
+    fn patch_kernel(&self) -> Option<Arc<dyn PatchKernel>> {
+        None
+    }
 }
 
 /// Physical boundary rule, applied patch by patch (the paper's Boundary
@@ -234,6 +408,11 @@ pub trait TransportPort {
     fn mix_conductivity(&self, t: f64, x: &[f64]) -> f64;
     /// Upper bound over species diffusivities (RKC spectral radius input).
     fn max_diffusivity(&self, t: f64, p: f64) -> f64;
+    /// A `Send + Sync` snapshot of the property evaluations behind this
+    /// port. `None` (the default) keeps transport on the framework thread.
+    fn kernel(&self) -> Option<Arc<dyn TransportKernel>> {
+        None
+    }
 }
 
 /// Slope-limited interface state construction (the `States` component).
@@ -248,6 +427,12 @@ pub trait StatesPort {
         e: &[f64; 5],
         gamma: f64,
     ) -> (cca_hydro_solver::Prim, cca_hydro_solver::Prim);
+
+    /// A `Send + Sync` snapshot of the reconstruction (current limiter
+    /// captured). `None` (the default) keeps reconstruction serial.
+    fn kernel(&self) -> Option<Arc<dyn StatesKernel>> {
+        None
+    }
 }
 
 /// An interface flux (the `GodunovFlux` / `EFMFlux` components).
@@ -261,6 +446,11 @@ pub trait FluxPort {
     ) -> [f64; 5];
     /// Scheme name (for arena dumps and reports).
     fn scheme_name(&self) -> &'static str;
+    /// A `Send + Sync` snapshot of the flux evaluation. `None` (the
+    /// default) keeps flux evaluation serial.
+    fn kernel(&self) -> Option<Arc<dyn FluxKernel>> {
+        None
+    }
 }
 
 /// Initial condition application (the Initial Condition subsystem).

@@ -5,7 +5,7 @@
 //! Boundary Condition subsystem).
 
 use crate::ports::{BoundaryConditionPort, DataPort, MeshPort, PatchRhsPort, TimeIntegratorPort};
-use crate::rkc_integrator::FlatView;
+use crate::rkc_integrator::{eval_hierarchy_rhs, FlatView};
 use cca_core::{Component, Services};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -17,7 +17,8 @@ struct Inner {
 
 impl Inner {
     /// One global RHS evaluation: scatter, ghost-fill each level, eval
-    /// patch by patch, gather.
+    /// patch by patch (on the executor when the port offers a kernel),
+    /// gather.
     #[allow(clippy::too_many_arguments)]
     fn eval(
         &self,
@@ -34,20 +35,14 @@ impl Inner {
             view.data
                 .fill_ghosts(&view.name, level, &|side, var| bc.rule(side, var));
         }
-        for level in 0..view.mesh.n_levels() {
-            let dx = view.mesh.dx(level);
-            for (id, _, _) in view.mesh.patches(level) {
-                let mut state_copy = None;
-                view.data.with_patch(&view.name, level, id, &mut |pd| {
-                    state_copy = Some(pd.clone())
-                });
-                let state = state_copy.expect("patch exists");
-                view.data
-                    .with_patch_mut(rhs_name, level, id, &mut |rhs_pd| {
-                        rhs_port.eval_patch(&state, rhs_pd, dx[0], dx[1], t);
-                    });
-            }
-        }
+        eval_hierarchy_rhs(
+            view,
+            rhs_port,
+            rhs_name,
+            &self.services.executor(),
+            "ExplicitIntegratorRK2.patch-rhs",
+            t,
+        );
         let rhs_view = FlatView {
             mesh: view.mesh.clone(),
             data: view.data.clone(),

@@ -9,7 +9,8 @@
 use crate::ports::{
     BoundaryConditionPort, DataPort, EigenEstimatePort, MeshPort, PatchRhsPort, TimeIntegratorPort,
 };
-use cca_core::{Component, Services};
+use cca_core::{Component, Executor, Services};
+use cca_mesh::data::PatchData;
 use cca_solvers::ode::OdeSystem;
 use cca_solvers::rkc::{Rkc, RkcConfig, RkcStats};
 use std::cell::Cell;
@@ -71,12 +72,97 @@ impl FlatView {
     }
 }
 
+/// One patch's share of a hierarchy RHS evaluation: the state view
+/// (ghosts filled) and the RHS patch to write, both detached from the
+/// Data Objects so a worker thread owns them exclusively.
+struct RhsItem {
+    state: PatchData,
+    rhs: PatchData,
+}
+
+/// Evaluate the connected `PatchRhsPort` over every patch of the
+/// hierarchy, writing into the `rhs_name` Data Object. Ghosts of
+/// `view.name` must already be filled.
+///
+/// When the port offers a [`crate::ports::PatchKernel`], the patch loop
+/// runs on the framework's executor: state and RHS patches are detached
+/// as disjoint owned views, evaluated concurrently, and re-attached.
+/// The kernel route is taken at *any* worker count (the executor runs
+/// inline at 1 worker), so results never depend on the worker knob.
+/// Ports without a kernel are evaluated serially, one patch at a time.
+pub(crate) fn eval_hierarchy_rhs(
+    view: &FlatView,
+    rhs_port: &Rc<dyn PatchRhsPort>,
+    rhs_name: &str,
+    executor: &Executor,
+    label: &str,
+    t: f64,
+) {
+    let mesh = &view.mesh;
+    let data = &view.data;
+    let kernel = rhs_port.patch_kernel();
+    for level in 0..mesh.n_levels() {
+        let dx = mesh.dx(level);
+        match &kernel {
+            Some(k) => {
+                let ids: Vec<usize> = mesh.patches(level).iter().map(|(id, _, _)| *id).collect();
+                if ids.is_empty() {
+                    continue;
+                }
+                let states = data.take_level_patches(&view.name, level, &ids);
+                let rhss = data.take_level_patches(rhs_name, level, &ids);
+                let items: Vec<RhsItem> = states
+                    .into_iter()
+                    .zip(rhss)
+                    .map(|(state, rhs)| RhsItem { state, rhs })
+                    .collect();
+                // Run under the kernel's own timer name (the same
+                // `component.port` the serial port path records) so
+                // profiles read the same whichever route patches took.
+                let run_label = k.label();
+                let k = k.clone();
+                let report = executor.run(run_label, items, move |_worker, item| {
+                    k.eval(&item.state, &mut item.rhs, dx[0], dx[1], t);
+                });
+                // A panicking kernel poisons the run; surface it as the
+                // panic the serial path would have raised (patches are
+                // forfeit either way).
+                let items = report
+                    .into_result()
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                let (mut states, mut rhss) = (Vec::new(), Vec::new());
+                for item in items {
+                    states.push(item.state);
+                    rhss.push(item.rhs);
+                }
+                data.put_level_patches(&view.name, level, &ids, states);
+                data.put_level_patches(rhs_name, level, &ids, rhss);
+            }
+            None => {
+                for (id, _, _) in mesh.patches(level) {
+                    // Two-phase: read the state patch (clone), evaluate
+                    // into the scratch RHS patch.
+                    let mut state_copy = None;
+                    data.with_patch(&view.name, level, id, &mut |pd| {
+                        state_copy = Some(pd.clone());
+                    });
+                    let state = state_copy.expect("patch exists");
+                    data.with_patch_mut(rhs_name, level, id, &mut |rhs_pd| {
+                        rhs_port.eval_patch(&state, rhs_pd, dx[0], dx[1], t);
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// OdeSystem adapter: scatter → ghost fill → per-patch RHS → gather.
 struct HierarchyOde {
     view: FlatView,
     rhs_port: Rc<dyn PatchRhsPort>,
     bc: Rc<dyn BoundaryConditionPort>,
     rhs_name: String,
+    executor: Executor,
 }
 
 impl OdeSystem for HierarchyOde {
@@ -91,21 +177,14 @@ impl OdeSystem for HierarchyOde {
         for level in 0..mesh.n_levels() {
             data.fill_ghosts(&self.view.name, level, &|side, var| self.bc.rule(side, var));
         }
-        for level in 0..mesh.n_levels() {
-            let dx = mesh.dx(level);
-            for (id, _, _) in mesh.patches(level) {
-                // Two-phase: read the state patch (clone), evaluate into
-                // the scratch RHS patch.
-                let mut state_copy = None;
-                data.with_patch(&self.view.name, level, id, &mut |pd| {
-                    state_copy = Some(pd.clone());
-                });
-                let state = state_copy.expect("patch exists");
-                data.with_patch_mut(&self.rhs_name, level, id, &mut |rhs_pd| {
-                    self.rhs_port.eval_patch(&state, rhs_pd, dx[0], dx[1], t);
-                });
-            }
-        }
+        eval_hierarchy_rhs(
+            &self.view,
+            &self.rhs_port,
+            &self.rhs_name,
+            &self.executor,
+            "ExplicitIntegrator.patch-rhs",
+            t,
+        );
         // Gather the RHS object.
         let rhs_view = FlatView {
             mesh: mesh.clone(),
@@ -165,6 +244,7 @@ impl TimeIntegratorPort for Inner {
             rhs_port,
             bc,
             rhs_name,
+            executor: self.services.executor(),
         };
         let mut y = Vec::new();
         sys.view.gather(&mut y);

@@ -3,13 +3,19 @@
 //! thin C++ wrapper around Fortran 77 subroutines... also serves as a
 //! Database subsystem, i.e. it holds the gas properties." Here the wrapped
 //! library is `cca-chem`.
+//!
+//! The gas-phase evaluations live in a `Send + Sync` `MechKernel` that
+//! the single-threaded port face delegates to, so the same object (and
+//! the same shared NFE counter) serves both the serial port path and the
+//! parallel executor path.
 
-use crate::ports::ChemistrySourcePort;
+use crate::ports::{ChemistryKernel, ChemistrySourcePort};
 use cca_chem::kinetics::Mechanism;
 use cca_chem::thermo::Mixture;
 use cca_core::{Component, ParameterPort, Services};
-use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Which mechanism the component instantiates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,41 +26,27 @@ pub enum MechanismChoice {
     Reduced5,
 }
 
-struct Inner {
+/// The thread-safe core: mechanism data plus the production-rate call
+/// counter (Table 4's NFE), shared by every port and kernel handle.
+struct MechKernel {
     mech: Mechanism,
-    calls: Cell<usize>,
-    /// The Database face: gas properties by name.
-    params: std::cell::RefCell<std::collections::BTreeMap<String, f64>>,
+    calls: AtomicUsize,
 }
 
-impl ChemistrySourcePort for Inner {
+impl ChemistryKernel for MechKernel {
     fn n_species(&self) -> usize {
         self.mech.n_species()
     }
 
-    fn molar_mass(&self, i: usize) -> f64 {
-        self.mech.species[i].molar_mass
-    }
-
-    fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]) {
-        self.calls.set(self.calls.get() + 1);
-        self.mech.production_rates(t, c, wdot);
-    }
-
-    fn h_molar(&self, i: usize, t: f64) -> f64 {
-        self.mech.species[i].h_molar(t)
-    }
-
-    fn u_molar(&self, i: usize, t: f64) -> f64 {
-        self.mech.species[i].u_molar(t)
-    }
-
-    // Array overrides (CHEMKIN CKWT/CKHML/CKUML shape): one port call per
-    // evaluation, no per-species dispatch in hot loops.
     fn molar_masses(&self, out: &mut [f64]) {
         for (o, s) in out.iter_mut().zip(&self.mech.species) {
             *o = s.molar_mass;
         }
+    }
+
+    fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.mech.production_rates(t, c, wdot);
     }
 
     fn enthalpies_molar(&self, t: f64, out: &mut [f64]) {
@@ -84,9 +76,71 @@ impl ChemistrySourcePort for Inner {
     fn density(&self, t: f64, p: f64, y: &[f64]) -> f64 {
         Mixture::new(&self.mech.species).density(t, p, y)
     }
+}
+
+struct Inner {
+    kernel: Arc<MechKernel>,
+    /// The Database face: gas properties by name.
+    params: std::cell::RefCell<std::collections::BTreeMap<String, f64>>,
+}
+
+impl ChemistrySourcePort for Inner {
+    fn n_species(&self) -> usize {
+        self.kernel.n_species()
+    }
+
+    fn molar_mass(&self, i: usize) -> f64 {
+        self.kernel.mech.species[i].molar_mass
+    }
+
+    fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]) {
+        ChemistryKernel::production_rates(&*self.kernel, t, c, wdot);
+    }
+
+    fn h_molar(&self, i: usize, t: f64) -> f64 {
+        self.kernel.mech.species[i].h_molar(t)
+    }
+
+    fn u_molar(&self, i: usize, t: f64) -> f64 {
+        self.kernel.mech.species[i].u_molar(t)
+    }
+
+    // Array overrides (CHEMKIN CKWT/CKHML/CKUML shape): one port call per
+    // evaluation, no per-species dispatch in hot loops.
+    fn molar_masses(&self, out: &mut [f64]) {
+        self.kernel.molar_masses(out);
+    }
+
+    fn enthalpies_molar(&self, t: f64, out: &mut [f64]) {
+        ChemistryKernel::enthalpies_molar(&*self.kernel, t, out);
+    }
+
+    fn internal_energies_molar(&self, t: f64, out: &mut [f64]) {
+        ChemistryKernel::internal_energies_molar(&*self.kernel, t, out);
+    }
+
+    fn cp_mass(&self, t: f64, y: &[f64]) -> f64 {
+        ChemistryKernel::cp_mass(&*self.kernel, t, y)
+    }
+
+    fn cv_mass(&self, t: f64, y: &[f64]) -> f64 {
+        ChemistryKernel::cv_mass(&*self.kernel, t, y)
+    }
+
+    fn mean_molar_mass(&self, y: &[f64]) -> f64 {
+        ChemistryKernel::mean_molar_mass(&*self.kernel, y)
+    }
+
+    fn density(&self, t: f64, p: f64, y: &[f64]) -> f64 {
+        ChemistryKernel::density(&*self.kernel, t, p, y)
+    }
 
     fn calls(&self) -> usize {
-        self.calls.get()
+        self.kernel.calls.load(Ordering::Relaxed)
+    }
+
+    fn kernel(&self) -> Option<Arc<dyn ChemistryKernel>> {
+        Some(self.kernel.clone())
     }
 }
 
@@ -98,8 +152,8 @@ impl ParameterPort for Inner {
     fn get_parameter(&self, key: &str) -> Option<f64> {
         // Built-in gas properties first, then user-set keys.
         match key {
-            "n_species" => Some(self.mech.n_species() as f64),
-            "n_reactions" => Some(self.mech.reactions.len() as f64),
+            "n_species" => Some(self.kernel.mech.n_species() as f64),
+            "n_reactions" => Some(self.kernel.mech.reactions.len() as f64),
             _ => self.params.borrow().get(key).copied(),
         }
     }
@@ -134,8 +188,10 @@ impl Component for ThermoChemistry {
             MechanismChoice::Reduced5 => cca_chem::h2_air_reduced_5(),
         };
         let inner = Rc::new(Inner {
-            mech,
-            calls: Cell::new(0),
+            kernel: Arc::new(MechKernel {
+                mech,
+                calls: AtomicUsize::new(0),
+            }),
             params: Default::default(),
         });
         s.add_provides_port::<Rc<dyn ChemistrySourcePort>>("chemistry", inner.clone());
@@ -188,5 +244,28 @@ mod tests {
         p.production_rates(1200.0, &vec![1e-3; n], &mut wdot);
         p.production_rates(1200.0, &vec![1e-3; n], &mut wdot);
         assert_eq!(p.calls(), 2);
+    }
+
+    #[test]
+    fn kernel_matches_port_and_shares_the_counter() {
+        let p = port(MechanismChoice::Full19);
+        let k = p.kernel().expect("ThermoChemistry offers a kernel");
+        let n = p.n_species();
+        assert_eq!(k.n_species(), n);
+        let c = vec![1e-3; n];
+        let (mut wp, mut wk) = (vec![0.0; n], vec![0.0; n]);
+        p.production_rates(1500.0, &c, &mut wp);
+        k.production_rates(1500.0, &c, &mut wk);
+        // Same code behind both faces: bit-identical rates...
+        for (a, b) in wp.iter().zip(&wk) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // ...and one shared NFE counter.
+        assert_eq!(p.calls(), 2);
+        let y = vec![1.0 / n as f64; n];
+        assert_eq!(
+            p.density(1500.0, 101_325.0, &y).to_bits(),
+            k.density(1500.0, 101_325.0, &y).to_bits()
+        );
     }
 }

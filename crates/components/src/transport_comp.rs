@@ -4,16 +4,20 @@
 //! coefficient over the domain to determine the maximum stable
 //! timestep").
 
-use crate::ports::{DataPort, EigenEstimatePort, MeshPort, TransportPort};
+use crate::ports::{DataPort, EigenEstimatePort, MeshPort, TransportKernel, TransportPort};
 use cca_core::{Component, Services};
 use cca_transport::TransportModel;
 use std::rc::Rc;
+use std::sync::Arc;
 
-struct DrfmInner {
+/// Thread-safe core: the DRFM property fits are immutable data, so the
+/// kernel is the model itself. The port face delegates to it, keeping
+/// serial and worker-thread evaluations on the same code.
+struct DrfmKernel {
     model: TransportModel,
 }
 
-impl TransportPort for DrfmInner {
+impl TransportKernel for DrfmKernel {
     fn mix_diffusivities(&self, t: f64, p: f64, x: &[f64], out: &mut [f64]) {
         self.model.mix_diffusivities(t, p, x, out);
     }
@@ -21,9 +25,27 @@ impl TransportPort for DrfmInner {
     fn mix_conductivity(&self, t: f64, x: &[f64]) -> f64 {
         self.model.mix_conductivity(t, x)
     }
+}
+
+struct DrfmInner {
+    kernel: Arc<DrfmKernel>,
+}
+
+impl TransportPort for DrfmInner {
+    fn mix_diffusivities(&self, t: f64, p: f64, x: &[f64], out: &mut [f64]) {
+        TransportKernel::mix_diffusivities(&*self.kernel, t, p, x, out);
+    }
+
+    fn mix_conductivity(&self, t: f64, x: &[f64]) -> f64 {
+        TransportKernel::mix_conductivity(&*self.kernel, t, x)
+    }
 
     fn max_diffusivity(&self, t: f64, p: f64) -> f64 {
-        self.model.max_diffusivity(t, p)
+        self.kernel.model.max_diffusivity(t, p)
+    }
+
+    fn kernel(&self) -> Option<Arc<dyn TransportKernel>> {
+        Some(self.kernel.clone())
     }
 }
 
@@ -36,7 +58,12 @@ impl Component for DrfmComponent {
     fn set_services(&mut self, s: Services) {
         let model =
             TransportModel::for_species(&["H2", "O2", "O", "OH", "H", "H2O", "HO2", "H2O2", "N2"]);
-        s.add_provides_port::<Rc<dyn TransportPort>>("transport", Rc::new(DrfmInner { model }));
+        s.add_provides_port::<Rc<dyn TransportPort>>(
+            "transport",
+            Rc::new(DrfmInner {
+                kernel: Arc::new(DrfmKernel { model }),
+            }),
+        );
     }
 }
 

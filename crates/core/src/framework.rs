@@ -48,7 +48,6 @@ struct Instance {
 /// paper's "identical frameworks, containing the same components, are
 /// instantiated on all P processors". The framework itself provides no
 /// message passing (components do that through `cca-comm`).
-#[derive(Default)]
 pub struct Framework {
     palette: BTreeMap<String, Factory>,
     instances: BTreeMap<String, Instance>,
@@ -56,12 +55,50 @@ pub struct Framework {
     order: Vec<String>,
     /// Shared per-component performance registry (TAU stand-in).
     profiler: crate::profile::Profiler,
+    /// Shared patch-kernel executor, handed to every instance's
+    /// [`Services`] (serial unless configured otherwise).
+    executor: crate::executor::Executor,
+}
+
+impl Default for Framework {
+    fn default() -> Self {
+        let profiler = crate::profile::Profiler::new();
+        let executor = crate::executor::Executor::new(profiler.clone());
+        Framework {
+            palette: BTreeMap::new(),
+            instances: BTreeMap::new(),
+            order: Vec::new(),
+            profiler,
+            executor,
+        }
+    }
 }
 
 impl Framework {
-    /// Empty framework with an empty palette.
+    /// Empty framework with an empty palette. The executor worker count is
+    /// initialized from the `CCA_HYDRO_THREADS` environment variable
+    /// ([`crate::executor::WORKERS_ENV`]) when set; the default is serial.
     pub fn new() -> Self {
-        Self::default()
+        let fw = Self::default();
+        let env = std::env::var(crate::executor::WORKERS_ENV).ok();
+        fw.executor
+            .set_workers(crate::executor::Executor::workers_from_env_value(
+                env.as_deref(),
+            ));
+        fw
+    }
+
+    /// The framework's shared patch-kernel [`crate::executor::Executor`]
+    /// (the same handle every instantiated component receives).
+    pub fn executor(&self) -> crate::executor::Executor {
+        self.executor.clone()
+    }
+
+    /// Set the patch-kernel worker count for the whole assembly (clamped
+    /// to at least 1; 1 means serial inline execution). Components see the
+    /// change on their next executor run.
+    pub fn set_workers(&self, workers: usize) {
+        self.executor.set_workers(workers);
     }
 
     /// Add a component class to the palette.
@@ -116,7 +153,7 @@ impl Framework {
             .get(class)
             .ok_or_else(|| CcaError::UnknownClass(class.to_string()))?;
         let mut component = factory();
-        let services = Services::with_profiler(name, self.profiler.clone());
+        let services = Services::with_runtime(name, self.profiler.clone(), self.executor.clone());
         component.set_services(services.clone());
         self.instances.insert(
             name.to_string(),

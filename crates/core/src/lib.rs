@@ -64,6 +64,7 @@
 //! ```
 
 pub mod error;
+pub mod executor;
 pub mod framework;
 pub mod ports;
 pub mod profile;
@@ -72,6 +73,7 @@ pub mod services;
 pub mod signature;
 
 pub use error::CcaError;
+pub use executor::{Executor, KernelFailure, RunReport};
 pub use framework::{DanglingPort, Framework};
 pub use ports::{GoPort, ParameterPort, ParameterStore};
 pub use profile::{Profiler, TimerStat};

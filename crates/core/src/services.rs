@@ -73,6 +73,7 @@ pub(crate) struct ServicesState {
     pub(crate) provides: BTreeMap<String, PortObject>,
     pub(crate) uses: BTreeMap<String, UsesSlot>,
     pub(crate) profiler: crate::profile::Profiler,
+    pub(crate) executor: crate::executor::Executor,
 }
 
 /// Cheap-to-clone handle onto one component's port registry.
@@ -93,14 +94,29 @@ impl Services {
         Self::with_profiler(name, crate::profile::Profiler::new())
     }
 
-    /// Create a registry sharing the framework's [`crate::profile::Profiler`].
+    /// Create a registry sharing the framework's [`crate::profile::Profiler`]
+    /// (with a private serial executor; see [`Services::with_runtime`]).
     pub fn with_profiler(name: &str, profiler: crate::profile::Profiler) -> Self {
+        let executor = crate::executor::Executor::new(profiler.clone());
+        Self::with_runtime(name, profiler, executor)
+    }
+
+    /// Create a registry sharing both framework-wide runtime services: the
+    /// profiler and the patch-kernel [`crate::executor::Executor`]. This is
+    /// what [`crate::Framework::instantiate`] uses, so every component sees
+    /// the same worker-count setting.
+    pub fn with_runtime(
+        name: &str,
+        profiler: crate::profile::Profiler,
+        executor: crate::executor::Executor,
+    ) -> Self {
         Services {
             state: Rc::new(RefCell::new(ServicesState {
                 instance: name.to_string(),
                 provides: BTreeMap::new(),
                 uses: BTreeMap::new(),
                 profiler,
+                executor,
             })),
         }
     }
@@ -110,6 +126,14 @@ impl Services {
     /// bodies with `services.profiler().scope("Instance.port")`.
     pub fn profiler(&self) -> crate::profile::Profiler {
         self.state.borrow().profiler.clone()
+    }
+
+    /// The framework's shared patch-kernel executor. Components hand it
+    /// independent per-patch work via [`crate::executor::Executor::run`];
+    /// at the default worker count of 1 everything runs inline, so using
+    /// it costs nothing when parallelism is off.
+    pub fn executor(&self) -> crate::executor::Executor {
+        self.state.borrow().executor.clone()
     }
 
     /// The instance name this registry belongs to.

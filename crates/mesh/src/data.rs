@@ -232,6 +232,12 @@ impl DataObject {
         self.levels[level].insert(patch_id, data);
     }
 
+    /// Move one patch's data out (the disjoint-ownership handoff of the
+    /// parallel patch executor); re-attach with [`DataObject::insert`].
+    pub fn take_patch(&mut self, level: usize, patch_id: usize) -> Option<PatchData> {
+        self.levels.get_mut(level).and_then(|l| l.remove(&patch_id))
+    }
+
     /// Ids of patches with data on `level`.
     pub fn patch_ids(&self, level: usize) -> Vec<usize> {
         self.levels

@@ -8,8 +8,14 @@
 //!
 //! ```text
 //! cargo run --example cca_lint -- [--check|--run] <script.rc>...
+//! cargo run --example cca_lint -- --apps            # lint the three app assemblies
 //! cargo run --example cca_lint                      # lint the built-in demos
 //! ```
+//!
+//! `--apps` is the CI gate: it regenerates the ignition, reaction–
+//! diffusion and shock-interface assembly scripts exactly as the
+//! applications do and lints each against the palette it actually runs
+//! in, exiting 1 on any error-severity finding.
 //!
 //! `--check` (the default) is a pure dry-run: parse + multi-pass analysis,
 //! exit 1 if any error-severity finding exists. `--run` executes each
@@ -17,9 +23,9 @@
 //! before a single component is instantiated.
 
 use cca_analyze::{run_script_checked, Analyzer, CheckedRunError};
-use cca_apps::ignition0d::ignition_script;
-use cca_apps::reaction_diffusion::RdDriver;
-use cca_apps::shock_interface::ShockDriver;
+use cca_apps::ignition0d::{ignition_framework, ignition_script};
+use cca_apps::reaction_diffusion::{rd_framework, rd_script, RdConfig, RdDriver};
+use cca_apps::shock_interface::{shock_framework, shock_script, ShockConfig, ShockDriver};
 use cca_core::Framework;
 use std::process::ExitCode;
 
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--check" => check_only = true,
             "--run" => check_only = false,
+            "--apps" => return lint_apps(),
             "--help" | "-h" => {
                 eprintln!("usage: cca_lint [--check|--run] <script.rc>...");
                 eprintln!("       cca_lint            (lint built-in demo scripts)");
@@ -84,6 +91,43 @@ fn main() -> ExitCode {
                 }
                 Err(CheckedRunError::Rejected(_)) => unreachable!("already vetted"),
             }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The CI gate: lint each application's generated assembly script
+/// against the exact framework that application runs it in.
+fn lint_apps() -> ExitCode {
+    let cases: [(&str, String, Framework); 3] = [
+        (
+            "ignition0d.rc",
+            ignition_script(false, 1000.0, 101_325.0, 1e-3),
+            ignition_framework(),
+        ),
+        (
+            "reaction_diffusion.rc",
+            rd_script(&RdConfig::default()),
+            rd_framework(),
+        ),
+        (
+            "shock_interface.rc",
+            shock_script(&ShockConfig::default()),
+            shock_framework(),
+        ),
+    ];
+    let mut failed = false;
+    for (name, script, fw) in &cases {
+        let report = Analyzer::new(fw).analyze(script);
+        if report.is_clean() {
+            println!("{name}: ok");
+        } else {
+            print!("{}", report.render(name));
+            failed |= report.has_errors();
         }
     }
     if failed {

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The workspace builds hermetically (no crates-io access), so the slice
+//! of `crossbeam` the executor uses — the work-stealing [`deque`] — is
+//! reimplemented here with safe, mutex-backed queues. The API shape
+//! (`Injector` / `Worker` / `Stealer` / [`deque::Steal`]) matches
+//! `crossbeam-deque` so the executor code reads like it would against the
+//! real crate; the lock-free innards do not. On this repo's workloads a
+//! job is a whole SAMR patch kernel (micro- to milliseconds), so queue
+//! synchronization cost is noise.
+
+pub mod deque {
+    //! Work-stealing deques: a global injector plus per-worker queues that
+    //! other workers can steal from.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match q.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried. The mutex-backed
+        /// implementation never produces this, but callers written against
+        /// real `crossbeam` handle it, so it stays in the enum.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True if the steal lost a race and should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// True if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A FIFO queue shared by all workers; tasks are injected here by the
+    /// submitting thread and pulled by whichever worker gets there first.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Steals one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`'s local queue and pops one of
+        /// them for immediate execution.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut global = locked(&self.queue);
+            let first = match global.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            // Move up to half of what remains into the destination queue,
+            // mirroring crossbeam's batching heuristic.
+            let batch = global.len() / 2;
+            if batch > 0 {
+                let mut local = locked(&dest.queue);
+                for _ in 0..batch {
+                    match global.pop_front() {
+                        Some(t) => local.push_back(t),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// True if no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            locked(&self.queue).len()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// A worker-local queue. The owning worker pushes and pops at the front;
+    /// [`Stealer`]s take from the back.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Self {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the local queue.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Pops the next task in FIFO order.
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.queue).pop_front()
+        }
+
+        /// True if the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        /// Creates a handle other threads can steal from.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle for stealing tasks from another worker's queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the back of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if the victim's queue is empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_fifo_and_batch() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            assert_eq!(inj.steal().success(), Some(0));
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(1));
+            // Half of the remaining 8 moved into the local queue.
+            assert!(!w.is_empty());
+            assert_eq!(w.pop(), Some(2));
+        }
+
+        #[test]
+        fn stealer_takes_from_opposite_end() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal().success(), Some(3));
+            assert_eq!(w.pop(), Some(1));
+        }
+
+        #[test]
+        fn steal_across_threads() {
+            let inj = std::sync::Arc::new(Injector::new());
+            for i in 0..100 {
+                inj.push(i);
+            }
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let inj = std::sync::Arc::clone(&inj);
+                handles.push(std::thread::spawn(move || {
+                    let mut got = 0;
+                    while inj.steal().success().is_some() {
+                        got += 1;
+                    }
+                    got
+                }));
+            }
+            let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 100);
+        }
+    }
+}

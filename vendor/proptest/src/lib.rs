@@ -1,0 +1,576 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds hermetically (no crates-io access), so the
+//! property tests run against this small reimplementation of the proptest
+//! API surface they use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   `arg in strategy` parameters, and `#[test]` attributes;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * strategies: half-open numeric ranges, tuples of strategies,
+//!   [`collection::vec`], [`collection::hash_set`],
+//!   [`sample::subsequence`], [`sample::select`], and
+//!   [`strategy::Strategy::prop_map`].
+//!
+//! Differences from the real crate, deliberately accepted for a test-only
+//! shim: no shrinking (a failing case reports its inputs verbatim), and
+//! case generation is **deterministic** — seeded from the test's module
+//! path — instead of OS-random with a persistence file. Rejections via
+//! `prop_assume!` regenerate the case, with a global attempt cap.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` draws a
+    /// concrete value directly and no shrinking ever happens.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<i64> {
+        type Value = i64;
+        fn generate(&self, rng: &mut TestRng) -> i64 {
+            assert!(self.start < self.end, "empty i64 strategy range");
+            let span = self.end.abs_diff(self.start);
+            (self.start as i128 + rng.below_u64(span) as i128) as i64
+        }
+    }
+
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty usize strategy range");
+            self.start + rng.below_u64((self.end - self.start) as u64) as usize
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod test_runner {
+    //! Configuration, the deterministic RNG, and case-level errors.
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` passing cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assert!`-style failure: the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejection: the inputs are outside the property's
+        /// precondition; the runner draws a fresh case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic xoshiro256** generator.
+    ///
+    /// Seeded from the test's name so every `cargo test` run replays the
+    /// same cases — failures are reproducible without a persistence file.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds the generator for a named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a of the name, then SplitMix64 expansion into the state.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            let mut x = h ^ 0x9E37_79B9_7F4A_7C15;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw in `[0, n)`; widening multiply keeps bias < 2^-64.
+        pub fn below_u64(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below_u64(0)");
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform draw in `[0, n)` as `usize`.
+        pub fn below(&mut self, n: usize) -> usize {
+            self.below_u64(n as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections of generated elements.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Inclusive size bounds for generated collections. Built from a bare
+    /// `usize` (exact size) or a half-open `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        /// Draws a size within the bounds.
+        pub(crate) fn pick(self, rng: &mut TestRng) -> usize {
+            if self.hi <= self.lo {
+                self.lo
+            } else {
+                self.lo + rng.below(self.hi - self.lo + 1)
+            }
+        }
+
+        pub(crate) fn lo(self) -> usize {
+            self.lo
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    /// `Vec` of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet` of distinct values from `element`, with a target size
+    /// drawn from `size`. If the element space is too small to reach the
+    /// target, the set saturates at whatever was collected — real proptest
+    /// would reject instead, but no in-repo test generates near-exhaustive
+    /// sets.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(target);
+            let budget = 20 * target.max(self.size.lo()) + 100;
+            for _ in 0..budget {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies that sample from explicit value lists.
+
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Order-preserving subsequence of `values` whose length is drawn from
+    /// `size`.
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            values,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`subsequence`].
+    pub struct Subsequence<T: Clone> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.values.len();
+            let want = self.size.pick(rng).min(n);
+            // Uniform n-choose-want combination, in order: include element
+            // j with probability (still needed) / (still remaining).
+            let mut out = Vec::with_capacity(want);
+            let mut needed = want;
+            for (j, v) in self.values.iter().enumerate() {
+                if needed == 0 {
+                    break;
+                }
+                let remaining = n - j;
+                if rng.below(remaining) < needed {
+                    out.push(v.clone());
+                    needed -= 1;
+                }
+            }
+            out
+        }
+    }
+
+    /// Uniform choice of one element of `values`.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select of empty list");
+        Select { values }
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below(self.values.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Asserts a property inside a `proptest!` body; on failure the current
+/// case fails with the formatted message (and its inputs are reported).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (precondition not met); the runner draws a
+/// fresh one without counting this as a failure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+            let __pt_cases = __pt_config.cases;
+            let __pt_max_attempts = __pt_cases.saturating_mul(20).max(100);
+            let mut __pt_rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __pt_passed: u32 = 0;
+            let mut __pt_attempts: u32 = 0;
+            while __pt_passed < __pt_cases {
+                __pt_attempts += 1;
+                assert!(
+                    __pt_attempts <= __pt_max_attempts,
+                    "proptest {}: too many rejected cases ({} passed of {})",
+                    stringify!($name), __pt_passed, __pt_cases
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);)+
+                let mut __pt_inputs = ::std::string::String::new();
+                $(__pt_inputs.push_str(&format!(
+                    "\n    {} = {:?}", stringify!($arg), &$arg
+                ));)+
+                let __pt_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __pt_result {
+                    ::std::result::Result::Ok(()) => __pt_passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}\n  inputs:{}",
+                            stringify!($name), __pt_passed, msg, __pt_inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0.25f64..0.75, n in -3i64..9, k in 2usize..5) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((-3..9).contains(&n));
+            prop_assert!((2..5).contains(&k));
+        }
+
+        #[test]
+        fn vec_and_set_sizes(
+            v in prop::collection::vec(0.0f64..1.0, 3..7),
+            s in prop::collection::hash_set((0i64..10, 0i64..10), 1..20),
+        ) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(!s.is_empty() && s.len() < 20);
+        }
+
+        #[test]
+        fn subsequence_full_and_mapped(
+            full in prop::sample::subsequence(vec![0usize, 1, 2, 3, 4], 5),
+            pair in (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| (a.min(b), a.max(b))),
+        ) {
+            prop_assert_eq!(full, vec![0usize, 1, 2, 3, 4]);
+            prop_assert!(pair.0 <= pair.1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0f64..1.0) {
+            prop_assume!(x < 0.9);
+            prop_assert!(x < 0.9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0, "x = {} is not > 2", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! Hermetic builds can't fetch crates-io, so the benches and property
+//! tests get this small deterministic PRNG instead. The API mirrors the
+//! subset of `rand` 0.8 the repo uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open ranges, [`Rng::gen_bool`], and
+//! [`rngs::StdRng`]. The generator is xoshiro256** seeded via SplitMix64 —
+//! not the real `StdRng` (ChaCha12), so streams differ from upstream
+//! `rand`, but every in-repo use seeds explicitly and only needs
+//! determinism and reasonable equidistribution, not a specific stream.
+
+use std::ops::Range;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from a half-open `Range`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws a value in `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1), then affine map.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Widening multiply of a random word against the span: keeps modulo bias
+/// below 2^-64, plenty for test workloads.
+fn scale_to_span<R: RngCore + ?Sized>(span: u128, rng: &mut R) -> u128 {
+    (rng.next_u64() as u128 * span) >> 64
+}
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = range.end.abs_diff(range.start) as u128;
+                (range.start as i128 + scale_to_span(span, rng) as i128) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end - range.start) as u128;
+                range.start + scale_to_span(span, rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i32, i64);
+impl_sample_uniform_unsigned!(u32, u64, usize);
+
+/// User-facing sampling methods, in the style of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from the half-open range `low..high`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(range, self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        f64::sample_range(0.0..1.0, self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction of seeded generators, in the style of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator seeded via SplitMix64.
+    ///
+    /// Stands in for `rand::rngs::StdRng`; the stream differs from
+    /// upstream (which is ChaCha12) but is fixed for a given seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0.8f64..1.2);
+            assert!((0.8..1.2).contains(&x));
+            let n = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}
