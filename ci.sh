@@ -5,9 +5,9 @@
 # [workspace.lints] table of the root Cargo.toml.
 #
 # Opt-in extras:
-#   CI_BENCH=1  also run the deterministic bench smoke (cca-bench) and
+#   CI_BENCH=1  also run the deterministic bench smokes (cca-bench) and
 #               fail on malformed output or drift from the committed
-#               BENCH_PR2.json baseline.
+#               BENCH_PR2.json / BENCH_PR3.json baselines.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,6 +26,9 @@ cargo test -q
 echo "== assembly lint (cca-analyze over the three app scripts)"
 cargo run -q --example cca_lint -- --apps
 
+echo "== serve smoke (demo request stream through the job server)"
+cargo run -q --example cca_serve -- --demo > /dev/null
+
 echo "== cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
@@ -36,6 +39,12 @@ if [[ "${CI_BENCH:-0}" == "1" ]]; then
   echo "== bench smoke: compare against committed baseline"
   diff -u BENCH_PR2.json target/BENCH_PR2.json \
     || { echo "BENCH_PR2.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- smoke"; exit 1; }
+  echo "== serve loadgen bench (CI_BENCH=1)"
+  cargo run -q -p cca-bench --bin cca-bench -- serve target/BENCH_PR3.json
+  cargo run -q -p cca-bench --bin cca-bench -- serve-check target/BENCH_PR3.json
+  echo "== serve loadgen: compare against committed baseline"
+  diff -u BENCH_PR3.json target/BENCH_PR3.json \
+    || { echo "BENCH_PR3.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- serve"; exit 1; }
 fi
 
 echo "ci: all gates passed"

@@ -15,12 +15,19 @@
 //! Usage:
 //!
 //! ```text
-//! cca-bench smoke [PATH]   # run the slice, write JSON (default BENCH_PR2.json)
-//! cca-bench check [PATH]   # validate an existing file, exit non-zero if malformed
+//! cca-bench smoke [PATH]        # run the slice, write JSON (default BENCH_PR2.json)
+//! cca-bench check [PATH]        # validate an existing file, exit non-zero if malformed
+//! cca-bench serve [PATH]        # run the serving loadgen, write BENCH_PR3.json
+//! cca-bench serve-check [PATH]  # validate an existing BENCH_PR3.json
 //! ```
 //!
-//! `./ci.sh` runs both when `CI_BENCH=1` and compares the fresh output
-//! against the committed baseline.
+//! The `serve` pair freezes the PR-3 serving-subsystem loadgen (200 jobs,
+//! 25% duplicates, fault and deadline injection) — the server schedules
+//! on a virtual tick clock, so every counter *and every latency
+//! percentile* in the file is deterministic.
+//!
+//! `./ci.sh` runs all of it when `CI_BENCH=1` and compares the fresh
+//! output against the committed baselines.
 
 use cca_apps::scaling::{run_scaling, ScalingConfig};
 use cca_chem::h2_air_reduced_5;
@@ -34,6 +41,8 @@ use std::rc::Rc;
 
 const DEFAULT_PATH: &str = "BENCH_PR2.json";
 const SCHEMA: &str = "cca-bench-smoke-v2";
+const SERVE_PATH: &str = "BENCH_PR3.json";
+const SERVE_SCHEMA: &str = "cca-serve-loadgen-v1";
 
 /// Stoichiometric H2-air for an n-species table (H2, O2 first; N2 last).
 fn stoich(n: usize) -> Vec<f64> {
@@ -152,6 +161,143 @@ fn smoke_json() -> String {
     out
 }
 
+/// PR-3 serving-subsystem loadgen, frozen as JSON. Every value is a pure
+/// function of the loadgen seed (virtual-clock scheduling), so CI can
+/// diff this byte-for-byte against the committed baseline.
+fn serve_json() -> String {
+    let cfg = cca_serve::LoadgenConfig::default();
+    let r = cca_serve::run_loadgen(&cfg);
+    let s = &r.stats;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SERVE_SCHEMA}\",\n"));
+    out.push_str("  \"deterministic\": true,\n");
+    out.push_str(&format!(
+        "  \"scenario\": {{\"jobs\": {}, \"duplicate_requests\": {}, \"seed\": {}, \
+         \"sessions\": {}, \"queue_capacity\": {}, \"burst\": {}, \"cache_capacity\": {}}},\n",
+        cfg.jobs,
+        r.duplicate_requests,
+        cfg.seed,
+        cfg.sessions,
+        cfg.queue_capacity,
+        cfg.burst,
+        cfg.cache_capacity
+    ));
+    out.push_str(&format!(
+        "  \"outcomes\": {{\"completed\": {}, \"cached\": {}, \"cancelled_deadline\": {}, \
+         \"cancelled_user\": {}, \"failed\": {}}},\n",
+        r.completed, r.cached, r.cancelled_deadline, r.cancelled_user, r.failed
+    ));
+    out.push_str(&format!(
+        "  \"service\": {{\"rejection_events\": {}, \"retries\": {}, \"poisonings\": {}, \
+         \"coalesced\": {}, \"cache_hit_ratio\": {:e}, \"total_ticks\": {}, \
+         \"throughput_jobs_per_kilotick\": {:e}}},\n",
+        r.rejection_events,
+        s.retries,
+        s.poisonings,
+        s.coalesced,
+        r.cache_hit_ratio,
+        r.total_ticks,
+        r.throughput_jobs_per_kilotick
+    ));
+    out.push_str(&format!(
+        "  \"queue_wait_ticks\": {{\"count\": {}, \"mean\": {:e}, \"p50\": {:e}, \
+         \"p95\": {:e}, \"p99\": {:e}, \"max\": {:e}}},\n",
+        s.queue_wait.count,
+        s.queue_wait.mean,
+        s.queue_wait.p50,
+        s.queue_wait.p95,
+        s.queue_wait.p99,
+        s.queue_wait.max
+    ));
+    out.push_str(&format!(
+        "  \"run_ticks\": {{\"count\": {}, \"mean\": {:e}, \"p50\": {:e}, \
+         \"p95\": {:e}, \"p99\": {:e}, \"max\": {:e}}},\n",
+        s.run_ticks.count,
+        s.run_ticks.mean,
+        s.run_ticks.p50,
+        s.run_ticks.p95,
+        s.run_ticks.p99,
+        s.run_ticks.max
+    ));
+    out.push_str("  \"sessions\": [\n");
+    for (i, sess) in s.sessions.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"epoch\": {}, \"runs\": {}}}{}\n",
+            sess.id,
+            sess.epoch,
+            sess.runs,
+            if i + 1 < s.sessions.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Structural + invariant validation of a serve loadgen file.
+fn validate_serve(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !text.contains(&format!("\"schema\": \"{SERVE_SCHEMA}\"")) {
+        errs.push(format!("missing or wrong schema tag (want {SERVE_SCHEMA})"));
+    }
+    for (open, close, what) in [('{', '}', "braces"), ('[', ']', "brackets")] {
+        let a = text.matches(open).count();
+        let b = text.matches(close).count();
+        if a != b || a == 0 {
+            errs.push(format!("unbalanced {what}: {a} '{open}' vs {b} '{close}'"));
+        }
+    }
+    let one = |key: &str, errs: &mut Vec<String>| -> f64 {
+        let v = numbers_after(text, key);
+        if v.len() != 1 {
+            errs.push(format!("want exactly one \"{key}\", found {}", v.len()));
+            return f64::NAN;
+        }
+        v[0]
+    };
+    let jobs = one("jobs", &mut errs);
+    let dup = one("duplicate_requests", &mut errs);
+    let resolved = [
+        "completed",
+        "cached",
+        "cancelled_deadline",
+        "cancelled_user",
+        "failed",
+    ]
+    .iter()
+    .map(|k| one(k, &mut errs))
+    .sum::<f64>();
+    if resolved != jobs {
+        errs.push(format!(
+            "lost jobs: {resolved} outcomes for {jobs} accepted submissions"
+        ));
+    }
+    let cached = one("cached", &mut errs);
+    if cached < dup {
+        errs.push(format!(
+            "cache hit count {cached} below duplicate count {dup}"
+        ));
+    }
+    for key in [
+        "rejection_events",
+        "retries",
+        "poisonings",
+        "cancelled_deadline",
+        "failed",
+    ] {
+        if one(key, &mut errs) < 1.0 {
+            errs.push(format!("\"{key}\" was never exercised"));
+        }
+    }
+    let epochs: f64 = numbers_after(text, "epoch").iter().sum();
+    if epochs != one("poisonings", &mut errs) {
+        errs.push(format!(
+            "session epoch sum {epochs} must equal poisonings (panic isolation)"
+        ));
+    }
+    errs
+}
+
 /// Every number following a `"key":` in (our own, known-shape) JSON.
 fn numbers_after(text: &str, key: &str) -> Vec<f64> {
     let needle = format!("\"{key}\":");
@@ -211,8 +357,51 @@ fn validate(text: &str) -> Vec<String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let mode = args.get(1).map(String::as_str);
-    let path = args.get(2).map(String::as_str).unwrap_or(DEFAULT_PATH);
+    let default_path = match mode {
+        Some("serve") | Some("serve-check") => SERVE_PATH,
+        _ => DEFAULT_PATH,
+    };
+    let path = args.get(2).map(String::as_str).unwrap_or(default_path);
     match mode {
+        Some("serve") => {
+            let json = serve_json();
+            let errs = validate_serve(&json);
+            if !errs.is_empty() {
+                eprintln!("cca-bench: serve loadgen output failed self-check:");
+                for e in &errs {
+                    eprintln!("  - {e}");
+                }
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cca-bench: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "cca-bench: wrote {path} ({} bytes, deterministic)",
+                json.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("serve-check") => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let errs = validate_serve(&text);
+                if errs.is_empty() {
+                    println!("cca-bench: {path} is well-formed");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("cca-bench: {path} is malformed:");
+                    for e in &errs {
+                        eprintln!("  - {e}");
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("cca-bench: cannot read {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("smoke") => {
             let json = smoke_json();
             let errs = validate(&json);
@@ -253,7 +442,7 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: cca-bench smoke [PATH] | cca-bench check [PATH]");
+            eprintln!("usage: cca-bench smoke|check [PATH] | cca-bench serve|serve-check [PATH]");
             ExitCode::FAILURE
         }
     }

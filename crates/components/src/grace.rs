@@ -320,6 +320,24 @@ impl crate::ports::CheckpointPort for GraceInner {
         *self.objects.borrow_mut() = objects;
         Ok(())
     }
+
+    fn save_bytes(&self) -> Result<Vec<u8>, String> {
+        let hier = self.hier.borrow();
+        let hier = hier.as_ref().ok_or("no hierarchy to checkpoint")?;
+        let objects = self.objects.borrow();
+        let mut buf = Vec::new();
+        cca_mesh::checkpoint::write_checkpoint(hier, &objects, &mut buf)
+            .map_err(|e| e.to_string())?;
+        Ok(buf)
+    }
+
+    fn restore_bytes(&self, mut bytes: &[u8]) -> Result<(), String> {
+        let (hier, objects) =
+            cca_mesh::checkpoint::read_checkpoint(&mut bytes).map_err(|e| e.to_string())?;
+        *self.hier.borrow_mut() = Some(hier);
+        *self.objects.borrow_mut() = objects;
+        Ok(())
+    }
 }
 
 /// The component. Provides `mesh` (MeshPort) and `data` (DataPort).
@@ -483,6 +501,28 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         // Restoring a missing file reports an error, not a panic.
         assert!(ckpt.restore("/nonexistent/nope.bin").is_err());
+    }
+
+    #[test]
+    fn checkpoint_bytes_roundtrip_without_filesystem() {
+        use crate::ports::CheckpointPort;
+        let mut fw = cca_core::Framework::new();
+        fw.register_class("Grace", || Box::new(GraceComponent::default()));
+        fw.instantiate("Grace", "g").unwrap();
+        let mesh: Rc<dyn MeshPort> = fw.get_provides_port("g", "mesh").unwrap();
+        let data: Rc<dyn DataPort> = fw.get_provides_port("g", "data").unwrap();
+        let ckpt: Rc<dyn CheckpointPort> = fw.get_provides_port("g", "checkpoint").unwrap();
+        mesh.create(8, 8, 1.0, 1.0, 2);
+        data.create_data_object("u", 1, 1);
+        let (id, _, _) = mesh.patches(0)[0];
+        data.with_patch_mut("u", 0, id, &mut |pd| pd.fill_var(0, 2.25));
+        let bytes = ckpt.save_bytes().unwrap();
+        // Saving twice yields identical bytes (the cache-fidelity basis).
+        assert_eq!(bytes, ckpt.save_bytes().unwrap());
+        data.with_patch_mut("u", 0, id, &mut |pd| pd.fill_var(0, -9.0));
+        ckpt.restore_bytes(&bytes).unwrap();
+        data.with_patch("u", 0, id, &mut |pd| assert_eq!(pd.get(0, 3, 3), 2.25));
+        assert!(ckpt.restore_bytes(b"garbage").is_err());
     }
 
     #[test]

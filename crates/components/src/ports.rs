@@ -490,6 +490,17 @@ pub trait CheckpointPort {
     fn save(&self, path: &str) -> Result<(), String>;
     /// Replace the current state with the checkpoint at `path`.
     fn restore(&self, path: &str) -> Result<(), String>;
+    /// The checkpoint as in-memory bytes (same format as [`Self::save`])
+    /// — what a serving tier stores in a result cache instead of touching
+    /// the filesystem. Default: unsupported.
+    fn save_bytes(&self) -> Result<Vec<u8>, String> {
+        Err("in-memory checkpointing not supported by this component".into())
+    }
+    /// Replace the current state with an in-memory checkpoint produced by
+    /// [`Self::save_bytes`]. Default: unsupported.
+    fn restore_bytes(&self, _bytes: &[u8]) -> Result<(), String> {
+        Err("in-memory checkpointing not supported by this component".into())
+    }
 }
 
 /// Pluggable patch-to-processor assignment — the interface the paper's

@@ -237,9 +237,39 @@ fn find_job(local: &LocalQueue<Job>, shared: &PoolShared) -> Option<Job> {
     None
 }
 
+/// Cheap cumulative counters of everything an [`Executor`] has done since
+/// construction — the machine-readable snapshot a serving tier embeds in
+/// its own stats instead of parsing profiler text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Currently configured worker count.
+    pub workers: usize,
+    /// Completed [`Executor::run`] invocations.
+    pub runs: u64,
+    /// Work items executed across all runs (including panicked ones).
+    pub items: u64,
+    /// Kernel panics contained by `catch_unwind` across all runs.
+    pub poisonings: u64,
+}
+
+impl ExecutorStats {
+    /// Merge another snapshot into this one (counters add; `workers`
+    /// takes the other's value so the merged snapshot reflects the most
+    /// recently observed configuration).
+    pub fn absorb(&mut self, other: &ExecutorStats) {
+        self.workers = other.workers;
+        self.runs += other.runs;
+        self.items += other.items;
+        self.poisonings += other.poisonings;
+    }
+}
+
 struct ExecCore {
     workers: usize,
     pool: Option<Pool>,
+    runs: u64,
+    items: u64,
+    poisonings: u64,
 }
 
 impl ExecCore {
@@ -274,6 +304,9 @@ impl Executor {
             core: Rc::new(RefCell::new(ExecCore {
                 workers: 1,
                 pool: None,
+                runs: 0,
+                items: 0,
+                poisonings: 0,
             })),
             profiler,
         }
@@ -282,6 +315,18 @@ impl Executor {
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.core.borrow().workers
+    }
+
+    /// Snapshot of the cumulative run/item/poisoning counters. O(1), no
+    /// allocation — cheap enough to call after every run.
+    pub fn stats(&self) -> ExecutorStats {
+        let core = self.core.borrow();
+        ExecutorStats {
+            workers: core.workers,
+            runs: core.runs,
+            items: core.items,
+            poisonings: core.poisonings,
+        }
     }
 
     /// Set the worker count (clamped to at least 1). At `1` kernels run
@@ -331,6 +376,9 @@ impl Executor {
         } else {
             run_parallel(core.pool(), items, kernel)
         };
+        core.runs += 1;
+        core.items += report.items.len() as u64;
+        core.poisonings += report.failures.len() as u64;
         drop(core);
         if self.profiler.is_enabled() {
             for busy in &report.item_busy {
@@ -542,6 +590,38 @@ mod tests {
             stats.iter().any(|(name, _)| name.starts_with("diff.rhs[w")),
             "no per-worker timer in {stats:?}"
         );
+    }
+
+    #[test]
+    fn stats_count_runs_items_and_poisonings() {
+        let e = exec(2);
+        assert_eq!(e.stats(), ExecutorStats::default().with_workers(2));
+        e.run("a", vec![0i32; 8], |_, it| *it += 1);
+        let report = e.run("b", (0..4).collect::<Vec<i32>>(), |i, _| {
+            if i == 2 {
+                panic!("boom");
+            }
+        });
+        assert!(report.poisoned());
+        let s = e.stats();
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.items, 12);
+        assert_eq!(s.poisonings, 1);
+        assert_eq!(s.workers, 2);
+        // Snapshots merge additively.
+        let mut agg = ExecutorStats::default();
+        agg.absorb(&s);
+        agg.absorb(&s);
+        assert_eq!(agg.runs, 4);
+        assert_eq!(agg.items, 24);
+        assert_eq!(agg.poisonings, 2);
+    }
+
+    impl ExecutorStats {
+        fn with_workers(mut self, workers: usize) -> Self {
+            self.workers = workers;
+            self
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod services;
 pub mod signature;
 
 pub use error::CcaError;
-pub use executor::{Executor, KernelFailure, RunReport};
+pub use executor::{Executor, ExecutorStats, KernelFailure, RunReport};
 pub use framework::{DanglingPort, Framework};
 pub use ports::{GoPort, ParameterPort, ParameterStore};
 pub use profile::{Profiler, TimerStat};

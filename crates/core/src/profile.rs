@@ -9,11 +9,23 @@
 //! [`Profiler::scope`] guards. [`Profiler::report`] renders the
 //! per-component table (calls, total time, mean time), the assembly-level
 //! view TAU would give.
+//!
+//! Beyond the TAU-style means, every timer keeps a bounded **ring-buffer
+//! sample reservoir** (the most recent [`SAMPLE_CAPACITY`] durations), so
+//! latency *tails* — max, p50/p95/p99 — are available through
+//! [`Profiler::percentiles`] and the report. Serving layers need tails,
+//! not means: one slow job hiding behind a flat average is exactly the
+//! pathology a mean cannot show.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Instant;
+
+/// Number of most-recent samples each timer retains for percentile
+/// queries. Old samples are overwritten ring-buffer style, so long runs
+/// report the *recent* latency distribution at O(1) memory per timer.
+pub const SAMPLE_CAPACITY: usize = 1024;
 
 /// Accumulated statistics of one named timer.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -22,11 +34,38 @@ pub struct TimerStat {
     pub calls: u64,
     /// Total seconds inside the scope.
     pub total_secs: f64,
+    /// Longest single scope, seconds.
+    pub max_secs: f64,
+}
+
+/// One timer's full record: the running totals plus the sample ring.
+#[derive(Default)]
+struct TimerRecord {
+    stat: TimerStat,
+    /// Ring buffer of the most recent samples; `stat.calls % capacity`
+    /// marks the overwrite cursor once the ring is full.
+    samples: Vec<f64>,
+}
+
+impl TimerRecord {
+    fn record(&mut self, secs: f64) {
+        if self.samples.len() < SAMPLE_CAPACITY {
+            self.samples.push(secs);
+        } else {
+            let slot = (self.stat.calls as usize) % SAMPLE_CAPACITY;
+            self.samples[slot] = secs;
+        }
+        self.stat.calls += 1;
+        self.stat.total_secs += secs;
+        if secs > self.stat.max_secs {
+            self.stat.max_secs = secs;
+        }
+    }
 }
 
 #[derive(Default)]
 struct ProfilerState {
-    timers: BTreeMap<String, TimerStat>,
+    timers: BTreeMap<String, TimerRecord>,
     enabled: bool,
 }
 
@@ -69,14 +108,12 @@ impl Profiler {
     /// Directly record an externally measured duration.
     pub fn record(&self, name: &str, secs: f64) {
         let mut st = self.state.borrow_mut();
-        let t = st.timers.entry(name.to_string()).or_default();
-        t.calls += 1;
-        t.total_secs += secs;
+        st.timers.entry(name.to_string()).or_default().record(secs);
     }
 
     /// Snapshot of one timer.
     pub fn stat(&self, name: &str) -> Option<TimerStat> {
-        self.state.borrow().timers.get(name).copied()
+        self.state.borrow().timers.get(name).map(|r| r.stat)
     }
 
     /// Snapshot of everything, name-sorted.
@@ -85,8 +122,35 @@ impl Profiler {
             .borrow()
             .timers
             .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .map(|(k, v)| (k.clone(), v.stat))
             .collect()
+    }
+
+    /// Percentiles of one timer's sample reservoir by nearest-rank, e.g.
+    /// `percentiles("a.go", &[0.50, 0.95, 0.99])`. Quantiles outside
+    /// `[0, 1]` are clamped. `None` if the timer has never fired. The
+    /// reservoir holds the most recent [`SAMPLE_CAPACITY`] samples, so on
+    /// long runs this is the *recent* distribution.
+    pub fn percentiles(&self, name: &str, quantiles: &[f64]) -> Option<Vec<f64>> {
+        let st = self.state.borrow();
+        let rec = st.timers.get(name)?;
+        if rec.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = rec.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        Some(
+            quantiles
+                .iter()
+                .map(|q| {
+                    let q = q.clamp(0.0, 1.0);
+                    // Nearest-rank: smallest sample with cumulative
+                    // frequency >= q.
+                    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                    sorted[rank - 1]
+                })
+                .collect(),
+        )
     }
 
     /// Forget all recorded data (keeps the enabled flag).
@@ -95,7 +159,8 @@ impl Profiler {
     }
 
     /// The TAU-style report: one row per timer, sorted by total time
-    /// descending.
+    /// descending. Columns: calls, total, mean, then the tail — max and
+    /// p50/p95/p99 from the sample reservoir.
     pub fn report(&self) -> String {
         let mut rows = self.stats();
         rows.sort_by(|a, b| {
@@ -105,7 +170,7 @@ impl Profiler {
         });
         let mut out = String::from(
             "=== component profile ===\n\
-             timer                                    calls      total[s]    mean[us]\n",
+             timer                                    calls      total[s]    mean[us]     max[us]     p50[us]     p95[us]     p99[us]\n",
         );
         for (name, t) in rows {
             let mean_us = if t.calls > 0 {
@@ -113,10 +178,17 @@ impl Profiler {
             } else {
                 0.0
             };
+            let p = self
+                .percentiles(&name, &[0.50, 0.95, 0.99])
+                .unwrap_or_else(|| vec![0.0; 3]);
             out.push_str(&format!(
-                "{name:<40} {calls:>7}  {total:>12.6}  {mean_us:>10.2}\n",
+                "{name:<40} {calls:>7}  {total:>12.6}  {mean_us:>10.2}  {max_us:>10.2}  {p50:>10.2}  {p95:>10.2}  {p99:>10.2}\n",
                 calls = t.calls,
                 total = t.total_secs,
+                max_us = 1e6 * t.max_secs,
+                p50 = 1e6 * p[0],
+                p95 = 1e6 * p[1],
+                p99 = 1e6 * p[2],
             ));
         }
         out
@@ -160,6 +232,7 @@ mod tests {
         let s = p.stat("comp.port").unwrap();
         assert_eq!(s.calls, 3);
         assert!(s.total_secs >= 0.0);
+        assert!(s.max_secs >= 0.0);
     }
 
     #[test]
@@ -172,11 +245,49 @@ mod tests {
         let s = p.stat("a.go").unwrap();
         assert_eq!(s.calls, 2);
         assert!((s.total_secs - 1.0).abs() < 1e-12);
+        assert!((s.max_secs - 0.75).abs() < 1e-12);
         let report = p.report();
         // Sorted by total time: a.go first.
         let a_pos = report.find("a.go").unwrap();
         let b_pos = report.find("b.rhs").unwrap();
         assert!(a_pos < b_pos, "{report}");
+        assert!(report.contains("p99[us]"), "{report}");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        // 100 samples: 1ms .. 100ms.
+        for k in 1..=100 {
+            p.record("t", k as f64 * 1e-3);
+        }
+        let q = p.percentiles("t", &[0.50, 0.95, 0.99, 1.0]).unwrap();
+        assert!((q[0] - 0.050).abs() < 1e-12, "{q:?}");
+        assert!((q[1] - 0.095).abs() < 1e-12, "{q:?}");
+        assert!((q[2] - 0.099).abs() < 1e-12, "{q:?}");
+        assert!((q[3] - 0.100).abs() < 1e-12, "{q:?}");
+        assert!(p.percentiles("ghost", &[0.5]).is_none());
+    }
+
+    #[test]
+    fn reservoir_overwrites_oldest_samples() {
+        let p = Profiler::new();
+        p.set_enabled(true);
+        // Overfill the ring: first SAMPLE_CAPACITY samples are slow (1s),
+        // the next SAMPLE_CAPACITY are fast (1ms). Only fast ones remain.
+        for _ in 0..SAMPLE_CAPACITY {
+            p.record("t", 1.0);
+        }
+        for _ in 0..SAMPLE_CAPACITY {
+            p.record("t", 1e-3);
+        }
+        let q = p.percentiles("t", &[1.0]).unwrap();
+        assert!((q[0] - 1e-3).abs() < 1e-12, "stale sample survived: {q:?}");
+        // Totals still cover every call, and max remembers the slow era.
+        let s = p.stat("t").unwrap();
+        assert_eq!(s.calls, 2 * SAMPLE_CAPACITY as u64);
+        assert!((s.max_secs - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! `cca-serve` — simulation-as-a-service over the component framework.
+//!
+//! The paper's codes are batch programs: a script assembles an
+//! application, `go` runs it, the process exits. This crate turns the
+//! same palette into a *served* resource — the shape a production
+//! CCA-style deployment takes when many clients share one simulation
+//! capability:
+//!
+//! * [`job::SimJob`] — a request: rc-script + typed parameter overrides,
+//!   content-hashed into a [`job::JobKey`] so identical physics is
+//!   recognized no matter how the script is formatted.
+//! * [`server::Server`] — admission (via `cca-analyze`, so doomed
+//!   scripts never spend a session), a bounded priority/FIFO queue with
+//!   backpressure, a pool of framework sessions with panic isolation
+//!   (poisoned sessions are rebuilt, never reused), bounded
+//!   retry-with-backoff for transient faults, and step-budget deadlines
+//!   enforced cooperatively between macro steps.
+//! * [`cache::ResultCache`] — completed artifacts (field norms, digest,
+//!   optional checkpoint bytes) in an LRU cache; duplicate submissions
+//!   coalesce onto in-flight work and are answered bit-identically.
+//! * [`stats::ServerStats`] — queue depth, wait/run tick distributions
+//!   (p50/p95/p99 from the core profiler's sample reservoir), cache hit
+//!   counters, retries, poisonings, rejections.
+//!
+//! Scheduling runs on a **virtual clock** (ticks = macro steps), so
+//! every latency number and the entire schedule are deterministic — no
+//! wall-clock sleeps anywhere, which is what lets CI pin the loadgen
+//! benchmark byte-for-byte (`BENCH_PR3.json`).
+
+pub mod cache;
+pub mod job;
+pub mod loadgen;
+pub(crate) mod queue;
+pub mod server;
+pub mod session;
+pub mod stats;
+pub mod workload;
+
+pub use cache::{Artifacts, CacheStats, ResultCache};
+pub use job::{FaultSpec, JobId, JobKey, Override, SimJob, WorkloadKind};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use server::{JobOutcome, Server, ServerConfig, SubmitError};
+pub use session::{CancelReason, CancelToken};
+pub use stats::{LatencyStat, ServerStats, SessionStat};
+pub use workload::{serve_palette, IgnitionSpec, JobConfig, RdSpec};

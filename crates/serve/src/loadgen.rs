@@ -1,0 +1,277 @@
+//! Deterministic load generator: N synthetic clients submitting a mixed
+//! 0D-ignition / reaction–diffusion job stream with a fixed duplicate
+//! ratio, in bursts that deliberately exceed the queue capacity so the
+//! backpressure path is exercised. Used by `tests/serve_loadgen.rs` to
+//! pin the no-lost-jobs and cache-hit guarantees, and by `cca-bench` to
+//! emit the drift-checked `BENCH_PR3.json` baseline.
+//!
+//! Everything is a pure function of the seed: the request mix, the
+//! submission order, and (because the server runs on a virtual clock)
+//! every latency number in the report.
+
+use crate::job::{FaultSpec, JobId, SimJob};
+use crate::server::{JobOutcome, Server, ServerConfig, SubmitError};
+use crate::stats::ServerStats;
+use crate::workload::{serve_palette, IgnitionSpec, RdSpec};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Loadgen shape. The defaults are the PR's pinned scenario: 200 jobs,
+/// 25% duplicates, 4 sessions, bursts of 32 against a 24-deep queue.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadgenConfig {
+    /// Total client requests.
+    pub jobs: usize,
+    /// Fraction of requests that duplicate an earlier cacheable request.
+    pub duplicate_ratio: f64,
+    /// PRNG seed — the entire scenario is a function of it.
+    pub seed: u64,
+    /// Server session-pool size.
+    pub sessions: usize,
+    /// Server queue capacity.
+    pub queue_capacity: usize,
+    /// Requests submitted per burst (set above `queue_capacity` to force
+    /// rejection events).
+    pub burst: usize,
+    /// Server result-cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            jobs: 200,
+            duplicate_ratio: 0.25,
+            seed: 20_260_806,
+            sessions: 4,
+            queue_capacity: 24,
+            burst: 32,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// What the run produced, in deterministic counters.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// The scenario that was run.
+    pub config: LoadgenConfig,
+    /// Requests that ran to completion on a session.
+    pub completed: u64,
+    /// Requests answered from the cache (submit hit or coalesced).
+    pub cached: u64,
+    /// Requests cancelled by their step-budget deadline.
+    pub cancelled_deadline: u64,
+    /// Requests cancelled by their client.
+    pub cancelled_user: u64,
+    /// Requests that failed terminally.
+    pub failed: u64,
+    /// Queue-full rejection events observed by clients (each rejected
+    /// request was resubmitted in a later burst, so none were lost).
+    pub rejection_events: u64,
+    /// Duplicate requests in the generated stream.
+    pub duplicate_requests: u64,
+    /// `cached / jobs` — must be ≥ `duplicate_ratio` by construction.
+    pub cache_hit_ratio: f64,
+    /// Total virtual ticks from first submit to drained queue.
+    pub total_ticks: u64,
+    /// `jobs * 1000 / total_ticks`.
+    pub throughput_jobs_per_kilotick: f64,
+    /// Full server statistics snapshot at the end.
+    pub stats: ServerStats,
+    /// Accepted submission ids, in submission order.
+    pub ids: Vec<JobId>,
+}
+
+/// Generate the request stream for `cfg` (exposed for the example CLI).
+pub fn request_stream(cfg: &LoadgenConfig) -> Vec<SimJob> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_dup = (cfg.jobs as f64 * cfg.duplicate_ratio).round() as usize;
+    let n_unique = cfg.jobs.saturating_sub(n_dup);
+
+    let mut uniques: Vec<SimJob> = Vec::with_capacity(n_unique);
+    // Jobs whose first occurrence is guaranteed to end in the cache —
+    // the only legal duplicate targets.
+    let mut cacheable: Vec<SimJob> = Vec::new();
+    for i in 0..n_unique {
+        if i == 7 {
+            // One hopeless job: transient-fault injection outlives the
+            // retry budget, so it must end `failed` after poisoning a
+            // session on every attempt.
+            let mut job = IgnitionSpec {
+                t0: 1033.5,
+                ..IgnitionSpec::default()
+            }
+            .job();
+            job.fault = FaultSpec {
+                fail_attempts: 16,
+                panic_at_step: 1,
+            };
+            uniques.push(job);
+            continue;
+        }
+        if i % 29 == 13 {
+            // Transient fault: first attempt panics, the retry completes.
+            let mut job = IgnitionSpec {
+                t0: 950.0 + i as f64,
+                ..IgnitionSpec::default()
+            }
+            .job();
+            job.fault = FaultSpec {
+                fail_attempts: 1,
+                panic_at_step: 2,
+            };
+            cacheable.push(job.clone());
+            uniques.push(job);
+            continue;
+        }
+        if i % 31 == 17 {
+            // Deadline job: budget 1 against 4 macro steps.
+            let mut job = RdSpec {
+                nx: 10,
+                n_steps: 4,
+                t_hot: 1300.0 + i as f64,
+                ..RdSpec::default()
+            }
+            .job();
+            job.step_budget = Some(1);
+            uniques.push(job);
+            continue;
+        }
+        if rng.gen_bool(0.75) {
+            let job = IgnitionSpec {
+                t0: rng.gen_range(950.0..1250.0),
+                t_end: 1.0e-6 * rng.gen_range(2.0..8.0),
+                chunks: 3,
+                ..IgnitionSpec::default()
+            }
+            .job();
+            cacheable.push(job.clone());
+            uniques.push(job);
+        } else {
+            let with_chemistry = rng.gen_bool(0.15);
+            let mut job = RdSpec {
+                nx: if with_chemistry {
+                    8
+                } else {
+                    *[8, 10, 12].get(rng.gen_range(0usize..3)).expect("in range")
+                },
+                n_steps: 2,
+                max_levels: if rng.gen_bool(0.3) { 2 } else { 1 },
+                with_chemistry,
+                t_hot: rng.gen_range(1100.0..1500.0),
+                ..RdSpec::default()
+            }
+            .job();
+            job.want_checkpoint = rng.gen_bool(0.25);
+            cacheable.push(job.clone());
+            uniques.push(job);
+        }
+    }
+
+    let mut requests = uniques;
+    for _ in 0..n_dup {
+        let target = cacheable[rng.gen_range(0usize..cacheable.len())].clone();
+        let pos = rng.gen_range(0usize..requests.len() + 1);
+        requests.insert(pos, target);
+    }
+    requests
+}
+
+/// Run the scenario: submit in bursts, resubmit queue-full rejections in
+/// the next burst, drain between bursts, and summarize.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
+    let mut server = Server::new(ServerConfig {
+        palette: Rc::new(serve_palette),
+        sessions: cfg.sessions,
+        queue_capacity: cfg.queue_capacity,
+        cache_capacity: cfg.cache_capacity,
+        ..ServerConfig::default()
+    });
+
+    let requests = request_stream(cfg);
+    let duplicate_requests = (cfg.jobs as f64 * cfg.duplicate_ratio).round() as u64;
+    let mut pending: VecDeque<SimJob> = requests.into();
+    let mut ids = Vec::with_capacity(cfg.jobs);
+    let mut rejection_events = 0u64;
+
+    while !pending.is_empty() {
+        let mut deferred: Vec<SimJob> = Vec::new();
+        for _ in 0..cfg.burst.max(1) {
+            let Some(job) = pending.pop_front() else {
+                break;
+            };
+            match server.submit(job.clone()) {
+                Ok(id) => ids.push(id),
+                Err(SubmitError::QueueFull { .. }) => {
+                    rejection_events += 1;
+                    deferred.push(job);
+                }
+                Err(e @ SubmitError::Admission { .. }) => {
+                    unreachable!("loadgen scripts are admission-clean: {e}")
+                }
+            }
+        }
+        server.run_until_idle();
+        for job in deferred.into_iter().rev() {
+            pending.push_front(job);
+        }
+    }
+
+    let mut completed = 0u64;
+    let mut cached = 0u64;
+    let mut cancelled_deadline = 0u64;
+    let mut cancelled_user = 0u64;
+    let mut failed = 0u64;
+    for id in &ids {
+        match server.outcome(*id) {
+            Some(JobOutcome::Completed { .. }) => completed += 1,
+            Some(JobOutcome::Cached { .. }) => cached += 1,
+            Some(JobOutcome::Cancelled { reason, .. }) => match reason {
+                crate::session::CancelReason::Deadline { .. } => cancelled_deadline += 1,
+                crate::session::CancelReason::User => cancelled_user += 1,
+            },
+            Some(JobOutcome::Failed { .. }) => failed += 1,
+            None => {} // counted as lost by the caller's invariant check
+        }
+    }
+
+    let stats = server.stats();
+    let total_ticks = stats.clock.max(1);
+    LoadgenReport {
+        config: *cfg,
+        completed,
+        cached,
+        cancelled_deadline,
+        cancelled_user,
+        failed,
+        rejection_events,
+        duplicate_requests,
+        cache_hit_ratio: cached as f64 / cfg.jobs.max(1) as f64,
+        total_ticks,
+        throughput_jobs_per_kilotick: cfg.jobs as f64 * 1000.0 / total_ticks as f64,
+        stats,
+        ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_sized() {
+        let cfg = LoadgenConfig::default();
+        let a = request_stream(&cfg);
+        let b = request_stream(&cfg);
+        assert_eq!(a.len(), cfg.jobs);
+        let keys_a: Vec<_> = a.iter().map(|j| j.key()).collect();
+        let keys_b: Vec<_> = b.iter().map(|j| j.key()).collect();
+        assert_eq!(keys_a, keys_b);
+        // Exactly the configured number of duplicate keys.
+        let mut seen = std::collections::BTreeSet::new();
+        let dups = keys_a.iter().filter(|k| !seen.insert(**k)).count();
+        assert_eq!(dups, 50);
+    }
+}

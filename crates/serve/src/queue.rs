@@ -1,0 +1,156 @@
+//! The bounded admission queue: FIFO within a priority class, with
+//! per-entry `ready_at` ticks so retried jobs back off without wall-clock
+//! sleeps. Capacity is a hard bound — a full queue rejects with a
+//! retry-after hint rather than growing without limit (backpressure).
+
+use crate::job::{JobId, JobKey, SimJob};
+use crate::session::CancelToken;
+
+/// One queued submission.
+#[derive(Clone)]
+pub(crate) struct Entry {
+    /// Server-assigned submission id.
+    pub id: JobId,
+    /// Monotone submission sequence — the FIFO tiebreaker.
+    pub seq: u64,
+    /// Content hash of the job.
+    pub key: JobKey,
+    /// The job itself.
+    pub job: SimJob,
+    /// Virtual tick at which the job was submitted.
+    pub submit_tick: u64,
+    /// Earliest virtual tick at which the entry may be dispatched
+    /// (later than `submit_tick` only for retry backoff).
+    pub ready_at: u64,
+    /// Attempts already spent (0 for a fresh submission).
+    pub attempts: u32,
+    /// Cooperative cancellation token shared with the client handle.
+    pub token: CancelToken,
+}
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct QueueFull {
+    /// Queue depth at the time of the refusal (== capacity).
+    pub depth: usize,
+}
+
+/// Bounded priority + FIFO queue over virtual ticks.
+pub(crate) struct JobQueue {
+    capacity: usize,
+    entries: Vec<Entry>,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn push(&mut self, entry: Entry) -> Result<(), QueueFull> {
+        if self.entries.len() >= self.capacity {
+            return Err(QueueFull {
+                depth: self.entries.len(),
+            });
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Earliest `ready_at` over all entries (`None` when empty) — the
+    /// tick the scheduler fast-forwards to when nothing is ready yet.
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.entries.iter().map(|e| e.ready_at).min()
+    }
+
+    /// Remove and return the dispatchable entry at `clock`: among entries
+    /// with `ready_at <= clock`, the highest priority, then lowest
+    /// sequence number. Deterministic by construction.
+    pub fn pop_ready(&mut self, clock: u64) -> Option<Entry> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.ready_at <= clock)
+            .max_by_key(|(_, e)| (e.job.priority, std::cmp::Reverse(e.seq)))
+            .map(|(i, _)| i)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// Remove a queued entry by id (client-side cancellation).
+    pub fn remove_by_id(&mut self, id: JobId) -> Option<Entry> {
+        let idx = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// Is a primary for `key` currently queued?
+    pub fn contains_key(&self, key: JobKey) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{FaultSpec, WorkloadKind};
+
+    fn entry(id: u64, seq: u64, priority: u8, ready_at: u64) -> Entry {
+        let job = SimJob {
+            kind: WorkloadKind::Ignition0d,
+            script: format!("instantiate X x{id}"),
+            overrides: vec![],
+            priority,
+            step_budget: None,
+            want_checkpoint: false,
+            fault: FaultSpec::default(),
+        };
+        Entry {
+            id,
+            seq,
+            key: job.key(),
+            job,
+            submit_tick: 0,
+            ready_at,
+            attempts: 0,
+            token: CancelToken::new(),
+        }
+    }
+
+    #[test]
+    fn fifo_within_priority_and_priority_wins() {
+        let mut q = JobQueue::new(8);
+        q.push(entry(1, 1, 0, 0)).unwrap();
+        q.push(entry(2, 2, 0, 0)).unwrap();
+        q.push(entry(3, 3, 5, 0)).unwrap();
+        assert_eq!(q.pop_ready(0).unwrap().id, 3); // priority first
+        assert_eq!(q.pop_ready(0).unwrap().id, 1); // then FIFO
+        assert_eq!(q.pop_ready(0).unwrap().id, 2);
+        assert!(q.pop_ready(0).is_none());
+    }
+
+    #[test]
+    fn backoff_entries_wait_for_their_tick() {
+        let mut q = JobQueue::new(8);
+        q.push(entry(1, 1, 0, 10)).unwrap();
+        assert!(q.pop_ready(5).is_none());
+        assert_eq!(q.next_ready_at(), Some(10));
+        assert_eq!(q.pop_ready(10).unwrap().id, 1);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound() {
+        let mut q = JobQueue::new(2);
+        q.push(entry(1, 1, 0, 0)).unwrap();
+        q.push(entry(2, 2, 0, 0)).unwrap();
+        let err = q.push(entry(3, 3, 0, 0)).unwrap_err();
+        assert_eq!(err.depth, 2);
+        q.pop_ready(0).unwrap();
+        q.push(entry(3, 4, 0, 0)).unwrap();
+    }
+}

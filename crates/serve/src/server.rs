@@ -1,0 +1,608 @@
+//! The job server: admission → queue → sessions → cache, scheduled on a
+//! deterministic virtual clock.
+//!
+//! Job lifecycle (the DESIGN.md state machine):
+//!
+//! ```text
+//! submit ──admission error──▶ Rejected(admission)
+//!   │ ──queue full──────────▶ Rejected(full, retry-after hint)
+//!   │ ──cache hit───────────▶ Cached
+//!   │ ──duplicate queued────▶ Follower ──primary done──▶ Cached
+//!   ▼                                  └─primary lost──▶ promoted to primary
+//! Queued ──ready──▶ Running ──ok──────▶ Completed (+ cache insert)
+//!   │                 │ ──budget/token─▶ Cancelled
+//!   │                 │ ──solver error─▶ Failed
+//!   │                 └──panic─────────▶ session poisoned + rebuilt,
+//!   │                                    retry w/ backoff or Failed
+//!   └──client cancel──▶ Cancelled
+//! ```
+//!
+//! Time is counted in **virtual ticks**: dispatching an attempt costs
+//! `1 + macro steps executed`. Queue waits, retry backoff, and the
+//! retry-after hint are all tick arithmetic — the whole schedule is a
+//! pure function of the submission sequence, which is what lets the
+//! loadgen benchmark pin its latency distributions byte-for-byte.
+
+use crate::cache::{Artifacts, ResultCache};
+use crate::job::{JobId, JobKey, SimJob};
+use crate::queue::{Entry, JobQueue};
+use crate::session::{CancelReason, CancelToken, PaletteFn, RunOutcome, Session};
+use crate::stats::{LatencyStat, ServerStats, SessionStat};
+use cca_analyze::Analyzer;
+use cca_core::{ExecutorStats, Profiler};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Server tuning knobs.
+pub struct ServerConfig {
+    /// Framework factory jobs assemble against (palette).
+    pub palette: PaletteFn,
+    /// Session pool size.
+    pub sessions: usize,
+    /// Queue capacity (hard bound; beyond it submissions are rejected).
+    pub queue_capacity: usize,
+    /// Result-cache capacity (completed results retained, LRU).
+    pub cache_capacity: usize,
+    /// Maximum retries after transient (panic) failures.
+    pub max_retries: u32,
+    /// Backoff base, ticks: retry `k` becomes ready after
+    /// `backoff_ticks << (k-1)` ticks.
+    pub backoff_ticks: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            palette: Rc::new(crate::workload::serve_palette),
+            sessions: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            max_retries: 2,
+            backoff_ticks: 4,
+        }
+    }
+}
+
+/// Why a submission was refused (no session time was spent on it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity: back off and resubmit after the hinted ticks.
+    QueueFull {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// Deterministic hint: ticks until a slot is plausibly free.
+        retry_after: u64,
+    },
+    /// The static admission check found errors; rendered report attached.
+    Admission {
+        /// `cca-analyze` report rendered against the submitted script.
+        report: String,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth, retry_after } => {
+                write!(
+                    f,
+                    "queue full (depth {depth}); retry after {retry_after} ticks"
+                )
+            }
+            SubmitError::Admission { report } => {
+                write!(f, "rejected by admission check:\n{report}")
+            }
+        }
+    }
+}
+
+/// Terminal state of an accepted submission.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// Ran to completion on a session.
+    Completed {
+        /// The results.
+        artifacts: Rc<Artifacts>,
+        /// Ticks spent waiting in the queue.
+        wait_ticks: u64,
+        /// Ticks the (final) attempt cost.
+        run_ticks: u64,
+        /// Attempts consumed (1 = first try).
+        attempts: u32,
+        /// Session slot the final attempt ran on.
+        session: usize,
+    },
+    /// Served from the result cache (submit-time hit or coalesced onto a
+    /// completing duplicate).
+    Cached {
+        /// The results — bit-identical to a cold run.
+        artifacts: Rc<Artifacts>,
+        /// Ticks from submission to resolution.
+        wait_ticks: u64,
+    },
+    /// Stopped cooperatively.
+    Cancelled {
+        /// Deadline or client token.
+        reason: CancelReason,
+        /// Ticks from submission to the stop.
+        wait_ticks: u64,
+        /// Macro steps executed before the stop.
+        steps: u64,
+    },
+    /// Terminal failure (deterministic error, or retries exhausted).
+    Failed {
+        /// What went wrong.
+        reason: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl JobOutcome {
+    /// Short tag for outcome lines (`completed`, `cached`, ...).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed { .. } => "completed",
+            JobOutcome::Cached { .. } => "cached",
+            JobOutcome::Cancelled {
+                reason: CancelReason::Deadline { .. },
+                ..
+            } => "cancelled-deadline",
+            JobOutcome::Cancelled { .. } => "cancelled-user",
+            JobOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// A submission coalesced onto an identical queued job. It holds its own
+/// copy of the job so it can be *promoted* to primary — with its own
+/// fresh attempt budget — if the primary is lost to cancellation or
+/// failure (duplicates never share a failure).
+struct Follower {
+    id: JobId,
+    job: SimJob,
+    submit_tick: u64,
+    token: CancelToken,
+}
+
+/// The multi-session simulation job server.
+pub struct Server {
+    cfg: ServerConfig,
+    analyzer: Analyzer,
+    queue: JobQueue,
+    cache: ResultCache,
+    sessions: Vec<Session>,
+    clock: u64,
+    next_id: JobId,
+    next_seq: u64,
+    outcomes: BTreeMap<JobId, JobOutcome>,
+    /// Queued-primary key → coalesced duplicate submissions.
+    followers: BTreeMap<JobKey, Vec<Follower>>,
+    /// Cancel tokens of unresolved submissions, by id.
+    tokens: BTreeMap<JobId, CancelToken>,
+    profiler: Profiler,
+    exec_agg: ExecutorStats,
+    submitted: u64,
+    completed: u64,
+    cached: u64,
+    coalesced: u64,
+    rejected_full: u64,
+    rejected_admission: u64,
+    admission_warnings: u64,
+    retries: u64,
+    poisonings: u64,
+    failed: u64,
+    cancelled_deadline: u64,
+    cancelled_user: u64,
+}
+
+impl Server {
+    /// Build a server; harvests the palette's class signatures once for
+    /// the admission checker.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let probe = (cfg.palette)();
+        let analyzer = Analyzer::new(&probe);
+        let sessions = (0..cfg.sessions.max(1))
+            .map(|id| Session::new(id, &cfg.palette))
+            .collect();
+        let queue = JobQueue::new(cfg.queue_capacity);
+        let cache = ResultCache::new(cfg.cache_capacity);
+        Server {
+            analyzer,
+            queue,
+            cache,
+            sessions,
+            cfg,
+            clock: 0,
+            next_id: 1,
+            next_seq: 1,
+            outcomes: BTreeMap::new(),
+            followers: BTreeMap::new(),
+            tokens: BTreeMap::new(),
+            profiler: Profiler::new(),
+            exec_agg: ExecutorStats::default(),
+            submitted: 0,
+            completed: 0,
+            cached: 0,
+            coalesced: 0,
+            rejected_full: 0,
+            rejected_admission: 0,
+            admission_warnings: 0,
+            retries: 0,
+            poisonings: 0,
+            failed: 0,
+            cancelled_deadline: 0,
+            cancelled_user: 0,
+        }
+    }
+
+    /// Current virtual time, ticks.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Submit a job. On acceptance the returned id will eventually have
+    /// an outcome; on rejection no session time is ever spent on it.
+    pub fn submit(&mut self, job: SimJob) -> Result<JobId, SubmitError> {
+        // 1. Admission: vet the script (plus overrides) statically so a
+        //    doomed assembly never occupies a session.
+        let admission_script = job.admission_script();
+        let report = self.analyzer.analyze(&admission_script);
+        if report.has_errors() {
+            self.rejected_admission += 1;
+            return Err(SubmitError::Admission {
+                report: report.render(&admission_script),
+            });
+        }
+        self.admission_warnings += report.warning_count() as u64;
+
+        let key = job.key();
+        let id = self.next_id;
+        let token = CancelToken::new();
+
+        // 2. Result cache: identical completed work is returned at once.
+        if let Some(artifacts) = self.cache.get(key) {
+            self.next_id += 1;
+            self.submitted += 1;
+            self.cached += 1;
+            self.outcomes.insert(
+                id,
+                JobOutcome::Cached {
+                    artifacts,
+                    wait_ticks: 0,
+                },
+            );
+            return Ok(id);
+        }
+
+        // 3. Coalescing: an identical job is already queued — ride it.
+        //    A follower occupies no queue slot and is answered from the
+        //    primary's result the moment it lands in the cache.
+        if self.queue.contains_key(key) {
+            self.next_id += 1;
+            self.submitted += 1;
+            self.coalesced += 1;
+            self.followers.entry(key).or_default().push(Follower {
+                id,
+                job,
+                submit_tick: self.clock,
+                token: token.clone(),
+            });
+            self.tokens.insert(id, token);
+            return Ok(id);
+        }
+
+        // 4. Queue, with backpressure.
+        let entry = Entry {
+            id,
+            seq: self.next_seq,
+            key,
+            job,
+            submit_tick: self.clock,
+            ready_at: self.clock,
+            attempts: 0,
+            token: token.clone(),
+        };
+        match self.queue.push(entry) {
+            Ok(()) => {
+                self.next_id += 1;
+                self.next_seq += 1;
+                self.submitted += 1;
+                self.tokens.insert(id, token);
+                Ok(id)
+            }
+            Err(full) => {
+                self.rejected_full += 1;
+                // Hint: queued work spread over the pool, plus one tick.
+                let retry_after = (full.depth as u64 / self.sessions.len().max(1) as u64) + 1;
+                Err(SubmitError::QueueFull {
+                    depth: full.depth,
+                    retry_after,
+                })
+            }
+        }
+    }
+
+    /// Cancel an accepted submission. Queued primaries resolve
+    /// immediately (a follower is promoted in their place); followers
+    /// detach without touching the primary. Returns `false` if the id is
+    /// unknown or already resolved.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        if self.outcomes.contains_key(&id) {
+            return false;
+        }
+        let Some(token) = self.tokens.get(&id) else {
+            return false;
+        };
+        token.cancel();
+        if let Some(entry) = self.queue.remove_by_id(id) {
+            let wait = self.clock.saturating_sub(entry.submit_tick);
+            self.resolve_cancelled(id, CancelReason::User, wait, 0);
+            self.promote_followers(entry.key);
+            return true;
+        }
+        let keys: Vec<JobKey> = self.followers.keys().copied().collect();
+        for key in keys {
+            let fs = self.followers.get_mut(&key).expect("key just listed");
+            if let Some(pos) = fs.iter().position(|f| f.id == id) {
+                let f = fs.remove(pos);
+                if fs.is_empty() {
+                    self.followers.remove(&key);
+                }
+                let wait = self.clock.saturating_sub(f.submit_tick);
+                self.resolve_cancelled(id, CancelReason::User, wait, 0);
+                return true;
+            }
+        }
+        true
+    }
+
+    /// Drain the queue deterministically: repeatedly dispatch the ready
+    /// entry with the highest priority (FIFO within a class) onto the
+    /// earliest-free session, fast-forwarding the virtual clock over
+    /// retry-backoff gaps.
+    pub fn run_until_idle(&mut self) {
+        loop {
+            match self.queue.pop_ready(self.clock) {
+                Some(entry) => self.dispatch(entry),
+                None => match self.queue.next_ready_at() {
+                    Some(t) if t > self.clock => self.clock = t,
+                    _ => break,
+                },
+            }
+        }
+    }
+
+    /// Resolved outcome of a submission, if terminal.
+    pub fn outcome(&self, id: JobId) -> Option<&JobOutcome> {
+        self.outcomes.get(&id)
+    }
+
+    /// All resolved outcomes (id-sorted).
+    pub fn outcomes(&self) -> &BTreeMap<JobId, JobOutcome> {
+        &self.outcomes
+    }
+
+    /// Coherent statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            clock: self.clock,
+            submitted: self.submitted,
+            completed: self.completed,
+            cached: self.cached,
+            coalesced: self.coalesced,
+            rejected_full: self.rejected_full,
+            rejected_admission: self.rejected_admission,
+            admission_warnings: self.admission_warnings,
+            retries: self.retries,
+            poisonings: self.poisonings,
+            failed: self.failed,
+            cancelled_deadline: self.cancelled_deadline,
+            cancelled_user: self.cancelled_user,
+            queue_depth: self.queue.depth() as u64,
+            cache: self.cache.stats(),
+            queue_wait: LatencyStat::from_profiler(&self.profiler, "serve.queue_wait"),
+            run_ticks: LatencyStat::from_profiler(&self.profiler, "serve.run"),
+            executor: self.exec_agg,
+            sessions: self
+                .sessions
+                .iter()
+                .map(|s| SessionStat {
+                    id: s.id,
+                    epoch: s.epoch,
+                    runs: s.runs,
+                    free_at: s.free_at,
+                })
+                .collect(),
+        }
+    }
+
+    // --- internals -----------------------------------------------------
+
+    fn dispatch(&mut self, mut entry: Entry) {
+        // Client cancelled while queued: resolve without spending a session.
+        if entry.token.is_cancelled() {
+            let wait = self.clock.saturating_sub(entry.submit_tick);
+            self.resolve_cancelled(entry.id, CancelReason::User, wait, 0);
+            self.promote_followers(entry.key);
+            return;
+        }
+        // Defense in depth: a result may have landed since queueing.
+        if let Some(artifacts) = self.cache.get(entry.key) {
+            self.cached += 1;
+            self.tokens.remove(&entry.id);
+            let wait = self.clock.saturating_sub(entry.submit_tick);
+            self.outcomes.insert(
+                entry.id,
+                JobOutcome::Cached {
+                    artifacts,
+                    wait_ticks: wait,
+                },
+            );
+            self.resolve_followers_cached(entry.key, self.clock);
+            return;
+        }
+
+        // Earliest-free session, lowest id as tiebreak (deterministic).
+        let si = self
+            .sessions
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.free_at, *i))
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        let start = self
+            .clock
+            .max(self.sessions[si].free_at)
+            .max(entry.ready_at);
+        let inject = entry.attempts < entry.job.fault.fail_attempts;
+        let palette = self.cfg.palette.clone();
+        let (outcome, steps, exec) =
+            self.sessions[si].execute(&entry.job, entry.token.clone(), inject, &palette);
+        self.exec_agg.absorb(&exec);
+        entry.attempts += 1;
+        let cost = 1 + steps;
+        let finish = start + cost;
+        self.sessions[si].free_at = finish;
+        self.clock = start;
+        let wait = start - entry.submit_tick;
+
+        match outcome {
+            RunOutcome::Done(artifacts) => {
+                let rc = Rc::new(artifacts);
+                self.cache.insert(entry.key, rc.clone());
+                self.profiler.record("serve.queue_wait", wait as f64);
+                self.profiler.record("serve.run", cost as f64);
+                self.completed += 1;
+                self.tokens.remove(&entry.id);
+                self.outcomes.insert(
+                    entry.id,
+                    JobOutcome::Completed {
+                        artifacts: rc,
+                        wait_ticks: wait,
+                        run_ticks: cost,
+                        attempts: entry.attempts,
+                        session: si,
+                    },
+                );
+                self.resolve_followers_cached(entry.key, finish);
+            }
+            RunOutcome::Cancelled(reason) => {
+                self.resolve_cancelled(entry.id, reason, wait, steps);
+                self.promote_followers(entry.key);
+            }
+            RunOutcome::Failed(reason) => {
+                self.failed += 1;
+                self.tokens.remove(&entry.id);
+                self.outcomes.insert(
+                    entry.id,
+                    JobOutcome::Failed {
+                        reason,
+                        attempts: entry.attempts,
+                    },
+                );
+                self.promote_followers(entry.key);
+            }
+            RunOutcome::Panicked(message) => {
+                self.poisonings += 1;
+                if entry.attempts <= self.cfg.max_retries {
+                    self.retries += 1;
+                    // Exponential backoff in virtual ticks.
+                    entry.ready_at = finish + (self.cfg.backoff_ticks << (entry.attempts - 1));
+                    self.queue
+                        .push(entry)
+                        .expect("re-queue into the slot this entry just freed");
+                } else {
+                    self.failed += 1;
+                    self.tokens.remove(&entry.id);
+                    self.outcomes.insert(
+                        entry.id,
+                        JobOutcome::Failed {
+                            reason: format!(
+                                "panicked after {} attempts: {message}",
+                                entry.attempts
+                            ),
+                            attempts: entry.attempts,
+                        },
+                    );
+                    self.promote_followers(entry.key);
+                }
+            }
+        }
+    }
+
+    fn resolve_cancelled(&mut self, id: JobId, reason: CancelReason, wait: u64, steps: u64) {
+        match reason {
+            CancelReason::Deadline { .. } => self.cancelled_deadline += 1,
+            CancelReason::User => self.cancelled_user += 1,
+        }
+        self.tokens.remove(&id);
+        self.outcomes.insert(
+            id,
+            JobOutcome::Cancelled {
+                reason,
+                wait_ticks: wait,
+                steps,
+            },
+        );
+    }
+
+    /// The primary for `key` completed: every follower is answered from
+    /// the cache, bit-identical to the primary's result.
+    fn resolve_followers_cached(&mut self, key: JobKey, resolve_tick: u64) {
+        let Some(fs) = self.followers.remove(&key) else {
+            return;
+        };
+        for f in fs {
+            let artifacts = self
+                .cache
+                .get(key)
+                .expect("primary result was just inserted");
+            self.cached += 1;
+            self.tokens.remove(&f.id);
+            self.outcomes.insert(
+                f.id,
+                JobOutcome::Cached {
+                    artifacts,
+                    wait_ticks: resolve_tick.saturating_sub(f.submit_tick),
+                },
+            );
+        }
+    }
+
+    /// The primary for `key` is gone without a cacheable result: promote
+    /// the oldest live follower to primary — with its own fresh attempt
+    /// budget — so duplicates never inherit a failure they didn't cause.
+    fn promote_followers(&mut self, key: JobKey) {
+        let Some(mut fs) = self.followers.remove(&key) else {
+            return;
+        };
+        while !fs.is_empty() {
+            let f = fs.remove(0);
+            if f.token.is_cancelled() {
+                let wait = self.clock.saturating_sub(f.submit_tick);
+                self.resolve_cancelled(f.id, CancelReason::User, wait, 0);
+                continue;
+            }
+            let promoted = Entry {
+                id: f.id,
+                seq: self.next_seq,
+                key,
+                job: f.job,
+                submit_tick: f.submit_tick,
+                ready_at: self.clock,
+                attempts: 0,
+                token: f.token,
+            };
+            self.next_seq += 1;
+            // The primary's slot was just freed, so this cannot overflow.
+            self.queue
+                .push(promoted)
+                .expect("promotion reuses the freed slot");
+            if !fs.is_empty() {
+                self.followers.insert(key, fs);
+            }
+            return;
+        }
+    }
+}

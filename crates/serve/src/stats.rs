@@ -1,0 +1,193 @@
+//! Server observability: one [`ServerStats`] snapshot carrying queue
+//! depth, outcome counters, wait/run distributions (p50/p95/p99 via the
+//! core profiler's sample reservoir), cache counters, and the aggregated
+//! patch-executor counters of every framework the server ran.
+
+use crate::cache::CacheStats;
+use cca_core::{ExecutorStats, Profiler};
+
+/// Distribution summary of a tick-valued quantity (queue wait, run cost).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStat {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean, ticks.
+    pub mean: f64,
+    /// Largest sample, ticks.
+    pub max: f64,
+    /// Median, ticks (nearest-rank over the recent-sample reservoir).
+    pub p50: f64,
+    /// 95th percentile, ticks.
+    pub p95: f64,
+    /// 99th percentile, ticks.
+    pub p99: f64,
+}
+
+impl LatencyStat {
+    /// Summarize the named timer of `profiler` (ticks recorded as raw
+    /// sample values). Zeroes if the timer never fired.
+    pub fn from_profiler(profiler: &Profiler, name: &str) -> LatencyStat {
+        let Some(stat) = profiler.stat(name) else {
+            return LatencyStat::default();
+        };
+        let p = profiler
+            .percentiles(name, &[0.50, 0.95, 0.99])
+            .unwrap_or_else(|| vec![0.0; 3]);
+        LatencyStat {
+            count: stat.calls,
+            mean: if stat.calls > 0 {
+                stat.total_secs / stat.calls as f64
+            } else {
+                0.0
+            },
+            max: stat.max_secs,
+            p50: p[0],
+            p95: p[1],
+            p99: p[2],
+        }
+    }
+}
+
+/// Per-slot session summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStat {
+    /// Slot index.
+    pub id: usize,
+    /// Rebuilds after poisonings.
+    pub epoch: u64,
+    /// Attempts executed on the slot.
+    pub runs: u64,
+    /// Virtual tick the slot next becomes free.
+    pub free_at: u64,
+}
+
+/// One coherent snapshot of the server's state and history.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerStats {
+    /// Current virtual time.
+    pub clock: u64,
+    /// Submissions accepted (queued, coalesced, or served from cache).
+    pub submitted: u64,
+    /// Jobs that ran to completion on a session.
+    pub completed: u64,
+    /// Submissions answered from the result cache (at submit or by
+    /// follower coalescing).
+    pub cached: u64,
+    /// Submissions coalesced onto an in-flight duplicate.
+    pub coalesced: u64,
+    /// Submissions refused because the queue was full.
+    pub rejected_full: u64,
+    /// Submissions refused by the static admission check.
+    pub rejected_admission: u64,
+    /// Admission warnings observed on accepted jobs.
+    pub admission_warnings: u64,
+    /// Attempts re-queued after a transient (panic) failure.
+    pub retries: u64,
+    /// Sessions poisoned (and rebuilt) by panicking jobs.
+    pub poisonings: u64,
+    /// Jobs that ended in a terminal failure.
+    pub failed: u64,
+    /// Jobs cancelled by their step-budget deadline.
+    pub cancelled_deadline: u64,
+    /// Jobs cancelled by their client.
+    pub cancelled_user: u64,
+    /// Entries currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Queue-wait distribution, ticks.
+    pub queue_wait: LatencyStat,
+    /// Run-cost distribution, ticks.
+    pub run_ticks: LatencyStat,
+    /// Patch-executor counters aggregated over every framework run.
+    pub executor: ExecutorStats,
+    /// Per-slot session summaries.
+    pub sessions: Vec<SessionStat>,
+}
+
+impl ServerStats {
+    /// Human-readable rendering for CLI front-ends.
+    pub fn render(&self) -> String {
+        let mut out = String::from("=== cca-serve stats ===\n");
+        out.push_str(&format!(
+            "clock {} ticks | submitted {} | completed {} | cached {} (coalesced {})\n",
+            self.clock, self.submitted, self.completed, self.cached, self.coalesced
+        ));
+        out.push_str(&format!(
+            "rejected: {} full, {} admission ({} warnings on accepted jobs)\n",
+            self.rejected_full, self.rejected_admission, self.admission_warnings
+        ));
+        out.push_str(&format!(
+            "retries {} | poisonings {} | failed {} | cancelled: {} deadline, {} user\n",
+            self.retries,
+            self.poisonings,
+            self.failed,
+            self.cancelled_deadline,
+            self.cancelled_user
+        ));
+        out.push_str(&format!(
+            "queue depth {} | cache {}/{} (hits {}, misses {}, evictions {})\n",
+            self.queue_depth,
+            self.cache.len,
+            self.cache.capacity,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions
+        ));
+        out.push_str(&format!(
+            "queue wait [ticks]: n={} mean={:.2} p50={:.0} p95={:.0} p99={:.0} max={:.0}\n",
+            self.queue_wait.count,
+            self.queue_wait.mean,
+            self.queue_wait.p50,
+            self.queue_wait.p95,
+            self.queue_wait.p99,
+            self.queue_wait.max
+        ));
+        out.push_str(&format!(
+            "run cost  [ticks]: n={} mean={:.2} p50={:.0} p95={:.0} p99={:.0} max={:.0}\n",
+            self.run_ticks.count,
+            self.run_ticks.mean,
+            self.run_ticks.p50,
+            self.run_ticks.p95,
+            self.run_ticks.p99,
+            self.run_ticks.max
+        ));
+        out.push_str(&format!(
+            "patch executor: workers {} runs {} items {} poisonings {}\n",
+            self.executor.workers,
+            self.executor.runs,
+            self.executor.items,
+            self.executor.poisonings
+        ));
+        for s in &self.sessions {
+            out.push_str(&format!(
+                "session {}: epoch {} runs {} free_at {}\n",
+                s.id, s.epoch, s.runs, s.free_at
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stat_summarizes_profiler_timer() {
+        let p = Profiler::new();
+        for k in 1..=100 {
+            p.record("serve.wait", k as f64);
+        }
+        let l = LatencyStat::from_profiler(&p, "serve.wait");
+        assert_eq!(l.count, 100);
+        assert!((l.mean - 50.5).abs() < 1e-12);
+        assert!((l.p50 - 50.0).abs() < 1e-12);
+        assert!((l.p99 - 99.0).abs() < 1e-12);
+        assert!((l.max - 100.0).abs() < 1e-12);
+        assert_eq!(
+            LatencyStat::from_profiler(&p, "ghost"),
+            LatencyStat::default()
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Property pin of job-key canonicalization (PR 3): formatting noise
+//! (whitespace runs, indentation, `#` comments, blank lines) and override
+//! order never change a job's content hash, while any physics-relevant
+//! difference — a script token, an override value, the checkpoint flag,
+//! the workload kind — always does.
+
+use cca_serve::job::{canonical_script, JobKey, Override};
+use proptest::prelude::*;
+
+const LETTERS: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+
+/// A script token: no whitespace, no `#`, so canonicalization can only
+/// ever treat it as one atom.
+fn ident() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..TAIL.len(), 1..7).prop_map(|ix| {
+        let mut s = String::new();
+        for (k, i) in ix.iter().enumerate() {
+            let set = if k == 0 { LETTERS } else { TAIL };
+            s.push(set[i % set.len()] as char);
+        }
+        s
+    })
+}
+
+/// Tokenized script: a few lines of a few tokens each.
+fn script_lines() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(proptest::collection::vec(ident(), 1..5), 1..8)
+}
+
+/// Per-line formatting noise: indentation depth, token separator choice,
+/// and three bits — trailing comment, blank line before, comment line
+/// before.
+#[derive(Clone, Debug)]
+struct Noise {
+    lead: usize,
+    sep: usize,
+    bits: usize,
+}
+
+fn noise() -> impl Strategy<Value = Noise> {
+    (0usize..4, 0usize..3, 0usize..8).prop_map(|(lead, sep, bits)| Noise { lead, sep, bits })
+}
+
+/// Reference rendering: single spaces, one line per entry.
+fn render_clean(lines: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for toks in lines {
+        out.push_str(&toks.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Noisy rendering of the *same* token stream: indentation, tab/space
+/// runs, trailing comments, interleaved blank and comment lines.
+fn render_noisy(lines: &[Vec<String>], noises: &[Noise]) -> String {
+    const SEPS: [&str; 3] = [" ", "\t", "   "];
+    let mut out = String::new();
+    for (i, toks) in lines.iter().enumerate() {
+        let n = &noises[i % noises.len()];
+        if n.bits & 1 != 0 {
+            out.push('\n');
+        }
+        if n.bits & 2 != 0 {
+            out.push_str("# chatter that must not matter\n");
+        }
+        out.push_str(&" ".repeat(n.lead));
+        out.push_str(&toks.join(SEPS[n.sep % SEPS.len()]));
+        if n.bits & 4 != 0 {
+            out.push_str("  # annotation");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A handful of typed overrides.
+fn overrides() -> impl Strategy<Value = Vec<Override>> {
+    proptest::collection::vec((ident(), ident(), -1.0e6f64..1.0e6), 1..6).prop_map(|v| {
+        v.into_iter()
+            .map(|(i, k, val)| Override::new(&i, &k, val))
+            .collect()
+    })
+}
+
+/// Fisher–Yates permutation driven by drawn swap seeds (the vendored
+/// proptest stub has no `prop_shuffle`).
+fn shuffled(ovs: &[Override], seeds: &[usize]) -> Vec<Override> {
+    let mut v = ovs.to_vec();
+    for i in (1..v.len()).rev() {
+        let j = seeds[i % seeds.len()] % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    #[test]
+    fn formatting_noise_never_changes_the_key(
+        lines in script_lines(),
+        noises in proptest::collection::vec(noise(), 16),
+    ) {
+        let clean = render_clean(&lines);
+        let noisy = render_noisy(&lines, &noises);
+        prop_assert_eq!(canonical_script(&clean), canonical_script(&noisy));
+        prop_assert_eq!(
+            JobKey::compute("ign0d", &clean, &[], false),
+            JobKey::compute("ign0d", &noisy, &[], false)
+        );
+    }
+
+    #[test]
+    fn override_order_never_changes_the_key(
+        ovs in overrides(),
+        seeds in proptest::collection::vec(0usize..1024, 8),
+        lines in script_lines(),
+    ) {
+        let script = render_clean(&lines);
+        let permuted = shuffled(&ovs, &seeds);
+        prop_assert_eq!(
+            JobKey::compute("rd2d", &script, &ovs, true),
+            JobKey::compute("rd2d", &script, &permuted, true)
+        );
+    }
+
+    #[test]
+    fn physics_differences_always_change_the_key(
+        ovs in overrides(),
+        lines in script_lines(),
+        idx in 0usize..64,
+        bump in 1.0e-3f64..1.0e3,
+    ) {
+        let script = render_clean(&lines);
+        let base = JobKey::compute("ign0d", &script, &ovs, false);
+
+        // Perturb one override value (the bump is far above one ulp at
+        // these magnitudes, so the bit pattern is guaranteed to change).
+        let i = idx % ovs.len();
+        let mut changed = ovs.clone();
+        changed[i].value += bump;
+        prop_assume!(changed[i].value.to_bits() != ovs[i].value.to_bits());
+        prop_assert!(base != JobKey::compute("ign0d", &script, &changed, false),
+            "value change at override {} did not change the key", i);
+
+        // Add a script token.
+        let longer = format!("{script}extra line\n");
+        prop_assert!(base != JobKey::compute("ign0d", &longer, &ovs, false),
+            "extra script line did not change the key");
+
+        // Flip the checkpoint request or the workload kind.
+        prop_assert!(base != JobKey::compute("ign0d", &script, &ovs, true),
+            "checkpoint flag did not change the key");
+        prop_assert!(base != JobKey::compute("rd2d", &script, &ovs, false),
+            "workload kind did not change the key");
+    }
+}
