@@ -7,7 +7,7 @@
 # Opt-in extras:
 #   CI_BENCH=1  also run the deterministic bench smokes (cca-bench) and
 #               fail on malformed output or drift from the committed
-#               BENCH_PR2.json / BENCH_PR3.json baselines.
+#               BENCH_PR2.json / BENCH_PR3.json / BENCH_PR4.json baselines.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -45,6 +45,12 @@ if [[ "${CI_BENCH:-0}" == "1" ]]; then
   echo "== serve loadgen: compare against committed baseline"
   diff -u BENCH_PR3.json target/BENCH_PR3.json \
     || { echo "BENCH_PR3.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- serve"; exit 1; }
+  echo "== hotpath allocation-discipline bench (CI_BENCH=1)"
+  cargo run -q -p cca-bench --bin cca-bench -- hotpath target/BENCH_PR4.json
+  cargo run -q -p cca-bench --bin cca-bench -- hotpath-check target/BENCH_PR4.json
+  echo "== hotpath: compare against committed baseline"
+  diff -u BENCH_PR4.json target/BENCH_PR4.json \
+    || { echo "BENCH_PR4.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- hotpath"; exit 1; }
 fi
 
 echo "ci: all gates passed"

@@ -15,10 +15,12 @@
 //! Usage:
 //!
 //! ```text
-//! cca-bench smoke [PATH]        # run the slice, write JSON (default BENCH_PR2.json)
-//! cca-bench check [PATH]        # validate an existing file, exit non-zero if malformed
-//! cca-bench serve [PATH]        # run the serving loadgen, write BENCH_PR3.json
-//! cca-bench serve-check [PATH]  # validate an existing BENCH_PR3.json
+//! cca-bench smoke [PATH]          # run the slice, write JSON (default BENCH_PR2.json)
+//! cca-bench check [PATH]          # validate an existing file, exit non-zero if malformed
+//! cca-bench serve [PATH]          # run the serving loadgen, write BENCH_PR3.json
+//! cca-bench serve-check [PATH]    # validate an existing BENCH_PR3.json
+//! cca-bench hotpath [PATH]        # run the allocation-discipline suite, write BENCH_PR4.json
+//! cca-bench hotpath-check [PATH]  # validate an existing BENCH_PR4.json
 //! ```
 //!
 //! The `serve` pair freezes the PR-3 serving-subsystem loadgen (200 jobs,
@@ -26,16 +28,25 @@
 //! on a virtual tick clock, so every counter *and every latency
 //! percentile* in the file is deterministic.
 //!
+//! The `hotpath` pair freezes the PR-4 memory discipline: each SAMR hot
+//! loop (RKC macro step, ghost exchange, kinetics rate evaluation) is
+//! run once cold — every scratch checkout allocates — and then warm for
+//! a fixed iteration count, recording the `cca_core::scratch` pool-miss
+//! counter. The contract is **zero steady-state allocation events**;
+//! checkout counts pin the amount of traffic the pool absorbs.
+//!
 //! `./ci.sh` runs all of it when `CI_BENCH=1` and compares the fresh
 //! output against the committed baselines.
 
 use cca_apps::scaling::{run_scaling, ScalingConfig};
-use cca_chem::h2_air_reduced_5;
 use cca_chem::systems::ConstantVolumeIgnition;
+use cca_chem::{h2_air_19, h2_air_reduced_5};
 use cca_comm::ClusterModel;
 use cca_components::ports::{OdeIntegratorPort, OdeRhsPort};
-use cca_core::ParameterPort;
-use cca_solvers::{Bdf, BdfConfig};
+use cca_core::{scratch, ParameterPort};
+use cca_mesh::ghost::{fill_coarse_fine_ghosts, fill_same_level_ghosts};
+use cca_mesh::{DataObject, Hierarchy, IntBox};
+use cca_solvers::{Bdf, BdfConfig, Rkc, RkcConfig};
 use std::process::ExitCode;
 use std::rc::Rc;
 
@@ -43,6 +54,8 @@ const DEFAULT_PATH: &str = "BENCH_PR2.json";
 const SCHEMA: &str = "cca-bench-smoke-v2";
 const SERVE_PATH: &str = "BENCH_PR3.json";
 const SERVE_SCHEMA: &str = "cca-serve-loadgen-v1";
+const HOTPATH_PATH: &str = "BENCH_PR4.json";
+const HOTPATH_SCHEMA: &str = "cca-bench-hotpath-v1";
 
 /// Stoichiometric H2-air for an n-species table (H2, O2 first; N2 last).
 fn stoich(n: usize) -> Vec<f64> {
@@ -159,6 +172,184 @@ fn smoke_json() -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Counters of one hot loop: a cold pass (empty thread pool, every
+/// checkout allocates), one settling pass, then a fixed warm run.
+struct HotLoop {
+    name: &'static str,
+    iterations: u64,
+    cold_alloc_events: u64,
+    steady_alloc_events: u64,
+    steady_checkouts: u64,
+}
+
+/// Run `step` under the pool-miss counters. The returned numbers are
+/// pure functions of the workload (no clocks, no addresses), so the
+/// committed baseline can be compared byte-for-byte.
+fn measure_hot_loop(name: &'static str, mut step: impl FnMut()) -> HotLoop {
+    const ITERATIONS: u64 = 25;
+    scratch::clear_thread_pools();
+    let cold_from = scratch::thread_alloc_events();
+    step(); // cold: the pool is empty, every checkout is a heap miss
+    let cold_alloc_events = scratch::thread_alloc_events() - cold_from;
+    step(); // settle: lets buffers reach their high-water capacities
+    let alloc_from = scratch::thread_alloc_events();
+    let checkout_from = scratch::checkouts();
+    for _ in 0..ITERATIONS {
+        step();
+    }
+    HotLoop {
+        name,
+        iterations: ITERATIONS,
+        cold_alloc_events,
+        steady_alloc_events: scratch::thread_alloc_events() - alloc_from,
+        steady_checkouts: scratch::checkouts() - checkout_from,
+    }
+}
+
+/// RKC macro step over a 512-cell 1D diffusion stencil — the shape of
+/// the reaction–diffusion assembly's explicit hot loop. Polynomial
+/// initial data keeps every number libm-free and host-stable.
+fn hotpath_rkc() -> HotLoop {
+    let n = 512usize;
+    let sys = (n, |_t: f64, y: &[f64], dydt: &mut [f64]| {
+        for i in 0..y.len() {
+            let l = if i == 0 { y[i] } else { y[i - 1] };
+            let r = if i + 1 == y.len() { y[i] } else { y[i + 1] };
+            dydt[i] = l - 2.0 * y[i] + r;
+        }
+    });
+    let y0: Vec<f64> = (0..n)
+        .map(|i| (i * (n - i)) as f64 / (n * n) as f64)
+        .collect();
+    let rkc = Rkc::new(RkcConfig::default());
+    let mut y = vec![0.0; n];
+    measure_hot_loop("rkc_macro_step", || {
+        y.copy_from_slice(&y0);
+        rkc.integrate(&sys, 0.0, 1.0, &mut y, |_, _| 4.0, 1e-2)
+            .expect("diffusion decay integrates");
+    })
+}
+
+/// Ghost exchange over a two-level hierarchy with two fine patches —
+/// same-level pack/unpack plus coarse–fine prolongation, the loops the
+/// clone-free `cca_mesh::ghost` rewrite targets.
+fn hotpath_ghost() -> HotLoop {
+    let mut h = Hierarchy::new(IntBox::sized(16, 16), [0.0, 0.0], [1.0 / 16.0; 2], 2);
+    let a = IntBox::new([4, 4], [7, 11]).refine(2);
+    let b = IntBox::new([8, 4], [11, 11]).refine(2);
+    h.set_level_boxes(1, &[a, b]);
+    let coarse_id = h.levels[0].patches[0].id;
+    let ids: Vec<usize> = h.levels[1].patches.iter().map(|p| p.id).collect();
+    let mut dobj = DataObject::new(2, 2);
+    dobj.allocate(0, coarse_id, h.levels[0].patches[0].interior);
+    dobj.allocate(1, ids[0], a);
+    dobj.allocate(1, ids[1], b);
+    dobj.patch_mut(0, coarse_id)
+        .expect("allocated")
+        .fill_var(0, 1.0);
+    measure_hot_loop("ghost_exchange", || {
+        fill_same_level_ghosts(&mut dobj, &h, 0);
+        fill_same_level_ghosts(&mut dobj, &h, 1);
+        fill_coarse_fine_ghosts(&mut dobj, &h, 1);
+    })
+}
+
+/// Production rates of the full 9-species/19-reaction mechanism at three
+/// temperatures — the vectorizable rate-table loop. The Arrhenius table
+/// itself is built once per `Mechanism` (OnceLock), so only the two
+/// per-call thermodynamic workspaces touch the pool.
+fn hotpath_kinetics() -> HotLoop {
+    let mech = h2_air_19();
+    let n = mech.n_species();
+    let c: Vec<f64> = (0..n).map(|i| 1.0e-3 + 2.0e-4 * i as f64).collect();
+    let mut wdot = vec![0.0; n];
+    measure_hot_loop("kinetics_rates", || {
+        for t in [800.0, 1500.0, 2500.0] {
+            mech.production_rates(t, &c, &mut wdot);
+        }
+    })
+}
+
+/// PR-4 allocation-discipline suite, frozen as JSON.
+fn hotpath_json() -> String {
+    let loops = [hotpath_rkc(), hotpath_ghost(), hotpath_kinetics()];
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{HOTPATH_SCHEMA}\",\n"));
+    out.push_str("  \"deterministic\": true,\n");
+    out.push_str(&format!(
+        "  \"pooling_enabled\": {},\n",
+        scratch::pooling_enabled()
+    ));
+    out.push_str("  \"hot_loops\": [\n");
+    for (i, l) in loops.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"loop\": \"{}\", \"iterations\": {}, \"cold_alloc_events\": {}, \
+             \"steady_alloc_events\": {}, \"steady_checkouts\": {}}}{}\n",
+            l.name,
+            l.iterations,
+            l.cold_alloc_events,
+            l.steady_alloc_events,
+            l.steady_checkouts,
+            if i + 1 < loops.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"retained_buffers\": {}\n}}\n",
+        scratch::retained_buffers()
+    ));
+    out
+}
+
+/// Structural + invariant validation of a hotpath file. The load-bearing
+/// invariant is the zero in every `steady_alloc_events`: a warm SAMR hot
+/// loop must never touch the heap.
+fn validate_hotpath(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !text.contains(&format!("\"schema\": \"{HOTPATH_SCHEMA}\"")) {
+        errs.push(format!(
+            "missing or wrong schema tag (want {HOTPATH_SCHEMA})"
+        ));
+    }
+    for (open, close, what) in [('{', '}', "braces"), ('[', ']', "brackets")] {
+        let a = text.matches(open).count();
+        let b = text.matches(close).count();
+        if a != b || a == 0 {
+            errs.push(format!("unbalanced {what}: {a} '{open}' vs {b} '{close}'"));
+        }
+    }
+    let steady = numbers_after(text, "steady_alloc_events");
+    if steady.len() != 3 {
+        errs.push(format!("want 3 hot loops, found {}", steady.len()));
+    }
+    for (i, v) in steady.iter().enumerate() {
+        if *v != 0.0 {
+            errs.push(format!(
+                "hot loop {i} allocates in steady state: {v} events"
+            ));
+        }
+    }
+    for (key, floor) in [
+        ("cold_alloc_events", 1.0),
+        ("steady_checkouts", 1.0),
+        ("iterations", 1.0),
+    ] {
+        for (i, v) in numbers_after(text, key).iter().enumerate() {
+            if *v < floor {
+                errs.push(format!("hot loop {i}: \"{key}\" = {v} below {floor}"));
+            }
+        }
+    }
+    if numbers_after(text, "retained_buffers")
+        .first()
+        .is_none_or(|v| *v < 1.0)
+    {
+        errs.push("pool retained no buffers after the suite".into());
+    }
+    errs
 }
 
 /// PR-3 serving-subsystem loadgen, frozen as JSON. Every value is a pure
@@ -359,10 +550,50 @@ fn main() -> ExitCode {
     let mode = args.get(1).map(String::as_str);
     let default_path = match mode {
         Some("serve") | Some("serve-check") => SERVE_PATH,
+        Some("hotpath") | Some("hotpath-check") => HOTPATH_PATH,
         _ => DEFAULT_PATH,
     };
     let path = args.get(2).map(String::as_str).unwrap_or(default_path);
     match mode {
+        Some("hotpath") => {
+            let json = hotpath_json();
+            let errs = validate_hotpath(&json);
+            if !errs.is_empty() {
+                eprintln!("cca-bench: hotpath output failed self-check:");
+                for e in &errs {
+                    eprintln!("  - {e}");
+                }
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cca-bench: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "cca-bench: wrote {path} ({} bytes, deterministic)",
+                json.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("hotpath-check") => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let errs = validate_hotpath(&text);
+                if errs.is_empty() {
+                    println!("cca-bench: {path} is well-formed");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("cca-bench: {path} is malformed:");
+                    for e in &errs {
+                        eprintln!("  - {e}");
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("cca-bench: cannot read {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("serve") => {
             let json = serve_json();
             let errs = validate_serve(&json);
@@ -442,7 +673,10 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: cca-bench smoke|check [PATH] | cca-bench serve|serve-check [PATH]");
+            eprintln!(
+                "usage: cca-bench smoke|check [PATH] | cca-bench serve|serve-check [PATH] \
+                 | cca-bench hotpath|hotpath-check [PATH]"
+            );
             ExitCode::FAILURE
         }
     }

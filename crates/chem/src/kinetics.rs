@@ -4,6 +4,8 @@
 //! component's *RHS Evaluator* port.
 
 use crate::thermo::{Species, P_ATM, RU};
+use cca_core::scratch;
+use std::sync::OnceLock;
 
 /// 1 cal/mol in J/kmol — CHEMKIN activation energies are cal/mol.
 const CAL_PER_MOL: f64 = 4.184e3;
@@ -95,15 +97,229 @@ impl Reaction {
 }
 
 /// A reaction mechanism: species table + reaction list.
+///
+/// Construct with [`Mechanism::new`]. The public `species`/`reactions`
+/// fields are the mechanism *definition*; the first call to
+/// [`Mechanism::production_rates`] (or [`Mechanism::rate_table`]) freezes
+/// them into a SoA [`RateTable`], so they must not be mutated afterwards.
 #[derive(Clone, Debug)]
 pub struct Mechanism {
     /// The species, in index order.
     pub species: Vec<Species>,
     /// The elementary reactions.
     pub reactions: Vec<Reaction>,
+    /// Lazily built SoA evaluation tables (shared by clone at clone time).
+    table: OnceLock<RateTable>,
+}
+
+/// Precomputed structure-of-arrays view of a [`Mechanism`] for the hot
+/// production-rate loop. Everything that is a pure function of the
+/// mechanism (Arrhenius coefficients, CSR stoichiometry with integer-ν
+/// class tags, per-reaction `Δν`, *full* third-body efficiency rows) is
+/// computed once here; everything that is a pure function of temperature
+/// (the per-species `s/R` and `h/RT` tables behind the equilibrium
+/// constants) is hoisted to once per call rather than once per reaction.
+///
+/// The table stores `A`, `n`, `Ea` verbatim and evaluates the *same*
+/// floating-point expression as [`Reaction::kf`]/[`Reaction::kc`] in the
+/// same order — a `ln A + n·ln T` reformulation would round differently,
+/// and bit-identity with the scalar path is a hard requirement (the
+/// executor's determinism tests and the frozen NFE counters both pin it).
+#[derive(Clone, Debug, Default)]
+pub struct RateTable {
+    /// Species count (row width of `eff`).
+    n_species: usize,
+    /// Arrhenius pre-exponential per reaction (SI-kmol units).
+    a: Vec<f64>,
+    /// Temperature exponent per reaction.
+    n: Vec<f64>,
+    /// Activation energy per reaction, J/kmol.
+    ea: Vec<f64>,
+    /// CSR row offsets into the reactant arrays (length `nr + 1`).
+    react_off: Vec<usize>,
+    /// Reactant species indices, all reactions concatenated.
+    react_idx: Vec<usize>,
+    /// Reactant stoichiometric coefficients.
+    react_nu: Vec<f64>,
+    /// Fast-path class of `react_nu`: 1, 2, or 0 (generic `powf`).
+    react_nu_class: Vec<u8>,
+    /// CSR row offsets into the product arrays (length `nr + 1`).
+    prod_off: Vec<usize>,
+    /// Product species indices.
+    prod_idx: Vec<usize>,
+    /// Product stoichiometric coefficients.
+    prod_nu: Vec<f64>,
+    /// Fast-path class of `prod_nu`.
+    prod_nu_class: Vec<u8>,
+    /// Δν (products − reactants) per reaction.
+    delta_nu: Vec<f64>,
+    /// Reversibility flag per reaction.
+    reversible: Vec<bool>,
+    /// Does any reaction need the per-temperature thermo tables?
+    any_reversible: bool,
+    /// Row index into `eff` per reaction, or `usize::MAX` for no third
+    /// body.
+    third_row: Vec<usize>,
+    /// Dense third-body efficiency rows, `eff[row * n_species + i]`
+    /// (default efficiency with overrides applied).
+    eff: Vec<f64>,
+}
+
+impl RateTable {
+    /// Build the tables from a mechanism definition.
+    fn build(species: &[Species], reactions: &[Reaction]) -> Self {
+        let ns = species.len();
+        let nr = reactions.len();
+        let mut t = RateTable {
+            n_species: ns,
+            react_off: vec![0],
+            prod_off: vec![0],
+            ..RateTable::default()
+        };
+        let class_of = |nu: f64| -> u8 {
+            if nu == 1.0 {
+                1
+            } else if nu == 2.0 {
+                2
+            } else {
+                0
+            }
+        };
+        for r in reactions {
+            t.a.push(r.a);
+            t.n.push(r.n);
+            t.ea.push(r.ea);
+            for &(i, nu) in &r.reactants {
+                t.react_idx.push(i);
+                t.react_nu.push(nu);
+                t.react_nu_class.push(class_of(nu));
+            }
+            t.react_off.push(t.react_idx.len());
+            for &(i, nu) in &r.products {
+                t.prod_idx.push(i);
+                t.prod_nu.push(nu);
+                t.prod_nu_class.push(class_of(nu));
+            }
+            t.prod_off.push(t.prod_idx.len());
+            t.delta_nu.push(r.delta_nu());
+            t.reversible.push(r.reversible);
+            t.any_reversible |= r.reversible;
+            match &r.third_body {
+                Some((default_eff, overrides)) => {
+                    let row = t.eff.len() / ns.max(1);
+                    t.third_row.push(row);
+                    let start = t.eff.len();
+                    t.eff.resize(start + ns, *default_eff);
+                    for &(j, e) in overrides {
+                        t.eff[start + j] = e;
+                    }
+                }
+                None => t.third_row.push(usize::MAX),
+            }
+        }
+        debug_assert_eq!(t.a.len(), nr);
+        t
+    }
+
+    /// Net molar production rates; the hot loop behind
+    /// [`Mechanism::production_rates`]. One branch-light sweep over all
+    /// reactions against the CSR stoichiometry, with the per-temperature
+    /// `s/R` and `h/RT` species tables computed once up front (from
+    /// thread-local scratch — zero steady-state allocations).
+    pub fn production_rates(&self, species: &[Species], t: f64, c: &[f64], wdot: &mut [f64]) {
+        let ns = self.n_species;
+        debug_assert_eq!(c.len(), ns);
+        debug_assert_eq!(wdot.len(), ns);
+        wdot.fill(0.0);
+        let rut = RU * t;
+        // Equilibrium-constant ingredients hoisted per temperature: the
+        // scalar path recomputed s/R and h/RT per (reaction, species)
+        // mention; here each species is evaluated exactly once.
+        let mut s_over_r = scratch::take_f64(if self.any_reversible { ns } else { 0 });
+        let mut h_over_rt = scratch::take_f64(s_over_r.len());
+        if self.any_reversible {
+            for (i, sp) in species.iter().enumerate() {
+                s_over_r[i] = sp.s_over_r(t);
+                h_over_rt[i] = sp.h_over_rt(t);
+            }
+        }
+        let pfac = P_ATM / rut;
+
+        for r in 0..self.a.len() {
+            let kf = self.a[r] * t.powf(self.n[r]) * (-self.ea[r] / rut).exp();
+            let (r0, r1) = (self.react_off[r], self.react_off[r + 1]);
+            let (p0, p1) = (self.prod_off[r], self.prod_off[r + 1]);
+            // Forward progress.
+            let mut qf = kf;
+            for k in r0..r1 {
+                qf *= pow_nu_class(
+                    c[self.react_idx[k]],
+                    self.react_nu[k],
+                    self.react_nu_class[k],
+                );
+            }
+            // Reverse progress via detailed balance.
+            let mut qr = 0.0;
+            if self.reversible[r] {
+                let mut ds_over_r = 0.0;
+                let mut dh_over_rt = 0.0;
+                for k in p0..p1 {
+                    let i = self.prod_idx[k];
+                    ds_over_r += self.prod_nu[k] * s_over_r[i];
+                    dh_over_rt += self.prod_nu[k] * h_over_rt[i];
+                }
+                for k in r0..r1 {
+                    let i = self.react_idx[k];
+                    ds_over_r -= self.react_nu[k] * s_over_r[i];
+                    dh_over_rt -= self.react_nu[k] * h_over_rt[i];
+                }
+                let kp = (ds_over_r - dh_over_rt).exp();
+                let kc = kp * pfac.powf(self.delta_nu[r]);
+                if kc > 0.0 && kc.is_finite() {
+                    let kr = kf / kc;
+                    qr = kr;
+                    for k in p0..p1 {
+                        qr *= pow_nu_class(
+                            c[self.prod_idx[k]],
+                            self.prod_nu[k],
+                            self.prod_nu_class[k],
+                        );
+                    }
+                }
+            }
+            let mut q = qf - qr;
+            // Third-body enhancement: one dense dot product against the
+            // precomputed efficiency row (same summation order as the
+            // scalar override scan).
+            let row = self.third_row[r];
+            if row != usize::MAX {
+                let effs = &self.eff[row * ns..(row + 1) * ns];
+                let mut m = 0.0;
+                for (e, ci) in effs.iter().zip(c) {
+                    m += e * ci;
+                }
+                q *= m;
+            }
+            for k in r0..r1 {
+                wdot[self.react_idx[k]] -= self.react_nu[k] * q;
+            }
+            for k in p0..p1 {
+                wdot[self.prod_idx[k]] += self.prod_nu[k] * q;
+            }
+        }
+    }
 }
 
 impl Mechanism {
+    /// New mechanism from a species table and reaction list.
+    pub fn new(species: Vec<Species>, reactions: Vec<Reaction>) -> Self {
+        Mechanism {
+            species,
+            reactions,
+            table: OnceLock::new(),
+        }
+    }
+
     /// Number of species.
     pub fn n_species(&self) -> usize {
         self.species.len()
@@ -114,53 +330,21 @@ impl Mechanism {
         self.species.iter().position(|s| s.name == name)
     }
 
+    /// The SoA evaluation tables, built on first use.
+    pub fn rate_table(&self) -> &RateTable {
+        self.table
+            .get_or_init(|| RateTable::build(&self.species, &self.reactions))
+    }
+
     /// Net molar production rates `ω̇` (kmol/m³/s) from temperature and
     /// concentrations `c` (kmol/m³). `wdot` is fully overwritten.
+    ///
+    /// Evaluates through the precomputed [`RateTable`] — bit-identical to
+    /// the per-[`Reaction`] scalar formulation (pinned by tests), with the
+    /// equilibrium-constant thermo tables hoisted per temperature.
     pub fn production_rates(&self, t: f64, c: &[f64], wdot: &mut [f64]) {
-        debug_assert_eq!(c.len(), self.n_species());
-        debug_assert_eq!(wdot.len(), self.n_species());
-        wdot.fill(0.0);
-        for r in &self.reactions {
-            let kf = r.kf(t);
-            // Forward progress.
-            let mut qf = kf;
-            for &(i, nu) in &r.reactants {
-                qf *= pow_nu(c[i], nu);
-            }
-            // Reverse progress via detailed balance.
-            let mut qr = 0.0;
-            if r.reversible {
-                let kc = r.kc(t, &self.species);
-                if kc > 0.0 && kc.is_finite() {
-                    let kr = kf / kc;
-                    qr = kr;
-                    for &(i, nu) in &r.products {
-                        qr *= pow_nu(c[i], nu);
-                    }
-                }
-            }
-            let mut q = qf - qr;
-            // Third-body enhancement.
-            if let Some((default_eff, overrides)) = &r.third_body {
-                let mut m = 0.0;
-                'species: for (i, ci) in c.iter().enumerate() {
-                    for &(j, eff) in overrides {
-                        if j == i {
-                            m += eff * ci;
-                            continue 'species;
-                        }
-                    }
-                    m += default_eff * ci;
-                }
-                q *= m;
-            }
-            for &(i, nu) in &r.reactants {
-                wdot[i] -= nu * q;
-            }
-            for &(i, nu) in &r.products {
-                wdot[i] += nu * q;
-            }
-        }
+        self.rate_table()
+            .production_rates(&self.species, t, c, wdot);
     }
 
     /// Verify element balance of every reaction against an element
@@ -193,6 +377,9 @@ impl Mechanism {
 }
 
 /// `c^nu` specialised for the overwhelmingly common integer exponents.
+/// Production code goes through [`pow_nu_class`]; this form survives as
+/// the reference the bit-identity test re-derives rates with.
+#[cfg(test)]
 #[inline]
 fn pow_nu(c: f64, nu: f64) -> f64 {
     if nu == 1.0 {
@@ -204,10 +391,111 @@ fn pow_nu(c: f64, nu: f64) -> f64 {
     }
 }
 
+/// [`pow_nu`] with the exponent class pre-resolved at table-build time:
+/// the float comparisons leave the hot loop, the arithmetic (and thus the
+/// result bits) stay identical.
+#[inline]
+fn pow_nu_class(c: f64, nu: f64, class: u8) -> f64 {
+    match class {
+        1 => c,
+        2 => c * c,
+        _ => c.max(0.0).powf(nu),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mechanisms::{h2_air_19, h2_composition};
+    use crate::mechanisms::{h2_air_19, h2_air_reduced_5, h2_composition};
+
+    /// The scalar per-[`Reaction`] formulation the [`RateTable`] replaced,
+    /// kept verbatim as the bit-identity reference.
+    fn production_rates_reference(mech: &Mechanism, t: f64, c: &[f64], wdot: &mut [f64]) {
+        wdot.fill(0.0);
+        for r in &mech.reactions {
+            let kf = r.kf(t);
+            let mut qf = kf;
+            for &(i, nu) in &r.reactants {
+                qf *= pow_nu(c[i], nu);
+            }
+            let mut qr = 0.0;
+            if r.reversible {
+                let kc = r.kc(t, &mech.species);
+                if kc > 0.0 && kc.is_finite() {
+                    let kr = kf / kc;
+                    qr = kr;
+                    for &(i, nu) in &r.products {
+                        qr *= pow_nu(c[i], nu);
+                    }
+                }
+            }
+            let mut q = qf - qr;
+            if let Some((default_eff, overrides)) = &r.third_body {
+                let mut m = 0.0;
+                'species: for (i, ci) in c.iter().enumerate() {
+                    for &(j, eff) in overrides {
+                        if j == i {
+                            m += eff * ci;
+                            continue 'species;
+                        }
+                    }
+                    m += default_eff * ci;
+                }
+                q *= m;
+            }
+            for &(i, nu) in &r.reactants {
+                wdot[i] -= nu * q;
+            }
+            for &(i, nu) in &r.products {
+                wdot[i] += nu * q;
+            }
+        }
+    }
+
+    #[test]
+    fn rate_table_is_bit_identical_to_scalar_path() {
+        for mech in [h2_air_19(), h2_air_reduced_5()] {
+            let n = mech.n_species();
+            let mut wdot_table = vec![0.0; n];
+            let mut wdot_ref = vec![0.0; n];
+            for (case, t) in [600.0, 1000.0, 1500.0, 2200.0, 3000.0]
+                .into_iter()
+                .enumerate()
+            {
+                // A deterministic, uneven composition (some species tiny,
+                // one negative to exercise the powf clamp).
+                let mut c: Vec<f64> = (0..n)
+                    .map(|i| 1e-4 * ((i + 2 * case + 1) as f64).sqrt())
+                    .collect();
+                c[case % n] = -1e-9;
+                c[(case + 1) % n] = 7.7e-2;
+                mech.production_rates(t, &c, &mut wdot_table);
+                production_rates_reference(&mech, t, &c, &mut wdot_ref);
+                for (i, (a, b)) in wdot_table.iter().zip(&wdot_ref).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "species {i} at T={t}: table {a:e} vs scalar {b:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_rate_table_does_not_allocate() {
+        let mech = h2_air_19();
+        let n = mech.n_species();
+        let c = vec![1e-3; n];
+        let mut wdot = vec![0.0; n];
+        mech.production_rates(1500.0, &c, &mut wdot); // build table, warm pool
+        let before = cca_core::scratch::thread_alloc_events();
+        for _ in 0..100 {
+            mech.production_rates(1500.0, &c, &mut wdot);
+        }
+        let after = cca_core::scratch::thread_alloc_events();
+        assert_eq!(after, before, "steady-state kinetics must not allocate");
+    }
 
     #[test]
     fn arrhenius_increases_with_temperature_for_positive_ea() {

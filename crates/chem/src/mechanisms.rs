@@ -364,10 +364,7 @@ pub fn h2_air_19() -> Mechanism {
             None,
         ),
     ];
-    let mech = Mechanism {
-        species: s,
-        reactions,
-    };
+    let mech = Mechanism::new(s, reactions);
     debug_assert!(mech.check_element_balance(&h2_composition(&mech)).is_ok());
     mech
 }
@@ -407,7 +404,7 @@ pub fn h2_air_reduced_5() -> Mechanism {
         })
         .collect::<Vec<_>>();
     assert_eq!(reactions.len(), 5, "expected exactly 5 kept reactions");
-    Mechanism { species, reactions }
+    Mechanism::new(species, reactions)
 }
 
 /// Element composition table `[species][H, O, N]` for a mechanism whose

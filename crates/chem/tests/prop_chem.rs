@@ -116,10 +116,7 @@ proptest! {
         c[cca_chem::mechanisms::idx::O] = c_o;
         c[cca_chem::mechanisms::idx::OH] = c_oh;
         // Isolate reaction 0: build a one-reaction mechanism.
-        let mini = cca_chem::kinetics::Mechanism {
-            species: mech.species.clone(),
-            reactions: vec![r.clone()],
-        };
+        let mini = cca_chem::kinetics::Mechanism::new(mech.species.clone(), vec![r.clone()]);
         let mut wdot = vec![0.0; 9];
         mini.production_rates(t, &c, &mut wdot);
         // At equilibrium: net rate ~ 0 relative to the gross rate.

@@ -16,7 +16,7 @@ use crate::ports::{
     ChemistryAdvancePort, ChemistryKernel, ChemistrySourcePort, DataPort, DpdtPort, MeshPort,
     OdeCellKernel, OdeIntegratorPort, OdeRhsPort, OdeSystemKernel,
 };
-use cca_core::{Component, ParameterPort, Services};
+use cca_core::{scratch, Component, ParameterPort, Services};
 use cca_mesh::data::PatchData;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -433,7 +433,7 @@ impl ImplicitInner {
             pressure: p,
             scratch: Mutex::new(CellScratch::default()),
         };
-        let mut cell_state = vec![0.0; nvars];
+        let mut cell_state = scratch::take_f64(nvars);
         for &(i, j) in &job.cells {
             for (v, cs) in cell_state.iter_mut().enumerate() {
                 *cs = job.pd.get(v, i, j);
@@ -540,9 +540,15 @@ impl ChemistryAdvancePort for ImplicitInner {
                     return Err(e);
                 }
             } else {
+                // One RHS adaptor and one state buffer for the whole
+                // level sweep: `integrate` takes the Rc by value, so
+                // each cell costs a refcount bump, not a heap
+                // allocation (the adaptor's internal scratch is reused
+                // across cells).
+                let rhs = Rc::new(CellChemistryRhs::new(chem.clone(), p));
+                let mut cell_state = scratch::take_f64(nvars);
                 for (id, _interior, _) in mesh.patches(level) {
                     let mut step_patch = |pd: &mut PatchData| {
-                        let mut cell_state = vec![0.0; nvars];
                         let interior = pd.interior;
                         for (i, j) in interior.cells() {
                             if mesh.covered_by_finer(level, i, j) {
@@ -551,8 +557,7 @@ impl ChemistryAdvancePort for ImplicitInner {
                             for (v, cs) in cell_state.iter_mut().enumerate() {
                                 *cs = pd.get(v, i, j);
                             }
-                            let rhs = Rc::new(CellChemistryRhs::new(chem.clone(), p));
-                            match integ.integrate(rhs, 0.0, dt, &mut cell_state) {
+                            match integ.integrate(rhs.clone(), 0.0, dt, &mut cell_state) {
                                 Ok(st) => total_steps += st.steps,
                                 Err(e) => {
                                     failure.get_or_insert(format!(

@@ -11,7 +11,7 @@
 use crate::ports::{
     ChemistryKernel, ChemistrySourcePort, PatchKernel, PatchRhsPort, TransportKernel, TransportPort,
 };
-use cca_core::{Component, Services};
+use cca_core::{scratch, Component, Services};
 use cca_mesh::data::PatchData;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -94,47 +94,13 @@ impl DiffProps for KernelProps {
     }
 }
 
-struct CellProps {
-    /// λ at the cell.
-    lambda: f64,
-    /// ρ·D_i per species.
-    rho_d: Vec<f64>,
-    /// 1/(ρ cp).
-    inv_rho_cp: f64,
-    /// 1/ρ.
-    inv_rho: f64,
-}
-
-fn cell_props<P: DiffProps>(props: &P, w: &[f64], pd: &PatchData, i: i64, j: i64) -> CellProps {
-    let n = props.n_species();
-    let t = pd.get(0, i, j).max(200.0);
-    let mut y = vec![0.0; n];
-    let mut bulk = 1.0;
-    for (v, yv) in y.iter_mut().take(n - 1).enumerate() {
-        *yv = pd.get(1 + v, i, j);
-        bulk -= *yv;
-    }
-    y[n - 1] = bulk;
-    let w_mean = props.mean_molar_mass(&y);
-    let rho = props.density(t, P0, &y);
-    let mut x = vec![0.0; n];
-    for (v, xv) in x.iter_mut().enumerate() {
-        *xv = y[v] * w_mean / w[v];
-    }
-    let mut d = vec![0.0; n];
-    props.mix_diffusivities(t, P0, &x, &mut d);
-    let lambda = props.mix_conductivity(t, &x);
-    let cp = props.cp_mass(t, &y);
-    CellProps {
-        lambda,
-        rho_d: d.iter().map(|di| rho * di).collect(),
-        inv_rho_cp: 1.0 / (rho * cp),
-        inv_rho: 1.0 / rho,
-    }
-}
-
 /// The 5-point diffusive RHS of one patch — the single copy of the
 /// stencil arithmetic behind both the port and the kernel face.
+///
+/// Cell properties are precomputed over the interior+1 ring into pooled
+/// SoA scratch tables (`λ`, `1/ρcp`, `1/ρ` per cell; `ρD` per cell ×
+/// species) instead of a per-cell `CellProps { Vec<f64>, .. }` — same
+/// arithmetic in the same order, zero steady-state allocations.
 fn diffusion_rhs<P: DiffProps>(
     props: &P,
     state: &PatchData,
@@ -145,20 +111,47 @@ fn diffusion_rhs<P: DiffProps>(
     let n = props.n_species();
     assert_eq!(state.nvars, n, "state layout is {{T, Y1..Y_{{N-1}}}}");
     assert!(state.nghost >= 1);
-    let mut w = vec![0.0; n];
+    let mut w = scratch::take_f64(n);
     props.molar_masses(&mut w);
 
     // Pre-compute properties on interior+1 ring, row-major cache.
     let ring = state.interior.grow(1);
     let nx = ring.nx();
-    let cells: Vec<CellProps> = ring
-        .cells()
-        .map(|(i, j)| cell_props(props, &w, state, i, j))
-        .collect();
-    let at = |i: i64, j: i64| -> &CellProps {
+    let ncells = (nx * ring.ny()) as usize;
+    let mut lambda = scratch::take_f64(ncells);
+    let mut inv_rho_cp = scratch::take_f64(ncells);
+    let mut inv_rho = scratch::take_f64(ncells);
+    let mut rho_d = scratch::take_f64(ncells * n);
+    // Per-cell working slices, hoisted out of the ring loop.
+    let mut y = scratch::take_f64(n);
+    let mut x = scratch::take_f64(n);
+    let mut d = scratch::take_f64(n);
+    for (cell, (i, j)) in ring.cells().enumerate() {
+        let t = state.get(0, i, j).max(200.0);
+        let mut bulk = 1.0;
+        for (v, yv) in y.iter_mut().take(n - 1).enumerate() {
+            *yv = state.get(1 + v, i, j);
+            bulk -= *yv;
+        }
+        y[n - 1] = bulk;
+        let w_mean = props.mean_molar_mass(&y);
+        let rho = props.density(t, P0, &y);
+        for (v, xv) in x.iter_mut().enumerate() {
+            *xv = y[v] * w_mean / w[v];
+        }
+        props.mix_diffusivities(t, P0, &x, &mut d);
+        lambda[cell] = props.mix_conductivity(t, &x);
+        let cp = props.cp_mass(t, &y);
+        for (v, di) in d.iter().enumerate() {
+            rho_d[cell * n + v] = rho * di;
+        }
+        inv_rho_cp[cell] = 1.0 / (rho * cp);
+        inv_rho[cell] = 1.0 / rho;
+    }
+    let at = |i: i64, j: i64| -> usize {
         let ii = (i - ring.lo[0]) as usize;
         let jj = (j - ring.lo[1]) as usize;
-        &cells[jj * nx as usize + ii]
+        jj * nx as usize + ii
     };
 
     let interior = state.interior;
@@ -166,25 +159,25 @@ fn diffusion_rhs<P: DiffProps>(
         let pc = at(i, j);
         // Temperature: (1/ρcp) ∇·(λ∇T), 5-point form with
         // face-averaged coefficients.
-        let lam_c = pc.lambda;
-        let lam_e = 0.5 * (lam_c + at(i + 1, j).lambda);
-        let lam_w = 0.5 * (lam_c + at(i - 1, j).lambda);
-        let lam_n = 0.5 * (lam_c + at(i, j + 1).lambda);
-        let lam_s = 0.5 * (lam_c + at(i, j - 1).lambda);
+        let lam_c = lambda[pc];
+        let lam_e = 0.5 * (lam_c + lambda[at(i + 1, j)]);
+        let lam_w = 0.5 * (lam_c + lambda[at(i - 1, j)]);
+        let lam_n = 0.5 * (lam_c + lambda[at(i, j + 1)]);
+        let lam_s = 0.5 * (lam_c + lambda[at(i, j - 1)]);
         let t_c = state.get(0, i, j);
         let div_t = (lam_e * (state.get(0, i + 1, j) - t_c)
             - lam_w * (t_c - state.get(0, i - 1, j)))
             / (dx * dx)
             + (lam_n * (state.get(0, i, j + 1) - t_c) - lam_s * (t_c - state.get(0, i, j - 1)))
                 / (dy * dy);
-        rhs.set(0, i, j, pc.inv_rho_cp * div_t);
+        rhs.set(0, i, j, inv_rho_cp[pc] * div_t);
         // Species: (1/ρ) ∇·(ρD_i ∇Y_i) for the N-1 stored species.
         for v in 0..n - 1 {
-            let b_c = pc.rho_d[v];
-            let b_e = 0.5 * (b_c + at(i + 1, j).rho_d[v]);
-            let b_w = 0.5 * (b_c + at(i - 1, j).rho_d[v]);
-            let b_n = 0.5 * (b_c + at(i, j + 1).rho_d[v]);
-            let b_s = 0.5 * (b_c + at(i, j - 1).rho_d[v]);
+            let b_c = rho_d[pc * n + v];
+            let b_e = 0.5 * (b_c + rho_d[at(i + 1, j) * n + v]);
+            let b_w = 0.5 * (b_c + rho_d[at(i - 1, j) * n + v]);
+            let b_n = 0.5 * (b_c + rho_d[at(i, j + 1) * n + v]);
+            let b_s = 0.5 * (b_c + rho_d[at(i, j - 1) * n + v]);
             let y_c = state.get(1 + v, i, j);
             let div = (b_e * (state.get(1 + v, i + 1, j) - y_c)
                 - b_w * (y_c - state.get(1 + v, i - 1, j)))
@@ -192,7 +185,7 @@ fn diffusion_rhs<P: DiffProps>(
                 + (b_n * (state.get(1 + v, i, j + 1) - y_c)
                     - b_s * (y_c - state.get(1 + v, i, j - 1)))
                     / (dy * dy);
-            rhs.set(1 + v, i, j, pc.inv_rho * div);
+            rhs.set(1 + v, i, j, inv_rho[pc] * div);
         }
     }
 }

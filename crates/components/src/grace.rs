@@ -214,11 +214,14 @@ impl DataPort for GraceInner {
             .get_mut(name)
             .unwrap_or_else(|| panic!("unknown Data Object '{name}'"));
         for level in (1..hier.n_levels()).rev() {
-            let fine_patches = hier.levels[level].patches.clone();
-            let coarse_patches = hier.levels[level - 1].patches.clone();
-            for fp in &fine_patches {
+            // Borrow the patch lists in place: `hier` and the Data
+            // Object are distinct RefCells, so no clone is needed to
+            // split the borrows.
+            let fine_patches = &hier.levels[level].patches;
+            let coarse_patches = &hier.levels[level - 1].patches;
+            for fp in fine_patches {
                 let fine_in_coarse = fp.interior.coarsen(hier.ratio);
-                for cp in &coarse_patches {
+                for cp in coarse_patches {
                     if let Some(region) = fine_in_coarse.intersect(&cp.interior) {
                         let (coarse_pd, fine_pd) = dobj
                             .patch_pair_mut(level - 1, cp.id, level, fp.id)

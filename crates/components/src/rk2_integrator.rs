@@ -6,7 +6,7 @@
 
 use crate::ports::{BoundaryConditionPort, DataPort, MeshPort, PatchRhsPort, TimeIntegratorPort};
 use crate::rkc_integrator::{eval_hierarchy_rhs, FlatView};
-use cca_core::{Component, Services};
+use cca_core::{scratch, Component, Services};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -23,9 +23,9 @@ impl Inner {
     fn eval(
         &self,
         view: &FlatView,
+        rhs_view: &FlatView,
         rhs_port: &Rc<dyn PatchRhsPort>,
         bc: &Rc<dyn BoundaryConditionPort>,
-        rhs_name: &str,
         t: f64,
         y: &[f64],
         dydt: &mut Vec<f64>,
@@ -38,17 +38,11 @@ impl Inner {
         eval_hierarchy_rhs(
             view,
             rhs_port,
-            rhs_name,
+            &rhs_view.name,
             &self.services.executor(),
             "ExplicitIntegratorRK2.patch-rhs",
             t,
         );
-        let rhs_view = FlatView {
-            mesh: view.mesh.clone(),
-            data: view.data.clone(),
-            name: rhs_name.to_string(),
-            nvars: view.nvars,
-        };
         rhs_view.gather(dydt);
     }
 }
@@ -78,22 +72,34 @@ impl TimeIntegratorPort for Inner {
         let nvars = data.nvars(state);
         let rhs_name = format!("__rk2_rhs_{state}");
         data.create_data_object(&rhs_name, nvars, 0);
+        let rhs_view = FlatView {
+            mesh: mesh.clone(),
+            data: data.clone(),
+            name: rhs_name,
+            nvars,
+        };
         let view = FlatView {
             mesh,
             data,
             name: state.to_string(),
             nvars,
         };
-        let mut y = Vec::new();
+        // All four stage vectors come from the scratch pool: warm steps
+        // allocate nothing.
+        let n = view.dim();
+        let mut y = scratch::take_f64(n);
         view.gather(&mut y);
         let h = dt_max;
 
-        let mut k1 = Vec::new();
-        self.eval(&view, &rhs_port, &bc, &rhs_name, t, &y, &mut k1);
-        let ystar: Vec<f64> = y.iter().zip(&k1).map(|(yi, k)| yi + h * k).collect();
-        let mut k2 = Vec::new();
-        self.eval(&view, &rhs_port, &bc, &rhs_name, t + h, &ystar, &mut k2);
-        for ((yi, k1i), k2i) in y.iter_mut().zip(&k1).zip(&k2) {
+        let mut k1 = scratch::take_f64(n);
+        self.eval(&view, &rhs_view, &rhs_port, &bc, t, &y, &mut k1);
+        let mut ystar = scratch::take_f64(n);
+        for ((ys, yi), k) in ystar.iter_mut().zip(&*y).zip(&*k1) {
+            *ys = yi + h * k;
+        }
+        let mut k2 = scratch::take_f64(n);
+        self.eval(&view, &rhs_view, &rhs_port, &bc, t + h, &ystar, &mut k2);
+        for ((yi, k1i), k2i) in y.iter_mut().zip(&*k1).zip(&*k2) {
             *yi += 0.5 * h * (k1i + k2i);
         }
         if y.iter().any(|v| !v.is_finite()) {

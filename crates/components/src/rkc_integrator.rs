@@ -9,7 +9,7 @@
 use crate::ports::{
     BoundaryConditionPort, DataPort, EigenEstimatePort, MeshPort, PatchRhsPort, TimeIntegratorPort,
 };
-use cca_core::{Component, Executor, Services};
+use cca_core::{scratch, Component, Executor, Services};
 use cca_mesh::data::PatchData;
 use cca_solvers::ode::OdeSystem;
 use cca_solvers::rkc::{Rkc, RkcConfig, RkcStats};
@@ -159,9 +159,11 @@ pub(crate) fn eval_hierarchy_rhs(
 /// OdeSystem adapter: scatter → ghost fill → per-patch RHS → gather.
 struct HierarchyOde {
     view: FlatView,
+    /// Pre-built view of the scratch RHS Data Object, so per-stage RHS
+    /// evaluations do not rebuild it (and its name `String`) each call.
+    rhs_view: FlatView,
     rhs_port: Rc<dyn PatchRhsPort>,
     bc: Rc<dyn BoundaryConditionPort>,
-    rhs_name: String,
     executor: Executor,
 }
 
@@ -180,20 +182,15 @@ impl OdeSystem for HierarchyOde {
         eval_hierarchy_rhs(
             &self.view,
             &self.rhs_port,
-            &self.rhs_name,
+            &self.rhs_view.name,
             &self.executor,
             "ExplicitIntegrator.patch-rhs",
             t,
         );
-        // Gather the RHS object.
-        let rhs_view = FlatView {
-            mesh: mesh.clone(),
-            data: data.clone(),
-            name: self.rhs_name.clone(),
-            nvars: self.view.nvars,
-        };
-        let mut buf = Vec::with_capacity(dydt.len());
-        rhs_view.gather(&mut buf);
+        // Gather the RHS object through a pooled staging buffer (the
+        // gather path wants a Vec it can push into).
+        let mut buf = scratch::take_f64(dydt.len());
+        self.rhs_view.gather(&mut buf);
         dydt.copy_from_slice(&buf);
     }
 }
@@ -233,6 +230,12 @@ impl TimeIntegratorPort for Inner {
         // Scratch RHS Data Object (idempotent creation).
         let rhs_name = format!("__rkc_rhs_{state}");
         data.create_data_object(&rhs_name, nvars, 0);
+        let rhs_view = FlatView {
+            mesh: mesh.clone(),
+            data: data.clone(),
+            name: rhs_name,
+            nvars,
+        };
         let view = FlatView {
             mesh,
             data,
@@ -241,12 +244,13 @@ impl TimeIntegratorPort for Inner {
         };
         let sys = HierarchyOde {
             view,
+            rhs_view,
             rhs_port,
             bc,
-            rhs_name,
             executor: self.services.executor(),
         };
-        let mut y = Vec::new();
+        let n = sys.view.dim();
+        let mut y = scratch::take_f64(n);
         sys.view.gather(&mut y);
 
         let rho = eigen.estimate(state);
@@ -257,9 +261,12 @@ impl TimeIntegratorPort for Inner {
         });
         // Single stability-scheduled RKC macro-step of size dt_max: the
         // stage count is chosen from the spectral radius (the paper's
-        // "dynamic time-step sizing" information path).
+        // "dynamic time-step sizing" information path). Stage vectors
+        // and the output/error buffers all come from the scratch pool.
         let mut stats = RkcStats::default();
-        let (y_new, _est) = rkc.step(&sys, t, &y, dt_max, rho, &mut stats);
+        let mut y_new = scratch::take_f64(n);
+        let mut est = scratch::take_f64(n);
+        rkc.step_into(&sys, t, &y, dt_max, rho, &mut stats, &mut y_new, &mut est);
         if y_new.iter().any(|v| !v.is_finite()) {
             return Err(format!("RKC produced a non-finite state at t = {t:e}"));
         }

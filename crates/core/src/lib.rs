@@ -68,6 +68,7 @@ pub mod executor;
 pub mod framework;
 pub mod ports;
 pub mod profile;
+pub mod scratch;
 pub mod script;
 pub mod services;
 pub mod signature;
@@ -77,5 +78,6 @@ pub use executor::{Executor, ExecutorStats, KernelFailure, RunReport};
 pub use framework::{DanglingPort, Framework};
 pub use ports::{GoPort, ParameterPort, ParameterStore};
 pub use profile::{Profiler, TimerStat};
+pub use scratch::{ScratchF64, ScratchI64, ScratchStats};
 pub use services::{Component, Services};
 pub use signature::{ClassSignature, ProvidesSignature, UsesSignature};

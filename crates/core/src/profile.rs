@@ -36,6 +36,11 @@ pub struct TimerStat {
     pub total_secs: f64,
     /// Longest single scope, seconds.
     pub max_secs: f64,
+    /// Scratch-pool misses (real heap allocations, see
+    /// [`crate::scratch`]) attributed to this scope. A hot loop that
+    /// reports a non-zero steady-state value here is re-allocating
+    /// workspaces it should be reusing.
+    pub alloc_events: u64,
 }
 
 /// One timer's full record: the running totals plus the sample ring.
@@ -48,7 +53,8 @@ struct TimerRecord {
 }
 
 impl TimerRecord {
-    fn record(&mut self, secs: f64) {
+    fn record(&mut self, secs: f64, alloc_events: u64) {
+        self.stat.alloc_events += alloc_events;
         if self.samples.len() < SAMPLE_CAPACITY {
             self.samples.push(secs);
         } else {
@@ -102,13 +108,24 @@ impl Profiler {
             profiler: self.clone(),
             name: name.to_string(),
             start: Instant::now(),
+            alloc_start: crate::scratch::thread_alloc_events(),
         })
     }
 
     /// Directly record an externally measured duration.
     pub fn record(&self, name: &str, secs: f64) {
+        self.record_with_allocs(name, secs, 0);
+    }
+
+    /// Record a duration together with the number of scratch-pool misses
+    /// (heap allocations) the region incurred — what [`ProfileScope`]
+    /// reports automatically from the [`crate::scratch`] counter delta.
+    pub fn record_with_allocs(&self, name: &str, secs: f64, alloc_events: u64) {
         let mut st = self.state.borrow_mut();
-        st.timers.entry(name.to_string()).or_default().record(secs);
+        st.timers
+            .entry(name.to_string())
+            .or_default()
+            .record(secs, alloc_events);
     }
 
     /// Snapshot of one timer.
@@ -170,7 +187,7 @@ impl Profiler {
         });
         let mut out = String::from(
             "=== component profile ===\n\
-             timer                                    calls      total[s]    mean[us]     max[us]     p50[us]     p95[us]     p99[us]\n",
+             timer                                    calls      total[s]    mean[us]     max[us]     p50[us]     p95[us]     p99[us]      allocs\n",
         );
         for (name, t) in rows {
             let mean_us = if t.calls > 0 {
@@ -182,13 +199,14 @@ impl Profiler {
                 .percentiles(&name, &[0.50, 0.95, 0.99])
                 .unwrap_or_else(|| vec![0.0; 3]);
             out.push_str(&format!(
-                "{name:<40} {calls:>7}  {total:>12.6}  {mean_us:>10.2}  {max_us:>10.2}  {p50:>10.2}  {p95:>10.2}  {p99:>10.2}\n",
+                "{name:<40} {calls:>7}  {total:>12.6}  {mean_us:>10.2}  {max_us:>10.2}  {p50:>10.2}  {p95:>10.2}  {p99:>10.2}  {allocs:>10}\n",
                 calls = t.calls,
                 total = t.total_secs,
                 max_us = 1e6 * t.max_secs,
                 p50 = 1e6 * p[0],
                 p95 = 1e6 * p[1],
                 p99 = 1e6 * p[2],
+                allocs = t.alloc_events,
             ));
         }
         out
@@ -200,12 +218,16 @@ pub struct ProfileScope {
     profiler: Profiler,
     name: String,
     start: Instant,
+    /// Scratch-pool miss counter at scope entry; the delta at drop is the
+    /// region's allocation count.
+    alloc_start: u64,
 }
 
 impl Drop for ProfileScope {
     fn drop(&mut self) {
         let secs = self.start.elapsed().as_secs_f64();
-        self.profiler.record(&self.name, secs);
+        let allocs = crate::scratch::thread_alloc_events().saturating_sub(self.alloc_start);
+        self.profiler.record_with_allocs(&self.name, secs, allocs);
     }
 }
 
@@ -298,6 +320,30 @@ mod tests {
         p.reset();
         assert!(p.stat("x").is_none());
         assert!(p.is_enabled());
+    }
+
+    #[test]
+    fn scopes_attribute_scratch_alloc_events() {
+        let _lock = crate::scratch::test_guard();
+        let p = Profiler::new();
+        p.set_enabled(true);
+        crate::scratch::clear_thread_pools();
+        let pooling_was = crate::scratch::pooling_enabled();
+        crate::scratch::set_pooling(true);
+        {
+            let _g = p.scope("hot.loop");
+            let _buf = crate::scratch::take_f64(64); // cold pool: one miss
+        }
+        {
+            let _g = p.scope("hot.loop");
+            let _buf = crate::scratch::take_f64(64); // warm pool: no miss
+        }
+        crate::scratch::set_pooling(pooling_was);
+        let s = p.stat("hot.loop").unwrap();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.alloc_events, 1, "only the cold checkout allocates");
+        let report = p.report();
+        assert!(report.contains("allocs"), "{report}");
     }
 
     #[test]

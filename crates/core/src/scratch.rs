@@ -1,0 +1,392 @@
+//! Scratch-workspace pools: reusable, size-classed temporary buffers for
+//! the SAMR hot loops (RKC stage vectors, diffusion property tables, ghost
+//! pack/unpack buffers, kinetics thermo tables).
+//!
+//! The paper's performance claim (Tables 4/5) is that componentization
+//! costs ≲1.5% because the inner loops are numerics-dominated. Per-step
+//! heap allocation quietly breaks that premise — `vec![0.0; n]` inside a
+//! stage loop is a round trip through the global allocator per call, and
+//! under the parallel patch executor every worker contends on it. The
+//! discipline here is the one waLBerla attributes its throughput to:
+//! preallocated per-block (here: per-thread) buffers reused across macro
+//! steps.
+//!
+//! Design:
+//!
+//! * [`take_f64`] / [`take_i64`] check a buffer out of a **thread-local**
+//!   pool, zeroed to the requested length — bit-identical to a fresh
+//!   `vec![0.0; n]` by construction. The returned [`ScratchF64`] /
+//!   [`ScratchI64`] guard derefs to `Vec<T>` and returns the storage to
+//!   the pool on drop.
+//! * Buffers are binned by power-of-two **size class**; a checkout only
+//!   allocates when its bin is empty (a *pool miss*). After one warm-up
+//!   step every hot loop runs at zero steady-state allocations.
+//! * Two global counters make that claim testable: [`checkouts`] (every
+//!   take) and [`alloc_events`] (pool misses, i.e. real heap
+//!   allocations). They are deterministic — pure functions of the work
+//!   done, never of timing — so CI can freeze them in a benchmark
+//!   baseline.
+//! * [`set_pooling`]`(false)` turns the pool into a pass-through that
+//!   always allocates fresh zeroed buffers (still counting them): the
+//!   *fresh-alloc reference path* that determinism tests diff against.
+//!
+//! Ownership rule (see DESIGN.md §8): scratch is taken by the innermost
+//! code that needs it and never crosses a port boundary — port signatures
+//! stay allocation-agnostic, so callers are free to pass plain slices.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Maximum buffers retained per (thread, size-class) bin. Hot loops need
+/// a handful of live buffers at a time; anything beyond this is returned
+/// to the allocator instead of hoarded.
+const MAX_PER_BIN: usize = 32;
+
+/// Pooling toggle: `true` = reuse buffers (production), `false` = always
+/// allocate fresh (the reference path determinism tests compare against).
+static POOLING: AtomicBool = AtomicBool::new(true);
+
+/// Total checkouts since the last [`reset_stats`] (process-wide).
+static CHECKOUTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total real heap allocations (pool misses) since the last
+/// [`reset_stats`] (process-wide).
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread allocation tally — what the profiler diffs around a
+    /// scope, so concurrent workers cannot pollute each other's
+    /// attribution. Never reset; consumers take deltas.
+    static TL_ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Enable or disable buffer reuse. Disabling does *not* clear existing
+/// pools; it only makes every checkout allocate fresh (and count as an
+/// allocation event), giving a fresh-alloc reference path with identical
+/// numerics.
+pub fn set_pooling(enabled: bool) {
+    POOLING.store(enabled, Ordering::Relaxed);
+}
+
+/// Is buffer reuse enabled?
+pub fn pooling_enabled() -> bool {
+    POOLING.load(Ordering::Relaxed)
+}
+
+/// Snapshot of the global scratch counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Buffers checked out (hits + misses).
+    pub checkouts: u64,
+    /// Real heap allocations (pool misses, or every checkout while
+    /// pooling is disabled).
+    pub alloc_events: u64,
+}
+
+/// Read the global counters.
+pub fn stats() -> ScratchStats {
+    ScratchStats {
+        checkouts: CHECKOUTS.load(Ordering::Relaxed),
+        alloc_events: ALLOC_EVENTS.load(Ordering::Relaxed),
+    }
+}
+
+/// Heap allocations (pool misses) so far; the profiler attributes deltas
+/// of this counter to profiled regions.
+pub fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Buffer checkouts so far.
+pub fn checkouts() -> u64 {
+    CHECKOUTS.load(Ordering::Relaxed)
+}
+
+/// Heap allocations performed *by the calling thread*. Monotone and
+/// never reset; take deltas around a region to attribute its misses
+/// (this is what [`crate::profile::ProfileScope`] does).
+pub fn thread_alloc_events() -> u64 {
+    TL_ALLOC_EVENTS.with(Cell::get)
+}
+
+/// Zero both global counters (pools keep their warm buffers).
+pub fn reset_stats() {
+    CHECKOUTS.store(0, Ordering::Relaxed);
+    ALLOC_EVENTS.store(0, Ordering::Relaxed);
+}
+
+/// Number of idle buffers retained by the *current thread's* pools (both
+/// element types) — the "cache size" a benchmark can freeze.
+pub fn retained_buffers() -> usize {
+    POOL_F64.with(|p| p.borrow().retained()) + POOL_I64.with(|p| p.borrow().retained())
+}
+
+/// Drop every idle buffer retained by the current thread's pools.
+pub fn clear_thread_pools() {
+    POOL_F64.with(|p| p.borrow_mut().clear());
+    POOL_I64.with(|p| p.borrow_mut().clear());
+}
+
+/// Per-thread pool: `bins[k]` holds idle buffers of capacity ≥ `2^k`.
+struct Pool<T> {
+    bins: Vec<Vec<Vec<T>>>,
+}
+
+impl<T> Pool<T> {
+    const fn new() -> Self {
+        Pool { bins: Vec::new() }
+    }
+
+    fn retained(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+
+    fn clear(&mut self) {
+        self.bins.clear();
+    }
+
+    /// Bin index for a request of `n` elements.
+    fn class_of(n: usize) -> usize {
+        n.next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// Check out raw storage with capacity ≥ `n` (not yet sized/zeroed).
+    fn take_raw(&mut self, n: usize) -> (Vec<T>, usize) {
+        let class = Self::class_of(n);
+        CHECKOUTS.fetch_add(1, Ordering::Relaxed);
+        if pooling_enabled() {
+            if let Some(bin) = self.bins.get_mut(class) {
+                if let Some(buf) = bin.pop() {
+                    return (buf, class);
+                }
+            }
+        }
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        TL_ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+        (Vec::with_capacity(1usize << class), class)
+    }
+
+    /// Return storage to its bin (keeps capacity, discards contents).
+    fn put_back(&mut self, mut buf: Vec<T>, class: usize) {
+        if !pooling_enabled() {
+            return;
+        }
+        if self.bins.len() <= class {
+            self.bins.resize_with(class + 1, Vec::new);
+        }
+        let bin = &mut self.bins[class];
+        if bin.len() < MAX_PER_BIN {
+            buf.clear();
+            bin.push(buf);
+        }
+    }
+}
+
+macro_rules! scratch_type {
+    ($elem:ty, $pool:ident, $take:ident, $guard:ident, $doc_take:expr, $doc_guard:expr) => {
+        thread_local! {
+            static $pool: RefCell<Pool<$elem>> = const { RefCell::new(Pool::new()) };
+        }
+
+        #[doc = $doc_guard]
+        ///
+        /// Derefs to `Vec` so the full slice/`push` API is available; the
+        /// storage returns to the current thread's pool on drop.
+        pub struct $guard {
+            buf: Vec<$elem>,
+            class: usize,
+        }
+
+        impl std::ops::Deref for $guard {
+            type Target = Vec<$elem>;
+            fn deref(&self) -> &Vec<$elem> {
+                &self.buf
+            }
+        }
+
+        impl std::ops::DerefMut for $guard {
+            fn deref_mut(&mut self) -> &mut Vec<$elem> {
+                &mut self.buf
+            }
+        }
+
+        impl AsRef<[$elem]> for $guard {
+            fn as_ref(&self) -> &[$elem] {
+                &self.buf
+            }
+        }
+
+        impl AsMut<[$elem]> for $guard {
+            fn as_mut(&mut self) -> &mut [$elem] {
+                &mut self.buf
+            }
+        }
+
+        impl Drop for $guard {
+            fn drop(&mut self) {
+                let buf = std::mem::take(&mut self.buf);
+                $pool.with(|p| p.borrow_mut().put_back(buf, self.class));
+            }
+        }
+
+        #[doc = $doc_take]
+        ///
+        /// The buffer has length `n` and every element is zero —
+        /// bit-identical to a fresh `vec![0 as _; n]`.
+        pub fn $take(n: usize) -> $guard {
+            $pool.with(|p| {
+                let (mut buf, class) = p.borrow_mut().take_raw(n);
+                buf.clear();
+                buf.resize(n, <$elem as Default>::default());
+                $guard { buf, class }
+            })
+        }
+    };
+}
+
+scratch_type!(
+    f64,
+    POOL_F64,
+    take_f64,
+    ScratchF64,
+    "Check out a zeroed `f64` scratch buffer of length `n`.",
+    "RAII guard over a pooled `Vec<f64>` scratch buffer."
+);
+scratch_type!(
+    i64,
+    POOL_I64,
+    take_i64,
+    ScratchI64,
+    "Check out a zeroed `i64` scratch buffer of length `n`.",
+    "RAII guard over a pooled `Vec<i64>` scratch buffer."
+);
+
+/// Serialize tests (across modules of this crate) that touch the global
+/// counters or the pooling flag.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that touch the global counters or pooling flag.
+    fn with_counter_lock<R>(f: impl FnOnce() -> R) -> R {
+        let _g = test_guard();
+        set_pooling(true);
+        f()
+    }
+
+    #[test]
+    fn buffers_come_back_zeroed_and_sized() {
+        with_counter_lock(|| {
+            let mut a = take_f64(10);
+            assert_eq!(a.len(), 10);
+            assert!(a.iter().all(|&v| v == 0.0));
+            a[3] = 7.0;
+            drop(a);
+            // The same storage comes back, but zeroed again.
+            let b = take_f64(10);
+            assert!(b.iter().all(|&v| v == 0.0));
+        });
+    }
+
+    #[test]
+    fn warm_pool_has_no_alloc_events() {
+        with_counter_lock(|| {
+            clear_thread_pools();
+            // Warm up: one buffer per class used below.
+            drop(take_f64(100));
+            drop(take_i64(33));
+            let before = stats();
+            for _ in 0..50 {
+                let a = take_f64(100);
+                let b = take_i64(33);
+                drop(a);
+                drop(b);
+            }
+            let after = stats();
+            assert_eq!(
+                after.alloc_events, before.alloc_events,
+                "warm pool must not allocate"
+            );
+            assert_eq!(after.checkouts, before.checkouts + 100);
+        });
+    }
+
+    #[test]
+    fn same_class_reuse_across_sizes() {
+        with_counter_lock(|| {
+            clear_thread_pools();
+            drop(take_f64(120)); // class 128
+            let before = alloc_events();
+            drop(take_f64(70)); // also class 128: reuse
+            assert_eq!(alloc_events(), before);
+            let _ = take_f64(200); // class 256: miss
+            assert_eq!(alloc_events(), before + 1);
+        });
+    }
+
+    #[test]
+    fn pooling_off_always_allocates_but_numerics_match() {
+        with_counter_lock(|| {
+            clear_thread_pools();
+            set_pooling(false);
+            let before = stats();
+            let a = take_f64(16);
+            let b = take_f64(16);
+            assert_eq!(a.len(), 16);
+            assert!(a.iter().chain(b.iter()).all(|&v| v == 0.0));
+            drop(a);
+            drop(b);
+            let c = take_f64(16);
+            assert!(c.iter().all(|&v| v == 0.0));
+            let after = stats();
+            // Every checkout is an allocation on the reference path.
+            assert_eq!(after.alloc_events - before.alloc_events, 3);
+            assert_eq!(after.checkouts - before.checkouts, 3);
+            drop(c);
+            set_pooling(true);
+            assert_eq!(retained_buffers(), 0, "disabled pool must not retain");
+        });
+    }
+
+    #[test]
+    fn retained_buffers_counts_idle_storage() {
+        with_counter_lock(|| {
+            clear_thread_pools();
+            let a = take_f64(8);
+            let b = take_f64(8);
+            assert_eq!(retained_buffers(), 0);
+            drop(a);
+            drop(b);
+            assert_eq!(retained_buffers(), 2);
+            clear_thread_pools();
+            assert_eq!(retained_buffers(), 0);
+        });
+    }
+
+    #[test]
+    fn zero_length_checkout_is_fine() {
+        with_counter_lock(|| {
+            let mut v = take_i64(0);
+            assert!(v.is_empty());
+            v.push(3);
+            assert_eq!(v[0], 3);
+        });
+    }
+
+    #[test]
+    fn vec_api_available_through_deref() {
+        with_counter_lock(|| {
+            let mut v = take_i64(0);
+            v.extend([5, 1, 4]);
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(&**v, &[1, 4, 5]);
+        });
+    }
+}

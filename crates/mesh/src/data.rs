@@ -108,13 +108,24 @@ impl PatchData {
     /// passing), row-major per variable — the Data Object's
     /// "packing/unpacking of data before/after message passing".
     pub fn pack(&self, region: &IntBox) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.nvars * region.count() as usize);
+        let mut out = vec![0.0; self.nvars * region.count() as usize];
+        self.pack_into(region, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`PatchData::pack`]: fill a caller-owned
+    /// buffer of exactly `nvars * region.count()` elements. Ghost
+    /// exchange calls this with pooled scratch so the steady-state
+    /// exchange never touches the heap.
+    pub fn pack_into(&self, region: &IntBox, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.nvars * region.count() as usize);
+        let mut k = 0;
         for var in 0..self.nvars {
             for (i, j) in region.cells() {
-                out.push(self.get(var, i, j));
+                out[k] = self.get(var, i, j);
+                k += 1;
             }
         }
-        out
     }
 
     /// Unpack a buffer produced by [`PatchData::pack`] over the same

@@ -14,23 +14,30 @@ use crate::boxes::IntBox;
 use crate::data::DataObject;
 use crate::hierarchy::Hierarchy;
 use crate::interp::prolong_limited;
+use cca_core::scratch;
 
 /// Copy ghost values from same-level neighbours for every patch of
 /// `level`. Interiors are disjoint, so only ghost cells are written.
+///
+/// The patch descriptors are read straight out of `hier` (it is only
+/// borrowed immutably while `dobj` is borrowed mutably — no defensive
+/// clone of the patch list), and the pack/unpack transfer buffer is a
+/// pooled scratch checkout: a warm exchange performs zero heap
+/// allocations and zero patch-data copies.
 pub fn fill_same_level_ghosts(dobj: &mut DataObject, hier: &Hierarchy, level: usize) {
-    let patches = hier.levels[level].patches.clone();
-    for p in &patches {
+    let patches = &hier.levels[level].patches;
+    for p in patches {
         let p_total = p.interior.grow(dobj.nghost);
-        for q in &patches {
+        for q in patches {
             if q.id == p.id {
                 continue;
             }
             if let Some(region) = p_total.intersect(&q.interior) {
                 // Pack from q, unpack into p's ghosts.
-                let buf = dobj
-                    .patch(level, q.id)
+                let mut buf = scratch::take_f64(dobj.nvars * region.count() as usize);
+                dobj.patch(level, q.id)
                     .expect("neighbour data allocated")
-                    .pack(&region);
+                    .pack_into(&region, &mut buf);
                 dobj.patch_mut(level, p.id)
                     .expect("patch data allocated")
                     .unpack(&region, &buf);
@@ -52,28 +59,37 @@ pub fn fill_coarse_fine_ghosts(dobj: &mut DataObject, hier: &Hierarchy, level: u
     }
     let ratio = hier.ratio;
     let domain = hier.level_domain(level);
-    let patches = hier.levels[level].patches.clone();
-    let coarse_patches = hier.levels[level - 1].patches.clone();
-    for p in &patches {
+    let patches = &hier.levels[level].patches;
+    let coarse_patches = &hier.levels[level - 1].patches;
+    // Pooled index workspaces, reused across patches (and across calls via
+    // the thread-local scratch pool) — this replaces a per-patch
+    // `BTreeMap<donor, Vec<cell>>` plus two Vecs of per-call churn.
+    let mut near = scratch::take_i64(0); // indices into `patches`
+    let mut cells = scratch::take_i64(0); // (donor_id, i, j) triples, flattened
+    let mut donors = scratch::take_i64(0); // unique donor ids
+    let mut orphans = scratch::take_i64(0); // (i, j) pairs, flattened
+    for p in patches {
         let total = p.interior.grow(dobj.nghost);
         // Same-level neighbours that can possibly cover this ghost ring.
-        let near: Vec<IntBox> = patches
-            .iter()
-            .filter(|q| q.id != p.id && q.interior.intersect(&total).is_some())
-            .map(|q| q.interior)
-            .collect();
-        // Bucket orphan ghost cells by coarse donor.
-        let mut buckets: std::collections::BTreeMap<usize, Vec<(i64, i64)>> =
-            std::collections::BTreeMap::new();
+        near.clear();
+        near.extend(patches.iter().enumerate().filter_map(|(qi, q)| {
+            (q.id != p.id && q.interior.intersect(&total).is_some()).then_some(qi as i64)
+        }));
+        // Bucket orphan ghost cells by coarse donor. `cells` keeps
+        // discovery order; donor grouping happens below.
+        cells.clear();
         // Cells with no coarse coverage at all (a transient nesting gap
         // right after a regrid): filled zero-gradient from this patch's
         // own interior rather than left stale.
-        let mut orphans: Vec<(i64, i64)> = Vec::new();
+        orphans.clear();
         for (i, j) in total.cells() {
             if p.interior.contains(i, j) || !domain.contains(i, j) {
                 continue;
             }
-            if near.iter().any(|b| b.contains(i, j)) {
+            if near
+                .iter()
+                .any(|&qi| patches[qi as usize].interior.contains(i, j))
+            {
                 continue; // sibling data already copied
             }
             let ci = i.div_euclid(ratio);
@@ -89,17 +105,27 @@ pub fn fill_coarse_fine_ghosts(dobj: &mut DataObject, hier: &Hierarchy, level: u
                         .find(|q| q.interior.grow(dobj.nghost).contains(ci, cj))
                 });
             if let Some(donor) = donor {
-                buckets.entry(donor.id).or_default().push((i, j));
+                cells.extend([donor.id as i64, i, j]);
             } else {
-                orphans.push((i, j));
+                orphans.extend([i, j]);
             }
         }
-        for (donor_id, cells) in buckets {
+        // Visit donors in ascending id with cells in discovery order —
+        // exactly the iteration order the former BTreeMap bucketing
+        // produced, so the prolongation writes are order-identical.
+        donors.clear();
+        donors.extend(cells.chunks_exact(3).map(|t| t[0]));
+        donors.sort_unstable();
+        donors.dedup();
+        for &donor_id in &*donors {
             let (fine_pd, coarse_pd) = dobj
-                .patch_pair_mut(level, p.id, level - 1, donor_id)
+                .patch_pair_mut(level, p.id, level - 1, donor_id as usize)
                 .expect("both patches allocated");
-            for (i, j) in cells {
-                let cell_box = IntBox::new([i, j], [i, j]);
+            for t in cells.chunks_exact(3) {
+                if t[0] != donor_id {
+                    continue;
+                }
+                let cell_box = IntBox::new([t[1], t[2]], [t[1], t[2]]);
                 // Limited slopes: monotone at shocks, exact on linears.
                 prolong_limited(fine_pd, coarse_pd, &cell_box, ratio);
             }
@@ -107,7 +133,8 @@ pub fn fill_coarse_fine_ghosts(dobj: &mut DataObject, hier: &Hierarchy, level: u
         if !orphans.is_empty() {
             let pd = dobj.patch_mut(level, p.id).expect("patch data allocated");
             let interior = pd.interior;
-            for (i, j) in orphans {
+            for c in orphans.chunks_exact(2) {
+                let (i, j) = (c[0], c[1]);
                 let ii = i.clamp(interior.lo[0], interior.hi[0]);
                 let jj = j.clamp(interior.lo[1], interior.hi[1]);
                 for var in 0..pd.nvars {
@@ -217,5 +244,36 @@ mod tests {
         assert_eq!(left.get(0, 16, 12), 2.0);
         // Ghost above patch a: coarse value.
         assert_eq!(left.get(0, 10, 24), -7.0);
+    }
+
+    /// Regression for the defensive `patches.clone()` the exchange used to
+    /// make: after one warm-up pass, a full same-level + coarse-fine
+    /// exchange must not allocate at all — no patch-list copies, no fresh
+    /// pack buffers, no per-patch bucket maps.
+    #[test]
+    fn warm_ghost_exchange_performs_zero_allocations() {
+        let mut h = Hierarchy::new(IntBox::sized(16, 16), [0.0, 0.0], [1.0 / 16.0; 2], 2);
+        let a = IntBox::new([4, 4], [7, 11]).refine(2);
+        let b = IntBox::new([8, 4], [11, 11]).refine(2);
+        h.set_level_boxes(1, &[a, b]);
+        let coarse_id = h.levels[0].patches[0].id;
+        let ids: Vec<usize> = h.levels[1].patches.iter().map(|p| p.id).collect();
+        let mut dobj = DataObject::new(2, 2);
+        dobj.allocate(0, coarse_id, h.levels[0].patches[0].interior);
+        dobj.allocate(1, ids[0], a);
+        dobj.allocate(1, ids[1], b);
+        dobj.patch_mut(0, coarse_id).unwrap().fill_var(0, 1.0);
+        let exchange = |dobj: &mut DataObject| {
+            fill_same_level_ghosts(dobj, &h, 0);
+            fill_same_level_ghosts(dobj, &h, 1);
+            fill_coarse_fine_ghosts(dobj, &h, 1);
+        };
+        exchange(&mut dobj); // warm-up: populate the thread-local pool
+        let before = cca_core::scratch::thread_alloc_events();
+        for _ in 0..10 {
+            exchange(&mut dobj);
+        }
+        let after = cca_core::scratch::thread_alloc_events();
+        assert_eq!(after, before, "warm ghost exchange must not allocate");
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::linalg::{LuFactors, Matrix};
 use crate::ode::{wrms_norm, OdeSystem};
+use cca_core::scratch;
 
 /// Uniform-grid BDF coefficients: `y_{n+1} = Σ_j ALPHA[q][j] y_{n-j} +
 /// BETA[q] h f_{n+1}` for order `q` (index 0 unused).
@@ -177,15 +178,23 @@ impl Bdf {
             .min(t1 - t0);
         let mut q = 1usize;
         // history[0] = y_n, history[1] = y_{n-1}, ... at uniform spacing h.
-        let mut history: Vec<Vec<f64>> = vec![y.to_vec()];
+        // Entries are pooled scratch buffers; on ring overflow the oldest
+        // entry's storage is recycled for the newest (no per-step clone).
+        let mut history: Vec<scratch::ScratchF64> = Vec::with_capacity(max_order + 1);
+        history.push(copy_to_scratch(y));
 
         // Modified-Newton bookkeeping.
         let mut jac: Option<LuFactors> = None;
         let mut jac_h = h;
         let mut jac_age = usize::MAX; // force a build on first use
 
-        let mut f_buf = vec![0.0; n];
-        let mut scratch: Vec<f64> = Vec::new();
+        let mut f_buf = scratch::take_f64(n);
+        let mut lin_scratch: Vec<f64> = Vec::new();
+        let mut rhs_const = scratch::take_f64(n);
+        let mut y_pred = scratch::take_f64(n);
+        let mut y_new = scratch::take_f64(n);
+        let mut g = scratch::take_f64(n);
+        let mut diff = scratch::take_f64(n);
         let mut consecutive_failures = 0usize;
 
         while t < t1 {
@@ -195,7 +204,7 @@ impl Bdf {
             // Clamp the final step and rescale history to the clamped h.
             let h_target = h.min(t1 - t).max(cfg.h_min);
             if (h_target - h).abs() > 1e-15 * h {
-                rescale_history(&mut history, h, h_target);
+                rescale_history_in_place(&mut history, h, h_target);
                 h = h_target;
             }
             let q_eff = q.min(history.len()).min(max_order);
@@ -203,15 +212,15 @@ impl Bdf {
             // rhs_const = Σ α_j y_{n-j}
             let alpha = ALPHA[q_eff];
             let beta = BETA[q_eff];
-            let mut rhs_const = vec![0.0; n];
+            rhs_const.fill(0.0);
             for (j, a) in alpha.iter().enumerate() {
-                for (r, hj) in rhs_const.iter_mut().zip(&history[j]) {
+                for (r, hj) in rhs_const.iter_mut().zip(&*history[j]) {
                     *r += a * hj;
                 }
             }
 
             // Predictor: extrapolate the history polynomial to t+h.
-            let y_pred = extrapolate(&history, 1.0);
+            extrapolate_into(&history, 1.0, &mut y_pred);
 
             // Refresh the Newton matrix if it is stale.
             let need_jac = jac.is_none()
@@ -233,20 +242,20 @@ impl Bdf {
             }
 
             // Newton iteration on G(y) = y - hβ f(t+h, y) - rhs_const = 0.
-            let mut y_new = y_pred.clone();
+            y_new.copy_from_slice(&y_pred);
             let mut converged = false;
             let lu = jac.as_ref().expect("just ensured");
             for _ in 0..cfg.max_newton_iters {
                 sys.rhs(t + h, &y_new, &mut f_buf);
                 stats.rhs_evals += 1;
                 stats.newton_iters += 1;
-                let mut g: Vec<f64> = (0..n)
-                    .map(|i| y_new[i] - h * beta * f_buf[i] - rhs_const[i])
-                    .collect();
-                if lu.solve_in_place(&mut g, &mut scratch).is_err() {
+                for i in 0..n {
+                    g[i] = y_new[i] - h * beta * f_buf[i] - rhs_const[i];
+                }
+                if lu.solve_in_place(&mut g, &mut lin_scratch).is_err() {
                     break;
                 }
-                for (yi, gi) in y_new.iter_mut().zip(&g) {
+                for (yi, gi) in y_new.iter_mut().zip(&*g) {
                     *yi -= gi;
                 }
                 let delta_norm = wrms_norm(&g, &y_new, cfg.rtol, cfg.atol);
@@ -268,14 +277,16 @@ impl Bdf {
                 if h_new == h && h <= cfg.h_min {
                     return Err(BdfError::StepSizeUnderflow { t });
                 }
-                rescale_history(&mut history, h, h_new);
+                rescale_history_in_place(&mut history, h, h_new);
                 h = h_new;
                 q = 1;
                 continue;
             }
 
             // Error test: corrector minus predictor, scaled.
-            let diff: Vec<f64> = y_new.iter().zip(&y_pred).map(|(a, b)| a - b).collect();
+            for i in 0..n {
+                diff[i] = y_new[i] - y_pred[i];
+            }
             let err = wrms_norm(&diff, &y_new, cfg.rtol, cfg.atol) / (q_eff + 1) as f64;
 
             if err > 1.0 {
@@ -286,7 +297,7 @@ impl Bdf {
                 if h_new >= h && h <= cfg.h_min {
                     return Err(BdfError::StepSizeUnderflow { t });
                 }
-                rescale_history(&mut history, h, h_new);
+                rescale_history_in_place(&mut history, h, h_new);
                 h = h_new;
                 if consecutive_failures > 3 {
                     q = 1; // repeated trouble: drop to BDF1 and rebuild
@@ -294,12 +305,18 @@ impl Bdf {
                 continue;
             }
 
-            // Accept.
+            // Accept. Push-front into the history ring, recycling the
+            // evicted entry's storage instead of cloning the new state.
             consecutive_failures = 0;
             jac_age += 1;
             t += h;
-            history.insert(0, y_new.clone());
-            history.truncate(max_order + 1);
+            let mut entry = if history.len() == max_order + 1 {
+                history.pop().expect("ring is non-empty")
+            } else {
+                scratch::take_f64(n)
+            };
+            entry.copy_from_slice(&y_new);
+            history.insert(0, entry);
             stats.steps += 1;
 
             // Order ramp-up: raise while history supports it and the error
@@ -316,7 +333,7 @@ impl Bdf {
             };
             let h_new = (h * factor).min(cfg.h_max);
             if (h_new / h - 1.0).abs() > 1e-12 {
-                rescale_history(&mut history, h, h_new);
+                rescale_history_in_place(&mut history, h, h_new);
                 h = h_new;
             }
         }
@@ -343,9 +360,10 @@ impl Bdf {
         sys.rhs(t, y, f_buf);
         stats.rhs_evals += 1;
         stats.jac_evals += 1;
-        let f0 = f_buf.to_vec();
+        let mut f0 = scratch::take_f64(n);
+        f0.copy_from_slice(f_buf);
         let mut m = Matrix::identity(n);
-        let mut y_pert = y.to_vec();
+        let mut y_pert = copy_to_scratch(y);
         let sqrt_eps = f64::EPSILON.sqrt();
         for j in 0..n {
             let dy = sqrt_eps
@@ -366,12 +384,19 @@ impl Bdf {
     }
 }
 
+/// Checkout a scratch buffer holding a copy of `y`.
+fn copy_to_scratch(y: &[f64]) -> scratch::ScratchF64 {
+    let mut b = scratch::take_f64(y.len());
+    b.copy_from_slice(y);
+    b
+}
+
 /// Evaluate the interpolating polynomial through `history` (nodes at
-/// `x = 0, -1, -2, ...` in units of the current spacing) at `x`.
-fn extrapolate(history: &[Vec<f64>], x: f64) -> Vec<f64> {
+/// `x = 0, -1, -2, ...` in units of the current spacing) at `x`, into
+/// `out` (fully overwritten).
+fn extrapolate_into<H: AsRef<[f64]>>(history: &[H], x: f64, out: &mut [f64]) {
     let k = history.len();
-    let n = history[0].len();
-    let mut out = vec![0.0; n];
+    out.fill(0.0);
     for j in 0..k {
         let xj = -(j as f64);
         let mut w = 1.0;
@@ -381,24 +406,50 @@ fn extrapolate(history: &[Vec<f64>], x: f64) -> Vec<f64> {
                 w *= (x - xm) / (xj - xm);
             }
         }
-        for (o, hj) in out.iter_mut().zip(&history[j]) {
+        for (o, hj) in out.iter_mut().zip(history[j].as_ref()) {
             *o += w * hj;
         }
     }
+}
+
+/// Evaluate the interpolating polynomial through `history` (nodes at
+/// `x = 0, -1, -2, ...` in units of the current spacing) at `x`.
+#[cfg(test)]
+fn extrapolate(history: &[Vec<f64>], x: f64) -> Vec<f64> {
+    let mut out = vec![0.0; history[0].len()];
+    extrapolate_into(history, x, &mut out);
     out
 }
 
-/// Rebuild `history` for a new uniform spacing `h_new` by interpolating the
-/// polynomial through the old nodes.
-fn rescale_history(history: &mut Vec<Vec<f64>>, h_old: f64, h_new: f64) {
+/// Rebuild `history` for a new uniform spacing `h_new` by interpolating
+/// the polynomial through the old nodes. All rebuilt rows are computed
+/// into one pooled block first (the evaluation reads every old row), then
+/// copied back over the existing storage — no per-row allocation.
+fn rescale_history_in_place<H: AsRef<[f64]> + AsMut<[f64]>>(
+    history: &mut [H],
+    h_old: f64,
+    h_new: f64,
+) {
     if history.len() <= 1 || h_old == h_new {
         return;
     }
     let ratio = h_new / h_old;
-    let rebuilt: Vec<Vec<f64>> = (0..history.len())
-        .map(|j| extrapolate(history, -(j as f64) * ratio))
-        .collect();
-    *history = rebuilt;
+    let k = history.len();
+    let n = history[0].as_ref().len();
+    let mut tmp = scratch::take_f64(k * n);
+    for (j, row) in tmp.chunks_mut(n).enumerate() {
+        extrapolate_into(history, -(j as f64) * ratio, row);
+    }
+    for (j, row) in tmp.chunks(n).enumerate() {
+        history[j].as_mut().copy_from_slice(row);
+    }
+}
+
+/// Allocating variant of [`rescale_history_in_place`] kept for the tests
+/// that exercise the polynomial identity directly.
+#[cfg(test)]
+fn rescale_history(history: &mut [Vec<f64>], h_old: f64, h_new: f64) {
+    rescale_history_in_place(history, h_old, h_new);
 }
 
 #[cfg(test)]

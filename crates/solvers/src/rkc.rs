@@ -11,6 +11,7 @@
 //! comes from the `MaxDiffCoeffEvaluator` component.
 
 use crate::ode::{wrms_norm, OdeSystem};
+use cca_core::scratch;
 
 /// Configuration for [`Rkc`].
 #[derive(Clone, Copy, Debug)]
@@ -80,6 +81,10 @@ impl Rkc {
     /// One RKC step of size `h` from `(t, y)` given spectral-radius
     /// estimate `rho`. Returns the new state and the embedded local error
     /// estimate. `stats` accumulates work counters.
+    ///
+    /// Allocating convenience wrapper over [`Rkc::step_into`]; hot callers
+    /// (the adaptive driver, the `ExplicitIntegrator` component) use
+    /// `step_into` with reused output buffers instead.
     pub fn step(
         &self,
         sys: &dyn OdeSystem,
@@ -90,6 +95,31 @@ impl Rkc {
         stats: &mut RkcStats,
     ) -> (Vec<f64>, Vec<f64>) {
         let n = y.len();
+        let mut y_new = vec![0.0; n];
+        let mut est = vec![0.0; n];
+        self.step_into(sys, t, y, h, rho, stats, &mut y_new, &mut est);
+        (y_new, est)
+    }
+
+    /// One RKC step written into caller-owned buffers. All stage vectors
+    /// (`b`, `F0`, `Y_{j-2}`, `Y_{j-1}`, `Y_j`, an RHS buffer) come from
+    /// the thread-local [`cca_core::scratch`] pool, so a warm macro-step
+    /// loop performs zero heap allocations here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_into(
+        &self,
+        sys: &dyn OdeSystem,
+        t: f64,
+        y: &[f64],
+        h: f64,
+        rho: f64,
+        stats: &mut RkcStats,
+        y_new: &mut [f64],
+        est: &mut [f64],
+    ) {
+        let n = y.len();
+        assert_eq!(y_new.len(), n);
+        assert_eq!(est.len(), n);
         let s = self.stages_for(h, rho);
         stats.max_stages_used = stats.max_stages_used.max(s);
 
@@ -100,7 +130,7 @@ impl Rkc {
         let w1 = dt_s / d2t_s;
 
         // b_j for j = 0..s with b0 = b1 = b2.
-        let mut b = vec![0.0; s + 1];
+        let mut b = scratch::take_f64(s + 1);
         for (j, bj) in b.iter_mut().enumerate().skip(2) {
             let (_tj, dtj, d2tj) = chebyshev(j, w0);
             *bj = d2tj / (dtj * dtj);
@@ -109,23 +139,24 @@ impl Rkc {
         b[1] = b[2];
         let _ = t_s; // T_s(w0) itself only appears through a_j below.
 
-        let mut f0 = vec![0.0; n];
+        let mut f0 = scratch::take_f64(n);
         sys.rhs(t, y, &mut f0);
         stats.rhs_evals += 1;
 
         // Stage 1.
         let mu1_tilde = b[1] * w1;
-        let mut yjm2 = y.to_vec();
-        let mut yjm1: Vec<f64> = y
-            .iter()
-            .zip(&f0)
-            .map(|(yi, fi)| yi + mu1_tilde * h * fi)
-            .collect();
+        let mut yjm2 = scratch::take_f64(n);
+        yjm2.copy_from_slice(y);
+        let mut yjm1 = scratch::take_f64(n);
+        for (v, (yi, fi)) in yjm1.iter_mut().zip(y.iter().zip(&*f0)) {
+            *v = yi + mu1_tilde * h * fi;
+        }
         let mut c_jm2 = 0.0;
         let mut c_jm1 = mu1_tilde; // c_1 = μ̃1 (≈ w1/w0)
 
-        let mut f_buf = vec![0.0; n];
-        let mut y_j = yjm1.clone();
+        let mut f_buf = scratch::take_f64(n);
+        let mut y_j = scratch::take_f64(n);
+        y_j.copy_from_slice(&yjm1);
         for j in 2..=s {
             let (tj_pm1, dtj_m1, d2tj_m1) = chebyshev(j - 1, w0);
             let a_jm1 = 1.0 - b[j - 1] * tj_pm1;
@@ -146,21 +177,22 @@ impl Rkc {
                     + gamma_tilde * h * f0[i];
             }
             let c_j = mu * c_jm1 + nu * c_jm2 + mu_tilde + gamma_tilde;
-            std::mem::swap(&mut yjm2, &mut yjm1);
-            std::mem::swap(&mut yjm1, &mut y_j);
+            // Rotate the stage windows by swapping the underlying vectors
+            // (pointer swaps — each guard still returns its storage).
+            std::mem::swap(&mut *yjm2, &mut *yjm1);
+            std::mem::swap(&mut *yjm1, &mut *y_j);
             c_jm2 = c_jm1;
             c_jm1 = c_j;
         }
-        let y_new = yjm1;
+        y_new.copy_from_slice(&yjm1);
 
         // Embedded error estimate (RKC paper, eq. (2.9)):
         // est = 0.8 (y_n - y_{n+1}) + 0.4 h (F_n + F_{n+1}).
-        sys.rhs(t + h, &y_new, &mut f_buf);
+        sys.rhs(t + h, y_new, &mut f_buf);
         stats.rhs_evals += 1;
-        let est: Vec<f64> = (0..n)
-            .map(|i| 0.8 * (y[i] - y_new[i]) + 0.4 * h * (f0[i] + f_buf[i]))
-            .collect();
-        (y_new, est)
+        for i in 0..n {
+            est[i] = 0.8 * (y[i] - y_new[i]) + 0.4 * h * (f0[i] + f_buf[i]);
+        }
     }
 
     /// Adaptive driver: advance `y` from `t0` to `t1`, choosing `h` from
@@ -185,13 +217,15 @@ impl Rkc {
         let mut t = t0;
         let mut h = h_init.min(t1 - t0);
         let cfg = self.config;
+        let mut y_new = scratch::take_f64(y.len());
+        let mut est = scratch::take_f64(y.len());
         while t < t1 {
             if stats.steps + stats.rejections >= cfg.max_steps {
                 return Err(format!("max_steps exhausted at t = {t:e}"));
             }
             h = h.min(t1 - t);
             let r = rho(t, y);
-            let (y_new, est) = self.step(sys, t, y, h, r, &mut stats);
+            self.step_into(sys, t, y, h, r, &mut stats, &mut y_new, &mut est);
             let err = wrms_norm(&est, &y_new, cfg.rtol, cfg.atol);
             if err <= 1.0 && y_new.iter().all(|v| v.is_finite()) {
                 y.copy_from_slice(&y_new);

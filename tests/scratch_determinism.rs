@@ -1,0 +1,164 @@
+//! Bit-identity of the scratch-workspace subsystem, pinned end-to-end.
+//!
+//! The pool's contract (crates/core/src/scratch.rs) is that a pooled
+//! checkout is indistinguishable from `vec![0.0; n]`: same zeroed
+//! contents, same length, only the allocation elided. These tests run
+//! all three application assemblies with pooling enabled and with the
+//! fresh-allocation reference path (`set_pooling(false)`) and require
+//! the resulting fields to agree bit for bit — at 1, 2, and 4 executor
+//! workers for the SAMR codes, so per-worker thread-local pools are
+//! exercised too.
+//!
+//! The pooling flag is process-global while the test harness runs test
+//! functions concurrently, so every test serializes on one mutex and
+//! restores the default (pooling on) before releasing it.
+
+use cca_hydro::apps::ignition0d::run_ignition_0d;
+use cca_hydro::apps::reaction_diffusion::{rd_framework, rd_script, RdConfig, RdReport};
+use cca_hydro::apps::shock_interface::{shock_framework, shock_script, ShockConfig, ShockReport};
+use cca_hydro::core::scratch;
+use cca_hydro::core::script::run_script;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that flip the process-global pooling flag.
+static POOLING_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    POOLING_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Run `f` with the pool enabled or bypassed, restoring the default.
+fn with_pooling<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    scratch::set_pooling(on);
+    let out = f();
+    scratch::set_pooling(true);
+    out
+}
+
+fn run_flame(workers: usize, cfg: &RdConfig) -> RdReport {
+    let mut fw = rd_framework();
+    fw.set_workers(workers);
+    run_script(&mut fw, &rd_script(cfg)).unwrap();
+    let report: Rc<RefCell<RdReport>> = fw.get_provides_port("driver", "report").unwrap();
+    let report = report.borrow().clone();
+    report
+}
+
+fn run_shock(workers: usize, cfg: &ShockConfig) -> ShockReport {
+    let mut fw = shock_framework();
+    fw.set_workers(workers);
+    run_script(&mut fw, &shock_script(cfg)).unwrap();
+    let report: Rc<RefCell<ShockReport>> = fw.get_provides_port("driver", "report").unwrap();
+    let report = report.borrow().clone();
+    report
+}
+
+/// 0D ignition (BDF over the point-chemistry workspaces): the full
+/// paper case to 1 ms must produce the identical state vector and end
+/// time whether or not buffers are pooled.
+#[test]
+fn ignition0d_bit_identical_pooling_on_vs_off() {
+    let _guard = lock();
+    let pooled = with_pooling(true, || {
+        run_ignition_0d(false, 1000.0, 101_325.0, 1.0e-3).unwrap()
+    });
+    let fresh = with_pooling(false, || {
+        run_ignition_0d(false, 1000.0, 101_325.0, 1.0e-3).unwrap()
+    });
+    assert_eq!(pooled.time.to_bits(), fresh.time.to_bits());
+    assert_eq!(pooled.state.len(), fresh.state.len());
+    for (i, (a, b)) in pooled.state.iter().zip(&fresh.state).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "state[{i}]: {a} vs {b}");
+    }
+}
+
+/// Reaction–diffusion flame (RKC stage vectors, diffusion SoA property
+/// tables, ghost-exchange pack buffers, implicit cell sweep): fields
+/// must be bit-identical pooling on vs off at every worker count.
+#[test]
+fn flame_fields_bit_identical_pooling_on_vs_off() {
+    let _guard = lock();
+    let cfg = RdConfig {
+        nx: 16,
+        dt: 5.0e-7,
+        n_steps: 2,
+        max_levels: 2,
+        threshold: 50.0,
+        ..RdConfig::default()
+    };
+    for workers in [1, 2, 4] {
+        let pooled = with_pooling(true, || run_flame(workers, &cfg));
+        let fresh = with_pooling(false, || run_flame(workers, &cfg));
+        assert!(
+            pooled.final_patches.len() > 1,
+            "want a multi-patch hierarchy, got {:?}",
+            pooled.final_patches
+        );
+        assert_eq!(pooled.final_patches, fresh.final_patches, "w={workers}");
+        assert_eq!(
+            pooled.final_t_field.len(),
+            fresh.final_t_field.len(),
+            "w={workers}"
+        );
+        for (p, f) in pooled.final_t_field.iter().zip(&fresh.final_t_field) {
+            assert_eq!(
+                p.2.to_bits(),
+                f.2.to_bits(),
+                "T at {:?} w={workers}",
+                (p.0, p.1)
+            );
+        }
+        for (p, f) in pooled.t_max_series.iter().zip(&fresh.t_max_series) {
+            assert_eq!(p.1.to_bits(), f.1.to_bits(), "Tmax series w={workers}");
+        }
+        for (p, f) in pooled.h2o2_max_series.iter().zip(&fresh.h2o2_max_series) {
+            assert_eq!(p.1.to_bits(), f.1.to_bits(), "H2O2 series w={workers}");
+        }
+    }
+}
+
+/// Shock–interface (MUSCL/RK2 stage state through the pooled gather
+/// buffers): density field and circulation history must be
+/// bit-identical pooling on vs off at every worker count.
+#[test]
+fn shock_fields_bit_identical_pooling_on_vs_off() {
+    let _guard = lock();
+    let cfg = ShockConfig {
+        nx: 24,
+        ny: 12,
+        max_levels: 2,
+        t_end_over_tau: 0.2,
+        ..ShockConfig::default()
+    };
+    for workers in [1, 2, 4] {
+        let pooled = with_pooling(true, || run_shock(workers, &cfg));
+        let fresh = with_pooling(false, || run_shock(workers, &cfg));
+        assert!(pooled.steps > 0, "w={workers}");
+        assert_eq!(pooled.steps, fresh.steps, "w={workers}");
+        assert_eq!(pooled.final_patches, fresh.final_patches, "w={workers}");
+        assert_eq!(
+            pooled.final_density.len(),
+            fresh.final_density.len(),
+            "w={workers}"
+        );
+        for (p, f) in pooled.final_density.iter().zip(&fresh.final_density) {
+            assert_eq!(
+                p.2.to_bits(),
+                f.2.to_bits(),
+                "rho at {:?} w={workers}",
+                (p.0, p.1)
+            );
+        }
+        for (p, f) in pooled
+            .circulation_series
+            .iter()
+            .zip(&fresh.circulation_series)
+        {
+            assert_eq!(p.1.to_bits(), f.1.to_bits(), "circulation w={workers}");
+        }
+    }
+}
