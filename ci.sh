@@ -7,7 +7,8 @@
 # Opt-in extras:
 #   CI_BENCH=1  also run the deterministic bench smokes (cca-bench) and
 #               fail on malformed output or drift from the committed
-#               BENCH_PR2.json / BENCH_PR3.json / BENCH_PR4.json baselines.
+#               BENCH_PR2.json / BENCH_PR3.json / BENCH_PR4.json /
+#               BENCH_PR5.json baselines.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -51,6 +52,12 @@ if [[ "${CI_BENCH:-0}" == "1" ]]; then
   echo "== hotpath: compare against committed baseline"
   diff -u BENCH_PR4.json target/BENCH_PR4.json \
     || { echo "BENCH_PR4.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- hotpath"; exit 1; }
+  echo "== halo overlap/coalescing bench (CI_BENCH=1)"
+  cargo run -q -p cca-bench --bin cca-bench -- scaling target/BENCH_PR5.json
+  cargo run -q -p cca-bench --bin cca-bench -- scaling-check target/BENCH_PR5.json
+  echo "== scaling: compare against committed baseline"
+  diff -u BENCH_PR5.json target/BENCH_PR5.json \
+    || { echo "BENCH_PR5.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- scaling"; exit 1; }
 fi
 
 echo "ci: all gates passed"

@@ -14,13 +14,17 @@
 //! reproduces the magnitude of Table 5: 5 steps on a 100×100 tile ≈ 162 s
 //! of 433 MHz-Alpha time.
 
-use cca_comm::{scmd, ClusterModel, Communicator};
+use cca_comm::{scmd, ClusterModel, Communicator, RecvRequest};
 use cca_mesh::boxes::IntBox;
 use cca_mesh::data::PatchData;
 use cca_mesh::decomp::UniformDecomp;
 
 /// Variables per mesh point ("Each mesh point has 9 variables on it").
 pub const NVARS: usize = 9;
+
+/// Tag of the halo exchange (the blocking two-pass protocol also uses
+/// `HALO_TAG + 1` for its y pass).
+pub const HALO_TAG: u64 = 10;
 
 /// One scaling experiment.
 #[derive(Clone, Copy, Debug)]
@@ -41,6 +45,16 @@ pub struct ScalingConfig {
     /// Modeled compute work (work units) per cell-variable per stage.
     /// 1.0 reproduces Table 5's magnitudes with `ClusterModel::cplant()`.
     pub work_per_cell_var: f64,
+    /// Overlap communication with computation: nonblocking single-pass
+    /// halo exchange, interior sweep while messages are in flight,
+    /// boundary ring after `waitall`. Bit-identical physics to the
+    /// blocking path (the 5-point stencil never reads the corner ghosts
+    /// that only the blocking two-pass protocol fills).
+    pub overlap: bool,
+    /// With `overlap`: pack all [`NVARS`] variables of a halo strip into
+    /// one message per neighbour (`true`, production behaviour) or send
+    /// one message per variable (`false`, the pre-coalescing comparator).
+    pub coalesce: bool,
 }
 
 impl Default for ScalingConfig {
@@ -52,6 +66,8 @@ impl Default for ScalingConfig {
             steps: 5,
             stages_per_step: 2,
             work_per_cell_var: 0.5,
+            overlap: false,
+            coalesce: true,
         }
     }
 }
@@ -67,6 +83,14 @@ pub struct ScalingResult {
     pub messages: u64,
     /// Total payload bytes sent.
     pub bytes: u64,
+    /// Halo-exchange messages across all ranks (tags [`HALO_TAG`] and
+    /// `HALO_TAG + 1`), from the per-tag [`cca_comm::CommStats`].
+    pub halo_messages: u64,
+    /// Halo-exchange payload bytes across all ranks.
+    pub halo_bytes: u64,
+    /// Messages saved by coalescing across all ranks (zero when each
+    /// logical transfer travelled as its own message).
+    pub messages_coalesced: u64,
     /// Checksum of the final field (all ranks' interior sums), for
     /// cross-`P` determinism checks.
     pub checksum: f64,
@@ -87,11 +111,19 @@ pub fn run_scaling(cfg: &ScalingConfig, model: ClusterModel) -> ScalingResult {
         rank_main(comm, &decomp, &cfg)
     });
     let per_rank_time: Vec<f64> = reports.iter().map(|r| r.vtime).collect();
+    let halo = |r: &scmd::RankReport<f64>| {
+        let a = r.stats.tag(HALO_TAG);
+        let b = r.stats.tag(HALO_TAG + 1);
+        (a.messages + b.messages, a.bytes + b.bytes)
+    };
     ScalingResult {
         modeled_time: scmd::modeled_runtime(&reports),
         per_rank_time,
         messages: reports.iter().map(|r| r.messages_sent).sum(),
         bytes: reports.iter().map(|r| r.bytes_sent).sum(),
+        halo_messages: reports.iter().map(|r| halo(r).0).sum(),
+        halo_bytes: reports.iter().map(|r| halo(r).1).sum(),
+        messages_coalesced: reports.iter().map(|r| r.stats.messages_coalesced).sum(),
         checksum: reports.iter().map(|r| r.result).sum(),
     }
 }
@@ -113,7 +145,6 @@ fn rank_main(comm: &Communicator, decomp: &UniformDecomp, cfg: &ScalingConfig) -
         }
     }
     let mut rhs = PatchData::new(tile, NVARS, 0);
-    let alpha = 0.2; // diffusion number per stage (stability-safe)
 
     for _step in 0..cfg.steps {
         // Global spectral-radius reduction (the MaxDiffCoeffEvaluator's
@@ -121,40 +152,134 @@ fn rank_main(comm: &Communicator, decomp: &UniformDecomp, cfg: &ScalingConfig) -
         let local_max = pd.interior_max_abs(0);
         let _rho = comm.allreduce_max(&[local_max]);
         for _stage in 0..cfg.stages_per_step {
-            // Real ghost exchange with the 4 neighbours.
-            decomp.exchange_ghosts(comm, &mut pd, 10);
-            // Physical boundary: zero gradient at the global walls.
-            zero_gradient_walls(&mut pd, &global);
-            // One explicit diffusion stage on all 9 variables.
-            let interior = pd.interior;
-            for var in 0..NVARS {
-                for (i, j) in interior.cells() {
-                    let lap = pd.get(var, i + 1, j)
-                        + pd.get(var, i - 1, j)
-                        + pd.get(var, i, j + 1)
-                        + pd.get(var, i, j - 1)
-                        - 4.0 * pd.get(var, i, j);
-                    rhs.set(var, i, j, alpha * lap);
-                }
+            // Modeled cost of the *real* physics (transport properties +
+            // RKC stage + the amortized point-chemistry BDF work) for this
+            // stage. Properties are evaluated on the ghost-inclusive box —
+            // exactly as DiffusionPhysics does — so small tiles pay a
+            // genuine surface-to-volume penalty.
+            let stage_work = tile.grow(1).count() as f64 * NVARS as f64 * cfg.work_per_cell_var;
+            if cfg.overlap {
+                overlapped_stage(comm, decomp, cfg, &mut pd, &mut rhs, &global, stage_work);
+            } else {
+                // Blocking reference schedule: exchange, then compute.
+                decomp.exchange_ghosts(comm, &mut pd, HALO_TAG);
+                zero_gradient_walls(&mut pd, &global);
+                eval_rhs(&pd, &mut rhs, &tile, STAGE_ALPHA);
+                comm.charge_compute(stage_work);
             }
+            // Apply the stage update — identical in both schedules.
             for var in 0..NVARS {
-                for (i, j) in interior.cells() {
+                for (i, j) in tile.cells() {
                     pd.add(var, i, j, rhs.get(var, i, j));
                 }
             }
-            // Charge the modeled cost of the *real* physics (transport
-            // properties + RKC stage + the amortized point-chemistry BDF
-            // work) for this stage. Properties are evaluated on the
-            // ghost-inclusive box — exactly as DiffusionPhysics does — so
-            // small tiles pay a genuine surface-to-volume penalty.
-            let cells_with_ring = tile.grow(1).count() as f64;
-            comm.charge_compute(cells_with_ring * NVARS as f64 * cfg.work_per_cell_var);
         }
     }
     // Final consistency barrier mirrors the per-step synchronization of
     // the paper's runs.
     comm.barrier();
     pd.interior_sum(0)
+}
+
+/// One overlapped stage: post irecvs, pack + isend the halo (one coalesced
+/// message per neighbour, or one per variable with `coalesce` off), sweep
+/// the interior while the messages are modeled in flight, `waitall`, then
+/// sweep the boundary ring.
+///
+/// The RHS values written are bit-identical to the blocking path: every
+/// cell's Laplacian reads the same pre-update field (the stage update is
+/// applied only after both sweeps), the halo strips carry the same values
+/// the two-pass protocol ships, and the 5-point stencil never reads the
+/// corner ghosts that only the blocking protocol fills.
+#[allow(clippy::too_many_arguments)]
+fn overlapped_stage(
+    comm: &Communicator,
+    decomp: &UniformDecomp,
+    cfg: &ScalingConfig,
+    pd: &mut PatchData,
+    rhs: &mut PatchData,
+    global: &IntBox,
+    stage_work: f64,
+) {
+    let tile = pd.interior;
+    let alpha = STAGE_ALPHA;
+    let links = decomp.halo_links(comm.rank(), 1);
+    // Post every receive up front (message order within a link is FIFO,
+    // so the per-variable mode needs no per-variable tags).
+    let mut recvs: Vec<RecvRequest<f64>> = Vec::new();
+    for link in &links {
+        let per_link = if cfg.coalesce { 1 } else { NVARS };
+        for _ in 0..per_link {
+            recvs.push(comm.irecv(link.nbr, HALO_TAG));
+        }
+    }
+    // Pack and launch the sends: exactly one wire message per neighbour
+    // when coalescing (all strips of all NVARS variables in one buffer).
+    let mut var_buf = vec![0.0; links.iter().map(|l| l.send.count()).max().unwrap_or(0) as usize];
+    for link in &links {
+        if cfg.coalesce {
+            let buf = pd.pack(&link.send);
+            comm.isend(link.nbr, HALO_TAG, &buf);
+            comm.note_coalesced(NVARS as u64);
+        } else {
+            let n = link.send.count() as usize;
+            for var in 0..NVARS {
+                pd.pack_var_into(var, &link.send, &mut var_buf[..n]);
+                comm.isend(link.nbr, HALO_TAG, &var_buf[..n]);
+            }
+        }
+    }
+    // While the halo is in flight: physical walls (ghosts outside the
+    // global domain — disjoint from every exchanged strip) and the
+    // interior sweep, whose stencils stay clear of any ghost cell.
+    zero_gradient_walls(pd, global);
+    let core = tile.interior_shrink(1);
+    if let Some(core) = core {
+        eval_rhs(pd, rhs, &core, alpha);
+    }
+    // Charge the interior's share of the stage work before draining the
+    // halo — this is the compute the model credits against the transfers.
+    let core_cells = core.map_or(0, |c| c.count());
+    let interior_work = stage_work * core_cells as f64 / tile.count() as f64;
+    comm.charge_compute(interior_work);
+    // Drain the halo and fill the ghost strips.
+    let payloads = comm.waitall(recvs);
+    let mut k = 0;
+    for link in &links {
+        if cfg.coalesce {
+            pd.unpack(&link.recv, &payloads[k]);
+            k += 1;
+        } else {
+            for var in 0..NVARS {
+                pd.unpack_var(var, &link.recv, &payloads[k]);
+                k += 1;
+            }
+        }
+    }
+    // Boundary ring, now that its ghost neighbours are fresh.
+    for strip in tile.halo_ring(1) {
+        eval_rhs(pd, rhs, &strip, alpha);
+    }
+    comm.charge_compute(stage_work - interior_work);
+}
+
+/// Diffusion number per stage (stability-safe for the 5-point stencil).
+const STAGE_ALPHA: f64 = 0.2;
+
+/// One explicit diffusion RHS over `region` (all [`NVARS`] variables):
+/// `rhs = α · ∇²pd`, reading only `pd` — cell-independent, so evaluating
+/// the region in any strip decomposition yields bit-identical values.
+fn eval_rhs(pd: &PatchData, rhs: &mut PatchData, region: &IntBox, alpha: f64) {
+    for var in 0..NVARS {
+        for (i, j) in region.cells() {
+            let lap = pd.get(var, i + 1, j)
+                + pd.get(var, i - 1, j)
+                + pd.get(var, i, j + 1)
+                + pd.get(var, i, j - 1)
+                - 4.0 * pd.get(var, i, j);
+            rhs.set(var, i, j, alpha * lap);
+        }
+    }
 }
 
 fn zero_gradient_walls(pd: &mut PatchData, global: &IntBox) {
@@ -291,6 +416,67 @@ mod tests {
         // the single-processor problem size").
         let ratio = t100.modeled_time / t50.modeled_time;
         assert!(ratio > 3.0 && ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn overlap_is_bit_identical_to_blocking() {
+        for ranks in [1usize, 4, 6] {
+            let base = ScalingConfig {
+                n: 24,
+                per_rank: false,
+                ranks,
+                steps: 3,
+                ..ScalingConfig::default()
+            };
+            let blocking = run_scaling(&base, ClusterModel::cplant());
+            for coalesce in [true, false] {
+                let overlapped = run_scaling(
+                    &ScalingConfig {
+                        overlap: true,
+                        coalesce,
+                        ..base
+                    },
+                    ClusterModel::cplant(),
+                );
+                assert_eq!(
+                    blocking.checksum.to_bits(),
+                    overlapped.checksum.to_bits(),
+                    "ranks = {ranks}, coalesce = {coalesce}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_sends_one_message_per_neighbor_per_stage() {
+        // 2×2 grid: 8 directed neighbour links; 3 steps × 2 stages.
+        let base = ScalingConfig {
+            n: 24,
+            per_rank: false,
+            ranks: 4,
+            steps: 3,
+            overlap: true,
+            ..ScalingConfig::default()
+        };
+        let coalesced = run_scaling(&base, ClusterModel::zero());
+        let exchanges = (base.steps * base.stages_per_step) as u64;
+        assert_eq!(coalesced.halo_messages, 8 * exchanges);
+        assert_eq!(
+            coalesced.messages_coalesced,
+            8 * exchanges * (NVARS as u64 - 1)
+        );
+        // Without coalescing every variable travels alone: 9× the
+        // messages, same bytes, nothing saved.
+        let naive = run_scaling(
+            &ScalingConfig {
+                coalesce: false,
+                ..base
+            },
+            ClusterModel::zero(),
+        );
+        assert_eq!(naive.halo_messages, 8 * exchanges * NVARS as u64);
+        assert_eq!(naive.messages_coalesced, 0);
+        assert_eq!(naive.halo_bytes, coalesced.halo_bytes);
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() {
                         steps: 5,
                         stages_per_step: 2,
                         work_per_cell_var: 0.5,
+                        ..ScalingConfig::default()
                     },
                     model,
                 )

@@ -21,6 +21,8 @@
 //! cca-bench serve-check [PATH]    # validate an existing BENCH_PR3.json
 //! cca-bench hotpath [PATH]        # run the allocation-discipline suite, write BENCH_PR4.json
 //! cca-bench hotpath-check [PATH]  # validate an existing BENCH_PR4.json
+//! cca-bench scaling [PATH]        # run the overlap/coalescing sweeps, write BENCH_PR5.json
+//! cca-bench scaling-check [PATH]  # validate an existing BENCH_PR5.json
 //! ```
 //!
 //! The `serve` pair freezes the PR-3 serving-subsystem loadgen (200 jobs,
@@ -34,6 +36,15 @@
 //! a fixed iteration count, recording the `cca_core::scratch` pool-miss
 //! counter. The contract is **zero steady-state allocation events**;
 //! checkout counts pin the amount of traffic the pool absorbs.
+//!
+//! The `scaling` pair freezes the PR-5 nonblocking-halo contract: weak
+//! and strong sweeps of the distributed diffusion workload, each point
+//! run three ways (blocking two-pass exchange, overlapped single-pass
+//! without coalescing, overlapped with per-neighbour coalescing). The
+//! file pins bit-identical checksums across all three schedules, the
+//! exact 9× message reduction from coalescing, and a ≥ 10% modeled
+//! runtime improvement at the strong-scaling knee (64² global on 16
+//! ranks of the CPlant model with communication-bound work).
 //!
 //! `./ci.sh` runs all of it when `CI_BENCH=1` and compares the fresh
 //! output against the committed baselines.
@@ -56,6 +67,8 @@ const SERVE_PATH: &str = "BENCH_PR3.json";
 const SERVE_SCHEMA: &str = "cca-serve-loadgen-v1";
 const HOTPATH_PATH: &str = "BENCH_PR4.json";
 const HOTPATH_SCHEMA: &str = "cca-bench-hotpath-v1";
+const SCALING_PATH: &str = "BENCH_PR5.json";
+const SCALING_SCHEMA: &str = "cca-bench-scaling-v1";
 
 /// Stoichiometric H2-air for an n-species table (H2, O2 first; N2 last).
 fn stoich(n: usize) -> Vec<f64> {
@@ -155,6 +168,7 @@ fn smoke_json() -> String {
                     steps: 5,
                     stages_per_step: 2,
                     work_per_cell_var: 0.5,
+                    ..ScalingConfig::default()
                 },
                 model,
             );
@@ -172,6 +186,204 @@ fn smoke_json() -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// One point of the overlap/coalescing sweep: the same physics run
+/// under the three exchange schedules.
+struct OverlapPoint {
+    n: i64,
+    per_rank: bool,
+    ranks: usize,
+    work_per_cell_var: f64,
+}
+
+impl OverlapPoint {
+    fn json(&self) -> String {
+        let base = ScalingConfig {
+            n: self.n,
+            per_rank: self.per_rank,
+            ranks: self.ranks,
+            steps: 5,
+            stages_per_step: 2,
+            work_per_cell_var: self.work_per_cell_var,
+            ..ScalingConfig::default()
+        };
+        let model = ClusterModel::cplant();
+        let blocking = run_scaling(&base, model);
+        let naive = run_scaling(
+            &ScalingConfig {
+                overlap: true,
+                coalesce: false,
+                ..base
+            },
+            model,
+        );
+        let overlap = run_scaling(
+            &ScalingConfig {
+                overlap: true,
+                ..base
+            },
+            model,
+        );
+        // The contract, reduced to integers: all three schedules produce
+        // the same bits, and coalescing folds NVARS messages into one.
+        let checksum_drift = u64::from(
+            blocking.checksum.to_bits() != overlap.checksum.to_bits()
+                || blocking.checksum.to_bits() != naive.checksum.to_bits(),
+        );
+        let improvement = (blocking.modeled_time - overlap.modeled_time) / blocking.modeled_time;
+        format!(
+            "{{\"n\": {}, \"per_rank\": {}, \"ranks\": {}, \
+             \"t_blocking_s\": {:e}, \"t_uncoalesced_s\": {:e}, \"t_overlap_s\": {:e}, \
+             \"improvement\": {:e}, \"checksum\": {:e}, \"checksum_drift\": {}, \
+             \"halo_messages_uncoalesced\": {}, \"halo_messages\": {}, \
+             \"messages_coalesced\": {}, \"halo_bytes\": {}}}",
+            self.n,
+            self.per_rank,
+            self.ranks,
+            blocking.modeled_time,
+            naive.modeled_time,
+            overlap.modeled_time,
+            improvement,
+            blocking.checksum,
+            checksum_drift,
+            naive.halo_messages,
+            overlap.halo_messages,
+            overlap.messages_coalesced,
+            overlap.halo_bytes,
+        )
+    }
+}
+
+/// PR-5 overlap/coalescing sweeps, frozen as JSON.
+fn scaling_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCALING_SCHEMA}\",\n"));
+    out.push_str("  \"deterministic\": true,\n");
+    // Weak sweep (per-rank tiles, compute-heavy as in Table 5) and
+    // strong sweep (fixed global mesh, shrinking tiles as in Fig. 9).
+    let sweeps: [(&str, Vec<OverlapPoint>); 2] = [
+        (
+            "weak_sweep",
+            [4usize, 16]
+                .iter()
+                .map(|&p| OverlapPoint {
+                    n: 50,
+                    per_rank: true,
+                    ranks: p,
+                    work_per_cell_var: 0.5,
+                })
+                .collect(),
+        ),
+        (
+            "strong_sweep",
+            [4usize, 16]
+                .iter()
+                .map(|&p| OverlapPoint {
+                    n: 96,
+                    per_rank: false,
+                    ranks: p,
+                    work_per_cell_var: 0.5,
+                })
+                .collect(),
+        ),
+    ];
+    for (name, points) in &sweeps {
+        out.push_str(&format!("  \"{name}\": [\n"));
+        for (i, pt) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}{}\n",
+                pt.json(),
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+    }
+    // The knee: the paper's worst strong-scaling point is a small tile
+    // on many processors (29² per rank at P = 48). A 16² tile per rank
+    // with communication-bound work is where overlap pays most — the
+    // acceptance floor is a 10% modeled-runtime improvement.
+    out.push_str("  \"knee\": ");
+    out.push_str(
+        &OverlapPoint {
+            n: 64,
+            per_rank: false,
+            ranks: 16,
+            work_per_cell_var: 2.0e-4,
+        }
+        .json(),
+    );
+    out.push_str(",\n  \"knee_improvement_floor\": 1e-1\n}\n");
+    out
+}
+
+/// Structural + invariant validation of a scaling file. Load-bearing:
+/// zero checksum drift everywhere (overlap changes the schedule, never
+/// the bits), exact 9× coalescing, and the knee improvement floor.
+fn validate_scaling(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !text.contains(&format!("\"schema\": \"{SCALING_SCHEMA}\"")) {
+        errs.push(format!(
+            "missing or wrong schema tag (want {SCALING_SCHEMA})"
+        ));
+    }
+    for (open, close, what) in [('{', '}', "braces"), ('[', ']', "brackets")] {
+        let a = text.matches(open).count();
+        let b = text.matches(close).count();
+        if a != b || a == 0 {
+            errs.push(format!("unbalanced {what}: {a} '{open}' vs {b} '{close}'"));
+        }
+    }
+    let points = numbers_after(text, "checksum_drift").len();
+    if points != 5 {
+        errs.push(format!(
+            "want 5 sweep points (2 weak + 2 strong + knee), found {points}"
+        ));
+    }
+    for (i, v) in numbers_after(text, "checksum_drift").iter().enumerate() {
+        if *v != 0.0 {
+            errs.push(format!(
+                "point {i}: overlapped schedule drifted from the blocking bits"
+            ));
+        }
+    }
+    for key in ["t_blocking_s", "t_uncoalesced_s", "t_overlap_s"] {
+        for (i, v) in numbers_after(text, key).iter().enumerate() {
+            if !v.is_finite() || *v <= 0.0 {
+                errs.push(format!("point {i}: non-physical \"{key}\" = {v}"));
+            }
+        }
+    }
+    let naive = numbers_after(text, "halo_messages_uncoalesced");
+    let coalesced = numbers_after(text, "halo_messages");
+    for (i, (u, c)) in naive.iter().zip(&coalesced).enumerate() {
+        if *c < 1.0 || *u != c * 9.0 {
+            errs.push(format!(
+                "point {i}: coalescing must fold exactly 9 messages into 1 \
+                 ({u} uncoalesced vs {c} coalesced)"
+            ));
+        }
+    }
+    let saved = numbers_after(text, "messages_coalesced");
+    for (i, (s, c)) in saved.iter().zip(&coalesced).enumerate() {
+        if *s != c * 8.0 {
+            errs.push(format!(
+                "point {i}: {s} messages saved does not match 8 per \
+                 coalesced message ({c})"
+            ));
+        }
+    }
+    let improvements = numbers_after(text, "improvement");
+    let floor = numbers_after(text, "knee_improvement_floor");
+    match (improvements.last(), floor.first()) {
+        (Some(knee), Some(floor)) if knee >= floor => {}
+        (Some(knee), Some(floor)) => errs.push(format!(
+            "knee improvement {knee} below the {floor} acceptance floor"
+        )),
+        _ => errs.push("missing knee improvement or its floor".into()),
+    }
+    errs
 }
 
 /// Counters of one hot loop: a cold pass (empty thread pool, every
@@ -551,10 +763,50 @@ fn main() -> ExitCode {
     let default_path = match mode {
         Some("serve") | Some("serve-check") => SERVE_PATH,
         Some("hotpath") | Some("hotpath-check") => HOTPATH_PATH,
+        Some("scaling") | Some("scaling-check") => SCALING_PATH,
         _ => DEFAULT_PATH,
     };
     let path = args.get(2).map(String::as_str).unwrap_or(default_path);
     match mode {
+        Some("scaling") => {
+            let json = scaling_json();
+            let errs = validate_scaling(&json);
+            if !errs.is_empty() {
+                eprintln!("cca-bench: scaling output failed self-check:");
+                for e in &errs {
+                    eprintln!("  - {e}");
+                }
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cca-bench: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "cca-bench: wrote {path} ({} bytes, deterministic)",
+                json.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("scaling-check") => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let errs = validate_scaling(&text);
+                if errs.is_empty() {
+                    println!("cca-bench: {path} is well-formed");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("cca-bench: {path} is malformed:");
+                    for e in &errs {
+                        eprintln!("  - {e}");
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("cca-bench: cannot read {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("hotpath") => {
             let json = hotpath_json();
             let errs = validate_hotpath(&json);
@@ -675,7 +927,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cca-bench smoke|check [PATH] | cca-bench serve|serve-check [PATH] \
-                 | cca-bench hotpath|hotpath-check [PATH]"
+                 | cca-bench hotpath|hotpath-check [PATH] | cca-bench scaling|scaling-check [PATH]"
             );
             ExitCode::FAILURE
         }

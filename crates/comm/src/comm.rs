@@ -1,10 +1,28 @@
 //! Rank-local communicator: MPI-1-shaped point-to-point and collective
 //! operations plus the virtual clock used by the cluster performance model.
+//!
+//! Two send/receive disciplines coexist:
+//!
+//! * **Blocking** `send`/`recv` — the original strictly-sequential model:
+//!   a message posted at sender time `s` arrives at `s + α + β·n`, and the
+//!   receiver's clock jumps to `max(clock, arrival) + overhead`.
+//! * **Nonblocking** [`Communicator::isend`]/[`Communicator::irecv`] with
+//!   [`Communicator::wait`]/[`Communicator::waitall`]/[`Communicator::test`]
+//!   — the overlap-aware model. An isend reserves the sender's egress link
+//!   ([`Router::reserve_egress`]) so consecutive transfers serialize on the
+//!   wire (`start = max(clock, link_free)`, link busy for `β·n`), while the
+//!   sending rank's own clock only pays the call overhead and keeps
+//!   computing. The receiver charges `max(compute_end, start + α + β·n)` at
+//!   wait time, i.e. only the *non-overlapped remainder* of each message —
+//!   `t_rank = max(compute_end, link_free + α + β·bytes)` instead of a
+//!   strictly sequential accumulation.
 
 use crate::model::ClusterModel;
 use crate::reduce::ReduceOp;
 use crate::router::{Message, Router, Tag};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -12,8 +30,18 @@ use std::sync::Arc;
 /// clear. Mirrors MPI's reserved-tag convention.
 const COLLECTIVE_BIT: Tag = 1 << 63;
 
-/// Counters accumulated by a rank across all its communicators.
+/// Per-tag traffic counters (user tags only; collectives are aggregated in
+/// the totals but not broken out per generated internal tag).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TagTraffic {
+    /// Messages sent with this tag.
+    pub messages: u64,
+    /// Payload bytes sent with this tag.
+    pub bytes: u64,
+}
+
+/// Counters accumulated by a rank across all its communicators.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Number of point-to-point messages sent (collectives included).
     pub messages_sent: u64,
@@ -21,6 +49,19 @@ pub struct CommStats {
     pub bytes_sent: u64,
     /// Number of point-to-point receives completed.
     pub messages_received: u64,
+    /// Messages *saved* by aggregation: each time a sender packs `k`
+    /// logical transfers into one wire message it records `k - 1` here
+    /// via [`Communicator::note_coalesced`].
+    pub messages_coalesced: u64,
+    /// Per-tag breakdown of sent traffic, user tags only.
+    pub sent_by_tag: BTreeMap<Tag, TagTraffic>,
+}
+
+impl CommStats {
+    /// Traffic sent under `tag` (zero if the tag was never used).
+    pub fn tag(&self, tag: Tag) -> TagTraffic {
+        self.sent_by_tag.get(&tag).copied().unwrap_or_default()
+    }
 }
 
 #[derive(Default)]
@@ -28,6 +69,34 @@ struct StatsCell {
     messages_sent: Cell<u64>,
     bytes_sent: Cell<u64>,
     messages_received: Cell<u64>,
+    messages_coalesced: Cell<u64>,
+    sent_by_tag: RefCell<BTreeMap<Tag, TagTraffic>>,
+}
+
+/// Handle for a posted nonblocking send.
+///
+/// Sends are buffered, so the request is complete as soon as it exists;
+/// it records the modeled wire schedule of the message for inspection.
+/// Dropping it is harmless — there is no completion to lose.
+#[derive(Clone, Copy, Debug)]
+pub struct SendRequest {
+    /// Modeled time the message reaches the receiver
+    /// (`link_start + α + β·bytes`).
+    pub arrival_vtime: f64,
+}
+
+/// Handle for a posted nonblocking receive of a `Vec<T>` payload.
+///
+/// Redeem it with [`Communicator::wait`] (or a batch with
+/// [`Communicator::waitall`]); poll with [`Communicator::test`]. The type
+/// parameter pins the payload type at post time, as an MPI `irecv` buffer
+/// would.
+#[must_use = "an irecv only completes when waited on"]
+#[derive(Debug)]
+pub struct RecvRequest<T> {
+    src: usize,
+    tag: Tag,
+    _payload: PhantomData<fn() -> T>,
 }
 
 /// A rank's handle onto one communication context.
@@ -131,23 +200,46 @@ impl Communicator {
             messages_sent: self.stats.messages_sent.get(),
             bytes_sent: self.stats.bytes_sent.get(),
             messages_received: self.stats.messages_received.get(),
+            messages_coalesced: self.stats.messages_coalesced.get(),
+            sent_by_tag: self.stats.sent_by_tag.borrow().clone(),
         }
     }
 
-    // ------------------------------------------------------------------
-    // Point to point
-    // ------------------------------------------------------------------
+    /// Record that one wire message replaced `packed` logical transfers
+    /// (`packed - 1` messages saved by aggregation). No-op for `packed <= 1`.
+    pub fn note_coalesced(&self, packed: u64) {
+        if packed > 1 {
+            self.stats
+                .messages_coalesced
+                .set(self.stats.messages_coalesced.get() + packed - 1);
+        }
+    }
 
-    fn send_tagged<T: Clone + Send + 'static>(&self, dst: usize, tag: Tag, data: &[T]) {
-        assert!(dst < self.size, "destination rank {dst} out of range");
-        let nbytes = std::mem::size_of_val(data);
-        self.advance_seconds(self.model.call_overhead);
+    fn record_send(&self, tag: Tag, nbytes: usize) {
         self.stats
             .messages_sent
             .set(self.stats.messages_sent.get() + 1);
         self.stats
             .bytes_sent
             .set(self.stats.bytes_sent.get() + nbytes as u64);
+        if tag & COLLECTIVE_BIT == 0 {
+            let mut by_tag = self.stats.sent_by_tag.borrow_mut();
+            let entry = by_tag.entry(tag).or_default();
+            entry.messages += 1;
+            entry.bytes += nbytes as u64;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point to point (blocking)
+    // ------------------------------------------------------------------
+
+    fn send_tagged<T: Clone + Send + 'static>(&self, dst: usize, tag: Tag, data: &[T]) {
+        assert!(dst < self.size, "destination rank {dst} out of range");
+        let nbytes = std::mem::size_of_val(data);
+        self.advance_seconds(self.model.call_overhead);
+        self.record_send(tag, nbytes);
+        let send_vtime = self.clock.get();
         self.router.post(
             dst,
             Message {
@@ -156,7 +248,9 @@ impl Communicator {
                 tag,
                 payload: Box::new(data.to_vec()),
                 nbytes,
-                send_vtime: self.clock.get(),
+                send_vtime,
+                // Legacy sequential schedule: no link contention.
+                arrival_vtime: send_vtime + self.model.message_cost(nbytes),
             },
         );
     }
@@ -164,9 +258,8 @@ impl Communicator {
     fn recv_tagged<T: Clone + Send + 'static>(&self, src: usize, tag: Tag) -> Vec<T> {
         assert!(src < self.size, "source rank {src} out of range");
         let msg = self.router.take(self.rank, self.comm_id, src, tag);
-        let arrival = msg.send_vtime + self.model.message_cost(msg.nbytes);
         self.clock
-            .set(self.clock.get().max(arrival) + self.model.call_overhead);
+            .set(self.clock.get().max(msg.arrival_vtime) + self.model.call_overhead);
         self.stats
             .messages_received
             .set(self.stats.messages_received.get() + 1);
@@ -202,6 +295,88 @@ impl Communicator {
     ) -> Vec<T> {
         self.send(partner, tag, data);
         self.recv(partner, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Point to point (nonblocking, overlap-aware)
+    // ------------------------------------------------------------------
+
+    /// Nonblocking send: post `data` toward `dst` and return immediately.
+    ///
+    /// The sending rank's clock pays only the call overhead; the transfer
+    /// itself is scheduled on the rank's egress link, which serializes
+    /// back-to-back isends (`start = max(clock, link_free)`, busy for
+    /// `β·bytes`). The modeled arrival, `start + α + β·bytes`, travels with
+    /// the message and is what the receiver's `wait` charges against —
+    /// compute performed between the isend and the matching wait hides the
+    /// transfer.
+    pub fn isend<T: Clone + Send + 'static>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> SendRequest {
+        assert!(dst < self.size, "destination rank {dst} out of range");
+        assert!(tag & COLLECTIVE_BIT == 0, "user tags must be < 2^63");
+        let nbytes = std::mem::size_of_val(data);
+        self.advance_seconds(self.model.call_overhead);
+        self.record_send(tag, nbytes);
+        let send_vtime = self.clock.get();
+        let transfer = self.model.beta * nbytes as f64;
+        let start = self.router.reserve_egress(self.rank, send_vtime, transfer);
+        let arrival_vtime = start + self.model.alpha + transfer;
+        self.router.post(
+            dst,
+            Message {
+                comm_id: self.comm_id,
+                src: self.rank,
+                tag,
+                payload: Box::new(data.to_vec()),
+                nbytes,
+                send_vtime,
+                arrival_vtime,
+            },
+        );
+        SendRequest { arrival_vtime }
+    }
+
+    /// Nonblocking receive: register interest in a message from `src` with
+    /// `tag`. Costs nothing on the clock; redeem with [`Communicator::wait`].
+    pub fn irecv<T: Clone + Send + 'static>(&self, src: usize, tag: Tag) -> RecvRequest<T> {
+        assert!(src < self.size, "source rank {src} out of range");
+        assert!(tag & COLLECTIVE_BIT == 0, "user tags must be < 2^63");
+        RecvRequest {
+            src,
+            tag,
+            _payload: PhantomData,
+        }
+    }
+
+    /// Complete a nonblocking receive, returning its payload.
+    ///
+    /// The clock advances to `max(clock, arrival) + overhead`: if the rank
+    /// computed past the message's modeled arrival since posting the irecv,
+    /// the transfer was fully hidden and only the overhead is charged.
+    pub fn wait<T: Clone + Send + 'static>(&self, req: RecvRequest<T>) -> Vec<T> {
+        self.recv_tagged(req.src, req.tag)
+    }
+
+    /// Complete a batch of nonblocking receives, payloads in request order.
+    ///
+    /// The final clock is `max(compute_end, latest arrival) + k·overhead` —
+    /// order-insensitive up to the (tiny) per-message overhead, as the max
+    /// is taken across all arrivals either way.
+    pub fn waitall<T: Clone + Send + 'static>(&self, reqs: Vec<RecvRequest<T>>) -> Vec<Vec<T>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Has the message for `req` already arrived in the mailbox?
+    ///
+    /// Like MPI's `MPI_Test` this never blocks; unlike `wait` it does not
+    /// complete the request. Panics with a poisoned-peer error if a rank
+    /// died and no matching message is queued.
+    pub fn test<T>(&self, req: &RecvRequest<T>) -> bool {
+        self.router.probe(self.rank, self.comm_id, req.src, req.tag)
     }
 
     // ------------------------------------------------------------------
@@ -347,5 +522,135 @@ impl Communicator {
             off += l;
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(alpha: f64, beta: f64) -> ClusterModel {
+        ClusterModel {
+            alpha,
+            beta,
+            seconds_per_work_unit: 1.0,
+            call_overhead: 0.0,
+        }
+    }
+
+    fn pair(m: ClusterModel) -> (Communicator, Communicator) {
+        let router = Router::new(2);
+        (
+            Communicator::root(Arc::clone(&router), 0, m),
+            Communicator::root(router, 1, m),
+        )
+    }
+
+    #[test]
+    fn isend_wait_roundtrip() {
+        let (c0, c1) = pair(ClusterModel::zero());
+        let sreq = c0.isend(1, 7, &[1.0f64, 2.0, 3.0]);
+        assert!(sreq.arrival_vtime >= 0.0);
+        let rreq = c1.irecv::<f64>(0, 7);
+        assert!(c1.test(&rreq));
+        assert_eq!(c1.wait(rreq), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn test_reports_pending_message_without_completing() {
+        let (c0, c1) = pair(ClusterModel::zero());
+        let rreq = c1.irecv::<u8>(0, 3);
+        assert!(!c1.test(&rreq));
+        c0.isend(1, 3, &[9u8]);
+        assert!(c1.test(&rreq));
+        // Still deliverable after testing.
+        assert_eq!(c1.wait(rreq), vec![9]);
+    }
+
+    #[test]
+    fn back_to_back_isends_serialize_on_the_egress_link() {
+        // α = 10 s, β = 1 s/byte: an 8-byte payload occupies the link 8 s.
+        let (c0, c1) = pair(model(10.0, 1.0));
+        let s1 = c0.isend(1, 1, &[0u8; 8]);
+        let s2 = c0.isend(1, 2, &[0u8; 8]);
+        // First transfer starts at clock 0: arrives 0 + 10 + 8.
+        assert_eq!(s1.arrival_vtime, 18.0);
+        // Second queues behind it on the link: starts at 8, arrives 8 + 18.
+        assert_eq!(s2.arrival_vtime, 26.0);
+        // Sender's own clock never paid for the transfers.
+        assert_eq!(c0.vtime(), 0.0);
+        // A receiver that computed past both arrivals pays nothing extra.
+        c1.charge_compute(100.0);
+        let r1 = c1.irecv::<u8>(0, 1);
+        let r2 = c1.irecv::<u8>(0, 2);
+        c1.waitall(vec![r1, r2]);
+        assert_eq!(c1.vtime(), 100.0);
+    }
+
+    #[test]
+    fn unhidden_transfer_charges_the_remainder() {
+        let (c0, c1) = pair(model(10.0, 1.0));
+        c0.isend(1, 1, &[0u8; 8]);
+        let req = c1.irecv::<u8>(0, 1);
+        c1.charge_compute(5.0); // only partially hides the 18 s transfer
+        c1.wait(req);
+        assert_eq!(c1.vtime(), 18.0); // max(5, 18)
+    }
+
+    #[test]
+    fn blocking_send_keeps_sequential_arrival_schedule() {
+        // Blocking sends do not contend for the link: two sends posted at
+        // clock 0 both arrive at α + β·n, preserving the pre-overlap model.
+        let (c0, c1) = pair(model(10.0, 1.0));
+        c0.send(1, 1, &[0u8; 8]);
+        c0.send(1, 2, &[0u8; 8]);
+        c1.recv::<u8>(0, 1);
+        assert_eq!(c1.vtime(), 18.0);
+        c1.recv::<u8>(0, 2);
+        assert_eq!(c1.vtime(), 18.0);
+    }
+
+    #[test]
+    fn stats_track_tags_and_coalescing() {
+        let (c0, c1) = pair(ClusterModel::zero());
+        c0.isend(1, 10, &[0u8; 100]);
+        c0.isend(1, 10, &[0u8; 50]);
+        c0.send(1, 11, &[0u8; 8]);
+        c0.note_coalesced(9);
+        c0.note_coalesced(1); // no-op
+        let s = c0.stats();
+        assert_eq!(s.messages_sent, 3);
+        assert_eq!(s.bytes_sent, 158);
+        assert_eq!(s.messages_coalesced, 8);
+        assert_eq!(
+            s.tag(10),
+            TagTraffic {
+                messages: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(
+            s.tag(11),
+            TagTraffic {
+                messages: 1,
+                bytes: 8
+            }
+        );
+        assert_eq!(s.tag(12), TagTraffic::default());
+        // Collectives count in totals but not per-tag.
+        let _ = c0.bcast(0, &[1.0f64]);
+        let _ = c1.bcast(0, &[1.0f64]);
+        assert_eq!(c0.stats().sent_by_tag.len(), 2);
+    }
+
+    #[test]
+    fn waitall_returns_payloads_in_request_order() {
+        let (c0, c1) = pair(ClusterModel::zero());
+        c0.isend(1, 2, &[2i32]);
+        c0.isend(1, 1, &[1i32]);
+        let r2 = c1.irecv::<i32>(0, 2);
+        let r1 = c1.irecv::<i32>(0, 1);
+        let got = c1.waitall(vec![r1, r2]);
+        assert_eq!(got, vec![vec![1], vec![2]]);
     }
 }

@@ -39,7 +39,7 @@ pub mod reduce;
 pub mod router;
 pub mod scmd;
 
-pub use comm::Communicator;
+pub use comm::{CommStats, Communicator, RecvRequest, SendRequest, TagTraffic};
 pub use model::ClusterModel;
 pub use reduce::ReduceOp;
-pub use router::Tag;
+pub use router::{PeerPanic, Tag};

@@ -1,5 +1,19 @@
 //! In-process message router: one mailbox per rank, selective receive on
 //! `(communicator id, source, tag)` exactly like MPI's envelope matching.
+//!
+//! Beyond mailboxes the router owns two pieces of *shared* modeling state:
+//!
+//! * **Egress-link occupancy** — one virtual free-time per rank's
+//!   injection link (the paper's CPlant pushed Myrinet through a 32-bit
+//!   PCI NIC; the NIC, not the fabric, is the contended resource). The
+//!   nonblocking send path reserves the link for the `β·bytes` transfer
+//!   time of each message, so back-to-back isends from one rank serialize
+//!   on the wire while the rank's own clock keeps running — exactly the
+//!   overlap the modeled `waitall` then credits. Each entry is written
+//!   only by its owning rank's thread, so the timeline is deterministic.
+//! * **Poison state** — the first rank that panics mid-exchange records
+//!   itself here and wakes every blocked receiver, turning what used to
+//!   be a silent distributed hang into an immediate, attributed error.
 
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
@@ -23,6 +37,19 @@ pub struct Message {
     pub nbytes: usize,
     /// Sender's virtual clock at the moment of the send.
     pub send_vtime: f64,
+    /// Modeled arrival time at the receiver: the blocking path computes
+    /// `send_vtime + α + β·bytes`; the nonblocking path additionally
+    /// waits for the sender's egress link to drain earlier messages.
+    pub arrival_vtime: f64,
+}
+
+/// Record of the first rank that panicked inside an SCMD job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerPanic {
+    /// The rank whose closure panicked.
+    pub rank: usize,
+    /// Its panic payload, stringified.
+    pub message: String,
 }
 
 /// One rank's mailbox: a queue protected by a mutex + condvar so that a
@@ -36,6 +63,11 @@ struct Mailbox {
 /// Shared router connecting the `P` ranks of one SCMD job.
 pub struct Router {
     boxes: Vec<Mailbox>,
+    /// Virtual time at which each rank's egress link next falls idle.
+    /// Written only by the owning rank (sends are serial per thread).
+    egress_free: Vec<Mutex<f64>>,
+    /// First panicked rank, if any.
+    poison: Mutex<Option<PeerPanic>>,
 }
 
 impl Router {
@@ -43,6 +75,8 @@ impl Router {
     pub fn new(size: usize) -> Arc<Self> {
         Arc::new(Router {
             boxes: (0..size).map(|_| Mailbox::default()).collect(),
+            egress_free: (0..size).map(|_| Mutex::new(0.0)).collect(),
+            poison: Mutex::new(None),
         })
     }
 
@@ -58,8 +92,54 @@ impl Router {
         mb.signal.notify_all();
     }
 
+    /// Reserve `src`'s egress link for a transfer of `busy` modeled
+    /// seconds, starting no earlier than `earliest` (the sender's clock).
+    /// Returns the reserved start time; the link is busy until
+    /// `start + busy`. This is the per-link occupancy timeline behind the
+    /// overlap credit: the virtual clock of the *receiver* later charges
+    /// only the part of the transfer its own compute did not hide.
+    pub fn reserve_egress(&self, src: usize, earliest: f64, busy: f64) -> f64 {
+        debug_assert!(busy >= 0.0);
+        let mut free = self.egress_free[src].lock();
+        let start = free.max(earliest);
+        *free = start + busy;
+        start
+    }
+
+    /// Record that `rank` panicked (first record wins) and wake every
+    /// blocked receiver so it can abort with a poisoned-peer error
+    /// instead of waiting forever for a message that will never come.
+    pub fn poison(&self, rank: usize, message: &str) {
+        {
+            let mut p = self.poison.lock();
+            if p.is_none() {
+                *p = Some(PeerPanic {
+                    rank,
+                    message: message.to_string(),
+                });
+            }
+        }
+        for mb in &self.boxes {
+            // Take the queue lock so a receiver between its match check
+            // and its condvar wait cannot miss the wakeup.
+            let _q = mb.queue.lock();
+            mb.signal.notify_all();
+        }
+    }
+
+    /// The first panicked rank, if the job is poisoned.
+    pub fn poisoned(&self) -> Option<PeerPanic> {
+        self.poison.lock().clone()
+    }
+
     /// Blocking selective receive: the oldest message matching
     /// `(comm_id, src, tag)` addressed to `me`.
+    ///
+    /// The wait parks on a condvar (a deterministic yield — no spinning,
+    /// no timeouts). If any rank panics while we wait, [`Router::poison`]
+    /// wakes us and this call panics with a poisoned-peer error naming
+    /// the original culprit, so one failed rank aborts the whole job
+    /// instead of deadlocking the survivors.
     pub fn take(&self, me: usize, comm_id: u64, src: usize, tag: Tag) -> Message {
         let mb = &self.boxes[me];
         let mut q = mb.queue.lock();
@@ -70,17 +150,38 @@ impl Router {
             {
                 return q.remove(pos).expect("position was just found");
             }
+            if let Some(p) = self.poisoned() {
+                panic!(
+                    "rank {me}: receive from rank {src} (tag {tag}) aborted: \
+                     rank {} panicked mid-exchange: {}",
+                    p.rank, p.message
+                );
+            }
             mb.signal.wait(&mut q);
         }
     }
 
     /// Non-blocking probe: is a matching message waiting?
+    ///
+    /// Panics with a poisoned-peer error when the job is poisoned and no
+    /// matching message is queued — a caller spinning on `probe` would
+    /// otherwise busy-wait forever on a dead sender.
     pub fn probe(&self, me: usize, comm_id: u64, src: usize, tag: Tag) -> bool {
-        self.boxes[me]
+        let matched = self.boxes[me]
             .queue
             .lock()
             .iter()
-            .any(|m| m.comm_id == comm_id && m.src == src && m.tag == tag)
+            .any(|m| m.comm_id == comm_id && m.src == src && m.tag == tag);
+        if !matched {
+            if let Some(p) = self.poisoned() {
+                panic!(
+                    "rank {me}: probe of rank {src} (tag {tag}) aborted: \
+                     rank {} panicked mid-exchange: {}",
+                    p.rank, p.message
+                );
+            }
+        }
+        matched
     }
 
     /// Number of queued (undelivered) messages for `me`, across all
@@ -102,6 +203,7 @@ mod tests {
             payload: Box::new(vec![val]),
             nbytes: 4,
             send_vtime: 0.0,
+            arrival_vtime: 0.0,
         }
     }
 
@@ -162,5 +264,59 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         r.post(1, msg(0, 0, 9, 77));
         assert_eq!(h.join().unwrap(), vec![77]);
+    }
+
+    #[test]
+    fn egress_reservations_serialize_back_to_back_sends() {
+        let r = Router::new(2);
+        // Two messages posted at the same sender clock: the second must
+        // queue behind the first on the link.
+        assert_eq!(r.reserve_egress(0, 5.0, 2.0), 5.0);
+        assert_eq!(r.reserve_egress(0, 5.0, 2.0), 7.0);
+        // After the link drains, a later send starts at its own clock.
+        assert_eq!(r.reserve_egress(0, 20.0, 1.0), 20.0);
+        // Other ranks' links are independent.
+        assert_eq!(r.reserve_egress(1, 0.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_take_with_attributed_panic() {
+        let r = Router::new(2);
+        let r2 = Arc::clone(&r);
+        let h = std::thread::spawn(move || {
+            // Never satisfied: rank 0 "panics" instead of sending.
+            let _ = r2.take(1, 0, 0, 9);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        r.poison(0, "boom");
+        let err = h.join().unwrap_err();
+        let text = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("rank 0 panicked"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+        assert_eq!(r.poisoned().unwrap().rank, 0);
+    }
+
+    #[test]
+    fn probe_reports_poison_only_when_unmatched() {
+        let r = Router::new(2);
+        r.post(0, msg(0, 1, 3, 1));
+        r.poison(1, "late panic");
+        // A queued match is still deliverable.
+        assert!(r.probe(0, 0, 1, 3));
+        let _ = r.take(0, 0, 1, 3);
+        // With nothing queued, a probe against the dead job aborts.
+        let err = std::panic::catch_unwind(|| r.probe(0, 0, 1, 3)).unwrap_err();
+        let text = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("rank 1 panicked"), "{text}");
+    }
+
+    #[test]
+    fn first_poison_wins() {
+        let r = Router::new(3);
+        r.poison(2, "original");
+        r.poison(0, "cascade victim");
+        let p = r.poisoned().unwrap();
+        assert_eq!(p.rank, 2);
+        assert_eq!(p.message, "original");
     }
 }

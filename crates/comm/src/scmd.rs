@@ -5,10 +5,16 @@
 //! rank-local `Rc` state). The closure plays the role of "one framework
 //! instance + its components" in the paper's Single Component Multiple Data
 //! model.
+//!
+//! A rank that panics poisons the shared [`Router`] before unwinding, so
+//! peers blocked in a receive abort immediately with an error naming the
+//! culprit instead of waiting forever — and the launcher re-raises the
+//! *original* panic, not a victim's secondary one.
 
-use crate::comm::Communicator;
+use crate::comm::{CommStats, Communicator};
 use crate::model::ClusterModel;
 use crate::router::Router;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Per-rank outcome of an SCMD job.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,12 +27,16 @@ pub struct RankReport<R> {
     pub messages_sent: u64,
     /// Payload bytes the rank sent.
     pub bytes_sent: u64,
+    /// Full traffic counters, including per-tag breakdown and the number
+    /// of messages saved by coalescing.
+    pub stats: CommStats,
 }
 
 /// Run `f` on `size` ranks and return each rank's result, rank-ordered.
 ///
-/// Panics in any rank propagate (the join unwraps), so a failing assertion
-/// inside a rank fails the caller's test — no silent hangs.
+/// Panics in any rank propagate: the job is poisoned, surviving ranks abort
+/// their blocked receives, and the caller observes the original panic — no
+/// silent hangs.
 pub fn run<R, F>(size: usize, model: ClusterModel, f: F) -> Vec<R>
 where
     R: Send,
@@ -53,25 +63,100 @@ where
         for rank in 0..size {
             let router = router.clone();
             handles.push(scope.spawn(move || {
-                let comm = Communicator::root(router, rank, model);
-                let result = f(&comm);
+                let comm = Communicator::root(router.clone(), rank, model);
+                let result = match catch_unwind(AssertUnwindSafe(|| f(&comm))) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        // First poison wins: a victim re-panicking out of a
+                        // blocked receive never masks the original culprit.
+                        router.poison(rank, &panic_text(payload.as_ref()));
+                        resume_unwind(payload);
+                    }
+                };
                 let stats = comm.stats();
                 RankReport {
                     result,
                     vtime: comm.vtime(),
                     messages_sent: stats.messages_sent,
                     bytes_sent: stats.bytes_sent,
+                    stats,
                 }
             }));
         }
-        handles
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        if joined.iter().any(|r| r.is_err()) {
+            // Re-raise the first rank that actually panicked (the poisoner),
+            // not whichever victim happened to join first.
+            if let Some(p) = router.poisoned() {
+                panic!("SCMD rank {} panicked: {}", p.rank, p.message);
+            }
+            for r in joined {
+                if let Err(payload) = r {
+                    resume_unwind(payload);
+                }
+            }
+            unreachable!("a join error existed above");
+        }
+        joined
             .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
+            .map(|r| r.expect("checked above"))
             .collect()
     })
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Modeled wall-clock of a job: the slowest rank's virtual time.
 pub fn modeled_runtime<R>(reports: &[RankReport<R>]) -> f64 {
     reports.iter().map(|r| r.vtime).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_panic_does_not_hang_peers_and_names_the_culprit() {
+        // Rank 1 panics before sending; ranks 0 and 2 block receiving from
+        // it. Without poisoning this deadlocks; with it the job aborts and
+        // the original panic is reported.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run(3, ClusterModel::zero(), |comm| {
+                if comm.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                comm.recv::<u8>(1, 0)
+            })
+        }))
+        .unwrap_err();
+        let text = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("rank 1"), "{text}");
+        assert!(text.contains("rank 1 exploded"), "{text}");
+    }
+
+    #[test]
+    fn report_carries_full_stats() {
+        let reports = run_reported(2, ClusterModel::zero(), |comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, 42, &[0u8; 16]);
+                comm.note_coalesced(4);
+            } else {
+                let req = comm.irecv::<u8>(0, 42);
+                let _ = comm.wait(req);
+            }
+        });
+        assert_eq!(reports[0].stats.tag(42).messages, 1);
+        assert_eq!(reports[0].stats.tag(42).bytes, 16);
+        assert_eq!(reports[0].stats.messages_coalesced, 3);
+        assert_eq!(reports[0].messages_sent, reports[0].stats.messages_sent);
+        assert_eq!(reports[1].stats.messages_received, 1);
+    }
 }

@@ -209,7 +209,7 @@ fn traffic_counters_count() {
 }
 
 #[test]
-#[should_panic(expected = "rank thread panicked")]
+#[should_panic(expected = "SCMD rank 1 panicked: deliberate failure injection")]
 fn rank_panic_propagates() {
     scmd::run(2, ClusterModel::zero(), |c| {
         if c.rank() == 1 {

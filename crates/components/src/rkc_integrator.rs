@@ -105,10 +105,28 @@ pub(crate) fn eval_hierarchy_rhs(
         let dx = mesh.dx(level);
         match &kernel {
             Some(k) => {
-                let ids: Vec<usize> = mesh.patches(level).iter().map(|(id, _, _)| *id).collect();
+                let descriptors = mesh.patches(level);
+                let ids: Vec<usize> = descriptors.iter().map(|(id, _, _)| *id).collect();
                 if ids.is_empty() {
                     continue;
                 }
+                // Boundary-adjacent patches (touching a sibling patch or
+                // the level-domain edge) feed the next ghost exchange, so
+                // they start first — shortening the path to the exchange
+                // the same way the distributed sweep overlaps its halo.
+                let domain = mesh.level_domain(level);
+                let adjacency: Vec<i64> = descriptors
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, (_, interior, _))| {
+                        let ring = interior.grow(1);
+                        let edge = !domain.contains_box(&ring);
+                        let sibling = descriptors.iter().enumerate().any(|(qi, (_, other, _))| {
+                            qi != pi && other.intersect(&ring).is_some()
+                        });
+                        (edge || sibling) as i64
+                    })
+                    .collect();
                 let states = data.take_level_patches(&view.name, level, &ids);
                 let rhss = data.take_level_patches(rhs_name, level, &ids);
                 let items: Vec<RhsItem> = states
@@ -121,9 +139,14 @@ pub(crate) fn eval_hierarchy_rhs(
                 // profiles read the same whichever route patches took.
                 let run_label = k.label();
                 let k = k.clone();
-                let report = executor.run(run_label, items, move |_worker, item| {
-                    k.eval(&item.state, &mut item.rhs, dx[0], dx[1], t);
-                });
+                let report = executor.run_with_priority(
+                    run_label,
+                    items,
+                    |idx, _| adjacency[idx],
+                    move |_worker, item| {
+                        k.eval(&item.state, &mut item.rhs, dx[0], dx[1], t);
+                    },
+                );
                 // A panicking kernel poisons the run; surface it as the
                 // panic the serial path would have raised (patches are
                 // forfeit either way).

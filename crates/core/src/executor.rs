@@ -376,6 +376,54 @@ impl Executor {
         } else {
             run_parallel(core.pool(), items, kernel)
         };
+        self.account(core, label, report)
+    }
+
+    /// Like [`Executor::run`] but items *start* in descending `priority`
+    /// order (stable: equal priorities keep submission order) instead of
+    /// index order. Results still come back in submission order, and —
+    /// because each kernel is a pure function of its own item — they are
+    /// bit-identical to a plain `run` at any worker count; only the
+    /// schedule changes.
+    ///
+    /// The integrator uses this to start boundary-adjacent patches first:
+    /// their results are what the next ghost exchange (and, distributed,
+    /// the next halo message) waits on, so front-loading them shortens the
+    /// critical path.
+    pub fn run_with_priority<T, F, P>(
+        &self,
+        label: &str,
+        items: Vec<T>,
+        priority: P,
+        kernel: F,
+    ) -> RunReport<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize, &mut T) + Send + Sync + 'static,
+        P: Fn(usize, &T) -> i64,
+    {
+        let prio: Vec<i64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| priority(i, item))
+            .collect();
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(prio[i]));
+        let mut core = self.core.borrow_mut();
+        let report = if core.workers <= 1 || items.len() <= 1 {
+            run_serial_ordered(items, &order, &kernel)
+        } else {
+            run_parallel_ordered(core.pool(), items, &order, kernel)
+        };
+        self.account(core, label, report)
+    }
+
+    fn account<T>(
+        &self,
+        mut core: std::cell::RefMut<'_, ExecCore>,
+        label: &str,
+        report: RunReport<T>,
+    ) -> RunReport<T> {
         core.runs += 1;
         core.items += report.items.len() as u64;
         core.poisonings += report.failures.len() as u64;
@@ -420,7 +468,51 @@ where
     }
 }
 
+/// [`run_serial`] with an explicit execution order (result layout is
+/// still submission order; a pure kernel makes the two bit-identical).
+fn run_serial_ordered<T, F>(mut items: Vec<T>, order: &[usize], kernel: &F) -> RunReport<T>
+where
+    F: Fn(usize, &mut T),
+{
+    let mut failures = Vec::new();
+    let mut item_busy = vec![0.0; items.len()];
+    for &i in order {
+        let start = Instant::now();
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| kernel(i, &mut items[i]))) {
+            failures.push(KernelFailure {
+                index: i,
+                message: panic_message(payload.as_ref()),
+            });
+        }
+        item_busy[i] = start.elapsed().as_secs_f64();
+    }
+    failures.sort_by_key(|f| f.index);
+    RunReport {
+        items,
+        failures,
+        worker_busy: vec![item_busy.iter().sum()],
+        item_busy,
+    }
+}
+
 fn run_parallel<T, F>(pool: &Pool, items: Vec<T>, kernel: F) -> RunReport<T>
+where
+    T: Send + 'static,
+    F: Fn(usize, &mut T) + Send + Sync + 'static,
+{
+    let order: Vec<usize> = (0..items.len()).collect();
+    run_parallel_ordered(pool, items, &order, kernel)
+}
+
+/// [`run_parallel`] with an explicit submission order: earlier-submitted
+/// jobs are picked up by workers first, so `order` is a soft execution
+/// priority (work stealing may still interleave).
+fn run_parallel_ordered<T, F>(
+    pool: &Pool,
+    items: Vec<T>,
+    order: &[usize],
+    kernel: F,
+) -> RunReport<T>
 where
     T: Send + 'static,
     F: Fn(usize, &mut T) + Send + Sync + 'static,
@@ -428,7 +520,11 @@ where
     let n = items.len();
     let kernel = Arc::new(kernel);
     let (tx, rx) = mpsc::channel::<Done<T>>();
-    for (i, mut item) in items.into_iter().enumerate() {
+    let mut pending: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    for &i in order {
+        let mut item = pending[i]
+            .take()
+            .expect("each index submitted exactly once");
         let kernel = Arc::clone(&kernel);
         let tx = tx.clone();
         pool.submit(Box::new(move |worker| {
@@ -532,6 +628,73 @@ mod tests {
         for (i, it) in report.items.iter().enumerate() {
             assert_eq!(*it, 1000 + i);
         }
+    }
+
+    #[test]
+    fn priority_controls_serial_execution_order_but_not_results() {
+        let started: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&started);
+        let items: Vec<usize> = (0..8).collect();
+        // Even indices are "boundary" items and must start first.
+        let report = exec(1).run_with_priority(
+            "prio",
+            items,
+            |i, _| if i % 2 == 0 { 1 } else { 0 },
+            move |i, it| {
+                log.lock().push(i);
+                *it += 100;
+            },
+        );
+        assert!(!report.poisoned());
+        // Results in submission order regardless of schedule.
+        for (i, it) in report.items.iter().enumerate() {
+            assert_eq!(*it, 100 + i);
+        }
+        // Evens first (stable within each class), then odds.
+        assert_eq!(*started.lock(), vec![0, 2, 4, 6, 1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn priority_run_matches_plain_run_bitwise_at_any_worker_count() {
+        let items: Vec<(usize, f64)> = (0..48).map(|i| (i, i as f64 * 0.3)).collect();
+        let kernel = |_: usize, it: &mut (usize, f64)| {
+            for _ in 0..50 {
+                it.1 = (it.1 * 1.000001).sin().mul_add(0.5, it.1);
+            }
+        };
+        let plain = exec(1)
+            .run("k", items.clone(), kernel)
+            .into_result()
+            .unwrap();
+        for workers in [1, 4] {
+            let prioritized = exec(workers)
+                .run_with_priority("k", items.clone(), |i, _| -(i as i64 % 5), kernel)
+                .into_result()
+                .unwrap();
+            for (s, p) in plain.iter().zip(&prioritized) {
+                assert_eq!(s.0, p.0);
+                assert_eq!(s.1.to_bits(), p.1.to_bits(), "item {}", s.0);
+            }
+        }
+    }
+
+    #[test]
+    fn priority_run_contains_panics_like_plain_run() {
+        let report = exec(1).run_with_priority(
+            "p",
+            (0..10).collect::<Vec<i32>>(),
+            |i, _| -(i as i64),
+            |i, it| {
+                if i == 4 {
+                    panic!("boom at {i}");
+                }
+                *it += 1;
+            },
+        );
+        assert!(report.poisoned());
+        assert_eq!(report.items.len(), 10);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 4);
     }
 
     #[test]

@@ -97,6 +97,49 @@ impl IntBox {
         (b.lo[1]..=b.hi[1]).flat_map(move |j| (b.lo[0]..=b.hi[0]).map(move |i| (i, j)))
     }
 
+    /// The box shrunk by `g` cells on every side — the cells whose
+    /// `g`-wide stencil halo lies entirely inside `self`. `None` when no
+    /// such cells exist (an axis has ≤ `2g` cells).
+    ///
+    /// Together with [`IntBox::halo_ring`] this is the geometric basis of
+    /// the split sweep: interior cells can be updated while halo messages
+    /// are in flight; ring cells must wait for them.
+    pub fn interior_shrink(&self, g: i64) -> Option<IntBox> {
+        debug_assert!(g >= 0);
+        let lo = [self.lo[0] + g, self.lo[1] + g];
+        let hi = [self.hi[0] - g, self.hi[1] - g];
+        if lo[0] <= hi[0] && lo[1] <= hi[1] {
+            Some(IntBox { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// The `g`-wide boundary ring of `self` as up to four disjoint strips
+    /// (bottom and top full-width, then left and right between them), in
+    /// that fixed order. The strips plus [`IntBox::interior_shrink`]
+    /// exactly tile `self`: disjoint, covering, no overlap — the property
+    /// pinned by `prop_mesh.rs`. For `g = 0` the ring is empty; when the
+    /// shrunken interior is empty the whole box is returned as one strip.
+    pub fn halo_ring(&self, g: i64) -> Vec<IntBox> {
+        debug_assert!(g >= 0);
+        if g == 0 {
+            return Vec::new();
+        }
+        let Some(inner) = self.interior_shrink(g) else {
+            return vec![*self];
+        };
+        vec![
+            // Bottom: full width, g rows.
+            IntBox::new([self.lo[0], self.lo[1]], [self.hi[0], self.lo[1] + g - 1]),
+            // Top: full width, g rows.
+            IntBox::new([self.lo[0], self.hi[1] - g + 1], [self.hi[0], self.hi[1]]),
+            // Left and right: g columns, between bottom and top.
+            IntBox::new([self.lo[0], inner.lo[1]], [self.lo[0] + g - 1, inner.hi[1]]),
+            IntBox::new([self.hi[0] - g + 1, inner.lo[1]], [self.hi[0], inner.hi[1]]),
+        ]
+    }
+
     /// Split along `axis` (0 = x, 1 = y) so the lower part ends at `at`
     /// (inclusive). Returns `None` if `at` is outside the strict interior.
     pub fn split_at(&self, axis: usize, at: i64) -> Option<(IntBox, IntBox)> {
@@ -165,6 +208,35 @@ mod tests {
         assert_eq!(lo.count() + hi.count(), b.count());
         assert!(b.split_at(0, 5).is_none()); // would leave empty upper part
         assert!(b.split_at(1, -1).is_none());
+    }
+
+    #[test]
+    fn interior_and_ring_partition_the_box() {
+        let b = IntBox::new([-2, 3], [7, 11]);
+        for g in 0..=3 {
+            let inner = b.interior_shrink(g);
+            let ring = b.halo_ring(g);
+            let covered: i64 =
+                inner.map_or(0, |i| i.count()) + ring.iter().map(|s| s.count()).sum::<i64>();
+            assert_eq!(covered, b.count(), "g = {g}");
+            // Pairwise disjoint (ring strips and interior).
+            let mut parts: Vec<IntBox> = ring.clone();
+            parts.extend(inner);
+            for (a, x) in parts.iter().enumerate() {
+                for y in parts.iter().skip(a + 1) {
+                    assert!(x.intersect(y).is_none(), "g = {g}: {x:?} overlaps {y:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thin_box_ring_swallows_everything() {
+        let b = IntBox::sized(4, 2); // ny = 2 ≤ 2g for g = 1
+        assert_eq!(b.interior_shrink(1), None);
+        assert_eq!(b.halo_ring(1), vec![b]);
+        assert_eq!(b.interior_shrink(0), Some(b));
+        assert!(b.halo_ring(0).is_empty());
     }
 
     #[test]

@@ -128,6 +128,26 @@ impl PatchData {
         }
     }
 
+    /// Pack `region` of a *single* variable into `out` (row-major),
+    /// `region.count()` elements. The uncoalesced halo path sends one
+    /// such buffer per variable; the coalesced path uses
+    /// [`PatchData::pack_into`] to ship all variables in one message.
+    pub fn pack_var_into(&self, var: usize, region: &IntBox, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), region.count() as usize);
+        for (k, (i, j)) in region.cells().enumerate() {
+            out[k] = self.get(var, i, j);
+        }
+    }
+
+    /// Unpack a single-variable buffer produced by
+    /// [`PatchData::pack_var_into`] over the same region shape.
+    pub fn unpack_var(&mut self, var: usize, region: &IntBox, buf: &[f64]) {
+        debug_assert_eq!(buf.len(), region.count() as usize);
+        for (k, (i, j)) in region.cells().enumerate() {
+            self.set(var, i, j, buf[k]);
+        }
+    }
+
     /// Unpack a buffer produced by [`PatchData::pack`] over the same
     /// (translated) region shape.
     pub fn unpack(&mut self, region: &IntBox, buf: &[f64]) {

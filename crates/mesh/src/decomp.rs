@@ -18,6 +18,19 @@ pub struct UniformDecomp {
     pub py: usize,
 }
 
+/// One neighbour's share of a single-pass halo exchange: the interior
+/// strip this rank sends and the ghost strip it receives back, both in
+/// global index space. Produced by [`UniformDecomp::halo_links`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HaloLink {
+    /// The neighbouring rank on the other end of the link.
+    pub nbr: usize,
+    /// Interior cells of this rank that the neighbour needs as ghosts.
+    pub send: IntBox,
+    /// Ghost cells of this rank filled by the neighbour's matching send.
+    pub recv: IntBox,
+}
+
 impl UniformDecomp {
     /// Choose a near-square process grid for `nranks` (minimizes the
     /// surface-to-volume communication the paper's Fig. 9 knee comes
@@ -83,6 +96,54 @@ impl UniformDecomp {
             at(gx as isize, gy as isize - 1),
             at(gx as isize, gy as isize + 1),
         ]
+    }
+
+    /// The single-pass halo links of `rank`: for each existing neighbour,
+    /// the interior strip to send and the ghost strip to receive, in the
+    /// fixed order `[x-lo, x-hi, y-lo, y-hi]` (absent sides skipped).
+    ///
+    /// Unlike [`UniformDecomp::exchange_ghosts`]'s two-pass protocol the
+    /// strips here are *cornerless*: y strips span only the interior
+    /// width, so all four messages are independent and can be posted
+    /// concurrently (irecv/isend) with no inter-pass ordering. Corner
+    /// ghost cells are **not** filled — valid for stencils that never
+    /// read diagonal neighbours, such as the 5-point Laplacian of the
+    /// reaction–diffusion kernel.
+    ///
+    /// In a grid decomposition two ranks adjoin along exactly one axis,
+    /// so each neighbouring rank appears in at most one link: packing a
+    /// link's variables into one buffer yields exactly one message per
+    /// (rank pair, exchange).
+    pub fn halo_links(&self, rank: usize, g: i64) -> Vec<HaloLink> {
+        debug_assert!(g > 0);
+        let me = self.tile(rank);
+        let [xlo, xhi, ylo, yhi] = self.neighbors(rank);
+        let sides = [
+            (
+                xlo,
+                IntBox::new([me.lo[0], me.lo[1]], [me.lo[0] + g - 1, me.hi[1]]),
+                IntBox::new([me.lo[0] - g, me.lo[1]], [me.lo[0] - 1, me.hi[1]]),
+            ),
+            (
+                xhi,
+                IntBox::new([me.hi[0] - g + 1, me.lo[1]], [me.hi[0], me.hi[1]]),
+                IntBox::new([me.hi[0] + 1, me.lo[1]], [me.hi[0] + g, me.hi[1]]),
+            ),
+            (
+                ylo,
+                IntBox::new([me.lo[0], me.lo[1]], [me.hi[0], me.lo[1] + g - 1]),
+                IntBox::new([me.lo[0], me.lo[1] - g], [me.hi[0], me.lo[1] - 1]),
+            ),
+            (
+                yhi,
+                IntBox::new([me.lo[0], me.hi[1] - g + 1], [me.hi[0], me.hi[1]]),
+                IntBox::new([me.lo[0], me.hi[1] + 1], [me.hi[0], me.hi[1] + g]),
+            ),
+        ];
+        sides
+            .into_iter()
+            .filter_map(|(nbr, send, recv)| nbr.map(|nbr| HaloLink { nbr, send, recv }))
+            .collect()
     }
 
     /// Exchange ghost strips of `pd` (whose interior must be this rank's
@@ -206,6 +267,37 @@ mod tests {
             }
             if let Some(n) = yhi {
                 assert_eq!(d.neighbors(n)[2], Some(r));
+            }
+        }
+    }
+
+    /// Each rank's send strip is exactly the matching recv strip of the
+    /// neighbour's mirror link, and every neighbouring rank appears in at
+    /// most one link (the structural basis for one coalesced message per
+    /// rank pair).
+    #[test]
+    fn halo_links_are_mutual_and_unique_per_pair() {
+        for nranks in [2usize, 4, 6, 12] {
+            let d = UniformDecomp::new(IntBox::sized(40, 33), nranks);
+            for r in 0..nranks {
+                let links = d.halo_links(r, 2);
+                let nbrs: Vec<usize> = links.iter().map(|l| l.nbr).collect();
+                let mut dedup = nbrs.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                assert_eq!(nbrs.len(), dedup.len(), "duplicate neighbour for {r}");
+                for l in &links {
+                    let back = d
+                        .halo_links(l.nbr, 2)
+                        .into_iter()
+                        .find(|b| b.nbr == r)
+                        .expect("links are mutual");
+                    assert_eq!(l.send, back.recv);
+                    assert_eq!(l.recv, back.send);
+                    // Send strips live in my tile, recv strips in theirs.
+                    assert!(d.tile(r).contains_box(&l.send));
+                    assert!(d.tile(l.nbr).contains_box(&l.recv));
+                }
             }
         }
     }

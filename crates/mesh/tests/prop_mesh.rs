@@ -50,6 +50,42 @@ proptest! {
         }
     }
 
+    /// The split-sweep geometry: for any box grown by `nghost`,
+    /// `interior_shrink` ∪ `halo_ring` strips exactly tile the grown box —
+    /// every cell covered once, strips pairwise disjoint, all inside the
+    /// box. This is the correctness bedrock of computing the interior
+    /// while halo messages are in flight and the ring after `waitall`.
+    #[test]
+    fn interior_plus_halo_ring_tile_the_grown_box(
+        lo_x in -40i64..40, lo_y in -40i64..40,
+        nx in 1i64..25, ny in 1i64..25,
+        nghost in 1i64..4,
+    ) {
+        let base = IntBox::new([lo_x, lo_y], [lo_x + nx - 1, lo_y + ny - 1]);
+        let grown = base.grow(nghost);
+        let mut parts: Vec<IntBox> = grown.halo_ring(nghost);
+        parts.extend(grown.interior_shrink(nghost));
+        // Pairwise disjoint ...
+        for (a, x) in parts.iter().enumerate() {
+            for y in parts.iter().skip(a + 1) {
+                prop_assert!(x.intersect(y).is_none(), "{:?} overlaps {:?}", x, y);
+            }
+        }
+        // ... contained ...
+        for s in &parts {
+            prop_assert!(grown.contains_box(s), "{:?} leaks out of {:?}", s, grown);
+        }
+        // ... and covering: disjoint + equal area ⇒ exact tiling.
+        let covered: i64 = parts.iter().map(|s| s.count()).sum();
+        prop_assert_eq!(covered, grown.count());
+        // Spot-check membership (cheap belt-and-braces on top of the
+        // area argument).
+        for (i, j) in grown.cells().step_by(7) {
+            let n = parts.iter().filter(|s| s.contains(i, j)).count();
+            prop_assert_eq!(n, 1, "cell ({}, {}) in {} strips", i, j, n);
+        }
+    }
+
     /// Regridding from arbitrary flags always yields a properly nested,
     /// disjoint fine level that covers every in-domain flag.
     #[test]

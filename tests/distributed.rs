@@ -85,6 +85,122 @@ fn larger_problems_scale_better() {
 }
 
 #[test]
+fn overlapped_exchange_is_bit_identical_to_blocking() {
+    // The tentpole invariant: overlap changes the schedule (interior
+    // sweep while halo messages are in flight), never the bits. Checked
+    // against the blocking two-pass protocol at awkward rank counts
+    // (primes, non-squares) and in both coalescing modes.
+    let base = ScalingConfig {
+        n: 30,
+        per_rank: false,
+        steps: 2,
+        ..ScalingConfig::default()
+    };
+    for p in [1usize, 2, 3, 5, 6] {
+        let blocking = run_scaling(&ScalingConfig { ranks: p, ..base }, ClusterModel::cplant());
+        for coalesce in [true, false] {
+            let overlapped = run_scaling(
+                &ScalingConfig {
+                    ranks: p,
+                    overlap: true,
+                    coalesce,
+                    ..base
+                },
+                ClusterModel::cplant(),
+            );
+            assert_eq!(
+                blocking.checksum.to_bits(),
+                overlapped.checksum.to_bits(),
+                "P={p}, coalesce={coalesce}: {} vs {}",
+                blocking.checksum,
+                overlapped.checksum
+            );
+        }
+    }
+}
+
+#[test]
+fn overlap_improves_efficiency_at_the_strong_scaling_knee() {
+    // Fig. 9's knee (small tiles, fixed global problem): hiding the halo
+    // latency behind the interior sweep must strictly improve the
+    // modeled runtime, even with compute-heavy default work.
+    let model = ClusterModel::cplant();
+    let base = ScalingConfig {
+        n: 64,
+        per_rank: false,
+        ranks: 16,
+        ..ScalingConfig::default()
+    };
+    let blocking = run_scaling(&base, model).modeled_time;
+    let overlapped = run_scaling(
+        &ScalingConfig {
+            overlap: true,
+            ..base
+        },
+        model,
+    )
+    .modeled_time;
+    assert!(
+        overlapped < blocking,
+        "overlap did not pay at the knee: {overlapped} vs {blocking}"
+    );
+
+    // With communication-bound work (the acceptance-criteria probe) the
+    // improvement must clear 10%.
+    let probe = ScalingConfig {
+        work_per_cell_var: 2.0e-4,
+        ..base
+    };
+    let blocking = run_scaling(&probe, model).modeled_time;
+    let overlapped = run_scaling(
+        &ScalingConfig {
+            overlap: true,
+            ..probe
+        },
+        model,
+    )
+    .modeled_time;
+    let improvement = (blocking - overlapped) / blocking;
+    assert!(
+        improvement >= 0.10,
+        "knee improvement {improvement:.3} below the 10% floor \
+         ({blocking} vs {overlapped})"
+    );
+}
+
+#[test]
+fn coalescing_sends_exactly_one_message_per_rank_pair_per_stage() {
+    // Structural contract: on a 2 x 2 rank grid there are 8 directed
+    // neighbour links, so each of the steps x stages exchanges moves
+    // exactly 8 coalesced messages — and the per-variable comparator
+    // moves exactly 9 x as many (NVARS = 9), same payload bytes.
+    let base = ScalingConfig {
+        n: 32,
+        per_rank: false,
+        ranks: 4,
+        steps: 3,
+        overlap: true,
+        ..ScalingConfig::default()
+    };
+    let exchanges = (base.steps * base.stages_per_step) as u64;
+    let coalesced = run_scaling(&base, ClusterModel::zero());
+    assert_eq!(coalesced.halo_messages, 8 * exchanges);
+    let naive = run_scaling(
+        &ScalingConfig {
+            coalesce: false,
+            ..base
+        },
+        ClusterModel::zero(),
+    );
+    assert_eq!(naive.halo_messages, 9 * coalesced.halo_messages);
+    assert_eq!(naive.halo_bytes, coalesced.halo_bytes);
+    // The saved-message counter accounts for every fold: 8 saved per
+    // coalesced message, none on the per-variable path.
+    assert_eq!(coalesced.messages_coalesced, 8 * coalesced.halo_messages);
+    assert_eq!(naive.messages_coalesced, 0);
+}
+
+#[test]
 fn weak_scaling_message_volume_grows_linearly() {
     // Each added rank adds a bounded number of neighbour exchanges: total
     // traffic grows ~linearly with P, per-rank traffic stays bounded.
