@@ -24,8 +24,14 @@ cargo build --examples
 echo "== cargo test"
 cargo test -q
 
+echo "== determinism lint (no hash-ordered iteration in hot paths)"
+./scripts/lint_determinism.sh
+
 echo "== assembly lint (cca-analyze over the three app scripts)"
 cargo run -q --example cca_lint -- --apps
+
+echo "== comm-plan lint (static schedule verification, all shipped configs)"
+cargo run -q --example cca_lint -- --comm
 
 echo "== serve smoke (demo request stream through the job server)"
 cargo run -q --example cca_serve -- --demo > /dev/null

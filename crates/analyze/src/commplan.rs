@@ -1,0 +1,1246 @@
+//! Comm-plan IR and static verification of distributed communication
+//! schedules — the analyzer's second domain, alongside rc-scripts.
+//!
+//! PR 5's nonblocking/coalesced halo exchange made message schedules a
+//! contract surface that, until now, was validated only by running it.
+//! This module makes the schedule *data*: a [`CommPlan`] is a per-rank
+//! sequence of typed ops (`Isend`/`Irecv`/`Wait`/`Waitall`/`Send`/`Recv`/
+//! `Reduce`/`Barrier`), each carrying `(peer, tag, bytes, epoch)`. The
+//! schedule generator in `cca-apps` emits a plan, the execution loop
+//! interprets it, and [`CommPlan::verify`] proves it safe *before* any
+//! rank runs — the admission gate irregular SAMR schedules will need.
+//!
+//! # Checker passes
+//!
+//! Passes run in order and stop at the first layer that finds an error,
+//! so one seeded fault yields one crisp diagnostic instead of a cascade:
+//!
+//! 1. **Validity** (`C009`): peers in range, no self-messaging.
+//! 2. **Collective consistency** (`C006`): every rank issues the same
+//!    reduce/barrier sequence, compared against rank 0.
+//! 3. **Point-to-point matching** (`C001`–`C003`): for every
+//!    `(src→dst, tag, epoch)` channel, send and receive counts balance,
+//!    FIFO-paired payload sizes agree, and size-heterogeneous channels
+//!    draw a fragile-FIFO warning.
+//! 4. **Request discipline** (`C007`, `C008`): a request posted in epoch
+//!    `e` completes before any later-epoch op; every wait has a request.
+//! 5. **Deadlock freedom** (`C004`, `C005`): an abstract interpretation
+//!    executes the plan (sends buffer, receives and collectives block);
+//!    if it quiesces early, the wait-for graph is searched for a cycle.
+//!
+//! `line` in every diagnostic is the 1-based op index *within the named
+//! rank's sequence* — plans have no source file, so the op index is the
+//! location.
+//!
+//! # Conformance auditing
+//!
+//! [`CommPlan::audit`] checks that a recorded [`CommTrace`] refines the
+//! plan (`C010`–`C012`): what was proved is what ran. `cca-comm` records
+//! traces without touching virtual clocks, so the auditor is a free
+//! sanitizer in distributed tests.
+
+use crate::diag::{Diagnostic, Report};
+use cca_comm::trace::{CommTrace, TraceOp};
+use std::collections::BTreeMap;
+
+/// Rank index within a plan.
+pub type Rank = usize;
+
+/// One typed communication operation of the comm-plan IR.
+///
+/// `peer`/`tag`/`bytes` mirror the [`cca_comm::Communicator`] call the op
+/// models; `Waitall` completes every receive request the rank has
+/// outstanding, in posting order, exactly like `Communicator::waitall`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Nonblocking send of `bytes` to `peer` under `tag`.
+    Isend {
+        /// Destination rank.
+        peer: Rank,
+        /// Message tag.
+        tag: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Nonblocking receive posted for `bytes` from `peer` under `tag`.
+    Irecv {
+        /// Source rank.
+        peer: Rank,
+        /// Message tag.
+        tag: u64,
+        /// Expected payload bytes.
+        bytes: u64,
+    },
+    /// Complete the oldest outstanding receive request from `peer`/`tag`.
+    Wait {
+        /// Source rank of the awaited request.
+        peer: Rank,
+        /// Tag of the awaited request.
+        tag: u64,
+    },
+    /// Complete every outstanding receive request, in posting order.
+    Waitall,
+    /// Blocking (buffered) send of `bytes` to `peer` under `tag`.
+    Send {
+        /// Destination rank.
+        peer: Rank,
+        /// Message tag.
+        tag: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Blocking receive of `bytes` from `peer` under `tag`.
+    Recv {
+        /// Source rank.
+        peer: Rank,
+        /// Message tag.
+        tag: u64,
+        /// Expected payload bytes.
+        bytes: u64,
+    },
+    /// A reduction collective (reduce / allreduce) contributing `bytes`.
+    Reduce {
+        /// Bytes contributed by this rank.
+        bytes: u64,
+    },
+    /// A barrier collective.
+    Barrier,
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpKind::Isend { peer, tag, bytes } => {
+                write!(f, "isend(peer {peer}, tag {tag}, {bytes} B)")
+            }
+            OpKind::Irecv { peer, tag, bytes } => {
+                write!(f, "irecv(peer {peer}, tag {tag}, {bytes} B)")
+            }
+            OpKind::Wait { peer, tag } => write!(f, "wait(peer {peer}, tag {tag})"),
+            OpKind::Waitall => write!(f, "waitall"),
+            OpKind::Send { peer, tag, bytes } => {
+                write!(f, "send(peer {peer}, tag {tag}, {bytes} B)")
+            }
+            OpKind::Recv { peer, tag, bytes } => {
+                write!(f, "recv(peer {peer}, tag {tag}, {bytes} B)")
+            }
+            OpKind::Reduce { bytes } => write!(f, "reduce({bytes} B)"),
+            OpKind::Barrier => write!(f, "barrier"),
+        }
+    }
+}
+
+/// One op of one rank's schedule, stamped with its epoch.
+///
+/// Epochs partition the schedule into phases every rank computes
+/// identically (one per exchange stage, one per collective): matching is
+/// per-epoch, and a request posted in epoch `e` must complete before any
+/// op of a later epoch runs (`C007`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanOp {
+    /// Schedule phase this op belongs to.
+    pub epoch: u32,
+    /// The operation itself.
+    pub kind: OpKind,
+}
+
+impl PlanOp {
+    /// Convenience constructor.
+    pub fn new(epoch: u32, kind: OpKind) -> Self {
+        PlanOp { epoch, kind }
+    }
+}
+
+/// A complete distributed communication schedule: one op sequence per
+/// rank, in program order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommPlan {
+    /// Per-rank schedules; `ranks[r]` is rank `r`'s program.
+    pub ranks: Vec<Vec<PlanOp>>,
+}
+
+/// Collective signature used by the consistency pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CollSig {
+    Reduce(u64),
+    Barrier,
+}
+
+impl std::fmt::Display for CollSig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollSig::Reduce(b) => write!(f, "reduce({b} B)"),
+            CollSig::Barrier => write!(f, "barrier"),
+        }
+    }
+}
+
+impl CommPlan {
+    /// Number of ranks in the plan.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total op count across all ranks.
+    pub fn nops(&self) -> usize {
+        self.ranks.iter().map(Vec::len).sum()
+    }
+
+    /// Stable one-op-per-line text form, for hashing (job keys) and
+    /// debugging. Identical plans render identically.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        for (r, ops) in self.ranks.iter().enumerate() {
+            for (i, op) in ops.iter().enumerate() {
+                out.push_str(&format!(
+                    "rank {r} op {}: e{} {}\n",
+                    i + 1,
+                    op.epoch,
+                    op.kind
+                ));
+            }
+        }
+        out
+    }
+
+    /// Run the full static checker and return every finding.
+    ///
+    /// Passes are layered (see the module docs): a validity error
+    /// suppresses the matching passes, a matching error suppresses the
+    /// deadlock search, and so on — so a single schedule fault surfaces
+    /// as a single diagnostic naming the rank, op index, peer, and tag.
+    pub fn verify(&self) -> Report {
+        let mut diags = self.check_validity();
+        if diags.iter().any(|d| d.severity == crate::Severity::Error) {
+            return Report::new(diags);
+        }
+        diags.extend(self.check_collectives());
+        if diags.iter().any(|d| d.severity == crate::Severity::Error) {
+            return Report::new(diags);
+        }
+        diags.extend(self.check_matching());
+        if diags.iter().any(|d| d.severity == crate::Severity::Error) {
+            return Report::new(diags);
+        }
+        diags.extend(self.check_requests());
+        if diags.iter().any(|d| d.severity == crate::Severity::Error) {
+            return Report::new(diags);
+        }
+        diags.extend(self.check_deadlock());
+        Report::new(diags)
+    }
+
+    /// Pass 1 — `C009`: structural validity of every op.
+    fn check_validity(&self) -> Vec<Diagnostic> {
+        let n = self.nranks();
+        let mut diags = Vec::new();
+        for (r, ops) in self.ranks.iter().enumerate() {
+            for (i, op) in ops.iter().enumerate() {
+                let peer = match op.kind {
+                    OpKind::Isend { peer, .. }
+                    | OpKind::Irecv { peer, .. }
+                    | OpKind::Wait { peer, .. }
+                    | OpKind::Send { peer, .. }
+                    | OpKind::Recv { peer, .. } => Some(peer),
+                    OpKind::Waitall | OpKind::Reduce { .. } | OpKind::Barrier => None,
+                };
+                if let Some(p) = peer {
+                    if p >= n {
+                        diags.push(Diagnostic::error(
+                            "C009",
+                            i + 1,
+                            format!(
+                                "rank {r}: {} names peer {p}, but the plan has {n} rank{}",
+                                op.kind,
+                                if n == 1 { "" } else { "s" }
+                            ),
+                        ));
+                    } else if p == r {
+                        diags.push(Diagnostic::error(
+                            "C009",
+                            i + 1,
+                            format!("rank {r}: {} is a self-message", op.kind),
+                        ));
+                    }
+                }
+            }
+        }
+        diags
+    }
+
+    /// Pass 2 — `C006`: every rank's collective subsequence must equal
+    /// rank 0's, op for op.
+    fn check_collectives(&self) -> Vec<Diagnostic> {
+        let seqs: Vec<Vec<(usize, CollSig)>> = self
+            .ranks
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .enumerate()
+                    .filter_map(|(i, op)| match op.kind {
+                        OpKind::Reduce { bytes } => Some((i + 1, CollSig::Reduce(bytes))),
+                        OpKind::Barrier => Some((i + 1, CollSig::Barrier)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut diags = Vec::new();
+        let Some(reference) = seqs.first() else {
+            return diags;
+        };
+        for (r, seq) in seqs.iter().enumerate().skip(1) {
+            for (k, ((line, sig), (_, ref_sig))) in seq.iter().zip(reference).enumerate() {
+                if sig != ref_sig {
+                    diags.push(
+                        Diagnostic::error(
+                            "C006",
+                            *line,
+                            format!(
+                                "rank {r}: collective #{} is {sig}, but rank 0 issues {ref_sig}",
+                                k + 1
+                            ),
+                        )
+                        .with_note(
+                            "all ranks must issue reduces and barriers in the same order"
+                                .to_string(),
+                        ),
+                    );
+                    break; // one divergence per rank: the rest cascades
+                }
+            }
+            if seq.len() != reference.len()
+                && diags
+                    .iter()
+                    .all(|d| !d.message.contains(&format!("rank {r}:")))
+            {
+                let line = seq
+                    .get(reference.len())
+                    .map(|(l, _)| *l)
+                    .unwrap_or_else(|| self.ranks[r].len().max(1));
+                diags.push(Diagnostic::error(
+                    "C006",
+                    line,
+                    format!(
+                        "rank {r} issues {} collective{}, but rank 0 issues {}",
+                        seq.len(),
+                        if seq.len() == 1 { "" } else { "s" },
+                        reference.len()
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+
+    /// Pass 3 — `C001`/`C002`/`C003`: per-channel send/receive matching.
+    ///
+    /// A channel is `(src → dst, tag, epoch)`. Counts must balance
+    /// (`C001`), FIFO-paired payload sizes must agree (`C002`), and a
+    /// channel carrying differently-sized messages draws a warning
+    /// (`C003`) because correctness then leans on FIFO delivery alone.
+    fn check_matching(&self) -> Vec<Diagnostic> {
+        // channel -> (sends: (op line, bytes), recvs: (op line, bytes))
+        type Channel = (Rank, Rank, u64, u32);
+        type Endpoints = (Vec<(usize, u64)>, Vec<(usize, u64)>);
+        let mut chans: BTreeMap<Channel, Endpoints> = BTreeMap::new();
+        for (r, ops) in self.ranks.iter().enumerate() {
+            for (i, op) in ops.iter().enumerate() {
+                match op.kind {
+                    OpKind::Isend { peer, tag, bytes } | OpKind::Send { peer, tag, bytes } => {
+                        chans
+                            .entry((r, peer, tag, op.epoch))
+                            .or_default()
+                            .0
+                            .push((i + 1, bytes));
+                    }
+                    OpKind::Irecv { peer, tag, bytes } | OpKind::Recv { peer, tag, bytes } => {
+                        chans
+                            .entry((peer, r, tag, op.epoch))
+                            .or_default()
+                            .1
+                            .push((i + 1, bytes));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut diags = Vec::new();
+        for ((src, dst, tag, epoch), (sends, recvs)) in &chans {
+            if sends.len() != recvs.len() {
+                // Attribute to the first surplus op on the surplus side.
+                let (line, msg) = if sends.len() > recvs.len() {
+                    (
+                        sends[recvs.len()].0,
+                        format!(
+                            "rank {src}: {} send{} to rank {dst} with tag {tag} in epoch \
+                             {epoch}, but rank {dst} posts {} receive{}",
+                            sends.len(),
+                            if sends.len() == 1 { "" } else { "s" },
+                            recvs.len(),
+                            if recvs.len() == 1 { "" } else { "s" },
+                        ),
+                    )
+                } else {
+                    (
+                        recvs[sends.len()].0,
+                        format!(
+                            "rank {dst}: {} receive{} from rank {src} with tag {tag} in epoch \
+                             {epoch}, but rank {src} posts {} send{}",
+                            recvs.len(),
+                            if recvs.len() == 1 { "" } else { "s" },
+                            sends.len(),
+                            if sends.len() == 1 { "" } else { "s" },
+                        ),
+                    )
+                };
+                diags.push(Diagnostic::error("C001", line, msg).with_note(format!(
+                    "every (src -> dst, tag, epoch) channel must balance; \
+                     this one has {} send(s) and {} receive(s)",
+                    sends.len(),
+                    recvs.len()
+                )));
+                continue;
+            }
+            let mut paired_ok = true;
+            for (k, ((s_line, s_bytes), (r_line, r_bytes))) in sends.iter().zip(recvs).enumerate() {
+                if s_bytes != r_bytes {
+                    paired_ok = false;
+                    diags.push(
+                        Diagnostic::error(
+                            "C002",
+                            *r_line,
+                            format!(
+                                "rank {dst}: receive #{} from rank {src} (tag {tag}, epoch \
+                                 {epoch}) expects {r_bytes} B, but the matching send at rank \
+                                 {src} op {s_line} carries {s_bytes} B",
+                                k + 1
+                            ),
+                        )
+                        .with_note(
+                            "messages on one channel pair up FIFO: the k-th send \
+                             completes the k-th receive"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            if paired_ok && sends.len() > 1 {
+                let first = sends[0].1;
+                if sends.iter().any(|(_, b)| *b != first) {
+                    diags.push(
+                        Diagnostic::warning(
+                            "C003",
+                            sends[0].0,
+                            format!(
+                                "rank {src}: channel to rank {dst} (tag {tag}, epoch {epoch}) \
+                                 carries {} differently-sized messages",
+                                sends.len()
+                            ),
+                        )
+                        .with_note(
+                            "size-heterogeneous same-tag traffic is correct only under \
+                             FIFO delivery; give each size its own tag"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+        diags
+    }
+
+    /// Pass 4 — `C007`/`C008`: receive-request discipline.
+    ///
+    /// Epoch rule: a request posted in epoch `e` must be completed (by a
+    /// `Wait` or `Waitall`) before the rank executes any op of a later
+    /// epoch, and before the plan ends. This catches a skipped `Waitall`
+    /// even when a later one would silently absorb the leak at runtime.
+    fn check_requests(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for (r, ops) in self.ranks.iter().enumerate() {
+            // Outstanding irecvs: (op line, epoch, peer, tag).
+            let mut outstanding: Vec<(usize, u32, Rank, u64)> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                let stale: Vec<_> = outstanding
+                    .iter()
+                    .filter(|(_, e, _, _)| *e < op.epoch)
+                    .copied()
+                    .collect();
+                for (line, e, peer, tag) in stale {
+                    diags.push(
+                        Diagnostic::error(
+                            "C007",
+                            line,
+                            format!(
+                                "rank {r}: receive request (peer {peer}, tag {tag}) posted in \
+                                 epoch {e} is still pending when epoch {} begins at op {}",
+                                op.epoch,
+                                i + 1
+                            ),
+                        )
+                        .with_note(
+                            "requests must be completed by a wait or waitall before \
+                             the schedule advances to a later epoch"
+                                .to_string(),
+                        ),
+                    );
+                }
+                outstanding.retain(|(_, e, _, _)| *e >= op.epoch);
+                match op.kind {
+                    OpKind::Irecv { peer, tag, .. } => {
+                        outstanding.push((i + 1, op.epoch, peer, tag));
+                    }
+                    OpKind::Wait { peer, tag } => {
+                        if let Some(pos) = outstanding
+                            .iter()
+                            .position(|(_, _, p, t)| *p == peer && *t == tag)
+                        {
+                            outstanding.remove(pos);
+                        } else {
+                            diags.push(Diagnostic::error(
+                                "C008",
+                                i + 1,
+                                format!(
+                                    "rank {r}: wait(peer {peer}, tag {tag}) has no matching \
+                                     outstanding receive request"
+                                ),
+                            ));
+                        }
+                    }
+                    OpKind::Waitall => outstanding.clear(),
+                    _ => {}
+                }
+            }
+            for (line, e, peer, tag) in outstanding {
+                diags.push(Diagnostic::error(
+                    "C007",
+                    line,
+                    format!(
+                        "rank {r}: receive request (peer {peer}, tag {tag}) posted in epoch \
+                         {e} is never completed before the plan ends"
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+
+    /// Pass 5 — `C004`/`C005`: deadlock freedom by abstract execution.
+    ///
+    /// Sends buffer (the router's model: posting never blocks); receives,
+    /// waits and collectives block. The interpreter advances ranks until
+    /// quiescence; early quiescence means some rank is stuck, and the
+    /// wait-for graph is searched for a cycle (`C004`). A stall with no
+    /// cycle — only reachable if an earlier pass missed something — is
+    /// reported defensively as `C005`.
+    fn check_deadlock(&self) -> Vec<Diagnostic> {
+        let n = self.nranks();
+        let mut pc = vec![0usize; n];
+        // Delivered-but-unconsumed messages per (src, dst, tag).
+        let mut mail: BTreeMap<(Rank, Rank, u64), u64> = BTreeMap::new();
+        // Outstanding irecvs per rank: (peer, tag), posting order.
+        let mut outstanding: Vec<Vec<(Rank, u64)>> = vec![Vec::new(); n];
+
+        let avail = |mail: &BTreeMap<(Rank, Rank, u64), u64>, key: &(Rank, Rank, u64)| {
+            mail.get(key).copied().unwrap_or(0)
+        };
+        let waitall_ready =
+            |mail: &BTreeMap<(Rank, Rank, u64), u64>, me: Rank, reqs: &[(Rank, u64)]| {
+                let mut need: BTreeMap<(Rank, Rank, u64), u64> = BTreeMap::new();
+                for (peer, tag) in reqs {
+                    *need.entry((*peer, me, *tag)).or_default() += 1;
+                }
+                need.iter().all(|(k, cnt)| avail(mail, k) >= *cnt)
+            };
+
+        loop {
+            let mut progressed = false;
+            for r in 0..n {
+                while pc[r] < self.ranks[r].len() {
+                    let op = &self.ranks[r][pc[r]];
+                    match op.kind {
+                        OpKind::Isend { peer, tag, .. } | OpKind::Send { peer, tag, .. } => {
+                            *mail.entry((r, peer, tag)).or_default() += 1;
+                        }
+                        OpKind::Irecv { peer, tag, .. } => outstanding[r].push((peer, tag)),
+                        OpKind::Recv { peer, tag, .. } => {
+                            if avail(&mail, &(peer, r, tag)) == 0 {
+                                break;
+                            }
+                            *mail.get_mut(&(peer, r, tag)).expect("avail > 0") -= 1;
+                        }
+                        OpKind::Wait { peer, tag } => {
+                            if avail(&mail, &(peer, r, tag)) == 0 {
+                                break;
+                            }
+                            *mail.get_mut(&(peer, r, tag)).expect("avail > 0") -= 1;
+                            let pos = outstanding[r]
+                                .iter()
+                                .position(|(p, t)| *p == peer && *t == tag)
+                                .expect("pass 4 guarantees a matching request");
+                            outstanding[r].remove(pos);
+                        }
+                        OpKind::Waitall => {
+                            if !waitall_ready(&mail, r, &outstanding[r]) {
+                                break;
+                            }
+                            for (peer, tag) in outstanding[r].drain(..) {
+                                *mail.get_mut(&(peer, r, tag)).expect("waitall_ready") -= 1;
+                            }
+                        }
+                        OpKind::Reduce { .. } | OpKind::Barrier => break,
+                    }
+                    pc[r] += 1;
+                    progressed = true;
+                }
+            }
+            // Collectives fire only when every rank has arrived at one
+            // (pass 2 guarantees the sequences agree, so "arrived" means
+            // the next op is any collective).
+            let all_at_collective = (0..n).all(|r| {
+                matches!(
+                    self.ranks[r].get(pc[r]).map(|o| o.kind),
+                    Some(OpKind::Reduce { .. }) | Some(OpKind::Barrier)
+                )
+            });
+            if all_at_collective {
+                for p in pc.iter_mut() {
+                    *p += 1;
+                }
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        if (0..n).all(|r| pc[r] == self.ranks[r].len()) {
+            return Vec::new();
+        }
+
+        // Early quiescence: build the wait-for graph over stuck ranks.
+        let mut edges: Vec<Vec<Rank>> = vec![Vec::new(); n];
+        for r in 0..n {
+            let Some(op) = self.ranks[r].get(pc[r]) else {
+                continue;
+            };
+            match op.kind {
+                OpKind::Recv { peer, tag, .. } | OpKind::Wait { peer, tag }
+                    if avail(&mail, &(peer, r, tag)) == 0 =>
+                {
+                    edges[r].push(peer);
+                }
+                OpKind::Waitall => {
+                    let mut need: BTreeMap<(Rank, u64), u64> = BTreeMap::new();
+                    for (peer, tag) in &outstanding[r] {
+                        *need.entry((*peer, *tag)).or_default() += 1;
+                    }
+                    for ((peer, tag), cnt) in need {
+                        if avail(&mail, &(peer, r, tag)) < cnt {
+                            edges[r].push(peer);
+                        }
+                    }
+                }
+                OpKind::Reduce { .. } | OpKind::Barrier => {
+                    for (p, &ppc) in pc.iter().enumerate() {
+                        let arrived = matches!(
+                            self.ranks[p].get(ppc).map(|o| o.kind),
+                            Some(OpKind::Reduce { .. }) | Some(OpKind::Barrier)
+                        );
+                        if p != r && !arrived {
+                            edges[r].push(p);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut diags = Vec::new();
+        if let Some(cycle) = find_cycle(&edges) {
+            let path = cycle
+                .iter()
+                .map(|r| {
+                    format!(
+                        "rank {r} (op {}: {})",
+                        pc[*r] + 1,
+                        self.ranks[*r][pc[*r]].kind
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            let head = cycle[0];
+            diags.push(
+                Diagnostic::error(
+                    "C004",
+                    pc[head] + 1,
+                    format!(
+                        "deadlock: rank {head} blocks at op {} ({}) inside a wait-for cycle",
+                        pc[head] + 1,
+                        self.ranks[head][pc[head]].kind
+                    ),
+                )
+                .with_note(format!("cycle: {path} -> rank {head}")),
+            );
+        } else {
+            for (r, &rpc) in pc.iter().enumerate() {
+                if rpc < self.ranks[r].len() {
+                    diags.push(Diagnostic::error(
+                        "C005",
+                        rpc + 1,
+                        format!(
+                            "rank {r} stalls at op {} ({}) with no cycle in the wait-for \
+                             graph: a message it needs is never sent",
+                            rpc + 1,
+                            self.ranks[r][rpc].kind
+                        ),
+                    ));
+                }
+            }
+        }
+        diags
+    }
+
+    /// Conformance audit — `C010`/`C011`/`C012`: does a recorded
+    /// execution trace refine this (already verified) plan?
+    ///
+    /// Per rank, the plan is replayed against the trace: every plan op
+    /// must appear as the next trace event with identical peer, tag and
+    /// bytes (`Waitall` expands to one `Wait` event per outstanding
+    /// request, in posting order). Divergence is `C010`, trace events
+    /// past the end of the plan are `C011`, and a trace that ends with
+    /// plan ops unexecuted is `C012`.
+    pub fn audit(&self, trace: &CommTrace) -> Report {
+        let mut diags = Vec::new();
+        if trace.len() != self.nranks() {
+            return Report::new(vec![Diagnostic::error(
+                "C010",
+                1,
+                format!(
+                    "trace has {} rank{}, plan has {}",
+                    trace.len(),
+                    if trace.len() == 1 { "" } else { "s" },
+                    self.nranks()
+                ),
+            )]);
+        }
+        for (r, (ops, events)) in self.ranks.iter().zip(trace).enumerate() {
+            diags.extend(audit_rank(r, ops, events));
+        }
+        Report::new(diags)
+    }
+}
+
+/// Replay one rank's plan against its trace (see [`CommPlan::audit`]).
+fn audit_rank(r: Rank, ops: &[PlanOp], events: &[TraceOp]) -> Vec<Diagnostic> {
+    // Outstanding planned irecvs, posting order: (peer, tag, bytes).
+    let mut outstanding: Vec<(Rank, u64, u64)> = Vec::new();
+    let mut next = 0usize; // trace cursor
+
+    let mismatch = |line: usize, planned: &OpKind, observed: &TraceOp| {
+        Diagnostic::error(
+            "C010",
+            line,
+            format!("rank {r}: plan op {line} is {planned}, but the trace records {observed}"),
+        )
+        .with_note("the execution diverged from the verified schedule".to_string())
+    };
+    let truncated = |line: usize, planned: String| {
+        Diagnostic::error(
+            "C012",
+            line,
+            format!("rank {r}: trace ends before plan op {line} ({planned}) executed"),
+        )
+    };
+
+    for (i, op) in ops.iter().enumerate() {
+        let line = i + 1;
+        match op.kind {
+            OpKind::Irecv { peer, tag, bytes } => {
+                match events.get(next) {
+                    Some(TraceOp::Irecv { peer: p, tag: t }) if *p == peer && *t == tag => {
+                        outstanding.push((peer, tag, bytes));
+                        next += 1;
+                    }
+                    Some(ev) => return vec![mismatch(line, &op.kind, ev)],
+                    None => return vec![truncated(line, op.kind.to_string())],
+                };
+            }
+            OpKind::Wait { peer, tag } => {
+                let pos = outstanding
+                    .iter()
+                    .position(|(p, t, _)| *p == peer && *t == tag)
+                    .expect("audited plans are verified: wait has a request");
+                let (_, _, bytes) = outstanding.remove(pos);
+                match events.get(next) {
+                    Some(TraceOp::Wait {
+                        peer: p,
+                        tag: t,
+                        bytes: b,
+                    }) if *p == peer && *t == tag && *b == bytes => next += 1,
+                    Some(ev) => return vec![mismatch(line, &op.kind, ev)],
+                    None => return vec![truncated(line, op.kind.to_string())],
+                }
+            }
+            OpKind::Waitall => {
+                for (peer, tag, bytes) in outstanding.drain(..) {
+                    match events.get(next) {
+                        Some(TraceOp::Wait {
+                            peer: p,
+                            tag: t,
+                            bytes: b,
+                        }) if *p == peer && *t == tag && *b == bytes => next += 1,
+                        Some(ev) => {
+                            return vec![Diagnostic::error(
+                                "C010",
+                                line,
+                                format!(
+                                    "rank {r}: plan op {line} (waitall) should complete the \
+                                     request (peer {peer}, tag {tag}, {bytes} B), but the \
+                                     trace records {ev}"
+                                ),
+                            )]
+                        }
+                        None => {
+                            return vec![truncated(
+                                line,
+                                format!("waitall completing peer {peer}, tag {tag}"),
+                            )]
+                        }
+                    }
+                }
+            }
+            OpKind::Isend { peer, tag, bytes } => match events.get(next) {
+                Some(TraceOp::Isend {
+                    peer: p,
+                    tag: t,
+                    bytes: b,
+                }) if *p == peer && *t == tag && *b == bytes => next += 1,
+                Some(ev) => return vec![mismatch(line, &op.kind, ev)],
+                None => return vec![truncated(line, op.kind.to_string())],
+            },
+            OpKind::Send { peer, tag, bytes } => match events.get(next) {
+                Some(TraceOp::Send {
+                    peer: p,
+                    tag: t,
+                    bytes: b,
+                }) if *p == peer && *t == tag && *b == bytes => next += 1,
+                Some(ev) => return vec![mismatch(line, &op.kind, ev)],
+                None => return vec![truncated(line, op.kind.to_string())],
+            },
+            OpKind::Recv { peer, tag, bytes } => match events.get(next) {
+                Some(TraceOp::Recv {
+                    peer: p,
+                    tag: t,
+                    bytes: b,
+                }) if *p == peer && *t == tag && *b == bytes => next += 1,
+                Some(ev) => return vec![mismatch(line, &op.kind, ev)],
+                None => return vec![truncated(line, op.kind.to_string())],
+            },
+            OpKind::Reduce { bytes } => match events.get(next) {
+                Some(TraceOp::Reduce { bytes: b }) if *b == bytes => next += 1,
+                Some(ev) => return vec![mismatch(line, &op.kind, ev)],
+                None => return vec![truncated(line, op.kind.to_string())],
+            },
+            OpKind::Barrier => match events.get(next) {
+                Some(TraceOp::Barrier) => next += 1,
+                Some(ev) => return vec![mismatch(line, &op.kind, ev)],
+                None => return vec![truncated(line, op.kind.to_string())],
+            },
+        }
+    }
+    if next < events.len() {
+        return vec![Diagnostic::error(
+            "C011",
+            ops.len() + 1,
+            format!(
+                "rank {r}: trace records {} event{} beyond the end of the plan, starting \
+                 with {}",
+                events.len() - next,
+                if events.len() - next == 1 { "" } else { "s" },
+                events[next]
+            ),
+        )];
+    }
+    Vec::new()
+}
+
+/// Find any cycle in a small adjacency-list digraph, returned as the node
+/// sequence of the cycle (deterministic: DFS from the smallest rank).
+fn find_cycle(edges: &[Vec<Rank>]) -> Option<Vec<Rank>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = edges.len();
+    let mut mark = vec![Mark::White; n];
+    let mut stack: Vec<Rank> = Vec::new();
+
+    fn dfs(
+        v: Rank,
+        edges: &[Vec<Rank>],
+        mark: &mut [Mark],
+        stack: &mut Vec<Rank>,
+    ) -> Option<Vec<Rank>> {
+        mark[v] = Mark::Grey;
+        stack.push(v);
+        for &w in &edges[v] {
+            match mark[w] {
+                Mark::Grey => {
+                    let start = stack
+                        .iter()
+                        .position(|&x| x == w)
+                        .expect("grey is on stack");
+                    return Some(stack[start..].to_vec());
+                }
+                Mark::White => {
+                    if let Some(c) = dfs(w, edges, mark, stack) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        stack.pop();
+        mark[v] = Mark::Black;
+        None
+    }
+
+    for v in 0..n {
+        if mark[v] == Mark::White {
+            if let Some(c) = dfs(v, edges, &mut mark, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use OpKind::*;
+
+    fn op(epoch: u32, kind: OpKind) -> PlanOp {
+        PlanOp::new(epoch, kind)
+    }
+
+    /// A clean 2-rank overlapped exchange: both post irecvs, isend,
+    /// waitall, then reduce.
+    fn clean_pair() -> CommPlan {
+        CommPlan {
+            ranks: vec![
+                vec![
+                    op(
+                        0,
+                        Irecv {
+                            peer: 1,
+                            tag: 10,
+                            bytes: 64,
+                        },
+                    ),
+                    op(
+                        0,
+                        Isend {
+                            peer: 1,
+                            tag: 10,
+                            bytes: 64,
+                        },
+                    ),
+                    op(0, Waitall),
+                    op(1, Reduce { bytes: 8 }),
+                ],
+                vec![
+                    op(
+                        0,
+                        Irecv {
+                            peer: 0,
+                            tag: 10,
+                            bytes: 64,
+                        },
+                    ),
+                    op(
+                        0,
+                        Isend {
+                            peer: 0,
+                            tag: 10,
+                            bytes: 64,
+                        },
+                    ),
+                    op(0, Waitall),
+                    op(1, Reduce { bytes: 8 }),
+                ],
+            ],
+        }
+    }
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_plan_verifies_clean() {
+        let report = clean_pair().verify();
+        assert!(report.is_clean(), "{}", report.render("plan"));
+    }
+
+    #[test]
+    fn c009_peer_out_of_range_and_self_send() {
+        let plan = CommPlan {
+            ranks: vec![vec![
+                op(
+                    0,
+                    Send {
+                        peer: 5,
+                        tag: 1,
+                        bytes: 8,
+                    },
+                ),
+                op(
+                    0,
+                    Send {
+                        peer: 0,
+                        tag: 1,
+                        bytes: 8,
+                    },
+                ),
+            ]],
+        };
+        let report = plan.verify();
+        assert_eq!(codes(&report), vec!["C009", "C009"]);
+        assert!(report.diagnostics[0].message.contains("peer 5"));
+        assert!(report.diagnostics[1].message.contains("self-message"));
+    }
+
+    #[test]
+    fn c001_dropped_receive_names_channel() {
+        let mut plan = clean_pair();
+        plan.ranks[1].remove(0); // drop rank 1's irecv
+        let report = plan.verify();
+        assert_eq!(codes(&report), vec!["C001"]);
+        let d = &report.diagnostics[0];
+        assert!(d.message.contains("rank 0"), "{}", d.message);
+        assert!(d.message.contains("rank 1"), "{}", d.message);
+        assert!(d.message.contains("tag 10"), "{}", d.message);
+    }
+
+    #[test]
+    fn c002_byte_mismatch_fifo_paired() {
+        let mut plan = clean_pair();
+        plan.ranks[0][1] = op(
+            0,
+            Isend {
+                peer: 1,
+                tag: 10,
+                bytes: 32,
+            },
+        );
+        let report = plan.verify();
+        assert_eq!(codes(&report), vec!["C002"]);
+        assert!(report.diagnostics[0].message.contains("64 B"));
+        assert!(report.diagnostics[0].message.contains("32 B"));
+    }
+
+    #[test]
+    fn c003_warns_on_size_heterogeneous_channel() {
+        let plan = CommPlan {
+            ranks: vec![
+                vec![
+                    op(
+                        0,
+                        Send {
+                            peer: 1,
+                            tag: 3,
+                            bytes: 8,
+                        },
+                    ),
+                    op(
+                        0,
+                        Send {
+                            peer: 1,
+                            tag: 3,
+                            bytes: 16,
+                        },
+                    ),
+                ],
+                vec![
+                    op(
+                        0,
+                        Recv {
+                            peer: 0,
+                            tag: 3,
+                            bytes: 8,
+                        },
+                    ),
+                    op(
+                        0,
+                        Recv {
+                            peer: 0,
+                            tag: 3,
+                            bytes: 16,
+                        },
+                    ),
+                ],
+            ],
+        };
+        let report = plan.verify();
+        assert_eq!(codes(&report), vec!["C003"]);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn c004_head_to_head_blocking_recv_deadlocks() {
+        let plan = CommPlan {
+            ranks: vec![
+                vec![
+                    op(
+                        0,
+                        Recv {
+                            peer: 1,
+                            tag: 1,
+                            bytes: 8,
+                        },
+                    ),
+                    op(
+                        0,
+                        Send {
+                            peer: 1,
+                            tag: 1,
+                            bytes: 8,
+                        },
+                    ),
+                ],
+                vec![
+                    op(
+                        0,
+                        Recv {
+                            peer: 0,
+                            tag: 1,
+                            bytes: 8,
+                        },
+                    ),
+                    op(
+                        0,
+                        Send {
+                            peer: 0,
+                            tag: 1,
+                            bytes: 8,
+                        },
+                    ),
+                ],
+            ],
+        };
+        let report = plan.verify();
+        assert_eq!(codes(&report), vec!["C004"]);
+        let note = report.diagnostics[0].note.as_deref().unwrap();
+        assert!(note.contains("rank 0"), "{note}");
+        assert!(note.contains("rank 1"), "{note}");
+    }
+
+    #[test]
+    fn c006_reordered_collective_names_rank_and_op() {
+        let mut plan = clean_pair();
+        plan.ranks[1][3] = op(1, Barrier);
+        let report = plan.verify();
+        assert_eq!(codes(&report), vec!["C006"]);
+        assert!(report.diagnostics[0].message.contains("rank 1"));
+        assert_eq!(report.diagnostics[0].line, 4);
+    }
+
+    #[test]
+    fn c007_skipped_waitall_caught_by_epoch_discipline() {
+        let mut plan = clean_pair();
+        plan.ranks[0].remove(2); // skip rank 0's waitall
+        let report = plan.verify();
+        assert_eq!(codes(&report), vec!["C007"]);
+        assert!(report.diagnostics[0].message.contains("rank 0"));
+        assert!(report.diagnostics[0].message.contains("tag 10"));
+    }
+
+    #[test]
+    fn c008_wait_without_request() {
+        let plan = CommPlan {
+            ranks: vec![vec![op(0, Wait { peer: 1, tag: 9 })], vec![]],
+        };
+        let report = plan.verify();
+        assert_eq!(codes(&report), vec!["C008"]);
+    }
+
+    #[test]
+    fn canonical_is_stable_and_distinct() {
+        let a = clean_pair().canonical();
+        let b = clean_pair().canonical();
+        assert_eq!(a, b);
+        let mut m = clean_pair();
+        m.ranks[0][0] = op(
+            0,
+            Irecv {
+                peer: 1,
+                tag: 11,
+                bytes: 64,
+            },
+        );
+        assert_ne!(a, m.canonical());
+        assert!(a.contains("rank 0 op 1: e0 irecv(peer 1, tag 10, 64 B)"));
+    }
+
+    #[test]
+    fn audit_accepts_faithful_trace_and_flags_divergence() {
+        let plan = clean_pair();
+        let faithful: CommTrace = vec![
+            vec![
+                TraceOp::Irecv { peer: 1, tag: 10 },
+                TraceOp::Isend {
+                    peer: 1,
+                    tag: 10,
+                    bytes: 64,
+                },
+                TraceOp::Wait {
+                    peer: 1,
+                    tag: 10,
+                    bytes: 64,
+                },
+                TraceOp::Reduce { bytes: 8 },
+            ],
+            vec![
+                TraceOp::Irecv { peer: 0, tag: 10 },
+                TraceOp::Isend {
+                    peer: 0,
+                    tag: 10,
+                    bytes: 64,
+                },
+                TraceOp::Wait {
+                    peer: 0,
+                    tag: 10,
+                    bytes: 64,
+                },
+                TraceOp::Reduce { bytes: 8 },
+            ],
+        ];
+        assert!(plan.audit(&faithful).is_clean());
+
+        // Divergent: rank 1 sent the wrong tag.
+        let mut wrong = faithful.clone();
+        wrong[1][1] = TraceOp::Isend {
+            peer: 0,
+            tag: 11,
+            bytes: 64,
+        };
+        let report = plan.audit(&wrong);
+        assert_eq!(codes(&report), vec!["C010"]);
+        assert!(report.diagnostics[0].message.contains("rank 1"));
+
+        // Truncated: rank 0 never reduced.
+        let mut short = faithful.clone();
+        short[0].pop();
+        assert_eq!(codes(&plan.audit(&short)), vec!["C012"]);
+
+        // Chatty: rank 0 sent an extra message after the plan ended.
+        let mut extra = faithful;
+        extra[0].push(TraceOp::Barrier);
+        assert_eq!(codes(&plan.audit(&extra)), vec!["C011"]);
+    }
+}

@@ -28,6 +28,28 @@
 //! | W003 | warning  | `disconnect` of a port that is not connected |
 //! | W004 | warning  | uses-port reconnected without an intervening `disconnect` |
 //!
+//! # Communication-schedule codes
+//!
+//! The second analysis domain ([`commplan`]) verifies distributed
+//! communication schedules — per-rank op sequences emitted by the SCMD
+//! schedule generators — before any rank runs, and audits execution
+//! traces against the verified plan afterwards:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | C001 | error    | send/receive count mismatch on a `(src→dst, tag, epoch)` channel |
+//! | C002 | error    | FIFO-paired send and receive disagree on payload bytes |
+//! | C003 | warning  | one channel carries differently-sized messages (fragile FIFO reliance) |
+//! | C004 | error    | deadlock: cycle in the blocking-dependency wait-for graph |
+//! | C005 | error    | rank stalls with no cycle (a needed message is never sent) |
+//! | C006 | error    | collective sequence differs between ranks |
+//! | C007 | error    | receive request not completed before a later epoch / plan end |
+//! | C008 | error    | `wait` with no matching outstanding receive request |
+//! | C009 | error    | malformed op: peer out of range or self-message |
+//! | C010 | error    | conformance: execution trace diverges from the verified plan |
+//! | C011 | error    | conformance: rank executed ops beyond the end of its plan |
+//! | C012 | error    | conformance: rank ended with plan ops unexecuted |
+//!
 //! # Usage
 //!
 //! ```
@@ -59,10 +81,12 @@
 //! ```
 
 pub mod check;
+pub mod commplan;
 pub mod diag;
 pub mod ir;
 
 pub use check::Analyzer;
+pub use commplan::{CommPlan, OpKind, PlanOp};
 pub use diag::{Diagnostic, Report, Severity};
 pub use ir::{parse_script, Command, ParsedScript, Stmt};
 

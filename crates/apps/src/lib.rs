@@ -17,4 +17,5 @@ pub mod ignition0d;
 pub mod palette;
 pub mod reaction_diffusion;
 pub mod scaling;
+pub mod schedule;
 pub mod shock_interface;

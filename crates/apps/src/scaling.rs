@@ -14,6 +14,8 @@
 //! reproduces the magnitude of Table 5: 5 steps on a 100×100 tile ≈ 162 s
 //! of 433 MHz-Alpha time.
 
+use crate::schedule::{self, Binding, ComputeKind, Instr};
+use cca_analyze::commplan::OpKind;
 use cca_comm::{scmd, ClusterModel, Communicator, RecvRequest};
 use cca_mesh::boxes::IntBox;
 use cca_mesh::data::PatchData;
@@ -55,6 +57,11 @@ pub struct ScalingConfig {
     /// one message per neighbour (`true`, production behaviour) or send
     /// one message per variable (`false`, the pre-coalescing comparator).
     pub coalesce: bool,
+    /// Run the comm sanitizer: statically verify the emitted comm plan,
+    /// record the execution trace, and assert the trace refines the plan
+    /// (`cca-analyze` C-codes). Tracing never touches the virtual clocks,
+    /// so audited runs are bit-identical to unaudited ones.
+    pub audit: bool,
 }
 
 impl Default for ScalingConfig {
@@ -68,6 +75,7 @@ impl Default for ScalingConfig {
             work_per_cell_var: 0.5,
             overlap: false,
             coalesce: true,
+            audit: false,
         }
     }
 }
@@ -96,20 +104,44 @@ pub struct ScalingResult {
     pub checksum: f64,
 }
 
-/// Run the distributed diffusion workload and return modeled timings.
-pub fn run_scaling(cfg: &ScalingConfig, model: ClusterModel) -> ScalingResult {
+/// The decomposition a scaling run uses: per-rank mode builds a global
+/// mesh whose tiles are exactly `n × n`, global mode splits an `n × n`
+/// domain. Exposed so callers (lint, admission gates) can emit and verify
+/// the run's comm plan without running it.
+pub fn decompose(cfg: &ScalingConfig) -> UniformDecomp {
     let global = if cfg.per_rank {
-        // Build a global mesh whose tiles are exactly n × n per rank.
         let d = UniformDecomp::new(IntBox::sized(cfg.n, cfg.n), cfg.ranks);
         IntBox::sized(cfg.n * d.px as i64, cfg.n * d.py as i64)
     } else {
         IntBox::sized(cfg.n, cfg.n)
     };
-    let decomp = UniformDecomp::new(global, cfg.ranks);
+    UniformDecomp::new(global, cfg.ranks)
+}
+
+/// Run the distributed diffusion workload and return modeled timings.
+pub fn run_scaling(cfg: &ScalingConfig, model: ClusterModel) -> ScalingResult {
+    let decomp = decompose(cfg);
     let cfg = *cfg;
-    let reports = scmd::run_reported(cfg.ranks, model, move |comm: &Communicator| {
-        rank_main(comm, &decomp, &cfg)
-    });
+    let rank_program = move |comm: &Communicator| rank_main(comm, &decomp, &cfg);
+    let reports = if cfg.audit {
+        let (reports, trace) = scmd::run_reported_traced(cfg.ranks, model, rank_program);
+        let plan = schedule::comm_plan(&decomp, &cfg);
+        let verdict = plan.verify();
+        assert!(
+            verdict.is_clean(),
+            "comm-plan verification failed:\n{}",
+            verdict.render("comm-plan")
+        );
+        let conformance = plan.audit(&trace);
+        assert!(
+            conformance.is_clean(),
+            "comm-trace conformance failed:\n{}",
+            conformance.render("comm-trace")
+        );
+        reports
+    } else {
+        scmd::run_reported(cfg.ranks, model, rank_program)
+    };
     let per_rank_time: Vec<f64> = reports.iter().map(|r| r.vtime).collect();
     let halo = |r: &scmd::RankReport<f64>| {
         let a = r.stats.tag(HALO_TAG);
@@ -128,7 +160,10 @@ pub fn run_scaling(cfg: &ScalingConfig, model: ClusterModel) -> ScalingResult {
     }
 }
 
-/// The per-rank program: the "single component" of SCMD.
+/// The per-rank program: the "single component" of SCMD. Emits the rank's
+/// instruction stream ([`schedule::rank_schedule`]) and interprets it —
+/// the schedule is data, and the same data, stripped to its comm ops, is
+/// what the static checker verified.
 fn rank_main(comm: &Communicator, decomp: &UniformDecomp, cfg: &ScalingConfig) -> f64 {
     let tile = decomp.tile(comm.rank());
     let mut pd = PatchData::new(tile, NVARS, 1);
@@ -145,122 +180,140 @@ fn rank_main(comm: &Communicator, decomp: &UniformDecomp, cfg: &ScalingConfig) -
         }
     }
     let mut rhs = PatchData::new(tile, NVARS, 0);
-
-    for _step in 0..cfg.steps {
-        // Global spectral-radius reduction (the MaxDiffCoeffEvaluator's
-        // allreduce), once per macro step.
-        let local_max = pd.interior_max_abs(0);
-        let _rho = comm.allreduce_max(&[local_max]);
-        for _stage in 0..cfg.stages_per_step {
-            // Modeled cost of the *real* physics (transport properties +
-            // RKC stage + the amortized point-chemistry BDF work) for this
-            // stage. Properties are evaluated on the ghost-inclusive box —
-            // exactly as DiffusionPhysics does — so small tiles pay a
-            // genuine surface-to-volume penalty.
-            let stage_work = tile.grow(1).count() as f64 * NVARS as f64 * cfg.work_per_cell_var;
-            if cfg.overlap {
-                overlapped_stage(comm, decomp, cfg, &mut pd, &mut rhs, &global, stage_work);
-            } else {
-                // Blocking reference schedule: exchange, then compute.
-                decomp.exchange_ghosts(comm, &mut pd, HALO_TAG);
-                zero_gradient_walls(&mut pd, &global);
-                eval_rhs(&pd, &mut rhs, &tile, STAGE_ALPHA);
-                comm.charge_compute(stage_work);
-            }
-            // Apply the stage update — identical in both schedules.
-            for var in 0..NVARS {
-                for (i, j) in tile.cells() {
-                    pd.add(var, i, j, rhs.get(var, i, j));
-                }
-            }
-        }
-    }
-    // Final consistency barrier mirrors the per-step synchronization of
-    // the paper's runs.
-    comm.barrier();
+    let program = schedule::rank_schedule(decomp, cfg, comm.rank());
+    interpret(comm, &program, &mut pd, &mut rhs, &global);
     pd.interior_sum(0)
 }
 
-/// One overlapped stage: post irecvs, pack + isend the halo (one coalesced
-/// message per neighbour, or one per variable with `coalesce` off), sweep
-/// the interior while the messages are modeled in flight, `waitall`, then
-/// sweep the boundary ring.
+/// A posted receive awaiting its wait/waitall, with the binding that will
+/// place its payload.
+struct PendingRecv {
+    req: RecvRequest<f64>,
+    peer: usize,
+    tag: u64,
+    binding: Binding,
+}
+
+/// Execute one rank's instruction stream.
 ///
-/// The RHS values written are bit-identical to the blocking path: every
-/// cell's Laplacian reads the same pre-update field (the stage update is
-/// applied only after both sweeps), the halo strips carry the same values
-/// the two-pass protocol ships, and the 5-point stencil never reads the
-/// corner ghosts that only the blocking protocol fills.
-#[allow(clippy::too_many_arguments)]
-fn overlapped_stage(
+/// The interpreter preserves the PR 5 hand-written schedules' exact call
+/// order and arithmetic — post every irecv first, pack + isend per link
+/// (coalesced messages tallied via `note_coalesced`), walls and interior
+/// sweep between the sends and the waitall, FIFO payload placement — so
+/// results and modeled clocks are bit-identical to the pre-IR control
+/// flow.
+fn interpret(
     comm: &Communicator,
-    decomp: &UniformDecomp,
-    cfg: &ScalingConfig,
+    program: &[Instr],
     pd: &mut PatchData,
     rhs: &mut PatchData,
     global: &IntBox,
-    stage_work: f64,
 ) {
     let tile = pd.interior;
-    let alpha = STAGE_ALPHA;
-    let links = decomp.halo_links(comm.rank(), 1);
-    // Post every receive up front (message order within a link is FIFO,
-    // so the per-variable mode needs no per-variable tags).
-    let mut recvs: Vec<RecvRequest<f64>> = Vec::new();
-    for link in &links {
-        let per_link = if cfg.coalesce { 1 } else { NVARS };
-        for _ in 0..per_link {
-            recvs.push(comm.irecv(link.nbr, HALO_TAG));
+    let mut pending: Vec<PendingRecv> = Vec::new();
+    let mut scratch: Vec<f64> = Vec::new();
+    for instr in program {
+        match instr {
+            Instr::Comm(op, binding) => match op.kind {
+                OpKind::Irecv { peer, tag, .. } => pending.push(PendingRecv {
+                    req: comm.irecv(peer, tag),
+                    peer,
+                    tag,
+                    binding: *binding,
+                }),
+                OpKind::Isend { peer, tag, .. } => match binding {
+                    Binding::PackAll(region) => {
+                        let buf = pd.pack(region);
+                        comm.isend(peer, tag, &buf);
+                        comm.note_coalesced(NVARS as u64);
+                    }
+                    Binding::PackVar(var, region) => {
+                        let n = region.count() as usize;
+                        if scratch.len() < n {
+                            scratch.resize(n, 0.0);
+                        }
+                        pd.pack_var_into(*var, region, &mut scratch[..n]);
+                        comm.isend(peer, tag, &scratch[..n]);
+                    }
+                    other => unreachable!("isend bound to {other:?}"),
+                },
+                OpKind::Wait { peer, tag } => {
+                    let pos = pending
+                        .iter()
+                        .position(|p| p.peer == peer && p.tag == tag)
+                        .expect("verified plans wait only on posted requests");
+                    let p = pending.remove(pos);
+                    let payload = comm.wait(p.req);
+                    unpack_payload(pd, &p.binding, &payload);
+                }
+                OpKind::Waitall => {
+                    let (reqs, bindings): (Vec<_>, Vec<_>) =
+                        pending.drain(..).map(|p| (p.req, p.binding)).unzip();
+                    let payloads = comm.waitall(reqs);
+                    for (payload, binding) in payloads.iter().zip(&bindings) {
+                        unpack_payload(pd, binding, payload);
+                    }
+                }
+                OpKind::Send { peer, tag, .. } => {
+                    let Binding::PackAll(region) = binding else {
+                        unreachable!("send bound to {binding:?}")
+                    };
+                    let buf = pd.pack(region);
+                    comm.send(peer, tag, &buf);
+                }
+                OpKind::Recv { peer, tag, .. } => {
+                    let got: Vec<f64> = comm.recv(peer, tag);
+                    unpack_payload(pd, binding, &got);
+                }
+                OpKind::Reduce { .. } => {
+                    // Global spectral-radius reduction (the
+                    // MaxDiffCoeffEvaluator's allreduce).
+                    let local_max = pd.interior_max_abs(0);
+                    let _rho = comm.allreduce_max(&[local_max]);
+                }
+                OpKind::Barrier => comm.barrier(),
+            },
+            Instr::Compute(kind) => match kind {
+                ComputeKind::Walls => zero_gradient_walls(pd, global),
+                ComputeKind::SweepFull { work } => {
+                    eval_rhs(pd, rhs, &tile, STAGE_ALPHA);
+                    comm.charge_compute(*work);
+                }
+                ComputeKind::SweepInterior { work } => {
+                    // Stencils in the shrunken core stay clear of every
+                    // ghost cell, so this sweep is safe while the halo is
+                    // still in flight.
+                    if let Some(core) = tile.interior_shrink(1) {
+                        eval_rhs(pd, rhs, &core, STAGE_ALPHA);
+                    }
+                    comm.charge_compute(*work);
+                }
+                ComputeKind::SweepHalo { work } => {
+                    for strip in tile.halo_ring(1) {
+                        eval_rhs(pd, rhs, &strip, STAGE_ALPHA);
+                    }
+                    comm.charge_compute(*work);
+                }
+                ComputeKind::StageUpdate => {
+                    for var in 0..NVARS {
+                        for (i, j) in tile.cells() {
+                            pd.add(var, i, j, rhs.get(var, i, j));
+                        }
+                    }
+                }
+            },
         }
     }
-    // Pack and launch the sends: exactly one wire message per neighbour
-    // when coalescing (all strips of all NVARS variables in one buffer).
-    let mut var_buf = vec![0.0; links.iter().map(|l| l.send.count()).max().unwrap_or(0) as usize];
-    for link in &links {
-        if cfg.coalesce {
-            let buf = pd.pack(&link.send);
-            comm.isend(link.nbr, HALO_TAG, &buf);
-            comm.note_coalesced(NVARS as u64);
-        } else {
-            let n = link.send.count() as usize;
-            for var in 0..NVARS {
-                pd.pack_var_into(var, &link.send, &mut var_buf[..n]);
-                comm.isend(link.nbr, HALO_TAG, &var_buf[..n]);
-            }
-        }
+    assert!(pending.is_empty(), "schedule left receive requests pending");
+}
+
+/// Place a received payload according to its binding.
+fn unpack_payload(pd: &mut PatchData, binding: &Binding, payload: &[f64]) {
+    match binding {
+        Binding::UnpackAll(region) => pd.unpack(region, payload),
+        Binding::UnpackVar(var, region) => pd.unpack_var(*var, region, payload),
+        other => unreachable!("receive bound to {other:?}"),
     }
-    // While the halo is in flight: physical walls (ghosts outside the
-    // global domain — disjoint from every exchanged strip) and the
-    // interior sweep, whose stencils stay clear of any ghost cell.
-    zero_gradient_walls(pd, global);
-    let core = tile.interior_shrink(1);
-    if let Some(core) = core {
-        eval_rhs(pd, rhs, &core, alpha);
-    }
-    // Charge the interior's share of the stage work before draining the
-    // halo — this is the compute the model credits against the transfers.
-    let core_cells = core.map_or(0, |c| c.count());
-    let interior_work = stage_work * core_cells as f64 / tile.count() as f64;
-    comm.charge_compute(interior_work);
-    // Drain the halo and fill the ghost strips.
-    let payloads = comm.waitall(recvs);
-    let mut k = 0;
-    for link in &links {
-        if cfg.coalesce {
-            pd.unpack(&link.recv, &payloads[k]);
-            k += 1;
-        } else {
-            for var in 0..NVARS {
-                pd.unpack_var(var, &link.recv, &payloads[k]);
-                k += 1;
-            }
-        }
-    }
-    // Boundary ring, now that its ghost neighbours are fresh.
-    for strip in tile.halo_ring(1) {
-        eval_rhs(pd, rhs, &strip, alpha);
-    }
-    comm.charge_compute(stage_work - interior_work);
 }
 
 /// Diffusion number per stage (stability-safe for the 5-point stencil).

@@ -1,0 +1,355 @@
+//! Schedule-as-data for the SCMD scaling runs: the halo topology and the
+//! overlap/coalesce configuration *emit* a per-rank instruction stream,
+//! and `scaling::rank_main` *interprets* it.
+//!
+//! Each instruction is either a communication op — carrying both the pure
+//! [`PlanOp`] the static checker consumes and a [`Binding`] that ties the
+//! payload to mesh regions — or a compute action ([`ComputeKind`]). The
+//! comm ops, stripped of bindings, form the [`CommPlan`] that
+//! `cca-analyze` verifies before any rank runs ([`comm_plan`]) and that
+//! the runtime conformance auditor replays recorded traces against. The
+//! emitted order mirrors the PR 5 hand-written schedules instruction for
+//! instruction, so interpretation is bit-identical in results *and*
+//! modeled timings.
+
+use crate::scaling::{ScalingConfig, HALO_TAG, NVARS};
+use cca_analyze::commplan::{CommPlan, OpKind, PlanOp};
+use cca_mesh::boxes::IntBox;
+use cca_mesh::decomp::UniformDecomp;
+
+/// How a comm op's payload maps onto the rank's patch data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Binding {
+    /// No payload binding (barrier, waitall).
+    None,
+    /// Reduce the max |variable 0| over the interior (the spectral-radius
+    /// allreduce of the `MaxDiffCoeffEvaluator`).
+    SpectralRadius,
+    /// Pack all [`NVARS`] variables of the region into one buffer.
+    PackAll(IntBox),
+    /// Pack a single variable of the region.
+    PackVar(usize, IntBox),
+    /// Unpack a received buffer into all [`NVARS`] variables of the region.
+    UnpackAll(IntBox),
+    /// Unpack a received buffer into a single variable of the region.
+    UnpackVar(usize, IntBox),
+}
+
+/// Compute actions interleaved with the comm ops of a stage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ComputeKind {
+    /// Zero-gradient physical-wall ghost fill.
+    Walls,
+    /// Blocking schedule: RHS sweep over the whole tile, then charge
+    /// `work` units to the clock.
+    SweepFull {
+        /// Modeled work units to charge.
+        work: f64,
+    },
+    /// Overlapped schedule: RHS sweep over the tile interior (one cell in
+    /// from every edge) while halo messages are in flight, then charge
+    /// the interior's share of the stage work.
+    SweepInterior {
+        /// Modeled work units to charge.
+        work: f64,
+    },
+    /// Overlapped schedule: RHS sweep over the one-cell boundary ring
+    /// after the halo has drained, then charge the remaining stage work.
+    SweepHalo {
+        /// Modeled work units to charge.
+        work: f64,
+    },
+    /// Apply the accumulated RHS to the field (end of a stage).
+    StageUpdate,
+}
+
+/// One step of a rank's program: a communication op with its payload
+/// binding, or a compute action.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Instr {
+    /// Communication: the checkable op plus its mesh binding.
+    Comm(PlanOp, Binding),
+    /// Computation (never enters the comm plan).
+    Compute(ComputeKind),
+}
+
+/// Emit rank `rank`'s full instruction stream for one scaling run.
+///
+/// The stream reproduces the PR 5 schedules exactly: per macro step one
+/// spectral-radius reduce, then per stage either the blocking two-pass
+/// exchange followed by a full sweep, or the overlapped
+/// irecv/isend/interior-sweep/waitall/halo-sweep sequence; one barrier
+/// closes the run. Every comm op carries an epoch — one per reduce, one
+/// per exchange stage, one for the final barrier — that all ranks compute
+/// identically.
+pub fn rank_schedule(decomp: &UniformDecomp, cfg: &ScalingConfig, rank: usize) -> Vec<Instr> {
+    let tile = decomp.tile(rank);
+    let stage_work = tile.grow(1).count() as f64 * NVARS as f64 * cfg.work_per_cell_var;
+    let mut out = Vec::new();
+    let mut epoch = 0u32;
+    for _step in 0..cfg.steps {
+        out.push(Instr::Comm(
+            PlanOp::new(epoch, OpKind::Reduce { bytes: 8 }),
+            Binding::SpectralRadius,
+        ));
+        epoch += 1;
+        for _stage in 0..cfg.stages_per_step {
+            if cfg.overlap {
+                emit_overlapped_stage(&mut out, decomp, cfg, rank, epoch, stage_work);
+            } else {
+                emit_blocking_stage(&mut out, decomp, rank, epoch, stage_work);
+            }
+            epoch += 1;
+            out.push(Instr::Compute(ComputeKind::StageUpdate));
+        }
+    }
+    out.push(Instr::Comm(
+        PlanOp::new(epoch, OpKind::Barrier),
+        Binding::None,
+    ));
+    out
+}
+
+/// The overlapped single-pass exchange: post every receive up front, pack
+/// and launch the sends (one coalesced message per neighbour, or one per
+/// variable), sweep the interior while messages are in flight, drain with
+/// one waitall, then sweep the boundary ring.
+fn emit_overlapped_stage(
+    out: &mut Vec<Instr>,
+    decomp: &UniformDecomp,
+    cfg: &ScalingConfig,
+    rank: usize,
+    epoch: u32,
+    stage_work: f64,
+) {
+    let tile = decomp.tile(rank);
+    let links = decomp.halo_links(rank, 1);
+    for link in &links {
+        if cfg.coalesce {
+            out.push(Instr::Comm(
+                PlanOp::new(
+                    epoch,
+                    OpKind::Irecv {
+                        peer: link.nbr,
+                        tag: HALO_TAG,
+                        bytes: link.recv.count() as u64 * NVARS as u64 * 8,
+                    },
+                ),
+                Binding::UnpackAll(link.recv),
+            ));
+        } else {
+            for var in 0..NVARS {
+                out.push(Instr::Comm(
+                    PlanOp::new(
+                        epoch,
+                        OpKind::Irecv {
+                            peer: link.nbr,
+                            tag: HALO_TAG,
+                            bytes: link.recv.count() as u64 * 8,
+                        },
+                    ),
+                    Binding::UnpackVar(var, link.recv),
+                ));
+            }
+        }
+    }
+    for link in &links {
+        if cfg.coalesce {
+            out.push(Instr::Comm(
+                PlanOp::new(
+                    epoch,
+                    OpKind::Isend {
+                        peer: link.nbr,
+                        tag: HALO_TAG,
+                        bytes: link.send.count() as u64 * NVARS as u64 * 8,
+                    },
+                ),
+                Binding::PackAll(link.send),
+            ));
+        } else {
+            for var in 0..NVARS {
+                out.push(Instr::Comm(
+                    PlanOp::new(
+                        epoch,
+                        OpKind::Isend {
+                            peer: link.nbr,
+                            tag: HALO_TAG,
+                            bytes: link.send.count() as u64 * 8,
+                        },
+                    ),
+                    Binding::PackVar(var, link.send),
+                ));
+            }
+        }
+    }
+    out.push(Instr::Compute(ComputeKind::Walls));
+    let core_cells = tile.interior_shrink(1).map_or(0, |c| c.count());
+    let interior_work = stage_work * core_cells as f64 / tile.count() as f64;
+    out.push(Instr::Compute(ComputeKind::SweepInterior {
+        work: interior_work,
+    }));
+    out.push(Instr::Comm(
+        PlanOp::new(epoch, OpKind::Waitall),
+        Binding::None,
+    ));
+    out.push(Instr::Compute(ComputeKind::SweepHalo {
+        work: stage_work - interior_work,
+    }));
+}
+
+/// The blocking two-pass exchange of `UniformDecomp::exchange_ghosts`:
+/// x strips under [`HALO_TAG`], then full-width y strips (corners
+/// included) under `HALO_TAG + 1`, each as a buffered send followed by a
+/// blocking receive; then walls and one full-tile sweep.
+fn emit_blocking_stage(
+    out: &mut Vec<Instr>,
+    decomp: &UniformDecomp,
+    rank: usize,
+    epoch: u32,
+    stage_work: f64,
+) {
+    let me = decomp.tile(rank);
+    let g = 1i64;
+    let [xlo, xhi, ylo, yhi] = decomp.neighbors(rank);
+    let pairs = [
+        (
+            xlo,
+            IntBox::new([me.lo[0], me.lo[1]], [me.lo[0] + g - 1, me.hi[1]]),
+            IntBox::new([me.lo[0] - g, me.lo[1]], [me.lo[0] - 1, me.hi[1]]),
+            HALO_TAG,
+        ),
+        (
+            xhi,
+            IntBox::new([me.hi[0] - g + 1, me.lo[1]], [me.hi[0], me.hi[1]]),
+            IntBox::new([me.hi[0] + 1, me.lo[1]], [me.hi[0] + g, me.hi[1]]),
+            HALO_TAG,
+        ),
+        (
+            ylo,
+            IntBox::new([me.lo[0] - g, me.lo[1]], [me.hi[0] + g, me.lo[1] + g - 1]),
+            IntBox::new([me.lo[0] - g, me.lo[1] - g], [me.hi[0] + g, me.lo[1] - 1]),
+            HALO_TAG + 1,
+        ),
+        (
+            yhi,
+            IntBox::new([me.lo[0] - g, me.hi[1] - g + 1], [me.hi[0] + g, me.hi[1]]),
+            IntBox::new([me.lo[0] - g, me.hi[1] + 1], [me.hi[0] + g, me.hi[1] + g]),
+            HALO_TAG + 1,
+        ),
+    ];
+    for (nbr, send, recv, tag) in pairs {
+        let Some(nbr) = nbr else { continue };
+        out.push(Instr::Comm(
+            PlanOp::new(
+                epoch,
+                OpKind::Send {
+                    peer: nbr,
+                    tag,
+                    bytes: send.count() as u64 * NVARS as u64 * 8,
+                },
+            ),
+            Binding::PackAll(send),
+        ));
+        out.push(Instr::Comm(
+            PlanOp::new(
+                epoch,
+                OpKind::Recv {
+                    peer: nbr,
+                    tag,
+                    bytes: recv.count() as u64 * NVARS as u64 * 8,
+                },
+            ),
+            Binding::UnpackAll(recv),
+        ));
+    }
+    out.push(Instr::Compute(ComputeKind::Walls));
+    out.push(Instr::Compute(ComputeKind::SweepFull { work: stage_work }));
+}
+
+/// The pure comm plan of a scaling run: every rank's [`rank_schedule`]
+/// with the compute instructions and mesh bindings stripped. This is what
+/// [`CommPlan::verify`] checks statically and what recorded traces are
+/// audited against.
+pub fn comm_plan(decomp: &UniformDecomp, cfg: &ScalingConfig) -> CommPlan {
+    CommPlan {
+        ranks: (0..decomp.nranks())
+            .map(|rank| {
+                rank_schedule(decomp, cfg, rank)
+                    .into_iter()
+                    .filter_map(|instr| match instr {
+                        Instr::Comm(op, _) => Some(op),
+                        Instr::Compute(_) => None,
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaling::decompose;
+
+    #[test]
+    fn all_shipped_schedules_verify_clean() {
+        for ranks in [1usize, 2, 4, 6] {
+            for (overlap, coalesce) in [(false, true), (true, true), (true, false)] {
+                let cfg = ScalingConfig {
+                    n: 24,
+                    per_rank: false,
+                    ranks,
+                    steps: 2,
+                    overlap,
+                    coalesce,
+                    ..ScalingConfig::default()
+                };
+                let decomp = decompose(&cfg);
+                let report = comm_plan(&decomp, &cfg).verify();
+                assert!(
+                    report.is_clean(),
+                    "ranks={ranks} overlap={overlap} coalesce={coalesce}:\n{}",
+                    report.render("comm-plan")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_plan_has_one_message_per_link_per_stage() {
+        let cfg = ScalingConfig {
+            n: 24,
+            per_rank: false,
+            ranks: 4,
+            steps: 1,
+            stages_per_step: 1,
+            overlap: true,
+            ..ScalingConfig::default()
+        };
+        let decomp = decompose(&cfg);
+        let plan = comm_plan(&decomp, &cfg);
+        // 2 x 2 grid: every rank has exactly 2 links, so 2 isends each.
+        for ops in &plan.ranks {
+            let isends = ops
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Isend { .. }))
+                .count();
+            assert_eq!(isends, 2);
+        }
+        // Per-variable mode multiplies both sides by NVARS.
+        let naive = comm_plan(
+            &decomp,
+            &ScalingConfig {
+                coalesce: false,
+                ..cfg
+            },
+        );
+        for ops in &naive.ranks {
+            let isends = ops
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Isend { .. }))
+                .count();
+            assert_eq!(isends, 2 * NVARS);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Mutation coverage for the comm-plan static checker: corrupt a valid
+//! schedule in the ways hand-written exchanges actually go wrong and pin
+//! that each fault yields exactly the expected C-code, naming the right
+//! rank, peer and tag. A checker that passes these is trustworthy as an
+//! admission gate; one that doesn't is noise.
+
+use cca_analyze::commplan::{CommPlan, OpKind};
+use cca_apps::scaling::{decompose, ScalingConfig, HALO_TAG};
+use cca_apps::schedule::comm_plan;
+
+/// The overlapped/coalesced production schedule on a 2 x 2 rank grid.
+fn overlapped_plan() -> CommPlan {
+    let cfg = ScalingConfig {
+        n: 24,
+        per_rank: false,
+        ranks: 4,
+        steps: 2,
+        overlap: true,
+        ..ScalingConfig::default()
+    };
+    comm_plan(&decompose(&cfg), &cfg)
+}
+
+/// The blocking two-pass reference schedule on the same grid.
+fn blocking_plan() -> CommPlan {
+    let cfg = ScalingConfig {
+        n: 24,
+        per_rank: false,
+        ranks: 4,
+        steps: 2,
+        overlap: false,
+        ..ScalingConfig::default()
+    };
+    comm_plan(&decompose(&cfg), &cfg)
+}
+
+#[test]
+fn unmutated_plans_are_clean() {
+    assert!(overlapped_plan().verify().is_clean());
+    assert!(blocking_plan().verify().is_clean());
+}
+
+#[test]
+fn dropped_irecv_is_c001_naming_the_channel() {
+    let mut plan = overlapped_plan();
+    // Drop rank 2's first posted irecv.
+    let pos = plan.ranks[2]
+        .iter()
+        .position(|o| matches!(o.kind, OpKind::Irecv { .. }))
+        .expect("rank 2 posts receives");
+    let OpKind::Irecv { peer, tag, .. } = plan.ranks[2][pos].kind else {
+        unreachable!()
+    };
+    plan.ranks[2].remove(pos);
+    let report = plan.verify();
+    let errors: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(errors, vec!["C001"], "{}", report.render("plan"));
+    let d = &report.diagnostics[0];
+    // The diagnostic names both ends of the unbalanced channel and the tag.
+    assert!(d.message.contains(&format!("rank {peer}")), "{}", d.message);
+    assert!(d.message.contains("rank 2"), "{}", d.message);
+    assert!(d.message.contains(&format!("tag {tag}")), "{}", d.message);
+}
+
+#[test]
+fn swapped_tags_are_c001_naming_the_tags() {
+    let mut plan = blocking_plan();
+    // Swap the tags of rank 0's x-pass and y-pass sends (tags HALO_TAG
+    // and HALO_TAG + 1, different peers): both channels now mismatch.
+    let x = plan.ranks[0]
+        .iter()
+        .position(|o| matches!(o.kind, OpKind::Send { tag, .. } if tag == HALO_TAG))
+        .expect("x-pass send");
+    let y = plan.ranks[0]
+        .iter()
+        .position(|o| matches!(o.kind, OpKind::Send { tag, .. } if tag == HALO_TAG + 1))
+        .expect("y-pass send");
+    let retag = |kind: OpKind, new_tag: u64| match kind {
+        OpKind::Send { peer, bytes, .. } => OpKind::Send {
+            peer,
+            tag: new_tag,
+            bytes,
+        },
+        _ => unreachable!(),
+    };
+    plan.ranks[0][x].kind = retag(plan.ranks[0][x].kind, HALO_TAG + 1);
+    plan.ranks[0][y].kind = retag(plan.ranks[0][y].kind, HALO_TAG);
+    let report = plan.verify();
+    assert!(
+        report.diagnostics.iter().all(|d| d.code == "C001"),
+        "{}",
+        report.render("plan")
+    );
+    assert!(report.has_errors());
+    // Both halves of the swap are named with their tags.
+    let text = report.render("plan");
+    assert!(text.contains(&format!("tag {HALO_TAG}")), "{text}");
+    assert!(text.contains(&format!("tag {}", HALO_TAG + 1)), "{text}");
+}
+
+#[test]
+fn skipped_waitall_is_c007_naming_rank_and_tag() {
+    let mut plan = overlapped_plan();
+    // Remove rank 1's first waitall: its epoch-e requests are now still
+    // pending when epoch e+1 begins, even though a later waitall would
+    // absorb them at runtime.
+    let pos = plan.ranks[1]
+        .iter()
+        .position(|o| matches!(o.kind, OpKind::Waitall))
+        .expect("overlapped schedules waitall");
+    plan.ranks[1].remove(pos);
+    let report = plan.verify();
+    assert!(report.has_errors());
+    assert!(
+        report.diagnostics.iter().all(|d| d.code == "C007"),
+        "{}",
+        report.render("plan")
+    );
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains("rank 1"), "{}", d.message);
+    assert!(
+        d.message.contains(&format!("tag {HALO_TAG}")),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn reordered_reduce_is_c006_naming_rank_and_op() {
+    let mut plan = overlapped_plan();
+    // Swap rank 3's last reduce with the final barrier: its collective
+    // sequence now disagrees with every other rank's.
+    let red = plan.ranks[3]
+        .iter()
+        .rposition(|o| matches!(o.kind, OpKind::Reduce { .. }))
+        .expect("per-step reduce");
+    let bar = plan.ranks[3]
+        .iter()
+        .rposition(|o| matches!(o.kind, OpKind::Barrier))
+        .expect("final barrier");
+    plan.ranks[3].swap(red, bar);
+    let report = plan.verify();
+    let errors: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(errors, vec!["C006"], "{}", report.render("plan"));
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains("rank 3"), "{}", d.message);
+    assert_eq!(d.line, red + 1, "diagnostic anchors the diverging op");
+}
+
+#[test]
+fn corrupted_payload_size_is_c002() {
+    let mut plan = overlapped_plan();
+    // Shrink one isend's payload: the FIFO-paired receive disagrees.
+    let pos = plan.ranks[0]
+        .iter()
+        .position(|o| matches!(o.kind, OpKind::Isend { .. }))
+        .expect("rank 0 sends");
+    let OpKind::Isend { peer, tag, bytes } = plan.ranks[0][pos].kind else {
+        unreachable!()
+    };
+    plan.ranks[0][pos].kind = OpKind::Isend {
+        peer,
+        tag,
+        bytes: bytes - 8,
+    };
+    let report = plan.verify();
+    let errors: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(errors, vec!["C002"], "{}", report.render("plan"));
+    assert!(report.diagnostics[0].message.contains("rank 0"));
+}

@@ -168,6 +168,7 @@ fn smoke_json() -> String {
                     steps: 5,
                     stages_per_step: 2,
                     work_per_cell_var: 0.5,
+                    audit: true,
                     ..ScalingConfig::default()
                 },
                 model,
@@ -206,6 +207,10 @@ impl OverlapPoint {
             steps: 5,
             stages_per_step: 2,
             work_per_cell_var: self.work_per_cell_var,
+            // Every bench run is audited: the recorded comm trace must
+            // refine the static plan (recording never touches the
+            // virtual clocks, so timings are unchanged).
+            audit: true,
             ..ScalingConfig::default()
         };
         let model = ClusterModel::cplant();

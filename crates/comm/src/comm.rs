@@ -20,6 +20,7 @@
 use crate::model::ClusterModel;
 use crate::reduce::ReduceOp;
 use crate::router::{Message, Router, Tag};
+use crate::trace::TraceOp;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
@@ -215,6 +216,13 @@ impl Communicator {
         }
     }
 
+    /// Append a semantic op to this rank's execution trace (no-op unless
+    /// the job's [`Router`] was built with tracing on). Never touches the
+    /// clock: traced runs stay bit-identical to untraced ones.
+    fn trace(&self, op: TraceOp) {
+        self.router.record(self.rank, op);
+    }
+
     fn record_send(&self, tag: Tag, nbytes: usize) {
         self.stats
             .messages_sent
@@ -271,13 +279,24 @@ impl Communicator {
     /// Send `data` to rank `dst` with `tag`. Buffered (never blocks).
     pub fn send<T: Clone + Send + 'static>(&self, dst: usize, tag: Tag, data: &[T]) {
         assert!(tag & COLLECTIVE_BIT == 0, "user tags must be < 2^63");
+        self.trace(TraceOp::Send {
+            peer: dst,
+            tag,
+            bytes: std::mem::size_of_val(data) as u64,
+        });
         self.send_tagged(dst, tag, data);
     }
 
     /// Blocking receive of a message from `src` with `tag`.
     pub fn recv<T: Clone + Send + 'static>(&self, src: usize, tag: Tag) -> Vec<T> {
         assert!(tag & COLLECTIVE_BIT == 0, "user tags must be < 2^63");
-        self.recv_tagged(src, tag)
+        let v = self.recv_tagged(src, tag);
+        self.trace(TraceOp::Recv {
+            peer: src,
+            tag,
+            bytes: std::mem::size_of_val(&v[..]) as u64,
+        });
+        v
     }
 
     /// Is a message from `src` with `tag` already waiting?
@@ -319,6 +338,11 @@ impl Communicator {
         assert!(dst < self.size, "destination rank {dst} out of range");
         assert!(tag & COLLECTIVE_BIT == 0, "user tags must be < 2^63");
         let nbytes = std::mem::size_of_val(data);
+        self.trace(TraceOp::Isend {
+            peer: dst,
+            tag,
+            bytes: nbytes as u64,
+        });
         self.advance_seconds(self.model.call_overhead);
         self.record_send(tag, nbytes);
         let send_vtime = self.clock.get();
@@ -345,6 +369,7 @@ impl Communicator {
     pub fn irecv<T: Clone + Send + 'static>(&self, src: usize, tag: Tag) -> RecvRequest<T> {
         assert!(src < self.size, "source rank {src} out of range");
         assert!(tag & COLLECTIVE_BIT == 0, "user tags must be < 2^63");
+        self.trace(TraceOp::Irecv { peer: src, tag });
         RecvRequest {
             src,
             tag,
@@ -358,7 +383,13 @@ impl Communicator {
     /// computed past the message's modeled arrival since posting the irecv,
     /// the transfer was fully hidden and only the overhead is charged.
     pub fn wait<T: Clone + Send + 'static>(&self, req: RecvRequest<T>) -> Vec<T> {
-        self.recv_tagged(req.src, req.tag)
+        let v = self.recv_tagged(req.src, req.tag);
+        self.trace(TraceOp::Wait {
+            peer: req.src,
+            tag: req.tag,
+            bytes: std::mem::size_of_val(&v[..]) as u64,
+        });
+        v
     }
 
     /// Complete a batch of nonblocking receives, payloads in request order.
@@ -392,6 +423,7 @@ impl Communicator {
 
     /// Dissemination barrier.
     pub fn barrier(&self) {
+        self.trace(TraceOp::Barrier);
         let tag = self.next_collective_tag(0);
         let mut k = 1usize;
         while k < self.size {
@@ -431,6 +463,9 @@ impl Communicator {
     /// Binomial-tree reduction to `root`. Returns `Some(result)` on the
     /// root, `None` elsewhere.
     pub fn reduce(&self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        self.trace(TraceOp::Reduce {
+            bytes: std::mem::size_of_val(data) as u64,
+        });
         let tag = self.next_collective_tag(2);
         let vr = (self.rank + self.size - root) % self.size;
         let mut acc = data.to_vec();

@@ -38,8 +38,10 @@ pub mod model;
 pub mod reduce;
 pub mod router;
 pub mod scmd;
+pub mod trace;
 
 pub use comm::{CommStats, Communicator, RecvRequest, SendRequest, TagTraffic};
 pub use model::ClusterModel;
 pub use reduce::ReduceOp;
 pub use router::{PeerPanic, Tag};
+pub use trace::{CommTrace, TraceOp};

@@ -15,6 +15,7 @@
 //!   itself here and wakes every blocked receiver, turning what used to
 //!   be a silent distributed hang into an immediate, attributed error.
 
+use crate::trace::{CommTrace, TraceOp};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::VecDeque;
@@ -68,16 +69,54 @@ pub struct Router {
     egress_free: Vec<Mutex<f64>>,
     /// First panicked rank, if any.
     poison: Mutex<Option<PeerPanic>>,
+    /// Per-rank execution traces for the conformance auditor; empty when
+    /// tracing is off. Each entry is written only by its owning rank's
+    /// thread, so the recorded order is the rank's program order.
+    traces: Vec<Mutex<Vec<TraceOp>>>,
+    /// Record communicator operations into `traces`?
+    tracing: bool,
 }
 
 impl Router {
     /// Create a router for `size` ranks.
     pub fn new(size: usize) -> Arc<Self> {
+        Self::build(size, false)
+    }
+
+    /// Create a router that records every modeled communicator operation
+    /// (see [`TraceOp`]) for post-run conformance auditing. Tracing never
+    /// touches the virtual clocks, so traced runs are bit-identical to
+    /// untraced ones.
+    pub fn new_traced(size: usize) -> Arc<Self> {
+        Self::build(size, true)
+    }
+
+    pub(crate) fn build(size: usize, tracing: bool) -> Arc<Self> {
         Arc::new(Router {
             boxes: (0..size).map(|_| Mailbox::default()).collect(),
             egress_free: (0..size).map(|_| Mutex::new(0.0)).collect(),
             poison: Mutex::new(None),
+            traces: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            tracing,
         })
+    }
+
+    /// Is this router recording execution traces?
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Append `op` to `rank`'s execution trace (no-op when tracing is off).
+    pub fn record(&self, rank: usize, op: TraceOp) {
+        if self.tracing {
+            self.traces[rank].lock().push(op);
+        }
+    }
+
+    /// Snapshot every rank's recorded trace, rank-ordered. Call after the
+    /// job has joined; mid-run snapshots see each rank's prefix so far.
+    pub fn traces(&self) -> CommTrace {
+        self.traces.iter().map(|t| t.lock().clone()).collect()
     }
 
     /// Number of ranks this router serves.

@@ -14,6 +14,7 @@
 use crate::comm::{CommStats, Communicator};
 use crate::model::ClusterModel;
 use crate::router::Router;
+use crate::trace::CommTrace;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Per-rank outcome of an SCMD job.
@@ -55,10 +56,39 @@ where
     R: Send,
     F: Fn(&Communicator) -> R + Send + Sync,
 {
+    run_inner(size, model, false, f).0
+}
+
+/// Like [`run_reported`] but with execution tracing on: alongside the rank
+/// reports, returns the per-rank [`CommTrace`] for conformance auditing
+/// against a verified comm plan. Tracing never touches the virtual clocks,
+/// so results and modeled timings are bit-identical to [`run_reported`].
+pub fn run_reported_traced<R, F>(
+    size: usize,
+    model: ClusterModel,
+    f: F,
+) -> (Vec<RankReport<R>>, CommTrace)
+where
+    R: Send,
+    F: Fn(&Communicator) -> R + Send + Sync,
+{
+    run_inner(size, model, true, f)
+}
+
+fn run_inner<R, F>(
+    size: usize,
+    model: ClusterModel,
+    tracing: bool,
+    f: F,
+) -> (Vec<RankReport<R>>, CommTrace)
+where
+    R: Send,
+    F: Fn(&Communicator) -> R + Send + Sync,
+{
     assert!(size > 0, "an SCMD job needs at least one rank");
-    let router = Router::new(size);
+    let router = Router::build(size, tracing);
     let f = &f;
-    std::thread::scope(|scope| {
+    let reports = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(size);
         for rank in 0..size {
             let router = router.clone();
@@ -101,7 +131,9 @@ where
             .into_iter()
             .map(|r| r.expect("checked above"))
             .collect()
-    })
+    });
+    let trace = router.traces();
+    (reports, trace)
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -140,6 +172,52 @@ mod tests {
         let text = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(text.contains("rank 1"), "{text}");
         assert!(text.contains("rank 1 exploded"), "{text}");
+    }
+
+    #[test]
+    fn traced_run_records_semantic_ops_and_matches_untraced_results() {
+        use crate::trace::TraceOp;
+        let program = |comm: &Communicator| {
+            if comm.rank() == 0 {
+                comm.isend(1, 7, &[1.0f64, 2.0]);
+            } else {
+                let req = comm.irecv::<f64>(0, 7);
+                let _ = comm.wait(req);
+            }
+            comm.allreduce_sum(&[comm.rank() as f64])[0]
+        };
+        let plain = run_reported(2, ClusterModel::cplant(), program);
+        let (traced, trace) = run_reported_traced(2, ClusterModel::cplant(), program);
+        // Tracing is a free sanitizer: results and clocks are identical.
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.result.to_bits(), b.result.to_bits());
+            assert_eq!(a.vtime.to_bits(), b.vtime.to_bits());
+        }
+        // Semantic ops only: one isend, one irecv + wait, one reduce per
+        // rank — the collective's internal p2p hops are not recorded.
+        assert_eq!(
+            trace[0],
+            vec![
+                TraceOp::Isend {
+                    peer: 1,
+                    tag: 7,
+                    bytes: 16
+                },
+                TraceOp::Reduce { bytes: 8 },
+            ]
+        );
+        assert_eq!(
+            trace[1],
+            vec![
+                TraceOp::Irecv { peer: 0, tag: 7 },
+                TraceOp::Wait {
+                    peer: 0,
+                    tag: 7,
+                    bytes: 16
+                },
+                TraceOp::Reduce { bytes: 8 },
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Execution-trace records for the runtime conformance auditor.
+//!
+//! When tracing is enabled ([`crate::router::Router::new_traced`]), every
+//! [`crate::Communicator`] operation that the comm-plan IR models appends
+//! one [`TraceOp`] to its rank's trace. The trace is *semantic*, not
+//! wire-level: a `waitall` over `k` requests records `k` [`TraceOp::Wait`]
+//! events in request order, and a collective records a single event on
+//! every participating rank — the binomial-tree point-to-point messages it
+//! decomposes into are deliberately not recorded, because the plan being
+//! audited does not model them either.
+//!
+//! Recording never touches the virtual clock, so a traced run is
+//! bit-identical (results *and* modeled timings) to an untraced one: the
+//! auditor is a free sanitizer.
+
+use crate::router::Tag;
+
+/// One recorded communication operation of one rank, in program order.
+///
+/// Mirrors the op kinds of the `cca-analyze` comm-plan IR so a recorded
+/// trace can be checked against a verified plan (`CommPlan::audit`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Nonblocking send posted toward `peer`.
+    Isend {
+        /// Destination rank.
+        peer: usize,
+        /// User tag.
+        tag: Tag,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Nonblocking receive posted for a message from `peer`. The payload
+    /// size is unknown until completion, so no byte count is recorded.
+    Irecv {
+        /// Source rank.
+        peer: usize,
+        /// User tag.
+        tag: Tag,
+    },
+    /// Completion of a posted receive (one event per request, in request
+    /// order, for both `wait` and `waitall`).
+    Wait {
+        /// Source rank of the completed message.
+        peer: usize,
+        /// User tag.
+        tag: Tag,
+        /// Bytes of the delivered payload.
+        bytes: u64,
+    },
+    /// Blocking (buffered) send.
+    Send {
+        /// Destination rank.
+        peer: usize,
+        /// User tag.
+        tag: Tag,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Blocking receive.
+    Recv {
+        /// Source rank.
+        peer: usize,
+        /// User tag.
+        tag: Tag,
+        /// Bytes of the delivered payload.
+        bytes: u64,
+    },
+    /// A reduction collective (`reduce` / `allreduce_*`): one event per
+    /// rank, with the per-rank contribution size.
+    Reduce {
+        /// Bytes contributed by this rank.
+        bytes: u64,
+    },
+    /// A barrier: one event per rank.
+    Barrier,
+}
+
+impl std::fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceOp::Isend { peer, tag, bytes } => {
+                write!(f, "isend(peer {peer}, tag {tag}, {bytes} B)")
+            }
+            TraceOp::Irecv { peer, tag } => write!(f, "irecv(peer {peer}, tag {tag})"),
+            TraceOp::Wait { peer, tag, bytes } => {
+                write!(f, "wait(peer {peer}, tag {tag}, {bytes} B)")
+            }
+            TraceOp::Send { peer, tag, bytes } => {
+                write!(f, "send(peer {peer}, tag {tag}, {bytes} B)")
+            }
+            TraceOp::Recv { peer, tag, bytes } => {
+                write!(f, "recv(peer {peer}, tag {tag}, {bytes} B)")
+            }
+            TraceOp::Reduce { bytes } => write!(f, "reduce({bytes} B)"),
+            TraceOp::Barrier => write!(f, "barrier"),
+        }
+    }
+}
+
+/// The full execution trace of one SCMD job: one op sequence per rank.
+pub type CommTrace = Vec<Vec<TraceOp>>;

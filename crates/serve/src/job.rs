@@ -10,6 +10,8 @@
 //! enter the key: two submissions asking for the same simulation must
 //! coalesce even if one is more patient than the other.
 
+use cca_analyze::commplan::CommPlan;
+use cca_apps::scaling::ScalingConfig;
 use std::fmt;
 
 /// Unique per-submission identifier handed back by the server.
@@ -80,6 +82,48 @@ impl Default for FaultSpec {
     }
 }
 
+/// Distributed-run attachment for a job: the scaling configuration and,
+/// optionally, an explicit communication plan.
+///
+/// When `plan` is `None` the admission gate derives the plan from
+/// `config` with the schedule emitter — the shipped emitter always
+/// verifies clean. An explicit `plan` is the seam for clients shipping a
+/// hand-written schedule (and for tests injecting a broken one): it is
+/// verified *instead of* the derived plan, so a mis-scheduled exchange is
+/// rejected with C-code diagnostics before any session time is spent.
+#[derive(Clone, Debug)]
+pub struct DistributedSpec {
+    /// The distributed scaling configuration to run.
+    pub config: ScalingConfig,
+    /// Explicit communication plan; `None` derives it from `config`.
+    pub plan: Option<CommPlan>,
+}
+
+impl DistributedSpec {
+    /// The plan admission verifies: the explicit one if given, else the
+    /// one the schedule emitter derives from `config`.
+    pub fn effective_plan(&self) -> CommPlan {
+        self.plan.clone().unwrap_or_else(|| {
+            cca_apps::schedule::comm_plan(&cca_apps::scaling::decompose(&self.config), &self.config)
+        })
+    }
+
+    /// Identity material folded into the job key: the physics-bearing
+    /// configuration fields plus the canonical plan text. The `audit`
+    /// flag is an observability knob (like priority) and stays out.
+    fn key_material(&self) -> String {
+        let c = &self.config;
+        format!(
+            "n={} per_rank={} steps={} stages={}\u{1f}{}",
+            c.n,
+            c.per_rank,
+            c.steps,
+            c.stages_per_step,
+            self.effective_plan().canonical()
+        )
+    }
+}
+
 /// A simulation job: rc-script + overrides + scheduling attributes.
 #[derive(Clone, Debug)]
 pub struct SimJob {
@@ -100,17 +144,31 @@ pub struct SimJob {
     pub want_checkpoint: bool,
     /// Transient-failure injection hook (testing / chaos drills).
     pub fault: FaultSpec,
+    /// Distributed-run attachment; `None` for single-rank jobs.
+    pub distributed: Option<DistributedSpec>,
 }
 
 impl SimJob {
-    /// The content-addressed identity of this job.
+    /// The content-addressed identity of this job. A distributed
+    /// attachment folds its canonical comm-plan into the key, so two
+    /// submissions coalesce only if they run the same schedule.
     pub fn key(&self) -> JobKey {
-        JobKey::compute(
+        let base = JobKey::compute(
             self.kind.tag(),
             &self.script,
             &self.overrides,
             self.want_checkpoint,
-        )
+        );
+        match &self.distributed {
+            None => base,
+            Some(d) => {
+                let material = d.key_material();
+                JobKey {
+                    hi: fnv1a64(base.hi, material.as_bytes()),
+                    lo: fnv1a64(base.lo, material.as_bytes()),
+                }
+            }
+        }
     }
 
     /// The script the admission checker vets: the assembly script plus
@@ -249,5 +307,47 @@ mod tests {
         let base = JobKey::compute("a", "s", &[], false);
         assert_ne!(base, JobKey::compute("a", "s", &[], true));
         assert_ne!(base, JobKey::compute("b", "s", &[], false));
+    }
+
+    #[test]
+    fn distributed_plan_enters_the_key() {
+        let job = |distributed| SimJob {
+            kind: WorkloadKind::Ignition0d,
+            script: "instantiate X x".into(),
+            overrides: vec![],
+            priority: 0,
+            step_budget: None,
+            want_checkpoint: false,
+            fault: FaultSpec::default(),
+            distributed,
+        };
+        let cfg = ScalingConfig {
+            n: 16,
+            per_rank: false,
+            ranks: 2,
+            ..ScalingConfig::default()
+        };
+        let plain = job(None).key();
+        let d1 = job(Some(DistributedSpec {
+            config: cfg,
+            plan: None,
+        }))
+        .key();
+        let d2 = job(Some(DistributedSpec {
+            config: cfg,
+            plan: None,
+        }))
+        .key();
+        let other = job(Some(DistributedSpec {
+            config: ScalingConfig {
+                overlap: true,
+                ..cfg
+            },
+            plan: None,
+        }))
+        .key();
+        assert_ne!(plain, d1, "attachment must change the key");
+        assert_eq!(d1, d2, "identical specs must coalesce");
+        assert_ne!(d1, other, "a different schedule is a different job");
     }
 }

@@ -37,7 +37,7 @@ pub mod stats;
 pub mod workload;
 
 pub use cache::{Artifacts, CacheStats, ResultCache};
-pub use job::{FaultSpec, JobId, JobKey, Override, SimJob, WorkloadKind};
+pub use job::{DistributedSpec, FaultSpec, JobId, JobKey, Override, SimJob, WorkloadKind};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use server::{JobOutcome, Server, ServerConfig, SubmitError};
 pub use session::{CancelReason, CancelToken};

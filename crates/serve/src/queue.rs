@@ -109,6 +109,7 @@ mod tests {
             step_budget: None,
             want_checkpoint: false,
             fault: FaultSpec::default(),
+            distributed: None,
         };
         Entry {
             id,

@@ -256,6 +256,21 @@ impl Server {
         }
         self.admission_warnings += report.warning_count() as u64;
 
+        // 1b. Distributed jobs: verify the communication schedule too. A
+        //     deadlocking or mismatched plan would hang (or corrupt) a
+        //     whole rank team, so it is refused here with the C-code
+        //     report instead of ever reaching a session.
+        if let Some(spec) = &job.distributed {
+            let plan_report = spec.effective_plan().verify();
+            if plan_report.has_errors() {
+                self.rejected_admission += 1;
+                return Err(SubmitError::Admission {
+                    report: plan_report.render("comm-plan"),
+                });
+            }
+            self.admission_warnings += plan_report.warning_count() as u64;
+        }
+
         let key = job.key();
         let id = self.next_id;
         let token = CancelToken::new();

@@ -107,6 +107,7 @@ impl IgnitionSpec {
             step_budget: None,
             want_checkpoint: false,
             fault: FaultSpec::default(),
+            distributed: None,
         }
     }
 }
@@ -227,6 +228,7 @@ impl RdSpec {
             step_budget: None,
             want_checkpoint: false,
             fault: FaultSpec::default(),
+            distributed: None,
         }
     }
 }

@@ -9,8 +9,16 @@
 //! ```text
 //! cargo run --example cca_lint -- [--check|--run] <script.rc>...
 //! cargo run --example cca_lint -- --apps            # lint the three app assemblies
+//! cargo run --example cca_lint -- --comm            # verify distributed comm plans
 //! cargo run --example cca_lint                      # lint the built-in demos
 //! ```
+//!
+//! `--comm` verifies the *communication schedules* of the shipped
+//! distributed configurations: every rank count in {1, 2, 4, 6} crossed
+//! with the three schedule flavours (blocking two-pass, overlapped
+//! coalesced, overlapped per-variable) is emitted as a comm-plan and run
+//! through the static checker (C001–C009; see the `cca-analyze` crate
+//! docs), exiting 1 on any diagnostic.
 //!
 //! `--apps` is the CI gate: it regenerates the ignition, reaction–
 //! diffusion and shock-interface assembly scripts exactly as the
@@ -46,6 +54,7 @@ fn main() -> ExitCode {
             "--check" => check_only = true,
             "--run" => check_only = false,
             "--apps" => return lint_apps(),
+            "--comm" => return lint_comm(),
             "--help" | "-h" => {
                 eprintln!("usage: cca_lint [--check|--run] <script.rc>...");
                 eprintln!("       cca_lint            (lint built-in demo scripts)");
@@ -128,6 +137,49 @@ fn lint_apps() -> ExitCode {
         } else {
             print!("{}", report.render(name));
             failed |= report.has_errors();
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The distributed CI gate: emit and statically verify the comm-plan of
+/// every shipped distributed configuration — each rank count crossed
+/// with the blocking, overlapped-coalesced and overlapped-per-variable
+/// schedules — exiting 1 on any diagnostic (warnings included: shipped
+/// schedules must be *clean*, not merely runnable).
+fn lint_comm() -> ExitCode {
+    use cca_apps::scaling::{decompose, ScalingConfig};
+    use cca_apps::schedule::comm_plan;
+
+    let flavours: [(&str, bool, bool); 3] = [
+        ("blocking", false, false),
+        ("overlap+coalesce", true, true),
+        ("overlap+per-var", true, false),
+    ];
+    let mut failed = false;
+    for ranks in [1usize, 2, 4, 6] {
+        for (label, overlap, coalesce) in flavours {
+            let cfg = ScalingConfig {
+                n: 24,
+                per_rank: false,
+                ranks,
+                steps: 2,
+                overlap,
+                coalesce,
+                ..ScalingConfig::default()
+            };
+            let name = format!("scaling P={ranks} {label}");
+            let report = comm_plan(&decompose(&cfg), &cfg).verify();
+            if report.is_clean() {
+                println!("{name}: ok");
+            } else {
+                print!("{}", report.render(&name));
+                failed = true;
+            }
         }
     }
     if failed {

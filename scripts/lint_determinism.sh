@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Determinism lint.
+#
+# Distributed results must be bit-reproducible: the comm-plan conformance
+# auditor and the pinned scaling checksums both assume every rank issues
+# the same operation sequence on every run. Iterating a HashMap/HashSet
+# (randomized order since the default hasher is seeded per-process) in a
+# hot path silently breaks that, so source in the comm/mesh/apps/serve
+# crates must use BTreeMap/BTreeSet — or sort before iterating.
+#
+# Files listed in ALLOW may use hash containers because their results are
+# provably order-insensitive (membership tests, min/max folds, counting);
+# add a file here only with a justification comment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOW=(
+  # Flag sets feed bounding-box/histogram folds only; clustering output
+  # does not depend on iteration order.
+  "crates/mesh/src/cluster.rs"
+  # Buffered-flag set is consumed by berger_rigoutsos, which is
+  # order-insensitive (see cluster.rs).
+  "crates/mesh/src/regrid.rs"
+)
+
+fail=0
+while IFS= read -r hit; do
+  file=${hit%%:*}
+  allowed=0
+  for a in "${ALLOW[@]}"; do
+    if [[ "$file" == "$a" ]]; then
+      allowed=1
+      break
+    fi
+  done
+  if [[ "$allowed" == 0 ]]; then
+    echo "determinism lint: hash-ordered container in hot path: $hit" >&2
+    fail=1
+  fi
+done < <(grep -rn --include='*.rs' -E 'Hash(Map|Set)' \
+  crates/comm/src crates/mesh/src crates/apps/src crates/serve/src || true)
+
+if [[ "$fail" != 0 ]]; then
+  echo "determinism lint: use BTreeMap/BTreeSet (or sort before" >&2
+  echo "iterating), or add an allowlist entry with a justification" >&2
+  echo "comment in scripts/lint_determinism.sh" >&2
+  exit 1
+fi
+echo "determinism lint: clean"

@@ -11,6 +11,7 @@ fn decomposition_invariance_many_rank_counts() {
         n: 30,
         per_rank: false,
         steps: 2,
+        audit: true,
         ..ScalingConfig::default()
     };
     let reference = run_scaling(&ScalingConfig { ranks: 1, ..base }, ClusterModel::zero()).checksum;
@@ -30,6 +31,7 @@ fn efficiency_declines_as_tiles_shrink() {
     let base = ScalingConfig {
         n: 64,
         per_rank: false,
+        audit: true,
         ..ScalingConfig::default()
     };
     let t1 = run_scaling(&ScalingConfig { ranks: 1, ..base }, model).modeled_time;
@@ -58,6 +60,7 @@ fn larger_problems_scale_better() {
                 per_rank: false,
                 ranks: 1,
                 steps: 2,
+                audit: true,
                 ..ScalingConfig::default()
             },
             model,
@@ -69,6 +72,7 @@ fn larger_problems_scale_better() {
                 per_rank: false,
                 ranks: 16,
                 steps: 2,
+                audit: true,
                 ..ScalingConfig::default()
             },
             model,
@@ -94,6 +98,7 @@ fn overlapped_exchange_is_bit_identical_to_blocking() {
         n: 30,
         per_rank: false,
         steps: 2,
+        audit: true,
         ..ScalingConfig::default()
     };
     for p in [1usize, 2, 3, 5, 6] {
@@ -129,6 +134,7 @@ fn overlap_improves_efficiency_at_the_strong_scaling_knee() {
         n: 64,
         per_rank: false,
         ranks: 16,
+        audit: true,
         ..ScalingConfig::default()
     };
     let blocking = run_scaling(&base, model).modeled_time;
@@ -180,6 +186,7 @@ fn coalescing_sends_exactly_one_message_per_rank_pair_per_stage() {
         ranks: 4,
         steps: 3,
         overlap: true,
+        audit: true,
         ..ScalingConfig::default()
     };
     let exchanges = (base.steps * base.stages_per_step) as u64;
@@ -209,6 +216,7 @@ fn weak_scaling_message_volume_grows_linearly() {
         n: 16,
         per_rank: true,
         steps: 2,
+        audit: true,
         ..ScalingConfig::default()
     };
     let m2 = run_scaling(&ScalingConfig { ranks: 2, ..base }, model);
