@@ -5,10 +5,10 @@
 # [workspace.lints] table of the root Cargo.toml.
 #
 # Opt-in extras:
-#   CI_BENCH=1  also run the deterministic bench smokes (cca-bench) and
-#               fail on malformed output or drift from the committed
-#               BENCH_PR2.json / BENCH_PR3.json / BENCH_PR4.json /
-#               BENCH_PR5.json baselines.
+#   CI_BENCH=1  also run every deterministic bench suite (cca-bench) and
+#               fail on malformed output or byte drift from its committed
+#               BENCH_PR*.json baseline. Suites live in the BENCHES table
+#               below: one "subcommand:baseline" line per suite.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -40,30 +40,29 @@ echo "== cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 if [[ "${CI_BENCH:-0}" == "1" ]]; then
-  echo "== bench smoke (CI_BENCH=1)"
-  cargo run -q -p cca-bench --bin cca-bench -- smoke target/BENCH_PR2.json
-  cargo run -q -p cca-bench --bin cca-bench -- check target/BENCH_PR2.json
-  echo "== bench smoke: compare against committed baseline"
-  diff -u BENCH_PR2.json target/BENCH_PR2.json \
-    || { echo "BENCH_PR2.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- smoke"; exit 1; }
-  echo "== serve loadgen bench (CI_BENCH=1)"
-  cargo run -q -p cca-bench --bin cca-bench -- serve target/BENCH_PR3.json
-  cargo run -q -p cca-bench --bin cca-bench -- serve-check target/BENCH_PR3.json
-  echo "== serve loadgen: compare against committed baseline"
-  diff -u BENCH_PR3.json target/BENCH_PR3.json \
-    || { echo "BENCH_PR3.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- serve"; exit 1; }
-  echo "== hotpath allocation-discipline bench (CI_BENCH=1)"
-  cargo run -q -p cca-bench --bin cca-bench -- hotpath target/BENCH_PR4.json
-  cargo run -q -p cca-bench --bin cca-bench -- hotpath-check target/BENCH_PR4.json
-  echo "== hotpath: compare against committed baseline"
-  diff -u BENCH_PR4.json target/BENCH_PR4.json \
-    || { echo "BENCH_PR4.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- hotpath"; exit 1; }
-  echo "== halo overlap/coalescing bench (CI_BENCH=1)"
-  cargo run -q -p cca-bench --bin cca-bench -- scaling target/BENCH_PR5.json
-  cargo run -q -p cca-bench --bin cca-bench -- scaling-check target/BENCH_PR5.json
-  echo "== scaling: compare against committed baseline"
-  diff -u BENCH_PR5.json target/BENCH_PR5.json \
-    || { echo "BENCH_PR5.json drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- scaling"; exit 1; }
+  # subcommand:baseline pairs; the check twin is "<subcommand>-check"
+  # ("check" for the legacy smoke suite). Each suite regenerates into
+  # target/, self-validates, and must match its committed baseline
+  # byte-for-byte.
+  BENCHES=(
+    "smoke:BENCH_PR2.json"
+    "serve:BENCH_PR3.json"
+    "hotpath:BENCH_PR4.json"
+    "scaling:BENCH_PR5.json"
+    "samr:BENCH_PR7.json"
+  )
+  for entry in "${BENCHES[@]}"; do
+    sub="${entry%%:*}"
+    baseline="${entry#*:}"
+    check="${sub}-check"
+    [[ "$sub" == "smoke" ]] && check="check"
+    echo "== bench ${sub} (CI_BENCH=1)"
+    cargo run -q -p cca-bench --bin cca-bench -- "$sub" "target/$baseline"
+    cargo run -q -p cca-bench --bin cca-bench -- "$check" "target/$baseline"
+    echo "== bench ${sub}: compare against committed baseline"
+    diff -u "$baseline" "target/$baseline" \
+      || { echo "$baseline drifted; regenerate with: cargo run -p cca-bench --bin cca-bench -- $sub"; exit 1; }
+  done
 fi
 
 echo "ci: all gates passed"

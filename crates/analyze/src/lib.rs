@@ -83,6 +83,7 @@
 pub mod check;
 pub mod commplan;
 pub mod diag;
+pub mod distplan;
 pub mod ir;
 
 pub use check::Analyzer;

@@ -11,11 +11,16 @@
 //! * [`palette`] — the component palette shared by all assemblies (the
 //!   analogue of CCAFFEINE's directory of `.so` components);
 //! * [`scaling`] — the distributed (SCMD) uniform-mesh configuration of
-//!   the §5.2 scaling studies, with the CPlant cluster performance model.
+//!   the §5.2 scaling studies, with the CPlant cluster performance model;
+//! * [`samr`] — the distributed *adaptive* configuration: reaction–
+//!   diffusion on a two-level SAMR hierarchy whose storage is spread
+//!   across ranks, with regrid-time rebalancing and patch migration,
+//!   bit-identical at every rank count.
 
 pub mod ignition0d;
 pub mod palette;
 pub mod reaction_diffusion;
+pub mod samr;
 pub mod scaling;
 pub mod schedule;
 pub mod shock_interface;

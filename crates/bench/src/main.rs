@@ -23,6 +23,8 @@
 //! cca-bench hotpath-check [PATH]  # validate an existing BENCH_PR4.json
 //! cca-bench scaling [PATH]        # run the overlap/coalescing sweeps, write BENCH_PR5.json
 //! cca-bench scaling-check [PATH]  # validate an existing BENCH_PR5.json
+//! cca-bench samr [PATH]           # run the distributed-SAMR P sweep, write BENCH_PR7.json
+//! cca-bench samr-check [PATH]     # validate an existing BENCH_PR7.json
 //! ```
 //!
 //! The `serve` pair freezes the PR-3 serving-subsystem loadgen (200 jobs,
@@ -37,6 +39,11 @@
 //! counter. The contract is **zero steady-state allocation events**;
 //! checkout counts pin the amount of traffic the pool absorbs.
 //!
+//! The `samr` pair freezes the PR-7 distributed-SAMR contract: the
+//! adaptive reaction–diffusion run at P ∈ {1, 2, 4, 6}, audited against
+//! its emitted comm plan, with zero checksum drift from the P = 1 bits
+//! and regrid-time rebalancing migrating at least one patch at P > 1.
+//!
 //! The `scaling` pair freezes the PR-5 nonblocking-halo contract: weak
 //! and strong sweeps of the distributed diffusion workload, each point
 //! run three ways (blocking two-pass exchange, overlapped single-pass
@@ -49,6 +56,7 @@
 //! `./ci.sh` runs all of it when `CI_BENCH=1` and compares the fresh
 //! output against the committed baselines.
 
+use cca_apps::samr::{run_samr, SamrConfig};
 use cca_apps::scaling::{run_scaling, ScalingConfig};
 use cca_chem::systems::ConstantVolumeIgnition;
 use cca_chem::{h2_air_19, h2_air_reduced_5};
@@ -69,6 +77,8 @@ const HOTPATH_PATH: &str = "BENCH_PR4.json";
 const HOTPATH_SCHEMA: &str = "cca-bench-hotpath-v1";
 const SCALING_PATH: &str = "BENCH_PR5.json";
 const SCALING_SCHEMA: &str = "cca-bench-scaling-v1";
+const SAMR_PATH: &str = "BENCH_PR7.json";
+const SAMR_SCHEMA: &str = "cca-bench-samr-v1";
 
 /// Stoichiometric H2-air for an n-species table (H2, O2 first; N2 last).
 fn stoich(n: usize) -> Vec<f64> {
@@ -387,6 +397,114 @@ fn validate_scaling(text: &str) -> Vec<String> {
             "knee improvement {knee} below the {floor} acceptance floor"
         )),
         _ => errs.push("missing knee improvement or its floor".into()),
+    }
+    errs
+}
+
+/// PR-7 distributed-SAMR sweep, frozen as JSON: the adaptive
+/// reaction–diffusion run of `cca_apps::samr` at P ∈ {1, 2, 4, 6} on the
+/// CPlant model, every run audited against its emitted comm plan. The
+/// load-bearing numbers are the zero in every `checksum_drift` (the
+/// distributed hierarchy reproduces the single-rank bits exactly, regrid
+/// and migration traffic included) and the nonzero total `migrations`
+/// (regrid-time rebalancing actually moved patches between ranks).
+fn samr_json() -> String {
+    let model = ClusterModel::cplant();
+    let ranks = [1usize, 2, 4, 6];
+    let runs: Vec<_> = ranks
+        .iter()
+        .map(|&p| {
+            run_samr(
+                &SamrConfig {
+                    ranks: p,
+                    audit: true,
+                    ..SamrConfig::default()
+                },
+                model,
+            )
+        })
+        .collect();
+    let base_bits = runs[0].checksum.to_bits();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SAMR_SCHEMA}\",\n"));
+    out.push_str("  \"deterministic\": true,\n");
+    out.push_str("  \"p_sweep\": [\n");
+    for (i, (&p, r)) in ranks.iter().zip(&runs).enumerate() {
+        let drift = u64::from(r.checksum.to_bits() != base_bits);
+        out.push_str(&format!(
+            "    {{\"ranks\": {p}, \"modeled_time_s\": {:e}, \"messages\": {}, \
+             \"bytes\": {}, \"messages_coalesced\": {}, \"regrids\": {}, \
+             \"migrations\": {}, \"fine_cells\": {}, \"checksum\": {:e}, \
+             \"checksum_drift\": {drift}}}{}\n",
+            r.modeled_time,
+            r.messages,
+            r.bytes,
+            r.messages_coalesced,
+            r.regrids,
+            r.migrations,
+            r.fine_cells,
+            r.checksum,
+            if i + 1 < ranks.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let migrated: usize = runs.iter().skip(1).map(|r| r.migrations).sum();
+    out.push_str(&format!("  \"migrations_at_p_gt_1\": {migrated}\n}}\n"));
+    out
+}
+
+/// Structural + invariant validation of a distributed-SAMR file: zero
+/// checksum drift at every P, an identical final hierarchy everywhere,
+/// periodic regridding exercised, and at least one patch migration at
+/// some P > 1.
+fn validate_samr(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !text.contains(&format!("\"schema\": \"{SAMR_SCHEMA}\"")) {
+        errs.push(format!("missing or wrong schema tag (want {SAMR_SCHEMA})"));
+    }
+    for (open, close, what) in [('{', '}', "braces"), ('[', ']', "brackets")] {
+        let a = text.matches(open).count();
+        let b = text.matches(close).count();
+        if a != b || a == 0 {
+            errs.push(format!("unbalanced {what}: {a} '{open}' vs {b} '{close}'"));
+        }
+    }
+    let drifts = numbers_after(text, "checksum_drift");
+    if drifts.len() != 4 {
+        errs.push(format!("want 4 P-sweep points, found {}", drifts.len()));
+    }
+    for (i, v) in drifts.iter().enumerate() {
+        if *v != 0.0 {
+            errs.push(format!(
+                "point {i}: distributed run drifted from the P=1 bits"
+            ));
+        }
+    }
+    for (i, v) in numbers_after(text, "modeled_time_s").iter().enumerate() {
+        if !v.is_finite() || *v <= 0.0 {
+            errs.push(format!("point {i}: non-physical modeled time {v}"));
+        }
+    }
+    for (i, v) in numbers_after(text, "regrids").iter().enumerate() {
+        if *v < 2.0 {
+            errs.push(format!(
+                "point {i}: only {v} regrid(s); periodic regridding never ran"
+            ));
+        }
+    }
+    let fine = numbers_after(text, "fine_cells");
+    if fine.windows(2).any(|w| w[0] != w[1]) {
+        errs.push(format!("final fine level differs across P: {fine:?}"));
+    }
+    if fine.first().is_none_or(|v| *v < 1.0) {
+        errs.push("the estimator never refined anything".into());
+    }
+    if numbers_after(text, "migrations_at_p_gt_1")
+        .first()
+        .is_none_or(|v| *v < 1.0)
+    {
+        errs.push("no P > 1 run migrated a patch; rebalancing untested".into());
     }
     errs
 }
@@ -762,48 +880,106 @@ fn validate(text: &str) -> Vec<String> {
     errs
 }
 
+/// One bench suite: a generator subcommand, its `-check` twin, a default
+/// output path, and the generate/validate pair. Adding a suite is one
+/// table line in [`SUITES`] (plus a baseline line in `ci.sh`).
+struct Suite {
+    run: &'static str,
+    check: &'static str,
+    path: &'static str,
+    generate: fn() -> String,
+    validate: fn(&str) -> Vec<String>,
+}
+
+/// Every bench suite the binary knows, in PR order.
+const SUITES: &[Suite] = &[
+    Suite {
+        run: "smoke",
+        check: "check",
+        path: DEFAULT_PATH,
+        generate: smoke_json,
+        validate,
+    },
+    Suite {
+        run: "serve",
+        check: "serve-check",
+        path: SERVE_PATH,
+        generate: serve_json,
+        validate: validate_serve,
+    },
+    Suite {
+        run: "hotpath",
+        check: "hotpath-check",
+        path: HOTPATH_PATH,
+        generate: hotpath_json,
+        validate: validate_hotpath,
+    },
+    Suite {
+        run: "scaling",
+        check: "scaling-check",
+        path: SCALING_PATH,
+        generate: scaling_json,
+        validate: validate_scaling,
+    },
+    Suite {
+        run: "samr",
+        check: "samr-check",
+        path: SAMR_PATH,
+        generate: samr_json,
+        validate: validate_samr,
+    },
+];
+
+fn print_errs(path: &str, errs: &[String]) {
+    eprintln!("cca-bench: {path} is malformed:");
+    for e in errs {
+        eprintln!("  - {e}");
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let mode = args.get(1).map(String::as_str);
-    let default_path = match mode {
-        Some("serve") | Some("serve-check") => SERVE_PATH,
-        Some("hotpath") | Some("hotpath-check") => HOTPATH_PATH,
-        Some("scaling") | Some("scaling-check") => SCALING_PATH,
-        _ => DEFAULT_PATH,
+    let mode = args.get(1).map(String::as_str).unwrap_or("");
+    let Some(suite) = SUITES.iter().find(|s| s.run == mode || s.check == mode) else {
+        let names: Vec<String> = SUITES
+            .iter()
+            .map(|s| format!("{}|{}", s.run, s.check))
+            .collect();
+        eprintln!(
+            "usage: cca-bench {} [PATH]",
+            names.join(" [PATH] | cca-bench ")
+        );
+        return ExitCode::FAILURE;
     };
-    let path = args.get(2).map(String::as_str).unwrap_or(default_path);
-    match mode {
-        Some("scaling") => {
-            let json = scaling_json();
-            let errs = validate_scaling(&json);
-            if !errs.is_empty() {
-                eprintln!("cca-bench: scaling output failed self-check:");
-                for e in &errs {
-                    eprintln!("  - {e}");
-                }
-                return ExitCode::FAILURE;
+    let path = args.get(2).map(String::as_str).unwrap_or(suite.path);
+    if mode == suite.run {
+        let json = (suite.generate)();
+        let errs = (suite.validate)(&json);
+        if !errs.is_empty() {
+            eprintln!("cca-bench: {mode} output failed self-check:");
+            for e in &errs {
+                eprintln!("  - {e}");
             }
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("cca-bench: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "cca-bench: wrote {path} ({} bytes, deterministic)",
-                json.len()
-            );
-            ExitCode::SUCCESS
+            return ExitCode::FAILURE;
         }
-        Some("scaling-check") => match std::fs::read_to_string(path) {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cca-bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "cca-bench: wrote {path} ({} bytes, deterministic)",
+            json.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        match std::fs::read_to_string(path) {
             Ok(text) => {
-                let errs = validate_scaling(&text);
+                let errs = (suite.validate)(&text);
                 if errs.is_empty() {
                     println!("cca-bench: {path} is well-formed");
                     ExitCode::SUCCESS
                 } else {
-                    eprintln!("cca-bench: {path} is malformed:");
-                    for e in &errs {
-                        eprintln!("  - {e}");
-                    }
+                    print_errs(path, &errs);
                     ExitCode::FAILURE
                 }
             }
@@ -811,130 +987,6 @@ fn main() -> ExitCode {
                 eprintln!("cca-bench: cannot read {path}: {e}");
                 ExitCode::FAILURE
             }
-        },
-        Some("hotpath") => {
-            let json = hotpath_json();
-            let errs = validate_hotpath(&json);
-            if !errs.is_empty() {
-                eprintln!("cca-bench: hotpath output failed self-check:");
-                for e in &errs {
-                    eprintln!("  - {e}");
-                }
-                return ExitCode::FAILURE;
-            }
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("cca-bench: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "cca-bench: wrote {path} ({} bytes, deterministic)",
-                json.len()
-            );
-            ExitCode::SUCCESS
-        }
-        Some("hotpath-check") => match std::fs::read_to_string(path) {
-            Ok(text) => {
-                let errs = validate_hotpath(&text);
-                if errs.is_empty() {
-                    println!("cca-bench: {path} is well-formed");
-                    ExitCode::SUCCESS
-                } else {
-                    eprintln!("cca-bench: {path} is malformed:");
-                    for e in &errs {
-                        eprintln!("  - {e}");
-                    }
-                    ExitCode::FAILURE
-                }
-            }
-            Err(e) => {
-                eprintln!("cca-bench: cannot read {path}: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        Some("serve") => {
-            let json = serve_json();
-            let errs = validate_serve(&json);
-            if !errs.is_empty() {
-                eprintln!("cca-bench: serve loadgen output failed self-check:");
-                for e in &errs {
-                    eprintln!("  - {e}");
-                }
-                return ExitCode::FAILURE;
-            }
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("cca-bench: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "cca-bench: wrote {path} ({} bytes, deterministic)",
-                json.len()
-            );
-            ExitCode::SUCCESS
-        }
-        Some("serve-check") => match std::fs::read_to_string(path) {
-            Ok(text) => {
-                let errs = validate_serve(&text);
-                if errs.is_empty() {
-                    println!("cca-bench: {path} is well-formed");
-                    ExitCode::SUCCESS
-                } else {
-                    eprintln!("cca-bench: {path} is malformed:");
-                    for e in &errs {
-                        eprintln!("  - {e}");
-                    }
-                    ExitCode::FAILURE
-                }
-            }
-            Err(e) => {
-                eprintln!("cca-bench: cannot read {path}: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        Some("smoke") => {
-            let json = smoke_json();
-            let errs = validate(&json);
-            if !errs.is_empty() {
-                eprintln!("cca-bench: generated output failed self-check:");
-                for e in &errs {
-                    eprintln!("  - {e}");
-                }
-                return ExitCode::FAILURE;
-            }
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("cca-bench: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "cca-bench: wrote {path} ({} bytes, deterministic)",
-                json.len()
-            );
-            ExitCode::SUCCESS
-        }
-        Some("check") => match std::fs::read_to_string(path) {
-            Ok(text) => {
-                let errs = validate(&text);
-                if errs.is_empty() {
-                    println!("cca-bench: {path} is well-formed");
-                    ExitCode::SUCCESS
-                } else {
-                    eprintln!("cca-bench: {path} is malformed:");
-                    for e in &errs {
-                        eprintln!("  - {e}");
-                    }
-                    ExitCode::FAILURE
-                }
-            }
-            Err(e) => {
-                eprintln!("cca-bench: cannot read {path}: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        _ => {
-            eprintln!(
-                "usage: cca-bench smoke|check [PATH] | cca-bench serve|serve-check [PATH] \
-                 | cca-bench hotpath|hotpath-check [PATH] | cca-bench scaling|scaling-check [PATH]"
-            );
-            ExitCode::FAILURE
         }
     }
 }

@@ -206,6 +206,20 @@ impl Communicator {
         }
     }
 
+    /// Announce the schedule phase this rank is currently executing (for
+    /// example `"regrid epoch 7"`). If the rank panics mid-phase, the label
+    /// is attached to the poison record so victims and the launcher report
+    /// *which* exchange died, not just the original tag.
+    pub fn set_phase(&self, label: &str) {
+        self.router.set_phase(self.rank, Some(label));
+    }
+
+    /// Clear this rank's announced phase; subsequent failures fall back to
+    /// the generic "mid-exchange" wording.
+    pub fn clear_phase(&self) {
+        self.router.set_phase(self.rank, None);
+    }
+
     /// Record that one wire message replaced `packed` logical transfers
     /// (`packed - 1` messages saved by aggregation). No-op for `packed <= 1`.
     pub fn note_coalesced(&self, packed: u64) {

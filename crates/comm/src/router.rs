@@ -51,6 +51,21 @@ pub struct PeerPanic {
     pub rank: usize,
     /// Its panic payload, stringified.
     pub message: String,
+    /// The schedule phase the rank had announced when it panicked (see
+    /// [`Router::set_phase`]) — e.g. `"regrid epoch 7"` — so a mid-regrid
+    /// fault is attributed to the regrid, not just to the original tag.
+    pub phase: Option<String>,
+}
+
+impl PeerPanic {
+    /// `" during <phase>"` when the culprit announced one, else empty —
+    /// the suffix every poisoned-peer error message carries.
+    pub fn phase_context(&self) -> String {
+        match &self.phase {
+            Some(p) => format!(" during {p}"),
+            None => String::new(),
+        }
+    }
 }
 
 /// One rank's mailbox: a queue protected by a mutex + condvar so that a
@@ -69,6 +84,10 @@ pub struct Router {
     egress_free: Vec<Mutex<f64>>,
     /// First panicked rank, if any.
     poison: Mutex<Option<PeerPanic>>,
+    /// Per-rank phase labels (e.g. `"regrid epoch 7"`): written only by
+    /// the owning rank's thread, read when that rank poisons the job so
+    /// the error names the schedule phase, not just the blocked tag.
+    phases: Vec<Mutex<Option<String>>>,
     /// Per-rank execution traces for the conformance auditor; empty when
     /// tracing is off. Each entry is written only by its owning rank's
     /// thread, so the recorded order is the rank's program order.
@@ -96,6 +115,7 @@ impl Router {
             boxes: (0..size).map(|_| Mailbox::default()).collect(),
             egress_free: (0..size).map(|_| Mutex::new(0.0)).collect(),
             poison: Mutex::new(None),
+            phases: (0..size).map(|_| Mutex::new(None)).collect(),
             traces: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
             tracing,
         })
@@ -145,6 +165,19 @@ impl Router {
         start
     }
 
+    /// Announce the schedule phase `rank` is executing (e.g. a regrid
+    /// epoch). If the rank panics while the label is set, the poison
+    /// record — and every victim's abort message — names the phase.
+    /// `None` clears the label.
+    pub fn set_phase(&self, rank: usize, label: Option<&str>) {
+        *self.phases[rank].lock() = label.map(str::to_string);
+    }
+
+    /// The phase `rank` last announced, if any.
+    pub fn phase(&self, rank: usize) -> Option<String> {
+        self.phases[rank].lock().clone()
+    }
+
     /// Record that `rank` panicked (first record wins) and wake every
     /// blocked receiver so it can abort with a poisoned-peer error
     /// instead of waiting forever for a message that will never come.
@@ -155,6 +188,7 @@ impl Router {
                 *p = Some(PeerPanic {
                     rank,
                     message: message.to_string(),
+                    phase: self.phase(rank),
                 });
             }
         }
@@ -192,8 +226,10 @@ impl Router {
             if let Some(p) = self.poisoned() {
                 panic!(
                     "rank {me}: receive from rank {src} (tag {tag}) aborted: \
-                     rank {} panicked mid-exchange: {}",
-                    p.rank, p.message
+                     rank {} panicked{}: {}",
+                    p.rank,
+                    exchange_context(&p),
+                    p.message
                 );
             }
             mb.signal.wait(&mut q);
@@ -215,8 +251,10 @@ impl Router {
             if let Some(p) = self.poisoned() {
                 panic!(
                     "rank {me}: probe of rank {src} (tag {tag}) aborted: \
-                     rank {} panicked mid-exchange: {}",
-                    p.rank, p.message
+                     rank {} panicked{}: {}",
+                    p.rank,
+                    exchange_context(&p),
+                    p.message
                 );
             }
         }
@@ -227,6 +265,15 @@ impl Router {
     /// communicators. Useful for leak checks in tests.
     pub fn pending(&self, me: usize) -> usize {
         self.boxes[me].queue.lock().len()
+    }
+}
+
+/// The culprit's announced phase (`" during regrid epoch 7"`), falling
+/// back to the historical `" mid-exchange"` wording when none was set.
+fn exchange_context(p: &PeerPanic) -> String {
+    match &p.phase {
+        Some(phase) => format!(" during {phase}"),
+        None => " mid-exchange".to_string(),
     }
 }
 
@@ -357,5 +404,36 @@ mod tests {
         let p = r.poisoned().unwrap();
         assert_eq!(p.rank, 2);
         assert_eq!(p.message, "original");
+    }
+
+    #[test]
+    fn poison_during_announced_phase_names_the_phase() {
+        let r = Router::new(2);
+        r.set_phase(1, Some("regrid epoch 7"));
+        r.poison(1, "clustering exploded");
+        let p = r.poisoned().unwrap();
+        assert_eq!(p.phase.as_deref(), Some("regrid epoch 7"));
+        // A victim's abort message carries the phase, not just the tag.
+        let err = std::panic::catch_unwind(|| {
+            let _ = r.take(0, 0, 1, 9);
+        })
+        .unwrap_err();
+        let text = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("during regrid epoch 7"), "{text}");
+        assert!(text.contains("clustering exploded"), "{text}");
+    }
+
+    #[test]
+    fn cleared_phase_falls_back_to_mid_exchange_wording() {
+        let r = Router::new(2);
+        r.set_phase(0, Some("ghost fill"));
+        r.set_phase(0, None);
+        r.poison(0, "boom");
+        let err = std::panic::catch_unwind(|| {
+            let _ = r.take(1, 0, 0, 3);
+        })
+        .unwrap_err();
+        let text = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("panicked mid-exchange"), "{text}");
     }
 }

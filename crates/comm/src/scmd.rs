@@ -118,7 +118,12 @@ where
             // Re-raise the first rank that actually panicked (the poisoner),
             // not whichever victim happened to join first.
             if let Some(p) = router.poisoned() {
-                panic!("SCMD rank {} panicked: {}", p.rank, p.message);
+                panic!(
+                    "SCMD rank {} panicked{}: {}",
+                    p.rank,
+                    p.phase_context(),
+                    p.message
+                );
             }
             for r in joined {
                 if let Err(payload) = r {
@@ -172,6 +177,26 @@ mod tests {
         let text = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(text.contains("rank 1"), "{text}");
         assert!(text.contains("rank 1 exploded"), "{text}");
+    }
+
+    #[test]
+    fn panic_inside_announced_phase_names_the_phase() {
+        // A rank that dies during an announced regrid epoch should produce a
+        // launcher error naming that epoch, so fault-injection tests on the
+        // distributed-regrid path get actionable messages.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run(2, ClusterModel::zero(), |comm| {
+                if comm.rank() == 1 {
+                    comm.set_phase("regrid epoch 3");
+                    panic!("rank 1 died mid-regrid");
+                }
+                comm.recv::<u8>(1, 0)
+            })
+        }))
+        .unwrap_err();
+        let text = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("during regrid epoch 3"), "{text}");
+        assert!(text.contains("rank 1 died mid-regrid"), "{text}");
     }
 
     #[test]

@@ -123,7 +123,7 @@ impl MeshPort for GraceInner {
                 }
                 level_loads
             }
-            None => assign_hierarchy(hier, |_, cells| cells as f64, nranks, 1.5),
+            None => assign_hierarchy(hier, |_, _, p| p.interior.count() as f64, nranks, 1.5),
         }
     }
 

@@ -47,20 +47,21 @@ pub fn imbalance(loads: &[f64]) -> f64 {
 /// prolongation/restriction is rank-local); if the resulting imbalance
 /// exceeds `affinity_tolerance`, the level falls back to greedy LPT.
 ///
+/// `work(hier, level, patch)` prices one patch; it sees the whole
+/// hierarchy so a cost model can, e.g., charge a coarse patch for the
+/// fine cells overlying it (owner-computes coarse-fine locality).
+///
 /// Returns per-level per-rank loads.
 pub fn assign_hierarchy(
     hier: &mut Hierarchy,
-    work: impl Fn(usize, i64) -> f64,
+    work: impl Fn(&Hierarchy, usize, &crate::hierarchy::Patch) -> f64,
     nranks: usize,
     affinity_tolerance: f64,
 ) -> Vec<Vec<f64>> {
     let mut level_loads: Vec<Vec<f64>> = Vec::with_capacity(hier.n_levels());
     for level in 0..hier.n_levels() {
         let patches = hier.levels[level].patches.clone();
-        let works: Vec<f64> = patches
-            .iter()
-            .map(|p| work(level, p.interior.count()))
-            .collect();
+        let works: Vec<f64> = patches.iter().map(|p| work(hier, level, p)).collect();
         let owners: Vec<usize> = if level == 0 {
             assign_greedy(&works, nranks)
         } else {
@@ -105,6 +106,61 @@ pub fn assign_hierarchy(
         level_loads.push(loads);
     }
     level_loads
+}
+
+/// A patch whose owner changed during a rebalance: its stored bytes must
+/// migrate `from → to` before the next exchange epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Move {
+    /// Refinement level of the migrating patch.
+    pub level: usize,
+    /// Patch id within the hierarchy.
+    pub id: usize,
+    /// Rank that currently stores the patch.
+    pub from: usize,
+    /// Rank that owns (and must store) it after the rebalance.
+    pub to: usize,
+}
+
+/// Re-run the full-hierarchy assignment at regrid time and report which
+/// surviving patches changed owner relative to `prev_owner`.
+///
+/// `prev_owner` maps `(level, id)` to the rank that stored the patch before
+/// the regrid; patches absent from it (freshly created by the regrid) are
+/// assigned but never produce a [`Move`] — their data is born on the new
+/// owner. The assignment itself is [`assign_hierarchy`], so level 0 gets
+/// greedy LPT and finer levels keep parent affinity within tolerance;
+/// determinism is inherited from those (stable sorts, first-minimum ties).
+///
+/// Returns `(per-level per-rank loads, moves sorted by (level, id))`.
+pub fn rebalance_hierarchy(
+    hier: &mut Hierarchy,
+    work: impl Fn(&Hierarchy, usize, &crate::hierarchy::Patch) -> f64,
+    nranks: usize,
+    affinity_tolerance: f64,
+    prev_owner: &[(usize, usize, usize)],
+) -> (Vec<Vec<f64>>, Vec<Move>) {
+    let level_loads = assign_hierarchy(hier, work, nranks, affinity_tolerance);
+    let mut moves = Vec::new();
+    for &(level, id, from) in prev_owner {
+        let Some(patch) = hier
+            .levels
+            .get(level)
+            .and_then(|l| l.patches.iter().find(|p| p.id == id))
+        else {
+            continue; // regrid dropped the patch; nothing to migrate
+        };
+        if patch.owner != from {
+            moves.push(Move {
+                level,
+                id,
+                from,
+                to: patch.owner,
+            });
+        }
+    }
+    moves.sort_unstable_by_key(|m| (m.level, m.id));
+    (level_loads, moves)
 }
 
 #[cfg(test)]
@@ -158,7 +214,7 @@ mod tests {
                 IntBox::new([10, 10], [13, 13]).refine(2),
             ],
         );
-        assign_hierarchy(&mut h, |_, cells| cells as f64, 2, 1.5);
+        assign_hierarchy(&mut h, |_, _, p| p.interior.count() as f64, 2, 1.5);
         let l0 = &h.levels[0].patches;
         let l1 = &h.levels[1].patches;
         // Each fine patch shares its strongest parent's rank.
@@ -191,12 +247,41 @@ mod tests {
                 IntBox::new([4, 4], [7, 7]).refine(2),
             ],
         );
-        let loads = assign_hierarchy(&mut h, |_, cells| cells as f64, 2, 1.2);
+        let loads = assign_hierarchy(&mut h, |_, _, p| p.interior.count() as f64, 2, 1.2);
         let fine_loads = &loads[1];
         assert!(
             imbalance(fine_loads) <= 1.2 + 1e-12,
             "fallback failed: {fine_loads:?}"
         );
+    }
+
+    #[test]
+    fn rebalance_reports_only_surviving_owner_changes() {
+        let mut h = Hierarchy::new(IntBox::sized(16, 16), [0.0, 0.0], [1.0; 2], 2);
+        let ids = h.set_level_boxes(
+            0,
+            &[IntBox::new([0, 0], [7, 15]), IntBox::new([8, 0], [15, 15])],
+        );
+        // Pretend both patches used to live on rank 1, plus a stale record
+        // for a patch the regrid deleted.
+        let prev: Vec<(usize, usize, usize)> = vec![(0, ids[0], 1), (0, ids[1], 1), (0, 999, 0)];
+        let (loads, moves) =
+            rebalance_hierarchy(&mut h, |_, _, p| p.interior.count() as f64, 2, 1.5, &prev);
+        assert_eq!(loads[0].len(), 2);
+        // Exactly one of the two equal patches leaves rank 1 (LPT splits
+        // them across the two ranks); the deleted id produces no move.
+        assert_eq!(moves.len(), 1, "{moves:?}");
+        assert_eq!(moves[0].from, 1);
+        assert!(moves.iter().all(|m| m.id != 999));
+        // Moves agree with the post-assignment owners.
+        for m in &moves {
+            let p = h.levels[m.level]
+                .patches
+                .iter()
+                .find(|p| p.id == m.id)
+                .unwrap();
+            assert_eq!(p.owner, m.to);
+        }
     }
 
     #[test]

@@ -119,6 +119,51 @@ fn get_box(r: &mut impl Read) -> Result<IntBox, CheckpointError> {
     Ok(IntBox::new(lo, hi))
 }
 
+/// Serialize one stored patch as a self-describing migration record:
+/// `u64 level, u64 id, interior box, raw f64 data (all vars, interior +
+/// ghosts)`. Little-endian, same conventions as the checkpoint body, so a
+/// record is exactly [`patch_record_len`] bytes and a concatenation of
+/// records is a valid migration payload.
+pub fn patch_to_bytes(level: usize, id: usize, pd: &PatchData, out: &mut Vec<u8>) {
+    put_u64(out, level as u64).expect("Vec writes are infallible");
+    put_u64(out, id as u64).expect("Vec writes are infallible");
+    put_box(out, &pd.interior).expect("Vec writes are infallible");
+    for var in 0..pd.nvars {
+        for v in pd.var_slice(var) {
+            put_f64(out, *v).expect("Vec writes are infallible");
+        }
+    }
+}
+
+/// Parse one migration record produced by [`patch_to_bytes`]. `nvars` and
+/// `nghost` come from the receiving Data Object (the record stores only
+/// geometry + raw data). Returns `(level, id, patch)`.
+pub fn patch_from_bytes(
+    r: &mut impl Read,
+    nvars: usize,
+    nghost: i64,
+) -> Result<(usize, usize, PatchData), CheckpointError> {
+    let level = get_u64(r)? as usize;
+    let id = get_u64(r)? as usize;
+    let interior = get_box(r)?;
+    let mut pd = PatchData::new(interior, nvars, nghost);
+    for var in 0..nvars {
+        for v in pd.var_slice_mut(var).iter_mut() {
+            *v = get_f64(r)?;
+        }
+    }
+    Ok((level, id, pd))
+}
+
+/// Exact wire size of one [`patch_to_bytes`] record for a patch with the
+/// given interior box: header (level + id + box) plus the ghost-padded
+/// field data. Lets both sides of a migration size buffers and comm plans
+/// without constructing the payload.
+pub fn patch_record_len(interior: &IntBox, nvars: usize, nghost: i64) -> usize {
+    let total = interior.grow(nghost).count() as usize;
+    8 + 8 + 32 + 8 * nvars * total
+}
+
 /// Write a checkpoint of `hier` and the given Data Objects.
 pub fn write_checkpoint(
     hier: &Hierarchy,
@@ -311,6 +356,41 @@ mod tests {
             .collect();
         let fresh = h2.fresh_id();
         assert!(!existing.contains(&fresh), "id {fresh} collides");
+    }
+
+    #[test]
+    fn patch_record_roundtrip_is_bit_exact_and_sized() {
+        let (hier, objects) = sample();
+        let dobj = objects.get("state").unwrap();
+        let id0 = hier.levels[0].patches[0].id;
+        let pd = dobj.patch(0, id0).unwrap();
+        let mut buf = Vec::new();
+        patch_to_bytes(0, id0, pd, &mut buf);
+        assert_eq!(buf.len(), patch_record_len(&pd.interior, pd.nvars, 1));
+        let (level, id, back) = patch_from_bytes(&mut buf.as_slice(), pd.nvars, 1).unwrap();
+        assert_eq!((level, id), (0, id0));
+        assert_eq!(&back, pd);
+    }
+
+    #[test]
+    fn concatenated_patch_records_parse_sequentially() {
+        let (hier, objects) = sample();
+        let dobj = objects.get("state").unwrap();
+        let mut buf = Vec::new();
+        let mut expect = Vec::new();
+        for (level, l) in hier.levels.iter().enumerate() {
+            for p in &l.patches {
+                patch_to_bytes(level, p.id, dobj.patch(level, p.id).unwrap(), &mut buf);
+                expect.push((level, p.id));
+            }
+        }
+        let mut r = buf.as_slice();
+        for &(level, id) in &expect {
+            let (l, i, pd) = patch_from_bytes(&mut r, dobj.nvars, dobj.nghost).unwrap();
+            assert_eq!((l, i), (level, id));
+            assert_eq!(&pd, dobj.patch(level, id).unwrap());
+        }
+        assert!(r.is_empty(), "trailing bytes after last record");
     }
 
     #[test]

@@ -24,6 +24,21 @@ pub fn berger_rigoutsos(flags: &[(i64, i64)], efficiency: f64, min_width: i64) -
     out
 }
 
+/// [`berger_rigoutsos`] with an explicitly canonical result: input flags are
+/// sorted and deduplicated before clustering and the returned boxes are
+/// sorted by `(lo, hi)`. Every SCMD rank that feeds this the same flag *set*
+/// — in any order, with any duplication — gets the same `Vec<IntBox>` in the
+/// same order, which is what distributed regridding needs to keep replicated
+/// hierarchy metadata bit-identical without a broadcast.
+pub fn cluster_deterministic(flags: &[(i64, i64)], efficiency: f64, min_width: i64) -> Vec<IntBox> {
+    let mut canon = flags.to_vec();
+    canon.sort_unstable();
+    canon.dedup();
+    let mut boxes = berger_rigoutsos(&canon, efficiency, min_width);
+    boxes.sort_unstable_by_key(|b| (b.lo, b.hi));
+    boxes
+}
+
 fn bounding_box(flags: &HashSet<(i64, i64)>) -> Option<IntBox> {
     let mut it = flags.iter();
     let &(i0, j0) = it.next()?;
@@ -278,5 +293,20 @@ mod tests {
         check_invariants(&flags, &boxes);
         let total: i64 = boxes.iter().map(|b| b.count()).sum();
         assert_eq!(total as usize, flags.len(), "{boxes:?}");
+    }
+
+    #[test]
+    fn deterministic_clustering_is_order_and_duplicate_insensitive() {
+        let mut flags: Vec<_> = IntBox::new([0, 0], [7, 3]).cells().collect();
+        flags.extend(IntBox::new([12, 10], [15, 18]).cells());
+        let canonical = cluster_deterministic(&flags, 0.8, 2);
+        check_invariants(&flags, &canonical);
+        assert!(canonical
+            .windows(2)
+            .all(|w| (w[0].lo, w[0].hi) <= (w[1].lo, w[1].hi)));
+        // Reversed and duplicated input: identical boxes in identical order.
+        let mut shuffled: Vec<_> = flags.iter().rev().copied().collect();
+        shuffled.extend_from_slice(&flags[..5]);
+        assert_eq!(cluster_deterministic(&shuffled, 0.8, 2), canonical);
     }
 }

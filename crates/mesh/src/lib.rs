@@ -31,6 +31,7 @@ pub mod checkpoint;
 pub mod cluster;
 pub mod data;
 pub mod decomp;
+pub mod dist;
 pub mod ghost;
 pub mod hierarchy;
 pub mod interp;
@@ -41,5 +42,6 @@ pub use boxes::IntBox;
 pub use cluster::berger_rigoutsos;
 pub use data::{DataObject, PatchData};
 pub use decomp::UniformDecomp;
+pub use dist::DistributedHierarchy;
 pub use hierarchy::{Hierarchy, Level, Patch};
 pub use regrid::{regrid_level, RegridParams};

@@ -2,11 +2,15 @@
 # Determinism lint.
 #
 # Distributed results must be bit-reproducible: the comm-plan conformance
-# auditor and the pinned scaling checksums both assume every rank issues
-# the same operation sequence on every run. Iterating a HashMap/HashSet
-# (randomized order since the default hasher is seeded per-process) in a
-# hot path silently breaks that, so source in the comm/mesh/apps/serve
-# crates must use BTreeMap/BTreeSet — or sort before iterating.
+# auditor and the pinned scaling/SAMR checksums both assume every rank
+# issues the same operation sequence on every run. Iterating a
+# HashMap/HashSet (randomized order since the default hasher is seeded
+# per-process) in a hot path silently breaks that, so source in the
+# comm/mesh/apps/serve/analyze crates must use BTreeMap/BTreeSet — or
+# sort before iterating. The distributed-hierarchy layer (mesh/src/dist.rs,
+# analyze/src/distplan.rs) is the most sensitive: its exchange manifests
+# and regrid plans must be *identical on every rank*, so any hash-ordered
+# iteration there is a cross-rank divergence, not just run-to-run noise.
 #
 # Files listed in ALLOW may use hash containers because their results are
 # provably order-insensitive (membership tests, min/max folds, counting);
@@ -38,7 +42,8 @@ while IFS= read -r hit; do
     fail=1
   fi
 done < <(grep -rn --include='*.rs' -E 'Hash(Map|Set)' \
-  crates/comm/src crates/mesh/src crates/apps/src crates/serve/src || true)
+  crates/comm/src crates/mesh/src crates/apps/src crates/serve/src \
+  crates/analyze/src || true)
 
 if [[ "$fail" != 0 ]]; then
   echo "determinism lint: use BTreeMap/BTreeSet (or sort before" >&2
