@@ -50,6 +50,7 @@ if [[ "${CI_BENCH:-0}" == "1" ]]; then
     "hotpath:BENCH_PR4.json"
     "scaling:BENCH_PR5.json"
     "samr:BENCH_PR7.json"
+    "ckpt:BENCH_PR8.json"
   )
   for entry in "${BENCHES[@]}"; do
     sub="${entry%%:*}"

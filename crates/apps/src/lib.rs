@@ -15,11 +15,15 @@
 //! * [`samr`] — the distributed *adaptive* configuration: reaction–
 //!   diffusion on a two-level SAMR hierarchy whose storage is spread
 //!   across ranks, with regrid-time rebalancing and patch migration,
-//!   bit-identical at every rank count.
+//!   bit-identical at every rank count;
+//! * [`recover`] — the checkpoint/restart recovery driver: kill a rank
+//!   mid-run deterministically, then restart from the last complete
+//!   `cca-ckpt` set at any rank count with bit-identical final fields.
 
 pub mod ignition0d;
 pub mod palette;
 pub mod reaction_diffusion;
+pub mod recover;
 pub mod samr;
 pub mod scaling;
 pub mod schedule;

@@ -1,0 +1,96 @@
+//! The recovery driver: run the distributed SAMR experiment with a
+//! deterministic fault armed, catch the cohort's death, and restart from
+//! the last complete checkpoint set — at any rank count. Because restore
+//! rebuilds the saved hierarchy bit-exactly (fresh-id watermark included)
+//! and replays the deterministic LPT assignment at the new cohort size,
+//! the recovered run's final fields are bit-identical to a run that was
+//! never interrupted, whether it restarts at the same P or a different
+//! P'. Fault-injection tests pin exactly that.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::samr::{run_samr_harnessed, CkptHarness, SamrConfig, SamrResult};
+use cca_ckpt::{CkptStore, FaultPlan};
+use cca_comm::ClusterModel;
+
+/// What a kill-and-recover drill observed.
+#[derive(Clone, Debug)]
+pub struct RecoveryOutcome {
+    /// The poison message of the killed run, `None` if the fault never
+    /// fired (e.g. armed beyond the last step).
+    pub failure: Option<String>,
+    /// Macro step the recovered run resumed from (0 if no recovery was
+    /// needed).
+    pub resumed_from: u64,
+    /// Complete sets the interrupted run committed before dying.
+    pub checkpoints_before_kill: usize,
+    /// The final result — of the recovered run, or of the original run
+    /// when the fault never fired.
+    pub result: SamrResult,
+}
+
+/// Run `cfg` with `fault` armed; on cohort death, restart from the last
+/// complete set with `restart_ranks` ranks (the elastic-restart path when
+/// it differs from `cfg.ranks`). Panics if the run dies with no complete
+/// set in the store — a drill misconfiguration, since checkpointing must
+/// be enabled (`cfg.ckpt_interval > 0`) and fire before the fault.
+pub fn run_samr_recovering(
+    cfg: &SamrConfig,
+    model: ClusterModel,
+    fault: FaultPlan,
+    restart_ranks: usize,
+) -> RecoveryOutcome {
+    assert!(
+        cfg.ckpt_interval > 0,
+        "recovery drill needs checkpointing enabled"
+    );
+    let store = Arc::new(CkptStore::new());
+    let doomed = CkptHarness {
+        store: Some(Arc::clone(&store)),
+        fault: Some(fault),
+        restore: None,
+    };
+    // The injected panic is expected: silence the default hook's
+    // backtrace spew for the duration of the doomed attempt.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let attempt = catch_unwind(AssertUnwindSafe(|| run_samr_harnessed(cfg, model, doomed)));
+    std::panic::set_hook(prev);
+    match attempt {
+        Ok(result) => RecoveryOutcome {
+            failure: None,
+            resumed_from: 0,
+            checkpoints_before_kill: store.len(),
+            result,
+        },
+        Err(payload) => {
+            let failure = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "unknown panic".to_string());
+            let set = store
+                .latest()
+                .expect("cohort died before the first complete checkpoint");
+            let resumed_from = set.meta.step;
+            let checkpoints_before_kill = store.len();
+            let recovered = CkptHarness {
+                store: None,
+                fault: None,
+                restore: Some(set),
+            };
+            let restart_cfg = SamrConfig {
+                ranks: restart_ranks,
+                ..*cfg
+            };
+            let result = run_samr_harnessed(&restart_cfg, model, recovered);
+            RecoveryOutcome {
+                failure: Some(failure),
+                resumed_from,
+                checkpoints_before_kill,
+                result,
+            }
+        }
+    }
+}

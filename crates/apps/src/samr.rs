@@ -72,6 +72,9 @@ pub struct SamrConfig {
     /// Verify the emitted comm plan and audit the execution trace against
     /// it. Bit-identical results either way.
     pub audit: bool,
+    /// Take a coordinated checkpoint every this many macro steps
+    /// (0 disables checkpointing).
+    pub ckpt_interval: usize,
 }
 
 impl Default for SamrConfig {
@@ -87,7 +90,32 @@ impl Default for SamrConfig {
             fine_weight: 4.0,
             work_per_cell_var: 0.5,
             audit: false,
+            ckpt_interval: 0,
         }
+    }
+}
+
+impl SamrConfig {
+    /// RNG-free hash of the physics-bearing configuration. Checkpoint
+    /// sets carry it and restore refuses a mismatch. Rank count, audit
+    /// mode, checkpoint cadence, and the modeled compute cost are
+    /// excluded: none of them influences a single field bit, and an
+    /// elastic restart changes `ranks` by design.
+    pub fn state_hash(&self) -> u64 {
+        use cca_mesh::checkpoint::{fnv1a64, FNV1A_INIT};
+        let mut h = FNV1A_INIT;
+        for word in [
+            self.nx as u64,
+            self.patch_split as u64,
+            self.steps as u64,
+            self.stages_per_step as u64,
+            self.regrid_interval as u64,
+            self.threshold.to_bits(),
+            self.fine_weight.to_bits(),
+        ] {
+            h = fnv1a64(h, &word.to_le_bytes());
+        }
+        h
     }
 }
 
@@ -113,6 +141,21 @@ pub struct SamrResult {
     /// Final-field checksum, summed in fixed `(level, id)` order — the
     /// cross-P bit-identity witness.
     pub checksum: f64,
+    /// Coordinated checkpoints taken during the run.
+    pub checkpoints: usize,
+}
+
+/// Checkpoint/restart harness threaded through a run: an optional store
+/// that receives every complete set, an optional deterministic fault, and
+/// an optional set to resume from instead of the initial condition.
+#[derive(Clone, Default)]
+pub struct CkptHarness {
+    /// Every complete set is committed here (rank 0 writes).
+    pub store: Option<std::sync::Arc<cca_ckpt::CkptStore>>,
+    /// Deterministic kill switch for recovery drills.
+    pub fault: Option<cca_ckpt::FaultPlan>,
+    /// Resume from this set instead of running the initial condition.
+    pub restore: Option<std::sync::Arc<cca_ckpt::CheckpointSet>>,
 }
 
 /// Per-rank return value of the SCMD closure.
@@ -122,7 +165,27 @@ struct RankOut {
     migrations: usize,
     fine_cells: i64,
     final_max: f64,
+    ckpts: usize,
     plan: Option<CommPlan>,
+}
+
+/// Driver counters carried as a component-state part in every set, so a
+/// resumed run reports cumulative totals rather than restarting its
+/// bookkeeping from zero. (Post-restart *migration* counts can still
+/// legitimately differ across cohort sizes — rebalancing at P' moves
+/// different patches — which is why recovery equivalence is asserted on
+/// field bits, never on these counters.)
+fn driver_part(regrids: usize, migrations: usize) -> (String, Vec<u8>) {
+    let mut blob = Vec::with_capacity(16);
+    blob.extend_from_slice(&(regrids as u64).to_le_bytes());
+    blob.extend_from_slice(&(migrations as u64).to_le_bytes());
+    ("driver".to_string(), blob)
+}
+
+fn read_driver_part(set: &cca_ckpt::CheckpointSet) -> (usize, usize) {
+    let blob = set.part("driver").expect("samr sets carry driver state");
+    let word = |k: usize| u64::from_le_bytes(blob[8 * k..8 * k + 8].try_into().expect("8 bytes"));
+    (word(0) as usize, word(1) as usize)
 }
 
 /// The level-0 hierarchy: `nx × nx` cells tiled into
@@ -409,35 +472,74 @@ fn checksum(comm: &Communicator, dobj: &DataObject, dh: &DistributedHierarchy, r
 }
 
 /// The per-rank SCMD program.
-fn rank_main(comm: &Communicator, cfg: &SamrConfig) -> RankOut {
+fn rank_main(comm: &Communicator, cfg: &SamrConfig, harness: &CkptHarness) -> RankOut {
     let rank = comm.rank();
-    let mut dh = DistributedHierarchy::new(base_hierarchy(cfg), cfg.ranks);
-    dh.assign_owners(patch_work(cfg.fine_weight), AFFINITY_TOL);
-    let mut dobj = DataObject::new(NVARS, NGHOST);
-    dh.allocate_owned(&mut dobj, rank);
-    for p in &dh.hier.levels[0].patches {
-        if p.owner == rank {
-            init_patch(
-                dobj.patch_mut(0, p.id).expect("just allocated"),
-                &dh.hier,
-                0,
-            );
-        }
-    }
     let mut plan = PlanBuilder::new(cfg.ranks);
     let mut regrids = 0usize;
     let mut migrations = 0usize;
     let mut final_max = 0.0f64;
+    let mut ckpts = 0usize;
+    let config_hash = cfg.state_hash();
 
-    // Initial refinement from the initial condition.
-    fill_level(comm, &mut plan, &dh, &mut dobj, 0);
-    apply_walls(&mut dobj, &dh, 0, rank);
-    let (m, fc) = do_regrid(comm, &mut plan, &mut dh, &mut dobj, cfg, rank);
-    regrids += 1;
-    migrations += m;
-    let mut fine_cells = fc;
+    let (mut dh, mut dobj, start_step, mut fine_cells) = match &harness.restore {
+        Some(set) => {
+            // Elastic restart: rebuild the saved hierarchy bit-exactly,
+            // replay the LPT assignment at *this* rank count, and pick up
+            // the step counter where the interrupted run left off.
+            assert_eq!(
+                set.meta.config_hash, config_hash,
+                "checkpoint set belongs to a different configuration"
+            );
+            assert_eq!((set.meta.nvars, set.meta.nghost), (NVARS, NGHOST));
+            let (dh, dobj) = cca_ckpt::restore(
+                comm,
+                &mut plan,
+                set,
+                cfg.ranks,
+                patch_work(cfg.fine_weight),
+                AFFINITY_TOL,
+            );
+            let fc = dh
+                .hier
+                .levels
+                .get(1)
+                .map(|l| l.patches.iter().map(|p| p.interior.count()).sum())
+                .unwrap_or(0);
+            let (r, m) = read_driver_part(set);
+            regrids = r;
+            migrations = m;
+            (dh, dobj, set.meta.step as usize, fc)
+        }
+        None => {
+            let mut dh = DistributedHierarchy::new(base_hierarchy(cfg), cfg.ranks);
+            dh.assign_owners(patch_work(cfg.fine_weight), AFFINITY_TOL);
+            let mut dobj = DataObject::new(NVARS, NGHOST);
+            dh.allocate_owned(&mut dobj, rank);
+            for p in &dh.hier.levels[0].patches {
+                if p.owner == rank {
+                    init_patch(
+                        dobj.patch_mut(0, p.id).expect("just allocated"),
+                        &dh.hier,
+                        0,
+                    );
+                }
+            }
+            // Initial refinement from the initial condition.
+            fill_level(comm, &mut plan, &dh, &mut dobj, 0);
+            apply_walls(&mut dobj, &dh, 0, rank);
+            let (m, fc) = do_regrid(comm, &mut plan, &mut dh, &mut dobj, cfg, rank);
+            regrids += 1;
+            migrations += m;
+            (dh, dobj, 0, fc)
+        }
+    };
 
-    for step in 0..cfg.steps {
+    for step in start_step..cfg.steps {
+        if let Some(f) = harness.fault {
+            if !f.mid_snapshot && f.rank == rank && f.step == step {
+                panic!("injected fault: rank {rank} killed at step {step}");
+            }
+        }
         // Stability probe: the global spectral-radius style reduction.
         let mut local_max = 0.0f64;
         for (level, l) in dh.hier.levels.iter().enumerate() {
@@ -474,6 +576,29 @@ fn rank_main(comm: &Communicator, cfg: &SamrConfig) -> RankOut {
             migrations += m;
             fine_cells = fc;
         }
+
+        if cfg.ckpt_interval > 0 && (step + 1) % cfg.ckpt_interval == 0 && step + 1 < cfg.steps {
+            // Coordinated snapshot at the macro-step barrier, after any
+            // regrid — the set captures the post-regrid state. The epoch
+            // is the resume step, monotonic across restarts.
+            let epoch = (step + 1) as u64;
+            let meta = cca_ckpt::CkptMeta {
+                step: epoch,
+                config_hash,
+                nvars: NVARS,
+                nghost: NGHOST,
+            };
+            let kill = harness
+                .fault
+                .filter(|f| f.mid_snapshot && f.step == step)
+                .map(|f| f.rank);
+            let parts = vec![driver_part(regrids, migrations)];
+            let set = cca_ckpt::snapshot(comm, &mut plan, &dh, &dobj, meta, epoch, parts, kill);
+            ckpts += 1;
+            if let (Some(set), Some(store)) = (set, &harness.store) {
+                store.commit(set).expect("validated set commits");
+            }
+        }
     }
 
     let sum = checksum(comm, &dobj, &dh, rank);
@@ -485,6 +610,7 @@ fn rank_main(comm: &Communicator, cfg: &SamrConfig) -> RankOut {
         migrations,
         fine_cells,
         final_max,
+        ckpts,
         plan: (rank == 0).then(|| plan.build()),
     }
 }
@@ -493,8 +619,20 @@ fn rank_main(comm: &Communicator, cfg: &SamrConfig) -> RankOut {
 /// statically verifies the emitted comm plan and audits the execution
 /// trace against it (results are bit-identical either way).
 pub fn run_samr(cfg: &SamrConfig, model: ClusterModel) -> SamrResult {
+    run_samr_harnessed(cfg, model, CkptHarness::default())
+}
+
+/// [`run_samr`] with a checkpoint/restart harness: commit sets to a
+/// store, resume from a set, and/or inject a deterministic fault. Audited
+/// runs cover the checkpoint and restore exchanges with the same static
+/// verification and trace conformance as every other epoch.
+pub fn run_samr_harnessed(
+    cfg: &SamrConfig,
+    model: ClusterModel,
+    harness: CkptHarness,
+) -> SamrResult {
     let cfg = *cfg;
-    let program = move |comm: &Communicator| rank_main(comm, &cfg);
+    let program = move |comm: &Communicator| rank_main(comm, &cfg, &harness);
     let reports = if cfg.audit {
         let (reports, trace) = scmd::run_reported_traced(cfg.ranks, model, program);
         let plan = reports[0]
@@ -529,6 +667,7 @@ pub fn run_samr(cfg: &SamrConfig, model: ClusterModel) -> SamrResult {
         fine_cells: r0.fine_cells,
         final_max: r0.final_max,
         checksum: r0.checksum,
+        checkpoints: r0.ckpts,
     }
 }
 

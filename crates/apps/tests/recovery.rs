@@ -1,0 +1,132 @@
+//! Fault-injection recovery drills: kill a rank mid-run, restart from the
+//! last complete checkpoint set — at the same rank count and at different
+//! ones — and pin that the recovered final fields are bit-identical to a
+//! run that was never interrupted. Also pins that checkpointing itself
+//! never perturbs a single bit, and that a mid-snapshot death names its
+//! checkpoint epoch in the poison report.
+
+use cca_apps::recover::run_samr_recovering;
+use cca_apps::samr::{run_samr, SamrConfig, SamrResult};
+use cca_ckpt::FaultPlan;
+use cca_comm::ClusterModel;
+
+fn drill_cfg() -> SamrConfig {
+    SamrConfig {
+        ranks: 4,
+        steps: 6,
+        ckpt_interval: 2,
+        audit: true,
+        ..SamrConfig::default()
+    }
+}
+
+/// The ground truth: the same experiment, never interrupted and never
+/// checkpointing.
+fn uninterrupted() -> SamrResult {
+    run_samr(
+        &SamrConfig {
+            ckpt_interval: 0,
+            ..drill_cfg()
+        },
+        ClusterModel::zero(),
+    )
+}
+
+fn assert_bits_match(got: &SamrResult, want: &SamrResult, what: &str) {
+    assert_eq!(
+        got.checksum.to_bits(),
+        want.checksum.to_bits(),
+        "{what}: checksum drifted: {} vs {}",
+        got.checksum,
+        want.checksum
+    );
+    assert_eq!(
+        got.final_max.to_bits(),
+        want.final_max.to_bits(),
+        "{what}: final max drifted"
+    );
+    assert_eq!(
+        got.fine_cells, want.fine_cells,
+        "{what}: fine cells drifted"
+    );
+}
+
+#[test]
+fn checkpointing_never_perturbs_the_run() {
+    let base = uninterrupted();
+    let with_ckpt = run_samr(&drill_cfg(), ClusterModel::zero());
+    assert!(with_ckpt.checkpoints >= 2, "cadence must fire");
+    assert_bits_match(&with_ckpt, &base, "checkpointing run");
+}
+
+#[test]
+fn kill_and_same_rank_restart_is_bit_identical() {
+    let base = uninterrupted();
+    let fault = FaultPlan {
+        rank: 1,
+        step: 3,
+        mid_snapshot: false,
+    };
+    let out = run_samr_recovering(&drill_cfg(), ClusterModel::zero(), fault, 4);
+    let failure = out.failure.expect("the armed fault must fire");
+    assert!(
+        failure.contains("killed at step 3"),
+        "poison must name the kill: {failure}"
+    );
+    assert_eq!(out.resumed_from, 2, "last complete set is the step-2 one");
+    assert!(out.checkpoints_before_kill >= 1);
+    assert_bits_match(&out.result, &base, "recovered at P=4");
+}
+
+#[test]
+fn elastic_restart_is_bit_identical_at_other_rank_counts() {
+    let base = uninterrupted();
+    let fault = FaultPlan {
+        rank: 1,
+        step: 3,
+        mid_snapshot: false,
+    };
+    for restart_ranks in [1usize, 2, 6] {
+        let out = run_samr_recovering(&drill_cfg(), ClusterModel::zero(), fault, restart_ranks);
+        assert!(out.failure.is_some());
+        assert_eq!(out.resumed_from, 2);
+        assert_bits_match(
+            &out.result,
+            &base,
+            &format!("killed at P=4, recovered at P'={restart_ranks}"),
+        );
+    }
+}
+
+#[test]
+fn mid_snapshot_death_names_the_checkpoint_epoch_and_recovers() {
+    let base = uninterrupted();
+    let fault = FaultPlan {
+        rank: 1,
+        step: 3,
+        mid_snapshot: true,
+    };
+    let out = run_samr_recovering(&drill_cfg(), ClusterModel::zero(), fault, 2);
+    let failure = out.failure.expect("the armed fault must fire");
+    assert!(
+        failure.contains("during checkpoint epoch 4"),
+        "mid-snapshot poison must name the checkpoint epoch: {failure}"
+    );
+    assert!(failure.contains("injected fault"), "{failure}");
+    // The step-4 set never completed; recovery falls back to the step-2 one.
+    assert_eq!(out.resumed_from, 2);
+    assert_bits_match(&out.result, &base, "recovered after mid-snapshot death");
+}
+
+#[test]
+fn fault_beyond_the_last_step_never_fires() {
+    let fault = FaultPlan {
+        rank: 0,
+        step: 99,
+        mid_snapshot: false,
+    };
+    let out = run_samr_recovering(&drill_cfg(), ClusterModel::zero(), fault, 4);
+    assert!(out.failure.is_none());
+    assert_eq!(out.resumed_from, 0);
+    assert_bits_match(&out.result, &uninterrupted(), "fault never fired");
+}

@@ -56,6 +56,7 @@
 //! `./ci.sh` runs all of it when `CI_BENCH=1` and compares the fresh
 //! output against the committed baselines.
 
+use cca_apps::recover::run_samr_recovering;
 use cca_apps::samr::{run_samr, SamrConfig};
 use cca_apps::scaling::{run_scaling, ScalingConfig};
 use cca_chem::systems::ConstantVolumeIgnition;
@@ -79,6 +80,8 @@ const SCALING_PATH: &str = "BENCH_PR5.json";
 const SCALING_SCHEMA: &str = "cca-bench-scaling-v1";
 const SAMR_PATH: &str = "BENCH_PR7.json";
 const SAMR_SCHEMA: &str = "cca-bench-samr-v1";
+const CKPT_PATH: &str = "BENCH_PR8.json";
+const CKPT_SCHEMA: &str = "cca-bench-ckpt-v1";
 
 /// Stoichiometric H2-air for an n-species table (H2, O2 first; N2 last).
 fn stoich(n: usize) -> Vec<f64> {
@@ -509,6 +512,133 @@ fn validate_samr(text: &str) -> Vec<String> {
     errs
 }
 
+/// PR-8 checkpoint/restart drill, frozen as JSON: the adaptive SAMR run
+/// with a coordinated checkpoint every 2 steps, a rank killed at step 3,
+/// and recovery from the last complete set at P' ∈ {4, 1, 2, 6} on the
+/// CPlant model. The load-bearing numbers are the zero in every
+/// `checksum_drift` (a recovered run — at the same or a different rank
+/// count — reproduces the uninterrupted bits exactly) and the zero
+/// `ckpt_drift` (checkpointing itself never perturbs a field bit);
+/// `ckpt_overhead` records what the periodic snapshots cost in modeled
+/// time.
+fn ckpt_json() -> String {
+    let model = ClusterModel::cplant();
+    let cfg = SamrConfig {
+        ranks: 4,
+        ckpt_interval: 2,
+        audit: true,
+        ..SamrConfig::default()
+    };
+    let base = run_samr(
+        &SamrConfig {
+            ckpt_interval: 0,
+            ..cfg
+        },
+        model,
+    );
+    let with_ckpt = run_samr(&cfg, model);
+    let fault = cca_ckpt::FaultPlan {
+        rank: 1,
+        step: 3,
+        mid_snapshot: false,
+    };
+    let restart_ranks = [4usize, 1, 2, 6];
+    let recoveries: Vec<_> = restart_ranks
+        .iter()
+        .map(|&p| (p, run_samr_recovering(&cfg, model, fault, p)))
+        .collect();
+    let base_bits = base.checksum.to_bits();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{CKPT_SCHEMA}\",\n"));
+    out.push_str("  \"deterministic\": true,\n");
+    out.push_str(&format!(
+        "  \"uninterrupted\": {{\"ranks\": {}, \"modeled_time_s\": {:e}, \
+         \"checksum\": {:e}, \"fine_cells\": {}}},\n",
+        cfg.ranks, base.modeled_time, base.checksum, base.fine_cells
+    ));
+    let ckpt_drift = u64::from(with_ckpt.checksum.to_bits() != base_bits);
+    out.push_str(&format!(
+        "  \"checkpointing\": {{\"interval\": {}, \"checkpoints\": {}, \
+         \"modeled_time_s\": {:e}, \"ckpt_overhead\": {:e}, \"ckpt_drift\": {ckpt_drift}}},\n",
+        cfg.ckpt_interval,
+        with_ckpt.checkpoints,
+        with_ckpt.modeled_time,
+        (with_ckpt.modeled_time - base.modeled_time) / base.modeled_time,
+    ));
+    out.push_str("  \"recoveries\": [\n");
+    for (i, (p, rec)) in recoveries.iter().enumerate() {
+        let drift = u64::from(rec.result.checksum.to_bits() != base_bits);
+        out.push_str(&format!(
+            "    {{\"killed_at_ranks\": {}, \"restart_ranks\": {p}, \
+             \"resumed_from_step\": {}, \"sets_before_kill\": {}, \
+             \"modeled_time_s\": {:e}, \"checksum\": {:e}, \"checksum_drift\": {drift}}}{}\n",
+            cfg.ranks,
+            rec.resumed_from,
+            rec.checkpoints_before_kill,
+            rec.result.modeled_time,
+            rec.result.checksum,
+            if i + 1 < recoveries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Structural + invariant validation of a checkpoint/restart file: zero
+/// drift for the checkpointing run and every recovery (same-P and
+/// elastic), the cadence actually fired, and every recovery resumed from
+/// a committed set.
+fn validate_ckpt(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !text.contains(&format!("\"schema\": \"{CKPT_SCHEMA}\"")) {
+        errs.push(format!("missing or wrong schema tag (want {CKPT_SCHEMA})"));
+    }
+    for (open, close, what) in [('{', '}', "braces"), ('[', ']', "brackets")] {
+        let a = text.matches(open).count();
+        let b = text.matches(close).count();
+        if a != b || a == 0 {
+            errs.push(format!("unbalanced {what}: {a} '{open}' vs {b} '{close}'"));
+        }
+    }
+    if numbers_after(text, "ckpt_drift").first() != Some(&0.0) {
+        errs.push("checkpointing perturbed the run's bits".into());
+    }
+    if numbers_after(text, "checkpoints")
+        .first()
+        .is_none_or(|v| *v < 1.0)
+    {
+        errs.push("the checkpoint cadence never fired".into());
+    }
+    let drifts = numbers_after(text, "checksum_drift");
+    if drifts.len() != 4 {
+        errs.push(format!("want 4 recovery points, found {}", drifts.len()));
+    }
+    for (i, v) in drifts.iter().enumerate() {
+        if *v != 0.0 {
+            errs.push(format!(
+                "recovery {i}: recovered run drifted from the uninterrupted bits"
+            ));
+        }
+    }
+    for (i, v) in numbers_after(text, "resumed_from_step").iter().enumerate() {
+        if *v < 1.0 {
+            errs.push(format!("recovery {i}: resumed from step {v}"));
+        }
+    }
+    for (i, v) in numbers_after(text, "sets_before_kill").iter().enumerate() {
+        if *v < 1.0 {
+            errs.push(format!("recovery {i}: no complete set before the kill"));
+        }
+    }
+    for (i, v) in numbers_after(text, "modeled_time_s").iter().enumerate() {
+        if !v.is_finite() || *v <= 0.0 {
+            errs.push(format!("point {i}: non-physical modeled time {v}"));
+        }
+    }
+    errs
+}
+
 /// Counters of one hot loop: a cold pass (empty thread pool, every
 /// checkout allocates), one settling pass, then a fixed warm run.
 struct HotLoop {
@@ -927,6 +1057,13 @@ const SUITES: &[Suite] = &[
         path: SAMR_PATH,
         generate: samr_json,
         validate: validate_samr,
+    },
+    Suite {
+        run: "ckpt",
+        check: "ckpt-check",
+        path: CKPT_PATH,
+        generate: ckpt_json,
+        validate: validate_ckpt,
     },
 ];
 

@@ -1,0 +1,229 @@
+//! The coordinated checkpoint/restore protocol over SCMD ranks.
+//!
+//! **Snapshot** runs at a macro-step barrier: every rank serializes its
+//! owned patches in `(level, id)` order into one shard of hardened
+//! records, ships it to rank 0 on [`TAG_CKPT`], and rank 0 assembles the
+//! manifest (replicated hierarchy metadata + id watermark + config hash)
+//! with all shards into a [`CheckpointSet`], validates completeness, and
+//! returns it for commit. A closing barrier makes the checkpoint a true
+//! coordination line: no rank proceeds until the set is whole.
+//!
+//! **Restore** is elastic: every rank rebuilds the exact saved hierarchy
+//! (id watermark included), replays the same deterministic LPT
+//! assignment at the *new* rank count, and rank 0 scatters each rank its
+//! owned records on [`TAG_RESTORE`]. Because shard lengths are derivable
+//! from replicated metadata alone, every rank emits identical comm-plan
+//! rows for both exchanges — so the PR 6 static checker (C001–C009) and
+//! runtime trace audit (C010–C012) cover checkpoint and restore traffic
+//! exactly like any ghost exchange.
+//!
+//! Both exchanges run inside an announced [`Communicator::set_phase`]
+//! window, so a rank that dies mid-snapshot poisons its peers with
+//! "during checkpoint epoch N" (router poison + SCMD re-raise, the same
+//! machinery PR 7 gave regrids).
+
+use crate::set::{CheckpointSet, CkptMeta, SavedHierarchy, Shard};
+use cca_analyze::distplan::PlanBuilder;
+use cca_comm::Communicator;
+use cca_mesh::checkpoint::{patch_from_bytes, patch_to_bytes};
+use cca_mesh::data::DataObject;
+use cca_mesh::dist::DistributedHierarchy;
+use cca_mesh::hierarchy::{Hierarchy, Patch};
+
+/// Tag of shard gathers during a coordinated snapshot (continues the
+/// `cca_mesh::dist` tag sequence, which ends at `TAG_MIGRATE = 45`).
+pub const TAG_CKPT: u64 = 46;
+
+/// Tag of record scatters during an elastic restore.
+pub const TAG_RESTORE: u64 = 47;
+
+/// Deterministic fault injection for recovery drills: kill `rank` at
+/// macro step `step` — at the top of the step, or (with `mid_snapshot`)
+/// inside the checkpoint phase that follows it, which exercises the
+/// "during checkpoint epoch N" poison path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Rank to kill.
+    pub rank: usize,
+    /// Macro step at which the kill fires.
+    pub step: usize,
+    /// Die inside the checkpoint phase after `step` instead of at the
+    /// top of `step`.
+    pub mid_snapshot: bool,
+}
+
+/// All `(level, id)` pairs owned by `rank`, in `(level, id)` order.
+fn owned_sorted(hier: &Hierarchy, rank: usize) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = hier
+        .levels
+        .iter()
+        .enumerate()
+        .flat_map(|(level, l)| {
+            l.patches
+                .iter()
+                .filter(|p| p.owner == rank)
+                .map(move |p| (level, p.id))
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Take one coordinated snapshot. Mirrors the shard gather and the
+/// closing barrier into `plan`; returns the assembled, validated set on
+/// rank 0 and `None` elsewhere. `parts` are rank 0's component-state
+/// blobs (driver/integrator state); `kill` is the deterministic
+/// fault-injection hook — `Some(r)` makes rank `r` panic inside the
+/// announced checkpoint phase.
+#[allow(clippy::too_many_arguments)]
+pub fn snapshot(
+    comm: &Communicator,
+    plan: &mut PlanBuilder,
+    dh: &DistributedHierarchy,
+    dobj: &DataObject,
+    meta: CkptMeta,
+    epoch: u64,
+    parts: Vec<(String, Vec<u8>)>,
+    kill: Option<usize>,
+) -> Option<CheckpointSet> {
+    let rank = comm.rank();
+    let nranks = dh.nranks;
+    debug_assert_eq!(meta.nvars, dobj.nvars);
+    debug_assert_eq!(meta.nghost, dobj.nghost);
+    // Wire lengths from replicated metadata: identical on every rank.
+    let lens: Vec<usize> = (0..nranks)
+        .map(|r| CheckpointSet::owned_record_len(&dh.hier, r, meta.nvars, meta.nghost))
+        .collect();
+    let msgs: Vec<(usize, usize, u64, u64)> = (1..nranks)
+        .filter(|&r| lens[r] > 0)
+        .map(|r| (r, 0usize, TAG_CKPT, lens[r] as u64))
+        .collect();
+    plan.exchange(&msgs);
+    plan.barrier();
+    comm.set_phase(&format!("checkpoint epoch {epoch}"));
+    if kill == Some(rank) {
+        panic!("injected fault: rank {rank} killed mid-snapshot");
+    }
+    // Serialize the local shard in (level, id) order.
+    let owned = owned_sorted(&dh.hier, rank);
+    let mut records = Vec::with_capacity(lens[rank]);
+    for &(level, id) in &owned {
+        let pd = dobj.patch(level, id).expect("owned patch stored locally");
+        patch_to_bytes(level, id, pd, &mut records);
+    }
+    debug_assert_eq!(records.len(), lens[rank]);
+    let result = if rank == 0 {
+        let mut reqs = Vec::new();
+        for &(src, _, _, _) in &msgs {
+            reqs.push((src, comm.irecv::<u8>(src, TAG_CKPT)));
+        }
+        let mut shards = Vec::new();
+        if !records.is_empty() {
+            shards.push(Shard {
+                writer: 0,
+                n_records: owned.len() as u64,
+                records,
+            });
+        }
+        for (src, req) in reqs {
+            let bytes = comm.wait(req);
+            let n_records = owned_sorted(&dh.hier, src).len() as u64;
+            shards.push(Shard {
+                writer: src,
+                n_records,
+                records: bytes,
+            });
+        }
+        let set = CheckpointSet {
+            epoch,
+            meta,
+            hier: SavedHierarchy::capture(&dh.hier),
+            parts,
+            shards,
+        };
+        set.validate()
+            .expect("assembled snapshot covers every patch");
+        Some(set)
+    } else {
+        if !records.is_empty() {
+            comm.isend(0, TAG_CKPT, &records);
+        }
+        None
+    };
+    comm.barrier();
+    comm.clear_phase();
+    result
+}
+
+/// Restore a cohort of `nranks` ranks (any count — equal to or different
+/// from the writing cohort) from a complete set. Rebuilds the exact
+/// hierarchy, replays the deterministic LPT assignment via
+/// `work`/`affinity_tolerance` (the same cost model the interrupted run
+/// used), and redistributes the saved records; the scatter and closing
+/// barrier are mirrored into `plan`. Returns the hierarchy and each
+/// rank's owned patch data, ready to resume at `set.meta.step`.
+pub fn restore(
+    comm: &Communicator,
+    plan: &mut PlanBuilder,
+    set: &CheckpointSet,
+    nranks: usize,
+    work: impl Fn(&Hierarchy, usize, &Patch) -> f64,
+    affinity_tolerance: f64,
+) -> (DistributedHierarchy, DataObject) {
+    let rank = comm.rank();
+    let (nvars, nghost) = (set.meta.nvars, set.meta.nghost);
+    let mut dh = DistributedHierarchy::new(set.hier.rebuild(), nranks);
+    dh.assign_owners(work, affinity_tolerance);
+    let lens: Vec<usize> = (0..nranks)
+        .map(|r| CheckpointSet::owned_record_len(&dh.hier, r, nvars, nghost))
+        .collect();
+    let msgs: Vec<(usize, usize, u64, u64)> = (1..nranks)
+        .filter(|&r| lens[r] > 0)
+        .map(|r| (0usize, r, TAG_RESTORE, lens[r] as u64))
+        .collect();
+    let epoch = plan.exchange(&msgs);
+    plan.barrier();
+    comm.set_phase(&format!("restore epoch {epoch}"));
+    let mut dobj = DataObject::new(nvars, nghost);
+    dobj.ensure_levels(dh.hier.n_levels());
+    if rank == 0 {
+        // Rank 0 reads the set: records for its own patches parse in
+        // place, records for every other rank concatenate (still in
+        // (level, id) order) into one message per destination.
+        let index = set.record_index();
+        for &(_, dst, _, len) in &msgs {
+            let mut buf = Vec::with_capacity(len as usize);
+            for (level, id) in owned_sorted(&dh.hier, dst) {
+                buf.extend_from_slice(
+                    index
+                        .get(&(level, id))
+                        .expect("validated set has every patch record"),
+                );
+            }
+            debug_assert_eq!(buf.len() as u64, len);
+            comm.isend(dst, TAG_RESTORE, &buf);
+        }
+        for (level, id) in owned_sorted(&dh.hier, 0) {
+            let mut r = *index
+                .get(&(level, id))
+                .expect("validated set has every patch record");
+            let (l, i, pd) =
+                patch_from_bytes(&mut r, nvars, nghost).expect("validated record parses");
+            debug_assert_eq!((l, i), (level, id));
+            dobj.insert(level, id, pd);
+        }
+    } else if lens[rank] > 0 {
+        let req = comm.irecv::<u8>(0, TAG_RESTORE);
+        let payload = comm.wait(req);
+        let mut r = payload.as_slice();
+        for _ in owned_sorted(&dh.hier, rank) {
+            let (level, id, pd) =
+                patch_from_bytes(&mut r, nvars, nghost).expect("validated record parses");
+            dobj.insert(level, id, pd);
+        }
+        debug_assert!(r.is_empty(), "trailing bytes in restore payload");
+    }
+    comm.barrier();
+    comm.clear_phase();
+    (dh, dobj)
+}

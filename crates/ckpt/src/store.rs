@@ -1,0 +1,63 @@
+//! In-memory checkpoint-set store shared between a run and its recovery
+//! driver: the stand-in for the parallel filesystem a production cohort
+//! would write sets to. Thread-safe (rank threads commit, the driver
+//! reads after a crash) and commit-atomic — a set enters the store whole
+//! and validated or not at all, so "the last complete set" is always
+//! well-defined even when a rank dies mid-snapshot.
+
+use crate::set::{CheckpointSet, CkptError};
+use std::sync::{Arc, Mutex};
+
+/// A bounded store of complete checkpoint sets, newest last.
+#[derive(Default)]
+pub struct CkptStore {
+    inner: Mutex<Vec<Arc<CheckpointSet>>>,
+}
+
+/// Complete sets retained; older ones are dropped (a real campaign keeps
+/// a small rotation on disk for exactly the same reason).
+const RETAIN: usize = 4;
+
+impl CkptStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CkptStore::default()
+    }
+
+    /// Validate and commit one complete set. Rejects sets that fail the
+    /// structural completeness check or that are older than the newest
+    /// committed epoch (a late commit must never roll the store back).
+    pub fn commit(&self, set: CheckpointSet) -> Result<(), CkptError> {
+        set.validate()?;
+        let mut sets = self.inner.lock().expect("store lock");
+        if let Some(last) = sets.last() {
+            if set.epoch <= last.epoch {
+                return Err(CkptError::Incompatible(format!(
+                    "epoch {} not newer than committed epoch {}",
+                    set.epoch, last.epoch
+                )));
+            }
+        }
+        sets.push(Arc::new(set));
+        if sets.len() > RETAIN {
+            let drop_n = sets.len() - RETAIN;
+            sets.drain(..drop_n);
+        }
+        Ok(())
+    }
+
+    /// The newest complete set, if any.
+    pub fn latest(&self) -> Option<Arc<CheckpointSet>> {
+        self.inner.lock().expect("store lock").last().cloned()
+    }
+
+    /// Number of complete sets currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store lock").len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

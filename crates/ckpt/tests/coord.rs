@@ -1,0 +1,248 @@
+//! Integration tests for the coordinated snapshot/restore protocol:
+//! bit-exact roundtrips through a full SCMD cohort, elastic restarts at
+//! a different rank count, plan-verified checkpoint traffic, and the
+//! "during checkpoint epoch N" poison path for mid-snapshot faults.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use cca_analyze::distplan::PlanBuilder;
+use cca_ckpt::{restore, snapshot, CheckpointSet, CkptMeta, CkptStore};
+use cca_comm::{scmd, ClusterModel};
+use cca_mesh::boxes::IntBox;
+use cca_mesh::data::{DataObject, PatchData};
+use cca_mesh::dist::DistributedHierarchy;
+use cca_mesh::hierarchy::{Hierarchy, Patch};
+
+const NVARS: usize = 2;
+const NGHOST: i64 = 1;
+
+fn work(_: &Hierarchy, _: usize, p: &Patch) -> f64 {
+    p.interior.count() as f64
+}
+
+/// A two-level hierarchy with a nonzero id watermark, as after regrids.
+fn two_level_hier() -> Hierarchy {
+    let mut h = Hierarchy::new(IntBox::sized(16, 8), [0.0, 0.0], [1.0; 2], 2);
+    h.set_level_boxes(
+        0,
+        &[IntBox::new([0, 0], [7, 7]), IntBox::new([8, 0], [15, 7])],
+    );
+    h.set_level_boxes(
+        1,
+        &[IntBox::new([2, 2], [9, 5]), IntBox::new([18, 4], [27, 9])],
+    );
+    h.reserve_ids(11); // destructive regrids left a gap above max(id)
+    h
+}
+
+/// Deterministic per-cell values, a function of identity alone — ghosts
+/// included, so roundtrips must preserve every stored byte.
+fn seed(level: usize, id: usize, pd: &mut PatchData) {
+    for (i, j) in pd.total_box().cells() {
+        for v in 0..NVARS {
+            let x = (level as f64 + 1.0) * 0.37 + id as f64 * 1.75 + v as f64 * 0.11;
+            pd.set(v, i, j, x * (3 * i - 7 * j) as f64 + 0.625);
+        }
+    }
+}
+
+/// All patches seeded locally: the ground truth every restore must hit.
+fn reference(hier: &Hierarchy) -> DataObject {
+    let mut dobj = DataObject::new(NVARS, NGHOST);
+    for (level, l) in hier.levels.iter().enumerate() {
+        for p in &l.patches {
+            dobj.allocate(level, p.id, p.interior);
+            seed(level, p.id, dobj.patch_mut(level, p.id).unwrap());
+        }
+    }
+    dobj
+}
+
+fn meta() -> CkptMeta {
+    CkptMeta {
+        step: 4,
+        config_hash: 0x5eed_cafe,
+        nvars: NVARS,
+        nghost: NGHOST,
+    }
+}
+
+/// Run a P-rank cohort through one coordinated snapshot and return the
+/// serialized set (from rank 0) plus the verified comm plan's cleanliness.
+fn snapshot_at(nranks: usize, epoch: u64) -> Vec<u8> {
+    let mut dh = DistributedHierarchy::new(two_level_hier(), nranks);
+    dh.assign_owners(work, 1.5);
+    let dh = Arc::new(dh);
+    let (reports, trace) = scmd::run_reported_traced(nranks, ClusterModel::zero(), move |comm| {
+        let mut dobj = DataObject::new(NVARS, NGHOST);
+        dh.allocate_owned(&mut dobj, comm.rank());
+        for (level, l) in dh.hier.levels.iter().enumerate() {
+            for p in &l.patches {
+                if p.owner == comm.rank() {
+                    seed(level, p.id, dobj.patch_mut(level, p.id).unwrap());
+                }
+            }
+        }
+        let mut plan = PlanBuilder::new(comm.size());
+        let parts = vec![("driver".to_string(), vec![7u8, 7, 7])];
+        let set = snapshot(comm, &mut plan, &dh, &dobj, meta(), epoch, parts, None);
+        set.map(|s| (s.to_bytes(), plan.build()))
+    });
+    let (bytes, plan) = reports[0].result.clone().expect("rank 0 assembles the set");
+    let verdict = plan.verify();
+    assert!(verdict.is_clean(), "{}", verdict.render("ckpt plan"));
+    let conformance = plan.audit(&trace);
+    assert!(
+        conformance.is_clean(),
+        "{}",
+        conformance.render("ckpt trace")
+    );
+    for r in reports.iter().skip(1) {
+        assert!(r.result.is_none(), "only rank 0 holds the set");
+    }
+    bytes
+}
+
+/// Restore the set on a P'-rank cohort and check every patch, on whatever
+/// rank it landed, against the local ground truth — bit for bit.
+fn check_restore_at(bytes: &[u8], nranks: usize) {
+    let set = Arc::new(CheckpointSet::from_bytes(bytes).expect("set parses"));
+    let expect = reference(&two_level_hier());
+    let watermark = set.hier.next_id;
+    let out = scmd::run(nranks, ClusterModel::zero(), {
+        let set = Arc::clone(&set);
+        move |comm| {
+            let mut plan = PlanBuilder::new(comm.size());
+            let (dh, dobj) = restore(comm, &mut plan, &set, comm.size(), work, 1.5);
+            let verdict = plan.build().verify();
+            assert!(verdict.is_clean(), "{}", verdict.render("restore plan"));
+            assert_eq!(dh.hier.next_id_watermark(), watermark);
+            let mut owned = Vec::new();
+            for (level, l) in dh.hier.levels.iter().enumerate() {
+                for p in &l.patches {
+                    if p.owner == comm.rank() {
+                        let pd = dobj.patch(level, p.id).unwrap();
+                        owned.push((level, p.id, pd.pack(&pd.total_box())));
+                    }
+                }
+            }
+            owned
+        }
+    });
+    let mut seen = 0usize;
+    for (level, id, data) in out.into_iter().flatten() {
+        let rp = expect.patch(level, id).unwrap();
+        let want = rp.pack(&rp.total_box());
+        assert_eq!(data.len(), want.len());
+        assert!(
+            data.iter()
+                .zip(&want)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "patch ({level},{id}) diverged after restore at P'={nranks}"
+        );
+        seen += 1;
+    }
+    let total: usize = two_level_hier()
+        .levels
+        .iter()
+        .map(|l| l.patches.len())
+        .sum();
+    assert_eq!(seen, total, "every patch restored exactly once");
+}
+
+#[test]
+fn coordinated_snapshot_roundtrips_bit_identically() {
+    let bytes = snapshot_at(3, 1);
+    let set = CheckpointSet::from_bytes(&bytes).expect("set parses");
+    assert_eq!(set.epoch, 1);
+    assert_eq!(set.meta, meta());
+    assert_eq!(set.parts, vec![("driver".to_string(), vec![7u8, 7, 7])]);
+    assert_eq!(set.to_bytes(), bytes, "serialization is byte-stable");
+    // Local restore hits the ground truth exactly.
+    let (hier, dobj) = set.restore_local().expect("local restore");
+    let expect = reference(&two_level_hier());
+    for (level, l) in hier.levels.iter().enumerate() {
+        for p in &l.patches {
+            let got = dobj.patch(level, p.id).unwrap();
+            let want = expect.patch(level, p.id).unwrap();
+            let (a, b) = (got.pack(&got.total_box()), want.pack(&want.total_box()));
+            assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+}
+
+#[test]
+fn elastic_restore_is_bit_identical_at_any_rank_count() {
+    let bytes = snapshot_at(4, 1);
+    for nranks in [1usize, 2, 4, 6] {
+        check_restore_at(&bytes, nranks);
+    }
+}
+
+#[test]
+fn snapshots_from_different_cohort_sizes_are_equivalent() {
+    // The manifest and record contents depend only on the hierarchy and
+    // field data, never on who owned what — so sets written at different
+    // P restore to the same bits.
+    let a = snapshot_at(2, 3);
+    let b = snapshot_at(5, 3);
+    let sa = CheckpointSet::from_bytes(&a).unwrap();
+    let sb = CheckpointSet::from_bytes(&b).unwrap();
+    assert_eq!(sa.hier.patches, sb.hier.patches);
+    assert_eq!(sa.record_index(), sb.record_index());
+    check_restore_at(&a, 3);
+    check_restore_at(&b, 3);
+}
+
+#[test]
+fn store_commits_are_atomic_and_monotonic() {
+    let store = CkptStore::new();
+    assert!(store.is_empty());
+    let first = CheckpointSet::from_bytes(&snapshot_at(2, 1)).unwrap();
+    let second = CheckpointSet::from_bytes(&snapshot_at(2, 2)).unwrap();
+    store.commit(first.clone()).expect("first commit");
+    store.commit(second).expect("newer commit");
+    assert_eq!(store.len(), 2);
+    assert_eq!(store.latest().unwrap().epoch, 2);
+    // A stale epoch must never roll the store back.
+    let err = store.commit(first).unwrap_err();
+    assert!(format!("{err}").contains("not newer"), "{err}");
+    // A damaged set never enters the store.
+    let mut broken = CheckpointSet::from_bytes(&snapshot_at(2, 9)).unwrap();
+    broken.shards.pop();
+    assert!(store.commit(broken).is_err());
+    assert_eq!(store.latest().unwrap().epoch, 2);
+}
+
+#[test]
+fn rank_killed_mid_snapshot_names_the_checkpoint_epoch() {
+    let mut dh = DistributedHierarchy::new(two_level_hier(), 2);
+    dh.assign_owners(work, 1.5);
+    let dh = Arc::new(dh);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        scmd::run(2, ClusterModel::zero(), move |comm| {
+            let mut dobj = DataObject::new(NVARS, NGHOST);
+            dh.allocate_owned(&mut dobj, comm.rank());
+            for (level, l) in dh.hier.levels.iter().enumerate() {
+                for p in &l.patches {
+                    if p.owner == comm.rank() {
+                        seed(level, p.id, dobj.patch_mut(level, p.id).unwrap());
+                    }
+                }
+            }
+            let mut plan = PlanBuilder::new(comm.size());
+            snapshot(comm, &mut plan, &dh, &dobj, meta(), 7, Vec::new(), Some(1));
+        })
+    }))
+    .expect_err("the injected fault must propagate");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("string panic payload");
+    assert!(
+        msg.contains("during checkpoint epoch 7"),
+        "poison must name the checkpoint epoch: {msg}"
+    );
+    assert!(msg.contains("injected fault"), "{msg}");
+}

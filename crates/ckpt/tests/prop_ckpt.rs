@@ -1,0 +1,193 @@
+//! Property tests of the checkpoint-set layer: serialization is a
+//! bit-exact roundtrip for *arbitrary* two-level hierarchies and field
+//! values, and a cohort of any size P can snapshot while a cohort of any
+//! other size P' restores the identical bits.
+
+use std::sync::Arc;
+
+use cca_analyze::distplan::PlanBuilder;
+use cca_ckpt::{restore, snapshot, CheckpointSet, CkptMeta};
+use cca_comm::{scmd, ClusterModel};
+use cca_mesh::boxes::IntBox;
+use cca_mesh::data::DataObject;
+use cca_mesh::dist::DistributedHierarchy;
+use cca_mesh::hierarchy::{Hierarchy, Patch};
+use proptest::prelude::*;
+
+const NVARS: usize = 2;
+const NGHOST: i64 = 1;
+
+fn work(_: &Hierarchy, _: usize, p: &Patch) -> f64 {
+    p.interior.count() as f64
+}
+
+/// Candidate fine boxes (level-1 index space), each nested in the 16×16
+/// level-0 domain; `mask` selects a disjoint subset.
+const FINE: [([i64; 2], [i64; 2]); 4] = [
+    ([2, 2], [9, 7]),
+    ([14, 2], [21, 9]),
+    ([4, 16], [13, 23]),
+    ([20, 18], [29, 27]),
+];
+
+/// An arbitrary two-level hierarchy: four level-0 tiles, a mask-selected
+/// subset of fine patches, and a watermark bump as after regrid churn.
+fn hier_for(mask: usize, bump: usize) -> Hierarchy {
+    let mut h = Hierarchy::new(IntBox::sized(16, 16), [0.0, 0.0], [0.5; 2], 2);
+    h.set_level_boxes(
+        0,
+        &[
+            IntBox::new([0, 0], [7, 7]),
+            IntBox::new([8, 0], [15, 7]),
+            IntBox::new([0, 8], [7, 15]),
+            IntBox::new([8, 8], [15, 15]),
+        ],
+    );
+    let boxes: Vec<IntBox> = FINE
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| mask & (1 << k) != 0)
+        .map(|(_, &(lo, hi))| IntBox::new(lo, hi))
+        .collect();
+    h.set_level_boxes(1, &boxes);
+    h.reserve_ids(h.next_id_watermark() + bump);
+    h
+}
+
+/// Deterministic per-cell value: a pure function of identity and seed.
+fn cell_value(seed: u32, level: usize, id: usize, var: usize, i: i64, j: i64) -> f64 {
+    let h = seed as f64 + 31.0 * id as f64 + 7.0 * var as f64 + 131.0 * level as f64;
+    (h + 0.001 * (i * 37 + j * 101) as f64) * 1.000_000_1
+}
+
+/// Every patch stored and seeded locally: the ground truth.
+fn reference(hier: &Hierarchy, seed: u32) -> DataObject {
+    let mut dobj = DataObject::new(NVARS, NGHOST);
+    for (level, l) in hier.levels.iter().enumerate() {
+        for p in &l.patches {
+            dobj.allocate(level, p.id, p.interior);
+            let pd = dobj.patch_mut(level, p.id).unwrap();
+            for (i, j) in pd.total_box().cells() {
+                for v in 0..NVARS {
+                    pd.set(v, i, j, cell_value(seed, level, p.id, v, i, j));
+                }
+            }
+        }
+    }
+    dobj
+}
+
+fn meta(seed: u32) -> CkptMeta {
+    CkptMeta {
+        step: 3,
+        config_hash: seed as u64 ^ 0xc0ff_ee00,
+        nvars: NVARS,
+        nghost: NGHOST,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// to_bytes/from_bytes is byte-stable and bit-exact for arbitrary
+    /// two-level hierarchies, field values, and watermarks.
+    #[test]
+    fn set_serialization_roundtrips_bit_exactly(
+        mask in 0usize..16,
+        bump in 0usize..5,
+        seed in 0usize..10_000,
+    ) {
+        let seed = seed as u32;
+        let hier = hier_for(mask, bump);
+        let dobj = reference(&hier, seed);
+        let parts = vec![("driver".to_string(), seed.to_le_bytes().to_vec())];
+        let set = CheckpointSet::from_local(7, meta(seed), &hier, &dobj, parts).unwrap();
+        let bytes = set.to_bytes();
+        prop_assert_eq!(&bytes, &set.to_bytes());
+        let back = CheckpointSet::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.to_bytes(), bytes);
+        let (rh, rd) = back.restore_local().unwrap();
+        prop_assert_eq!(rh.next_id_watermark(), hier.next_id_watermark());
+        for (level, l) in hier.levels.iter().enumerate() {
+            for p in &l.patches {
+                let got = rd.patch(level, p.id).unwrap();
+                let want = dobj.patch(level, p.id).unwrap();
+                let (a, b) = (got.pack(&got.total_box()), want.pack(&want.total_box()));
+                prop_assert_eq!(a.len(), b.len());
+                prop_assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+        }
+    }
+
+    /// A snapshot written by P ranks restores bit-exactly on P' ranks,
+    /// for random cohort sizes and hierarchies.
+    #[test]
+    fn p_to_p_prime_restart_is_bit_exact(
+        mask in 0usize..16,
+        seed in 0usize..10_000,
+        p in 1usize..7,
+        p_prime in 1usize..7,
+    ) {
+        let seed = seed as u32;
+        let mut dh = DistributedHierarchy::new(hier_for(mask, 2), p);
+        dh.assign_owners(work, 1.5);
+        let expect = reference(&dh.hier, seed);
+        let dh = Arc::new(dh);
+        // P-rank cohort takes one coordinated snapshot.
+        let results = scmd::run(p, ClusterModel::zero(), {
+            let dh = Arc::clone(&dh);
+            move |comm| {
+                let mut dobj = DataObject::new(NVARS, NGHOST);
+                dh.allocate_owned(&mut dobj, comm.rank());
+                for (level, l) in dh.hier.levels.iter().enumerate() {
+                    for patch in &l.patches {
+                        if patch.owner == comm.rank() {
+                            let pd = dobj.patch_mut(level, patch.id).unwrap();
+                            for (i, j) in pd.total_box().cells() {
+                                for v in 0..NVARS {
+                                    pd.set(v, i, j, cell_value(seed, level, patch.id, v, i, j));
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut plan = PlanBuilder::new(comm.size());
+                snapshot(comm, &mut plan, &dh, &dobj, meta(seed), 1, Vec::new(), None)
+                    .map(|s| s.to_bytes())
+            }
+        });
+        let bytes = results[0].clone().expect("rank 0 holds the set");
+        let set = Arc::new(CheckpointSet::from_bytes(&bytes).unwrap());
+        // P'-rank cohort restores and reports every owned patch's bits.
+        let out = scmd::run(p_prime, ClusterModel::zero(), {
+            let set = Arc::clone(&set);
+            move |comm| {
+                let mut plan = PlanBuilder::new(comm.size());
+                let (dh, dobj) = restore(comm, &mut plan, &set, comm.size(), work, 1.5);
+                let mut owned = Vec::new();
+                for (level, l) in dh.hier.levels.iter().enumerate() {
+                    for patch in &l.patches {
+                        if patch.owner == comm.rank() {
+                            let pd = dobj.patch(level, patch.id).unwrap();
+                            owned.push((level, patch.id, pd.pack(&pd.total_box())));
+                        }
+                    }
+                }
+                owned
+            }
+        });
+        let mut seen = 0usize;
+        for (level, id, data) in out.into_iter().flatten() {
+            let rp = expect.patch(level, id).unwrap();
+            let want = rp.pack(&rp.total_box());
+            prop_assert_eq!(data.len(), want.len());
+            prop_assert!(
+                data.iter().zip(&want).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "patch ({},{}) diverged for P={} -> P'={}", level, id, p, p_prime
+            );
+            seen += 1;
+        }
+        let total: usize = dh.hier.levels.iter().map(|l| l.patches.len()).sum();
+        prop_assert_eq!(seen, total);
+    }
+}

@@ -17,6 +17,30 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 4] = b"CCAH";
 const VERSION: u32 = 1;
 
+/// FNV-1a initial offset basis (64-bit).
+pub const FNV1A_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Plain 64-bit FNV-1a over a byte stream, seedable for chaining.
+/// The per-record and per-set integrity checksums of the checkpoint
+/// subsystem all use this (deterministic, dependency-free).
+pub fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV1A_PRIME);
+    }
+    h
+}
+
+/// Fixed bytes of one patch record besides the field data: length prefix,
+/// level, id, interior box, trailing checksum.
+const RECORD_OVERHEAD: usize = 8 + 8 + 8 + 32 + 8;
+
+/// Upper bound accepted for a record's length prefix; anything larger is
+/// reported as corruption instead of attempted as an allocation.
+const RECORD_MAX: usize = 1 << 32;
+
 /// Checkpoint errors.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -120,11 +144,18 @@ fn get_box(r: &mut impl Read) -> Result<IntBox, CheckpointError> {
 }
 
 /// Serialize one stored patch as a self-describing migration record:
-/// `u64 level, u64 id, interior box, raw f64 data (all vars, interior +
-/// ghosts)`. Little-endian, same conventions as the checkpoint body, so a
+/// `u64 record length (whole record, length prefix and trailing checksum
+/// included), u64 level, u64 id, interior box, raw f64 data (all vars,
+/// interior + ghosts), u64 FNV-1a checksum of the body (level through
+/// data)`. Little-endian, same conventions as the checkpoint body, so a
 /// record is exactly [`patch_record_len`] bytes and a concatenation of
-/// records is a valid migration payload.
+/// records is a valid migration payload — and every record carries enough
+/// framing for [`patch_from_bytes`] to reject truncation or corruption
+/// with a typed error instead of misparsing garbage.
 pub fn patch_to_bytes(level: usize, id: usize, pd: &PatchData, out: &mut Vec<u8>) {
+    let start = out.len();
+    let len = patch_record_len(&pd.interior, pd.nvars, pd.nghost);
+    put_u64(out, len as u64).expect("Vec writes are infallible");
     put_u64(out, level as u64).expect("Vec writes are infallible");
     put_u64(out, id as u64).expect("Vec writes are infallible");
     put_box(out, &pd.interior).expect("Vec writes are infallible");
@@ -133,35 +164,70 @@ pub fn patch_to_bytes(level: usize, id: usize, pd: &PatchData, out: &mut Vec<u8>
             put_f64(out, *v).expect("Vec writes are infallible");
         }
     }
+    let sum = fnv1a64(FNV1A_INIT, &out[start + 8..]);
+    put_u64(out, sum).expect("Vec writes are infallible");
+    debug_assert_eq!(out.len() - start, len);
 }
 
 /// Parse one migration record produced by [`patch_to_bytes`]. `nvars` and
 /// `nghost` come from the receiving Data Object (the record stores only
 /// geometry + raw data). Returns `(level, id, patch)`.
+///
+/// Every structural fault is a typed [`CheckpointError`], never a panic:
+/// an implausible or geometry-inconsistent length prefix and a checksum
+/// mismatch are `Corrupt`; a stream shorter than its own length prefix is
+/// `Io` (unexpected EOF).
 pub fn patch_from_bytes(
     r: &mut impl Read,
     nvars: usize,
     nghost: i64,
 ) -> Result<(usize, usize, PatchData), CheckpointError> {
-    let level = get_u64(r)? as usize;
-    let id = get_u64(r)? as usize;
-    let interior = get_box(r)?;
+    let len = get_u64(r)? as usize;
+    if !(RECORD_OVERHEAD + 8..=RECORD_MAX).contains(&len) {
+        return Err(CheckpointError::Corrupt(format!(
+            "record length prefix {len} outside [{}, {RECORD_MAX}]",
+            RECORD_OVERHEAD + 8
+        )));
+    }
+    let mut body = vec![0u8; len - 8];
+    r.read_exact(&mut body)?;
+    let (payload, tail) = body.split_at(body.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    let computed = fnv1a64(FNV1A_INIT, payload);
+    if stored != computed {
+        return Err(CheckpointError::Corrupt(format!(
+            "record checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+        )));
+    }
+    let mut p = payload;
+    let level = get_u64(&mut p)? as usize;
+    let id = get_u64(&mut p)? as usize;
+    let interior = get_box(&mut p)?;
+    let want = patch_record_len(&interior, nvars, nghost);
+    if want != len {
+        return Err(CheckpointError::Corrupt(format!(
+            "record length {len} does not match geometry ({want} bytes for \
+             box {:?}..{:?}, {nvars} vars, {nghost} ghosts)",
+            interior.lo, interior.hi
+        )));
+    }
     let mut pd = PatchData::new(interior, nvars, nghost);
     for var in 0..nvars {
         for v in pd.var_slice_mut(var).iter_mut() {
-            *v = get_f64(r)?;
+            *v = get_f64(&mut p)?;
         }
     }
     Ok((level, id, pd))
 }
 
 /// Exact wire size of one [`patch_to_bytes`] record for a patch with the
-/// given interior box: header (level + id + box) plus the ghost-padded
-/// field data. Lets both sides of a migration size buffers and comm plans
-/// without constructing the payload.
+/// given interior box: framing (length prefix + level + id + box +
+/// checksum) plus the ghost-padded field data. Lets both sides of a
+/// migration size buffers and comm plans without constructing the
+/// payload.
 pub fn patch_record_len(interior: &IntBox, nvars: usize, nghost: i64) -> usize {
     let total = interior.grow(nghost).count() as usize;
-    8 + 8 + 32 + 8 * nvars * total
+    RECORD_OVERHEAD + 8 * nvars * total
 }
 
 /// Write a checkpoint of `hier` and the given Data Objects.
@@ -391,6 +457,65 @@ mod tests {
             assert_eq!(&pd, dobj.patch(level, id).unwrap());
         }
         assert!(r.is_empty(), "trailing bytes after last record");
+    }
+
+    #[test]
+    fn corrupted_patch_record_data_rejected_by_checksum() {
+        let (hier, objects) = sample();
+        let dobj = objects.get("state").unwrap();
+        let id0 = hier.levels[0].patches[0].id;
+        let mut buf = Vec::new();
+        patch_to_bytes(0, id0, dobj.patch(0, id0).unwrap(), &mut buf);
+        // Flip one bit in the middle of the field data.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let err = patch_from_bytes(&mut buf.as_slice(), 2, 1).err().unwrap();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn truncated_patch_record_rejected_not_panicking() {
+        let (hier, objects) = sample();
+        let dobj = objects.get("state").unwrap();
+        let id0 = hier.levels[0].patches[0].id;
+        let mut buf = Vec::new();
+        patch_to_bytes(0, id0, dobj.patch(0, id0).unwrap(), &mut buf);
+        for keep in [4usize, 9, buf.len() / 2, buf.len() - 1] {
+            let mut cut = buf.clone();
+            cut.truncate(keep);
+            let err = patch_from_bytes(&mut cut.as_slice(), 2, 1).err().unwrap();
+            assert!(
+                matches!(err, CheckpointError::Io(_) | CheckpointError::Corrupt(_)),
+                "keep {keep}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn implausible_record_length_prefix_rejected() {
+        // A length prefix far beyond RECORD_MAX must not be trusted as an
+        // allocation size.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u64::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        let err = patch_from_bytes(&mut buf.as_slice(), 2, 1).err().unwrap();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("length prefix"), "{err}");
+    }
+
+    #[test]
+    fn geometry_inconsistent_length_rejected() {
+        let (hier, objects) = sample();
+        let dobj = objects.get("state").unwrap();
+        let id0 = hier.levels[0].patches[0].id;
+        let mut buf = Vec::new();
+        patch_to_bytes(0, id0, dobj.patch(0, id0).unwrap(), &mut buf);
+        // Parse with the wrong nvars: the record is intact (checksum
+        // passes) but its length no longer matches the claimed geometry.
+        let err = patch_from_bytes(&mut buf.as_slice(), 3, 1).err().unwrap();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("geometry"), "{err}");
     }
 
     #[test]

@@ -82,6 +82,18 @@ impl Hierarchy {
         self.next_patch_id = self.next_patch_id.max(min_next);
     }
 
+    /// The id the next [`Hierarchy::fresh_id`] call would return.
+    ///
+    /// Checkpointing must save this exact watermark (not `max(id) + 1`
+    /// over the surviving patches): regrids destroy patches, so the
+    /// largest live id can undershoot the counter, and a restart that
+    /// guessed from live ids would reissue ids the interrupted run never
+    /// reused — changing the `(level, id)` summation order of every
+    /// subsequent checksum and breaking bit-identical restart.
+    pub fn next_id_watermark(&self) -> usize {
+        self.next_patch_id
+    }
+
     /// Number of levels.
     pub fn n_levels(&self) -> usize {
         self.levels.len()

@@ -146,29 +146,37 @@ pub struct SimJob {
     pub fault: FaultSpec,
     /// Distributed-run attachment; `None` for single-rank jobs.
     pub distributed: Option<DistributedSpec>,
+    /// Resume from this serialized `cca-ckpt` component set instead of
+    /// the initial condition (preemption/migration of long jobs).
+    pub restore: Option<Vec<u8>>,
 }
 
 impl SimJob {
     /// The content-addressed identity of this job. A distributed
-    /// attachment folds its canonical comm-plan into the key, so two
-    /// submissions coalesce only if they run the same schedule.
+    /// attachment folds its canonical comm-plan into the key, and a
+    /// restore set folds its bytes in — a resumed leg must never coalesce
+    /// with (or be served from the cache of) a from-scratch run.
     pub fn key(&self) -> JobKey {
-        let base = JobKey::compute(
+        let mut key = JobKey::compute(
             self.kind.tag(),
             &self.script,
             &self.overrides,
             self.want_checkpoint,
         );
-        match &self.distributed {
-            None => base,
-            Some(d) => {
-                let material = d.key_material();
-                JobKey {
-                    hi: fnv1a64(base.hi, material.as_bytes()),
-                    lo: fnv1a64(base.lo, material.as_bytes()),
-                }
-            }
+        if let Some(d) = &self.distributed {
+            let material = d.key_material();
+            key = JobKey {
+                hi: fnv1a64(key.hi, material.as_bytes()),
+                lo: fnv1a64(key.lo, material.as_bytes()),
+            };
         }
+        if let Some(set) = &self.restore {
+            key = JobKey {
+                hi: fnv1a64(key.hi, set),
+                lo: fnv1a64(key.lo, set),
+            };
+        }
+        key
     }
 
     /// The script the admission checker vets: the assembly script plus
@@ -320,6 +328,7 @@ mod tests {
             want_checkpoint: false,
             fault: FaultSpec::default(),
             distributed,
+            restore: None,
         };
         let cfg = ScalingConfig {
             n: 16,

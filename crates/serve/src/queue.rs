@@ -110,6 +110,7 @@ mod tests {
             want_checkpoint: false,
             fault: FaultSpec::default(),
             distributed: None,
+            restore: None,
         };
         Entry {
             id,

@@ -113,6 +113,7 @@ impl StepCtl {
 }
 
 /// What one attempt on a session produced.
+#[derive(Clone, Debug)]
 pub enum RunOutcome {
     /// Natural completion.
     Done(Artifacts),
@@ -217,7 +218,13 @@ fn run_attempt(fw: &mut Framework, job: &SimJob, ctl: &StepCtl) -> Result<Artifa
                 StepError::Failed(format!("override {}.{} failed: {e}", o.instance, o.key))
             })?;
     }
-    crate::workload::execute(job.kind, fw, ctl, job.want_checkpoint)
+    crate::workload::execute(
+        job.kind,
+        fw,
+        ctl,
+        job.want_checkpoint,
+        job.restore.as_deref(),
+    )
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

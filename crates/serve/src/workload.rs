@@ -108,6 +108,7 @@ impl IgnitionSpec {
             want_checkpoint: false,
             fault: FaultSpec::default(),
             distributed: None,
+            restore: None,
         }
     }
 }
@@ -229,6 +230,7 @@ impl RdSpec {
             want_checkpoint: false,
             fault: FaultSpec::default(),
             distributed: None,
+            restore: None,
         }
     }
 }
@@ -244,10 +246,18 @@ pub(crate) fn execute(
     fw: &Framework,
     ctl: &StepCtl,
     want_checkpoint: bool,
+    restore: Option<&[u8]>,
 ) -> Result<Artifacts, StepError> {
     match kind {
-        WorkloadKind::Ignition0d => run_ignition(fw, ctl),
-        WorkloadKind::ReactionDiffusion => run_rd(fw, ctl, want_checkpoint),
+        WorkloadKind::Ignition0d => {
+            if restore.is_some() {
+                return Err(StepError::Failed(
+                    "ignition jobs do not support checkpoint restore".into(),
+                ));
+            }
+            run_ignition(fw, ctl)
+        }
+        WorkloadKind::ReactionDiffusion => run_rd(fw, ctl, want_checkpoint, restore),
     }
 }
 
@@ -319,7 +329,25 @@ fn run_ignition(fw: &Framework, ctl: &StepCtl) -> Result<Artifacts, StepError> {
     .seal())
 }
 
-fn run_rd(fw: &Framework, ctl: &StepCtl, want_checkpoint: bool) -> Result<Artifacts, StepError> {
+/// RNG-free hash of the physics-bearing reaction–diffusion parameters,
+/// given as canonical u64 words. `n_steps` is deliberately excluded: a
+/// resumed leg runs *fewer* steps than the original submission, but it
+/// is still the same simulation.
+fn rd_config_hash(words: &[u64]) -> u64 {
+    use crate::job::fnv1a64;
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for word in words {
+        h = fnv1a64(h, &word.to_le_bytes());
+    }
+    h
+}
+
+fn run_rd(
+    fw: &Framework,
+    ctl: &StepCtl,
+    want_checkpoint: bool,
+    restore: Option<&[u8]>,
+) -> Result<Artifacts, StepError> {
     let cfg: Rc<dyn ParameterPort> = port(fw, "cfg", "config")?;
     let p = |key: &str, default: f64| cfg.get_parameter(key).unwrap_or(default);
     let nx = p("nx", 12.0) as i64;
@@ -331,6 +359,16 @@ fn run_rd(fw: &Framework, ctl: &StepCtl, want_checkpoint: bool) -> Result<Artifa
     let regrid_interval = (p("regrid_interval", 2.0) as usize).max(1);
     let threshold = p("threshold", 40.0);
     let with_chemistry = p("with_chemistry", 0.0) != 0.0;
+    let config_hash = rd_config_hash(&[
+        nx as u64,
+        length.to_bits(),
+        ratio as u64,
+        max_levels as u64,
+        dt.to_bits(),
+        regrid_interval as u64,
+        threshold.to_bits(),
+        with_chemistry as u64,
+    ]);
 
     let mesh: Rc<dyn MeshPort> = port(fw, "grace", "mesh")?;
     let data: Rc<dyn DataPort> = port(fw, "grace", "data")?;
@@ -343,16 +381,47 @@ fn run_rd(fw: &Framework, ctl: &StepCtl, want_checkpoint: bool) -> Result<Artifa
     // Setup (not step-counted: the deadline budgets *time evolution*).
     mesh.create(nx, nx, length, length, ratio);
     data.create_data_object("state", 9, 2);
-    ic.apply("state");
-    for level in 0..max_levels.saturating_sub(1) {
-        regrid.estimate_and_regrid("state", level, 0, threshold);
-        ic.apply("state");
-    }
+    let steps_done = match restore {
+        None => {
+            ic.apply("state");
+            for level in 0..max_levels.saturating_sub(1) {
+                regrid.estimate_and_regrid("state", level, 0, threshold);
+                ic.apply("state");
+            }
+            0usize
+        }
+        Some(bytes) => {
+            // Resume: integrity-check the component set, refuse a set
+            // from a different configuration, and replace the freshly
+            // created state wholesale with the checkpointed one.
+            let set = cca_ckpt::ComponentSet::from_bytes(bytes)
+                .map_err(|e| StepError::Failed(format!("restore rejected: {e}")))?;
+            if set.config_hash != config_hash {
+                return Err(StepError::Failed(
+                    "restore rejected: checkpoint belongs to a different configuration".into(),
+                ));
+            }
+            let grace_bytes = set.part("grace").ok_or_else(|| {
+                StepError::Failed("restore rejected: set has no grace state".into())
+            })?;
+            let ckpt: Rc<dyn CheckpointPort> = port(fw, "grace", "checkpoint")?;
+            ckpt.restore_bytes(grace_bytes)
+                .map_err(|e| StepError::Failed(format!("restore failed: {e}")))?;
+            set.steps_done as usize
+        }
+    };
 
+    // Bit-replay the time accumulation of the completed steps, so a
+    // resumed leg's `t` is the exact float the interrupted run held.
     let mut t = 0.0;
+    for _ in 0..steps_done {
+        t += dt;
+    }
     for step in 0..n_steps {
         ctl.begin_step().map_err(StepError::Cancelled)?;
-        if max_levels > 1 && step > 0 && step % regrid_interval == 0 {
+        // Regrid cadence counts absolute steps across legs.
+        let step_abs = steps_done + step;
+        if max_levels > 1 && step_abs > 0 && step_abs % regrid_interval == 0 {
             let top = mesh.n_levels().min(max_levels - 1);
             for level in 0..top {
                 regrid.estimate_and_regrid("state", level, 0, threshold);
@@ -376,11 +445,19 @@ fn run_rd(fw: &Framework, ctl: &StepCtl, want_checkpoint: bool) -> Result<Artifa
     }
 
     let checkpoint = if want_checkpoint {
+        // Wrap the raw CheckpointPort bytes in a versioned, checksummed
+        // component set carrying the configuration hash and the absolute
+        // step count — the artifact a preempted job resumes from.
         let ckpt: Rc<dyn CheckpointPort> = port(fw, "grace", "checkpoint")?;
-        Some(
-            ckpt.save_bytes()
-                .map_err(|e| StepError::Failed(format!("checkpoint failed: {e}")))?,
-        )
+        let grace_bytes = ckpt
+            .save_bytes()
+            .map_err(|e| StepError::Failed(format!("checkpoint failed: {e}")))?;
+        let set = cca_ckpt::ComponentSet {
+            config_hash,
+            steps_done: (steps_done + ctl.steps() as usize) as u64,
+            parts: vec![("grace".to_string(), grace_bytes)],
+        };
+        Some(set.to_bytes())
     } else {
         None
     };
@@ -461,6 +538,92 @@ mod tests {
             }
             _ => panic!("expected completion"),
         }
+    }
+
+    fn run_done(s: &mut Session, job: &SimJob, palette: &crate::session::PaletteFn) -> Artifacts {
+        match s.execute(job, CancelToken::new(), false, palette).0 {
+            crate::session::RunOutcome::Done(a) => a,
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preempted_rd_job_resumes_bit_identically() {
+        let palette = palette_fn();
+        let spec = |n_steps| RdSpec {
+            n_steps,
+            max_levels: 2,
+            threshold: 5.0,
+            ..RdSpec::default()
+        };
+        // Ground truth: four macro steps in one uninterrupted leg.
+        let mut s = Session::new(0, &palette);
+        let direct = run_done(&mut s, &spec(4).job(), &palette);
+        // Preemption: two steps, checkpoint, then a fresh session resumes
+        // the remaining two from the component set.
+        let mut first = spec(2).job();
+        first.want_checkpoint = true;
+        let mut s1 = Session::new(1, &palette);
+        let a1 = run_done(&mut s1, &first, &palette);
+        let set = a1.checkpoint.expect("checkpoint requested");
+        let parsed = cca_ckpt::ComponentSet::from_bytes(&set).expect("artifact is a valid set");
+        assert_eq!(parsed.steps_done, 2);
+        let mut second = spec(2).job();
+        second.restore = Some(set);
+        assert_ne!(
+            second.key(),
+            spec(2).job().key(),
+            "a resumed leg must never share a cache key with a from-scratch run"
+        );
+        let mut s2 = Session::new(2, &palette);
+        let a2 = run_done(&mut s2, &second, &palette);
+        for norm in ["T_max", "T_min", "T_integral", "levels"] {
+            let (got, want) = (a2.norm(norm).unwrap(), direct.norm(norm).unwrap());
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{norm} drifted across preemption: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_restore_sets_are_rejected() {
+        let palette = palette_fn();
+        let mut first = RdSpec::default().job();
+        first.want_checkpoint = true;
+        let mut s = Session::new(0, &palette);
+        let a1 = run_done(&mut s, &first, &palette);
+        let set = a1.checkpoint.expect("checkpoint requested");
+        let failed = |job: &SimJob| -> String {
+            let mut s = Session::new(9, &palette);
+            match s.execute(job, CancelToken::new(), false, &palette).0 {
+                crate::session::RunOutcome::Failed(msg) => msg,
+                other => panic!("expected deterministic failure, got {other:?}"),
+            }
+        };
+        // A flipped byte fails the set checksum — typed failure, no panic.
+        let mut corrupt = set.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        let mut job = RdSpec::default().job();
+        job.restore = Some(corrupt);
+        assert!(failed(&job).contains("restore rejected"), "checksum gate");
+        // A set from a different configuration is refused by its hash.
+        let mut other_cfg = RdSpec {
+            nx: 16,
+            ..RdSpec::default()
+        }
+        .job();
+        other_cfg.restore = Some(set.clone());
+        assert!(
+            failed(&other_cfg).contains("different configuration"),
+            "config-hash gate"
+        );
+        // Ignition jobs cannot restore at all.
+        let mut ign = IgnitionSpec::default().job();
+        ign.restore = Some(set);
+        assert!(failed(&ign).contains("do not support"), "kind gate");
     }
 
     #[test]

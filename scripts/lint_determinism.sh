@@ -43,7 +43,7 @@ while IFS= read -r hit; do
   fi
 done < <(grep -rn --include='*.rs' -E 'Hash(Map|Set)' \
   crates/comm/src crates/mesh/src crates/apps/src crates/serve/src \
-  crates/analyze/src || true)
+  crates/analyze/src crates/ckpt/src || true)
 
 if [[ "$fail" != 0 ]]; then
   echo "determinism lint: use BTreeMap/BTreeSet (or sort before" >&2
