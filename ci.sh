@@ -51,6 +51,7 @@ if [[ "${CI_BENCH:-0}" == "1" ]]; then
     "scaling:BENCH_PR5.json"
     "samr:BENCH_PR7.json"
     "ckpt:BENCH_PR8.json"
+    "kernels:BENCH_PR9.json"
   )
   for entry in "${BENCHES[@]}"; do
     sub="${entry%%:*}"

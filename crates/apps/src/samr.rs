@@ -333,21 +333,24 @@ fn sweep(
             }
             let pd = dobj.patch(level, p.id).expect("owned patch stored");
             let interior = pd.interior;
+            let si = (interior.lo[0] - pd.total_box().lo[0]) as usize;
+            let w = interior.nx() as usize;
             let mut newv = Vec::with_capacity(NVARS * interior.count() as usize);
             for var in 0..NVARS {
-                for (i, j) in interior.cells() {
-                    let c = pd.get(var, i, j);
-                    let lap = pd.get(var, i - 1, j)
-                        + pd.get(var, i + 1, j)
-                        + pd.get(var, i, j - 1)
-                        + pd.get(var, i, j + 1)
-                        - 4.0 * c;
-                    let mut v = c + ALPHA * lap;
-                    if var == 0 {
-                        let [x, y] = dh.hier.cell_center(level, i, j);
-                        v += DT * source(x, y, step, cfg.steps);
+                for j in interior.lo[1]..=interior.hi[1] {
+                    let (below, mid, above) = pd.rows3(var, j);
+                    for k in 0..w {
+                        let s = si + k;
+                        let c = mid[s];
+                        let lap = mid[s - 1] + mid[s + 1] + below[s] + above[s] - 4.0 * c;
+                        let mut v = c + ALPHA * lap;
+                        if var == 0 {
+                            let i = interior.lo[0] + k as i64;
+                            let [x, y] = dh.hier.cell_center(level, i, j);
+                            v += DT * source(x, y, step, cfg.steps);
+                        }
+                        newv.push(v);
                     }
-                    newv.push(v);
                 }
             }
             dobj.patch_mut(level, p.id)
@@ -372,15 +375,22 @@ fn compute_flags(
             continue;
         }
         let pd = dobj.patch(0, p.id).expect("owned patch stored");
-        for (i, j) in pd.interior.cells() {
-            let c = pd.get(0, i, j);
-            let g = (pd.get(0, i - 1, j) - c)
-                .abs()
-                .max((pd.get(0, i + 1, j) - c).abs())
-                .max((pd.get(0, i, j - 1) - c).abs())
-                .max((pd.get(0, i, j + 1) - c).abs());
-            if g > threshold {
-                flags.push((i, j));
+        let interior = pd.interior;
+        let si = (interior.lo[0] - pd.total_box().lo[0]) as usize;
+        let w = interior.nx() as usize;
+        for j in interior.lo[1]..=interior.hi[1] {
+            let (below, mid, above) = pd.rows3(0, j);
+            for k in 0..w {
+                let s = si + k;
+                let c = mid[s];
+                let g = (mid[s - 1] - c)
+                    .abs()
+                    .max((mid[s + 1] - c).abs())
+                    .max((below[s] - c).abs())
+                    .max((above[s] - c).abs());
+                if g > threshold {
+                    flags.push((interior.lo[0] + k as i64, j));
+                }
             }
         }
     }

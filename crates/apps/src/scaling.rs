@@ -323,14 +323,18 @@ const STAGE_ALPHA: f64 = 0.2;
 /// `rhs = α · ∇²pd`, reading only `pd` — cell-independent, so evaluating
 /// the region in any strip decomposition yields bit-identical values.
 fn eval_rhs(pd: &PatchData, rhs: &mut PatchData, region: &IntBox, alpha: f64) {
+    let w = region.nx() as usize;
+    let si = (region.lo[0] - pd.total_box().lo[0]) as usize;
+    let di = (region.lo[0] - rhs.total_box().lo[0]) as usize;
     for var in 0..NVARS {
-        for (i, j) in region.cells() {
-            let lap = pd.get(var, i + 1, j)
-                + pd.get(var, i - 1, j)
-                + pd.get(var, i, j + 1)
-                + pd.get(var, i, j - 1)
-                - 4.0 * pd.get(var, i, j);
-            rhs.set(var, i, j, alpha * lap);
+        for j in region.lo[1]..=region.hi[1] {
+            let (below, mid, above) = pd.rows3(var, j);
+            let out = &mut rhs.row_mut(var, j)[di..di + w];
+            for (k, o) in out.iter_mut().enumerate() {
+                let s = si + k;
+                let lap = mid[s + 1] + mid[s - 1] + above[s] + below[s] - 4.0 * mid[s];
+                *o = alpha * lap;
+            }
         }
     }
 }

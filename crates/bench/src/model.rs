@@ -1,0 +1,339 @@
+//! Deterministic machine model for the PR-9 kernel-throughput bench.
+//!
+//! Wall clocks are banned in `cca-bench` (the committed baselines are
+//! byte-diffed in CI), so kernel speed is *modeled*: each kernel's loop
+//! structure is replayed as a row-granular memory trace through an LRU
+//! cache simulator, and the cycle count is the roofline maximum of the
+//! compute cost (scalar + SIMD flops) and the memory cost (cache-line
+//! misses times the miss latency). The model is a pure function of the
+//! patch shape and the [`cca_mesh::KernelConfig`] knobs — same inputs,
+//! same bytes, on every host.
+//!
+//! The traces below mirror the real loop nests in
+//! `cca_components::diffusion::diffusion_rhs_cfg`,
+//! `cca_hydro::muscl::compute_rhs_cfg`, and the SAMR Laplacian sweep —
+//! band-sized property tables, halo-row recompute, the two-pass x/y flux
+//! sweep — so what the model rewards (band tables staying resident,
+//! padded rows not splitting cache lines) is exactly what the tiled
+//! kernels do.
+
+/// Modeled core clock, Hz. Only scales the derived cells/second.
+pub const CLOCK_HZ: f64 = 2.0e9;
+/// Doubles per SIMD lane group (AVX2-class, 4 × f64).
+pub const SIMD_WIDTH: u64 = 4;
+/// Doubles per cache line (64-byte lines).
+pub const LINE_DOUBLES: usize = 8;
+/// Cycles to fill one line from memory, latency-bound (~70 ns).
+pub const MISS_CYCLES: u64 = 140;
+/// Modeled last-level working cache: 512 KiB of doubles.
+pub const CACHE_DOUBLES: usize = 64 * 1024;
+
+/// Cost of one division in scalar-flop equivalents (throughput, not
+/// latency: dividers pipeline across independent cells).
+const DIV_FLOPS: u64 = 8;
+/// Per-cell property evaluation (mean molar mass, density, cp): fixed
+/// part plus a per-species part for the mixture rules.
+const PROP_FLOPS_BASE: u64 = 20;
+const PROP_FLOPS_PER_SPECIES: u64 = 30;
+/// Vectorizable flops per cell per variable of the 5-point
+/// face-averaged diffusion stencil.
+const DIFF_STENCIL_VEC_FLOPS: u64 = 12;
+/// One MUSCL reconstruction + approximate Riemann solve, per interface:
+/// the limiter/flux arithmetic vectorizes, the wave-selection logic
+/// does not.
+const RIEMANN_VEC_FLOPS: u64 = 90;
+const RIEMANN_SCALAR_FLOPS: u64 = 25;
+/// 5-point constant-coefficient Laplacian, per cell per variable.
+const LAP_VEC_FLOPS: u64 = 7;
+
+/// Round `n` up to the pitch quantum, as `cca_mesh::layout` does.
+fn pad(n: usize, quantum: usize) -> usize {
+    let q = quantum.max(1);
+    n.div_ceil(q) * q
+}
+
+/// Accumulated cost of one kernel invocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelCost {
+    /// Interior cells the kernel updated (all variables of a cell count
+    /// as one cell — the figure the profiler reports too).
+    pub cells: u64,
+    pub scalar_flops: u64,
+    pub vector_flops: u64,
+    pub lines_missed: u64,
+}
+
+impl KernelCost {
+    /// Roofline cycles: compute and memory overlap perfectly, so the
+    /// kernel pays whichever side saturates.
+    pub fn cycles(&self) -> u64 {
+        let compute = self.scalar_flops + self.vector_flops.div_ceil(SIMD_WIDTH);
+        let memory = self.lines_missed * MISS_CYCLES;
+        compute.max(memory)
+    }
+
+    /// Modeled throughput at [`CLOCK_HZ`].
+    pub fn cells_per_sec(&self) -> f64 {
+        self.cells as f64 * CLOCK_HZ / self.cycles() as f64
+    }
+}
+
+/// Row-granular LRU cache: entries are whole rows keyed by
+/// `(plane, row)`, charged in cache lines. Row granularity matches the
+/// kernels, which never revisit part of a row without sweeping it.
+struct RowCache {
+    cap_lines: usize,
+    used_lines: usize,
+    /// LRU order, most recent at the back. Linear scan is fine: the
+    /// cache holds at most a few hundred rows.
+    entries: Vec<(u64, usize)>,
+    lines_missed: u64,
+}
+
+impl RowCache {
+    fn new(cap_doubles: usize) -> Self {
+        Self {
+            cap_lines: cap_doubles / LINE_DOUBLES,
+            used_lines: 0,
+            entries: Vec::new(),
+            lines_missed: 0,
+        }
+    }
+
+    /// Touch (read or write) a row of `len` doubles starting `start`
+    /// doubles past its plane's line-aligned base. Unaligned starts
+    /// straddle one extra line — the cost dense (quantum-1) pitches pay.
+    fn touch(&mut self, plane: u32, row: u32, start: usize, len: usize) {
+        let key = (u64::from(plane) << 32) | u64::from(row);
+        if let Some(pos) = self.entries.iter().position(|e| e.0 == key) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            return;
+        }
+        let lines = (start % LINE_DOUBLES + len).div_ceil(LINE_DOUBLES);
+        self.lines_missed += lines as u64;
+        self.used_lines += lines;
+        self.entries.push((key, lines));
+        while self.used_lines > self.cap_lines {
+            let (_, l) = self.entries.remove(0);
+            self.used_lines -= l;
+        }
+    }
+}
+
+/// Plane-id bases for the traces. Only uniqueness matters.
+const STATE: u32 = 0;
+const RHS: u32 = 64;
+const TAB_LAMBDA: u32 = 128;
+const TAB_IRCP: u32 = 129;
+const TAB_IRHO: u32 = 130;
+const TAB_RHOD: u32 = 140;
+
+/// Replay of `diffusion_rhs_cfg`: banded property pass over the ring
+/// rows, then the fused T + species stencil pass over the same band
+/// while its tables are hot. `state` has one ghost ring, `rhs` none.
+pub fn diffusion_cost(
+    nxi: usize,
+    nyi: usize,
+    n_species: usize,
+    quantum: usize,
+    tile_rows: usize,
+    fast_div: bool,
+) -> KernelCost {
+    let n = n_species;
+    let nxr = nxi + 2;
+    let pitch_s = pad(nxr, quantum);
+    let pitch_r = pad(nxi, quantum);
+    let band_h = if tile_rows == 0 { nyi } else { tile_rows };
+    let mut cache = RowCache::new(CACHE_DOUBLES);
+    let mut cost = KernelCost::default();
+
+    let mut j0 = 0usize;
+    while j0 < nyi {
+        let j1 = (j0 + band_h - 1).min(nyi - 1);
+        // Property pass: ring rows [j0-1, j1+1] in stored-row indices
+        // [j0, j1+2]; the tables are scratch rows reused across bands.
+        for (r, j) in (j0..=j1 + 2).enumerate() {
+            for v in 0..n {
+                cache.touch(STATE + v as u32, j as u32, j * pitch_s, nxr);
+            }
+            cache.touch(TAB_LAMBDA, r as u32, r * nxr, nxr);
+            cache.touch(TAB_IRCP, r as u32, r * nxr, nxr);
+            cache.touch(TAB_IRHO, r as u32, r * nxr, nxr);
+            for v in 0..n {
+                cache.touch(TAB_RHOD + v as u32, r as u32, r * nxr, nxr);
+            }
+            cost.scalar_flops +=
+                (nxr as u64) * (PROP_FLOPS_BASE + PROP_FLOPS_PER_SPECIES * n as u64);
+        }
+        // Stencil pass: every variable's 5-point sweep over the band.
+        for j in j0..=j1 {
+            let tj = j - j0 + 1;
+            for dt in 0..3usize {
+                cache.touch(TAB_LAMBDA, (tj + dt - 1) as u32, (tj + dt - 1) * nxr, nxr);
+            }
+            cache.touch(TAB_IRCP, tj as u32, tj * nxr, nxr);
+            cache.touch(TAB_IRHO, tj as u32, tj * nxr, nxr);
+            for v in 0..n {
+                for dj in 0..3usize {
+                    let sj = j + dj; // stored rows j-1..j+1 are j..j+2
+                    cache.touch(STATE + v as u32, sj as u32, sj * pitch_s, nxr);
+                }
+                if v > 0 {
+                    for dt in 0..3usize {
+                        let tr = tj + dt - 1;
+                        cache.touch(TAB_RHOD + v as u32 - 1, tr as u32, tr * nxr, nxr);
+                    }
+                }
+                cache.touch(RHS + v as u32, j as u32, j * pitch_r, nxi);
+            }
+            cost.vector_flops += (nxi * n) as u64 * DIFF_STENCIL_VEC_FLOPS;
+            if fast_div {
+                cost.vector_flops += (nxi * n) as u64 * 2;
+            } else {
+                cost.scalar_flops += (nxi * n) as u64 * 2 * DIV_FLOPS;
+            }
+            cost.cells += nxi as u64;
+        }
+        j0 = j1 + 1;
+    }
+    cost.lines_missed = cache.lines_missed;
+    cost
+}
+
+/// Replay of `compute_rhs_cfg`: per band, the x-sweep reads each
+/// variable row and accumulates into `rhs`, then the y-sweep re-reads
+/// the four-row reconstruction window and both adjacent `rhs` rows.
+/// The per-row flux staging buffers are band-resident scratch and are
+/// charged nothing. `pd` has two ghost rings, `rhs` none.
+pub fn flux_cost(
+    nxi: usize,
+    nyi: usize,
+    nvars: usize,
+    quantum: usize,
+    tile_rows: usize,
+    fast_div: bool,
+) -> KernelCost {
+    let nxt = nxi + 4;
+    let pitch_s = pad(nxt, quantum);
+    let pitch_r = pad(nxi, quantum);
+    let band_h = if tile_rows == 0 { nyi } else { tile_rows };
+    let mut cache = RowCache::new(CACHE_DOUBLES);
+    let mut cost = KernelCost::default();
+    // Per interface: reconstruction + Riemann solve; per cell and axis:
+    // two flux-divergence updates (divisions unless `fast_div` hoists
+    // the reciprocal into a multiply).
+    let per_axis_vec = (nxi as u64) * RIEMANN_VEC_FLOPS;
+    let per_axis_scalar = (nxi as u64) * RIEMANN_SCALAR_FLOPS;
+    let div_cells = (nxi as u64) * 2;
+
+    let mut j0 = 0usize;
+    while j0 < nyi {
+        let j1 = (j0 + band_h - 1).min(nyi - 1);
+        // x-sweep: one stored row per variable (stored row j + 2).
+        for j in j0..=j1 {
+            for v in 0..nvars as u32 {
+                cache.touch(STATE + v, (j + 2) as u32, (j + 2) * pitch_s, nxt);
+                cache.touch(RHS + v, j as u32, j * pitch_r, nxi);
+            }
+            cost.vector_flops += per_axis_vec;
+            cost.scalar_flops += per_axis_scalar;
+            if fast_div {
+                cost.vector_flops += div_cells;
+            } else {
+                cost.scalar_flops += div_cells * DIV_FLOPS;
+            }
+            cost.cells += nxi as u64;
+        }
+        // y-sweep: interfaces j0..=j1(+1 on the last band); window rows
+        // j-2..j+1, scatter into rhs rows j-1 and j.
+        let iface_hi = if j1 == nyi - 1 { j1 + 1 } else { j1 };
+        for j in j0..=iface_hi {
+            for v in 0..nvars as u32 {
+                for w in 0..4usize {
+                    let sj = j + w; // stored rows j-2..j+1 are j..j+3
+                    cache.touch(STATE + v, sj as u32, sj * pitch_s, nxt);
+                }
+                if j > 0 {
+                    cache.touch(RHS + v, (j - 1) as u32, (j - 1) * pitch_r, nxi);
+                }
+                if j < nyi {
+                    cache.touch(RHS + v, j as u32, j * pitch_r, nxi);
+                }
+            }
+            cost.vector_flops += per_axis_vec;
+            cost.scalar_flops += per_axis_scalar;
+            if fast_div {
+                cost.vector_flops += div_cells;
+            } else {
+                cost.scalar_flops += div_cells * DIV_FLOPS;
+            }
+        }
+        j0 = j1 + 1;
+    }
+    cost.lines_missed = cache.lines_missed;
+    cost
+}
+
+/// Replay of the SAMR/scaling Laplacian sweep: one streaming pass, three
+/// state rows in the window, one `rhs` row out. Never tiled — row `j+1`
+/// is the only cold row per step — so only the pitch matters here.
+pub fn laplacian_cost(nxi: usize, nyi: usize, nvars: usize, quantum: usize) -> KernelCost {
+    let nxt = nxi + 2;
+    let pitch_s = pad(nxt, quantum);
+    let pitch_r = pad(nxi, quantum);
+    let mut cache = RowCache::new(CACHE_DOUBLES);
+    let mut cost = KernelCost::default();
+    for v in 0..nvars as u32 {
+        for j in 0..nyi {
+            for dj in 0..3usize {
+                let sj = j + dj;
+                cache.touch(STATE + v, sj as u32, sj * pitch_s, nxt);
+            }
+            cache.touch(RHS + v, j as u32, j * pitch_r, nxi);
+            cost.vector_flops += (nxi as u64) * LAP_VEC_FLOPS;
+        }
+    }
+    cost.cells = (nxi * nyi) as u64;
+    cost.lines_missed = cache.lines_missed;
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiled_diffusion_clears_the_speedup_floor() {
+        let base = diffusion_cost(96, 96, 9, 1, 0, false);
+        let tiled = diffusion_cost(96, 96, 9, 8, 16, false);
+        let s = tiled.cells_per_sec() / base.cells_per_sec();
+        assert!(s >= 1.5, "modeled diffusion speedup {s} below 1.5");
+    }
+
+    #[test]
+    fn tiled_flux_clears_the_speedup_floor() {
+        let base = flux_cost(96, 96, 5, 1, 0, false);
+        let tiled = flux_cost(96, 96, 5, 8, 8, false);
+        let s = tiled.cells_per_sec() / base.cells_per_sec();
+        assert!(s >= 1.3, "modeled flux speedup {s} below 1.3");
+    }
+
+    #[test]
+    fn padding_saves_the_laplacian_line_splits() {
+        // 126-wide rows: dense (quantum-1) rhs rows drift off line
+        // boundaries and straddle an extra line; padded rows never do.
+        let dense = laplacian_cost(126, 126, 2, 1);
+        let padded = laplacian_cost(126, 126, 2, 8);
+        assert!(padded.lines_missed < dense.lines_missed);
+        assert_eq!(dense.cells, padded.cells);
+    }
+
+    #[test]
+    fn costs_are_deterministic() {
+        let a = diffusion_cost(64, 64, 9, 8, 16, false);
+        let b = diffusion_cost(64, 64, 9, 8, 16, false);
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.lines_missed, b.lines_missed);
+    }
+}

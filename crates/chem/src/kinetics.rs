@@ -245,45 +245,52 @@ impl RateTable {
         }
         let pfac = P_ATM / rut;
 
-        for r in 0..self.a.len() {
-            let kf = self.a[r] * t.powf(self.n[r]) * (-self.ea[r] / rut).exp();
-            let (r0, r1) = (self.react_off[r], self.react_off[r + 1]);
-            let (p0, p1) = (self.prod_off[r], self.prod_off[r + 1]);
+        // One zipped sweep over the per-reaction arrays with the CSR rows
+        // hoisted to sub-slices — bounds checks leave the inner loops, the
+        // arithmetic (and thus the result bits) matches the scalar path.
+        let rates = self.a.iter().zip(&self.n).zip(&self.ea);
+        let shape = self
+            .react_off
+            .windows(2)
+            .zip(self.prod_off.windows(2))
+            .zip(&self.reversible)
+            .zip(&self.delta_nu)
+            .zip(&self.third_row);
+        for (((&a, &n), &ea), ((((ro, po), &rev), &dnu), &row)) in rates.zip(shape) {
+            let kf = a * t.powf(n) * (-ea / rut).exp();
+            let (r0, r1) = (ro[0], ro[1]);
+            let (p0, p1) = (po[0], po[1]);
+            let ridx = &self.react_idx[r0..r1];
+            let rnu = &self.react_nu[r0..r1];
+            let rcl = &self.react_nu_class[r0..r1];
+            let pidx = &self.prod_idx[p0..p1];
+            let pnu = &self.prod_nu[p0..p1];
+            let pcl = &self.prod_nu_class[p0..p1];
             // Forward progress.
             let mut qf = kf;
-            for k in r0..r1 {
-                qf *= pow_nu_class(
-                    c[self.react_idx[k]],
-                    self.react_nu[k],
-                    self.react_nu_class[k],
-                );
+            for ((&i, &nu), &cl) in ridx.iter().zip(rnu).zip(rcl) {
+                qf *= pow_nu_class(c[i], nu, cl);
             }
             // Reverse progress via detailed balance.
             let mut qr = 0.0;
-            if self.reversible[r] {
+            if rev {
                 let mut ds_over_r = 0.0;
                 let mut dh_over_rt = 0.0;
-                for k in p0..p1 {
-                    let i = self.prod_idx[k];
-                    ds_over_r += self.prod_nu[k] * s_over_r[i];
-                    dh_over_rt += self.prod_nu[k] * h_over_rt[i];
+                for (&i, &nu) in pidx.iter().zip(pnu) {
+                    ds_over_r += nu * s_over_r[i];
+                    dh_over_rt += nu * h_over_rt[i];
                 }
-                for k in r0..r1 {
-                    let i = self.react_idx[k];
-                    ds_over_r -= self.react_nu[k] * s_over_r[i];
-                    dh_over_rt -= self.react_nu[k] * h_over_rt[i];
+                for (&i, &nu) in ridx.iter().zip(rnu) {
+                    ds_over_r -= nu * s_over_r[i];
+                    dh_over_rt -= nu * h_over_rt[i];
                 }
                 let kp = (ds_over_r - dh_over_rt).exp();
-                let kc = kp * pfac.powf(self.delta_nu[r]);
+                let kc = kp * pfac.powf(dnu);
                 if kc > 0.0 && kc.is_finite() {
                     let kr = kf / kc;
                     qr = kr;
-                    for k in p0..p1 {
-                        qr *= pow_nu_class(
-                            c[self.prod_idx[k]],
-                            self.prod_nu[k],
-                            self.prod_nu_class[k],
-                        );
+                    for ((&i, &nu), &cl) in pidx.iter().zip(pnu).zip(pcl) {
+                        qr *= pow_nu_class(c[i], nu, cl);
                     }
                 }
             }
@@ -291,7 +298,6 @@ impl RateTable {
             // Third-body enhancement: one dense dot product against the
             // precomputed efficiency row (same summation order as the
             // scalar override scan).
-            let row = self.third_row[r];
             if row != usize::MAX {
                 let effs = &self.eff[row * ns..(row + 1) * ns];
                 let mut m = 0.0;
@@ -300,11 +306,11 @@ impl RateTable {
                 }
                 q *= m;
             }
-            for k in r0..r1 {
-                wdot[self.react_idx[k]] -= self.react_nu[k] * q;
+            for (&i, &nu) in ridx.iter().zip(rnu) {
+                wdot[i] -= nu * q;
             }
-            for k in p0..p1 {
-                wdot[self.prod_idx[k]] += self.prod_nu[k] * q;
+            for (&i, &nu) in pidx.iter().zip(pnu) {
+                wdot[i] += nu * q;
             }
         }
     }

@@ -347,6 +347,9 @@ impl PatchKernel for EulerPatchKernel {
 impl PatchRhsPort for InviscidInner {
     fn eval_patch(&self, state: &PatchData, rhs: &mut PatchData, dx: f64, dy: f64, t: f64) {
         let _scope = self.services.profiler().scope("InviscidFlux.patch-rhs");
+        self.services
+            .profiler()
+            .add_cells("InviscidFlux.patch-rhs", state.interior.count() as u64);
         // One code path: if States and the flux component can snapshot,
         // the serial call runs the very kernel the executor runs.
         if let Some(k) = self.patch_kernel() {

@@ -42,10 +42,14 @@ impl FlatView {
         for level in 0..self.mesh.n_levels() {
             for (id, _, _) in self.mesh.patches(level) {
                 self.data.with_patch(&self.name, level, id, &mut |pd| {
+                    // Dense interior rows in the same var-major, row-major
+                    // value order the per-cell loop produced.
                     let interior = pd.interior;
+                    let si = (interior.lo[0] - pd.total_box().lo[0]) as usize;
+                    let w = interior.nx() as usize;
                     for var in 0..pd.nvars {
-                        for (i, j) in interior.cells() {
-                            out.push(pd.get(var, i, j));
+                        for j in interior.lo[1]..=interior.hi[1] {
+                            out.extend_from_slice(&pd.row(var, j)[si..si + w]);
                         }
                     }
                 });
@@ -59,10 +63,12 @@ impl FlatView {
             for (id, _, _) in self.mesh.patches(level) {
                 self.data.with_patch_mut(&self.name, level, id, &mut |pd| {
                     let interior = pd.interior;
+                    let di = (interior.lo[0] - pd.total_box().lo[0]) as usize;
+                    let w = interior.nx() as usize;
                     for var in 0..pd.nvars {
-                        for (i, j) in interior.cells() {
-                            pd.set(var, i, j, v[k]);
-                            k += 1;
+                        for j in interior.lo[1]..=interior.hi[1] {
+                            pd.row_mut(var, j)[di..di + w].copy_from_slice(&v[k..k + w]);
+                            k += w;
                         }
                     }
                 });
@@ -138,6 +144,11 @@ pub(crate) fn eval_hierarchy_rhs(
                 // `component.port` the serial port path records) so
                 // profiles read the same whichever route patches took.
                 let run_label = k.label();
+                let cells: u64 = descriptors
+                    .iter()
+                    .map(|(_, interior, _)| interior.count() as u64)
+                    .sum();
+                executor.profiler().add_cells(run_label, cells);
                 let k = k.clone();
                 let report = executor.run_with_priority(
                     run_label,

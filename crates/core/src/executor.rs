@@ -317,6 +317,12 @@ impl Executor {
         self.core.borrow().workers
     }
 
+    /// The profiler this executor reports run times into, so callers can
+    /// attach extra per-label stats (e.g. cell counts) to the same timers.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
     /// Snapshot of the cumulative run/item/poisoning counters. O(1), no
     /// allocation — cheap enough to call after every run.
     pub fn stats(&self) -> ExecutorStats {

@@ -41,6 +41,23 @@ pub struct TimerStat {
     /// reports a non-zero steady-state value here is re-allocating
     /// workspaces it should be reusing.
     pub alloc_events: u64,
+    /// Mesh cells the scope has swept, accumulated by kernels through
+    /// [`Profiler::add_cells`]. Together with `total_secs` this yields
+    /// the throughput column (cells/s) in [`Profiler::report`] — the
+    /// figure of merit tiling and layout work is judged by.
+    pub cells_processed: u64,
+}
+
+impl TimerStat {
+    /// Throughput in cells per second, or `None` until the timer has
+    /// both swept cells and spent measurable time.
+    pub fn cells_per_sec(&self) -> Option<f64> {
+        if self.cells_processed > 0 && self.total_secs > 0.0 {
+            Some(self.cells_processed as f64 / self.total_secs)
+        } else {
+            None
+        }
+    }
 }
 
 /// One timer's full record: the running totals plus the sample ring.
@@ -128,6 +145,22 @@ impl Profiler {
             .record(secs, alloc_events);
     }
 
+    /// Attribute `cells` swept mesh cells to the named timer. Kernel
+    /// call sites call this next to their [`Profiler::scope`] guard so
+    /// the report can derive per-scope throughput. No-op while disabled,
+    /// mirroring `scope`.
+    pub fn add_cells(&self, name: &str, cells: u64) {
+        let mut st = self.state.borrow_mut();
+        if !st.enabled {
+            return;
+        }
+        st.timers
+            .entry(name.to_string())
+            .or_default()
+            .stat
+            .cells_processed += cells;
+    }
+
     /// Snapshot of one timer.
     pub fn stat(&self, name: &str) -> Option<TimerStat> {
         self.state.borrow().timers.get(name).map(|r| r.stat)
@@ -187,7 +220,7 @@ impl Profiler {
         });
         let mut out = String::from(
             "=== component profile ===\n\
-             timer                                    calls      total[s]    mean[us]     max[us]     p50[us]     p95[us]     p99[us]      allocs\n",
+             timer                                    calls      total[s]    mean[us]     max[us]     p50[us]     p95[us]     p99[us]      allocs       cells     cells/s\n",
         );
         for (name, t) in rows {
             let mean_us = if t.calls > 0 {
@@ -198,8 +231,12 @@ impl Profiler {
             let p = self
                 .percentiles(&name, &[0.50, 0.95, 0.99])
                 .unwrap_or_else(|| vec![0.0; 3]);
+            let rate = match t.cells_per_sec() {
+                Some(r) => format!("{r:>11.3e}"),
+                None => format!("{:>11}", "-"),
+            };
             out.push_str(&format!(
-                "{name:<40} {calls:>7}  {total:>12.6}  {mean_us:>10.2}  {max_us:>10.2}  {p50:>10.2}  {p95:>10.2}  {p99:>10.2}  {allocs:>10}\n",
+                "{name:<40} {calls:>7}  {total:>12.6}  {mean_us:>10.2}  {max_us:>10.2}  {p50:>10.2}  {p95:>10.2}  {p99:>10.2}  {allocs:>10}  {cells:>10}  {rate}\n",
                 calls = t.calls,
                 total = t.total_secs,
                 max_us = 1e6 * t.max_secs,
@@ -207,6 +244,7 @@ impl Profiler {
                 p95 = 1e6 * p[1],
                 p99 = 1e6 * p[2],
                 allocs = t.alloc_events,
+                cells = t.cells_processed,
             ));
         }
         out
@@ -344,6 +382,26 @@ mod tests {
         assert_eq!(s.alloc_events, 1, "only the cold checkout allocates");
         let report = p.report();
         assert!(report.contains("allocs"), "{report}");
+    }
+
+    #[test]
+    fn cells_accumulate_and_derive_throughput() {
+        let p = Profiler::new();
+        p.add_cells("k.rhs", 100); // disabled: dropped, mirroring scope()
+        p.set_enabled(true);
+        p.record("k.rhs", 0.5);
+        p.add_cells("k.rhs", 1_000);
+        p.add_cells("k.rhs", 1_000);
+        let s = p.stat("k.rhs").unwrap();
+        assert_eq!(s.cells_processed, 2_000);
+        let rate = s.cells_per_sec().unwrap();
+        assert!((rate - 4_000.0).abs() < 1e-9, "rate = {rate}");
+        let report = p.report();
+        assert!(report.contains("cells/s"), "{report}");
+        assert!(report.contains("2000"), "{report}");
+        // A timer with time but no cells renders a dash, not a rate.
+        p.record("idle", 0.1);
+        assert!(p.stat("idle").unwrap().cells_per_sec().is_none());
     }
 
     #[test]

@@ -23,12 +23,12 @@ pub fn rk2_step<F>(
     let n = y.len();
     debug_assert!(k1.len() == n && k2.len() == n && ystar.len() == n);
     f(t, y, k1);
-    for i in 0..n {
-        ystar[i] = y[i] + h * k1[i];
+    for (ys, (&yi, &k)) in ystar.iter_mut().zip(y.iter().zip(&*k1)) {
+        *ys = yi + h * k;
     }
     f(t + h, ystar, k2);
-    for i in 0..n {
-        y[i] += 0.5 * h * (k1[i] + k2[i]);
+    for (yi, (&a, &b)) in y.iter_mut().zip(k1.iter().zip(&*k2)) {
+        *yi += 0.5 * h * (a + b);
     }
 }
 

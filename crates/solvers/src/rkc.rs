@@ -57,7 +57,7 @@ pub struct RkcStats {
 /// The RKC integrator.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Rkc {
-    /// Configuration shared by [`Rkc::step`] and [`Rkc::integrate`].
+    /// Configuration used by [`Rkc::integrate`].
     pub config: RkcConfig,
 }
 
@@ -76,29 +76,6 @@ impl Rkc {
             s = 2;
         }
         s.min(self.config.max_stages)
-    }
-
-    /// One RKC step of size `h` from `(t, y)` given spectral-radius
-    /// estimate `rho`. Returns the new state and the embedded local error
-    /// estimate. `stats` accumulates work counters.
-    ///
-    /// Allocating convenience wrapper over [`Rkc::step_into`]; hot callers
-    /// (the adaptive driver, the `ExplicitIntegrator` component) use
-    /// `step_into` with reused output buffers instead.
-    pub fn step(
-        &self,
-        sys: &dyn OdeSystem,
-        t: f64,
-        y: &[f64],
-        h: f64,
-        rho: f64,
-        stats: &mut RkcStats,
-    ) -> (Vec<f64>, Vec<f64>) {
-        let n = y.len();
-        let mut y_new = vec![0.0; n];
-        let mut est = vec![0.0; n];
-        self.step_into(sys, t, y, h, rho, stats, &mut y_new, &mut est);
-        (y_new, est)
     }
 
     /// One RKC step written into caller-owned buffers. All stage vectors
@@ -169,12 +146,16 @@ impl Rkc {
             sys.rhs(t + c_jm1 * h, &yjm1, &mut f_buf);
             stats.rhs_evals += 1;
 
-            for i in 0..n {
-                y_j[i] = (1.0 - mu - nu) * y[i]
-                    + mu * yjm1[i]
-                    + nu * yjm2[i]
-                    + mu_tilde * h * f_buf[i]
-                    + gamma_tilde * h * f0[i];
+            for ((yji, &yi), ((&y1, &y2), (&fi, &f0i))) in y_j
+                .iter_mut()
+                .zip(y)
+                .zip(yjm1.iter().zip(&*yjm2).zip(f_buf.iter().zip(&*f0)))
+            {
+                *yji = (1.0 - mu - nu) * yi
+                    + mu * y1
+                    + nu * y2
+                    + mu_tilde * h * fi
+                    + gamma_tilde * h * f0i;
             }
             let c_j = mu * c_jm1 + nu * c_jm2 + mu_tilde + gamma_tilde;
             // Rotate the stage windows by swapping the underlying vectors
@@ -190,8 +171,12 @@ impl Rkc {
         // est = 0.8 (y_n - y_{n+1}) + 0.4 h (F_n + F_{n+1}).
         sys.rhs(t + h, y_new, &mut f_buf);
         stats.rhs_evals += 1;
-        for i in 0..n {
-            est[i] = 0.8 * (y[i] - y_new[i]) + 0.4 * h * (f0[i] + f_buf[i]);
+        for ((ei, (&yi, &yni)), (&f0i, &fi)) in est
+            .iter_mut()
+            .zip(y.iter().zip(&*y_new))
+            .zip(f0.iter().zip(&*f_buf))
+        {
+            *ei = 0.8 * (yi - yni) + 0.4 * h * (f0i + fi);
         }
     }
 
@@ -336,11 +321,13 @@ mod tests {
         for &nsteps in &[20usize, 40, 80] {
             let h = 1.0 / nsteps as f64;
             let mut y = vec![0.0];
+            let mut y_new = vec![0.0];
+            let mut est = vec![0.0];
             let mut stats = RkcStats::default();
             let mut t = 0.0;
             for _ in 0..nsteps {
-                let (y_new, _) = rkc.step(&sys, t, &y, h, 1.0, &mut stats);
-                y = y_new;
+                rkc.step_into(&sys, t, &y, h, 1.0, &mut stats, &mut y_new, &mut est);
+                y.copy_from_slice(&y_new);
                 t += h;
             }
             errs.push((y[0] - 1.0f64.sin()).abs());

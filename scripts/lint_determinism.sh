@@ -11,6 +11,9 @@
 # analyze/src/distplan.rs) is the most sensitive: its exchange manifests
 # and regrid plans must be *identical on every rank*, so any hash-ordered
 # iteration there is a cross-rank divergence, not just run-to-run noise.
+# The kernel crates (hydro/components/chem/solvers) are covered too:
+# their tiled sweeps promise bit-identical results at any tile size and
+# worker count, which a hash-ordered traversal would break the same way.
 #
 # Files listed in ALLOW may use hash containers because their results are
 # provably order-insensitive (membership tests, min/max folds, counting);
@@ -43,7 +46,9 @@ while IFS= read -r hit; do
   fi
 done < <(grep -rn --include='*.rs' -E 'Hash(Map|Set)' \
   crates/comm/src crates/mesh/src crates/apps/src crates/serve/src \
-  crates/analyze/src crates/ckpt/src || true)
+  crates/analyze/src crates/ckpt/src \
+  crates/hydro/src crates/components/src crates/chem/src \
+  crates/solvers/src || true)
 
 if [[ "$fail" != 0 ]]; then
   echo "determinism lint: use BTreeMap/BTreeSet (or sort before" >&2
