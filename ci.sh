@@ -36,6 +36,9 @@ cargo run -q --example cca_lint -- --comm
 echo "== serve smoke (demo request stream through the job server)"
 cargo run -q --example cca_serve -- --demo > /dev/null
 
+echo "== fleet smoke (multi-tenant loadgen across 2 serve shards)"
+cargo run -q --example cca_serve -- --fleet > /dev/null
+
 echo "== cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
@@ -52,6 +55,7 @@ if [[ "${CI_BENCH:-0}" == "1" ]]; then
     "samr:BENCH_PR7.json"
     "ckpt:BENCH_PR8.json"
     "kernels:BENCH_PR9.json"
+    "fleet:BENCH_PR10.json"
   )
   for entry in "${BENCHES[@]}"; do
     sub="${entry%%:*}"

@@ -27,7 +27,17 @@
 //! cca-bench samr-check [PATH]     # validate an existing BENCH_PR7.json
 //! cca-bench kernels [PATH]        # run the kernel layout/tiling sweep, write BENCH_PR9.json
 //! cca-bench kernels-check [PATH]  # validate an existing BENCH_PR9.json
+//! cca-bench fleet [PATH]          # run the serve-fleet shard sweep, write BENCH_PR10.json
+//! cca-bench fleet-check [PATH]    # validate an existing BENCH_PR10.json
 //! ```
+//!
+//! The `fleet` pair freezes the PR-10 sharded-serving contract: the
+//! multi-tenant loadgen replayed at 1/2/4 shards (identical outcome
+//! checksums — the schedule moves, the physics must not), a ≥ 3×
+//! modeled-throughput scaling floor at 4 shards, a steal-vs-pinned
+//! comparison whose p99 turnaround must improve by ≥ 15%, and the
+//! deadline-admission scenario (provably-late jobs rejected or
+//! downgraded, zero lost jobs everywhere).
 //!
 //! The `kernels` pair freezes the PR-9 layout/tiling contract: the
 //! diffusion RHS and Godunov flux kernels run for real at every pitch ×
@@ -104,6 +114,8 @@ const CKPT_PATH: &str = "BENCH_PR8.json";
 const CKPT_SCHEMA: &str = "cca-bench-ckpt-v1";
 const KERNELS_PATH: &str = "BENCH_PR9.json";
 const KERNELS_SCHEMA: &str = "cca-bench-kernels-v1";
+const FLEET_PATH: &str = "BENCH_PR10.json";
+const FLEET_SCHEMA: &str = "cca-bench-fleet-v1";
 
 /// Stoichiometric H2-air for an n-species table (H2, O2 first; N2 last).
 fn stoich(n: usize) -> Vec<f64> {
@@ -976,6 +988,202 @@ fn validate_serve(text: &str) -> Vec<String> {
     errs
 }
 
+/// One latency block for the fleet file.
+fn fleet_latency(name: &str, l: &cca_serve::LatencyStat, trailing_comma: bool) -> String {
+    format!(
+        "    \"{name}\": {{\"count\": {}, \"mean\": {:e}, \"p50\": {:e}, \
+         \"p95\": {:e}, \"p99\": {:e}, \"max\": {:e}}}{}\n",
+        l.count,
+        l.mean,
+        l.p50,
+        l.p95,
+        l.p99,
+        l.max,
+        if trailing_comma { "," } else { "" }
+    )
+}
+
+/// The PR-10 fleet contract: shard-scaling sweep, steal-vs-pinned
+/// comparison, and the deadline-admission scenario — all on the virtual
+/// clock, so every number is byte-stable.
+fn fleet_json() -> String {
+    let cfg = cca_serve::FleetLoadgenConfig::default();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{FLEET_SCHEMA}\",\n"));
+    out.push_str("  \"deterministic\": true,\n");
+    out.push_str(&format!(
+        "  \"scenario\": {{\"jobs\": {}, \"seed\": {}, \"sessions_per_shard\": {}, \
+         \"queue_capacity\": {}, \"cache_capacity\": {}, \"burst\": {}}},\n",
+        cfg.jobs,
+        cfg.seed,
+        cfg.sessions_per_shard,
+        cfg.queue_capacity,
+        cfg.cache_capacity,
+        cfg.burst
+    ));
+
+    // Shard-scaling sweep: same request stream, growing fleet.
+    let sweep: Vec<cca_serve::FleetLoadgenReport> = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| {
+            cca_serve::run_fleet_loadgen(&cca_serve::FleetLoadgenConfig {
+                shards,
+                ..cca_serve::FleetLoadgenConfig::default()
+            })
+        })
+        .collect();
+    let base_checksum = sweep[0].outcome_checksum;
+    out.push_str("  \"shard_scaling\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        let s = &r.stats;
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"total_ticks\": {}, \"throughput_jobs_per_kilotick\": {:e}, \
+             \"completed\": {}, \"cached\": {}, \"lost\": {}, \"rejection_events\": {}, \
+             \"steals\": {}, \"migrations\": {}, \"preemptions\": {}, \
+             \"wait_p50\": {:e}, \"wait_p95\": {:e}, \"wait_p99\": {:e}, \
+             \"turnaround_p50\": {:e}, \"turnaround_p95\": {:e}, \"turnaround_p99\": {:e}, \
+             \"outcome_checksum\": \"{:016x}\", \"checksum_drift\": {}}}{}\n",
+            r.config.shards,
+            r.total_ticks,
+            r.throughput_jobs_per_kilotick,
+            r.completed,
+            r.cached,
+            r.lost,
+            r.rejection_events,
+            s.steals,
+            s.migrations,
+            s.preemptions,
+            s.queue_wait.p50,
+            s.queue_wait.p95,
+            s.queue_wait.p99,
+            s.turnaround.p50,
+            s.turnaround.p95,
+            s.turnaround.p99,
+            r.outcome_checksum,
+            u64::from(r.outcome_checksum != base_checksum),
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let tput1 = sweep[0].throughput_jobs_per_kilotick;
+    let tput4 = sweep[2].throughput_jobs_per_kilotick;
+    out.push_str(&format!(
+        "  \"scaling_4x\": {:e},\n  \"scaling_4x_floor\": 3e0,\n",
+        tput4 / tput1
+    ));
+
+    // Steal vs pinned at 4 shards: deterministic stealing must buy tail
+    // latency, not just shuffle work.
+    let steal = &sweep[2];
+    let pinned = cca_serve::run_fleet_loadgen(&cca_serve::FleetLoadgenConfig {
+        shards: 4,
+        steal: false,
+        ..cca_serve::FleetLoadgenConfig::default()
+    });
+    let (p99s, p99p) = (steal.stats.turnaround.p99, pinned.stats.turnaround.p99);
+    out.push_str("  \"steal_vs_pinned\": {\n");
+    out.push_str(&fleet_latency(
+        "steal_turnaround",
+        &steal.stats.turnaround,
+        true,
+    ));
+    out.push_str(&fleet_latency(
+        "pinned_turnaround",
+        &pinned.stats.turnaround,
+        true,
+    ));
+    out.push_str(&format!(
+        "    \"steal_total_ticks\": {}, \"pinned_total_ticks\": {}, \
+         \"pinned_lost\": {}, \"pinned_checksum_drift\": {},\n",
+        steal.total_ticks,
+        pinned.total_ticks,
+        pinned.lost,
+        u64::from(pinned.outcome_checksum != base_checksum)
+    ));
+    out.push_str(&format!(
+        "    \"p99_improvement\": {:e}, \"p99_improvement_floor\": 1.5e-1\n",
+        (p99p - p99s) / p99p
+    ));
+    out.push_str("  },\n");
+
+    // Deadline admission: the cost model must reject or downgrade
+    // provably-late jobs at submit time.
+    let adm = cca_serve::run_fleet_loadgen(&cca_serve::FleetLoadgenConfig {
+        deadlines: true,
+        ..cca_serve::FleetLoadgenConfig::default()
+    });
+    out.push_str(&format!(
+        "  \"admission\": {{\"rejected_deadline\": {}, \"downgraded\": {}, \
+         \"completed\": {}, \"lost\": {}, \"outcome_checksum\": \"{:016x}\"}}\n",
+        adm.rejected_deadline, adm.stats.downgraded, adm.completed, adm.lost, adm.outcome_checksum
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Structural + invariant validation of a fleet file.
+fn validate_fleet(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !text.contains(&format!("\"schema\": \"{FLEET_SCHEMA}\"")) {
+        errs.push(format!("missing or wrong schema tag (want {FLEET_SCHEMA})"));
+    }
+    for (open, close, what) in [('{', '}', "braces"), ('[', ']', "brackets")] {
+        let a = text.matches(open).count();
+        let b = text.matches(close).count();
+        if a != b || a == 0 {
+            errs.push(format!("unbalanced {what}: {a} '{open}' vs {b} '{close}'"));
+        }
+    }
+    let drifts = numbers_after(text, "checksum_drift");
+    if drifts.len() != 3 {
+        errs.push(format!(
+            "want 3 shard-scaling points, found {}",
+            drifts.len()
+        ));
+    }
+    for (i, v) in drifts.iter().enumerate() {
+        if *v != 0.0 {
+            errs.push(format!(
+                "shard-scaling point {i} drifted the outcome checksum (replay broken)"
+            ));
+        }
+    }
+    if numbers_after(text, "pinned_checksum_drift").first() != Some(&0.0) {
+        errs.push("disabling stealing drifted the outcome checksum".into());
+    }
+    for key in ["lost", "pinned_lost"] {
+        if numbers_after(text, key).iter().any(|v| *v != 0.0) {
+            errs.push(format!("\"{key}\" is nonzero: requests vanished"));
+        }
+    }
+    for key in ["steals", "migrations", "preemptions"] {
+        if numbers_after(text, key).iter().sum::<f64>() < 1.0 {
+            errs.push(format!("\"{key}\" was never exercised across the sweep"));
+        }
+    }
+    for (value, floor) in [
+        ("scaling_4x", "scaling_4x_floor"),
+        ("p99_improvement", "p99_improvement_floor"),
+    ] {
+        let v = numbers_after(text, value);
+        let f = numbers_after(text, floor);
+        match (v.first(), f.first()) {
+            (Some(v), Some(f)) if v >= f => {}
+            (Some(v), Some(f)) => {
+                errs.push(format!("\"{value}\" {v} below the {f} acceptance floor"))
+            }
+            _ => errs.push(format!("missing \"{value}\" or its floor")),
+        }
+    }
+    for key in ["rejected_deadline", "downgraded"] {
+        if numbers_after(text, key).iter().sum::<f64>() < 1.0 {
+            errs.push(format!("admission never exercised \"{key}\""));
+        }
+    }
+    errs
+}
+
 /// Every number following a `"key":` in (our own, known-shape) JSON.
 fn numbers_after(text: &str, key: &str) -> Vec<f64> {
     let needle = format!("\"{key}\":");
@@ -1507,6 +1715,13 @@ const SUITES: &[Suite] = &[
         path: KERNELS_PATH,
         generate: kernels_json,
         validate: validate_kernels,
+    },
+    Suite {
+        run: "fleet",
+        check: "fleet-check",
+        path: FLEET_PATH,
+        generate: fleet_json,
+        validate: validate_fleet,
     },
 ];
 

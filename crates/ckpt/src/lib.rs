@@ -28,13 +28,17 @@
 //!   [`cca_comm::Communicator`], plus deterministic fault injection.
 //! - [`component`] — single-process component-state sets used by the
 //!   serving layer to preempt and migrate jobs.
+//! - [`migrate`] — handoff tickets sealing component-set bytes that
+//!   migrate between serve shards under work stealing.
 
 pub mod component;
 pub mod coord;
+pub mod migrate;
 pub mod set;
 pub mod store;
 
 pub use component::ComponentSet;
 pub use coord::{restore, snapshot, FaultPlan, TAG_CKPT, TAG_RESTORE};
+pub use migrate::HandoffTicket;
 pub use set::{CheckpointSet, CkptError, CkptMeta, SavedHierarchy, Shard};
 pub use store::CkptStore;

@@ -203,6 +203,48 @@ impl Profiler {
         )
     }
 
+    /// Merge every timer of `other` into this profiler: counters add,
+    /// maxima take the larger value, and the sample reservoirs
+    /// concatenate under the usual ring-buffer bound — so percentile
+    /// queries on the merged profiler see both sides' samples.
+    ///
+    /// This is the multi-shard aggregation primitive: each serve shard
+    /// records into its own profiler, and a fleet-level snapshot absorbs
+    /// the shard profilers into a fresh one. Because absorption reads
+    /// `other` without modifying it, and the destination starts empty,
+    /// each sample is counted exactly once per snapshot — retried jobs
+    /// are not double-counted (their timers only fire on the terminal
+    /// attempt) and repeated snapshots do not compound.
+    pub fn absorb(&self, other: &Profiler) {
+        if Rc::ptr_eq(&self.state, &other.state) {
+            return; // self-absorption would double every counter
+        }
+        let src = other.state.borrow();
+        let mut dst = self.state.borrow_mut();
+        for (name, rec) in &src.timers {
+            let d = dst.timers.entry(name.clone()).or_default();
+            d.stat.total_secs += rec.stat.total_secs;
+            d.stat.alloc_events += rec.stat.alloc_events;
+            d.stat.cells_processed += rec.stat.cells_processed;
+            if rec.stat.max_secs > d.stat.max_secs {
+                d.stat.max_secs = rec.stat.max_secs;
+            }
+            // Replay the source samples in recording order so the merged
+            // reservoir keeps the same most-recent-window semantics.
+            for &s in &rec.samples {
+                if d.samples.len() < SAMPLE_CAPACITY {
+                    d.samples.push(s);
+                } else {
+                    let slot = (d.stat.calls as usize) % SAMPLE_CAPACITY;
+                    d.samples[slot] = s;
+                }
+                d.stat.calls += 1;
+            }
+            // Calls beyond the reservoir window (long runs) still count.
+            d.stat.calls += rec.stat.calls - rec.samples.len() as u64;
+        }
+    }
+
     /// Forget all recorded data (keeps the enabled flag).
     pub fn reset(&self) {
         self.state.borrow_mut().timers.clear();
@@ -348,6 +390,38 @@ mod tests {
         let s = p.stat("t").unwrap();
         assert_eq!(s.calls, 2 * SAMPLE_CAPACITY as u64);
         assert!((s.max_secs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_reservoirs() {
+        let a = Profiler::new();
+        let b = Profiler::new();
+        for k in 1..=50 {
+            a.record("t", k as f64);
+        }
+        for k in 51..=100 {
+            b.record("t", k as f64);
+        }
+        b.record("b.only", 7.0);
+        let merged = Profiler::new();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        let s = merged.stat("t").unwrap();
+        assert_eq!(s.calls, 100);
+        assert!((s.total_secs - 5050.0).abs() < 1e-9);
+        assert!((s.max_secs - 100.0).abs() < 1e-12);
+        // Percentiles see both sides' samples.
+        let q = merged.percentiles("t", &[0.50, 0.99]).unwrap();
+        assert!((q[0] - 50.0).abs() < 1e-12, "{q:?}");
+        assert!((q[1] - 99.0).abs() < 1e-12, "{q:?}");
+        assert_eq!(merged.stat("b.only").unwrap().calls, 1);
+        // Self-absorption is a no-op, not a doubling.
+        merged.absorb(&merged.clone());
+        assert_eq!(merged.stat("t").unwrap().calls, 100);
+        // Sources are untouched: a second snapshot counts once again.
+        let again = Profiler::new();
+        again.absorb(&a);
+        assert_eq!(again.stat("t").unwrap().calls, 50);
     }
 
     #[test]

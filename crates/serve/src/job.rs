@@ -10,6 +10,7 @@
 //! enter the key: two submissions asking for the same simulation must
 //! coalesce even if one is more patient than the other.
 
+use crate::cost::LatePolicy;
 use cca_analyze::commplan::CommPlan;
 use cca_apps::scaling::ScalingConfig;
 use std::fmt;
@@ -71,6 +72,11 @@ pub struct FaultSpec {
     pub fail_attempts: u32,
     /// 1-based macro step at which the injected panic fires.
     pub panic_at_step: u64,
+    /// Chaos drill for preemptive migration: pretend every preemption of
+    /// this job lands *mid-snapshot* — a boundary commit coinciding with
+    /// the yield step is treated as torn, forcing the continuation back
+    /// onto the prior committed set.
+    pub mid_snapshot_preempt: bool,
 }
 
 impl Default for FaultSpec {
@@ -78,6 +84,7 @@ impl Default for FaultSpec {
         FaultSpec {
             fail_attempts: 0,
             panic_at_step: 1,
+            mid_snapshot_preempt: false,
         }
     }
 }
@@ -149,6 +156,24 @@ pub struct SimJob {
     /// Resume from this serialized `cca-ckpt` component set instead of
     /// the initial condition (preemption/migration of long jobs).
     pub restore: Option<Vec<u8>>,
+    /// Owning tenant (index into the fleet's tenant table; 0 is the
+    /// default tenant). A scheduling attribute — not part of the key, so
+    /// identical physics coalesces across tenants.
+    pub tenant: u32,
+    /// Completion deadline in virtual ticks *after submission*. The
+    /// fleet's cost model rejects (or downgrades) jobs that provably
+    /// cannot finish by it. `None` = no deadline. Not part of the key.
+    pub deadline: Option<u64>,
+    /// Macro steps between periodic checkpoint commits while the job
+    /// runs (0 = none). A job with a positive interval is *sliceable*:
+    /// the fleet may preempt it at slice edges and migrate the committed
+    /// set to another shard. Not part of the key — the committed sets
+    /// never change the physics.
+    pub ckpt_interval: u64,
+    /// What admission does when the cost model proves `deadline`
+    /// unreachable: refuse the job, or accept it degraded. Not part of
+    /// the key.
+    pub on_late: LatePolicy,
 }
 
 impl SimJob {
@@ -237,7 +262,7 @@ impl fmt::Display for JobKey {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// Second-stream seed: golden-ratio offset, decorrelating the two hashes.
 const FNV_OFFSET_ALT: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
@@ -329,6 +354,10 @@ mod tests {
             fault: FaultSpec::default(),
             distributed,
             restore: None,
+            tenant: 0,
+            deadline: None,
+            ckpt_interval: 0,
+            on_late: LatePolicy::Reject,
         };
         let cfg = ScalingConfig {
             n: 16,

@@ -26,20 +26,41 @@
 //! every latency number and the entire schedule are deterministic — no
 //! wall-clock sleeps anywhere, which is what lets CI pin the loadgen
 //! benchmark byte-for-byte (`BENCH_PR3.json`).
+//!
+//! PR 10 scales the single server out into a **fleet**
+//! ([`fleet::Fleet`]): N shards behind a consistent-hash router
+//! ([`fleet::HashRing`]) so coalescing and the result cache stay
+//! effective per shard, deterministic work stealing between idle and
+//! overloaded pools, per-tenant QoS fair share ([`tenant`]),
+//! cost-model-based deadline admission ([`cost`]), and preemptive
+//! checkpoint-based migration of long jobs between shards (real
+//! `cca-ckpt` bytes under a sealed handoff ticket — results stay
+//! bit-identical to unmigrated runs).
 
 pub mod cache;
+pub mod cost;
+pub mod fleet;
 pub mod job;
 pub mod loadgen;
 pub(crate) mod queue;
 pub mod server;
 pub mod session;
+pub(crate) mod shard;
 pub mod stats;
+pub mod tenant;
 pub mod workload;
 
 pub use cache::{Artifacts, CacheStats, ResultCache};
+pub use cost::{CostModel, CostPrediction, LatePolicy};
+pub use fleet::{Fleet, FleetConfig, FleetStats, HashRing, TenantRow};
 pub use job::{DistributedSpec, FaultSpec, JobId, JobKey, Override, SimJob, WorkloadKind};
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{
+    fleet_request_stream, fleet_tenants, run_fleet_loadgen, run_loadgen, FleetLoadgenConfig,
+    FleetLoadgenReport, LoadgenConfig, LoadgenReport,
+};
 pub use server::{JobOutcome, Server, ServerConfig, SubmitError};
-pub use session::{CancelReason, CancelToken};
+pub use session::{CancelReason, CancelToken, PreemptSpec, StepSignal};
+pub use shard::ShardStat;
 pub use stats::{LatencyStat, ServerStats, SessionStat};
+pub use tenant::{default_tenants, QosClass, TenantSpec, TenantState};
 pub use workload::{serve_palette, IgnitionSpec, JobConfig, RdSpec};

@@ -9,9 +9,12 @@
 //! submission order, and (because the server runs on a virtual clock)
 //! every latency number in the report.
 
-use crate::job::{FaultSpec, JobId, SimJob};
+use crate::cost::LatePolicy;
+use crate::fleet::{Fleet, FleetConfig, FleetStats};
+use crate::job::{fnv1a64, FaultSpec, JobId, SimJob, FNV_OFFSET};
 use crate::server::{JobOutcome, Server, ServerConfig, SubmitError};
 use crate::stats::ServerStats;
+use crate::tenant::{QosClass, TenantSpec};
 use crate::workload::{serve_palette, IgnitionSpec, RdSpec};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -107,6 +110,7 @@ pub fn request_stream(cfg: &LoadgenConfig) -> Vec<SimJob> {
             job.fault = FaultSpec {
                 fail_attempts: 16,
                 panic_at_step: 1,
+                ..FaultSpec::default()
             };
             uniques.push(job);
             continue;
@@ -121,6 +125,7 @@ pub fn request_stream(cfg: &LoadgenConfig) -> Vec<SimJob> {
             job.fault = FaultSpec {
                 fail_attempts: 1,
                 panic_at_step: 2,
+                ..FaultSpec::default()
             };
             cacheable.push(job.clone());
             uniques.push(job);
@@ -208,8 +213,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
                     rejection_events += 1;
                     deferred.push(job);
                 }
-                Err(e @ SubmitError::Admission { .. }) => {
-                    unreachable!("loadgen scripts are admission-clean: {e}")
+                Err(e) => {
+                    unreachable!("loadgen scripts are admission-clean and deadline-free: {e}")
                 }
             }
         }
@@ -254,6 +259,311 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
         stats,
         ids,
     }
+}
+
+/// Fleet loadgen shape: a multi-tenant traffic mix against an N-shard
+/// fleet. The same stream can be replayed at different shard counts —
+/// the per-request outcome checksum must not move (the scaling-drift
+/// contract `cca-bench fleet` pins), which is why the default scenario
+/// contains **no deadline-constrained jobs**: admission decisions depend
+/// on fleet capacity and would legitimately differ across shard counts.
+/// Set `deadlines: true` for the separate admission scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetLoadgenConfig {
+    /// Total client requests.
+    pub jobs: usize,
+    /// PRNG seed — the entire scenario is a function of it.
+    pub seed: u64,
+    /// Fleet shard count.
+    pub shards: usize,
+    /// Session-pool size per shard.
+    pub sessions_per_shard: usize,
+    /// Queue capacity per shard.
+    pub queue_capacity: usize,
+    /// Result-cache capacity per shard.
+    pub cache_capacity: usize,
+    /// Requests submitted per burst (drained between bursts).
+    pub burst: usize,
+    /// Enable deterministic work stealing.
+    pub steal: bool,
+    /// Include deadline-pressured jobs (Reject and Downgrade policies).
+    pub deadlines: bool,
+}
+
+impl Default for FleetLoadgenConfig {
+    fn default() -> Self {
+        FleetLoadgenConfig {
+            jobs: 240,
+            seed: 20_260_808,
+            shards: 2,
+            sessions_per_shard: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            burst: 24,
+            steal: true,
+            deadlines: false,
+        }
+    }
+}
+
+/// The fleet loadgen's tenant table: an interactive tenant with a
+/// skewed-popularity key mix, a bursty standard tenant, and a heavy
+/// batch tenant running long sliceable jobs.
+pub fn fleet_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("interactive", QosClass::Interactive, 1),
+        TenantSpec::new("bursty", QosClass::Standard, 2),
+        TenantSpec::new("heavy", QosClass::Batch, 1),
+    ]
+}
+
+/// Generate the multi-tenant request stream for `cfg`.
+///
+/// Tenant mix per request (seeded, deterministic):
+/// * **interactive** (~40%) — short ignition jobs drawn from a small
+///   *popular pool* with probability 0.65 (skewed key popularity: the
+///   consistent-hash router must keep these duplicates coalescing and
+///   cache-hitting on their home shard), else a fresh unique job.
+/// * **bursty** (~35%) — distinct-key reaction–diffusion jobs; the
+///   burst-submission pattern plus consistent-hash skew is what creates
+///   the imbalance work stealing flattens.
+/// * **heavy** (~25%) — long sliceable RD jobs (`ckpt_interval = 2`,
+///   10 macro steps): they run as checkpointed slices, so preemption and
+///   cross-shard migration over real checkpoint bytes get exercised.
+pub fn fleet_request_stream(cfg: &FleetLoadgenConfig) -> Vec<SimJob> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // The popular pool interactive traffic skews onto.
+    let popular: Vec<SimJob> = (0..8)
+        .map(|i| {
+            let mut job = IgnitionSpec {
+                t0: 1010.0 + 15.0 * i as f64,
+                t_end: 3.0e-6,
+                chunks: 3,
+                ..IgnitionSpec::default()
+            }
+            .job();
+            job.tenant = 0;
+            job
+        })
+        .collect();
+    let mut requests = Vec::with_capacity(cfg.jobs);
+    for i in 0..cfg.jobs {
+        let roll = rng.gen_range(0.0..1.0);
+        let mut job = if roll < 0.40 {
+            // Interactive: popular pool with probability 0.65.
+            if rng.gen_bool(0.65) {
+                popular[rng.gen_range(0usize..popular.len())].clone()
+            } else {
+                let mut job = IgnitionSpec {
+                    t0: rng.gen_range(950.0..1250.0),
+                    t_end: 2.0e-6,
+                    chunks: 3,
+                    ..IgnitionSpec::default()
+                }
+                .job();
+                job.tenant = 0;
+                job
+            }
+        } else if roll < 0.75 {
+            // Bursty: distinct-key medium jobs.
+            let mut job = RdSpec {
+                nx: *[8, 10, 12].get(rng.gen_range(0usize..3)).expect("in range"),
+                n_steps: 2,
+                t_hot: 1100.0 + i as f64,
+                ..RdSpec::default()
+            }
+            .job();
+            job.tenant = 1;
+            job.priority = rng.gen_range(0usize..3) as u8;
+            job
+        } else {
+            // Heavy: long sliceable batch jobs.
+            let mut job = RdSpec {
+                nx: 8,
+                n_steps: 10,
+                t_hot: 1300.0 + i as f64,
+                ..RdSpec::default()
+            }
+            .job();
+            job.tenant = 2;
+            job.ckpt_interval = 2;
+            job.want_checkpoint = rng.gen_bool(0.25);
+            job
+        };
+        if cfg.deadlines && i % 23 == 11 {
+            // Deadline pressure: a tight deadline with alternating
+            // policies, so both admission paths stay exercised.
+            job.deadline = Some(2);
+            job.on_late = if i % 46 == 11 {
+                LatePolicy::Reject
+            } else {
+                LatePolicy::Downgrade
+            };
+        }
+        requests.push(job);
+    }
+    requests
+}
+
+/// What one fleet loadgen run produced, in deterministic counters.
+#[derive(Clone, Debug)]
+pub struct FleetLoadgenReport {
+    /// The scenario that was run.
+    pub config: FleetLoadgenConfig,
+    /// Requests that ran to completion on a session.
+    pub completed: u64,
+    /// Requests answered from a result cache (hit or coalesced).
+    pub cached: u64,
+    /// Requests cancelled by their step-budget deadline.
+    pub cancelled_deadline: u64,
+    /// Requests that failed terminally.
+    pub failed: u64,
+    /// Requests refused at admission because the deadline was provably
+    /// unreachable (`LatePolicy::Reject`).
+    pub rejected_deadline: u64,
+    /// Queue-full rejection events (each was resubmitted later — none
+    /// lost).
+    pub rejection_events: u64,
+    /// Accepted submissions that never resolved — must be zero.
+    pub lost: u64,
+    /// Total virtual ticks from first submit to drained fleet.
+    pub total_ticks: u64,
+    /// `jobs * 1000 / total_ticks`.
+    pub throughput_jobs_per_kilotick: f64,
+    /// FNV-1a fold of every request's outcome in *original request
+    /// order* — completed and cached fold the artifact digest (they must
+    /// be bit-identical), cancelled/failed/rejected fold a stable tag.
+    /// Identical across shard counts when `deadlines` is off.
+    pub outcome_checksum: u64,
+    /// Full fleet statistics snapshot at the end.
+    pub stats: FleetStats,
+}
+
+/// Run the fleet scenario: submit in bursts (carrying the original
+/// request index through deferrals), drain between bursts, fold the
+/// request-order outcome checksum, and summarize.
+pub fn run_fleet_loadgen(cfg: &FleetLoadgenConfig) -> FleetLoadgenReport {
+    let mut fleet = Fleet::new(FleetConfig {
+        shards: cfg.shards,
+        sessions_per_shard: cfg.sessions_per_shard,
+        queue_capacity: cfg.queue_capacity,
+        cache_capacity: cfg.cache_capacity,
+        steal: cfg.steal,
+        tenants: fleet_tenants(),
+        ..FleetConfig::default()
+    });
+
+    let requests = fleet_request_stream(cfg);
+    let n = requests.len();
+    let mut pending: VecDeque<(usize, SimJob)> = requests.into_iter().enumerate().collect();
+    // Outcome slot per original request index.
+    let mut resolved: Vec<Option<ReqOutcome>> = vec![None; n];
+    let mut ids: Vec<(usize, JobId)> = Vec::with_capacity(n);
+    let mut rejection_events = 0u64;
+    let mut rejected_deadline = 0u64;
+
+    while !pending.is_empty() {
+        let mut deferred: Vec<(usize, SimJob)> = Vec::new();
+        for _ in 0..cfg.burst.max(1) {
+            let Some((req, job)) = pending.pop_front() else {
+                break;
+            };
+            match fleet.submit(job.clone()) {
+                Ok(id) => ids.push((req, id)),
+                Err(SubmitError::QueueFull { .. }) => {
+                    rejection_events += 1;
+                    deferred.push((req, job));
+                }
+                Err(SubmitError::Deadline { .. }) => {
+                    rejected_deadline += 1;
+                    resolved[req] = Some(ReqOutcome::RejectedDeadline);
+                }
+                Err(e) => {
+                    unreachable!("fleet loadgen scripts are admission-clean: {e}")
+                }
+            }
+        }
+        fleet.run_until_idle();
+        for item in deferred.into_iter().rev() {
+            pending.push_front(item);
+        }
+    }
+
+    let mut completed = 0u64;
+    let mut cached = 0u64;
+    let mut cancelled_deadline = 0u64;
+    let mut failed = 0u64;
+    let mut lost = 0u64;
+    for (req, id) in &ids {
+        match fleet.outcome(*id) {
+            Some(JobOutcome::Completed { artifacts, .. }) => {
+                completed += 1;
+                resolved[*req] = Some(ReqOutcome::Artifact(artifacts.transcript_digest.clone()));
+            }
+            Some(JobOutcome::Cached { artifacts, .. }) => {
+                cached += 1;
+                resolved[*req] = Some(ReqOutcome::Artifact(artifacts.transcript_digest.clone()));
+            }
+            Some(JobOutcome::Cancelled { reason, .. }) => {
+                match reason {
+                    crate::session::CancelReason::Deadline { .. } => cancelled_deadline += 1,
+                    crate::session::CancelReason::User => {}
+                }
+                resolved[*req] = Some(ReqOutcome::Cancelled);
+            }
+            Some(JobOutcome::Failed { .. }) => {
+                failed += 1;
+                resolved[*req] = Some(ReqOutcome::Failed);
+            }
+            None => lost += 1,
+        }
+    }
+
+    // Request-order checksum: schedule-independent by construction —
+    // completed and cached results are bit-identical, and which of the
+    // two a duplicate lands on depends on timing, so both fold only the
+    // digest.
+    let mut checksum = FNV_OFFSET;
+    for slot in &resolved {
+        checksum = match slot {
+            Some(ReqOutcome::Artifact(digest)) => fnv1a64(checksum, digest.as_bytes()),
+            Some(ReqOutcome::Cancelled) => fnv1a64(checksum, b"cancelled"),
+            Some(ReqOutcome::Failed) => fnv1a64(checksum, b"failed"),
+            Some(ReqOutcome::RejectedDeadline) => fnv1a64(checksum, b"rejected-deadline"),
+            None => fnv1a64(checksum, b"lost"),
+        };
+    }
+
+    let stats = fleet.stats();
+    let total_ticks = stats.clock.max(1);
+    FleetLoadgenReport {
+        config: *cfg,
+        completed,
+        cached,
+        cancelled_deadline,
+        failed,
+        rejected_deadline,
+        rejection_events,
+        lost,
+        total_ticks,
+        throughput_jobs_per_kilotick: cfg.jobs as f64 * 1000.0 / total_ticks as f64,
+        outcome_checksum: checksum,
+        stats,
+    }
+}
+
+/// One request's terminal state, reduced to checksum material.
+#[derive(Clone, Debug)]
+enum ReqOutcome {
+    /// Completed or cache-answered: the artifact digest (bit-identical
+    /// either way).
+    Artifact(String),
+    /// Cancelled (step budget — the loadgen never user-cancels).
+    Cancelled,
+    /// Terminal failure.
+    Failed,
+    /// Refused by deadline admission.
+    RejectedDeadline,
 }
 
 #[cfg(test)]

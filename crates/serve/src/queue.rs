@@ -83,6 +83,43 @@ impl JobQueue {
         Some(self.entries.remove(idx))
     }
 
+    /// Remove and return the ready entry (at `clock`) maximizing `key` —
+    /// the fleet's tenant-aware selection hook. The caller's key must be
+    /// a total order (include the sequence number) for determinism.
+    pub fn pop_ready_by<K: Ord>(&mut self, clock: u64, key: impl Fn(&Entry) -> K) -> Option<Entry> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.ready_at <= clock)
+            .max_by_key(|(_, e)| key(e))
+            .map(|(i, _)| i)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// Entries dispatchable at `clock` (the steal-balance signal).
+    pub fn ready_count(&self, clock: u64) -> usize {
+        self.entries.iter().filter(|e| e.ready_at <= clock).count()
+    }
+
+    /// Earliest `ready_at` strictly after `clock` — the backoff edge the
+    /// fleet scheduler fast-forwards to when nothing is ready yet.
+    pub fn next_ready_after(&self, clock: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .map(|e| e.ready_at)
+            .filter(|t| *t > clock)
+            .min()
+    }
+
+    /// Push that bypasses the capacity bound — for *internal* re-queues
+    /// only (retry backoff, preemption continuations, stolen entries).
+    /// Client backpressure is enforced at submission; work the fleet has
+    /// already accepted is never dropped for lack of a slot.
+    pub fn push_internal(&mut self, entry: Entry) {
+        self.entries.push(entry);
+    }
+
     /// Remove a queued entry by id (client-side cancellation).
     pub fn remove_by_id(&mut self, id: JobId) -> Option<Entry> {
         let idx = self.entries.iter().position(|e| e.id == id)?;
@@ -111,6 +148,10 @@ mod tests {
             fault: FaultSpec::default(),
             distributed: None,
             restore: None,
+            tenant: 0,
+            deadline: None,
+            ckpt_interval: 0,
+            on_late: crate::cost::LatePolicy::Reject,
         };
         Entry {
             id,

@@ -78,6 +78,16 @@ pub enum SubmitError {
         /// `cca-analyze` report rendered against the submitted script.
         report: String,
     },
+    /// The fleet's cost model proved the deadline unreachable: even the
+    /// globally earliest-free session would finish at `needed`, past
+    /// `deadline`. Raised only by [`crate::fleet::Fleet`] for jobs with
+    /// [`crate::cost::LatePolicy::Reject`].
+    Deadline {
+        /// Earliest provable completion tick (absolute).
+        needed: u64,
+        /// The requested deadline (absolute virtual tick).
+        deadline: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -91,6 +101,13 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::Admission { report } => {
                 write!(f, "rejected by admission check:\n{report}")
+            }
+            SubmitError::Deadline { needed, deadline } => {
+                write!(
+                    f,
+                    "deadline provably unreachable: earliest completion at tick {needed}, \
+                     deadline at tick {deadline}"
+                )
             }
         }
     }
@@ -517,6 +534,9 @@ impl Server {
                     },
                 );
                 self.promote_followers(entry.key);
+            }
+            RunOutcome::Preempted { .. } => {
+                unreachable!("single-server dispatch never arms a preemption slice")
             }
             RunOutcome::Panicked(message) => {
                 self.poisonings += 1;

@@ -64,15 +64,43 @@ impl CancelToken {
     }
 }
 
+/// Why a stepper must stop at a step edge: a cooperative cancellation
+/// (deadline/client) or a scheduler preemption (the slice the fleet
+/// granted this attempt is over — checkpoint and yield the session).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepSignal {
+    /// Stop for good: deadline exhausted or client cancelled.
+    Cancel(CancelReason),
+    /// Stop *for now*: commit the latest periodic set and yield; the
+    /// scheduler re-queues a continuation that resumes from it.
+    Preempt,
+}
+
+/// Scheduler preemption directive for one attempt: run at most `at_step`
+/// macro steps, then yield. `mid_snapshot` models the unlucky timing
+/// where the preemption lands while the boundary snapshot is still being
+/// written — the torn set is discarded and the continuation falls back
+/// to the *prior* committed set (re-executing at most `ckpt_interval`
+/// steps, which is exactly the bounded-migration-cost invariant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PreemptSpec {
+    /// Macro steps this attempt may execute before yielding.
+    pub at_step: u64,
+    /// Treat a commit landing exactly on the yield step as torn.
+    pub mid_snapshot: bool,
+}
+
 /// Per-attempt step controller handed to the stepper: enforces the step
-/// budget, polls the cancel token, counts steps, and hosts the
-/// fault-injection hook. All deterministic — no wall clocks anywhere.
+/// budget, polls the cancel token, counts steps, carries the preemption
+/// directive, and hosts the fault-injection hook. All deterministic — no
+/// wall clocks anywhere.
 pub struct StepCtl {
     token: CancelToken,
     budget: Option<u64>,
     steps: Cell<u64>,
     /// `Some(step)` — panic at the start of that 1-based step.
     inject_panic_at: Option<u64>,
+    preempt: Option<PreemptSpec>,
 }
 
 impl StepCtl {
@@ -83,19 +111,37 @@ impl StepCtl {
             budget,
             steps: Cell::new(0),
             inject_panic_at,
+            preempt: None,
         }
+    }
+
+    /// Arm a scheduler preemption directive on this attempt.
+    pub fn with_preempt(mut self, preempt: Option<PreemptSpec>) -> Self {
+        self.preempt = preempt;
+        self
+    }
+
+    /// The preemption directive, if armed (steppers that support
+    /// checkpointing read `mid_snapshot` from here).
+    pub fn preempt_spec(&self) -> Option<PreemptSpec> {
+        self.preempt
     }
 
     /// Called by the stepper at the top of every macro step. `Err` means
     /// stop *before* doing the step's work; on `Ok` the step is counted.
-    pub fn begin_step(&self) -> Result<(), CancelReason> {
+    pub fn begin_step(&self) -> Result<(), StepSignal> {
         if self.token.is_cancelled() {
-            return Err(CancelReason::User);
+            return Err(StepSignal::Cancel(CancelReason::User));
         }
         let done = self.steps.get();
         if let Some(b) = self.budget {
             if done >= b {
-                return Err(CancelReason::Deadline { budget: b });
+                return Err(StepSignal::Cancel(CancelReason::Deadline { budget: b }));
+            }
+        }
+        if let Some(p) = self.preempt {
+            if done >= p.at_step {
+                return Err(StepSignal::Preempt);
             }
         }
         let next = done + 1;
@@ -123,6 +169,17 @@ pub enum RunOutcome {
     Failed(String),
     /// The job panicked; the session is poisoned and rebuilt.
     Panicked(String),
+    /// The scheduler's slice ran out: the attempt yielded cooperatively,
+    /// handing back the last committed component set so a continuation
+    /// can resume from it (possibly on another shard).
+    Preempted {
+        /// Serialized `cca_ckpt::ComponentSet` of the last commit;
+        /// `None` if the slice ended before the first commit (the
+        /// continuation then restarts from the initial condition).
+        set: Option<Vec<u8>>,
+        /// Absolute macro steps covered by `set` (0 when `None`).
+        committed_steps: u64,
+    },
 }
 
 /// One slot in the session pool.
@@ -162,6 +219,21 @@ impl Session {
         inject_fault: bool,
         palette: &PaletteFn,
     ) -> (RunOutcome, u64, ExecutorStats) {
+        self.execute_sliced(job, token, inject_fault, palette, None)
+    }
+
+    /// Execute one attempt of `job` with an optional preemption slice
+    /// armed — the fleet's dispatch path for long jobs. Same contract as
+    /// [`Session::execute`], plus the attempt may end in
+    /// [`RunOutcome::Preempted`].
+    pub fn execute_sliced(
+        &mut self,
+        job: &SimJob,
+        token: CancelToken,
+        inject_fault: bool,
+        palette: &PaletteFn,
+        preempt: Option<PreemptSpec>,
+    ) -> (RunOutcome, u64, ExecutorStats) {
         // Take the warm framework and immediately re-warm the slot, so the
         // slot is whole again no matter how this attempt ends.
         let mut fw = std::mem::replace(&mut self.warm, palette());
@@ -170,7 +242,8 @@ impl Session {
             token,
             job.step_budget,
             armed.then_some(job.fault.panic_at_step),
-        );
+        )
+        .with_preempt(preempt);
         // An armed injection is *expected* to panic — keep its backtrace
         // off stderr. Genuine panics keep the default hook and print.
         let prev_hook = if armed {
@@ -187,6 +260,13 @@ impl Session {
                 Ok(Ok(artifacts)) => RunOutcome::Done(artifacts),
                 Ok(Err(StepError::Cancelled(reason))) => RunOutcome::Cancelled(reason),
                 Ok(Err(StepError::Failed(message))) => RunOutcome::Failed(message),
+                Ok(Err(StepError::Preempted {
+                    set,
+                    committed_steps,
+                })) => RunOutcome::Preempted {
+                    set,
+                    committed_steps,
+                },
                 Err(payload) => {
                     // Poisoned: never reuse anything from this epoch.
                     self.epoch += 1;
@@ -203,10 +283,15 @@ impl Session {
     }
 }
 
-/// Stepper-level error: either a cooperative stop or a hard failure.
+/// Stepper-level error: a cooperative stop, a scheduler preemption, or a
+/// hard failure.
 pub(crate) enum StepError {
     Cancelled(CancelReason),
     Failed(String),
+    Preempted {
+        set: Option<Vec<u8>>,
+        committed_steps: u64,
+    },
 }
 
 fn run_attempt(fw: &mut Framework, job: &SimJob, ctl: &StepCtl) -> Result<Artifacts, StepError> {
@@ -218,13 +303,7 @@ fn run_attempt(fw: &mut Framework, job: &SimJob, ctl: &StepCtl) -> Result<Artifa
                 StepError::Failed(format!("override {}.{} failed: {e}", o.instance, o.key))
             })?;
     }
-    crate::workload::execute(
-        job.kind,
-        fw,
-        ctl,
-        job.want_checkpoint,
-        job.restore.as_deref(),
-    )
+    crate::workload::execute(job, fw, ctl)
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -249,7 +328,7 @@ mod tests {
         }
         assert_eq!(
             ctl.begin_step().unwrap_err(),
-            CancelReason::Deadline { budget: 3 }
+            StepSignal::Cancel(CancelReason::Deadline { budget: 3 })
         );
         assert_eq!(ctl.steps(), 3);
     }
@@ -260,8 +339,35 @@ mod tests {
         let ctl = StepCtl::new(token.clone(), None, None);
         ctl.begin_step().unwrap();
         token.cancel();
-        assert_eq!(ctl.begin_step().unwrap_err(), CancelReason::User);
+        assert_eq!(
+            ctl.begin_step().unwrap_err(),
+            StepSignal::Cancel(CancelReason::User)
+        );
         assert_eq!(ctl.steps(), 1);
+    }
+
+    #[test]
+    fn step_ctl_preempts_at_the_slice_boundary() {
+        let ctl =
+            StepCtl::new(CancelToken::new(), Some(10), None).with_preempt(Some(PreemptSpec {
+                at_step: 2,
+                mid_snapshot: false,
+            }));
+        ctl.begin_step().unwrap();
+        ctl.begin_step().unwrap();
+        assert_eq!(ctl.begin_step().unwrap_err(), StepSignal::Preempt);
+        assert_eq!(ctl.steps(), 2);
+        // Cancellation outranks preemption at the same edge.
+        let token = CancelToken::new();
+        let ctl = StepCtl::new(token.clone(), None, None).with_preempt(Some(PreemptSpec {
+            at_step: 0,
+            mid_snapshot: false,
+        }));
+        token.cancel();
+        assert_eq!(
+            ctl.begin_step().unwrap_err(),
+            StepSignal::Cancel(CancelReason::User)
+        );
     }
 
     #[test]

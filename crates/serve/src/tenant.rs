@@ -1,0 +1,174 @@
+//! Multi-tenant QoS: tenant table, service classes, and deterministic
+//! stride-based fair-share accounting.
+//!
+//! Every fleet job belongs to a tenant ([`crate::job::SimJob::tenant`]
+//! indexes the fleet's tenant table). Scheduling composes three forces,
+//! in order:
+//!
+//! 1. **QoS class bands** — interactive jobs outrank standard, standard
+//!    outrank batch ([`QosClass::base_priority`]).
+//! 2. **Priority aging** — a job's effective priority grows by one per
+//!    `aging_ticks` of queue wait, so a starving batch job eventually
+//!    climbs past fresh interactive traffic (no unbounded starvation).
+//! 3. **Stride fair share** — within a band, tenants are served in
+//!    proportion to their weights: each attempt charges the owning
+//!    tenant `cost · STRIDE_SCALE / weight` onto its *pass* value, and
+//!    the scheduler prefers the tenant with the smallest pass. Integer
+//!    arithmetic, deterministic, and exact in the long run — which is
+//!    what lets `tests/serve_loadgen.rs` pin the per-tenant service
+//!    ratios byte-for-byte.
+
+/// Service class of a tenant: the coarse latency band its jobs schedule
+/// in. Bands are priority offsets, so a higher class always outranks a
+/// lower one until priority aging closes the gap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QosClass {
+    /// Latency-sensitive traffic: short jobs, first claim on sessions.
+    Interactive,
+    /// The default class.
+    Standard,
+    /// Throughput traffic: long jobs, runs when nothing above is ready.
+    Batch,
+}
+
+impl QosClass {
+    /// Effective-priority offset of the band (added to the job's own
+    /// `priority`). The gaps are wide enough that intra-band priorities
+    /// (u8) never leak across bands without aging.
+    pub fn base_priority(self) -> u64 {
+        match self {
+            QosClass::Interactive => 2048,
+            QosClass::Standard => 1024,
+            QosClass::Batch => 0,
+        }
+    }
+
+    /// Stable tag for reports and baselines.
+    pub fn tag(self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Standard => "standard",
+            QosClass::Batch => "batch",
+        }
+    }
+}
+
+/// Fixed-point scale of stride accounting: pass values advance by
+/// `cost * STRIDE_SCALE / weight`, so weight ratios are honored exactly
+/// up to one tick of rounding per attempt.
+pub const STRIDE_SCALE: u64 = 1 << 20;
+
+/// One tenant's registration: name, class, and fair-share weight.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name (stable across runs — it lands in baselines).
+    pub name: String,
+    /// Service class.
+    pub class: QosClass,
+    /// Fair-share weight (≥ 1); service is proportional to it.
+    pub weight: u64,
+}
+
+impl TenantSpec {
+    /// Convenience constructor; weight is clamped to ≥ 1.
+    pub fn new(name: &str, class: QosClass, weight: u64) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            class,
+            weight: weight.max(1),
+        }
+    }
+}
+
+/// Live per-tenant scheduling state and counters.
+#[derive(Clone, Debug)]
+pub struct TenantState {
+    /// The registration.
+    pub spec: TenantSpec,
+    /// Stride pass value — the fair-share clock; smallest pass schedules
+    /// first within a priority band.
+    pub pass: u64,
+    /// Session ticks charged to this tenant (the fair-share currency).
+    pub served_ticks: u64,
+    /// Submissions accepted for this tenant.
+    pub submitted: u64,
+    /// Jobs completed on a session.
+    pub completed: u64,
+    /// Submissions answered from a result cache (hits).
+    pub hits: u64,
+    /// Submissions that had to run (misses = submitted − hits, tracked
+    /// explicitly so the report never derives it from racing counters).
+    pub misses: u64,
+    /// Submissions refused by queue backpressure.
+    pub rejected_full: u64,
+    /// Submissions refused because the cost model proved the deadline
+    /// unreachable.
+    pub rejected_deadline: u64,
+    /// Deadline-doomed submissions accepted in degraded (batch) mode.
+    pub downgraded: u64,
+}
+
+impl TenantState {
+    /// Fresh state for `spec`.
+    pub fn new(spec: TenantSpec) -> Self {
+        TenantState {
+            spec,
+            pass: 0,
+            served_ticks: 0,
+            submitted: 0,
+            completed: 0,
+            hits: 0,
+            misses: 0,
+            rejected_full: 0,
+            rejected_deadline: 0,
+            downgraded: 0,
+        }
+    }
+
+    /// Charge `cost` session ticks of service: advances the stride pass
+    /// by `cost · STRIDE_SCALE / weight`.
+    pub fn charge(&mut self, cost: u64) {
+        self.served_ticks += cost;
+        self.pass += cost * STRIDE_SCALE / self.spec.weight;
+    }
+}
+
+/// The default single-tenant table (tenant 0), used when a fleet is
+/// built without an explicit tenant list.
+pub fn default_tenants() -> Vec<TenantSpec> {
+    vec![TenantSpec::new("default", QosClass::Standard, 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_charges_are_inversely_proportional_to_weight() {
+        let mut heavy = TenantState::new(TenantSpec::new("heavy", QosClass::Standard, 4));
+        let mut light = TenantState::new(TenantSpec::new("light", QosClass::Standard, 1));
+        heavy.charge(8);
+        light.charge(2);
+        // 8 ticks at weight 4 advance the pass exactly as far as 2 ticks
+        // at weight 1 — equal pass means both are equally "owed".
+        assert_eq!(heavy.pass, light.pass);
+        assert_eq!(heavy.served_ticks, 8);
+        assert_eq!(light.served_ticks, 2);
+    }
+
+    #[test]
+    fn class_bands_are_ordered_and_wider_than_job_priorities() {
+        assert!(QosClass::Interactive.base_priority() > QosClass::Standard.base_priority());
+        assert!(QosClass::Standard.base_priority() > QosClass::Batch.base_priority());
+        let gap = QosClass::Standard.base_priority() - QosClass::Batch.base_priority();
+        assert!(
+            gap > u8::MAX as u64,
+            "a u8 job priority must not cross bands"
+        );
+    }
+
+    #[test]
+    fn weights_are_clamped_to_one() {
+        assert_eq!(TenantSpec::new("z", QosClass::Batch, 0).weight, 1);
+    }
+}

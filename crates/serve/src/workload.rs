@@ -109,6 +109,10 @@ impl IgnitionSpec {
             fault: FaultSpec::default(),
             distributed: None,
             restore: None,
+            tenant: 0,
+            deadline: None,
+            ckpt_interval: 0,
+            on_late: crate::cost::LatePolicy::Reject,
         }
     }
 }
@@ -231,6 +235,10 @@ impl RdSpec {
             fault: FaultSpec::default(),
             distributed: None,
             restore: None,
+            tenant: 0,
+            deadline: None,
+            ckpt_interval: 0,
+            on_late: crate::cost::LatePolicy::Reject,
         }
     }
 }
@@ -240,24 +248,25 @@ fn port<P: Clone + 'static>(fw: &Framework, instance: &str, name: &str) -> Resul
         .map_err(|e| StepError::Failed(format!("missing port {instance}.{name}: {e}")))
 }
 
-/// Drive the assembled application to completion (or budget/cancel).
-pub(crate) fn execute(
-    kind: WorkloadKind,
-    fw: &Framework,
-    ctl: &StepCtl,
-    want_checkpoint: bool,
-    restore: Option<&[u8]>,
-) -> Result<Artifacts, StepError> {
-    match kind {
+/// Drive the assembled application to completion (or budget/cancel/
+/// preemption).
+pub(crate) fn execute(job: &SimJob, fw: &Framework, ctl: &StepCtl) -> Result<Artifacts, StepError> {
+    match job.kind {
         WorkloadKind::Ignition0d => {
-            if restore.is_some() {
+            if job.restore.is_some() {
                 return Err(StepError::Failed(
                     "ignition jobs do not support checkpoint restore".into(),
                 ));
             }
             run_ignition(fw, ctl)
         }
-        WorkloadKind::ReactionDiffusion => run_rd(fw, ctl, want_checkpoint, restore),
+        WorkloadKind::ReactionDiffusion => run_rd(
+            fw,
+            ctl,
+            job.want_checkpoint,
+            job.restore.as_deref(),
+            job.ckpt_interval,
+        ),
     }
 }
 
@@ -301,7 +310,7 @@ fn run_ignition(fw: &Framework, ctl: &StepCtl) -> Result<Artifacts, StepError> {
     let mut t = 0.0;
     let mut rhs_evals = 0usize;
     for k in 0..chunks {
-        ctl.begin_step().map_err(StepError::Cancelled)?;
+        begin_or_stop(ctl, None)?;
         let t1 = if k + 1 == chunks {
             t_end
         } else {
@@ -329,6 +338,59 @@ fn run_ignition(fw: &Framework, ctl: &StepCtl) -> Result<Artifacts, StepError> {
     .seal())
 }
 
+/// Periodic-commit bookkeeping for sliceable jobs: the last committed
+/// component set and the one before it (the fallback a mid-snapshot
+/// preemption resumes from).
+#[derive(Default)]
+struct CommitLog {
+    last: Option<(u64, Vec<u8>)>,
+    prev: Option<(u64, Vec<u8>)>,
+}
+
+impl CommitLog {
+    fn push(&mut self, steps_abs: u64, set_bytes: Vec<u8>) {
+        self.prev = self.last.take();
+        self.last = Some((steps_abs, set_bytes));
+    }
+
+    /// The set a preemption at `executed_abs` completed steps hands back.
+    /// A commit landing exactly on the yield step is discarded under the
+    /// mid-snapshot drill (it is "still being written"), falling back to
+    /// the prior set — at most `ckpt_interval` steps of re-execution.
+    fn yield_set(&self, executed_abs: u64, mid_snapshot: bool) -> (Option<Vec<u8>>, u64) {
+        let take = |c: &Option<(u64, Vec<u8>)>| match c {
+            Some((steps, bytes)) => (Some(bytes.clone()), *steps),
+            None => (None, 0),
+        };
+        match &self.last {
+            Some((steps, _)) if mid_snapshot && *steps == executed_abs => take(&self.prev),
+            _ => take(&self.last),
+        }
+    }
+}
+
+/// Poll the step controller, mapping the stop signals onto stepper
+/// errors. `log` carries the periodic-commit state for workloads that
+/// support preemptive yield; workloads without one are preempted with no
+/// set (their continuation restarts from the initial condition).
+fn begin_or_stop(ctl: &StepCtl, log: Option<(&CommitLog, u64)>) -> Result<(), StepError> {
+    match ctl.begin_step() {
+        Ok(()) => Ok(()),
+        Err(crate::session::StepSignal::Cancel(reason)) => Err(StepError::Cancelled(reason)),
+        Err(crate::session::StepSignal::Preempt) => {
+            let mid_snapshot = ctl.preempt_spec().map(|p| p.mid_snapshot).unwrap_or(false);
+            let (set, committed_steps) = match log {
+                Some((log, executed_abs)) => log.yield_set(executed_abs, mid_snapshot),
+                None => (None, 0),
+            };
+            Err(StepError::Preempted {
+                set,
+                committed_steps,
+            })
+        }
+    }
+}
+
 /// RNG-free hash of the physics-bearing reaction–diffusion parameters,
 /// given as canonical u64 words. `n_steps` is deliberately excluded: a
 /// resumed leg runs *fewer* steps than the original submission, but it
@@ -347,6 +409,7 @@ fn run_rd(
     ctl: &StepCtl,
     want_checkpoint: bool,
     restore: Option<&[u8]>,
+    ckpt_interval: u64,
 ) -> Result<Artifacts, StepError> {
     let cfg: Rc<dyn ParameterPort> = port(fw, "cfg", "config")?;
     let p = |key: &str, default: f64| cfg.get_parameter(key).unwrap_or(default);
@@ -417,8 +480,14 @@ fn run_rd(
     for _ in 0..steps_done {
         t += dt;
     }
+    let ckpt_port: Option<Rc<dyn CheckpointPort>> = if ckpt_interval > 0 {
+        Some(port(fw, "grace", "checkpoint")?)
+    } else {
+        None
+    };
+    let mut commits = CommitLog::default();
     for step in 0..n_steps {
-        ctl.begin_step().map_err(StepError::Cancelled)?;
+        begin_or_stop(ctl, Some((&commits, (steps_done + step) as u64)))?;
         // Regrid cadence counts absolute steps across legs.
         let step_abs = steps_done + step;
         if max_levels > 1 && step_abs > 0 && step_abs % regrid_interval == 0 {
@@ -442,6 +511,25 @@ fn run_rd(
         }
         data.restrict_down("state");
         t += dt;
+        // Periodic commit: wrap the mesh state in a checksummed set so a
+        // preemption (or migration) re-executes at most `ckpt_interval`
+        // steps. Commits are pure observation — the physics above never
+        // sees them, so a sliced run stays bit-identical to a straight
+        // one.
+        if let Some(ckpt) = &ckpt_port {
+            let done_abs = (steps_done + step + 1) as u64;
+            if done_abs.is_multiple_of(ckpt_interval) {
+                let grace_bytes = ckpt
+                    .save_bytes()
+                    .map_err(|e| StepError::Failed(format!("periodic commit failed: {e}")))?;
+                let set = cca_ckpt::ComponentSet {
+                    config_hash,
+                    steps_done: done_abs,
+                    parts: vec![("grace".to_string(), grace_bytes)],
+                };
+                commits.push(done_abs, set.to_bytes());
+            }
+        }
     }
 
     let checkpoint = if want_checkpoint {
@@ -634,6 +722,7 @@ mod tests {
         job.fault = FaultSpec {
             fail_attempts: 1,
             panic_at_step: 2,
+            ..FaultSpec::default()
         };
         let (outcome, _, _) = s.execute(&job, CancelToken::new(), true, &palette);
         assert!(matches!(outcome, crate::session::RunOutcome::Panicked(_)));

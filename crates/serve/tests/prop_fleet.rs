@@ -1,0 +1,104 @@
+//! Property pins of the fleet's consistent-hash ring (PR 10):
+//!
+//! * **Bounded remap** — growing the fleet from N to N+1 shards remaps
+//!   at most ~K/N of 10⁴ random job keys (within a 2× virtual-node
+//!   variance allowance), and every remapped key lands on the *new*
+//!   shard — adding capacity only ever pulls keys toward itself, it
+//!   never shuffles keys between existing shards. Because
+//!   `HashRing::new(n, v)` is exactly the (n+1)-shard ring minus the
+//!   highest shard's points, the same bound covers shard removal.
+//! * **Cross-run stability** — the ring is seeded from nothing but FNV
+//!   constants and stable shard labels, so routing is identical across
+//!   process runs and hosts; a handful of literal routes are pinned to
+//!   catch any accidental introduction of process-seeded hashing.
+
+use cca_serve::job::JobKey;
+use cca_serve::HashRing;
+use proptest::prelude::*;
+
+const VIRTUAL_NODES: usize = 64;
+
+/// 10⁴ well-spread synthetic job keys (FNV-mixed counter — the same
+/// construction `JobKey` itself uses, so the distribution is realistic).
+fn sample_keys() -> Vec<JobKey> {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut keys = Vec::with_capacity(10_000);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..10_000u64 {
+        for b in i.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        keys.push(JobKey {
+            hi: h,
+            lo: h.rotate_left(17) ^ i,
+        });
+    }
+    keys
+}
+
+#[test]
+fn growing_the_fleet_remaps_at_most_a_shard_share_of_keys() {
+    let keys = sample_keys();
+    for n in [2usize, 3, 4, 8] {
+        let before = HashRing::new(n, VIRTUAL_NODES);
+        let after = HashRing::new(n + 1, VIRTUAL_NODES);
+        let mut moved = 0usize;
+        for key in &keys {
+            let (a, b) = (before.route(*key), after.route(*key));
+            if a != b {
+                moved += 1;
+                // Adding shard `n` may only pull keys onto itself.
+                assert_eq!(
+                    b,
+                    n,
+                    "growing {n}→{} moved a key between pre-existing shards ({a}→{b})",
+                    n + 1
+                );
+            }
+        }
+        // Ideal share is K/(N+1); allow 2× for virtual-node variance.
+        let bound = 2 * keys.len() / (n + 1);
+        assert!(
+            moved <= bound,
+            "growing {n}→{} remapped {moved} of {} keys (bound {bound})",
+            n + 1,
+            keys.len()
+        );
+        // And the new shard must actually receive a nontrivial share —
+        // an empty arc would mean the ring is not balancing at all.
+        assert!(
+            moved >= keys.len() / (4 * (n + 1)),
+            "growing {n}→{} remapped only {moved} keys; new shard is starved",
+            n + 1
+        );
+    }
+}
+
+#[test]
+fn routing_is_pinned_across_process_runs() {
+    // Literal (key, shard) pins: any process-seeded hashing sneaking
+    // into the ring would break these on the next run.
+    let ring = HashRing::new(4, VIRTUAL_NODES);
+    let keys = sample_keys();
+    let expect: Vec<usize> = keys.iter().take(16).map(|k| ring.route(*k)).collect();
+    assert_eq!(expect, vec![0, 2, 2, 2, 0, 2, 0, 0, 2, 3, 2, 0, 3, 0, 2, 3]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2_000))]
+
+    #[test]
+    fn rebuilt_rings_route_identically_and_in_range(
+        hi in i64::MIN..i64::MAX,
+        lo in i64::MIN..i64::MAX,
+        shards in 1usize..12,
+    ) {
+        let key = JobKey { hi: hi as u64, lo: lo as u64 };
+        let ring = HashRing::new(shards, VIRTUAL_NODES);
+        let home = ring.route(key);
+        prop_assert!(home < shards);
+        // A freshly built identical ring must agree — the ring state is
+        // a pure function of (shards, virtual_nodes).
+        prop_assert_eq!(HashRing::new(shards, VIRTUAL_NODES).route(key), home);
+    }
+}

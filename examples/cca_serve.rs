@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run --example cca_serve -- --demo          # built-in showcase stream
 //! cargo run --example cca_serve -- --loadgen [N]   # deterministic loadgen, N jobs
+//! cargo run --example cca_serve -- --fleet [N]     # multi-tenant fleet loadgen, N shards
 //! cargo run --example cca_serve -- requests.txt    # one request per line
 //! ```
 //!
@@ -20,8 +21,8 @@
 //! so repeated invocations print byte-identical output.
 
 use cca_serve::{
-    run_loadgen, IgnitionSpec, JobOutcome, LoadgenConfig, RdSpec, Server, ServerConfig, SimJob,
-    SubmitError,
+    run_fleet_loadgen, run_loadgen, FleetLoadgenConfig, IgnitionSpec, JobOutcome, LoadgenConfig,
+    RdSpec, Server, ServerConfig, SimJob, SubmitError,
 };
 use std::process::ExitCode;
 
@@ -128,6 +129,9 @@ fn serve(requests: &[String]) -> ExitCode {
                 eprintln!("request {} rejected by admission:\n{report}", lineno + 1);
                 return ExitCode::FAILURE;
             }
+            Err(e @ SubmitError::Deadline { .. }) => {
+                println!("request {:>3} rejected: {e}", lineno + 1);
+            }
         }
     }
     server.run_until_idle();
@@ -199,11 +203,35 @@ fn loadgen(jobs: Option<usize>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn fleet(shards: Option<usize>) -> ExitCode {
+    let mut cfg = FleetLoadgenConfig::default();
+    if let Some(n) = shards {
+        cfg.shards = n;
+    }
+    let r = run_fleet_loadgen(&cfg);
+    println!(
+        "fleet loadgen: {} requests over {} shards x {} sessions, burst {}",
+        r.config.jobs, r.config.shards, r.config.sessions_per_shard, r.config.burst
+    );
+    println!(
+        "outcomes: {} completed, {} cached, {} deadline-rejected, {} failed, {} lost",
+        r.completed, r.cached, r.rejected_deadline, r.failed, r.lost
+    );
+    println!(
+        "{} ticks total | {:.3} jobs/kilotick | outcome checksum {:016x}",
+        r.total_ticks, r.throughput_jobs_per_kilotick, r.outcome_checksum
+    );
+    println!();
+    print!("{}", r.stats.render());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("--demo") => serve(&demo_requests()),
         Some("--loadgen") => loadgen(args.get(2).and_then(|s| s.parse().ok())),
+        Some("--fleet") => fleet(args.get(2).and_then(|s| s.parse().ok())),
         Some(path) if !path.starts_with('-') => match std::fs::read_to_string(path) {
             Ok(text) => serve(&text.lines().map(String::from).collect::<Vec<_>>()),
             Err(e) => {
@@ -212,7 +240,7 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: cca_serve --demo | --loadgen [N] | REQUEST_FILE");
+            eprintln!("usage: cca_serve --demo | --loadgen [N] | --fleet [N] | REQUEST_FILE");
             ExitCode::FAILURE
         }
     }

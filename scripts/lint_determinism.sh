@@ -56,4 +56,17 @@ if [[ "$fail" != 0 ]]; then
   echo "comment in scripts/lint_determinism.sh" >&2
   exit 1
 fi
+
+# The fleet scheduler (crates/serve/src/fleet.rs and friends) pins every
+# latency percentile, steal decision, and migration byte-for-byte in
+# BENCH_PR10.json. That only holds if the scheduling layer never reads a
+# wall clock or process-seeded entropy — virtual ticks and the stream's
+# own seeded rng are the only time/randomness sources allowed.
+if grep -rn --include='*.rs' -E 'Instant::now|SystemTime|wall_clock|thread_rng|from_entropy' \
+  crates/serve/src crates/ckpt/src; then
+  echo "determinism lint: wall clock or process-seeded rng in the" >&2
+  echo "scheduling layer; use the virtual tick clock / seeded streams" >&2
+  exit 1
+fi
+
 echo "determinism lint: clean"

@@ -51,6 +51,7 @@ fn cache_hit_is_bit_identical_even_after_a_poisoned_session() {
     bomb.fault = FaultSpec {
         fail_attempts: 8,
         panic_at_step: 1,
+        ..FaultSpec::default()
     };
     let bomb_id = server.submit(bomb).expect("fault job is admission-clean");
     server.run_until_idle();

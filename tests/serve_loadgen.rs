@@ -5,8 +5,9 @@
 //! counts `cca-bench serve` freezes into `BENCH_PR3.json`.
 
 use cca_serve::{
-    run_loadgen, CancelReason, IgnitionSpec, JobOutcome, LoadgenConfig, Override, RdSpec, Server,
-    ServerConfig, SubmitError,
+    run_fleet_loadgen, run_loadgen, CancelReason, Fleet, FleetConfig, FleetLoadgenConfig,
+    IgnitionSpec, JobOutcome, LoadgenConfig, Override, QosClass, RdSpec, Server, ServerConfig,
+    SubmitError, TenantSpec,
 };
 
 #[test]
@@ -67,6 +68,113 @@ fn loadgen_meets_the_pr_acceptance_criteria() {
     assert_eq!(s.poisonings, 8);
     assert_eq!(s.coalesced, 9);
     assert_eq!(report.total_ticks, 148);
+}
+
+#[test]
+fn fleet_loadgen_loses_no_jobs_and_pins_the_pr10_scenario() {
+    let cfg = FleetLoadgenConfig::default();
+    let r = run_fleet_loadgen(&cfg);
+
+    // Zero lost jobs: every request resolves — completed, cached,
+    // cancelled, failed, or provably-late-rejected; nothing vanishes.
+    assert_eq!(r.lost, 0, "requests without a terminal outcome");
+
+    // The exact deterministic multi-tenant scenario, pinned. If a
+    // scheduling change shifts these, BENCH_PR10.json must be
+    // regenerated in the same commit.
+    assert_eq!(r.completed, 178);
+    assert_eq!(r.cached, 62);
+    assert_eq!(r.failed, 0);
+    assert_eq!(r.rejected_deadline, 0);
+    assert_eq!(r.rejection_events, 4);
+    assert_eq!(r.total_ticks, 290);
+    assert_eq!(r.outcome_checksum, 0x5113_558c_e54a_6c5e);
+    let s = &r.stats;
+    assert_eq!(s.steals, 102, "work stealing never engaged");
+    assert_eq!(s.migrations, 3, "no checkpoint handoff crossed shards");
+    assert_eq!(s.preemptions, 100, "long jobs never ran as slices");
+
+    // Per tenant, every accepted submission resolves as exactly one
+    // cache hit or one executed miss — aggregation double-counts
+    // nothing, loses nothing.
+    for t in &s.tenants {
+        assert_eq!(
+            t.hits + t.misses,
+            t.submitted,
+            "tenant {} leaks submissions",
+            t.name
+        );
+    }
+    // Skewed popular keys mean only the interactive tenant sees cache
+    // hits; the heavy tenant dominates served ticks.
+    assert_eq!(s.tenants[0].hits, 62);
+    assert_eq!(s.tenants[2].served_ticks, 650);
+}
+
+#[test]
+fn fleet_loadgen_is_deterministic_and_shard_count_invariant() {
+    // Same stream, run twice → byte-identical stats; and the outcome
+    // checksum must not depend on the shard count or on stealing (the
+    // schedule moves, the physics must not).
+    let a = run_fleet_loadgen(&FleetLoadgenConfig::default());
+    let b = run_fleet_loadgen(&FleetLoadgenConfig::default());
+    assert_eq!(a.outcome_checksum, b.outcome_checksum);
+    assert_eq!(a.total_ticks, b.total_ticks);
+    assert_eq!(a.stats.executor, b.stats.executor);
+    for shards in [1usize, 4] {
+        for steal in [false, true] {
+            let r = run_fleet_loadgen(&FleetLoadgenConfig {
+                shards,
+                steal,
+                ..FleetLoadgenConfig::default()
+            });
+            assert_eq!(r.lost, 0, "{shards} shards steal={steal} lost jobs");
+            assert_eq!(
+                r.outcome_checksum, a.outcome_checksum,
+                "{shards} shards steal={steal} drifted the physics"
+            );
+        }
+    }
+}
+
+#[test]
+fn stride_fair_share_matches_tenant_weights_exactly() {
+    // Three batch tenants with weights 1:2:4 saturating one session with
+    // identical 3-tick jobs: after 63 ticks (21 jobs) the stride
+    // scheduler must have served them 9:18:36 ticks — the exact weight
+    // ratio, not an approximation.
+    let mut fleet = Fleet::new(FleetConfig {
+        shards: 1,
+        sessions_per_shard: 1,
+        queue_capacity: 128,
+        tenants: vec![
+            TenantSpec::new("a", QosClass::Batch, 1),
+            TenantSpec::new("b", QosClass::Batch, 2),
+            TenantSpec::new("c", QosClass::Batch, 4),
+        ],
+        ..FleetConfig::default()
+    });
+    for i in 0..30 {
+        for t in 0..3u32 {
+            let mut job = RdSpec {
+                nx: 8,
+                n_steps: 2,
+                t_hot: 1500.0 + (i * 3 + t as usize) as f64,
+                ..RdSpec::default()
+            }
+            .job();
+            job.tenant = t;
+            fleet.submit(job).unwrap();
+        }
+    }
+    while fleet.clock() < 63 && fleet.step() {}
+    let served: Vec<u64> = fleet
+        .stats()
+        .tenants
+        .iter()
+        .map(|t| t.served_ticks)
+        .collect();
+    assert_eq!(served, vec![9, 18, 36]);
 }
 
 #[test]
